@@ -1,0 +1,39 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Scale defaults to the paper-scale workloads; set ``REPRO_SCALE=small``
+for a quick pass.  Results are cached in ``.repro_cache.json`` at the
+repository root (override with ``REPRO_CACHE``; delete the file to force
+fresh simulation).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval.harness import Harness
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _default_cache() -> str:
+    return os.environ.get("REPRO_CACHE", str(_REPO_ROOT / ".repro_cache.json"))
+
+
+@pytest.fixture(scope="session")
+def harness() -> Harness:
+    scale = os.environ.get("REPRO_SCALE", "paper")
+    return Harness(scale=scale, cache_path=_default_cache())
+
+
+@pytest.fixture(scope="session")
+def is_paper_scale(harness) -> bool:
+    return harness.scale == "paper"
+
+
+def emit(fig) -> None:
+    """Print a regenerated figure into the benchmark output."""
+    from repro.eval.render import format_figure
+
+    print()
+    print(format_figure(fig))

@@ -1,0 +1,34 @@
+"""Figure 4: component breakdown of Intra-Group RMT overhead."""
+
+from conftest import emit
+from repro.eval.experiments import fig4_data
+from repro.eval.paper_data import COMM_DOMINATED_INTRA
+
+
+def test_fig4_intra_components(benchmark, harness, is_paper_scale):
+    fig = benchmark.pedantic(fig4_data, args=(harness,), rounds=1, iterations=1)
+    emit(fig)
+
+    assert len(fig.rows) == 32  # 16 kernels x 2 flavors
+    for row in fig.rows:
+        total = row["doubling"] + row["redundant_compute"] + row["communication"]
+        assert abs(total - row["total_overhead"]) < 1e-9
+
+    if not is_paper_scale:
+        return
+
+    # Paper: for BO/DWT/PS/R communication is a major share of at least
+    # one flavor's overhead.
+    comm_heavy = 0
+    for ab in COMM_DOMINATED_INTRA:
+        rows = [r for r in fig.rows if r["kernel"] == ab]
+        for r in rows:
+            if r["total_overhead"] > 0.15 and (
+                r["communication"] >= 0.3 * r["total_overhead"]
+            ):
+                comm_heavy += 1
+                break
+    assert comm_heavy >= 2, (
+        "communication should dominate for several of the paper's "
+        f"comm-bound kernels; saw {comm_heavy}"
+    )

@@ -1,0 +1,30 @@
+"""Figure 5: average/peak power of the long-running kernels."""
+
+from conftest import emit
+from repro.eval.experiments import fig5_data
+from repro.eval.paper_data import POWER_BAND_W, POWER_MAX_INCREASE
+
+
+def test_fig5_power(benchmark, harness, is_paper_scale):
+    fig = benchmark.pedantic(fig5_data, args=(harness,), rounds=1, iterations=1)
+    emit(fig)
+
+    assert len(fig.rows) == 9
+    for row in fig.rows:
+        assert row["peak_w"] >= row["average_w"] * 0.99
+
+    if not is_paper_scale:
+        return
+
+    lo, hi = POWER_BAND_W
+    for row in fig.rows:
+        assert lo - 5 <= row["average_w"] <= hi + 5, (
+            f"{row['kernel']}/{row['variant']}: {row['average_w']:.1f} W "
+            f"outside the paper's band"
+        )
+        if row["variant"] != "Original":
+            # Paper: RMT adds <2% average power; allow a little model slack.
+            assert row["vs_original"] < 0.07, (
+                f"{row['kernel']}/{row['variant']}: average power rose "
+                f"{row['vs_original']:.1%}"
+            )

@@ -1,0 +1,37 @@
+"""Figure 7: component breakdown of Inter-Group RMT overhead."""
+
+from conftest import emit
+from repro.eval.experiments import fig7_data
+from repro.eval.paper_data import INTER_CATEGORY
+
+
+def test_fig7_inter_components(benchmark, harness, is_paper_scale):
+    fig = benchmark.pedantic(fig7_data, args=(harness,), rounds=1, iterations=1)
+    emit(fig)
+
+    assert len(fig.rows) == 16
+    for row in fig.rows:
+        total = row["doubling"] + row["redundant_compute"] + row["communication"]
+        assert abs(total - row["total_overhead"]) < 1e-9
+
+    if not is_paper_scale:
+        return
+
+    rows = {r["kernel"]: r for r in fig.rows}
+
+    # Paper: for the extreme (>3x) kernels, communication is the large
+    # contributing factor...
+    for ab in [k for k, cat in INTER_CATEGORY.items() if cat == "extreme"]:
+        r = rows[ab]
+        assert r["communication"] >= 0.5 * r["total_overhead"], (
+            f"{ab}: communication should dominate its Inter-Group overhead"
+        )
+
+    # ...while for most kernels it is NOT the main bottleneck.
+    non_extreme = [r for r in fig.rows
+                   if INTER_CATEGORY[r["kernel"]] != "extreme"]
+    comm_minor = sum(
+        1 for r in non_extreme
+        if r["communication"] <= max(r["redundant_compute"], 0.35)
+    )
+    assert comm_minor >= len(non_extreme) - 3

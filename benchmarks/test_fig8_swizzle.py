@@ -1,0 +1,15 @@
+"""Figure 8: swizzle cross-lane exchange semantics."""
+
+from conftest import emit
+from repro.eval.experiments import fig8_data
+
+
+def test_fig8_swizzle(benchmark):
+    fig = benchmark.pedantic(fig8_data, rounds=1, iterations=1)
+    emit(fig)
+    # Figure 8's exact picture: [a b c d ...] -> [b b d d ...].
+    for row in fig.rows:
+        lane = int(row["lane"][1:])
+        assert row["after"] == (lane | 1)
+        if lane % 2 == 1:
+            assert row["after"] == row["before"]

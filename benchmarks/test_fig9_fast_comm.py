@@ -1,0 +1,35 @@
+"""Figure 9: Intra-Group RMT with FAST register-level communication."""
+
+from conftest import emit
+from repro.eval.experiments import fig9_data
+from repro.eval.paper_data import FAST_IMPROVES
+
+
+def test_fig9_fast_comm(benchmark, harness, is_paper_scale):
+    fig = benchmark.pedantic(fig9_data, args=(harness,), rounds=1, iterations=1)
+    emit(fig)
+
+    assert len(fig.rows) == 16
+    if not is_paper_scale:
+        return
+
+    rows = {r["kernel"]: r for r in fig.rows}
+
+    # Paper: BO, DWT, PS, QRS see considerable FAST improvements in at
+    # least one flavor; require a measurable gain for most of them.
+    improved = 0
+    for ab in FAST_IMPROVES:
+        r = rows[ab]
+        gain_plus = r["intra+lds"] - r["intra+lds FAST"]
+        gain_minus = r["intra-lds"] - r["intra-lds FAST"]
+        if max(gain_plus, gain_minus) > 0.03:
+            improved += 1
+    assert improved >= 3, (
+        f"FAST should help most of {FAST_IMPROVES}; helped {improved}"
+    )
+
+    # FAST never catastrophically regresses any kernel (the paper's worst
+    # cases, FW and NB, lose only slightly to packing overhead).
+    for r in fig.rows:
+        assert r["intra+lds FAST"] < r["intra+lds"] * 1.25
+        assert r["intra-lds FAST"] < r["intra-lds"] * 1.25

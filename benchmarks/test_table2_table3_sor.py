@@ -1,0 +1,26 @@
+"""Tables 2 and 3: structures protected by each RMT flavor."""
+
+from conftest import emit
+from repro.eval.experiments import table2_data, table3_data
+from repro.eval.paper_data import (
+    TABLE2_INTRA_MINUS,
+    TABLE2_INTRA_PLUS,
+    TABLE3_INTER,
+)
+
+
+def test_table2_sor_intra(benchmark):
+    fig = benchmark.pedantic(table2_data, rounds=1, iterations=1)
+    emit(fig)
+    plus = fig.row_for("flavor", "intra+lds")
+    minus = fig.row_for("flavor", "intra-lds")
+    assert {s for s, v in plus.items() if v is True} == set(TABLE2_INTRA_PLUS)
+    assert {s for s, v in minus.items() if v is True} == set(TABLE2_INTRA_MINUS)
+
+
+def test_table3_sor_inter(benchmark):
+    fig = benchmark.pedantic(table3_data, rounds=1, iterations=1)
+    emit(fig)
+    inter = fig.row_for("flavor", "inter")
+    assert {s for s, v in inter.items() if v is True} == set(TABLE3_INTER)
+    assert inter["R/W L1$"] is False

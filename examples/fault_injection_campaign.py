@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Fault-injection campaign: validate the spheres of replication.
+
+Injects random single-event upsets into the vector register file, the
+scalar register file, and the LDS while FastWalshTransform and Reduction
+run under each RMT flavor, then tabulates masked / detected / SDC
+outcomes.  This demonstrates empirically what the paper's Tables 2 and 3
+claim structurally:
+
+* VRF upsets are detected under every RMT flavor (inside all SoRs);
+* SRF upsets escape Intra-Group RMT (the redundant pair shares the
+  scalar unit) but not Inter-Group RMT;
+* LDS upsets escape Intra-Group−LDS (shared allocation) but not
+  Intra-Group+LDS (duplicated allocation).
+
+Run:  python examples/fault_injection_campaign.py [--trials 16]
+"""
+
+import argparse
+
+from repro.faults import run_campaign
+from repro.kernels import SMALL_SUITE
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=16)
+    parser.add_argument("--kernels", default="FWT,R")
+    args = parser.parse_args()
+
+    header = (f"{'kernel':7s} {'variant':11s} {'target':6s} "
+              f"{'masked':>7s} {'detected':>9s} {'sdc':>5s} {'hang':>5s}")
+    print(header)
+    print("-" * len(header))
+    for abbrev in args.kernels.split(","):
+        factory = SMALL_SUITE[abbrev.strip()]
+        for variant in ("original", "intra+lds", "intra-lds", "inter"):
+            for target in ("vgpr", "sgpr", "lds"):
+                r = run_campaign(
+                    factory, variant, target,
+                    trials=args.trials, seed=42, max_instr=24,
+                )
+                o = r.outcomes
+                flag = ""
+                if variant != "original" and target == "vgpr" and o["sdc"]:
+                    flag = "  <- check-to-store window"
+                print(f"{abbrev:7s} {variant:11s} {target:6s} "
+                      f"{o['masked']:7d} {o['detected']:9d} "
+                      f"{o['sdc']:5d} {o['hang']:5d}{flag}")
+    print(
+        "\nreading the table: RMT turns silent corruptions into detections "
+        "for in-SoR structures; sgpr rows under intra-group and lds rows "
+        "under intra-group−lds stay vulnerable, exactly as Tables 2/3 state."
+    )
+
+
+if __name__ == "__main__":
+    main()

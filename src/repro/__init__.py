@@ -1,0 +1,12 @@
+"""repro — reproduction of compiler-managed GPU redundant multithreading.
+
+Implements the system from "Real-World Design and Evaluation of
+Compiler-Managed GPU Redundant Multithreading" (Wadden et al., ISCA 2014):
+a kernel IR and compiler pass framework with three automatic RMT
+transformations (Intra-Group +/-LDS, Inter-Group), a register-level fast
+communication optimization, a GCN-class GPU timing simulator, the 16
+AMD APP SDK benchmark kernels the paper evaluates, transient-fault
+injection, and a harness regenerating every table and figure.
+"""
+
+__version__ = "1.0.0"

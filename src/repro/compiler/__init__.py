@@ -1,0 +1,52 @@
+"""Compiler layer: pass framework, analyses, and the RMT transformations.
+
+This package is the paper's primary contribution: automatic compiler
+transformations that convert GPGPU kernels into redundantly multithreaded
+versions for transient-fault detection, in three flavors with different
+spheres of replication (Intra-Group +/-LDS, Inter-Group), plus the
+register-level fast-communication optimization of Section 8.
+"""
+
+from .pass_manager import Pass, PassManager, clone_kernel
+from .pipeline import (
+    RMT_VARIANTS,
+    CompiledKernel,
+    compile_kernel,
+    rmt_pass_for,
+)
+from .analysis.resources import estimate_resources
+from .analysis.sor import STRUCTURES, SorEntry, SorReport, analyze_sor
+from .analysis.uniformity import UniformityInfo, analyze_uniformity
+from .passes.optimize import (
+    CommonSubexpressionPass,
+    ConstantFoldingPass,
+    DeadCodeEliminationPass,
+    optimize,
+)
+from .passes.rmt_common import RmtOptions
+from .passes.rmt_inter import InterGroupRmtPass
+from .passes.rmt_intra import IntraGroupRmtPass
+
+__all__ = [
+    "CommonSubexpressionPass",
+    "CompiledKernel",
+    "ConstantFoldingPass",
+    "DeadCodeEliminationPass",
+    "InterGroupRmtPass",
+    "IntraGroupRmtPass",
+    "Pass",
+    "PassManager",
+    "RMT_VARIANTS",
+    "RmtOptions",
+    "STRUCTURES",
+    "SorEntry",
+    "SorReport",
+    "UniformityInfo",
+    "analyze_sor",
+    "analyze_uniformity",
+    "clone_kernel",
+    "compile_kernel",
+    "estimate_resources",
+    "optimize",
+    "rmt_pass_for",
+]

@@ -1,0 +1,15 @@
+"""Compiler analyses: uniformity, resource estimation, SoR coverage."""
+
+from .resources import estimate_resources
+from .sor import STRUCTURES, SorEntry, SorReport, analyze_sor
+from .uniformity import UniformityInfo, analyze_uniformity
+
+__all__ = [
+    "STRUCTURES",
+    "SorEntry",
+    "SorReport",
+    "UniformityInfo",
+    "analyze_sor",
+    "analyze_uniformity",
+    "estimate_resources",
+]

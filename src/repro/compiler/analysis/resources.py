@@ -1,0 +1,113 @@
+"""Kernel resource estimation: VGPRs, SGPRs, LDS.
+
+The occupancy model needs a per-work-item VGPR count and per-wave SGPR
+count.  We estimate them with a linear-scan liveness over the linearized
+statement tree: a register is live from its first definition to its last
+use, with ranges extended to the end of any loop that reads them
+(loop-carried values stay resident).  Registers proven wavefront-uniform
+by the uniformity analysis are charged to the SRF instead of the VRF —
+this is why Intra-Group RMT, which leaves scalarized computation
+unduplicated, inflates VGPR pressure but not SGPR pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ...ir.core import If, Instr, Kernel, Stmt, While
+from ...ir.types import DType
+from ...gpu.occupancy import KernelResources
+from .uniformity import UniformityInfo, analyze_uniformity
+
+#: Baseline VGPRs for addressing/ABI scratch (launch IDs, stack temps).
+_VGPR_BASE = 8
+#: Baseline SGPRs (kernel arguments, dispatch pointers, exec masks).
+_SGPR_BASE = 16
+#: Four predicate lanes pack into one 32-bit register's worth of state.
+_PRED_WEIGHT = 0.25
+
+
+def estimate_resources(
+    kernel: Kernel, uniformity: UniformityInfo = None
+) -> KernelResources:
+    """Estimate the kernel's register and LDS footprint."""
+    if uniformity is None:
+        uniformity = analyze_uniformity(kernel)
+
+    events: List[Tuple[int, Instr]] = []
+    loop_spans: List[Tuple[int, int]] = []
+    _linearize(kernel.body, events, loop_spans, counter=[0])
+
+    first_def: Dict[int, int] = {}
+    last_use: Dict[int, int] = {}
+    reg_of: Dict[int, object] = {}
+    for pos, instr in events:
+        for dst in instr.dests():
+            first_def.setdefault(id(dst), pos)
+            last_use[id(dst)] = max(last_use.get(id(dst), pos), pos)
+            reg_of[id(dst)] = dst
+        for src in instr.sources():
+            first_def.setdefault(id(src), pos)  # params/IDs defined upstream
+            last_use[id(src)] = max(last_use.get(id(src), pos), pos)
+            reg_of[id(src)] = src
+
+    # Extend ranges across enclosing loops: a value defined before or used
+    # inside a loop must survive the whole loop.
+    for rid in list(first_def):
+        fd, lu = first_def[rid], last_use[rid]
+        for lo, hi in loop_spans:
+            # Defined before the loop and touched inside it: live across
+            # every iteration, so the range covers the whole loop.
+            if fd < lo and lo <= lu <= hi:
+                lu = max(lu, hi)
+        last_use[rid] = lu
+
+    # Sweep for maximum overlap, split by register class.
+    points: List[Tuple[int, int, float, bool]] = []  # (pos, delta_order, weight, scalar)
+    for rid, fd in first_def.items():
+        lu = last_use[rid]
+        reg = reg_of[rid]
+        weight = _PRED_WEIGHT if reg.dtype is DType.PRED else 1.0
+        scalar = uniformity.is_uniform(reg)
+        points.append((fd, 0, weight, scalar))
+        points.append((lu + 1, 1, -weight, scalar))
+    points.sort(key=lambda p: (p[0], p[1]))
+
+    cur_v = cur_s = 0.0
+    max_v = max_s = 0.0
+    for _pos, _o, weight, scalar in points:
+        if scalar:
+            cur_s += weight
+            max_s = max(max_s, cur_s)
+        else:
+            cur_v += weight
+            max_v = max(max_v, cur_v)
+
+    vgprs = _VGPR_BASE + int(-(-max_v // 1))
+    sgprs = _SGPR_BASE + int(-(-max_s // 1))
+    return KernelResources(
+        vgprs_per_workitem=vgprs,
+        sgprs_per_wave=sgprs,
+        lds_bytes_per_group=kernel.lds_bytes(),
+    )
+
+
+def _linearize(
+    body: List[Stmt],
+    events: List[Tuple[int, Instr]],
+    loop_spans: List[Tuple[int, int]],
+    counter: List[int],
+) -> None:
+    for stmt in body:
+        if isinstance(stmt, If):
+            _linearize(stmt.then_body, events, loop_spans, counter)
+            _linearize(stmt.else_body, events, loop_spans, counter)
+        elif isinstance(stmt, While):
+            start = counter[0]
+            _linearize(stmt.cond_block, events, loop_spans, counter)
+            _linearize(stmt.body, events, loop_spans, counter)
+            loop_spans.append((start, counter[0]))
+        else:
+            events.append((counter[0], stmt))
+            counter[0] += 1

@@ -1,0 +1,133 @@
+"""Sphere-of-replication (SoR) coverage analysis.
+
+Derives, for a transformed kernel, which compute-unit structures fall
+inside the sphere of replication — reproducing the reasoning behind
+Tables 2 and 3 of the paper:
+
+* **Intra-Group** pairs share a wavefront, so per-lane state (VRF, SIMD
+  ALUs) is replicated, but everything amortized across a wavefront —
+  scalar unit, scalar register file, instruction fetch/scheduling/decode —
+  is shared, and memory requests may coalesce in the shared L1.
+* **Intra-Group+LDS** doubles LDS allocations, pulling the LDS inside.
+* **Inter-Group** pairs live in different work-groups (hence wavefronts),
+  replicating scalar work and front-end state; only the L1 stays outside
+  because two redundant groups may co-resident on a CU and share lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ...ir.core import Kernel
+
+#: Structure display names in the order Tables 2 and 3 list them.
+STRUCTURES = (
+    "SIMD ALU",
+    "VRF",
+    "LDS",
+    "SU",
+    "SRF",
+    "ID",
+    "IF/SCHED",
+    "R/W L1$",
+)
+
+
+@dataclass(frozen=True)
+class SorEntry:
+    structure: str
+    protected: bool
+    reason: str
+
+
+@dataclass
+class SorReport:
+    """Coverage report for one RMT flavor applied to one kernel."""
+
+    kernel_name: str
+    flavor: str
+    entries: List[SorEntry] = field(default_factory=list)
+
+    @property
+    def protected(self) -> Tuple[str, ...]:
+        return tuple(e.structure for e in self.entries if e.protected)
+
+    @property
+    def unprotected(self) -> Tuple[str, ...]:
+        return tuple(e.structure for e in self.entries if not e.protected)
+
+    def as_row(self) -> Dict[str, bool]:
+        """Checkmark row keyed by structure name (Table 2/3 format)."""
+        return {e.structure: e.protected for e in self.entries}
+
+
+def analyze_sor(kernel: Kernel) -> SorReport:
+    """Build the SoR report from a transformed kernel's RMT metadata."""
+    meta = kernel.metadata.get("rmt")
+    if not meta:
+        return _untransformed_report(kernel)
+    flavor = meta["flavor"]
+    if flavor == "intra":
+        return _intra_report(kernel, include_lds=meta["include_lds"])
+    if flavor == "inter":
+        return _inter_report(kernel)
+    raise ValueError(f"unknown RMT flavor {flavor!r}")
+
+
+def _untransformed_report(kernel: Kernel) -> SorReport:
+    rpt = SorReport(kernel.name, "none")
+    for s in STRUCTURES:
+        rpt.entries.append(SorEntry(s, False, "no redundancy applied"))
+    return rpt
+
+
+def _intra_report(kernel: Kernel, include_lds: bool) -> SorReport:
+    flavor = "intra+lds" if include_lds else "intra-lds"
+    rpt = SorReport(kernel.name, flavor)
+    add = rpt.entries.append
+    add(SorEntry("SIMD ALU", True,
+                 "redundant work-items occupy distinct SIMD lanes"))
+    add(SorEntry("VRF", True,
+                 "OpenCL allocates separate registers per work-item"))
+    if include_lds:
+        add(SorEntry("LDS", True,
+                     "allocation doubled; redundant accesses remapped to "
+                     "private copies"))
+    else:
+        add(SorEntry("LDS", False,
+                     "allocation shared between redundant work-items; "
+                     "local stores get output comparisons instead"))
+    add(SorEntry("SU", False,
+                 "scalar computation shared by the redundant pair's wavefront"))
+    add(SorEntry("SRF", False,
+                 "scalar registers shared by the redundant pair's wavefront"))
+    add(SorEntry("ID", False,
+                 "redundant pair shares one decoded instruction stream"))
+    add(SorEntry("IF/SCHED", False,
+                 "redundant pair shares fetch/scheduling state"))
+    add(SorEntry("R/W L1$", False,
+                 "redundant pair's global requests may coalesce to one line"))
+    return rpt
+
+
+def _inter_report(kernel: Kernel) -> SorReport:
+    rpt = SorReport(kernel.name, "inter")
+    add = rpt.entries.append
+    add(SorEntry("SIMD ALU", True,
+                 "redundant work-groups issue separate vector instructions"))
+    add(SorEntry("VRF", True,
+                 "separate wavefronts allocate separate vector registers"))
+    add(SorEntry("LDS", True,
+                 "each work-group receives its own LDS allocation"))
+    add(SorEntry("SU", True,
+                 "scalar instructions re-execute per redundant work-group"))
+    add(SorEntry("SRF", True,
+                 "scalar registers allocated per redundant wavefront"))
+    add(SorEntry("ID", True,
+                 "redundant wavefronts decode independently"))
+    add(SorEntry("IF/SCHED", True,
+                 "redundant wavefronts fetch and schedule independently"))
+    add(SorEntry("R/W L1$", False,
+                 "redundant groups co-scheduled on one CU may share L1 lines"))
+    return rpt

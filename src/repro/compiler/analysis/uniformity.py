@@ -1,0 +1,117 @@
+"""Wavefront uniformity analysis.
+
+Identifies instructions whose result is provably identical across all
+work-items of a wavefront.  The backend executes such instructions on the
+scalar unit (SU) with results in the scalar register file (SRF) — GCN's
+scalarization described in Section 3.3 of the paper.
+
+This analysis is what gives the RMT flavors their different spheres of
+replication: Intra-Group work-item pairs share a wavefront, so scalarized
+computation is *not* replicated (SU/SRF outside the SoR — Table 2), while
+Inter-Group redundant pairs live in different wavefronts and re-execute
+scalar work (SU/SRF inside the SoR — Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Set
+
+from ...ir.core import (
+    Alu,
+    AtomicGlobal,
+    Cmp,
+    Const,
+    If,
+    Kernel,
+    LoadGlobal,
+    LoadLocal,
+    LoadParam,
+    PredOp,
+    Select,
+    SpecialId,
+    Stmt,
+    Swizzle,
+)
+
+#: ID intrinsics whose value is shared by every lane of a wavefront.
+_UNIFORM_IDS = frozenset({"group_id", "global_size", "local_size", "num_groups"})
+
+
+@dataclass
+class UniformityInfo:
+    """Result of the analysis."""
+
+    #: ``id(instr)`` of every instruction executable on the scalar unit.
+    scalar_instrs: Set[int] = field(default_factory=set)
+    #: ``id(reg)`` of every register proven wavefront-uniform.
+    uniform_regs: Set[int] = field(default_factory=set)
+
+    def is_scalar(self, instr) -> bool:
+        return id(instr) in self.scalar_instrs
+
+    def is_uniform(self, reg) -> bool:
+        return id(reg) in self.uniform_regs
+
+
+def analyze_uniformity(kernel: Kernel) -> UniformityInfo:
+    """Compute the uniform instruction/register sets for a kernel.
+
+    Non-SSA registers and loop-carried values need a fixpoint: a register
+    that looks uniform on the first pass may be demoted by a later
+    non-uniform redefinition, demoting its uses in turn.  The lattice
+    only moves downward (uniform → vector), so iteration terminates.
+    """
+    info = UniformityInfo()
+    for _ in range(8):
+        before = (frozenset(info.scalar_instrs), frozenset(info.uniform_regs))
+        _walk(kernel.body, info, divergent=False)
+        if (frozenset(info.scalar_instrs), frozenset(info.uniform_regs)) == before:
+            break
+    return info
+
+
+def _walk(body, info: UniformityInfo, divergent: bool) -> None:
+    for stmt in body:
+        if isinstance(stmt, If):
+            inner_div = divergent or not info.is_uniform(stmt.cond)
+            _walk(stmt.then_body, info, inner_div)
+            _walk(stmt.else_body, info, inner_div)
+        elif hasattr(stmt, "cond_block"):  # While
+            _walk(stmt.cond_block, info, divergent)
+            inner_div = divergent or not info.is_uniform(stmt.cond)
+            _walk(stmt.body, info, inner_div)
+        else:
+            _visit_instr(stmt, info, divergent)
+
+
+def _visit_instr(instr, info: UniformityInfo, divergent: bool) -> None:
+    uniform = False
+    cls = type(instr)
+    if cls in (Const, LoadParam):
+        uniform = True
+    elif cls is SpecialId:
+        uniform = instr.kind in _UNIFORM_IDS
+    elif cls in (Alu, Cmp, PredOp, Select):
+        uniform = all(info.is_uniform(s) for s in instr.sources())
+    elif cls is LoadGlobal:
+        # A global load with a wavefront-uniform address scalarizes onto
+        # the SU / constant cache (GCN s_buffer_load) — this is how the
+        # broadcast table/mask/coefficient reads of SC, DCT, QRS, NB and
+        # BO execute on real hardware.
+        uniform = info.is_uniform(instr.index)
+    elif cls in (LoadLocal, AtomicGlobal, Swizzle):
+        uniform = False  # LDS loads and atomics stay on the vector path
+    # else: stores/barrier/report define nothing
+
+    dests = instr.dests()
+    if not dests:
+        return
+    dst = dests[0]
+    if uniform and not divergent:
+        info.scalar_instrs.add(id(instr))
+        info.uniform_regs.add(id(dst))
+    else:
+        # Non-SSA: a non-uniform redefinition demotes the register.
+        info.uniform_regs.discard(id(dst))
+        info.scalar_instrs.discard(id(instr))

@@ -1,0 +1,63 @@
+"""Compiler pass framework.
+
+Mirrors the structure of the paper's toolchain (Section 4): kernels
+arrive from the frontend (our builder DSL), optimization/transformation
+passes run at the IR layer — where the RMT transformations live — and
+analyses annotate the result for the backend (our timing simulator).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..ir.core import Kernel, Stmt, clone_stmt, walk_instrs
+from ..ir.verify import verify_kernel
+
+
+def clone_kernel(kernel: Kernel) -> Kernel:
+    """Deep-copy a kernel (fresh statement objects, shared registers).
+
+    Registers are immutable value handles, so sharing them between the
+    original and the clone is safe; statements and the body tree are
+    duplicated so passes can mutate freely.
+    """
+    new = Kernel(
+        name=kernel.name,
+        params=list(kernel.params),
+        locals=list(kernel.locals),
+        body=[clone_stmt(s, {}) for s in kernel.body],
+        metadata=copy.deepcopy(kernel.metadata),
+    )
+    # Continue register numbering where the original left off.
+    new._name_counter = copy.copy(kernel._name_counter)
+    return new
+
+
+class Pass:
+    """Base class for kernel transformation passes."""
+
+    name = "pass"
+
+    def run(self, kernel: Kernel) -> Kernel:
+        """Transform and return a kernel (may mutate its argument)."""
+        raise NotImplementedError
+
+
+class PassManager:
+    """Runs a pass pipeline with verification between stages."""
+
+    def __init__(self, passes: Sequence[Pass], verify: bool = True):
+        self.passes = list(passes)
+        self.verify = verify
+
+    def run(self, kernel: Kernel) -> Kernel:
+        """Clone the input, run every pass, verify after each."""
+        result = clone_kernel(kernel)
+        if self.verify:
+            verify_kernel(result)
+        for p in self.passes:
+            result = p.run(result)
+            if self.verify:
+                verify_kernel(result)
+        return result

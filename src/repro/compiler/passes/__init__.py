@@ -1,0 +1,7 @@
+"""Transformation passes: the three RMT algorithms of the paper."""
+
+from .rmt_common import RmtOptions
+from .rmt_inter import InterGroupRmtPass
+from .rmt_intra import IntraGroupRmtPass
+
+__all__ = ["InterGroupRmtPass", "IntraGroupRmtPass", "RmtOptions"]

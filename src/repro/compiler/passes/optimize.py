@@ -1,0 +1,281 @@
+"""Classic cleanup optimizations: constant folding, CSE, dead-code
+elimination.
+
+The paper's RMT transformations run inside a production OpenCL toolchain
+whose later stages clean up after them; our pipeline offers the same
+passes.  They matter for RMT fidelity in one concrete way the paper
+calls out (Section 6.6): "RMT performance could be improved by more
+efficient register allocation in the compiler" — folding and DCE shrink
+the transformed kernels' register pressure, which feeds the occupancy
+model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ...ir.core import (
+    Alu,
+    AtomicGlobal,
+    Barrier,
+    Cmp,
+    Const,
+    If,
+    Instr,
+    Kernel,
+    LoadGlobal,
+    LoadLocal,
+    LoadParam,
+    PredOp,
+    ReportError,
+    Select,
+    SpecialId,
+    Stmt,
+    StoreGlobal,
+    StoreLocal,
+    Swizzle,
+    VReg,
+    While,
+    walk_instrs,
+)
+from ...ir.types import DType
+from ..pass_manager import Pass
+
+#: Instructions with side effects (never eliminated).
+_SIDE_EFFECTS = (StoreGlobal, StoreLocal, AtomicGlobal, Barrier, ReportError)
+
+#: Foldable binary operators over Python ints (wrapping handled below).
+_FOLD_BINARY = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << (b & 31),
+    "shr": lambda a, b: (a & 0xFFFFFFFF) >> (b & 31),
+    "min": min,
+    "max": max,
+}
+
+
+class DeadCodeEliminationPass(Pass):
+    """Remove instructions whose results are never observed.
+
+    A backward liveness sweep over the structured body: side-effecting
+    instructions and control-flow conditions are roots; anything else
+    whose destination is dead at its program point is dropped.
+    """
+
+    name = "dce"
+
+    def run(self, kernel: Kernel) -> Kernel:
+        live: Set[int] = set()
+        kernel.body = self._sweep(kernel.body, live)
+        return kernel
+
+    def _sweep(self, body: List[Stmt], live: Set[int]) -> List[Stmt]:
+        out: List[Stmt] = []
+        for stmt in reversed(body):
+            if isinstance(stmt, If):
+                # Arms may redefine registers live below; process each with
+                # a copy seeded from the current live set.
+                then_live = set(live)
+                else_live = set(live)
+                stmt.then_body = self._sweep(stmt.then_body, then_live)
+                stmt.else_body = self._sweep(stmt.else_body, else_live)
+                live |= then_live | else_live
+                live.add(id(stmt.cond))
+                out.append(stmt)
+            elif isinstance(stmt, While):
+                # Loop bodies execute repeatedly: anything read anywhere in
+                # the loop (or after it) stays live throughout.  Iterate to
+                # a fixpoint of the live set.
+                loop_live = set(live)
+                for _ in range(4):
+                    before = set(loop_live)
+                    for instr in walk_instrs(stmt.cond_block):
+                        loop_live.update(id(s) for s in instr.sources())
+                    loop_live.add(id(stmt.cond))
+                    for instr in walk_instrs(stmt.body):
+                        loop_live.update(id(s) for s in instr.sources())
+                    if loop_live == before:
+                        break
+                stmt.cond_block = self._sweep(stmt.cond_block, set(loop_live))
+                stmt.body = self._sweep(stmt.body, set(loop_live))
+                live |= loop_live
+                out.append(stmt)
+            else:
+                if self._needed(stmt, live):
+                    for dst in stmt.dests():
+                        live.discard(id(dst))
+                    live.update(id(s) for s in stmt.sources())
+                    out.append(stmt)
+        out.reverse()
+        return out
+
+    @staticmethod
+    def _needed(instr: Instr, live: Set[int]) -> bool:
+        if isinstance(instr, _SIDE_EFFECTS):
+            return True
+        dests = instr.dests()
+        if not dests:
+            return True
+        return any(id(d) in live for d in dests)
+
+
+class ConstantFoldingPass(Pass):
+    """Fold integer arithmetic over known constants.
+
+    Tracks ``Const`` definitions through straight-line code (invalidated
+    at control-flow joins and redefinitions) and rewrites foldable ALU
+    instructions into new ``Const``s.  Float folding is skipped to keep
+    bit-exact parity with the unfolded kernel.
+    """
+
+    name = "constfold"
+
+    def run(self, kernel: Kernel) -> Kernel:
+        self._fold_body(kernel.body, {})
+        return kernel
+
+    def _fold_body(self, body: List[Stmt], env: Dict[int, int]) -> None:
+        for i, stmt in enumerate(body):
+            if isinstance(stmt, If):
+                self._fold_body(stmt.then_body, dict(env))
+                self._fold_body(stmt.else_body, dict(env))
+                self._invalidate(stmt.then_body, env)
+                self._invalidate(stmt.else_body, env)
+            elif isinstance(stmt, While):
+                self._invalidate(stmt.cond_block, env)
+                self._invalidate(stmt.body, env)
+                self._fold_body(stmt.cond_block, dict(env))
+                self._fold_body(stmt.body, dict(env))
+            elif isinstance(stmt, Const):
+                if stmt.dst.dtype in (DType.I32, DType.U32) and isinstance(
+                    stmt.value, (int, np.integer)
+                ):
+                    env[id(stmt.dst)] = int(stmt.value)
+                else:
+                    env.pop(id(stmt.dst), None)
+            elif isinstance(stmt, Alu):
+                folded = self._try_fold(stmt, env)
+                if folded is not None:
+                    body[i] = Const(stmt.dst, folded)
+                    env[id(stmt.dst)] = folded
+                else:
+                    env.pop(id(stmt.dst), None)
+            else:
+                for dst in stmt.dests():
+                    env.pop(id(dst), None)
+
+    def _try_fold(self, instr: Alu, env: Dict[int, int]) -> Optional[int]:
+        if instr.dst.dtype not in (DType.I32, DType.U32):
+            return None
+        a = env.get(id(instr.a))
+        if a is None:
+            return None
+        if instr.b is None:
+            if instr.op == "mov":
+                return a
+            if instr.op == "not":
+                return self._wrap(~a, instr.dst.dtype)
+            if instr.op == "neg":
+                return self._wrap(-a, instr.dst.dtype)
+            return None
+        b = env.get(id(instr.b))
+        if b is None:
+            return None
+        fn = _FOLD_BINARY.get(instr.op)
+        if fn is None:
+            return None
+        return self._wrap(fn(a, b), instr.dst.dtype)
+
+    @staticmethod
+    def _wrap(value: int, dtype: DType) -> int:
+        value &= 0xFFFFFFFF
+        if dtype is DType.I32 and value >= 2**31:
+            value -= 2**32
+        return value
+
+    @staticmethod
+    def _invalidate(body: List[Stmt], env: Dict[int, int]) -> None:
+        for instr in walk_instrs(body):
+            for dst in instr.dests():
+                env.pop(id(dst), None)
+
+
+class CommonSubexpressionPass(Pass):
+    """Local CSE over straight-line regions.
+
+    Pure instructions (ALU/Cmp/Select/Swizzle/SpecialId/Const/LoadParam)
+    with identical operator and operands are rewritten into moves from
+    the first occurrence; availability resets at control flow and when an
+    operand is redefined (the IR is not SSA).
+    """
+
+    name = "cse"
+
+    def run(self, kernel: Kernel) -> Kernel:
+        self._process(kernel.body)
+        return kernel
+
+    def _process(self, body: List[Stmt]) -> None:
+        available: Dict[Tuple, VReg] = {}
+        for i, stmt in enumerate(body):
+            if isinstance(stmt, If):
+                self._process(stmt.then_body)
+                self._process(stmt.else_body)
+                available.clear()
+                continue
+            if isinstance(stmt, While):
+                self._process(stmt.cond_block)
+                self._process(stmt.body)
+                available.clear()
+                continue
+            key = self._key(stmt)
+            added_key = None
+            if key is not None:
+                prior = available.get(key)
+                if prior is not None and prior is not stmt.dests()[0]:
+                    body[i] = Alu("mov", stmt.dests()[0], prior)
+                    stmt = body[i]
+                elif prior is None:
+                    available[key] = stmt.dests()[0]
+                    added_key = key
+            # Any redefinition invalidates expressions computed from the old
+            # value — including the entry just added, if the instruction
+            # consumes its own destination (non-SSA accumulators).
+            for dst in stmt.dests():
+                did = id(dst)
+                stale = [
+                    k for k, v in available.items()
+                    if did in k[2] or (v is dst and k is not added_key)
+                ]
+                for k in stale:
+                    del available[k]
+
+    @staticmethod
+    def _key(instr: Instr) -> Optional[Tuple]:
+        if isinstance(instr, Alu):
+            srcs = tuple(id(s) for s in instr.sources())
+            return ("alu", instr.op, srcs)
+        if isinstance(instr, Cmp):
+            return ("cmp", instr.op, tuple(id(s) for s in instr.sources()))
+        if isinstance(instr, SpecialId):
+            return ("sid", f"{instr.kind}:{instr.dim}", ())
+        if isinstance(instr, Const):
+            return ("const", repr(instr.value), ())
+        if isinstance(instr, LoadParam):
+            return ("param", instr.param.name, ())
+        return None
+
+
+def optimize(kernel: Kernel) -> Kernel:
+    """Run the standard cleanup pipeline (fold → cse → dce) in place."""
+    ConstantFoldingPass().run(kernel)
+    CommonSubexpressionPass().run(kernel)
+    DeadCodeEliminationPass().run(kernel)
+    return kernel

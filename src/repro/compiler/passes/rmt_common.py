@@ -1,0 +1,115 @@
+"""Machinery shared by the RMT transformation passes.
+
+Both Intra-Group and Inter-Group RMT follow the same recipe (Sections
+6.2 and 7.2 of the paper):
+
+1. the host doubles the NDRange (work-items or work-groups);
+2. a prologue computes remapped work-item IDs so each redundant pair
+   reports identical IDs and therefore executes identical computation;
+3. every ``get_*`` ID intrinsic in the body is replaced by the remapped
+   value;
+4. every instruction whose value exits the sphere of replication (global
+   stores; local stores for Intra-Group−LDS) is wrapped in an output
+   comparison: the producer communicates address and value, the consumer
+   compares against its private copies, flags mismatches, and alone
+   executes the store.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ...ir.core import Alu, If, Instr, Kernel, SpecialId, Stmt, VReg, While
+
+#: Names of the hidden parameters appended by the Inter-Group pass.
+INTER_COUNTER = "__rmt_counter"
+INTER_FLAG = "__rmt_flag"
+INTER_COMM_ADDR = "__rmt_comm_addr"
+INTER_COMM_VAL = "__rmt_comm_val"
+
+#: Names of the LDS communication buffers used by the Intra-Group pass.
+INTRA_COMM_ADDR = "__rmt_comm_addr"
+INTRA_COMM_VAL = "__rmt_comm_val"
+
+
+@dataclass(frozen=True)
+class RmtOptions:
+    """Configuration of an RMT transformation.
+
+    ``communication=False`` produces the paper's component-isolation
+    variant: redundant computation runs but output comparisons are
+    omitted (the consumer stores unchecked), used to split Figure 4/7
+    overheads into "redundant computation" vs. "communication".
+    """
+
+    include_lds: bool = True       # Intra-Group only: LDS inside the SoR?
+    communication: bool = True
+    fast_comm: bool = False        # Intra-Group only: swizzle via the VRF
+
+
+def rewrite_stmts(
+    body: List[Stmt], fn: Callable[[Instr], Optional[List[Stmt]]]
+) -> List[Stmt]:
+    """Rewrite a statement tree bottom-up.
+
+    ``fn`` maps an instruction to ``None`` (keep) or a replacement
+    statement list.  Control-flow nodes are rewritten in place.
+    """
+    out: List[Stmt] = []
+    for stmt in body:
+        if isinstance(stmt, If):
+            stmt.then_body = rewrite_stmts(stmt.then_body, fn)
+            stmt.else_body = rewrite_stmts(stmt.else_body, fn)
+            out.append(stmt)
+        elif isinstance(stmt, While):
+            stmt.cond_block = rewrite_stmts(stmt.cond_block, fn)
+            stmt.body = rewrite_stmts(stmt.body, fn)
+            out.append(stmt)
+        else:
+            replacement = fn(stmt)
+            if replacement is None:
+                out.append(stmt)
+            else:
+                out.extend(replacement)
+    return out
+
+
+def remap_special_ids(
+    body: List[Stmt], mapping: Dict[Tuple[str, int], VReg]
+) -> List[Stmt]:
+    """Replace ID intrinsics with moves from prologue-computed registers."""
+
+    def fn(instr: Instr) -> Optional[List[Stmt]]:
+        if isinstance(instr, SpecialId):
+            src = mapping.get((instr.kind, instr.dim))
+            if src is not None:
+                return [Alu("mov", instr.dst, src)]
+        return None
+
+    return rewrite_stmts(body, fn)
+
+
+def required_local_size(kernel: Kernel) -> Tuple[int, int, int]:
+    """The work-group shape a kernel was authored for.
+
+    The Intra-Group pass sizes its LDS communication buffers from this
+    (LDS allocations are compile-time constants, as in OpenCL kernels
+    compiled with a fixed reqd_work_group_size).
+    """
+    ls = kernel.metadata.get("local_size")
+    if ls is None:
+        raise ValueError(
+            f"kernel {kernel.name!r} has no metadata['local_size']; the "
+            "Intra-Group RMT pass needs the work-group shape to size its "
+            "LDS communication buffers"
+        )
+    if isinstance(ls, int):
+        ls = (ls, 1, 1)
+    ls = tuple(ls) + (1,) * (3 - len(ls))
+    return ls
+
+
+def flat_size(shape: Tuple[int, int, int]) -> int:
+    return int(math.prod(shape))

@@ -1,0 +1,204 @@
+"""Inter-Group RMT transformation (Section 7 of the paper).
+
+Duplicates whole work-groups: the host doubles the NDRange's group count
+along dimension 0, and redundant work-item pairs live in *different*
+work-groups — hence different wavefronts — so scalar computation, the
+front end, the VRF and the LDS are all replicated (Table 3).
+
+Because OpenCL guarantees no scheduling order between work-groups, the
+pass virtualizes work-group IDs through a global atomic counter: the
+first work-item of each group acquires the next ticket, making the pair
+(2k, 2k+1) adjacent in *dispatch order* — so a consumer's producer is
+already resident, which is what prevents deadlock.
+
+Output comparison rides a two-tiered lock in global memory: the producer
+spins for its pair's communication slot, writes address+value, and
+raises the slot flag; the consumer spins on the flag, reads back through
+the L2 (the paper's atomic-add-of-0 trick against the write-through,
+non-coherent L1s), compares, performs the store, and frees the slot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...ir.builder import KernelBuilder
+from ...ir.core import (
+    BufferParam,
+    Instr,
+    Kernel,
+    Stmt,
+    StoreGlobal,
+    VReg,
+)
+from ...ir.types import DType
+from ..pass_manager import Pass
+from .rmt_common import (
+    INTER_COMM_ADDR,
+    INTER_COMM_VAL,
+    INTER_COUNTER,
+    INTER_FLAG,
+    RmtOptions,
+    remap_special_ids,
+    rewrite_stmts,
+)
+
+_BCAST_LDS = "__rmt_gid_bcast"
+
+
+class InterGroupRmtPass(Pass):
+    """Compiler pass implementing Inter-Group RMT."""
+
+    name = "rmt-inter"
+
+    def __init__(self, options: RmtOptions = RmtOptions()):
+        self.options = options
+
+    def run(self, kernel: Kernel) -> Kernel:
+        opts = self.options
+        kernel.metadata["rmt"] = {
+            "flavor": "inter",
+            "communication": opts.communication,
+            "ndrange": "double_groups_dim0",
+            "original_name": kernel.name,
+            "extra_buffers": {
+                INTER_COUNTER: "one",
+                INTER_FLAG: "global_items",
+                INTER_COMM_ADDR: "global_items",
+                INTER_COMM_VAL: "global_items",
+            },
+        }
+        kernel.name = kernel.name + "_rmt_inter"
+
+        counter_buf = BufferParam(INTER_COUNTER, DType.U32)
+        flag_buf = BufferParam(INTER_FLAG, DType.U32)
+        comm_a = BufferParam(INTER_COMM_ADDR, DType.U32)
+        comm_v = BufferParam(INTER_COMM_VAL, DType.U32)
+        kernel.params.extend([counter_buf, flag_buf, comm_a, comm_v])
+        bcast = kernel.add_local(_BCAST_LDS, DType.U32, 1)
+
+        original_body = kernel.body
+        kernel.body = []
+
+        # ---- prologue: work-group ID virtualization (Section 7.2) ---------
+        eb = KernelBuilder.attach(kernel, kernel.body)
+        lid0 = eb.local_id(0)
+        lsz0 = eb.local_size(0)
+        lid1 = eb.local_id(1)
+        lsz1 = eb.local_size(1)
+        lid2 = eb.local_id(2)
+        flat_lid = eb.add(lid0, eb.mul(lsz0, eb.add(lid1, eb.mul(lsz1, lid2))))
+        is_first = eb.eq(flat_lid, 0)
+        with eb.if_(is_first):
+            ticket = eb.atomic("add", counter_buf, 0, 1)
+            eb.store_local(bcast, 0, ticket)
+        eb.barrier()
+        ticket = eb.load_local(bcast, 0)
+
+        flag_u = eb.and_(ticket, 1)
+        # Even tickets (dispatched first) produce; odd tickets consume —
+        # a consumer's producer is therefore already resident.
+        is_producer = eb.eq(flag_u, 0)
+        is_consumer = eb.ne(flag_u, 0)
+        vgroup = eb.shr(ticket, 1)
+
+        ng0 = eb.shr(eb.num_groups(0), 1)     # original grid along dim 0
+        ng1 = eb.num_groups(1)
+        g0 = eb.rem(vgroup, ng0)
+        rest = eb.div(vgroup, ng0)
+        g1 = eb.rem(rest, ng1)
+        g2 = eb.div(rest, ng1)
+
+        new_gid0 = eb.add(eb.mul(g0, lsz0), lid0)
+        new_gid1 = eb.add(eb.mul(g1, lsz1), lid1)
+        new_gid2 = eb.add(eb.mul(g2, eb.local_size(2)), lid2)
+        new_gsz0 = eb.shr(eb.global_size(0), 1)
+        gsz1 = eb.global_size(1)
+
+        id_map: Dict[Tuple[str, int], VReg] = {
+            ("global_id", 0): new_gid0,
+            ("global_id", 1): new_gid1,
+            ("global_id", 2): new_gid2,
+            ("group_id", 0): g0,
+            ("group_id", 1): g1,
+            ("group_id", 2): g2,
+            ("num_groups", 0): ng0,
+            ("global_size", 0): new_gsz0,
+        }
+
+        # Communication slot: the pair's flat original global work-item ID.
+        slot = eb.add(
+            new_gid0, eb.mul(new_gsz0, eb.add(new_gid1, eb.mul(gsz1, new_gid2)))
+        )
+
+        rewriter = _InterRewriter(
+            kernel=kernel,
+            options=opts,
+            is_producer=is_producer,
+            is_consumer=is_consumer,
+            slot=slot,
+            flag_buf=flag_buf,
+            comm_a=comm_a,
+            comm_v=comm_v,
+        )
+        body = remap_special_ids(original_body, id_map)
+        body = rewrite_stmts(body, rewriter.rewrite)
+        kernel.body.extend(body)
+        return kernel
+
+
+class _InterRewriter:
+    """Per-instruction rewriting rules for the Inter-Group pass."""
+
+    def __init__(self, kernel, options, is_producer, is_consumer, slot,
+                 flag_buf, comm_a, comm_v):
+        self.kernel = kernel
+        self.options = options
+        self.is_producer = is_producer
+        self.is_consumer = is_consumer
+        self.slot = slot
+        self.flag_buf = flag_buf
+        self.comm_a = comm_a
+        self.comm_v = comm_v
+
+    def rewrite(self, instr: Instr) -> Optional[List[Stmt]]:
+        if not isinstance(instr, StoreGlobal):
+            return None
+        out: List[Stmt] = []
+        sb = KernelBuilder.attach(self.kernel, out)
+
+        if not self.options.communication:
+            with sb.if_(self.is_consumer):
+                sb._emit(instr)
+            return out
+
+        idx_u = sb.as_u32(instr.index)
+        val_u = sb.as_u32(instr.value)
+        slot = self.slot
+
+        with sb.if_(self.is_producer):
+            # Tier 1: wait for the pair's slot to be free (flag == 0).
+            with sb.loop() as lp:
+                f = sb.atomic("add", self.flag_buf, slot, 0)
+                lp.break_unless(sb.ne(f, 0))
+            sb.store(self.comm_a, slot, idx_u)
+            sb.store(self.comm_v, slot, val_u)
+            # Tier 2: publish (globally visible through the L2).
+            sb.atomic("xchg", self.flag_buf, slot, 1, want_old=False)
+
+        with sb.if_(self.is_consumer):
+            # Wait for the producer's signal.
+            with sb.loop() as lp:
+                f = sb.atomic("add", self.flag_buf, slot, 0)
+                lp.break_unless(sb.ne(f, 1))
+            # Read back through the L2 (atomic add of 0) — the L1s are
+            # write-through but not coherent across CUs.
+            got_a = sb.atomic("add", self.comm_a, slot, 0)
+            got_v = sb.atomic("add", self.comm_v, slot, 0)
+            ok = sb.pand(sb.eq(got_a, idx_u), sb.eq(got_v, val_u))
+            with sb.if_(sb.pnot(ok)):
+                sb.report_error()
+            sb._emit(instr)
+            # Free the slot for this work-item's next store.
+            sb.atomic("xchg", self.flag_buf, slot, 0, want_old=False)
+        return out

@@ -1,0 +1,238 @@
+"""Intra-Group RMT transformation (Section 6 of the paper).
+
+Duplicates computation *inside* each work-group: the host doubles the
+work-group size along dimension 0, and this pass pairs adjacent
+work-items into producer/consumer duplicates by splitting the low bit of
+the global ID.  Because the pair occupies adjacent lanes of one
+wavefront, it executes in lockstep — communication needs no barriers —
+and the SIMD lanes and vector registers it uses are fully replicated.
+
+Two flavors (Table 2):
+
+* **+LDS**: every LDS allocation is doubled and redundant accesses are
+  remapped into private halves, pulling the LDS inside the SoR; output
+  comparisons guard global stores only.
+* **−LDS**: LDS allocations stay shared, so local stores also exit the
+  SoR and receive output comparisons.
+
+With ``fast_comm`` the producer→consumer exchange uses the register-level
+``swizzle`` cross-lane move (Section 8 / Figure 8) instead of an LDS
+communication buffer, trading two LDS round-trips for VALU packing ops
+and freeing the buffer's LDS footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...ir.builder import KernelBuilder
+from ...ir.core import (
+    Instr,
+    Kernel,
+    LoadLocal,
+    LocalAlloc,
+    Stmt,
+    StoreGlobal,
+    StoreLocal,
+    VReg,
+)
+from ...ir.types import DType
+from ..pass_manager import Pass, clone_kernel
+from .rmt_common import (
+    INTRA_COMM_ADDR,
+    INTRA_COMM_VAL,
+    RmtOptions,
+    flat_size,
+    remap_special_ids,
+    required_local_size,
+    rewrite_stmts,
+)
+
+
+class IntraGroupRmtPass(Pass):
+    """Compiler pass implementing Intra-Group RMT (±LDS, ±fast-comm)."""
+
+    def __init__(self, options: RmtOptions = RmtOptions()):
+        self.options = options
+        lds_tag = "+lds" if options.include_lds else "-lds"
+        fast_tag = "_fast" if options.fast_comm else ""
+        self.name = f"rmt-intra{lds_tag}{fast_tag}"
+
+    def run(self, kernel: Kernel) -> Kernel:
+        opts = self.options
+        local_size = required_local_size(kernel)
+        orig_flat_local = flat_size(local_size)
+
+        kernel.metadata["rmt"] = {
+            "flavor": "intra",
+            "include_lds": opts.include_lds,
+            "communication": opts.communication,
+            "fast_comm": opts.fast_comm,
+            "ndrange": "double_local_dim0",
+            "original_name": kernel.name,
+        }
+        kernel.metadata["local_size"] = (
+            local_size[0] * 2, local_size[1], local_size[2]
+        )
+        suffix = "_rmt_intra" + ("_lds" if opts.include_lds else "_nolds")
+        if opts.fast_comm:
+            suffix += "_fast"
+        kernel.name = kernel.name + suffix
+
+        original_locals = list(kernel.locals)
+        original_body = kernel.body
+        kernel.body = []
+
+        # ---- prologue: ID remapping (Section 6.2) ------------------------
+        eb = KernelBuilder.attach(kernel, kernel.body)
+        raw_gid0 = eb.global_id(0)
+        flag_u = eb.and_(raw_gid0, 1)
+        # Odd lanes produce, even lanes consume (Figure 8's swizzle moves
+        # odd-lane values into even lanes).
+        is_producer = eb.ne(flag_u, 0)
+        is_consumer = eb.eq(flag_u, 0)
+        new_gid0 = eb.shr(raw_gid0, 1)
+        new_lid0 = eb.shr(eb.local_id(0), 1)
+        new_lsz0 = eb.shr(eb.local_size(0), 1)
+        new_gsz0 = eb.shr(eb.global_size(0), 1)
+
+        id_map: Dict[Tuple[str, int], VReg] = {
+            ("global_id", 0): new_gid0,
+            ("local_id", 0): new_lid0,
+            ("local_size", 0): new_lsz0,
+            ("global_size", 0): new_gsz0,
+        }
+
+        # Flat pair slot inside the (original) work-group, for the LDS
+        # communication buffer.
+        pair_slot = new_lid0
+        if local_size[1] > 1 or local_size[2] > 1:
+            lid1 = eb.local_id(1)
+            pair_slot = eb.add(pair_slot, eb.mul(lid1, new_lsz0))
+            if local_size[2] > 1:
+                lid2 = eb.local_id(2)
+                stride = eb.mul(new_lsz0, eb.local_size(1))
+                pair_slot = eb.add(pair_slot, eb.mul(lid2, stride))
+
+        # ---- LDS duplication (+LDS flavor) --------------------------------
+        lds_map: Dict[str, LocalAlloc] = {}
+        lds_offsets: Dict[str, VReg] = {}
+        if opts.include_lds:
+            kernel.locals = []
+            for alloc in original_locals:
+                doubled = LocalAlloc(alloc.name, alloc.dtype, alloc.nelems * 2)
+                kernel.locals.append(doubled)
+                lds_map[alloc.name] = doubled
+                lds_offsets[alloc.name] = eb.mul(flag_u, alloc.nelems)
+
+        # ---- LDS communication buffers -------------------------------------
+        comm_addr = comm_val = None
+        if opts.communication and not opts.fast_comm:
+            comm_addr = kernel.add_local(INTRA_COMM_ADDR, DType.U32, orig_flat_local)
+            comm_val = kernel.add_local(INTRA_COMM_VAL, DType.U32, orig_flat_local)
+
+        rewriter = _IntraRewriter(
+            kernel=kernel,
+            options=opts,
+            is_producer=is_producer,
+            is_consumer=is_consumer,
+            pair_slot=pair_slot,
+            lds_map=lds_map,
+            lds_offsets=lds_offsets,
+            comm_addr=comm_addr,
+            comm_val=comm_val,
+        )
+        body = remap_special_ids(original_body, id_map)
+        body = rewrite_stmts(body, rewriter.rewrite)
+        kernel.body.extend(body)
+        return kernel
+
+
+class _IntraRewriter:
+    """Per-instruction rewriting rules for the Intra-Group pass."""
+
+    def __init__(self, kernel, options, is_producer, is_consumer, pair_slot,
+                 lds_map, lds_offsets, comm_addr, comm_val):
+        self.kernel = kernel
+        self.options = options
+        self.is_producer = is_producer
+        self.is_consumer = is_consumer
+        self.pair_slot = pair_slot
+        self.lds_map = lds_map
+        self.lds_offsets = lds_offsets
+        self.comm_addr = comm_addr
+        self.comm_val = comm_val
+
+    def rewrite(self, instr: Instr) -> Optional[List[Stmt]]:
+        opts = self.options
+        if isinstance(instr, StoreGlobal):
+            return self._guarded_store(
+                instr, index=instr.index, value=instr.value,
+                emit_store=lambda sb: sb._emit(instr),
+            )
+        if isinstance(instr, StoreLocal):
+            if opts.include_lds:
+                return self._remap_lds_access(instr, is_store=True)
+            # −LDS: local stores exit the SoR.
+            return self._guarded_store(
+                instr, index=instr.index, value=instr.value,
+                emit_store=lambda sb: sb._emit(instr),
+            )
+        if isinstance(instr, LoadLocal) and opts.include_lds:
+            return self._remap_lds_access(instr, is_store=False)
+        return None
+
+    # -- LDS remapping for the +LDS flavor --------------------------------
+
+    def _remap_lds_access(self, instr, is_store: bool) -> List[Stmt]:
+        out: List[Stmt] = []
+        sb = KernelBuilder.attach(self.kernel, out)
+        offset = self.lds_offsets[instr.lds.name]
+        new_alloc = self.lds_map[instr.lds.name]
+        new_idx = sb.add(instr.index, offset)
+        if is_store:
+            sb._emit(StoreLocal(new_alloc, new_idx, instr.value))
+        else:
+            sb._emit(LoadLocal(instr.dst, new_alloc, new_idx))
+        return out
+
+    # -- output comparison -------------------------------------------------
+
+    def _guarded_store(self, instr, index, value, emit_store) -> List[Stmt]:
+        """Wrap an SoR-exiting store in producer→consumer comparison."""
+        opts = self.options
+        out: List[Stmt] = []
+        sb = KernelBuilder.attach(self.kernel, out)
+
+        if not opts.communication:
+            # Component isolation: redundant computation without output
+            # comparison — the consumer stores unchecked.
+            with sb.if_(self.is_consumer):
+                emit_store(sb)
+            return out
+
+        idx_u = sb.as_u32(index)
+        val_u = sb.as_u32(value)
+
+        if opts.fast_comm:
+            # Register-level exchange (Section 8): each even (consumer)
+            # lane reads its odd (producer) partner's lane.  The extra
+            # moves model the packing the paper attributes FAST's small
+            # regressions to.
+            packed_a = sb.mov(idx_u)
+            packed_v = sb.mov(val_u)
+            got_a = sb.swizzle(packed_a, or_mask=1)
+            got_v = sb.swizzle(packed_v, or_mask=1)
+        else:
+            with sb.if_(self.is_producer):
+                sb.store_local(self.comm_addr, self.pair_slot, idx_u)
+                sb.store_local(self.comm_val, self.pair_slot, val_u)
+            got_a = sb.load_local(self.comm_addr, self.pair_slot)
+            got_v = sb.load_local(self.comm_val, self.pair_slot)
+
+        with sb.if_(self.is_consumer):
+            ok = sb.pand(sb.eq(got_a, idx_u), sb.eq(got_v, val_u))
+            with sb.if_(sb.pnot(ok)):
+                sb.report_error()
+            emit_store(sb)
+        return out

@@ -1,0 +1,113 @@
+"""Compilation pipeline: frontend IR → (optional RMT pass) → backend
+annotations.
+
+``compile_kernel`` is the toolchain entry point the benchmarks use.  It
+mirrors the paper's three-stage compiler (Section 4): the builder DSL
+plays the high-level frontend, the RMT transformation runs at the IR
+layer, and the backend annotations (uniformity → scalar-unit placement,
+register/LDS footprints → occupancy) feed the timing simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+from ..gpu.occupancy import KernelResources
+from ..ir.core import Kernel
+from ..ir.verify import verify_kernel
+from .analysis.resources import estimate_resources
+from .analysis.sor import SorReport, analyze_sor
+from .analysis.uniformity import UniformityInfo, analyze_uniformity
+from .pass_manager import Pass, PassManager
+from .passes.rmt_common import RmtOptions
+from .passes.rmt_inter import InterGroupRmtPass
+from .passes.rmt_intra import IntraGroupRmtPass
+
+#: The RMT variants evaluated in the paper, by harness name.
+RMT_VARIANTS = (
+    "original",
+    "intra+lds",
+    "intra-lds",
+    "intra+lds_fast",
+    "intra-lds_fast",
+    "inter",
+)
+
+
+def rmt_pass_for(variant: str, communication: bool = True) -> Optional[Pass]:
+    """Map a harness variant name to its transformation pass."""
+    if variant == "original":
+        return None
+    if variant.startswith("intra"):
+        include_lds = "+lds" in variant
+        fast = variant.endswith("_fast")
+        return IntraGroupRmtPass(
+            RmtOptions(include_lds=include_lds, communication=communication,
+                       fast_comm=fast)
+        )
+    if variant == "inter":
+        return InterGroupRmtPass(RmtOptions(communication=communication))
+    raise ValueError(f"unknown RMT variant {variant!r}")
+
+
+@dataclass
+class CompiledKernel:
+    """A kernel plus the backend annotations the simulator consumes."""
+
+    kernel: Kernel
+    resources: KernelResources
+    uniformity: UniformityInfo
+    sor: SorReport
+    variant: str
+
+    @property
+    def scalar_instrs(self) -> Set[int]:
+        return self.uniformity.scalar_instrs
+
+    @property
+    def rmt_metadata(self) -> Optional[dict]:
+        return self.kernel.metadata.get("rmt")
+
+
+def compile_kernel(
+    kernel: Kernel,
+    variant: str = "original",
+    communication: bool = True,
+    verify: bool = True,
+    optimize: bool = False,
+) -> CompiledKernel:
+    """Run the pipeline for one kernel/variant pair.
+
+    ``optimize=True`` appends the cleanup pipeline (constant folding,
+    CSE, DCE) after the RMT transformation, reducing the transformed
+    kernel's register pressure the way a production backend would.
+    """
+    from .passes.optimize import (
+        CommonSubexpressionPass,
+        ConstantFoldingPass,
+        DeadCodeEliminationPass,
+    )
+
+    passes = []
+    p = rmt_pass_for(variant, communication=communication)
+    if p is not None:
+        passes.append(p)
+    if optimize:
+        passes.extend([
+            ConstantFoldingPass(),
+            CommonSubexpressionPass(),
+            DeadCodeEliminationPass(),
+        ])
+    pm = PassManager(passes, verify=verify)
+    transformed = pm.run(kernel)
+    uniformity = analyze_uniformity(transformed)
+    resources = estimate_resources(transformed, uniformity)
+    sor = analyze_sor(transformed)
+    return CompiledKernel(
+        kernel=transformed,
+        resources=resources,
+        uniformity=uniformity,
+        sor=sor,
+        variant=variant,
+    )

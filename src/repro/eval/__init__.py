@@ -1,0 +1,22 @@
+"""Evaluation: ECC model, experiment harness, figure regeneration."""
+
+from .ecc import EccEntry, ecc_overhead, format_table1, secded_check_bits, table1, total_overhead_fraction
+from .harness import CACHE_VERSION, Harness, RunRecord
+from .render import FigureData, format_figure
+from . import experiments, paper_data
+
+__all__ = [
+    "CACHE_VERSION",
+    "EccEntry",
+    "FigureData",
+    "Harness",
+    "RunRecord",
+    "ecc_overhead",
+    "experiments",
+    "format_figure",
+    "format_table1",
+    "paper_data",
+    "secded_check_bits",
+    "table1",
+    "total_overhead_fraction",
+]

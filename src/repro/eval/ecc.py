@@ -1,0 +1,107 @@
+"""SEC-DED ECC overhead model (Table 1 of the paper).
+
+The paper motivates software RMT by costing out hardware protection:
+SEC-DED ECC on every storage structure of a GCN compute unit adds ~21%
+capacity.  Registers and the LDS are protected at 32-bit word
+granularity (7 check bits per 32 — (39,32) Hsiao code), caches at
+line granularity.
+
+The paper reports 343.75 B for the 16-kB L1 at cache-line granularity;
+the standard (522,512) SEC-DED code yields 11 bits per 64-B line = 352 B.
+We implement the standard code and record the 8-byte delta in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..gpu.config import GpuConfig, HD7790
+
+
+def secded_check_bits(data_bits: int) -> int:
+    """Check bits for single-error-correct / double-error-detect.
+
+    Hamming bound: r such that 2**r >= data + r + 1, plus one extra
+    parity bit for double-error detection.
+    """
+    if data_bits <= 0:
+        raise ValueError("data_bits must be positive")
+    r = 0
+    while (1 << r) < data_bits + r + 1:
+        r += 1
+    return r + 1
+
+
+@dataclass(frozen=True)
+class EccEntry:
+    """One row of Table 1."""
+
+    structure: str
+    size_bytes: int
+    granularity_bits: int
+    overhead_bytes: float
+
+    @property
+    def overhead_fraction(self) -> float:
+        return self.overhead_bytes / self.size_bytes
+
+
+def ecc_overhead(size_bytes: int, granularity_bits: int) -> float:
+    """ECC bytes needed to protect ``size_bytes`` at a given word size."""
+    words = size_bytes * 8 / granularity_bits
+    return words * secded_check_bits(granularity_bits) / 8
+
+
+def table1(config: GpuConfig = HD7790) -> List[EccEntry]:
+    """Reproduce Table 1 from the machine description.
+
+    Note the table costs the *real* part's structures (256-kB VRF per CU,
+    64-kB LDS, 8-kB SRF, 16-kB L1); these are independent of the scaled
+    simulation parameters.
+    """
+    vrf_bytes = config.vgprs_per_simd * config.simds_per_cu * 64 * 4
+    srf_bytes = config.sgprs_per_cu * 4
+    entries = [
+        EccEntry("Local data share", config.lds_bytes_per_cu, 32,
+                 ecc_overhead(config.lds_bytes_per_cu, 32)),
+        EccEntry("Vector register file", vrf_bytes, 32,
+                 ecc_overhead(vrf_bytes, 32)),
+        EccEntry("Scalar register file", srf_bytes, 32,
+                 ecc_overhead(srf_bytes, 32)),
+        EccEntry("R/W L1 cache", config.l1_bytes, config.l1_line_bytes * 8,
+                 ecc_overhead(config.l1_bytes, config.l1_line_bytes * 8)),
+    ]
+    return entries
+
+
+def total_overhead_fraction(entries: List[EccEntry]) -> float:
+    total_size = sum(e.size_bytes for e in entries)
+    total_ecc = sum(e.overhead_bytes for e in entries)
+    return total_ecc / total_size
+
+
+def format_table1(entries: List[EccEntry]) -> str:
+    """Render Table 1 as text."""
+    lines = [
+        f"{'Structure':28s} {'Size':>10s} {'ECC overhead':>14s}",
+        "-" * 56,
+    ]
+    for e in entries:
+        size = _fmt_bytes(e.size_bytes)
+        ecc = _fmt_bytes(e.overhead_bytes)
+        lines.append(f"{e.structure:28s} {size:>10s} {ecc:>14s}")
+    frac = total_overhead_fraction(entries)
+    lines.append("-" * 56)
+    lines.append(f"total overhead: {frac:.1%}")
+    return "\n".join(lines)
+
+
+def _fmt_bytes(n: float) -> str:
+    if n >= 1024 and float(n) % 1024 == 0:
+        return f"{int(n) // 1024} kB"
+    if n >= 1024:
+        return f"{n / 1024:.2f} kB"
+    return f"{n:.2f} B"

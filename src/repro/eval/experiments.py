@@ -1,0 +1,372 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Each ``table*``/``fig*`` function returns a :class:`FigureData` whose
+rows mirror what the paper plots; ``format_figure`` renders it as text.
+Figures that need simulation take a :class:`Harness` (which caches), so
+regenerating all figures costs one grid of runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..compiler.analysis.sor import STRUCTURES, analyze_sor
+from ..compiler.pipeline import compile_kernel
+from ..ir.builder import KernelBuilder
+from ..ir.types import DType
+from .ecc import table1 as ecc_table1
+from .ecc import total_overhead_fraction
+from .harness import Harness
+from .paper_data import (
+    FAST_IMPROVES,
+    FAST_REGRESSES,
+    FIGURE_ORDER,
+    INTER_CATEGORY,
+    INTER_QUOTED,
+    INTRA_CATEGORY,
+    TABLE1_PAPER,
+    inter_band,
+    intra_band,
+)
+from .render import FigureData
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+
+
+def table1_data() -> FigureData:
+    """Table 1: SEC-DED ECC overheads of GCN CU structures."""
+    fig = FigureData(
+        figure_id="Table 1",
+        title="Estimated SEC-DED ECC overhead per GCN compute unit",
+        columns=["structure", "size_kB", "ecc_kB", "overhead", "paper_ecc_kB"],
+    )
+    entries = ecc_table1()
+    for e in entries:
+        paper = TABLE1_PAPER.get(e.structure)
+        fig.rows.append({
+            "structure": e.structure,
+            "size_kB": e.size_bytes / 1024,
+            "ecc_kB": e.overhead_bytes / 1024,
+            "overhead": e.overhead_fraction,
+            "paper_ecc_kB": paper[1] if paper else None,
+        })
+    fig.notes.append(
+        f"total overhead {total_overhead_fraction(entries):.1%} "
+        "(paper: ~21%)"
+    )
+    fig.notes.append(
+        "L1 row: standard (522,512) SEC-DED gives 352 B; the paper prints "
+        "343.75 B"
+    )
+    return fig
+
+
+def _sor_rows(variants) -> FigureData:
+    fig = FigureData(
+        figure_id="",
+        title="",
+        columns=["flavor"] + list(STRUCTURES),
+    )
+    kernel = _representative_kernel()
+    for variant in variants:
+        compiled = compile_kernel(kernel, variant)
+        row = {"flavor": variant}
+        row.update(compiled.sor.as_row())
+        fig.rows.append(row)
+    return fig
+
+
+def table2_data() -> FigureData:
+    """Table 2: CU structures protected by Intra-Group RMT."""
+    fig = _sor_rows(["intra+lds", "intra-lds"])
+    fig.figure_id = "Table 2"
+    fig.title = "CU structures protected by Intra-Group RMT"
+    return fig
+
+
+def table3_data() -> FigureData:
+    """Table 3: CU structures protected by Inter-Group RMT."""
+    fig = _sor_rows(["inter"])
+    fig.figure_id = "Table 3"
+    fig.title = "CU structures protected by Inter-Group RMT"
+    return fig
+
+
+def _representative_kernel():
+    b = KernelBuilder("representative")
+    src = b.buffer_param("src", DType.F32)
+    dst = b.buffer_param("dst", DType.F32)
+    lds = b.local_alloc("tile", DType.F32, 64)
+    gid = b.global_id(0)
+    lid = b.local_id(0)
+    b.store_local(lds, lid, b.load(src, gid))
+    b.barrier()
+    b.store(dst, gid, b.mul(b.load_local(lds, lid), 2.0))
+    k = b.finish()
+    k.metadata["local_size"] = (64, 1, 1)
+    return k
+
+
+# ---------------------------------------------------------------------------
+# Figures 2 and 6: slowdowns
+# ---------------------------------------------------------------------------
+
+
+def fig2_data(harness: Harness) -> FigureData:
+    """Figure 2: Intra-Group ±LDS slowdowns for all 16 kernels."""
+    fig = FigureData(
+        figure_id="Figure 2",
+        title="Intra-Group RMT slowdown (normalized to original kernel)",
+        columns=["kernel", "intra+lds", "intra-lds", "paper_band", "measured_band", "band_match"],
+    )
+    for ab in FIGURE_ORDER:
+        plus = harness.slowdown(ab, "intra+lds")
+        minus = harness.slowdown(ab, "intra-lds")
+        band = intra_band(min(plus, minus))
+        fig.rows.append({
+            "kernel": ab,
+            "intra+lds": plus,
+            "intra-lds": minus,
+            "paper_band": INTRA_CATEGORY[ab],
+            "measured_band": band,
+            "band_match": band == INTRA_CATEGORY[ab],
+        })
+    fig.notes.append(
+        "paper: bimodal — overheads of 0-10% (memory-bound kernels) or >=2x "
+        "(compute/LDS-bound); SC accelerated"
+    )
+    return fig
+
+
+def fig6_data(harness: Harness) -> FigureData:
+    """Figure 6: Inter-Group RMT slowdowns."""
+    fig = FigureData(
+        figure_id="Figure 6",
+        title="Inter-Group RMT slowdown (normalized to original kernel)",
+        columns=["kernel", "inter", "paper_quoted", "paper_band", "measured_band", "band_match"],
+    )
+    for ab in FIGURE_ORDER:
+        slow = harness.slowdown(ab, "inter")
+        band = inter_band(slow)
+        fig.rows.append({
+            "kernel": ab,
+            "inter": slow,
+            "paper_quoted": INTER_QUOTED.get(ab),
+            "paper_band": INTER_CATEGORY[ab],
+            "measured_band": band,
+            "band_match": band == INTER_CATEGORY[ab],
+        })
+    fig.notes.append("paper quotes: SC 1.10x, NB 1.16x, PS 1.59x, DWT 7.35x, FWT 9.37x, BitS 9.48x")
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: counters
+# ---------------------------------------------------------------------------
+
+
+def fig3_data(harness: Harness) -> FigureData:
+    """Figure 3: VALUBusy / MemUnitBusy / WriteUnitStalled per variant."""
+    fig = FigureData(
+        figure_id="Figure 3",
+        title="Kernel time in vector ALU vs. memory (original, LDS+, LDS-)",
+        columns=["kernel", "variant", "VALUBusy", "MemUnitBusy", "WriteUnitStalled"],
+    )
+    for ab in FIGURE_ORDER:
+        for variant, label in (
+            ("original", "Original"), ("intra+lds", "LDS+"), ("intra-lds", "LDS-"),
+        ):
+            rec = harness.run(ab, variant)
+            fig.rows.append({
+                "kernel": ab,
+                "variant": label,
+                "VALUBusy": rec.counters["VALUBusy"],
+                "MemUnitBusy": rec.counters["MemUnitBusy"],
+                "WriteUnitStalled": rec.counters["WriteUnitStalled"],
+            })
+    fig.notes.append("paper: kernels with low RMT overheads tend to be memory-bound")
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Figures 4 and 7: component isolation
+# ---------------------------------------------------------------------------
+
+
+def _component_rows(harness: Harness, flavor: str):
+    rows = []
+    for ab in FIGURE_ORDER:
+        base = harness.run(ab, "original").cycles
+        capped = harness.run(ab, "original", capped_from=flavor).cycles
+        nocomm = harness.run(ab, flavor, communication=False).cycles
+        full = harness.run(ab, flavor).cycles
+        rows.append({
+            "kernel": ab,
+            "flavor": flavor,
+            "doubling": (capped - base) / base,
+            "redundant_compute": (nocomm - capped) / base,
+            "communication": (full - nocomm) / base,
+            "total_overhead": (full - base) / base,
+        })
+    return rows
+
+
+def fig4_data(harness: Harness) -> FigureData:
+    """Figure 4: relative component overheads of Intra-Group RMT."""
+    fig = FigureData(
+        figure_id="Figure 4",
+        title="Intra-Group RMT overhead components (fraction of original runtime)",
+        columns=["kernel", "flavor", "doubling", "redundant_compute",
+                 "communication", "total_overhead"],
+    )
+    for flavor in ("intra+lds", "intra-lds"):
+        fig.rows.extend(_component_rows(harness, flavor))
+    fig.notes.append(
+        "successive augmentation: occupancy reservation -> +redundant "
+        "work-items (no comparison) -> +communication; negative components "
+        "are speed-ups, as in the paper"
+    )
+    return fig
+
+
+def fig7_data(harness: Harness) -> FigureData:
+    """Figure 7: relative component overheads of Inter-Group RMT."""
+    fig = FigureData(
+        figure_id="Figure 7",
+        title="Inter-Group RMT overhead components (fraction of original runtime)",
+        columns=["kernel", "flavor", "doubling", "redundant_compute",
+                 "communication", "total_overhead"],
+    )
+    fig.rows.extend(_component_rows(harness, "inter"))
+    fig.notes.append(
+        "paper: communication only dominates for kernels already "
+        "bottlenecked on the memory hierarchy (>3x kernels)"
+    )
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: power
+# ---------------------------------------------------------------------------
+
+
+def fig5_data(harness: Harness) -> FigureData:
+    """Figure 5: average/peak power for the long-running kernels."""
+    from .paper_data import POWER_MAX_INCREASE
+
+    fig = FigureData(
+        figure_id="Figure 5",
+        title="Estimated average power, long-running kernels (W)",
+        columns=["kernel", "variant", "average_w", "peak_w", "vs_original"],
+    )
+    for ab in ("BO", "BlkSch", "FW"):
+        base = harness.run(ab, "original")
+        for variant, label in (
+            ("original", "Original"), ("intra+lds", "LDS+"), ("intra-lds", "LDS-"),
+        ):
+            rec = harness.run(ab, variant)
+            fig.rows.append({
+                "kernel": ab,
+                "variant": label,
+                "average_w": rec.power_avg_w,
+                "peak_w": rec.power_peak_w,
+                "vs_original": rec.power_avg_w / base.power_avg_w - 1.0,
+            })
+    fig.notes.append(
+        f"paper: <{POWER_MAX_INCREASE:.0%} average-power increase for all "
+        "three workloads; energy therefore tracks runtime"
+    )
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: swizzle semantics
+# ---------------------------------------------------------------------------
+
+
+def fig8_data() -> FigureData:
+    """Figure 8: the swizzle cross-lane exchange, demonstrated."""
+    from ..gpu.wavefront import GroupState, LaunchContext, Wavefront
+    from ..gpu.config import HD7790
+    from ..ir.core import Swizzle
+
+    b = KernelBuilder("swizzle_demo")
+    dummy_kernel = b.finish()
+    dummy_kernel.metadata["local_size"] = (64, 1, 1)
+    ctx = LaunchContext(dummy_kernel, (64, 1, 1), (64, 1, 1), {}, {}, config=HD7790)
+    wave = Wavefront(ctx, GroupState(ctx, 0), 0)
+
+    src = dummy_kernel.new_reg(DType.U32, "v0")
+    dst = dummy_kernel.new_reg(DType.U32, "v1")
+    wave.regs[id(src)] = np.arange(64, dtype=np.uint32)
+    instr = Swizzle(dst, src, and_mask=~0, or_mask=1, xor_mask=0)
+    mask = np.ones(64, dtype=bool)
+    wave._exec_pure(instr, mask)
+    out = wave.regs[id(dst)]
+
+    fig = FigureData(
+        figure_id="Figure 8",
+        title="swizzle (or_mask=1): odd-lane values duplicated into even lanes",
+        columns=["lane", "before", "after"],
+    )
+    for lane in range(8):
+        fig.rows.append({
+            "lane": f"t{lane}",
+            "before": int(lane),
+            "after": int(out[lane]),
+        })
+    fig.notes.append("lane i reads lane (i | 1): pairs (0,1) both observe lane 1's value")
+    return fig
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: FAST register-level communication
+# ---------------------------------------------------------------------------
+
+
+def fig9_data(harness: Harness) -> FigureData:
+    """Figure 9: Intra-Group RMT with and without FAST (swizzle) comm."""
+    fig = FigureData(
+        figure_id="Figure 9",
+        title="Intra-Group RMT slowdown with FAST register-level communication",
+        columns=["kernel", "intra+lds", "intra+lds FAST", "intra-lds",
+                 "intra-lds FAST", "fast_helps"],
+    )
+    for ab in FIGURE_ORDER:
+        plus = harness.slowdown(ab, "intra+lds")
+        plus_fast = harness.slowdown(ab, "intra+lds_fast")
+        minus = harness.slowdown(ab, "intra-lds")
+        minus_fast = harness.slowdown(ab, "intra-lds_fast")
+        fig.rows.append({
+            "kernel": ab,
+            "intra+lds": plus,
+            "intra+lds FAST": plus_fast,
+            "intra-lds": minus,
+            "intra-lds FAST": minus_fast,
+            "fast_helps": min(plus_fast, minus_fast) < min(plus, minus),
+        })
+    fig.notes.append(
+        f"paper: FAST notably improves {', '.join(FAST_IMPROVES)}; slightly "
+        f"regresses {', '.join(FAST_REGRESSES)} (packing overhead)"
+    )
+    return fig
+
+
+ALL_FIGURES = {
+    "table1": lambda h: table1_data(),
+    "table2": lambda h: table2_data(),
+    "table3": lambda h: table3_data(),
+    "fig2": fig2_data,
+    "fig3": fig3_data,
+    "fig4": fig4_data,
+    "fig5": fig5_data,
+    "fig6": fig6_data,
+    "fig7": fig7_data,
+    "fig8": lambda h: fig8_data(),
+    "fig9": fig9_data,
+}

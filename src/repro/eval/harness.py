@@ -1,0 +1,185 @@
+"""Experiment harness: runs benchmark × variant combinations with caching.
+
+Every figure in the paper is derived from a grid of runs:
+
+* 16 kernels × {original, intra±lds(±fast), inter}  (Figures 2, 3, 6, 9)
+* component-isolation runs — RMT without communication, and the
+  original kernel with its CU occupancy capped to what the RMT version
+  would achieve ("reserving space for redundant computation") —
+  (Figures 4 and 7)
+* power summaries for the long-running kernels (Figure 5).
+
+Runs are deterministic, so records are cached (in memory and optionally
+on disk) keyed by the full configuration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..compiler.pipeline import compile_kernel
+from ..gpu.config import HD7790
+from ..gpu.occupancy import KernelResources, compute_occupancy
+from ..kernels.suite import make_benchmark
+from .paper_data import FIGURE_ORDER
+
+#: Bump when simulator timing semantics change, to invalidate disk caches.
+CACHE_VERSION = 5
+
+
+@dataclass
+class RunRecord:
+    """One benchmark execution's headline numbers."""
+
+    abbrev: str
+    variant: str
+    scale: str
+    communication: bool
+    capped_from: str = ""
+    cycles: float = 0.0
+    counters: Dict[str, float] = field(default_factory=dict)
+    power_avg_w: float = 0.0
+    power_peak_w: float = 0.0
+    occupancy_groups_per_cu: int = 0
+    detections: int = 0
+    verified: bool = False
+
+    def key(self) -> str:
+        return _key(self.abbrev, self.variant, self.scale,
+                    self.communication, self.capped_from)
+
+
+def _key(abbrev, variant, scale, communication, capped_from) -> str:
+    return f"v{CACHE_VERSION}/{scale}/{abbrev}/{variant}/comm={communication}/cap={capped_from}"
+
+
+class Harness:
+    """Runs and caches the experiment grid."""
+
+    def __init__(self, scale: str = "paper", cache_path: Optional[str] = None):
+        self.scale = scale
+        if cache_path is None:
+            cache_path = os.environ.get("REPRO_CACHE", "")
+        self.cache_path = Path(cache_path) if cache_path else None
+        self._cache: Dict[str, RunRecord] = {}
+        if self.cache_path and self.cache_path.exists():
+            self._load_disk()
+
+    # -- core ---------------------------------------------------------------
+
+    def run(
+        self,
+        abbrev: str,
+        variant: str = "original",
+        communication: bool = True,
+        capped_from: str = "",
+    ) -> RunRecord:
+        """Run (or fetch) one benchmark configuration.
+
+        ``capped_from`` requests the occupancy-inflation isolation run:
+        the *original* kernel executed with CU occupancy capped to what
+        ``capped_from`` (an RMT variant name) would achieve.
+        """
+        key = _key(abbrev, variant, self.scale, communication, capped_from)
+        hit = self._cache.get(key)
+        if hit is not None:
+            return hit
+
+        bench = make_benchmark(abbrev, self.scale)
+        if capped_from:
+            if variant != "original":
+                raise ValueError("capped runs use the original kernel")
+            record = self._run_capped(bench, abbrev, capped_from)
+        else:
+            compiled = bench.compile(variant, communication=communication)
+            result = bench.run(_session(), compiled)
+            record = self._record(bench, abbrev, variant, communication,
+                                  "", result)
+        self._cache[key] = record
+        if self.cache_path:
+            self._save_disk()
+        return record
+
+    def _run_capped(self, bench, abbrev: str, capped_from: str) -> RunRecord:
+        original = bench.compile("original")
+        rmt = bench.compile(capped_from)
+        local = original.kernel.metadata["local_size"]
+        flat_local = local[0] * local[1] * local[2]
+        occ_orig = compute_occupancy(HD7790, original.resources, flat_local)
+        if capped_from == "inter":
+            # Doubling the group count halves how many *useful* groups a CU
+            # hosts at a time.
+            cap = max(1, occ_orig.max_groups_per_cu // 2)
+        else:
+            rmt_local = rmt.kernel.metadata["local_size"]
+            rmt_flat = rmt_local[0] * rmt_local[1] * rmt_local[2]
+            occ_rmt = compute_occupancy(HD7790, rmt.resources, rmt_flat)
+            cap = min(occ_orig.max_groups_per_cu, occ_rmt.max_groups_per_cu)
+        resources = dataclasses.replace(
+            original.resources, groups_per_cu_cap=cap
+        )
+        result = bench.run(_session(), original, resources=resources)
+        return self._record(bench, abbrev, "original", True, capped_from, result)
+
+    def _record(self, bench, abbrev, variant, communication, capped_from,
+                result) -> RunRecord:
+        report = result.merged_counters().report(
+            result.cycles, HD7790.num_cus, HD7790.simds_per_cu
+        )
+        power = result.session.power_report()
+        occ = result.launches[0].occupancy
+        return RunRecord(
+            abbrev=abbrev,
+            variant=variant,
+            scale=self.scale,
+            communication=communication,
+            capped_from=capped_from,
+            cycles=result.cycles,
+            counters=report.as_dict(),
+            power_avg_w=power.average_w,
+            power_peak_w=power.peak_w,
+            occupancy_groups_per_cu=occ.max_groups_per_cu,
+            detections=len(result.detections),
+            verified=bench.check(result),
+        )
+
+    # -- convenience -----------------------------------------------------
+
+    def slowdown(self, abbrev: str, variant: str, **kw) -> float:
+        base = self.run(abbrev, "original")
+        other = self.run(abbrev, variant, **kw)
+        return other.cycles / base.cycles
+
+    def all_kernels(self):
+        return list(FIGURE_ORDER)
+
+    # -- disk cache -----------------------------------------------------------
+
+    def _load_disk(self) -> None:
+        try:
+            raw = json.loads(self.cache_path.read_text())
+        except (OSError, ValueError):
+            return
+        for key, payload in raw.items():
+            if not key.startswith(f"v{CACHE_VERSION}/"):
+                continue
+            self._cache[key] = RunRecord(**payload)
+
+    def _save_disk(self) -> None:
+        payload = {
+            key: dataclasses.asdict(rec) for key, rec in self._cache.items()
+        }
+        tmp = self.cache_path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=1, sort_keys=True))
+        tmp.replace(self.cache_path)
+
+
+def _session():
+    from ..runtime.api import Session
+
+    return Session()

@@ -1,0 +1,87 @@
+"""Reference values and qualitative shapes from the paper.
+
+The paper's figures are bar charts; exact values are only quoted in the
+text for a few kernels.  We encode what the paper states precisely
+(quoted numbers) and what it states qualitatively (the bimodal low/high
+split of Figure 2, the winners/losers of Figure 9) so the harness and
+the tests can compare *shape* rather than pretend to absolute numbers.
+"""
+
+from __future__ import annotations
+
+#: Figure order used throughout the paper's plots.
+FIGURE_ORDER = [
+    "BinS", "BO", "BitS", "BlkSch", "DCT", "DWT", "FWT", "FW",
+    "MM", "NB", "PS", "QRS", "R", "SC", "SF", "URNG",
+]
+
+#: Figure 2 (Intra-Group): the paper reports a bimodal split — kernels are
+#: either "well" (0-10% overhead; SC is even accelerated) or "poorly"
+#: (>= ~2x).  Section 7.5 lists FW among the compute/LDS-saturating
+#: kernels with the expected ~2x redundant-computation cost.
+INTRA_CATEGORY = {
+    "BinS": "low", "BitS": "low", "FWT": "low", "SC": "low", "SF": "low",
+    "BO": "high", "BlkSch": "high", "DCT": "high", "DWT": "high",
+    "FW": "high", "MM": "high", "NB": "high", "PS": "high", "QRS": "high",
+    "R": "high", "URNG": "high",
+}
+
+#: Exact Inter-Group slowdowns quoted in Section 7.3/7.4.
+INTER_QUOTED = {
+    "SC": 1.10,
+    "NB": 1.16,
+    "PS": 1.59,
+    "DWT": 7.35,
+    "FWT": 9.37,
+    "BitS": 9.48,
+}
+
+#: Figure 6 qualitative bands for the rest: kernels that "do well" (<2x)
+#: and compute/LDS-bound kernels at the expected ~2x.
+INTER_CATEGORY = {
+    "BinS": "low", "R": "low", "SF": "low", "SC": "low", "NB": "low",
+    "PS": "low",
+    "BO": "2x", "BlkSch": "2x", "DCT": "2x", "FW": "2x", "MM": "2x",
+    "QRS": "2x", "URNG": "2x",
+    "BitS": "extreme", "DWT": "extreme", "FWT": "extreme",
+}
+
+#: Figure 9: kernels the FAST (swizzle) communication notably helps / hurts.
+FAST_IMPROVES = ["BO", "DWT", "PS", "QRS"]
+FAST_REGRESSES = ["FW", "NB"]
+
+#: Figure 4: kernels where communication is more than half of the total
+#: Intra-Group overhead for at least one flavor.
+COMM_DOMINATED_INTRA = ["BO", "DWT", "PS", "R"]
+
+#: Figure 5 power study: <2% average power increase for all three kernels.
+POWER_MAX_INCREASE = 0.02
+POWER_BAND_W = (60.0, 74.0)
+
+#: Table 1 quantities (kB except where noted).
+TABLE1_PAPER = {
+    "Local data share": (64, 14.0),
+    "Vector register file": (256, 56.0),
+    "Scalar register file": (8, 1.75),
+    "R/W L1 cache": (16, 343.75 / 1024.0),
+}
+TABLE1_TOTAL_OVERHEAD = 0.21
+
+#: Tables 2 and 3: protected structures per flavor.
+TABLE2_INTRA_PLUS = ("SIMD ALU", "VRF", "LDS")
+TABLE2_INTRA_MINUS = ("SIMD ALU", "VRF")
+TABLE3_INTER = ("SIMD ALU", "VRF", "LDS", "SU", "SRF", "ID", "IF/SCHED")
+
+
+def intra_band(slowdown: float) -> str:
+    """Classify a measured Intra-Group slowdown into the paper's bands."""
+    return "low" if slowdown <= 1.45 else "high"
+
+
+def inter_band(slowdown: float) -> str:
+    """Classify a measured Inter-Group slowdown into Figure 6's bands."""
+    if slowdown < 1.9:
+        return "low"
+    if slowdown < 4.2:
+        return "2x"
+    return "extreme"

@@ -1,0 +1,58 @@
+"""Plain-text rendering of experiment results (figures as tables)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+@dataclass
+class FigureData:
+    """One table/figure's regenerated data."""
+
+    figure_id: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def column_values(self, column: str) -> List[object]:
+        return [row.get(column) for row in self.rows]
+
+    def row_for(self, key_column: str, key: object) -> Dict[str, object]:
+        for row in self.rows:
+            if row.get(key_column) == key:
+                return row
+        raise KeyError(f"no row with {key_column}={key!r} in {self.figure_id}")
+
+
+def format_figure(fig: FigureData) -> str:
+    """Render a FigureData as an aligned text table."""
+    widths = {c: len(c) for c in fig.columns}
+    rendered_rows = []
+    for row in fig.rows:
+        rendered = {}
+        for c in fig.columns:
+            rendered[c] = _fmt(row.get(c))
+            widths[c] = max(widths[c], len(rendered[c]))
+        rendered_rows.append(rendered)
+
+    lines = [f"== {fig.figure_id}: {fig.title} =="]
+    header = "  ".join(c.ljust(widths[c]) for c in fig.columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for rendered in rendered_rows:
+        lines.append("  ".join(rendered[c].ljust(widths[c]) for c in fig.columns))
+    for note in fig.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

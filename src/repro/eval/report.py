@@ -1,0 +1,51 @@
+"""Command-line report: regenerate every table and figure.
+
+Usage::
+
+    python -m repro.eval.report [--scale paper|small] [--figures fig2,fig6]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .experiments import ALL_FIGURES
+from .harness import Harness
+from .render import format_figure
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="paper", choices=["paper", "small"])
+    parser.add_argument(
+        "--figures", default=",".join(ALL_FIGURES),
+        help="comma-separated subset of: " + ", ".join(ALL_FIGURES),
+    )
+    parser.add_argument("--cache", default="", help="results cache path")
+    parser.add_argument(
+        "--write-experiments", default="", metavar="PATH",
+        help="write the EXPERIMENTS.md paper-vs-measured report to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    harness = Harness(scale=args.scale, cache_path=args.cache or None)
+    if args.write_experiments:
+        from .experiments_md import generate
+
+        text = generate(harness)
+        with open(args.write_experiments, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.write_experiments}")
+        return 0
+    for name in args.figures.split(","):
+        name = name.strip()
+        fn = ALL_FIGURES.get(name)
+        if fn is None:
+            parser.error(f"unknown figure {name!r}")
+        print(format_figure(fn(harness)))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,16 @@
+"""Transient-fault injection: SEU models and campaigns."""
+
+from .campaign import OUTCOMES, CampaignResult, run_campaign, run_single_fault
+from .injector import TARGETS, FaultHook, FaultPlan, InjectionRecord, random_plan
+
+__all__ = [
+    "CampaignResult",
+    "FaultHook",
+    "FaultPlan",
+    "InjectionRecord",
+    "OUTCOMES",
+    "TARGETS",
+    "random_plan",
+    "run_campaign",
+    "run_single_fault",
+]

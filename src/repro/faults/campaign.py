@@ -1,0 +1,138 @@
+"""Fault-injection campaigns over benchmark kernels.
+
+A campaign replays one benchmark many times, each run with a single
+random SEU, and tallies the outcome distribution.  The headline check —
+used by the property tests — is the paper's SoR contract:
+
+* a structure *inside* a flavor's sphere of replication never produces
+  silent data corruption (every upset is masked or detected);
+* structures *outside* the SoR can (and do) produce SDCs, which is why
+  the paper is careful to enumerate them in Tables 2 and 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..gpu.config import HD7790
+from ..gpu.engine import SimulationError
+from ..kernels.base import Benchmark
+from ..runtime.api import Session
+from .injector import FaultHook, FaultPlan, random_plan
+
+OUTCOMES = ("masked", "detected", "sdc", "hang")
+
+
+@dataclass
+class CampaignResult:
+    """Outcome histogram of one campaign."""
+
+    benchmark: str
+    variant: str
+    target: str
+    outcomes: Dict[str, int] = field(default_factory=lambda: {o: 0 for o in OUTCOMES})
+    trials: int = 0
+    fired: int = 0
+    records: List[str] = field(default_factory=list)
+
+    @property
+    def sdc_count(self) -> int:
+        return self.outcomes["sdc"]
+
+    @property
+    def detected_count(self) -> int:
+        return self.outcomes["detected"]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of *visible* faults that were detected."""
+        visible = self.outcomes["detected"] + self.outcomes["sdc"]
+        return self.outcomes["detected"] / visible if visible else 1.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.benchmark}/{self.variant}/{self.target}: "
+            f"{self.trials} trials ({self.fired} fired) -> "
+            + ", ".join(f"{k}={v}" for k, v in self.outcomes.items())
+        )
+
+
+def run_single_fault(
+    bench: Benchmark,
+    variant: str,
+    plan: FaultPlan,
+    cycle_budget: Optional[float] = None,
+) -> str:
+    """Run one benchmark once with one injected fault; classify it."""
+    compiled = bench.compile(variant)
+    scalar_regs = compiled.uniformity.uniform_regs
+    hook = FaultHook(plan, scalar_reg_ids=scalar_regs)
+    session = _fault_session(cycle_budget)
+    try:
+        result = bench.run(session, compiled, fault_hook=hook)
+    except SimulationError:
+        # A corrupted loop bound or lock word wedged the kernel: a
+        # detectable-unrecoverable event (watchdog timeout), not an SDC.
+        return "hang"
+    detected = bool(result.detections)
+    correct = bench.check(result)
+    if detected:
+        return "detected"
+    if correct:
+        return "masked"
+    return "sdc"
+
+
+def _fault_session(cycle_budget: Optional[float]) -> Session:
+    if cycle_budget is None:
+        return Session()
+    return Session(config=HD7790.with_(max_cycles=int(cycle_budget)))
+
+
+def run_campaign(
+    make_bench: Callable[[], Benchmark],
+    variant: str,
+    target: str,
+    trials: int = 32,
+    seed: int = 1234,
+    max_wave: int = 8,
+    max_instr: int = 100,
+) -> CampaignResult:
+    """Inject ``trials`` independent random SEUs and tally outcomes."""
+    rng = np.random.default_rng(seed)
+    probe = make_bench()
+    result = CampaignResult(
+        benchmark=probe.abbrev, variant=variant, target=target
+    )
+    # Golden run establishes a watchdog budget so corrupted spin locks or
+    # loop bounds terminate as "hang" instead of running to the horizon.
+    golden = probe.execute(variant)
+    budget = 25.0 * max(golden.cycles, 1.0) + 2_000_000
+    for _ in range(trials):
+        bench = make_bench()
+        plan = random_plan(rng, target, max_wave=max_wave, max_instr=max_instr)
+        compiled = bench.compile(variant)
+        hook = FaultHook(plan, scalar_reg_ids=compiled.uniformity.uniform_regs)
+        try:
+            run = bench.run(_fault_session(budget), compiled, fault_hook=hook)
+        except SimulationError:
+            outcome = "hang"
+            run = None
+        if run is not None:
+            detected = bool(run.detections)
+            correct = bench.check(run)
+            if detected:
+                outcome = "detected"
+            elif correct:
+                outcome = "masked"
+            else:
+                outcome = "sdc"
+        result.outcomes[outcome] += 1
+        result.trials += 1
+        if hook.record.fired:
+            result.fired += 1
+            result.records.append(f"{hook.record.description} -> {outcome}")
+    return result

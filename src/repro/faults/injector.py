@@ -1,0 +1,148 @@
+"""Transient-fault (SEU) injection into simulated GPU state.
+
+The paper argues coverage from the sphere of replication; simulation
+lets us *test* it.  An injection plan picks one dynamic point in one
+wavefront and flips one bit in a chosen structure:
+
+* ``vgpr`` — one lane of one live vector register (inside every SoR);
+* ``sgpr`` — a wavefront-uniform register, flipped across all lanes,
+  modelling an SRF upset shared by an Intra-Group redundant pair
+  (outside the Intra-Group SoR, inside the Inter-Group SoR);
+* ``lds``  — one word of the work-group's LDS (inside the SoR only for
+  Intra-Group+LDS and Inter-Group).
+
+Outcomes are classified against the benchmark's oracle: ``masked``
+(architecturally invisible), ``detected`` (the RMT output comparison
+flagged it), or ``sdc`` (silent data corruption — wrong output, no flag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Set
+
+import numpy as np
+
+TARGETS = ("vgpr", "sgpr", "lds")
+
+
+@dataclass
+class FaultPlan:
+    """One single-event-upset to inject during a run."""
+
+    target: str                 # 'vgpr' | 'sgpr' | 'lds'
+    wave_ordinal: int           # n-th wavefront created during the run
+    trigger_instr: int          # dynamic instruction count within that wave
+    bit: int                    # bit position to flip (0..31)
+    lane: int                   # lane for vgpr faults (0..63)
+    victim_index: int           # register / LDS word selector
+
+    def __post_init__(self):
+        if self.target not in TARGETS:
+            raise ValueError(f"unknown fault target {self.target!r}")
+
+
+@dataclass
+class InjectionRecord:
+    """What the hook actually did (for reporting and debugging)."""
+
+    fired: bool = False
+    description: str = ""
+
+
+class FaultHook:
+    """Callable installed as the launch context's per-instruction hook."""
+
+    def __init__(self, plan: FaultPlan, scalar_reg_ids: Optional[Set[int]] = None):
+        self.plan = plan
+        self.scalar_reg_ids = scalar_reg_ids or set()
+        self.record = InjectionRecord()
+        self._wave_ids = {}
+
+    def __call__(self, wave, instr) -> None:
+        if self.record.fired:
+            return
+        plan = self.plan
+        ordinal = self._wave_ids.setdefault(id(wave), len(self._wave_ids))
+        if ordinal != plan.wave_ordinal:
+            return
+        if wave.dyn_instrs < plan.trigger_instr:
+            return
+        if plan.target == "lds":
+            self._flip_lds(wave)
+        else:
+            self._flip_register(wave, instr)
+
+    # -- flips -----------------------------------------------------------
+
+    def _flip_register(self, wave, instr) -> None:
+        plan = self.plan
+        want_scalar = plan.target == "sgpr"
+
+        def eligible(rid: int) -> bool:
+            return (rid in self.scalar_reg_ids) == want_scalar
+
+        # Prefer an operand of the instruction about to execute — a live
+        # value, the way an SEU matters — falling back to any resident
+        # register of the right class.
+        candidates = [
+            id(src) for src in instr.sources()
+            if id(src) in wave.regs and eligible(id(src))
+        ]
+        if not candidates:
+            candidates = [rid for rid in wave.regs if eligible(rid)]
+        if not candidates:
+            return
+        rid = candidates[plan.victim_index % len(candidates)]
+        arr = wave.regs[rid]
+        if arr.dtype == np.bool_:
+            if plan.target == "sgpr":
+                arr[:] = ~arr
+            else:
+                arr[plan.lane] = not arr[plan.lane]
+        else:
+            view = arr.view(np.uint32)
+            mask = np.uint32(1 << (plan.bit & 31))
+            if plan.target == "sgpr":
+                # A scalar-register upset corrupts the value every lane of
+                # the wavefront observes.
+                view ^= mask
+            else:
+                view[plan.lane] ^= mask
+        self.record.fired = True
+        self.record.description = (
+            f"{plan.target} flip bit {plan.bit} wave {plan.wave_ordinal} "
+            f"@instr {plan.trigger_instr}"
+        )
+
+    def _flip_lds(self, wave) -> None:
+        plan = self.plan
+        arrays = list(wave.group.lds.values())
+        if not arrays:
+            return
+        arr = arrays[plan.victim_index % len(arrays)]
+        if arr.size == 0:
+            return
+        word = plan.lane % arr.size
+        view = arr.view(np.uint32) if arr.dtype != np.bool_ else None
+        if view is None:
+            return
+        view[word] ^= np.uint32(1 << (plan.bit & 31))
+        self.record.fired = True
+        self.record.description = (
+            f"lds flip bit {plan.bit} word {word} wave {plan.wave_ordinal} "
+            f"@instr {plan.trigger_instr}"
+        )
+
+
+def random_plan(rng: np.random.Generator, target: str,
+                max_wave: int = 16, max_instr: int = 120) -> FaultPlan:
+    """Draw a random injection plan (for campaigns)."""
+    return FaultPlan(
+        target=target,
+        wave_ordinal=int(rng.integers(0, max_wave)),
+        trigger_instr=int(rng.integers(1, max_instr)),
+        bit=int(rng.integers(0, 32)),
+        lane=int(rng.integers(0, 64)),
+        victim_index=int(rng.integers(0, 64)),
+    )

@@ -1,0 +1,179 @@
+"""Performance-counter accounting for the timing engine.
+
+Mirrors the CodeXL counters the paper analyzes (Figure 3):
+
+* ``VALUBusy``       — fraction of kernel time the vector ALUs are issuing,
+* ``MemUnitBusy``    — fraction of kernel time the vector memory units are
+  busy fetching,
+* ``WriteUnitStalled`` — fraction of kernel time the store path is stalled
+  on downstream bandwidth,
+
+plus LDS, scalar-unit, and cache statistics used in the analysis sections.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class BusyTracker:
+    """Accumulates busy intervals of one resource.
+
+    Tracks a total and per-window subtotals (the window mirrors the 1-ms
+    sampling interval of the on-chip power monitor, so peak power can be
+    derived from the busiest window).
+    """
+
+    __slots__ = ("total", "windows", "window_cycles")
+
+    def __init__(self, window_cycles: int = 1_000_000):
+        self.total = 0.0
+        self.windows: Dict[int, float] = defaultdict(float)
+        self.window_cycles = window_cycles
+
+    def add(self, start: float, end: float) -> None:
+        """Record the resource busy over ``[start, end)``."""
+        if end <= start:
+            return
+        self.total += end - start
+        w0 = int(start // self.window_cycles)
+        w1 = int(end // self.window_cycles)
+        if w0 == w1:
+            self.windows[w0] += end - start
+            return
+        # Split the interval across window boundaries.
+        self.windows[w0] += (w0 + 1) * self.window_cycles - start
+        for w in range(w0 + 1, w1):
+            self.windows[w] += self.window_cycles
+        self.windows[w1] += end - w1 * self.window_cycles
+
+    def window_fraction(self, window: int) -> float:
+        return self.windows.get(window, 0.0) / self.window_cycles
+
+
+@dataclass
+class KernelCounters:
+    """Raw counter totals for one kernel launch."""
+
+    window_cycles: int = 1_000_000
+    valu: BusyTracker = None
+    salu: BusyTracker = None
+    lds: BusyTracker = None
+    mem: BusyTracker = None
+    write_stall: BusyTracker = None
+    dram: BusyTracker = None
+
+    # scalar tallies
+    valu_instructions: int = 0
+    salu_instructions: int = 0
+    mem_transactions: int = 0
+    lds_accesses: int = 0
+    lds_bank_conflict_passes: int = 0
+    atomic_transactions: int = 0
+    global_load_bytes: int = 0
+    global_store_bytes: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    branch_instructions: int = 0
+    divergent_branches: int = 0
+    detections: List[tuple] = field(default_factory=list)
+
+    def __post_init__(self):
+        for name in ("valu", "salu", "lds", "mem", "write_stall", "dram"):
+            if getattr(self, name) is None:
+                setattr(self, name, BusyTracker(self.window_cycles))
+
+    # -- derived CodeXL-style percentages ---------------------------------
+
+    def report(self, kernel_cycles: float, num_cus: int, simds_per_cu: int) -> "CounterReport":
+        """Summarize into the normalized percentages the paper plots."""
+        kernel_cycles = max(kernel_cycles, 1.0)
+        simd_total = kernel_cycles * num_cus * simds_per_cu
+        cu_total = kernel_cycles * num_cus
+        l1_total = self.l1_hits + self.l1_misses
+        l2_total = self.l2_hits + self.l2_misses
+        return CounterReport(
+            kernel_cycles=kernel_cycles,
+            valu_busy=min(1.0, self.valu.total / simd_total),
+            salu_busy=min(1.0, self.salu.total / cu_total),
+            lds_busy=min(1.0, self.lds.total / cu_total),
+            mem_unit_busy=min(1.0, self.mem.total / cu_total),
+            write_unit_stalled=min(1.0, self.write_stall.total / cu_total),
+            dram_busy=min(1.0, self.dram.total / kernel_cycles),
+            valu_instructions=self.valu_instructions,
+            salu_instructions=self.salu_instructions,
+            mem_transactions=self.mem_transactions,
+            atomic_transactions=self.atomic_transactions,
+            lds_accesses=self.lds_accesses,
+            global_load_bytes=self.global_load_bytes,
+            global_store_bytes=self.global_store_bytes,
+            l1_hit_rate=self.l1_hits / l1_total if l1_total else 0.0,
+            l2_hit_rate=self.l2_hits / l2_total if l2_total else 0.0,
+            branch_instructions=self.branch_instructions,
+            divergent_branches=self.divergent_branches,
+            detection_count=len(self.detections),
+        )
+
+
+@dataclass(frozen=True)
+class CounterReport:
+    """Normalized per-launch counter report (fractions in [0, 1])."""
+
+    kernel_cycles: float
+    valu_busy: float
+    salu_busy: float
+    lds_busy: float
+    mem_unit_busy: float
+    write_unit_stalled: float
+    dram_busy: float
+    valu_instructions: int
+    salu_instructions: int
+    mem_transactions: int
+    atomic_transactions: int
+    lds_accesses: int
+    global_load_bytes: int
+    global_store_bytes: int
+    l1_hit_rate: float
+    l2_hit_rate: float
+    branch_instructions: int
+    divergent_branches: int
+    detection_count: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "kernel_cycles": self.kernel_cycles,
+            "VALUBusy": self.valu_busy,
+            "SALUBusy": self.salu_busy,
+            "LDSBusy": self.lds_busy,
+            "MemUnitBusy": self.mem_unit_busy,
+            "WriteUnitStalled": self.write_unit_stalled,
+            "DRAMBusy": self.dram_busy,
+            "L1HitRate": self.l1_hit_rate,
+            "L2HitRate": self.l2_hit_rate,
+        }
+
+
+def merge_counters(parts: List[KernelCounters], window_cycles: int) -> KernelCounters:
+    """Merge counters from multiple launches of a multi-pass benchmark."""
+    merged = KernelCounters(window_cycles=window_cycles)
+    for part in parts:
+        for name in ("valu", "salu", "lds", "mem", "write_stall", "dram"):
+            src: BusyTracker = getattr(part, name)
+            dst: BusyTracker = getattr(merged, name)
+            dst.total += src.total
+            for w, v in src.windows.items():
+                dst.windows[w] += v
+        for name in (
+            "valu_instructions", "salu_instructions", "mem_transactions",
+            "lds_accesses", "lds_bank_conflict_passes", "atomic_transactions",
+            "global_load_bytes", "global_store_bytes",
+            "l1_hits", "l1_misses", "l2_hits", "l2_misses",
+            "branch_instructions", "divergent_branches",
+        ):
+            setattr(merged, name, getattr(merged, name) + getattr(part, name))
+        merged.detections.extend(part.detections)
+    return merged

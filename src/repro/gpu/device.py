@@ -1,0 +1,119 @@
+"""Top-level simulated device.
+
+Owns the global memory, the per-CU L1s and the shared L2, and runs
+kernel launches through the timing engine.  Caches stay warm across
+launches of a multi-pass benchmark (BitonicSort, FloydWarshall, ...),
+matching real hardware behaviour; time accumulates across launches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..ir.core import Kernel
+from .config import DEFAULT_POWER, GpuConfig, HD7790, PowerConfig
+from .counters import KernelCounters, merge_counters
+from .engine import Engine, LaunchResult
+from .memory import CacheModel, DeviceBuffer, GlobalMemory
+from .occupancy import KernelResources
+from .power import PowerReport, estimate_power
+from .wavefront import LaunchContext
+
+
+def _normalize_size(size) -> Tuple[int, int, int]:
+    if isinstance(size, int):
+        return (size, 1, 1)
+    size = tuple(size)
+    return size + (1,) * (3 - len(size))
+
+
+@dataclass
+class DeviceRunStats:
+    """Aggregate statistics across all launches on a device."""
+
+    total_cycles: float = 0.0
+    launches: int = 0
+    launch_results: List[LaunchResult] = field(default_factory=list)
+
+
+class Device:
+    """A simulated GCN GPU with persistent memory and caches."""
+
+    def __init__(self, config: GpuConfig = HD7790, power: PowerConfig = DEFAULT_POWER):
+        self.config = config
+        self.power_config = power
+        self.memory = GlobalMemory()
+        self.l1s = [
+            CacheModel(config.l1_bytes, config.l1_line_bytes, config.l1_ways)
+            for _ in range(config.num_cus)
+        ]
+        self.l2 = CacheModel(config.l2_bytes, config.l2_line_bytes, config.l2_ways)
+        self.clock = 0.0
+        self.stats = DeviceRunStats()
+
+    # -- buffers ----------------------------------------------------------
+
+    def alloc(self, name: str, data: np.ndarray) -> DeviceBuffer:
+        """Copy host data into a fresh device buffer."""
+        return self.memory.alloc(name, data)
+
+    def alloc_zeros(self, name: str, nelems: int, dtype) -> DeviceBuffer:
+        return self.memory.alloc(name, np.zeros(nelems, dtype=dtype))
+
+    # -- launches ----------------------------------------------------------
+
+    def launch(
+        self,
+        kernel: Kernel,
+        global_size,
+        local_size,
+        buffers: Dict[str, DeviceBuffer],
+        scalars: Optional[Dict[str, object]] = None,
+        resources: Optional[KernelResources] = None,
+        scalar_instrs: Optional[set] = None,
+        fault_hook=None,
+    ) -> LaunchResult:
+        """Run one NDRange launch; advances the device clock."""
+        ctx = LaunchContext(
+            kernel=kernel,
+            global_size=_normalize_size(global_size),
+            local_size=_normalize_size(local_size),
+            buffers=buffers,
+            scalars=scalars or {},
+            scalar_instrs=scalar_instrs,
+            config=self.config,
+        )
+        if fault_hook is not None:
+            ctx.fault_hook = fault_hook
+        if resources is None:
+            resources = KernelResources(
+                vgprs_per_workitem=32, sgprs_per_wave=32,
+                lds_bytes_per_group=kernel.lds_bytes(),
+            )
+        engine = Engine(self.config, self.memory, self.l1s, self.l2, start_time=self.clock)
+        result = engine.run(ctx, resources)
+        self.clock += result.cycles
+        self.stats.total_cycles += result.cycles
+        self.stats.launches += 1
+        self.stats.launch_results.append(result)
+        return result
+
+    # -- aggregate reporting -------------------------------------------------
+
+    def merged_counters(self) -> KernelCounters:
+        parts = [r.counters for r in self.stats.launch_results]
+        return merge_counters(parts, window_cycles=1_000_000)
+
+    def power_report(self) -> PowerReport:
+        """Power over everything run on this device so far."""
+        return estimate_power(
+            self.merged_counters(), self.stats.total_cycles,
+            self.config, self.power_config,
+        )
+
+    def read_buffer(self, buf: DeviceBuffer) -> np.ndarray:
+        """Copy-out: current contents of a device buffer."""
+        return buf.data.copy()

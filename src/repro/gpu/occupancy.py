@@ -1,0 +1,103 @@
+"""Work-group occupancy model.
+
+RMT's doubled register/LDS footprint lowers the number of work-groups a
+CU can host, which is the "Costs of Doubling the Size of Work-groups"
+effect isolated in Figures 4 and 7 of the paper.  This module computes
+the limits exactly the way the GCN scheduler does: VGPR budget per SIMD,
+SGPR budget per CU, LDS budget per CU, wave slots per SIMD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import GpuConfig
+
+
+@dataclass(frozen=True)
+class KernelResources:
+    """Per-kernel resource footprint (from the compiler, or inflated).
+
+    ``groups_per_cu_cap`` implements the paper's resource-inflation
+    isolation experiment: it reserves CU space as if the RMT version's
+    larger footprint were allocated, without executing redundant work.
+    """
+
+    vgprs_per_workitem: int
+    sgprs_per_wave: int
+    lds_bytes_per_group: int
+    groups_per_cu_cap: int = 0  # 0 = no cap
+
+    def inflated(self, other: "KernelResources") -> "KernelResources":
+        """Component-wise max — used for the paper's resource-inflation
+        isolation experiments (run original code with RMT footprint)."""
+        return KernelResources(
+            vgprs_per_workitem=max(self.vgprs_per_workitem, other.vgprs_per_workitem),
+            sgprs_per_wave=max(self.sgprs_per_wave, other.sgprs_per_wave),
+            lds_bytes_per_group=max(self.lds_bytes_per_group, other.lds_bytes_per_group),
+        )
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Resolved occupancy limits for one launch."""
+
+    waves_per_group: int
+    max_waves_per_simd: int
+    max_groups_per_cu: int
+    limiting_resource: str
+
+    @property
+    def max_waves_per_cu(self) -> int:
+        return self.max_waves_per_simd * 4
+
+
+class SchedulingError(Exception):
+    """The kernel cannot be scheduled on the device at all."""
+
+
+def compute_occupancy(
+    config: GpuConfig, resources: KernelResources, local_size: int
+) -> Occupancy:
+    """Resolve how many groups of ``local_size`` work-items fit on a CU."""
+    waves_per_group = config.waves_per_group(local_size)
+
+    vgprs = max(1, resources.vgprs_per_workitem)
+    waves_by_vgpr = config.vgprs_per_simd // vgprs
+    if waves_by_vgpr == 0:
+        raise SchedulingError(
+            f"kernel needs {vgprs} VGPRs/work-item, SIMD has {config.vgprs_per_simd}"
+        )
+    waves_per_simd = min(config.max_waves_per_simd, waves_by_vgpr)
+    cu_wave_slots = waves_per_simd * config.simds_per_cu
+
+    limits = {}
+    limits["wave_slots"] = cu_wave_slots // waves_per_group
+    if resources.lds_bytes_per_group > 0:
+        if resources.lds_bytes_per_group > config.lds_bytes_per_cu:
+            raise SchedulingError(
+                f"kernel needs {resources.lds_bytes_per_group} B LDS/group, "
+                f"CU has {config.lds_bytes_per_cu}"
+            )
+        limits["lds"] = config.lds_bytes_per_cu // resources.lds_bytes_per_group
+    sgprs = max(1, resources.sgprs_per_wave)
+    waves_by_sgpr = config.sgprs_per_cu // sgprs
+    limits["sgprs"] = max(0, waves_by_sgpr // waves_per_group)
+    limits["group_cap"] = config.max_groups_per_cu
+    if resources.groups_per_cu_cap:
+        limits["inflation_cap"] = resources.groups_per_cu_cap
+
+    limiter = min(limits, key=lambda k: limits[k])
+    groups_per_cu = limits[limiter]
+    if groups_per_cu == 0:
+        raise SchedulingError(
+            f"no work-group of {local_size} work-items fits on a CU "
+            f"(limited by {limiter}; resources={resources})"
+        )
+    # Report the wave-slot ceiling actually reachable given group count.
+    return Occupancy(
+        waves_per_group=waves_per_group,
+        max_waves_per_simd=waves_per_simd,
+        max_groups_per_cu=groups_per_cu,
+        limiting_resource=limiter,
+    )

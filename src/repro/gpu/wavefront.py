@@ -1,0 +1,556 @@
+"""Lockstep wavefront interpreter.
+
+Each wavefront executes the kernel IR 64 lanes at a time over numpy
+vectors, maintaining a SIMT execution mask through structured control
+flow.  The interpreter is a generator: it performs functional computation
+locally and *yields* timed resource requests (:class:`ExecReq`,
+:class:`LdsReq`, :class:`GlobalReq`, :class:`BarrierReq`, ...) that the
+timing engine satisfies; for loads and atomics the engine sends the data
+back into the generator, so global-memory effects are applied in global
+time order — which is what makes the Inter-Group RMT handshake protocols
+(two-tier locks, atomic polling) causally consistent in simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.core import (
+    Alu,
+    AtomicGlobal,
+    Barrier,
+    Cmp,
+    Const,
+    If,
+    Instr,
+    Kernel,
+    LoadGlobal,
+    LoadLocal,
+    LoadParam,
+    PredOp,
+    ReportError,
+    Select,
+    SpecialId,
+    Stmt,
+    StoreGlobal,
+    StoreLocal,
+    Swizzle,
+    VReg,
+    While,
+)
+from ..ir.core import TRANSCENDENTAL_OPS
+from ..ir.types import DType
+from .memory import DeviceBuffer
+
+WAVE = 64
+_LANES = np.arange(WAVE)
+
+#: Side-effect-free instruction classes executed on the interpreter's
+#: fast path (no generator round-trip, timing batched into one ExecReq).
+_PURE_OPS = frozenset(
+    {Alu, Const, Cmp, PredOp, Select, SpecialId, LoadParam, Swizzle}
+)
+
+
+# ---------------------------------------------------------------------------
+# Requests yielded to the timing engine
+# ---------------------------------------------------------------------------
+
+
+class ExecReq:
+    """Batched ALU work: VALU issue cycles + scalar-unit cycles."""
+
+    __slots__ = ("valu_cycles", "salu_cycles", "n_valu", "n_salu", "n_branch", "n_div_branch")
+
+    def __init__(self, valu_cycles=0, salu_cycles=0, n_valu=0, n_salu=0,
+                 n_branch=0, n_div_branch=0):
+        self.valu_cycles = valu_cycles
+        self.salu_cycles = salu_cycles
+        self.n_valu = n_valu
+        self.n_salu = n_salu
+        self.n_branch = n_branch
+        self.n_div_branch = n_div_branch
+
+
+class LdsReq:
+    """A wavefront LDS access (already applied functionally)."""
+
+    __slots__ = ("op", "passes", "active")
+
+    def __init__(self, op: str, passes: int, active: int):
+        self.op = op            # 'load' | 'store'
+        self.passes = passes    # serialized bank-conflict passes
+        self.active = active
+
+
+class GlobalReq:
+    """A vector global-memory operation, applied by the engine."""
+
+    __slots__ = ("op", "buf", "indices", "values", "compares", "atomic_op")
+
+    def __init__(self, op, buf, indices, values=None, compares=None, atomic_op=None):
+        self.op = op            # 'load' | 'store' | 'atomic'
+        self.buf = buf          # DeviceBuffer
+        self.indices = indices  # int64 element indices (active lanes only)
+        self.values = values
+        self.compares = compares
+        self.atomic_op = atomic_op
+
+
+class BarrierReq:
+    """Work-group barrier."""
+
+    __slots__ = ()
+
+
+class ErrorReq:
+    """RMT detection event raised by ``report_error``."""
+
+    __slots__ = ("code", "lanes")
+
+    def __init__(self, code: int, lanes: int):
+        self.code = code
+        self.lanes = lanes
+
+
+# ---------------------------------------------------------------------------
+# Launch / group context
+# ---------------------------------------------------------------------------
+
+
+class LaunchContext:
+    """Immutable per-launch state shared by all wavefronts."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        global_size: Tuple[int, int, int],
+        local_size: Tuple[int, int, int],
+        buffers: Dict[str, DeviceBuffer],
+        scalars: Dict[str, object],
+        scalar_instrs: Optional[set] = None,
+        config=None,
+    ):
+        self.kernel = kernel
+        self.global_size = global_size
+        self.local_size = local_size
+        self.buffers = buffers
+        self.scalars = scalars
+        self.scalar_instrs = scalar_instrs or set()
+        self.config = config
+        #: optional fault-injection hook: fn(wave, instr) -> None
+        self.fault_hook: Optional[Callable] = None
+        #: per-launch cache of broadcast immediates (shared by all waves)
+        self.broadcast_cache: Dict[int, np.ndarray] = {}
+        for d in range(3):
+            if global_size[d] % local_size[d] != 0:
+                raise ValueError(
+                    f"global size {global_size} not divisible by local {local_size}"
+                )
+        self.num_groups = tuple(global_size[d] // local_size[d] for d in range(3))
+        self.flat_local = local_size[0] * local_size[1] * local_size[2]
+        self.total_groups = self.num_groups[0] * self.num_groups[1] * self.num_groups[2]
+
+    def group_coords(self, flat_group: int) -> Tuple[int, int, int]:
+        gx = flat_group % self.num_groups[0]
+        gy = (flat_group // self.num_groups[0]) % self.num_groups[1]
+        gz = flat_group // (self.num_groups[0] * self.num_groups[1])
+        return (gx, gy, gz)
+
+
+class GroupState:
+    """Mutable per-work-group state: LDS contents and barrier bookkeeping."""
+
+    def __init__(self, ctx: LaunchContext, flat_group: int):
+        self.ctx = ctx
+        self.flat_group = flat_group
+        self.coords = ctx.group_coords(flat_group)
+        self.lds: Dict[str, np.ndarray] = {
+            alloc.name: np.zeros(alloc.nelems, dtype=alloc.dtype.np_dtype)
+            for alloc in ctx.kernel.locals
+        }
+        self.n_waves = -(-ctx.flat_local // WAVE)
+        self.waves_done = 0
+        self.barrier_waiting: List = []
+
+
+# ---------------------------------------------------------------------------
+# Wavefront
+# ---------------------------------------------------------------------------
+
+
+class Wavefront:
+    """One 64-lane wavefront's functional state and interpreter."""
+
+    def __init__(self, ctx: LaunchContext, group: GroupState, wave_idx: int):
+        self.ctx = ctx
+        self.group = group
+        self.wave_idx = wave_idx
+        self.regs: Dict[int, np.ndarray] = {}
+        self.dyn_instrs = 0
+        # assigned by the engine at dispatch:
+        self.cu = -1
+        self.simd = -1
+        self.gen = None
+        # precompute lane IDs
+        flat_lid = wave_idx * WAVE + _LANES
+        self.active0 = flat_lid < ctx.flat_local
+        lx, ly, _lz = ctx.local_size
+        self.lid = (
+            (flat_lid % lx).astype(np.uint32),
+            ((flat_lid // lx) % ly).astype(np.uint32),
+            (flat_lid // (lx * ly)).astype(np.uint32),
+        )
+        gx, gy, gz = group.coords
+        self.gid = (
+            (gx * lx + self.lid[0]).astype(np.uint32),
+            (gy * ly + self.lid[1]).astype(np.uint32),
+            (gz * ctx.local_size[2] + self.lid[2]).astype(np.uint32),
+        )
+        # pending batched ALU work
+        self._pend = ExecReq()
+
+    # -- register access ----------------------------------------------------
+
+    def read(self, reg: VReg) -> np.ndarray:
+        arr = self.regs.get(id(reg))
+        if arr is None:
+            arr = np.zeros(WAVE, dtype=reg.dtype.np_dtype)
+            self.regs[id(reg)] = arr
+        return arr
+
+    def write(self, reg: VReg, values: np.ndarray, mask: np.ndarray) -> None:
+        arr = self.read(reg)
+        if values.dtype != arr.dtype:
+            values = values.astype(arr.dtype)
+        np.copyto(arr, values, where=mask)
+
+    # -- interpreter ---------------------------------------------------------
+
+    def run(self):
+        """Generator executing the whole kernel body."""
+        with np.errstate(all="ignore"):
+            yield from self._exec_body(self.ctx.kernel.body, self.active0.copy())
+            if self._has_pending():
+                yield self._flush()
+
+    def _has_pending(self) -> bool:
+        p = self._pend
+        return p.valu_cycles or p.salu_cycles or p.n_branch
+
+    def _flush(self) -> ExecReq:
+        req = self._pend
+        self._pend = ExecReq()
+        return req
+
+    def _exec_body(self, body: Sequence[Stmt], mask: np.ndarray):
+        cfg = self.ctx.config
+        hook = self.ctx.fault_hook
+        exec_pure = self._exec_pure
+        for stmt in body:
+            cls = stmt.__class__
+            if cls in _PURE_OPS:
+                # Hot path: straight-line ALU work executes without the
+                # per-instruction generator round-trip.
+                self.dyn_instrs += 1
+                if hook is not None:
+                    hook(self, stmt)
+                exec_pure(stmt, mask)
+            elif isinstance(stmt, If):
+                cond = self.read(stmt.cond)
+                then_mask = mask & cond
+                inv_mask = mask & ~cond
+                t_any = bool(then_mask.any())
+                i_any = bool(inv_mask.any())
+                self._pend.n_branch += 1
+                self._pend.valu_cycles += cfg.branch_cycles
+                if t_any and i_any:
+                    self._pend.n_div_branch += 1
+                if t_any:
+                    yield from self._exec_body(stmt.then_body, then_mask)
+                if stmt.else_body and i_any:
+                    yield from self._exec_body(stmt.else_body, inv_mask)
+            elif isinstance(stmt, While):
+                live = mask.copy()
+                while True:
+                    yield from self._exec_body(stmt.cond_block, live)
+                    cond = self.read(stmt.cond)
+                    live &= cond
+                    self._pend.n_branch += 1
+                    self._pend.valu_cycles += cfg.branch_cycles
+                    if not live.any():
+                        break
+                    if not live.all() and mask.any():
+                        self._pend.n_div_branch += 1
+                    yield from self._exec_body(stmt.body, live)
+            else:
+                yield from self._exec_instr(stmt, mask)
+
+    # -- instruction semantics -------------------------------------------
+
+    def _exec_pure(self, instr: Instr, mask: np.ndarray) -> None:
+        """Execute one side-effect-free instruction (no timing yield)."""
+        cls = instr.__class__
+        if cls is Alu:
+            self._do_alu(instr, mask)
+            self._charge_alu(instr, in_trans=instr.op in TRANSCENDENTAL_OPS)
+            return
+        if cls is Cmp:
+            a = self.read(instr.a)
+            b = self.read(instr.b)
+            res = _CMP_FUNCS[instr.op](a, b)
+            self.write(instr.dst, res, mask)
+        elif cls is Const or cls is LoadParam:
+            self.write(instr.dst, self._broadcast_value(instr), mask)
+        elif cls is PredOp:
+            a = self.read(instr.a)
+            if instr.op == "not":
+                res = ~a
+            else:
+                b = self.read(instr.b)
+                res = {"and": a & b, "or": a | b, "xor": a ^ b}[instr.op]
+            self.write(instr.dst, res, mask)
+        elif cls is Select:
+            pred = self.read(instr.pred)
+            res = np.where(pred, self.read(instr.a), self.read(instr.b))
+            self.write(instr.dst, res, mask)
+        elif cls is SpecialId:
+            self.write(instr.dst, self._special_value(instr), mask)
+        else:  # Swizzle
+            src = self.read(instr.src)
+            src_lanes = (((_LANES & instr.and_mask) | instr.or_mask) ^ instr.xor_mask) % WAVE
+            self.write(instr.dst, src[src_lanes], mask)
+        self._charge_alu(instr)
+
+    def _broadcast_value(self, instr) -> np.ndarray:
+        """Cached 64-lane broadcast of a Const/LoadParam value."""
+        cache = self.ctx.broadcast_cache
+        arr = cache.get(id(instr))
+        if arr is None:
+            if instr.__class__ is Const:
+                value = instr.value
+            else:
+                value = self.ctx.scalars[instr.param.name]
+            arr = np.full(WAVE, value, dtype=instr.dst.dtype.np_dtype)
+            arr.flags.writeable = False
+            cache[id(instr)] = arr
+        return arr
+
+    def _exec_instr(self, instr: Instr, mask: np.ndarray):
+        self.dyn_instrs += 1
+        hook = self.ctx.fault_hook
+        if hook is not None:
+            hook(self, instr)
+        cls = type(instr)
+
+        if cls is LoadGlobal:
+            if mask.any():
+                buf = self.ctx.buffers[instr.buf.name]
+                idx = self.read(instr.index)[mask].astype(np.int64)
+                if self._has_pending():
+                    yield self._flush()
+                op = "sload" if id(instr) in self.ctx.scalar_instrs else "load"
+                data = yield GlobalReq(op, buf, idx)
+                out = np.zeros(WAVE, dtype=self.read(instr.dst).dtype)
+                out[mask] = data
+                self.write(instr.dst, out, mask)
+        elif cls is StoreGlobal:
+            if mask.any():
+                buf = self.ctx.buffers[instr.buf.name]
+                idx = self.read(instr.index)[mask].astype(np.int64)
+                vals = self.read(instr.value)[mask]
+                if self._has_pending():
+                    yield self._flush()
+                yield GlobalReq("store", buf, idx, vals)
+        elif cls is AtomicGlobal:
+            if mask.any():
+                buf = self.ctx.buffers[instr.buf.name]
+                idx = self.read(instr.index)[mask].astype(np.int64)
+                vals = self.read(instr.value)[mask]
+                cmps = None if instr.compare is None else self.read(instr.compare)[mask]
+                if self._has_pending():
+                    yield self._flush()
+                old = yield GlobalReq("atomic", buf, idx, vals, cmps, instr.op)
+                if instr.dst is not None:
+                    out = np.zeros(WAVE, dtype=self.read(instr.dst).dtype)
+                    out[mask] = old
+                    self.write(instr.dst, out, mask)
+        elif cls is LoadLocal:
+            if mask.any():
+                arr = self.group.lds[instr.lds.name]
+                idx = self.read(instr.index)[mask].astype(np.int64)
+                idx = self._lds_bounds(instr.lds.name, arr, idx)
+                out = np.zeros(WAVE, dtype=self.read(instr.dst).dtype)
+                out[mask] = arr[idx]
+                self.write(instr.dst, out, mask)
+                if self._has_pending():
+                    yield self._flush()
+                yield LdsReq("load", self._bank_passes(idx), int(mask.sum()))
+        elif cls is StoreLocal:
+            if mask.any():
+                arr = self.group.lds[instr.lds.name]
+                idx = self.read(instr.index)[mask].astype(np.int64)
+                idx = self._lds_bounds(instr.lds.name, arr, idx)
+                arr[idx] = self.read(instr.value)[mask].astype(arr.dtype)
+                if self._has_pending():
+                    yield self._flush()
+                yield LdsReq("store", self._bank_passes(idx), int(mask.sum()))
+        elif cls is Barrier:
+            if self._has_pending():
+                yield self._flush()
+            yield BarrierReq()
+        elif cls is ReportError:
+            if mask.any():
+                if self._has_pending():
+                    yield self._flush()
+                yield ErrorReq(instr.code, int(mask.sum()))
+        else:  # pragma: no cover
+            raise TypeError(f"unknown instruction {instr!r}")
+
+    def _charge_alu(self, instr: Instr, in_trans: bool = False) -> None:
+        cfg = self.ctx.config
+        if id(instr) in self.ctx.scalar_instrs:
+            self._pend.salu_cycles += cfg.salu_latency
+            self._pend.n_salu += 1
+        elif in_trans:
+            self._pend.valu_cycles += cfg.trans_issue_cycles
+            self._pend.n_valu += 1
+        else:
+            self._pend.valu_cycles += cfg.valu_issue_cycles
+            self._pend.n_valu += 1
+
+    def _special_value(self, instr: SpecialId) -> np.ndarray:
+        d = instr.dim
+        kind = instr.kind
+        if kind == "global_id":
+            return self.gid[d]
+        if kind == "local_id":
+            return self.lid[d]
+        if kind == "group_id":
+            return np.full(WAVE, self.group.coords[d], dtype=np.uint32)
+        if kind == "global_size":
+            return np.full(WAVE, self.ctx.global_size[d], dtype=np.uint32)
+        if kind == "local_size":
+            return np.full(WAVE, self.ctx.local_size[d], dtype=np.uint32)
+        if kind == "num_groups":
+            return np.full(WAVE, self.ctx.num_groups[d], dtype=np.uint32)
+        raise ValueError(kind)  # pragma: no cover
+
+    def _bank_passes(self, indices: np.ndarray) -> int:
+        """Serialized LDS passes due to bank conflicts (32 banks, 4 B wide).
+
+        Broadcasts (same address) do not conflict, so the pass count is
+        the largest number of *distinct* addresses mapping to one bank.
+        """
+        distinct = np.unique(indices)
+        counts = np.bincount(
+            (distinct % self.ctx.config.lds_banks).astype(np.int64),
+            minlength=1,
+        )
+        return int(counts.max()) if distinct.size else 1
+
+    def _lds_bounds(self, name: str, arr: np.ndarray, idx: np.ndarray) -> np.ndarray:
+        if idx.size and (idx.min() < 0 or idx.max() >= arr.size):
+            if self.ctx.fault_hook is not None:
+                # Wild LDS access caused by an injected upset: wrap it the
+                # way the hardware's address masking would.
+                return idx % arr.size
+            raise IndexError(
+                f"out-of-bounds LDS access to {name!r}: "
+                f"indices in [{idx.min()}, {idx.max()}], size {arr.size}"
+            )
+        return idx
+
+
+# ---------------------------------------------------------------------------
+# ALU semantics
+# ---------------------------------------------------------------------------
+
+
+def _shift_amount(b: np.ndarray) -> np.ndarray:
+    amount = (b.view(np.uint32) if b.dtype != np.uint32 else b) & np.uint32(31)
+    return amount.astype(np.uint8)  # avoid int64 promotion in mixed shifts
+
+
+_CMP_FUNCS = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+}
+
+
+def _trunc_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if a.dtype == np.float32:
+        return a / b
+    safe_b = np.where(b == 0, 1, b)
+    q = np.trunc(a.astype(np.float64) / safe_b.astype(np.float64))
+    return np.where(b == 0, 0, q).astype(a.dtype)
+
+
+def _trunc_rem(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    q = _trunc_div(a, b)
+    if a.dtype == np.float32:
+        return a - np.trunc(q) * b
+    return (a - q * b).astype(a.dtype)
+
+
+class _AluSemantics:
+    """Dispatch table for ALU opcodes over numpy lane vectors."""
+
+    @staticmethod
+    def apply(op: str, a: np.ndarray, b: Optional[np.ndarray]) -> np.ndarray:
+        fn = _ALU_FUNCS.get(op)
+        if fn is None:  # pragma: no cover - guarded at build time
+            raise ValueError(f"unknown ALU op {op!r}")
+        return fn(a) if b is None else fn(a, b)
+
+
+_ALU_FUNCS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": _trunc_div,
+    "rem": _trunc_rem,
+    "min": np.minimum,
+    "max": np.maximum,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: (a.view(np.uint32) << _shift_amount(b)).view(a.dtype),
+    "shr": lambda a, b: (a.view(np.uint32) >> _shift_amount(b)).view(a.dtype),
+    "ashr": lambda a, b: (a.view(np.int32) >> _shift_amount(b)).view(a.dtype),
+    "pow": lambda a, b: np.power(a, b),
+    "neg": lambda a: -a if a.dtype != np.uint32 else (~a + np.uint32(1)),
+    "not": lambda a: ~a,
+    "abs": np.abs,
+    "sqrt": lambda a: np.sqrt(a),
+    "rsqrt": lambda a: (1.0 / np.sqrt(a)).astype(np.float32),
+    "exp": lambda a: np.exp(a),
+    "log": lambda a: np.log(a),
+    "sin": lambda a: np.sin(a),
+    "cos": lambda a: np.cos(a),
+    "floor": np.floor,
+    "f2i": lambda a: np.clip(np.nan_to_num(a), -2**31, 2**31 - 1).astype(np.int32),
+    "f2u": lambda a: np.clip(np.nan_to_num(a), 0, 2**32 - 1).astype(np.uint32),
+    "i2f": lambda a: a.astype(np.float32),
+    "u2f": lambda a: a.astype(np.float32),
+    "bitcast_u32": lambda a: a.view(np.uint32) if a.dtype != np.bool_ else a.astype(np.uint32),
+    "bitcast_i32": lambda a: a.view(np.int32) if a.dtype != np.bool_ else a.astype(np.int32),
+    "bitcast_f32": lambda a: a.view(np.float32),
+    "mov": lambda a: a,
+}
+
+
+def _do_alu(self: Wavefront, instr: Alu, mask: np.ndarray) -> None:
+    a = self.read(instr.a)
+    b = None if instr.b is None else self.read(instr.b)
+    res = _AluSemantics.apply(instr.op, a, b)
+    self.write(instr.dst, res, mask)
+
+
+Wavefront._do_alu = _do_alu

@@ -1,0 +1,80 @@
+"""Kernel intermediate representation.
+
+The IR mirrors the abstractions the paper's RMT pass manipulates at the
+LLVM layer of AMD's OpenCL toolchain: work-item ID intrinsics, global and
+local (LDS) memory operations, work-group barriers, global atomics, and
+structured SIMT control flow.
+"""
+
+from .builder import KernelBuilder
+from .core import (
+    Alu,
+    AtomicGlobal,
+    Barrier,
+    BufferParam,
+    Cmp,
+    Const,
+    If,
+    Instr,
+    Kernel,
+    LoadGlobal,
+    LoadLocal,
+    LoadParam,
+    LocalAlloc,
+    Param,
+    PredOp,
+    ReportError,
+    ScalarParam,
+    Select,
+    SpecialId,
+    Stmt,
+    StoreGlobal,
+    StoreLocal,
+    Swizzle,
+    VReg,
+    While,
+    clone_stmt,
+    walk_instrs,
+    walk_stmts,
+)
+from .printer import format_kernel
+from .types import DType, bitcast_from_u32, bitcast_to_u32
+from .verify import VerificationError, verify_kernel
+
+__all__ = [
+    "Alu",
+    "AtomicGlobal",
+    "Barrier",
+    "BufferParam",
+    "Cmp",
+    "Const",
+    "DType",
+    "If",
+    "Instr",
+    "Kernel",
+    "KernelBuilder",
+    "LoadGlobal",
+    "LoadLocal",
+    "LoadParam",
+    "LocalAlloc",
+    "Param",
+    "PredOp",
+    "ReportError",
+    "ScalarParam",
+    "Select",
+    "SpecialId",
+    "Stmt",
+    "StoreGlobal",
+    "StoreLocal",
+    "Swizzle",
+    "VReg",
+    "VerificationError",
+    "While",
+    "bitcast_from_u32",
+    "bitcast_to_u32",
+    "clone_stmt",
+    "format_kernel",
+    "verify_kernel",
+    "walk_instrs",
+    "walk_stmts",
+]

@@ -1,0 +1,492 @@
+"""Fluent builder DSL for authoring kernels in the IR.
+
+The builder plays the role of the OpenCL C frontend in the paper's
+toolchain: benchmark kernels are written against it, producing the IR
+that the RMT compiler passes then transform.
+
+Example::
+
+    b = KernelBuilder("vec_add")
+    a = b.buffer_param("a", DType.F32)
+    c = b.buffer_param("c", DType.F32)
+    gid = b.global_id(0)
+    b.store(c, gid, b.add(b.load(a, gid), 1.0))
+    kernel = b.finish()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import List, Optional, Union
+
+import numpy as np
+
+from .core import (
+    Alu,
+    AtomicGlobal,
+    Barrier,
+    BufferParam,
+    Cmp,
+    Const,
+    If,
+    Instr,
+    Kernel,
+    LoadGlobal,
+    LoadLocal,
+    LoadParam,
+    LocalAlloc,
+    PredOp,
+    ReportError,
+    ScalarParam,
+    Select,
+    SpecialId,
+    Stmt,
+    StoreGlobal,
+    StoreLocal,
+    Swizzle,
+    VReg,
+    While,
+)
+from .types import DType
+
+Operand = Union[VReg, int, float, bool]
+
+
+class KernelBuilder:
+    """Incrementally constructs a :class:`~repro.ir.core.Kernel`."""
+
+    def __init__(self, name: str):
+        self._kernel = Kernel(name)
+        self._stack: List[List[Stmt]] = [self._kernel.body]
+        self._finished = False
+
+    @classmethod
+    def attach(cls, kernel: Kernel, target: List[Stmt]) -> "KernelBuilder":
+        """Builder emitting into an existing kernel's statement list.
+
+        Used by compiler passes (notably the RMT transformations) to
+        synthesize IR snippets — prologues, output-comparison sequences,
+        lock handshakes — sharing the kernel's register namespace.
+        """
+        self = cls.__new__(cls)
+        self._kernel = kernel
+        self._stack = [target]
+        self._finished = False
+        return self
+
+    # -- declarations -----------------------------------------------------
+
+    def buffer_param(self, name: str, dtype: DType) -> BufferParam:
+        """Declare a global-memory buffer parameter."""
+        param = BufferParam(name, dtype)
+        self._kernel.params.append(param)
+        return param
+
+    def scalar_param(self, name: str, dtype: DType) -> VReg:
+        """Declare a scalar parameter and return a register holding it."""
+        param = ScalarParam(name, dtype)
+        self._kernel.params.append(param)
+        dst = self._kernel.new_reg(dtype, hint=name)
+        self._emit(LoadParam(dst, param))
+        return dst
+
+    def local_alloc(self, name: str, dtype: DType, nelems: int) -> LocalAlloc:
+        """Declare an LDS allocation of ``nelems`` elements per group."""
+        return self._kernel.add_local(name, dtype, nelems)
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def kernel(self) -> Kernel:
+        return self._kernel
+
+    def _emit(self, stmt: Stmt) -> Stmt:
+        if self._finished:
+            raise RuntimeError("builder already finished")
+        self._stack[-1].append(stmt)
+        return stmt
+
+    def _reg(self, dtype: DType, hint: str = "t") -> VReg:
+        return self._kernel.new_reg(dtype, hint)
+
+    def _coerce(self, value: Operand, dtype: Optional[DType] = None) -> VReg:
+        """Materialize Python immediates as Const instructions."""
+        if isinstance(value, VReg):
+            return value
+        if dtype is None:
+            if isinstance(value, bool):
+                dtype = DType.PRED
+            elif isinstance(value, float):
+                dtype = DType.F32
+            else:
+                dtype = DType.I32
+        dst = self._reg(dtype, hint="c")
+        self._emit(Const(dst, value))
+        return dst
+
+    def _pair(self, a: Operand, b: Operand):
+        """Coerce a binary-op operand pair, inferring immediate types."""
+        if isinstance(a, VReg) and not isinstance(b, VReg):
+            return a, self._coerce(b, a.dtype)
+        if isinstance(b, VReg) and not isinstance(a, VReg):
+            return self._coerce(a, b.dtype), b
+        return self._coerce(a), self._coerce(b)
+
+    # -- constants and moves -----------------------------------------------
+
+    def const(self, value, dtype: DType) -> VReg:
+        """Materialize an immediate of an explicit type."""
+        return self._coerce(value, dtype)
+
+    def var(self, dtype: DType, init: Operand, hint: str = "v") -> VReg:
+        """Declare a mutable variable initialised to ``init``.
+
+        Returns a register that may later be re-assigned with :meth:`set`
+        (used for loop-carried values).
+        """
+        dst = self._reg(dtype, hint)
+        src = self._coerce(init, dtype)
+        self._emit(Alu("mov", dst, src))
+        return dst
+
+    def set(self, dst: VReg, value: Operand) -> VReg:
+        """Re-assign a variable register."""
+        src = self._coerce(value, dst.dtype)
+        self._emit(Alu("mov", dst, src))
+        return dst
+
+    def mov(self, src: Operand, dtype: Optional[DType] = None) -> VReg:
+        """Copy into a fresh register."""
+        reg = self._coerce(src, dtype)
+        dst = self._reg(reg.dtype)
+        self._emit(Alu("mov", dst, reg))
+        return dst
+
+    # -- IDs ----------------------------------------------------------------
+
+    def _special(self, kind: str, dim: int) -> VReg:
+        dst = self._reg(DType.U32, hint=kind)
+        self._emit(SpecialId(dst, kind, dim))
+        return dst
+
+    def global_id(self, dim: int = 0) -> VReg:
+        return self._special("global_id", dim)
+
+    def local_id(self, dim: int = 0) -> VReg:
+        return self._special("local_id", dim)
+
+    def group_id(self, dim: int = 0) -> VReg:
+        return self._special("group_id", dim)
+
+    def global_size(self, dim: int = 0) -> VReg:
+        return self._special("global_size", dim)
+
+    def local_size(self, dim: int = 0) -> VReg:
+        return self._special("local_size", dim)
+
+    def num_groups(self, dim: int = 0) -> VReg:
+        return self._special("num_groups", dim)
+
+    # -- ALU -----------------------------------------------------------------
+
+    def _binary(self, op: str, a: Operand, b: Operand, dtype: Optional[DType] = None) -> VReg:
+        ra, rb = self._pair(a, b)
+        dst = self._reg(dtype or ra.dtype)
+        self._emit(Alu(op, dst, ra, rb))
+        return dst
+
+    def _unary(self, op: str, a: Operand, dtype: Optional[DType] = None) -> VReg:
+        ra = self._coerce(a)
+        dst = self._reg(dtype or ra.dtype)
+        self._emit(Alu(op, dst, ra))
+        return dst
+
+    def add(self, a, b):
+        return self._binary("add", a, b)
+
+    def sub(self, a, b):
+        return self._binary("sub", a, b)
+
+    def mul(self, a, b):
+        return self._binary("mul", a, b)
+
+    def div(self, a, b):
+        return self._binary("div", a, b)
+
+    def rem(self, a, b):
+        return self._binary("rem", a, b)
+
+    def min(self, a, b):
+        return self._binary("min", a, b)
+
+    def max(self, a, b):
+        return self._binary("max", a, b)
+
+    def and_(self, a, b):
+        return self._binary("and", a, b)
+
+    def or_(self, a, b):
+        return self._binary("or", a, b)
+
+    def xor(self, a, b):
+        return self._binary("xor", a, b)
+
+    def shl(self, a, b):
+        return self._binary("shl", a, b)
+
+    def shr(self, a, b):
+        return self._binary("shr", a, b)
+
+    def ashr(self, a, b):
+        return self._binary("ashr", a, b)
+
+    def pow(self, a, b):
+        return self._binary("pow", a, b)
+
+    def neg(self, a):
+        return self._unary("neg", a)
+
+    def abs(self, a):
+        return self._unary("abs", a)
+
+    def not_(self, a):
+        return self._unary("not", a)
+
+    def sqrt(self, a):
+        return self._unary("sqrt", a)
+
+    def rsqrt(self, a):
+        return self._unary("rsqrt", a)
+
+    def exp(self, a):
+        return self._unary("exp", a)
+
+    def log(self, a):
+        return self._unary("log", a)
+
+    def sin(self, a):
+        return self._unary("sin", a)
+
+    def cos(self, a):
+        return self._unary("cos", a)
+
+    def floor(self, a):
+        return self._unary("floor", a)
+
+    def f2i(self, a):
+        return self._unary("f2i", a, DType.I32)
+
+    def f2u(self, a):
+        return self._unary("f2u", a, DType.U32)
+
+    def i2f(self, a):
+        return self._unary("i2f", a, DType.F32)
+
+    def u2f(self, a):
+        return self._unary("u2f", a, DType.F32)
+
+    def bitcast(self, a: Operand, dtype: DType) -> VReg:
+        """Reinterpret 32-bit lanes as another 32-bit type."""
+        op = {DType.U32: "bitcast_u32", DType.I32: "bitcast_i32", DType.F32: "bitcast_f32"}[dtype]
+        return self._unary(op, a, dtype)
+
+    def as_u32(self, a: Operand) -> VReg:
+        """Convenience bitcast-to-u32 (for address/value comparisons)."""
+        reg = self._coerce(a)
+        if reg.dtype is DType.U32:
+            return reg
+        return self.bitcast(reg, DType.U32)
+
+    # -- comparisons and predicates ------------------------------------------
+
+    def _cmp(self, op: str, a: Operand, b: Operand) -> VReg:
+        ra, rb = self._pair(a, b)
+        dst = self._reg(DType.PRED, hint="p")
+        self._emit(Cmp(op, dst, ra, rb))
+        return dst
+
+    def eq(self, a, b):
+        return self._cmp("eq", a, b)
+
+    def ne(self, a, b):
+        return self._cmp("ne", a, b)
+
+    def lt(self, a, b):
+        return self._cmp("lt", a, b)
+
+    def le(self, a, b):
+        return self._cmp("le", a, b)
+
+    def gt(self, a, b):
+        return self._cmp("gt", a, b)
+
+    def ge(self, a, b):
+        return self._cmp("ge", a, b)
+
+    def pand(self, a: VReg, b: VReg) -> VReg:
+        dst = self._reg(DType.PRED, hint="p")
+        self._emit(PredOp("and", dst, a, b))
+        return dst
+
+    def por(self, a: VReg, b: VReg) -> VReg:
+        dst = self._reg(DType.PRED, hint="p")
+        self._emit(PredOp("or", dst, a, b))
+        return dst
+
+    def pnot(self, a: VReg) -> VReg:
+        dst = self._reg(DType.PRED, hint="p")
+        self._emit(PredOp("not", dst, a))
+        return dst
+
+    def select(self, pred: VReg, a: Operand, b: Operand) -> VReg:
+        ra, rb = self._pair(a, b)
+        dst = self._reg(ra.dtype)
+        self._emit(Select(dst, pred, ra, rb))
+        return dst
+
+    # -- memory ----------------------------------------------------------------
+
+    def load(self, buf: BufferParam, index: Operand) -> VReg:
+        idx = self._coerce(index, DType.U32)
+        dst = self._reg(buf.dtype, hint="ld")
+        self._emit(LoadGlobal(dst, buf, idx))
+        return dst
+
+    def store(self, buf: BufferParam, index: Operand, value: Operand) -> None:
+        idx = self._coerce(index, DType.U32)
+        val = self._coerce(value, buf.dtype)
+        self._emit(StoreGlobal(buf, idx, val))
+
+    def load_local(self, lds: LocalAlloc, index: Operand) -> VReg:
+        idx = self._coerce(index, DType.U32)
+        dst = self._reg(lds.dtype, hint="lld")
+        self._emit(LoadLocal(dst, lds, idx))
+        return dst
+
+    def store_local(self, lds: LocalAlloc, index: Operand, value: Operand) -> None:
+        idx = self._coerce(index, DType.U32)
+        val = self._coerce(value, lds.dtype)
+        self._emit(StoreLocal(lds, idx, val))
+
+    def atomic(
+        self,
+        op: str,
+        buf: BufferParam,
+        index: Operand,
+        value: Operand,
+        compare: Optional[Operand] = None,
+        want_old: bool = True,
+    ) -> Optional[VReg]:
+        idx = self._coerce(index, DType.U32)
+        val = self._coerce(value, buf.dtype)
+        cmp_reg = None if compare is None else self._coerce(compare, buf.dtype)
+        dst = self._reg(buf.dtype, hint="old") if want_old else None
+        self._emit(AtomicGlobal(op, dst, buf, idx, val, cmp_reg))
+        return dst
+
+    def barrier(self) -> None:
+        self._emit(Barrier())
+
+    def swizzle(self, src: VReg, and_mask: int = ~0, or_mask: int = 0, xor_mask: int = 0) -> VReg:
+        dst = self._reg(src.dtype, hint="swz")
+        self._emit(Swizzle(dst, src, and_mask, or_mask, xor_mask))
+        return dst
+
+    def report_error(self, code: int = 1) -> None:
+        self._emit(ReportError(code))
+
+    # -- control flow --------------------------------------------------------
+
+    @contextlib.contextmanager
+    def if_(self, cond: VReg):
+        """``with b.if_(pred): ...`` — emit a one-sided If."""
+        then_body: List[Stmt] = []
+        self._stack.append(then_body)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+        self._emit(If(cond, then_body))
+
+    @contextlib.contextmanager
+    def if_else(self, cond: VReg):
+        """``with b.if_else(pred) as orelse: ... with orelse: ...``."""
+        stmt = If(cond, [], [])
+
+        @contextlib.contextmanager
+        def orelse():
+            self._stack.append(stmt.else_body)
+            try:
+                yield
+            finally:
+                self._stack.pop()
+
+        self._stack.append(stmt.then_body)
+        try:
+            yield orelse
+        finally:
+            self._stack.pop()
+        self._emit(stmt)
+
+    @contextlib.contextmanager
+    def loop(self):
+        """General while-loop context.
+
+        Inside the block, call ``loop.break_unless(pred)`` exactly once;
+        instructions before it form the condition block, the rest the body::
+
+            with b.loop() as loop:
+                c = b.lt(i, n)
+                loop.break_unless(c)
+                ...
+                b.set(i, b.add(i, 1))
+        """
+        ctx = _LoopContext(self)
+        self._stack.append(ctx.cond_block)
+        try:
+            yield ctx
+        finally:
+            self._stack.pop()
+            if ctx.cond is None:
+                raise RuntimeError("loop() block never called break_unless()")
+            self._emit(While(ctx.cond_block, ctx.cond, ctx.body))
+
+    @contextlib.contextmanager
+    def for_range(self, start: Operand, stop: Operand, step: Operand = 1):
+        """Counted loop; yields the (u32) induction variable."""
+        i = self.var(DType.U32, start, hint="i")
+        stop_reg = self._coerce(stop, DType.U32)
+        step_reg = self._coerce(step, DType.U32)
+        with self.loop() as lp:
+            cond = self.lt(i, stop_reg)
+            lp.break_unless(cond)
+            yield i
+            self.set(i, self.add(i, step_reg))
+
+    def finish(self) -> Kernel:
+        """Finalize and return the kernel."""
+        if len(self._stack) != 1:
+            raise RuntimeError("unbalanced control-flow contexts at finish()")
+        self._finished = True
+        return self._kernel
+
+
+class _LoopContext:
+    """State for an in-progress :meth:`KernelBuilder.loop` block."""
+
+    def __init__(self, builder: KernelBuilder):
+        self._builder = builder
+        self.cond_block: List[Stmt] = []
+        self.body: List[Stmt] = []
+        self.cond: Optional[VReg] = None
+
+    def break_unless(self, cond: VReg) -> None:
+        """Mark the loop condition; lanes where ``cond`` is false exit."""
+        if self.cond is not None:
+            raise RuntimeError("break_unless() called twice in one loop()")
+        if cond.dtype is not DType.PRED:
+            raise TypeError("loop condition must be a predicate register")
+        self.cond = cond
+        # Everything emitted from here on goes to the body.
+        self._builder._stack.pop()
+        self._builder._stack.append(self.body)

@@ -1,0 +1,713 @@
+"""Core kernel IR data structures.
+
+A :class:`Kernel` is a named list of parameters, local (LDS) allocations,
+and a body of statements.  Statements are either straight-line
+instructions or structured control flow (:class:`If`, :class:`While`).
+Virtual registers are *not* SSA: a register may be re-assigned, which
+keeps loop-carried values simple for both the interpreter and the RMT
+transformation passes.
+
+The structured form mirrors what the paper's pass sees at the LLVM layer
+after the OpenCL frontend: explicit work-item ID intrinsics, address-space
+separated loads/stores, work-group barriers, and global atomics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .types import DType
+
+# ---------------------------------------------------------------------------
+# Values
+# ---------------------------------------------------------------------------
+
+
+class VReg:
+    """A virtual register holding one 32-bit value per work-item lane."""
+
+    __slots__ = ("name", "dtype")
+
+    def __init__(self, name: str, dtype: DType):
+        self.name = name
+        self.dtype = dtype
+
+    def __repr__(self) -> str:
+        return f"%{self.name}:{self.dtype.value}"
+
+
+@dataclass(frozen=True)
+class BufferParam:
+    """A kernel parameter bound to a global-memory buffer."""
+
+    name: str
+    dtype: DType
+
+    def __repr__(self) -> str:
+        return f"global {self.dtype.value}* {self.name}"
+
+
+@dataclass(frozen=True)
+class ScalarParam:
+    """A kernel parameter bound to a single host-provided scalar."""
+
+    name: str
+    dtype: DType
+
+    def __repr__(self) -> str:
+        return f"{self.dtype.value} {self.name}"
+
+
+Param = Union[BufferParam, ScalarParam]
+
+
+@dataclass(frozen=True)
+class LocalAlloc:
+    """A named LDS allocation, sized in elements per work-group."""
+
+    name: str
+    dtype: DType
+    nelems: int
+
+    @property
+    def nbytes(self) -> int:
+        return self.nelems * self.dtype.nbytes
+
+    def __repr__(self) -> str:
+        return f"local {self.dtype.value} {self.name}[{self.nelems}]"
+
+
+# ---------------------------------------------------------------------------
+# Opcodes
+# ---------------------------------------------------------------------------
+
+#: Binary ALU opcodes.  Division/remainder follow C semantics per dtype.
+BINARY_OPS = frozenset(
+    {
+        "add", "sub", "mul", "div", "rem",
+        "min", "max",
+        "and", "or", "xor", "shl", "shr", "ashr",
+        "pow",
+    }
+)
+
+#: Unary ALU opcodes.  ``f2i``/``i2f``/etc. convert; ``bitcast_*`` reinterpret.
+UNARY_OPS = frozenset(
+    {
+        "neg", "not", "abs",
+        "sqrt", "rsqrt", "exp", "log", "sin", "cos", "floor",
+        "f2i", "f2u", "i2f", "u2f",
+        "bitcast_u32", "bitcast_i32", "bitcast_f32",
+        "mov",
+    }
+)
+
+#: Transcendental opcodes execute on the quarter-rate VALU pipe.
+TRANSCENDENTAL_OPS = frozenset({"sqrt", "rsqrt", "exp", "log", "sin", "cos", "pow"})
+
+CMP_OPS = frozenset({"eq", "ne", "lt", "le", "gt", "ge"})
+
+#: Atomic opcodes supported on global memory.
+ATOMIC_OPS = frozenset({"add", "xchg", "cmpxchg", "max", "or"})
+
+#: Work-item / launch geometry intrinsics (OpenCL get_* builtins).
+ID_KINDS = frozenset(
+    {
+        "global_id", "local_id", "group_id",
+        "global_size", "local_size", "num_groups",
+    }
+)
+
+
+# ---------------------------------------------------------------------------
+# Instructions
+# ---------------------------------------------------------------------------
+
+
+class Instr:
+    """Base class for straight-line instructions."""
+
+    __slots__ = ()
+
+    def dests(self) -> Tuple[VReg, ...]:
+        """Registers written by this instruction."""
+        return ()
+
+    def sources(self) -> Tuple[VReg, ...]:
+        """Registers read by this instruction."""
+        return ()
+
+    def clone(self, regmap: Dict[VReg, VReg]) -> "Instr":
+        """Return a copy with registers substituted through ``regmap``."""
+        raise NotImplementedError
+
+
+def _m(regmap: Dict[VReg, VReg], reg: VReg) -> VReg:
+    return regmap.get(reg, reg)
+
+
+class Const(Instr):
+    """``dst = immediate`` (broadcast to all lanes)."""
+
+    __slots__ = ("dst", "value")
+
+    def __init__(self, dst: VReg, value):
+        self.dst = dst
+        self.value = value
+
+    def dests(self):
+        return (self.dst,)
+
+    def clone(self, regmap):
+        return Const(_m(regmap, self.dst), self.value)
+
+    def __repr__(self):
+        return f"{self.dst!r} = const {self.value}"
+
+
+class LoadParam(Instr):
+    """``dst = scalar kernel parameter`` (uniform across the NDRange)."""
+
+    __slots__ = ("dst", "param")
+
+    def __init__(self, dst: VReg, param: ScalarParam):
+        self.dst = dst
+        self.param = param
+
+    def dests(self):
+        return (self.dst,)
+
+    def clone(self, regmap):
+        return LoadParam(_m(regmap, self.dst), self.param)
+
+    def __repr__(self):
+        return f"{self.dst!r} = param {self.param.name}"
+
+
+class SpecialId(Instr):
+    """``dst = get_<kind>(dim)`` — the OpenCL ID intrinsics.
+
+    These are the values the RMT passes rewrite to create redundant
+    work-item pairs (Section 6.2 / 7.2 of the paper).
+    """
+
+    __slots__ = ("dst", "kind", "dim")
+
+    def __init__(self, dst: VReg, kind: str, dim: int = 0):
+        if kind not in ID_KINDS:
+            raise ValueError(f"unknown id kind {kind!r}")
+        self.dst = dst
+        self.kind = kind
+        self.dim = dim
+
+    def dests(self):
+        return (self.dst,)
+
+    def clone(self, regmap):
+        return SpecialId(_m(regmap, self.dst), self.kind, self.dim)
+
+    def __repr__(self):
+        return f"{self.dst!r} = get_{self.kind}({self.dim})"
+
+
+class Alu(Instr):
+    """Unary or binary vector ALU operation."""
+
+    __slots__ = ("op", "dst", "a", "b")
+
+    def __init__(self, op: str, dst: VReg, a: VReg, b: Optional[VReg] = None):
+        if b is None and op not in UNARY_OPS:
+            raise ValueError(f"{op!r} is not a unary op")
+        if b is not None and op not in BINARY_OPS:
+            raise ValueError(f"{op!r} is not a binary op")
+        self.op = op
+        self.dst = dst
+        self.a = a
+        self.b = b
+
+    def dests(self):
+        return (self.dst,)
+
+    def sources(self):
+        return (self.a,) if self.b is None else (self.a, self.b)
+
+    def clone(self, regmap):
+        return Alu(
+            self.op,
+            _m(regmap, self.dst),
+            _m(regmap, self.a),
+            None if self.b is None else _m(regmap, self.b),
+        )
+
+    def __repr__(self):
+        if self.b is None:
+            return f"{self.dst!r} = {self.op} {self.a!r}"
+        return f"{self.dst!r} = {self.op} {self.a!r}, {self.b!r}"
+
+
+class Cmp(Instr):
+    """``dst(pred) = a <op> b``."""
+
+    __slots__ = ("op", "dst", "a", "b")
+
+    def __init__(self, op: str, dst: VReg, a: VReg, b: VReg):
+        if op not in CMP_OPS:
+            raise ValueError(f"unknown cmp op {op!r}")
+        self.op = op
+        self.dst = dst
+        self.a = a
+        self.b = b
+
+    def dests(self):
+        return (self.dst,)
+
+    def sources(self):
+        return (self.a, self.b)
+
+    def clone(self, regmap):
+        return Cmp(self.op, _m(regmap, self.dst), _m(regmap, self.a), _m(regmap, self.b))
+
+    def __repr__(self):
+        return f"{self.dst!r} = cmp.{self.op} {self.a!r}, {self.b!r}"
+
+
+class PredOp(Instr):
+    """Logical operation on predicate registers (``and``/``or``/``not``)."""
+
+    __slots__ = ("op", "dst", "a", "b")
+
+    def __init__(self, op: str, dst: VReg, a: VReg, b: Optional[VReg] = None):
+        if op not in ("and", "or", "not", "xor"):
+            raise ValueError(f"unknown pred op {op!r}")
+        self.op = op
+        self.dst = dst
+        self.a = a
+        self.b = b
+
+    def dests(self):
+        return (self.dst,)
+
+    def sources(self):
+        return (self.a,) if self.b is None else (self.a, self.b)
+
+    def clone(self, regmap):
+        return PredOp(
+            self.op,
+            _m(regmap, self.dst),
+            _m(regmap, self.a),
+            None if self.b is None else _m(regmap, self.b),
+        )
+
+    def __repr__(self):
+        if self.b is None:
+            return f"{self.dst!r} = p{self.op} {self.a!r}"
+        return f"{self.dst!r} = p{self.op} {self.a!r}, {self.b!r}"
+
+
+class Select(Instr):
+    """``dst = pred ? a : b`` per lane."""
+
+    __slots__ = ("dst", "pred", "a", "b")
+
+    def __init__(self, dst: VReg, pred: VReg, a: VReg, b: VReg):
+        self.dst = dst
+        self.pred = pred
+        self.a = a
+        self.b = b
+
+    def dests(self):
+        return (self.dst,)
+
+    def sources(self):
+        return (self.pred, self.a, self.b)
+
+    def clone(self, regmap):
+        return Select(
+            _m(regmap, self.dst), _m(regmap, self.pred),
+            _m(regmap, self.a), _m(regmap, self.b),
+        )
+
+    def __repr__(self):
+        return f"{self.dst!r} = select {self.pred!r}, {self.a!r}, {self.b!r}"
+
+
+class LoadGlobal(Instr):
+    """``dst = buf[index]`` from global memory (element index)."""
+
+    __slots__ = ("dst", "buf", "index")
+
+    def __init__(self, dst: VReg, buf: BufferParam, index: VReg):
+        self.dst = dst
+        self.buf = buf
+        self.index = index
+
+    def dests(self):
+        return (self.dst,)
+
+    def sources(self):
+        return (self.index,)
+
+    def clone(self, regmap):
+        return LoadGlobal(_m(regmap, self.dst), self.buf, _m(regmap, self.index))
+
+    def __repr__(self):
+        return f"{self.dst!r} = load_global {self.buf.name}[{self.index!r}]"
+
+
+class StoreGlobal(Instr):
+    """``buf[index] = value`` to global memory.
+
+    Global stores are the canonical SoR exit point: every RMT flavor
+    inserts an output comparison in front of them.
+    """
+
+    __slots__ = ("buf", "index", "value")
+
+    def __init__(self, buf: BufferParam, index: VReg, value: VReg):
+        self.buf = buf
+        self.index = index
+        self.value = value
+
+    def sources(self):
+        return (self.index, self.value)
+
+    def clone(self, regmap):
+        return StoreGlobal(self.buf, _m(regmap, self.index), _m(regmap, self.value))
+
+    def __repr__(self):
+        return f"store_global {self.buf.name}[{self.index!r}] = {self.value!r}"
+
+
+class LoadLocal(Instr):
+    """``dst = lds[index]`` from the work-group's LDS allocation."""
+
+    __slots__ = ("dst", "lds", "index")
+
+    def __init__(self, dst: VReg, lds: LocalAlloc, index: VReg):
+        self.dst = dst
+        self.lds = lds
+        self.index = index
+
+    def dests(self):
+        return (self.dst,)
+
+    def sources(self):
+        return (self.index,)
+
+    def clone(self, regmap):
+        return LoadLocal(_m(regmap, self.dst), self.lds, _m(regmap, self.index))
+
+    def __repr__(self):
+        return f"{self.dst!r} = load_local {self.lds.name}[{self.index!r}]"
+
+
+class StoreLocal(Instr):
+    """``lds[index] = value``.
+
+    Under Intra-Group−LDS these are SoR exit points too (the LDS is shared
+    between redundant work-items), so the pass inserts output comparisons.
+    """
+
+    __slots__ = ("lds", "index", "value")
+
+    def __init__(self, lds: LocalAlloc, index: VReg, value: VReg):
+        self.lds = lds
+        self.index = index
+        self.value = value
+
+    def sources(self):
+        return (self.index, self.value)
+
+    def clone(self, regmap):
+        return StoreLocal(self.lds, _m(regmap, self.index), _m(regmap, self.value))
+
+    def __repr__(self):
+        return f"store_local {self.lds.name}[{self.index!r}] = {self.value!r}"
+
+
+class AtomicGlobal(Instr):
+    """Atomic read-modify-write on global memory, performed at the L2.
+
+    ``dst`` receives the old value.  ``atomic add 0`` is the paper's
+    trick for an L2-visible (coherent) read on the write-through L1
+    hierarchy.  ``cmpxchg`` additionally takes ``compare``.
+    """
+
+    __slots__ = ("op", "dst", "buf", "index", "value", "compare")
+
+    def __init__(
+        self,
+        op: str,
+        dst: Optional[VReg],
+        buf: BufferParam,
+        index: VReg,
+        value: VReg,
+        compare: Optional[VReg] = None,
+    ):
+        if op not in ATOMIC_OPS:
+            raise ValueError(f"unknown atomic op {op!r}")
+        if op == "cmpxchg" and compare is None:
+            raise ValueError("cmpxchg requires a compare operand")
+        self.op = op
+        self.dst = dst
+        self.buf = buf
+        self.index = index
+        self.value = value
+        self.compare = compare
+
+    def dests(self):
+        return () if self.dst is None else (self.dst,)
+
+    def sources(self):
+        srcs = [self.index, self.value]
+        if self.compare is not None:
+            srcs.append(self.compare)
+        return tuple(srcs)
+
+    def clone(self, regmap):
+        return AtomicGlobal(
+            self.op,
+            None if self.dst is None else _m(regmap, self.dst),
+            self.buf,
+            _m(regmap, self.index),
+            _m(regmap, self.value),
+            None if self.compare is None else _m(regmap, self.compare),
+        )
+
+    def __repr__(self):
+        dst = f"{self.dst!r} = " if self.dst is not None else ""
+        extra = f", cmp={self.compare!r}" if self.compare is not None else ""
+        return (
+            f"{dst}atomic_{self.op} {self.buf.name}[{self.index!r}], "
+            f"{self.value!r}{extra}"
+        )
+
+
+class Barrier(Instr):
+    """Work-group barrier (OpenCL ``barrier(CLK_LOCAL_MEM_FENCE)``)."""
+
+    __slots__ = ()
+
+    def clone(self, regmap):
+        return Barrier()
+
+    def __repr__(self):
+        return "barrier"
+
+
+class Swizzle(Instr):
+    """Cross-lane exchange within a wavefront via the VRF (Section 8).
+
+    Models the GCN ``ds_swizzle_b32`` offset mode: the value observed by
+    lane ``i`` comes from lane ``(i & and_mask | or_mask) ^ xor_mask``.
+    The paper's Figure 8 pattern (odd-lane values duplicated into even
+    lanes) is ``and_mask=~0, or_mask=1, xor_mask=0``.
+    """
+
+    __slots__ = ("dst", "src", "and_mask", "or_mask", "xor_mask")
+
+    def __init__(self, dst: VReg, src: VReg, and_mask: int, or_mask: int, xor_mask: int):
+        self.dst = dst
+        self.src = src
+        self.and_mask = and_mask
+        self.or_mask = or_mask
+        self.xor_mask = xor_mask
+
+    def dests(self):
+        return (self.dst,)
+
+    def sources(self):
+        return (self.src,)
+
+    def clone(self, regmap):
+        return Swizzle(
+            _m(regmap, self.dst), _m(regmap, self.src),
+            self.and_mask, self.or_mask, self.xor_mask,
+        )
+
+    def __repr__(self):
+        return (
+            f"{self.dst!r} = swizzle {self.src!r} "
+            f"(and={self.and_mask:#x}, or={self.or_mask:#x}, xor={self.xor_mask:#x})"
+        )
+
+
+class ReportError(Instr):
+    """Raise the RMT detection flag for every active lane.
+
+    Inserted by the RMT passes on output-comparison mismatch; the
+    simulator records a detection event (and fault-injection campaigns
+    classify the run as *detected*).
+    """
+
+    __slots__ = ("code",)
+
+    def __init__(self, code: int = 1):
+        self.code = code
+
+    def clone(self, regmap):
+        return ReportError(self.code)
+
+    def __repr__(self):
+        return f"report_error {self.code}"
+
+
+# ---------------------------------------------------------------------------
+# Structured control flow
+# ---------------------------------------------------------------------------
+
+
+class If:
+    """Structured two-sided branch predicated on a register."""
+
+    __slots__ = ("cond", "then_body", "else_body")
+
+    def __init__(self, cond: VReg, then_body: List["Stmt"], else_body: Optional[List["Stmt"]] = None):
+        self.cond = cond
+        self.then_body = then_body
+        self.else_body = else_body or []
+
+    def clone(self, regmap):
+        return If(
+            _m(regmap, self.cond),
+            [clone_stmt(s, regmap) for s in self.then_body],
+            [clone_stmt(s, regmap) for s in self.else_body],
+        )
+
+    def __repr__(self):
+        return f"if {self.cond!r} then[{len(self.then_body)}] else[{len(self.else_body)}]"
+
+
+class While:
+    """Structured loop.
+
+    Each iteration evaluates ``cond_block`` under the current mask, then
+    lanes where ``cond`` is true execute ``body``; lanes where it is false
+    leave the loop.  Iteration repeats until no lane remains active —
+    the standard SIMT divergence model.
+    """
+
+    __slots__ = ("cond_block", "cond", "body")
+
+    def __init__(self, cond_block: List[Instr], cond: VReg, body: List["Stmt"]):
+        self.cond_block = cond_block
+        self.cond = cond
+        self.body = body
+
+    def clone(self, regmap):
+        return While(
+            [clone_stmt(s, regmap) for s in self.cond_block],
+            _m(regmap, self.cond),
+            [clone_stmt(s, regmap) for s in self.body],
+        )
+
+    def __repr__(self):
+        return f"while {self.cond!r} cond[{len(self.cond_block)}] body[{len(self.body)}]"
+
+
+Stmt = Union[Instr, If, While]
+
+
+def clone_stmt(stmt: Stmt, regmap: Dict[VReg, VReg]) -> Stmt:
+    """Deep-copy a statement, substituting registers through ``regmap``."""
+    return stmt.clone(regmap)
+
+
+def walk_instrs(body: Sequence[Stmt]) -> Iterator[Instr]:
+    """Yield every instruction in a statement tree, in program order."""
+    for stmt in body:
+        if isinstance(stmt, If):
+            yield from walk_instrs(stmt.then_body)
+            yield from walk_instrs(stmt.else_body)
+        elif isinstance(stmt, While):
+            yield from walk_instrs(stmt.cond_block)
+            yield from walk_instrs(stmt.body)
+        else:
+            yield stmt
+
+
+def walk_stmts(body: Sequence[Stmt]) -> Iterator[Stmt]:
+    """Yield every statement (including nested If/While) in program order."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, If):
+            yield from walk_stmts(stmt.then_body)
+            yield from walk_stmts(stmt.else_body)
+        elif isinstance(stmt, While):
+            yield from walk_stmts(stmt.cond_block)
+            yield from walk_stmts(stmt.body)
+
+
+# ---------------------------------------------------------------------------
+# Kernel
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Kernel:
+    """A compiled device kernel: parameters, LDS allocations, and a body."""
+
+    name: str
+    params: List[Param] = field(default_factory=list)
+    locals: List[LocalAlloc] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+    #: Free-form metadata; RMT passes record their configuration here so
+    #: the runtime launch adapter knows how to adjust the NDRange and which
+    #: hidden parameters to bind.
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    _name_counter: itertools.count = field(
+        default_factory=itertools.count, repr=False, compare=False
+    )
+
+    def new_reg(self, dtype: DType, hint: str = "t") -> VReg:
+        """Allocate a fresh uniquely-named virtual register."""
+        return VReg(f"{hint}{next(self._name_counter)}", dtype)
+
+    def buffer(self, name: str) -> BufferParam:
+        """Look up a buffer parameter by name."""
+        for p in self.params:
+            if isinstance(p, BufferParam) and p.name == name:
+                return p
+        raise KeyError(f"no buffer parameter named {name!r} in kernel {self.name!r}")
+
+    def scalar(self, name: str) -> ScalarParam:
+        """Look up a scalar parameter by name."""
+        for p in self.params:
+            if isinstance(p, ScalarParam) and p.name == name:
+                return p
+        raise KeyError(f"no scalar parameter named {name!r} in kernel {self.name!r}")
+
+    def local(self, name: str) -> LocalAlloc:
+        """Look up an LDS allocation by name."""
+        for alloc in self.locals:
+            if alloc.name == name:
+                return alloc
+        raise KeyError(f"no local allocation named {name!r} in kernel {self.name!r}")
+
+    def add_local(self, name: str, dtype: DType, nelems: int) -> LocalAlloc:
+        """Add (and return) a new LDS allocation."""
+        if any(a.name == name for a in self.locals):
+            raise ValueError(f"duplicate local allocation {name!r}")
+        alloc = LocalAlloc(name, dtype, nelems)
+        self.locals.append(alloc)
+        return alloc
+
+    def lds_bytes(self) -> int:
+        """Total LDS footprint per work-group in bytes."""
+        return sum(a.nbytes for a in self.locals)
+
+    def all_regs(self) -> List[VReg]:
+        """Every distinct virtual register referenced by the body."""
+        seen: Dict[int, VReg] = {}
+        for instr in walk_instrs(self.body):
+            for reg in (*instr.dests(), *instr.sources()):
+                seen.setdefault(id(reg), reg)
+        for stmt in walk_stmts(self.body):
+            if isinstance(stmt, If):
+                seen.setdefault(id(stmt.cond), stmt.cond)
+            elif isinstance(stmt, While):
+                seen.setdefault(id(stmt.cond), stmt.cond)
+        return list(seen.values())

@@ -1,0 +1,39 @@
+"""Textual dump of kernels, for debugging and golden tests."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .core import If, Kernel, Stmt, While
+
+
+def format_kernel(kernel: Kernel) -> str:
+    """Render a kernel as indented pseudo-assembly text."""
+    lines: List[str] = []
+    params = ", ".join(repr(p) for p in kernel.params)
+    lines.append(f"kernel {kernel.name}({params}) {{")
+    for alloc in kernel.locals:
+        lines.append(f"  {alloc!r}")
+    _format_body(kernel.body, lines, indent=1)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _format_body(body: Sequence[Stmt], lines: List[str], indent: int) -> None:
+    pad = "  " * indent
+    for stmt in body:
+        if isinstance(stmt, If):
+            lines.append(f"{pad}if {stmt.cond!r} {{")
+            _format_body(stmt.then_body, lines, indent + 1)
+            if stmt.else_body:
+                lines.append(f"{pad}}} else {{")
+                _format_body(stmt.else_body, lines, indent + 1)
+            lines.append(f"{pad}}}")
+        elif isinstance(stmt, While):
+            lines.append(f"{pad}while {{")
+            _format_body(stmt.cond_block, lines, indent + 1)
+            lines.append(f"{pad}}} check {stmt.cond!r} {{")
+            _format_body(stmt.body, lines, indent + 1)
+            lines.append(f"{pad}}}")
+        else:
+            lines.append(f"{pad}{stmt!r}")

@@ -1,0 +1,74 @@
+"""Scalar types used by the kernel IR.
+
+The IR is deliberately small: 32-bit integer, unsigned integer, and float
+lanes plus a boolean predicate type for comparison results and control
+flow.  These are the types the paper's RMT transformation has to reason
+about (32-bit register lanes on GCN, bit-exact output comparison through
+``u32`` reinterpretation).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class DType(enum.Enum):
+    """Lane element type of a virtual register or memory buffer."""
+
+    I32 = "i32"
+    U32 = "u32"
+    F32 = "f32"
+    PRED = "pred"
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """numpy dtype used to hold lanes of this type."""
+        return _NP_DTYPES[self]
+
+    @property
+    def nbytes(self) -> int:
+        """Size of one lane element in bytes (predicates are register-only)."""
+        return 1 if self is DType.PRED else 4
+
+    @property
+    def is_float(self) -> bool:
+        return self is DType.F32
+
+    @property
+    def is_integer(self) -> bool:
+        return self in (DType.I32, DType.U32)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+_NP_DTYPES = {
+    DType.I32: np.dtype(np.int32),
+    DType.U32: np.dtype(np.uint32),
+    DType.F32: np.dtype(np.float32),
+    DType.PRED: np.dtype(np.bool_),
+}
+
+#: Types that may live in memory buffers (predicates may not).
+MEMORY_DTYPES = (DType.I32, DType.U32, DType.F32)
+
+
+def bitcast_to_u32(values: np.ndarray) -> np.ndarray:
+    """Reinterpret a lane vector as raw 32-bit unsigned bit patterns.
+
+    Output comparison in the RMT transformations is bit-exact: float and
+    integer store operands are compared as raw bits, exactly like comparing
+    32-bit register lanes on hardware.
+    """
+    if values.dtype == np.bool_:
+        return values.astype(np.uint32)
+    return values.view(np.uint32)
+
+
+def bitcast_from_u32(values: np.ndarray, dtype: DType) -> np.ndarray:
+    """Inverse of :func:`bitcast_to_u32` for a given destination type."""
+    if dtype is DType.PRED:
+        return values != 0
+    return values.view(dtype.np_dtype)

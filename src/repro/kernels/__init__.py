@@ -1,0 +1,14 @@
+"""The 16 AMD APP SDK benchmark kernels the paper evaluates."""
+
+from .base import BenchResult, Benchmark
+from .suite import POWER_KERNELS, SMALL_SUITE, SUITE, all_abbrevs, make_benchmark
+
+__all__ = [
+    "BenchResult",
+    "Benchmark",
+    "POWER_KERNELS",
+    "SMALL_SUITE",
+    "SUITE",
+    "all_abbrevs",
+    "make_benchmark",
+]

@@ -1,0 +1,138 @@
+"""Benchmark framework for the 16 AMD APP SDK kernels the paper evaluates.
+
+Each benchmark re-implements one SDK sample's kernel in the IR DSL,
+preserving the workload *properties* the paper's analysis hinges on —
+memory- vs. compute- vs. LDS-boundedness, barrier structure, global
+write density, divergence — plus the host driver (input generation,
+launch loop for multi-pass algorithms) and a verification oracle,
+mirroring each SDK application's built-in verify option.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..compiler.pipeline import CompiledKernel, compile_kernel
+from ..gpu.engine import LaunchResult
+from ..gpu.occupancy import KernelResources
+from ..ir.core import Kernel
+from ..runtime.api import Session
+
+
+@dataclass
+class BenchResult:
+    """Everything the harness needs from one benchmark execution."""
+
+    outputs: Dict[str, np.ndarray]
+    launches: Tuple[LaunchResult, ...]
+    session: Session
+    compiled: CompiledKernel
+
+    @property
+    def cycles(self) -> float:
+        return sum(l.cycles for l in self.launches)
+
+    @property
+    def detections(self):
+        out = []
+        for l in self.launches:
+            out.extend(l.detections)
+        return out
+
+    def merged_counters(self):
+        return self.session.device.merged_counters()
+
+
+class Benchmark(abc.ABC):
+    """One SDK benchmark: kernel builder + host driver + oracle."""
+
+    #: Short name used in the paper's figures (e.g. "BinS").
+    abbrev: str = ""
+    #: Full SDK sample name.
+    name: str = ""
+    #: One-line description of the workload character.
+    description: str = ""
+
+    def __init__(self, seed: int = 7):
+        self.rng = np.random.default_rng(seed)
+
+    # -- to implement ------------------------------------------------------
+
+    @abc.abstractmethod
+    def build(self) -> Kernel:
+        """Construct the kernel IR (with ``metadata['local_size']`` set)."""
+
+    @abc.abstractmethod
+    def run(
+        self,
+        session: Session,
+        compiled: CompiledKernel,
+        resources: Optional[KernelResources] = None,
+        fault_hook=None,
+    ) -> BenchResult:
+        """Upload inputs, perform all launches, return outputs."""
+
+    @abc.abstractmethod
+    def reference(self) -> Dict[str, np.ndarray]:
+        """Host-side golden outputs."""
+
+    # -- common helpers ------------------------------------------------------
+
+    def check(self, result: BenchResult, rtol: float = 1e-4, atol: float = 1e-4) -> bool:
+        """Verify outputs against the reference (SDK-style self check)."""
+        ref = self.reference()
+        for key, expected in ref.items():
+            got = result.outputs[key]
+            if expected.dtype.kind == "f":
+                if not np.allclose(got, expected, rtol=rtol, atol=atol):
+                    return False
+            else:
+                if not np.array_equal(got, expected):
+                    return False
+        return True
+
+    def compile(self, variant: str = "original", communication: bool = True) -> CompiledKernel:
+        """Build + compile this benchmark's kernel for a variant."""
+        return compile_kernel(self.build(), variant, communication=communication)
+
+    def simple_run(
+        self,
+        session: Session,
+        compiled: CompiledKernel,
+        inputs: Dict[str, np.ndarray],
+        outputs: Dict[str, Tuple[int, object]],
+        global_size,
+        local_size,
+        scalars: Optional[Dict[str, object]] = None,
+        resources: Optional[KernelResources] = None,
+        fault_hook=None,
+    ) -> BenchResult:
+        """Host driver for single-launch benchmarks."""
+        bufs = {name: session.upload(name, arr) for name, arr in inputs.items()}
+        for name, (nelems, dtype) in outputs.items():
+            bufs[name] = session.zeros(name, nelems, dtype)
+        launch = session.launch(
+            compiled, global_size, local_size, bufs,
+            scalars=scalars, resources=resources, fault_hook=fault_hook,
+        )
+        outs = {name: session.download(bufs[name]) for name in outputs}
+        return BenchResult(
+            outputs=outs, launches=(launch,), session=session, compiled=compiled
+        )
+
+    def execute(
+        self,
+        variant: str = "original",
+        communication: bool = True,
+        resources: Optional[KernelResources] = None,
+        session: Optional[Session] = None,
+        fault_hook=None,
+    ) -> BenchResult:
+        """One-call compile + run on a fresh session."""
+        compiled = self.compile(variant, communication=communication)
+        session = session or Session()
+        return self.run(session, compiled, resources=resources, fault_hook=fault_hook)

@@ -1,0 +1,91 @@
+"""BinarySearch (BinS) — memory-latency-bound with almost no global writes.
+
+Each work-item owns a segment of a sorted array, loads the segment
+bounds, and only the (single) work-item whose segment contains the key
+scans it and writes the result — the workload property the paper uses
+to explain BinS's low RMT overheads: most work-items never execute a
+global store, so they never pay for output comparison at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..ir.builder import KernelBuilder
+from ..ir.types import DType
+from .base import Benchmark, BenchResult
+
+_NOT_FOUND = np.uint32(0xFFFFFFFF)
+
+
+class BinarySearch(Benchmark):
+    abbrev = "BinS"
+    name = "BinarySearch"
+    description = "segmented binary search; divergent, store-starved, latency-bound"
+
+    def __init__(self, n: int = 32768, segment: int = 8, local_size: int = 64, seed: int = 7):
+        super().__init__(seed)
+        if n % segment:
+            raise ValueError("n must be a multiple of segment")
+        self.n = n
+        self.segment = segment
+        self.local_size = local_size
+        self.data = np.sort(
+            self.rng.choice(np.arange(4 * n, dtype=np.uint32), size=n, replace=False)
+        )
+        self.key = int(self.data[self.rng.integers(0, n)])
+
+    def build(self):
+        b = KernelBuilder("binary_search")
+        arr = b.buffer_param("arr", DType.U32)
+        out = b.buffer_param("out", DType.U32)
+        key = b.scalar_param("key", DType.U32)
+        seg = b.scalar_param("segment", DType.U32)
+        n = b.scalar_param("n", DType.U32)
+
+        gid = b.global_id(0)
+        lo_idx = b.mul(gid, seg)
+        hi_idx = b.add(lo_idx, seg)
+        lo_val = b.load(arr, lo_idx)
+        last = b.sub(n, 1)
+        hi_probe = b.min(hi_idx, last)
+        hi_val = b.load(arr, hi_probe)
+        at_end = b.eq(hi_idx, n)
+
+        # Key inside [lo_val, hi_val) — or in the final segment's tail.
+        in_seg = b.pand(b.le(lo_val, key), b.por(b.lt(key, hi_val), at_end))
+        with b.if_(in_seg):
+            # Divergent sequential scan of the owning segment.
+            i = b.var(DType.U32, lo_idx, hint="scan")
+            with b.loop() as lp:
+                within = b.lt(i, hi_idx)
+                v = b.load(arr, b.min(i, last))
+                miss = b.pand(within, b.ne(v, key))
+                lp.break_unless(miss)
+                b.set(i, b.add(i, 1))
+            found = b.lt(i, hi_idx)
+            hit = b.load(arr, b.min(i, last))
+            match = b.pand(found, b.eq(hit, key))
+            with b.if_(match):
+                b.store(out, 0, i)
+        k = b.finish()
+        k.metadata["local_size"] = (self.local_size, 1, 1)
+        return k
+
+    def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:
+        items = self.n // self.segment
+        return self.simple_run(
+            session, compiled,
+            inputs={"arr": self.data},
+            outputs={"out": (1, np.uint32)},
+            global_size=items, local_size=self.local_size,
+            scalars={"key": self.key, "segment": self.segment, "n": self.n},
+            resources=resources, fault_hook=fault_hook,
+        )
+
+    def reference(self) -> Dict[str, np.ndarray]:
+        idx = int(np.searchsorted(self.data, self.key))
+        assert self.data[idx] == self.key
+        return {"out": np.array([idx], dtype=np.uint32)}

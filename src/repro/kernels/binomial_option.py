@@ -1,0 +1,130 @@
+"""BinomialOption (BO) — one option per work-group, LDS-lattice bound.
+
+Each work-group prices one option by rolling a binomial lattice backward
+through the LDS, with two barriers per step.  Runtime is dominated by
+local-memory accesses, not vector compute or global memory — the paper's
+key example of a kernel where Intra-Group−LDS halves the redundant LDS
+writes only to pay an equally large per-local-store communication
+penalty (Section 6.4), and one of the three long-running power
+workloads (Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..ir.builder import KernelBuilder
+from ..ir.types import DType
+from .base import Benchmark, BenchResult
+
+_RISK_FREE = 0.02
+_VOLATILITY = 0.30
+
+
+class BinomialOption(Benchmark):
+    abbrev = "BO"
+    name = "BinomialOption"
+    description = "binomial lattice per work-group; LDS/barrier-bound"
+
+    def __init__(self, options: int = 512, local_size: int = 64, seed: int = 7):
+        super().__init__(seed)
+        self.options = options
+        self.local_size = local_size
+        self.steps = local_size - 1
+        self.rand = self.rng.random(options).astype(np.float32)
+
+    def build(self):
+        ls = self.local_size
+        steps = self.steps
+        b = KernelBuilder("binomial_option")
+        rand = b.buffer_param("rand", DType.F32)
+        out = b.buffer_param("out", DType.F32)
+
+        call_a = b.local_alloc("call_a", DType.F32, ls)
+        call_b = b.local_alloc("call_b", DType.F32, ls)
+
+        group = b.group_id(0)
+        lid = b.local_id(0)
+
+        u = b.load(rand, group)
+        s = b.add(10.0, b.mul(u, 90.0))
+        k = b.add(10.0, b.mul(u, 80.0))
+        t = b.add(0.5, b.mul(u, 2.0))
+
+        dt = b.div(t, float(steps))
+        vsdt = b.mul(_VOLATILITY, b.sqrt(dt))
+        rdt = b.mul(_RISK_FREE, dt)
+        erdt = b.exp(rdt)
+        df = b.div(1.0, erdt)
+        up = b.exp(vsdt)
+        down = b.div(1.0, up)
+        pu = b.div(b.sub(erdt, down), b.sub(up, down))
+        pd = b.sub(1.0, pu)
+
+        # Leaf payoffs: node j holds S * u^j * d^(steps-j).
+        j = b.u2f(lid)
+        expo = b.mul(vsdt, b.sub(b.mul(2.0, j), float(steps)))
+        leaf_price = b.mul(s, b.exp(expo))
+        payoff = b.max(b.sub(leaf_price, k), 0.0)
+        b.store_local(call_a, lid, payoff)
+        b.barrier()
+
+        buffers = (call_a, call_b)
+        for i in range(steps, 0, -1):
+            src_buf = buffers[(steps - i) % 2]
+            dst_buf = buffers[(steps - i + 1) % 2]
+            active = b.lt(lid, i)
+            with b.if_(active):
+                lower = b.load_local(src_buf, lid)
+                upper = b.load_local(src_buf, b.add(lid, 1))
+                value = b.mul(df, b.add(b.mul(pu, upper), b.mul(pd, lower)))
+                b.store_local(dst_buf, lid, value)
+            b.barrier()
+
+        first = b.eq(lid, 0)
+        with b.if_(first):
+            final_buf = buffers[steps % 2]
+            b.store(out, group, b.load_local(final_buf, 0))
+        kern = b.finish()
+        kern.metadata["local_size"] = (ls, 1, 1)
+        return kern
+
+    def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:
+        return self.simple_run(
+            session, compiled,
+            inputs={"rand": self.rand},
+            outputs={"out": (self.options, np.float32)},
+            global_size=self.options * self.local_size, local_size=self.local_size,
+            resources=resources, fault_hook=fault_hook,
+        )
+
+    def reference(self) -> Dict[str, np.ndarray]:
+        u = self.rand.astype(np.float64)
+        steps = self.steps
+        s = 10.0 + u * 90.0
+        k = 10.0 + u * 80.0
+        t = 0.5 + u * 2.0
+        dt = t / steps
+        vsdt = _VOLATILITY * np.sqrt(dt)
+        erdt = np.exp(_RISK_FREE * dt)
+        df = 1.0 / erdt
+        up = np.exp(vsdt)
+        down = 1.0 / up
+        pu = (erdt - down) / (up - down)
+        pd = 1.0 - pu
+
+        j = np.arange(steps + 1)[None, :]
+        lattice = np.maximum(
+            s[:, None] * np.exp(vsdt[:, None] * (2 * j - steps)) - k[:, None],
+            0.0,
+        )
+        for i in range(steps, 0, -1):
+            lattice[:, :i] = df[:, None] * (
+                pu[:, None] * lattice[:, 1:i + 1] + pd[:, None] * lattice[:, :i]
+            )
+        return {"out": lattice[:, 0].astype(np.float32)}
+
+    def check(self, result, rtol: float = 1e-3, atol: float = 1e-3) -> bool:
+        return super().check(result, rtol=rtol, atol=atol)

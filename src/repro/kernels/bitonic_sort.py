@@ -1,0 +1,108 @@
+"""BitonicSort (BitS) — multi-pass, global-store-saturated.
+
+Every work-item loads and stores a pair of elements on every pass, so
+the kernel is dominated by global memory writes.  This is the workload
+the paper's Inter-Group RMT hurts most (9.48x): every store needs a
+global-memory output comparison, and the extra communication/atomic
+traffic lands on an already saturated memory hierarchy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..ir.builder import KernelBuilder
+from ..ir.types import DType
+from .base import Benchmark, BenchResult
+
+
+class BitonicSort(Benchmark):
+    abbrev = "BitS"
+    name = "BitonicSort"
+    description = "log^2(n) passes of compare-exchange; store-bound"
+
+    def __init__(self, n: int = 32768, local_size: int = 256, seed: int = 7,
+                 start_stage: int = 1):
+        """``start_stage`` > 1 measures a window of the sort: the host
+        pre-applies the earlier stages (exactly as the device would) and
+        the device executes stages ``start_stage``..log2(n).  Per-launch
+        kernel behaviour is identical across stages, so the window is
+        representative while keeping multi-launch simulation tractable."""
+        super().__init__(seed)
+        if n & (n - 1):
+            raise ValueError("n must be a power of two")
+        self.n = n
+        self.local_size = local_size
+        self.start_stage = start_stage
+        self.data = self.rng.integers(0, 2**31, size=n, dtype=np.uint32)
+        self.device_input = self._host_stages(self.data, 1, start_stage)
+
+    def _host_stages(self, data: np.ndarray, first: int, limit: int) -> np.ndarray:
+        """Apply bitonic stages [first, limit) on the host (oracle code)."""
+        arr = data.astype(np.int64).copy()
+        idx = np.arange(self.n // 2)
+        for stage in range(first, limit):
+            for pss in range(stage, 0, -1):
+                pair = 1 << (pss - 1)
+                left = (idx % pair) + (idx // pair) * (2 * pair)
+                right = left + pair
+                inc = ((idx // (1 << (stage - 1))) % 2) == 0
+                lo = np.minimum(arr[left], arr[right])
+                hi = np.maximum(arr[left], arr[right])
+                arr[left] = np.where(inc, lo, hi)
+                arr[right] = np.where(inc, hi, lo)
+        return arr.astype(np.uint32)
+
+    def build(self):
+        b = KernelBuilder("bitonic_sort")
+        arr = b.buffer_param("arr", DType.U32)
+        stage = b.scalar_param("stage", DType.U32)
+        pass_ = b.scalar_param("pass_of_stage", DType.U32)
+
+        tid = b.global_id(0)
+        pair_distance = b.shl(b.const(1, DType.U32), b.sub(pass_, 1))
+        block_width = b.mul(2, pair_distance)
+        left_id = b.add(
+            b.rem(tid, pair_distance),
+            b.mul(b.div(tid, pair_distance), block_width),
+        )
+        right_id = b.add(left_id, pair_distance)
+        left = b.load(arr, left_id)
+        right = b.load(arr, right_id)
+
+        same_dir_width = b.shl(b.const(1, DType.U32), b.sub(stage, 1))
+        increasing = b.eq(b.rem(b.div(tid, same_dir_width), 2), 0)
+
+        greater = b.max(left, right)
+        lesser = b.min(left, right)
+        b.store(arr, left_id, b.select(increasing, lesser, greater))
+        b.store(arr, right_id, b.select(increasing, greater, lesser))
+        k = b.finish()
+        k.metadata["local_size"] = (self.local_size, 1, 1)
+        return k
+
+    def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:
+        buf = session.upload("arr", self.device_input)
+        items = self.n // 2
+        num_stages = int(np.log2(self.n))
+        launches = []
+        for stage in range(self.start_stage, num_stages + 1):
+            for pss in range(stage, 0, -1):
+                launches.append(
+                    session.launch(
+                        compiled, items, self.local_size, {"arr": buf},
+                        scalars={"stage": stage, "pass_of_stage": pss},
+                        resources=resources, fault_hook=fault_hook,
+                    )
+                )
+        return BenchResult(
+            outputs={"arr": session.download(buf)},
+            launches=tuple(launches),
+            session=session,
+            compiled=compiled,
+        )
+
+    def reference(self) -> Dict[str, np.ndarray]:
+        return {"arr": np.sort(self.data)}

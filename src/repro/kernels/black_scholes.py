@@ -1,0 +1,138 @@
+"""BlackScholes (BlkSch) — transcendental-heavy, compute-bound.
+
+One load, a deep chain of exp/log/sqrt arithmetic, two stores.  Compute-
+and VALU-bound kernels like this cannot hide redundant work behind
+memory latency, so both Intra- and Inter-Group RMT cost the expected ~2x
+(paper Figures 2 and 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..ir.builder import KernelBuilder
+from ..ir.types import DType
+from .base import Benchmark, BenchResult
+
+_S_LOW, _S_HIGH = 10.0, 100.0
+_K_LOW, _K_HIGH = 10.0, 100.0
+_T_LOW, _T_HIGH = 1.0, 10.0
+_R_LOW, _R_HIGH = 0.01, 0.05
+_V_LOW, _V_HIGH = 0.01, 0.10
+
+_CND_A1 = 0.319381530
+_CND_A2 = -0.356563782
+_CND_A3 = 1.781477937
+_CND_A4 = -1.821255978
+_CND_A5 = 1.330274429
+_INV_SQRT_2PI = 0.39894228040143267
+
+
+class BlackScholes(Benchmark):
+    abbrev = "BlkSch"
+    name = "BlackScholes"
+    description = "option pricing; transcendental-heavy, compute-bound"
+
+    def __init__(self, n: int = 8192, local_size: int = 256, seed: int = 7):
+        super().__init__(seed)
+        self.n = n
+        self.local_size = local_size
+        self.rand = self.rng.random(n).astype(np.float32)
+
+    def build(self):
+        b = KernelBuilder("black_scholes")
+        rnd = b.buffer_param("rand", DType.F32)
+        call = b.buffer_param("call", DType.F32)
+        put = b.buffer_param("put", DType.F32)
+
+        gid = b.global_id(0)
+        u = b.load(rnd, gid)
+
+        def lerp(lo, hi):
+            return b.add(lo, b.mul(u, hi - lo))
+
+        s = lerp(_S_LOW, _S_HIGH)
+        k = lerp(_K_LOW, _K_HIGH)
+        t = lerp(_T_LOW, _T_HIGH)
+        r = lerp(_R_LOW, _R_HIGH)
+        v = lerp(_V_LOW, _V_HIGH)
+
+        sqrt_t = b.sqrt(t)
+        sigma_sqrt_t = b.mul(v, sqrt_t)
+        d1 = b.div(
+            b.add(b.log(b.div(s, k)),
+                  b.mul(b.add(r, b.mul(b.mul(v, v), 0.5)), t)),
+            sigma_sqrt_t,
+        )
+        d2 = b.sub(d1, sigma_sqrt_t)
+
+        def cnd(d):
+            # Abramowitz-Stegun polynomial approximation of the standard
+            # normal CDF (the SDK kernel's phi()).
+            kk = b.div(1.0, b.add(1.0, b.mul(0.2316419, b.abs(d))))
+            poly = b.mul(kk, _CND_A5)
+            poly = b.mul(kk, b.add(poly, _CND_A4))
+            poly = b.mul(kk, b.add(poly, _CND_A3))
+            poly = b.mul(kk, b.add(poly, _CND_A2))
+            poly = b.mul(kk, b.add(poly, _CND_A1))
+            pdf = b.mul(_INV_SQRT_2PI,
+                        b.exp(b.mul(-0.5, b.mul(d, d))))
+            w = b.sub(1.0, b.mul(pdf, poly))
+            neg = b.lt(d, 0.0)
+            return b.select(neg, b.sub(1.0, w), w)
+
+        cnd_d1 = cnd(d1)
+        cnd_d2 = cnd(d2)
+        discount = b.mul(k, b.exp(b.mul(b.neg(r), t)))
+        call_price = b.sub(b.mul(s, cnd_d1), b.mul(discount, cnd_d2))
+        put_price = b.sub(
+            b.mul(discount, b.sub(1.0, cnd_d2)),
+            b.mul(s, b.sub(1.0, cnd_d1)),
+        )
+        b.store(call, gid, call_price)
+        b.store(put, gid, put_price)
+        kern = b.finish()
+        kern.metadata["local_size"] = (self.local_size, 1, 1)
+        return kern
+
+    def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:
+        return self.simple_run(
+            session, compiled,
+            inputs={"rand": self.rand},
+            outputs={"call": (self.n, np.float32), "put": (self.n, np.float32)},
+            global_size=self.n, local_size=self.local_size,
+            resources=resources, fault_hook=fault_hook,
+        )
+
+    def reference(self) -> Dict[str, np.ndarray]:
+        u = self.rand.astype(np.float64)
+        s = _S_LOW + u * (_S_HIGH - _S_LOW)
+        k = _K_LOW + u * (_K_HIGH - _K_LOW)
+        t = _T_LOW + u * (_T_HIGH - _T_LOW)
+        r = _R_LOW + u * (_R_HIGH - _R_LOW)
+        v = _V_LOW + u * (_V_HIGH - _V_LOW)
+        sigma_sqrt_t = v * np.sqrt(t)
+        d1 = (np.log(s / k) + (r + 0.5 * v * v) * t) / sigma_sqrt_t
+        d2 = d1 - sigma_sqrt_t
+
+        def cnd(d):
+            kk = 1.0 / (1.0 + 0.2316419 * np.abs(d))
+            poly = kk * _CND_A5
+            poly = kk * (poly + _CND_A4)
+            poly = kk * (poly + _CND_A3)
+            poly = kk * (poly + _CND_A2)
+            poly = kk * (poly + _CND_A1)
+            w = 1.0 - _INV_SQRT_2PI * np.exp(-0.5 * d * d) * poly
+            return np.where(d < 0, 1.0 - w, w)
+
+        cnd_d1 = cnd(d1)
+        cnd_d2 = cnd(d2)
+        discount = k * np.exp(-r * t)
+        call = s * cnd_d1 - discount * cnd_d2
+        put = discount * (1.0 - cnd_d2) - s * (1.0 - cnd_d1)
+        return {
+            "call": call.astype(np.float32),
+            "put": put.astype(np.float32),
+        }

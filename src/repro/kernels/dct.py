@@ -1,0 +1,108 @@
+"""DCT (8×8 block discrete cosine transform) — compute- and LDS-bound.
+
+Each 8×8 work-group stages its pixel block and the intermediate product
+through the LDS with barriers and computes Z = C·X·Cᵀ.  High VALU *and*
+high memory time — the combination the paper calls out for DCT and MM:
+"spending time on memory" does not rescue a kernel whose compute units
+are also busy, so RMT still costs ~2x.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..ir.builder import KernelBuilder
+from ..ir.types import DType
+from .base import Benchmark, BenchResult
+
+_B = 8
+
+
+def _dct_matrix() -> np.ndarray:
+    c = np.zeros((_B, _B))
+    for i in range(_B):
+        for j in range(_B):
+            a = np.sqrt(1.0 / _B) if i == 0 else np.sqrt(2.0 / _B)
+            c[i, j] = a * np.cos((2 * j + 1) * i * np.pi / (2 * _B))
+    return c
+
+
+class Dct(Benchmark):
+    abbrev = "DCT"
+    name = "DCT"
+    description = "8x8 blocked DCT via LDS; compute+LDS-bound"
+
+    def __init__(self, width: int = 128, height: int = 128, seed: int = 7):
+        super().__init__(seed)
+        if width % _B or height % _B:
+            raise ValueError("image dimensions must be multiples of 8")
+        self.width = width
+        self.height = height
+        self.image = self.rng.random(width * height).astype(np.float32)
+        self.dct8 = _dct_matrix().astype(np.float32)
+
+    def build(self):
+        b = KernelBuilder("dct8x8")
+        img = b.buffer_param("img", DType.F32)
+        coef = b.buffer_param("coef", DType.F32)
+        out = b.buffer_param("out", DType.F32)
+        width = b.scalar_param("width", DType.U32)
+
+        block = b.local_alloc("block", DType.F32, _B * _B)
+        inter = b.local_alloc("inter", DType.F32, _B * _B)
+
+        gx = b.global_id(0)   # column
+        gy = b.global_id(1)   # row
+        lx = b.local_id(0)
+        ly = b.local_id(1)
+        lflat = b.add(b.mul(ly, _B), lx)
+
+        pixel_idx = b.add(b.mul(gy, width), gx)
+        b.store_local(block, lflat, b.load(img, pixel_idx))
+        b.barrier()
+
+        # Stage 1: Y[i][j] = sum_k X[i][k] * C[j][k]   (thread = (j, i))
+        acc = b.var(DType.F32, 0.0, hint="acc")
+        for k in range(_B):
+            xv = b.load_local(block, b.add(b.mul(ly, _B), k))
+            cv = b.load(coef, b.add(b.mul(lx, _B), k))
+            b.set(acc, b.add(acc, b.mul(xv, cv)))
+        b.store_local(inter, lflat, acc)
+        b.barrier()
+
+        # Stage 2: Z[i][j] = sum_k C[i][k] * Y[k][j]   (thread = (j, i))
+        acc2 = b.var(DType.F32, 0.0, hint="acc2")
+        for k in range(_B):
+            yv = b.load_local(inter, b.add(b.mul(k, _B), lx))
+            cv = b.load(coef, b.add(b.mul(ly, _B), k))
+            b.set(acc2, b.add(acc2, b.mul(yv, cv)))
+        b.store(out, pixel_idx, acc2)
+        kern = b.finish()
+        kern.metadata["local_size"] = (_B, _B, 1)
+        return kern
+
+    def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:
+        n = self.width * self.height
+        return self.simple_run(
+            session, compiled,
+            inputs={"img": self.image, "coef": self.dct8.reshape(-1)},
+            outputs={"out": (n, np.float32)},
+            global_size=(self.width, self.height), local_size=(_B, _B),
+            scalars={"width": self.width},
+            resources=resources, fault_hook=fault_hook,
+        )
+
+    def reference(self) -> Dict[str, np.ndarray]:
+        img = self.image.reshape(self.height, self.width).astype(np.float64)
+        c = _dct_matrix()
+        out = np.zeros_like(img)
+        for by in range(0, self.height, _B):
+            for bx in range(0, self.width, _B):
+                x = img[by:by + _B, bx:bx + _B]
+                out[by:by + _B, bx:bx + _B] = c @ x @ c.T
+        return {"out": out.astype(np.float32).reshape(-1)}
+
+    def check(self, result, rtol: float = 1e-3, atol: float = 1e-4) -> bool:
+        return super().check(result, rtol=rtol, atol=atol)

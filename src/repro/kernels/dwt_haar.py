@@ -1,0 +1,111 @@
+"""DwtHaar1D (DWT) — per-group Haar wavelet with per-level global stores.
+
+Each 256-wide work-group transforms a 512-sample signal in the LDS,
+halving the live data every level behind barriers; detail coefficients
+stream out to global memory at every level.  Memory-touched but not
+memory-*bound* — the combination the paper uses to show that counters
+alone don't explain RMT cost: DWT pays heavily for communication and
+doubled work-groups (Figure 4) and is among the worst Inter-Group
+kernels (7.35x).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..ir.builder import KernelBuilder
+from ..ir.types import DType
+from .base import Benchmark, BenchResult
+
+_INV_SQRT2 = float(1.0 / np.sqrt(2.0))
+
+
+class DwtHaar1D(Benchmark):
+    abbrev = "DWT"
+    name = "DwtHaar1D"
+    description = "per-group Haar DWT; barrier-heavy, per-level detail stores"
+
+    def __init__(self, n: int = 32768, local_size: int = 256, seed: int = 7):
+        super().__init__(seed)
+        self.n = n
+        self.local_size = local_size
+        self.signal_per_group = 2 * local_size
+        if n % self.signal_per_group:
+            raise ValueError("n must be a multiple of 2*local_size")
+        self.data = self.rng.standard_normal(n).astype(np.float32)
+
+    def build(self):
+        ls = self.local_size
+        span = self.signal_per_group
+        levels = int(np.log2(span))
+        b = KernelBuilder("dwt_haar")
+        src = b.buffer_param("src", DType.F32)
+        dst = b.buffer_param("dst", DType.F32)
+        work = b.local_alloc("work", DType.F32, span)
+
+        gid = b.global_id(0)
+        lid = b.local_id(0)
+        group = b.group_id(0)
+        group_base = b.mul(group, span)
+
+        # Stage the group's 512-sample span (two loads per work-item).
+        b.store_local(work, lid, b.load(src, b.add(group_base, lid)))
+        hi = b.add(lid, ls)
+        b.store_local(work, hi, b.load(src, b.add(group_base, hi)))
+        b.barrier()
+
+        length = span
+        for _level in range(levels):
+            half = length // 2
+            active = b.lt(lid, half)
+            with b.if_(active):
+                a = b.load_local(work, b.mul(lid, 2))
+                c = b.load_local(work, b.add(b.mul(lid, 2), 1))
+                approx = b.mul(b.add(a, c), _INV_SQRT2)
+                detail = b.mul(b.sub(a, c), _INV_SQRT2)
+                # Details are final: stream them out at their level slot.
+                b.store(dst, b.add(group_base, b.add(half, lid)), detail)
+            b.barrier()
+            with b.if_(active):
+                # All pair reads are complete; compact the approximations.
+                b.store_local(work, lid, approx)
+            b.barrier()
+            length = half
+
+        first = b.eq(lid, 0)
+        with b.if_(first):
+            b.store(dst, group_base, b.load_local(work, 0))
+        kern = b.finish()
+        kern.metadata["local_size"] = (ls, 1, 1)
+        return kern
+
+    def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:
+        return self.simple_run(
+            session, compiled,
+            inputs={"src": self.data},
+            outputs={"dst": (self.n, np.float32)},
+            global_size=self.n // 2, local_size=self.local_size,
+            resources=resources, fault_hook=fault_hook,
+        )
+
+    def reference(self) -> Dict[str, np.ndarray]:
+        span = self.signal_per_group
+        out = np.zeros(self.n, dtype=np.float64)
+        data = self.data.astype(np.float64)
+        for g in range(self.n // span):
+            seg = data[g * span:(g + 1) * span].copy()
+            length = span
+            base = g * span
+            while length > 1:
+                half = length // 2
+                a, c = seg[0:length:2], seg[1:length:2]
+                out[base + half: base + length] = (a - c) / np.sqrt(2.0)
+                seg[:half] = (a + c) / np.sqrt(2.0)
+                length = half
+            out[base] = seg[0]
+        return {"dst": out.astype(np.float32)}
+
+    def check(self, result, rtol: float = 1e-3, atol: float = 1e-4) -> bool:
+        return super().check(result, rtol=rtol, atol=atol)

@@ -1,0 +1,80 @@
+"""FloydWarshall (FW) — n kernel launches over an n×n distance matrix.
+
+Each pass k loads three matrix entries and stores the relaxed distance:
+memory-bound with heavily shared rows/columns (good cache behaviour,
+slipstream-friendly).  One of the paper's three long-running power
+workloads (Figure 5); its FAST variant regresses slightly (Figure 9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..ir.builder import KernelBuilder
+from ..ir.types import DType
+from .base import Benchmark, BenchResult
+
+
+class FloydWarshall(Benchmark):
+    abbrev = "FW"
+    name = "FloydWarshall"
+    description = "all-pairs shortest paths; n memory-bound relaxation passes"
+
+    def __init__(self, n: int = 128, local_size: int = 256, seed: int = 7,
+                 k_iters: int = 0):
+        """``k_iters`` > 0 measures a window of the algorithm: only the
+        first ``k_iters`` relaxation passes run on the device (per-launch
+        behaviour is identical across k, so the window is representative
+        while keeping the 128-launch sequence simulation-tractable)."""
+        super().__init__(seed)
+        self.n = n
+        self.local_size = local_size
+        self.k_iters = k_iters or n
+        mat = self.rng.integers(1, 64, size=(n, n)).astype(np.uint32)
+        np.fill_diagonal(mat, 0)
+        self.dist = mat
+
+    def build(self):
+        b = KernelBuilder("floyd_warshall")
+        d = b.buffer_param("dist", DType.U32)
+        n = b.scalar_param("n", DType.U32)
+        k = b.scalar_param("k", DType.U32)
+
+        gid = b.global_id(0)
+        i = b.div(gid, n)
+        j = b.rem(gid, n)
+        d_ij = b.load(d, gid)
+        d_ik = b.load(d, b.add(b.mul(i, n), k))
+        d_kj = b.load(d, b.add(b.mul(k, n), j))
+        relaxed = b.min(d_ij, b.add(d_ik, d_kj))
+        b.store(d, gid, relaxed)
+        kern = b.finish()
+        kern.metadata["local_size"] = (self.local_size, 1, 1)
+        return kern
+
+    def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:
+        buf = session.upload("dist", self.dist.reshape(-1))
+        items = self.n * self.n
+        launches = []
+        for k in range(self.k_iters):
+            launches.append(
+                session.launch(
+                    compiled, items, self.local_size, {"dist": buf},
+                    scalars={"n": self.n, "k": k},
+                    resources=resources, fault_hook=fault_hook,
+                )
+            )
+        return BenchResult(
+            outputs={"dist": session.download(buf)},
+            launches=tuple(launches),
+            session=session,
+            compiled=compiled,
+        )
+
+    def reference(self) -> Dict[str, np.ndarray]:
+        d = self.dist.astype(np.int64).copy()
+        for k in range(self.k_iters):
+            d = np.minimum(d, d[:, k:k + 1] + d[k:k + 1, :])
+        return {"dist": d.astype(np.uint32).reshape(-1)}

@@ -1,0 +1,87 @@
+"""MatrixMultiplication (MM) — LDS-tiled GEMM, compute- and LDS-bound.
+
+The classic tiled kernel: each 8×8 work-group streams tiles of A and B
+through the LDS with barriers and accumulates one output element per
+work-item.  Both compute and LDS bandwidth run hot, so Intra-Group RMT
+costs ~2x — and the +LDS flavor's doubled tile allocation limits
+work-group scheduling, the LDS-over-allocation effect the paper singles
+out for MM in Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..ir.builder import KernelBuilder
+from ..ir.types import DType
+from .base import Benchmark, BenchResult
+
+_TILE = 8
+
+
+class MatrixMultiplication(Benchmark):
+    abbrev = "MM"
+    name = "MatrixMultiplication"
+    description = "LDS-tiled GEMM; compute/LDS-throughput-bound"
+
+    def __init__(self, n: int = 128, seed: int = 7):
+        super().__init__(seed)
+        if n % _TILE:
+            raise ValueError("n must be a multiple of the tile size")
+        self.n = n
+        self.a = self.rng.standard_normal((n, n)).astype(np.float32)
+        self.b = self.rng.standard_normal((n, n)).astype(np.float32)
+
+    def build(self):
+        b = KernelBuilder("matmul")
+        a_buf = b.buffer_param("a", DType.F32)
+        b_buf = b.buffer_param("b", DType.F32)
+        c_buf = b.buffer_param("c", DType.F32)
+        n = b.scalar_param("n", DType.U32)
+
+        tile_a = b.local_alloc("tile_a", DType.F32, _TILE * _TILE)
+        tile_b = b.local_alloc("tile_b", DType.F32, _TILE * _TILE)
+
+        col = b.global_id(0)
+        row = b.global_id(1)
+        lx = b.local_id(0)
+        ly = b.local_id(1)
+        lflat = b.add(b.mul(ly, _TILE), lx)
+
+        acc = b.var(DType.F32, 0.0, hint="acc")
+        num_tiles = b.div(n, _TILE)
+        with b.for_range(0, num_tiles) as t:
+            # Stage one tile of A (row block) and B (column block).
+            a_idx = b.add(b.mul(row, n), b.add(b.mul(t, _TILE), lx))
+            b_idx = b.add(b.mul(b.add(b.mul(t, _TILE), ly), n), col)
+            b.store_local(tile_a, lflat, b.load(a_buf, a_idx))
+            b.store_local(tile_b, lflat, b.load(b_buf, b_idx))
+            b.barrier()
+            for kk in range(_TILE):
+                av = b.load_local(tile_a, b.add(b.mul(ly, _TILE), kk))
+                bv = b.load_local(tile_b, b.add(b.mul(kk, _TILE), lx))
+                b.set(acc, b.add(acc, b.mul(av, bv)))
+            b.barrier()
+        b.store(c_buf, b.add(b.mul(row, n), col), acc)
+        kern = b.finish()
+        kern.metadata["local_size"] = (_TILE, _TILE, 1)
+        return kern
+
+    def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:
+        return self.simple_run(
+            session, compiled,
+            inputs={"a": self.a.reshape(-1), "b": self.b.reshape(-1)},
+            outputs={"c": (self.n * self.n, np.float32)},
+            global_size=(self.n, self.n), local_size=(_TILE, _TILE),
+            scalars={"n": self.n},
+            resources=resources, fault_hook=fault_hook,
+        )
+
+    def reference(self) -> Dict[str, np.ndarray]:
+        c = self.a.astype(np.float64) @ self.b.astype(np.float64)
+        return {"c": c.astype(np.float32).reshape(-1)}
+
+    def check(self, result, rtol: float = 1e-3, atol: float = 1e-3) -> bool:
+        return super().check(result, rtol=rtol, atol=atol)

@@ -1,0 +1,119 @@
+"""NBody (NB) — all-pairs gravity, compute-bound, CU-under-utilizing.
+
+Each work-item integrates one body against every other body with a
+rsqrt-heavy inner loop over broadcast position loads.  Sized (1024
+bodies, 128-wide groups = 8 work-groups) to reproduce the paper's
+under-utilization observation: NB fills only 8 of the 12 CUs, so
+Inter-Group RMT's doubled groups land on idle CUs almost for free
+(1.16x in Figure 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..ir.builder import KernelBuilder
+from ..ir.types import DType
+from .base import Benchmark, BenchResult
+
+_EPS2 = 1e-3
+_DT = 0.005
+
+
+class NBody(Benchmark):
+    abbrev = "NB"
+    name = "NBody"
+    description = "all-pairs gravitation; compute-bound, under-utilizes CUs"
+
+    def __init__(self, bodies: int = 1024, local_size: int = 128, seed: int = 7):
+        super().__init__(seed)
+        self.bodies = bodies
+        self.local_size = local_size
+        self.px = self.rng.random(bodies).astype(np.float32) * 10
+        self.py = self.rng.random(bodies).astype(np.float32) * 10
+        self.pz = self.rng.random(bodies).astype(np.float32) * 10
+        self.mass = (self.rng.random(bodies).astype(np.float32) + 0.5)
+
+    def build(self):
+        b = KernelBuilder("nbody")
+        px = b.buffer_param("px", DType.F32)
+        py = b.buffer_param("py", DType.F32)
+        pz = b.buffer_param("pz", DType.F32)
+        mass = b.buffer_param("mass", DType.F32)
+        ax_out = b.buffer_param("ax", DType.F32)
+        ay_out = b.buffer_param("ay", DType.F32)
+        az_out = b.buffer_param("az", DType.F32)
+        n = b.scalar_param("n", DType.U32)
+
+        gid = b.global_id(0)
+        my_x = b.load(px, gid)
+        my_y = b.load(py, gid)
+        my_z = b.load(pz, gid)
+
+        ax = b.var(DType.F32, 0.0, hint="ax")
+        ay = b.var(DType.F32, 0.0, hint="ay")
+        az = b.var(DType.F32, 0.0, hint="az")
+
+        with b.for_range(0, n) as j:
+            ox = b.load(px, j)
+            oy = b.load(py, j)
+            oz = b.load(pz, j)
+            om = b.load(mass, j)
+            dx = b.sub(ox, my_x)
+            dy = b.sub(oy, my_y)
+            dz = b.sub(oz, my_z)
+            r2 = b.add(
+                b.add(b.mul(dx, dx), b.mul(dy, dy)),
+                b.add(b.mul(dz, dz), _EPS2),
+            )
+            inv_r = b.rsqrt(r2)
+            inv_r3 = b.mul(b.mul(inv_r, inv_r), inv_r)
+            s = b.mul(om, inv_r3)
+            b.set(ax, b.add(ax, b.mul(s, dx)))
+            b.set(ay, b.add(ay, b.mul(s, dy)))
+            b.set(az, b.add(az, b.mul(s, dz)))
+
+        b.store(ax_out, gid, b.mul(ax, _DT))
+        b.store(ay_out, gid, b.mul(ay, _DT))
+        b.store(az_out, gid, b.mul(az, _DT))
+        kern = b.finish()
+        kern.metadata["local_size"] = (self.local_size, 1, 1)
+        return kern
+
+    def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:
+        nb = self.bodies
+        return self.simple_run(
+            session, compiled,
+            inputs={"px": self.px, "py": self.py, "pz": self.pz, "mass": self.mass},
+            outputs={
+                "ax": (nb, np.float32),
+                "ay": (nb, np.float32),
+                "az": (nb, np.float32),
+            },
+            global_size=nb, local_size=self.local_size,
+            scalars={"n": nb},
+            resources=resources, fault_hook=fault_hook,
+        )
+
+    def reference(self) -> Dict[str, np.ndarray]:
+        px = self.px.astype(np.float64)
+        py = self.py.astype(np.float64)
+        pz = self.pz.astype(np.float64)
+        m = self.mass.astype(np.float64)
+        dx = px[None, :] - px[:, None]
+        dy = py[None, :] - py[:, None]
+        dz = pz[None, :] - pz[:, None]
+        r2 = dx * dx + dy * dy + dz * dz + _EPS2
+        inv_r3 = r2 ** -1.5
+        s = m[None, :] * inv_r3
+        return {
+            "ax": (np.sum(s * dx, axis=1) * _DT).astype(np.float32),
+            "ay": (np.sum(s * dy, axis=1) * _DT).astype(np.float32),
+            "az": (np.sum(s * dz, axis=1) * _DT).astype(np.float32),
+        }
+
+    def check(self, result, rtol: float = 2e-2, atol: float = 2e-3) -> bool:
+        # f32 rsqrt accumulation over 1k terms vs f64 oracle.
+        return super().check(result, rtol=rtol, atol=atol)

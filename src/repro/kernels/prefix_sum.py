@@ -1,0 +1,76 @@
+"""PrefixSum (PS) — single work-group LDS scan; under-utilizes the GPU.
+
+A Hillis-Steele inclusive scan inside one 256-wide work-group: barrier-
+and LDS-bound, and by construction it occupies exactly one CU of twelve
+— the paper's second under-utilization case (Inter-Group costs only
+1.59x because the redundant group lands on an idle CU; Intra-Group pays
+mostly for communication, which FAST then removes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..ir.builder import KernelBuilder
+from ..ir.types import DType
+from .base import Benchmark, BenchResult
+
+
+class PrefixSum(Benchmark):
+    abbrev = "PS"
+    name = "PrefixSum"
+    description = "single-group Hillis-Steele scan; barrier/LDS-bound"
+
+    def __init__(self, n: int = 256, seed: int = 7):
+        super().__init__(seed)
+        if n & (n - 1):
+            raise ValueError("n must be a power of two")
+        self.n = n
+        self.data = self.rng.random(n).astype(np.float32)
+
+    def build(self):
+        b = KernelBuilder("prefix_sum")
+        src = b.buffer_param("src", DType.F32)
+        dst = b.buffer_param("dst", DType.F32)
+        block = b.local_alloc("block", DType.F32, self.n)
+
+        lid = b.local_id(0)
+        b.store_local(block, lid, b.load(src, lid))
+        b.barrier()
+
+        stride = b.var(DType.U32, 1, hint="stride")
+        with b.loop() as lp:
+            active_stride = b.lt(stride, self.n)
+            lp.break_unless(active_stride)
+            mine = b.load_local(block, lid)
+            has_partner = b.ge(lid, stride)
+            partner_idx = b.sub(b.max(lid, stride), stride)
+            partner = b.load_local(block, partner_idx)
+            summed = b.add(mine, partner)
+            b.barrier()
+            with b.if_(has_partner):
+                b.store_local(block, lid, summed)
+            b.barrier()
+            b.set(stride, b.shl(stride, 1))
+
+        b.store(dst, lid, b.load_local(block, lid))
+        kern = b.finish()
+        kern.metadata["local_size"] = (self.n, 1, 1)
+        return kern
+
+    def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:
+        return self.simple_run(
+            session, compiled,
+            inputs={"src": self.data},
+            outputs={"dst": (self.n, np.float32)},
+            global_size=self.n, local_size=self.n,
+            resources=resources, fault_hook=fault_hook,
+        )
+
+    def reference(self) -> Dict[str, np.ndarray]:
+        return {"dst": np.cumsum(self.data.astype(np.float64)).astype(np.float32)}
+
+    def check(self, result, rtol: float = 1e-3, atol: float = 1e-3) -> bool:
+        return super().check(result, rtol=rtol, atol=atol)

@@ -1,0 +1,79 @@
+"""Reduction (R) — LDS tree reduction with one store per work-group.
+
+Memory-bound on the input read, then a barrier-heavy LDS tree.  Only
+lane 0 of each group stores a partial sum, so Inter-Group RMT has few
+outputs to compare (cheap), while Intra-Group−LDS must compare on every
+LDS tree store — communication is over half of R's intra overhead in the
+paper's Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..ir.builder import KernelBuilder
+from ..ir.types import DType
+from .base import Benchmark, BenchResult
+
+
+class Reduction(Benchmark):
+    abbrev = "R"
+    name = "Reduction"
+    description = "per-group LDS tree sum; memory-bound input, LDS-store-heavy"
+
+    def __init__(self, n: int = 65536, local_size: int = 256, seed: int = 7):
+        super().__init__(seed)
+        if n % local_size:
+            raise ValueError("n must be a multiple of local_size")
+        self.n = n
+        self.local_size = local_size
+        self.data = self.rng.integers(0, 1024, size=n, dtype=np.uint32)
+
+    def build(self):
+        ls = self.local_size
+        b = KernelBuilder("reduction")
+        src = b.buffer_param("src", DType.U32)
+        dst = b.buffer_param("dst", DType.U32)
+        scratch = b.local_alloc("scratch", DType.U32, ls)
+
+        gid = b.global_id(0)
+        lid = b.local_id(0)
+        b.store_local(scratch, lid, b.load(src, gid))
+        b.barrier()
+
+        stride = b.var(DType.U32, ls // 2, hint="stride")
+        with b.loop() as lp:
+            lp.break_unless(b.gt(stride, 0))
+            in_tree = b.lt(lid, stride)
+            with b.if_(in_tree):
+                mine = b.load_local(scratch, lid)
+                other = b.load_local(scratch, b.add(lid, stride))
+                b.store_local(scratch, lid, b.add(mine, other))
+            b.barrier()
+            b.set(stride, b.shr(stride, 1))
+
+        first = b.eq(lid, 0)
+        with b.if_(first):
+            b.store(dst, b.group_id(0), b.load_local(scratch, 0))
+        kern = b.finish()
+        kern.metadata["local_size"] = (ls, 1, 1)
+        return kern
+
+    def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:
+        groups = self.n // self.local_size
+        return self.simple_run(
+            session, compiled,
+            inputs={"src": self.data},
+            outputs={"dst": (groups, np.uint32)},
+            global_size=self.n, local_size=self.local_size,
+            resources=resources, fault_hook=fault_hook,
+        )
+
+    def reference(self) -> Dict[str, np.ndarray]:
+        groups = self.n // self.local_size
+        return {
+            "dst": self.data.reshape(groups, self.local_size)
+            .astype(np.uint64).sum(axis=1).astype(np.uint32)
+        }

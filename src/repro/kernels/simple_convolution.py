@@ -1,0 +1,93 @@
+"""SimpleConvolution (SC) — 5×5 image convolution, memory-bound with
+heavily shared neighbourhood reads.
+
+Neighbouring work-items read overlapping pixel windows, so redundant
+work-item pairs coalesce to the same cache lines and redundant groups
+prefetch for each other ("slipstreaming").  SC is the kernel the paper
+found *accelerated* by Intra-Group RMT and nearly free under Inter-Group
+RMT (1.10x).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..ir.builder import KernelBuilder
+from ..ir.types import DType
+from .base import Benchmark, BenchResult
+
+_MASK = 5
+
+
+class SimpleConvolution(Benchmark):
+    abbrev = "SC"
+    name = "SimpleConvolution"
+    description = "5x5 convolution; memory-bound, cache-friendly shared reads"
+
+    def __init__(self, width: int = 256, height: int = 128, local_size: int = 256, seed: int = 7):
+        super().__init__(seed)
+        self.width = width
+        self.height = height
+        self.local_size = local_size
+        self.image = self.rng.random(width * height).astype(np.float32)
+        mask = self.rng.random((_MASK, _MASK)).astype(np.float32)
+        self.mask = (mask / mask.sum()).reshape(-1)
+
+    def build(self):
+        w, h = self.width, self.height
+        b = KernelBuilder("simple_convolution")
+        img = b.buffer_param("img", DType.F32)
+        mask = b.buffer_param("mask", DType.F32)
+        out = b.buffer_param("out", DType.F32)
+        width = b.scalar_param("width", DType.U32)
+        height = b.scalar_param("height", DType.U32)
+
+        gid = b.global_id(0)
+        x = b.bitcast(b.rem(gid, width), DType.I32)
+        y = b.bitcast(b.div(gid, width), DType.I32)
+        wi = b.bitcast(width, DType.I32)
+        hi = b.bitcast(height, DType.I32)
+        x_max = b.sub(wi, 1)
+        y_max = b.sub(hi, 1)
+
+        acc = b.var(DType.F32, 0.0, hint="acc")
+        half = _MASK // 2
+        for dy in range(-half, half + 1):
+            sy = b.min(b.max(b.add(y, dy), 0), y_max)
+            row_base = b.mul(sy, wi)
+            for dx in range(-half, half + 1):
+                sx = b.min(b.max(b.add(x, dx), 0), x_max)
+                pix = b.load(img, b.bitcast(b.add(row_base, sx), DType.U32))
+                mval = b.load(mask, (dy + half) * _MASK + (dx + half))
+                b.set(acc, b.add(acc, b.mul(pix, mval)))
+        b.store(out, gid, acc)
+        kern = b.finish()
+        kern.metadata["local_size"] = (self.local_size, 1, 1)
+        return kern
+
+    def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:
+        n = self.width * self.height
+        return self.simple_run(
+            session, compiled,
+            inputs={"img": self.image, "mask": self.mask},
+            outputs={"out": (n, np.float32)},
+            global_size=n, local_size=self.local_size,
+            scalars={"width": self.width, "height": self.height},
+            resources=resources, fault_hook=fault_hook,
+        )
+
+    def reference(self) -> Dict[str, np.ndarray]:
+        img = self.image.reshape(self.height, self.width).astype(np.float64)
+        mask = self.mask.reshape(_MASK, _MASK).astype(np.float64)
+        half = _MASK // 2
+        out = np.zeros_like(img)
+        padded = np.pad(img, half, mode="edge")
+        for dy in range(_MASK):
+            for dx in range(_MASK):
+                out += mask[dy, dx] * padded[dy:dy + self.height, dx:dx + self.width]
+        return {"out": out.astype(np.float32).reshape(-1)}
+
+    def check(self, result, rtol: float = 1e-3, atol: float = 1e-4) -> bool:
+        return super().check(result, rtol=rtol, atol=atol)

@@ -1,0 +1,104 @@
+"""SobelFilter (SF) — 3×3 gradient filter; memory-bound image kernel.
+
+Like SC, neighbouring work-items share most of their reads, which keeps
+RMT cheap: redundant pairs coalesce (Intra) and redundant groups warm
+the caches for each other (Inter "slipstreaming").
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..ir.builder import KernelBuilder
+from ..ir.types import DType
+from .base import Benchmark, BenchResult
+
+
+class SobelFilter(Benchmark):
+    abbrev = "SF"
+    name = "SobelFilter"
+    description = "3x3 Sobel gradient; memory-bound, shared-read-heavy"
+
+    def __init__(self, width: int = 256, height: int = 128, local_size: int = 256, seed: int = 7):
+        super().__init__(seed)
+        self.width = width
+        self.height = height
+        self.local_size = local_size
+        self.image = self.rng.random(width * height).astype(np.float32)
+
+    def build(self):
+        b = KernelBuilder("sobel_filter")
+        img = b.buffer_param("img", DType.F32)
+        out = b.buffer_param("out", DType.F32)
+        width = b.scalar_param("width", DType.U32)
+        height = b.scalar_param("height", DType.U32)
+
+        gid = b.global_id(0)
+        x = b.rem(gid, width)
+        y = b.div(gid, width)
+
+        interior = b.pand(
+            b.pand(b.gt(x, 0), b.lt(x, b.sub(width, 1))),
+            b.pand(b.gt(y, 0), b.lt(y, b.sub(height, 1))),
+        )
+        with b.if_(interior):
+            # Load the 3x3 neighbourhood (interior guard keeps indices valid).
+            neigh = {}
+            for dy in (-1, 0, 1):
+                row = b.add(y, dy) if dy >= 0 else b.sub(y, -dy)
+                base = b.mul(row, width)
+                for dx in (-1, 0, 1):
+                    if dy == 0 and dx == 0:
+                        continue
+                    col = b.add(x, dx) if dx >= 0 else b.sub(x, -dx)
+                    neigh[(dy, dx)] = b.load(img, b.add(base, col))
+
+            gx = b.add(
+                b.add(neigh[(-1, 1)], b.mul(2.0, neigh[(0, 1)])),
+                b.sub(
+                    b.sub(neigh[(1, 1)], neigh[(-1, -1)]),
+                    b.add(b.mul(2.0, neigh[(0, -1)]), neigh[(1, -1)]),
+                ),
+            )
+            gy = b.add(
+                b.add(neigh[(1, -1)], b.mul(2.0, neigh[(1, 0)])),
+                b.sub(
+                    b.sub(neigh[(1, 1)], neigh[(-1, -1)]),
+                    b.add(b.mul(2.0, neigh[(-1, 0)]), neigh[(-1, 1)]),
+                ),
+            )
+            mag = b.sqrt(b.add(b.mul(gx, gx), b.mul(gy, gy)))
+            b.store(out, gid, mag)
+        kern = b.finish()
+        kern.metadata["local_size"] = (self.local_size, 1, 1)
+        return kern
+
+    def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:
+        n = self.width * self.height
+        return self.simple_run(
+            session, compiled,
+            inputs={"img": self.image},
+            outputs={"out": (n, np.float32)},
+            global_size=n, local_size=self.local_size,
+            scalars={"width": self.width, "height": self.height},
+            resources=resources, fault_hook=fault_hook,
+        )
+
+    def reference(self) -> Dict[str, np.ndarray]:
+        img = self.image.reshape(self.height, self.width).astype(np.float64)
+        out = np.zeros_like(img)
+        gx = (
+            img[:-2, 2:] + 2 * img[1:-1, 2:] + img[2:, 2:]
+            - img[:-2, :-2] - 2 * img[1:-1, :-2] - img[2:, :-2]
+        )
+        gy = (
+            img[2:, :-2] + 2 * img[2:, 1:-1] + img[2:, 2:]
+            - img[:-2, :-2] - 2 * img[:-2, 1:-1] - img[:-2, 2:]
+        )
+        out[1:-1, 1:-1] = np.sqrt(gx * gx + gy * gy)
+        return {"out": out.astype(np.float32).reshape(-1)}
+
+    def check(self, result, rtol: float = 1e-3, atol: float = 1e-4) -> bool:
+        return super().check(result, rtol=rtol, atol=atol)

@@ -1,0 +1,87 @@
+"""Registry of the 16 benchmark kernels (paper Section 5).
+
+``SUITE`` maps the paper's figure abbreviations to benchmark factories in
+the order the figures plot them.  ``make_benchmark`` builds one at the
+default (device-saturating) scale or the reduced ``small`` scale used by
+the fast test profile.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .base import Benchmark
+from .binary_search import BinarySearch
+from .binomial_option import BinomialOption
+from .bitonic_sort import BitonicSort
+from .black_scholes import BlackScholes
+from .dct import Dct
+from .dwt_haar import DwtHaar1D
+from .fast_walsh import FastWalshTransform
+from .floyd_warshall import FloydWarshall
+from .matmul import MatrixMultiplication
+from .nbody import NBody
+from .prefix_sum import PrefixSum
+from .quasi_random import QuasiRandomSequence
+from .reduction import Reduction
+from .simple_convolution import SimpleConvolution
+from .sobel_filter import SobelFilter
+from .urng import Urng
+
+#: Paper-scale constructors, keyed by figure abbreviation, in figure order.
+SUITE: Dict[str, Callable[[], Benchmark]] = {
+    "BinS": lambda: BinarySearch(n=262144, segment=8),
+    "BO": lambda: BinomialOption(options=512),
+    "BitS": lambda: BitonicSort(n=65536, start_stage=14),
+    "BlkSch": lambda: BlackScholes(n=32768),
+    "DCT": lambda: Dct(width=128, height=128),
+    "DWT": lambda: DwtHaar1D(n=32768),
+    "FWT": lambda: FastWalshTransform(n=65536),
+    "FW": lambda: FloydWarshall(n=128, k_iters=32),
+    "MM": lambda: MatrixMultiplication(n=128),
+    "NB": lambda: NBody(bodies=1024),
+    "PS": lambda: PrefixSum(n=256),
+    "QRS": lambda: QuasiRandomSequence(n=16384),
+    "R": lambda: Reduction(n=65536),
+    "SC": lambda: SimpleConvolution(width=1024, height=256),
+    "SF": lambda: SobelFilter(width=2048, height=128),
+    "URNG": lambda: Urng(n=32768),
+}
+
+#: Reduced-scale constructors for fast unit/integration testing.
+SMALL_SUITE: Dict[str, Callable[[], Benchmark]] = {
+    "BinS": lambda: BinarySearch(n=8192, segment=8),
+    "BO": lambda: BinomialOption(options=48),
+    "BitS": lambda: BitonicSort(n=2048, local_size=128),
+    "BlkSch": lambda: BlackScholes(n=2048),
+    "DCT": lambda: Dct(width=64, height=64),
+    "DWT": lambda: DwtHaar1D(n=4096),
+    "FWT": lambda: FastWalshTransform(n=4096, local_size=128),
+    "FW": lambda: FloydWarshall(n=32, local_size=128),
+    "MM": lambda: MatrixMultiplication(n=64),
+    "NB": lambda: NBody(bodies=256, local_size=64),
+    "PS": lambda: PrefixSum(n=256),
+    "QRS": lambda: QuasiRandomSequence(n=2048),
+    "R": lambda: Reduction(n=8192),
+    "SC": lambda: SimpleConvolution(width=64, height=64, local_size=128),
+    "SF": lambda: SobelFilter(width=64, height=64, local_size=128),
+    "URNG": lambda: Urng(n=4096, local_size=128),
+}
+
+#: The three long-running kernels used for the power study (Figure 5).
+POWER_KERNELS: List[str] = ["BO", "BlkSch", "FW"]
+
+
+def make_benchmark(abbrev: str, scale: str = "paper") -> Benchmark:
+    """Instantiate a suite benchmark by abbreviation."""
+    table = SUITE if scale == "paper" else SMALL_SUITE
+    try:
+        return table[abbrev]()
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {abbrev!r}; choose from {sorted(SUITE)}"
+        ) from None
+
+
+def all_abbrevs() -> List[str]:
+    return list(SUITE.keys())

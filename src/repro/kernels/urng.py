@@ -1,0 +1,75 @@
+"""URNG (Uniform Random Noise Generator) — LDS-staged LCG noise kernel.
+
+Each work-item runs a chain of linear-congruential steps, staging state
+through its LDS slot between rounds (the SDK kernel mixes noise through
+local memory the same way).  Compute- plus LDS-bound: ~2x under
+Intra-Group RMT, with the −LDS flavor trading duplicated LDS traffic for
+per-local-store output comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..ir.builder import KernelBuilder
+from ..ir.types import DType
+from .base import Benchmark, BenchResult
+
+_ROUNDS = 16
+_LCG_A = np.uint32(1664525)
+_LCG_C = np.uint32(1013904223)
+
+
+class Urng(Benchmark):
+    abbrev = "URNG"
+    name = "URNG"
+    description = "LCG noise with LDS staging; compute/LDS-bound"
+
+    def __init__(self, n: int = 32768, local_size: int = 256, seed: int = 7):
+        super().__init__(seed)
+        self.n = n
+        self.local_size = local_size
+        self.seeds = self.rng.integers(1, 2**31, size=n, dtype=np.uint32)
+
+    def build(self):
+        b = KernelBuilder("urng")
+        seeds = b.buffer_param("seeds", DType.U32)
+        out = b.buffer_param("out", DType.F32)
+        stage = b.local_alloc("stage", DType.U32, self.local_size)
+
+        gid = b.global_id(0)
+        lid = b.local_id(0)
+        state = b.var(DType.U32, 0, hint="state")
+        b.set(state, b.load(seeds, gid))
+        for _ in range(_ROUNDS):
+            # LCG step, then bounce the state through local memory the way
+            # the SDK kernel stages noise planes.
+            b.set(state, b.add(b.mul(state, int(_LCG_A)), int(_LCG_C)))
+            b.store_local(stage, lid, state)
+            mixed = b.load_local(stage, lid)
+            b.set(state, b.xor(mixed, b.shr(mixed, 13)))
+        # Normalize to [0, 1).
+        norm = b.mul(b.u2f(state), 1.0 / 4294967296.0)
+        b.store(out, gid, norm)
+        kern = b.finish()
+        kern.metadata["local_size"] = (self.local_size, 1, 1)
+        return kern
+
+    def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:
+        return self.simple_run(
+            session, compiled,
+            inputs={"seeds": self.seeds},
+            outputs={"out": (self.n, np.float32)},
+            global_size=self.n, local_size=self.local_size,
+            resources=resources, fault_hook=fault_hook,
+        )
+
+    def reference(self) -> Dict[str, np.ndarray]:
+        with np.errstate(over="ignore"):
+            state = self.seeds.copy()
+            for _ in range(_ROUNDS):
+                state = state * _LCG_A + _LCG_C
+                state = state ^ (state >> np.uint32(13))
+            return {"out": (state.astype(np.float64) / 2**32).astype(np.float32)}

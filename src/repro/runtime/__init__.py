@@ -1,0 +1,5 @@
+"""Host-side runtime: session, buffers, RMT launch adaptation."""
+
+from .api import Session
+
+__all__ = ["Session"]

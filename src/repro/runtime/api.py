@@ -1,0 +1,148 @@
+"""OpenCL-like host runtime.
+
+A :class:`Session` owns one simulated device and provides buffer
+management plus kernel launches.  It also implements the host half of
+the RMT transformations — the part the paper did by hand ("the host-code
+modifications necessary to support RMT were small"):
+
+* Intra-Group kernels launch with work-group size doubled along dim 0;
+* Inter-Group kernels launch with the group count doubled along dim 0
+  and receive four hidden buffers (ticket counter, slot flags, and the
+  address/value communication arrays) sized to the original NDRange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..compiler.pipeline import CompiledKernel
+from ..compiler.passes.rmt_common import (
+    INTER_COMM_ADDR,
+    INTER_COMM_VAL,
+    INTER_COUNTER,
+    INTER_FLAG,
+)
+from ..gpu.config import DEFAULT_POWER, HD7790, GpuConfig, PowerConfig
+from ..gpu.device import Device
+from ..gpu.engine import LaunchResult
+from ..gpu.memory import DeviceBuffer
+from ..gpu.occupancy import KernelResources
+from ..gpu.power import PowerReport
+
+Size = Union[int, Tuple[int, ...]]
+
+
+def _norm(size: Size) -> Tuple[int, int, int]:
+    if isinstance(size, int):
+        return (size, 1, 1)
+    t = tuple(int(x) for x in size)
+    return t + (1,) * (3 - len(t))
+
+
+class Session:
+    """Host-side context bound to one simulated GPU."""
+
+    def __init__(self, config: GpuConfig = HD7790, power: PowerConfig = DEFAULT_POWER):
+        self.device = Device(config, power)
+        self._hidden_serial = 0
+
+    # -- buffers -----------------------------------------------------------
+
+    def upload(self, name: str, data: np.ndarray) -> DeviceBuffer:
+        """Copy a host array into a new device buffer."""
+        return self.device.alloc(name, np.asarray(data))
+
+    def zeros(self, name: str, nelems: int, dtype=np.float32) -> DeviceBuffer:
+        return self.device.alloc_zeros(name, nelems, dtype)
+
+    def download(self, buf: DeviceBuffer) -> np.ndarray:
+        """Copy a device buffer back to the host."""
+        return self.device.read_buffer(buf)
+
+    # -- launches ------------------------------------------------------------
+
+    def launch(
+        self,
+        compiled: CompiledKernel,
+        global_size: Size,
+        local_size: Size,
+        bindings: Dict[str, DeviceBuffer],
+        scalars: Optional[Dict[str, object]] = None,
+        resources: Optional[KernelResources] = None,
+        fault_hook=None,
+    ) -> LaunchResult:
+        """Launch a compiled kernel over the *original* NDRange.
+
+        ``global_size``/``local_size`` describe the application's
+        NDRange; if the kernel was RMT-transformed, this adapter doubles
+        the range the way the matching flavor requires and binds any
+        hidden communication buffers.
+        """
+        gsz = _norm(global_size)
+        lsz = _norm(local_size)
+        bindings = dict(bindings)
+        meta = compiled.rmt_metadata
+
+        if meta is not None:
+            mode = meta["ndrange"]
+            if mode == "double_local_dim0":
+                expected = compiled.kernel.metadata.get("local_size")
+                if expected is not None and _norm(expected)[0] != lsz[0] * 2:
+                    raise ValueError(
+                        f"kernel {compiled.kernel.name!r} was transformed for "
+                        f"local size {expected}, launch asked for {lsz}"
+                    )
+                gsz = (gsz[0] * 2, gsz[1], gsz[2])
+                lsz = (lsz[0] * 2, lsz[1], lsz[2])
+            elif mode == "double_groups_dim0":
+                items = gsz[0] * gsz[1] * gsz[2]
+                bindings.update(self._alloc_inter_buffers(items))
+                gsz = (gsz[0] * 2, gsz[1], gsz[2])
+            else:  # pragma: no cover - future flavors
+                raise ValueError(f"unknown RMT NDRange mode {mode!r}")
+
+        return self.device.launch(
+            compiled.kernel,
+            gsz,
+            lsz,
+            buffers=bindings,
+            scalars=scalars,
+            resources=resources or compiled.resources,
+            scalar_instrs=compiled.scalar_instrs,
+            fault_hook=fault_hook,
+        )
+
+    def _alloc_inter_buffers(self, total_items: int) -> Dict[str, DeviceBuffer]:
+        """Fresh hidden buffers for one Inter-Group launch."""
+        self._hidden_serial += 1
+        tag = f"#{self._hidden_serial}"
+        return {
+            INTER_COUNTER: self.device.alloc_zeros(
+                INTER_COUNTER + tag, 1, np.uint32),
+            INTER_FLAG: self.device.alloc_zeros(
+                INTER_FLAG + tag, total_items, np.uint32),
+            INTER_COMM_ADDR: self.device.alloc_zeros(
+                INTER_COMM_ADDR + tag, total_items, np.uint32),
+            INTER_COMM_VAL: self.device.alloc_zeros(
+                INTER_COMM_VAL + tag, total_items, np.uint32),
+        }
+
+    # -- aggregate results ---------------------------------------------------
+
+    @property
+    def elapsed_cycles(self) -> float:
+        """Total simulated cycles across every launch so far."""
+        return self.device.stats.total_cycles
+
+    def power_report(self) -> PowerReport:
+        return self.device.power_report()
+
+    def detections(self):
+        """All RMT detection events recorded on this session."""
+        out = []
+        for r in self.device.stats.launch_results:
+            out.extend(r.detections)
+        return out

@@ -1,0 +1,175 @@
+"""Tests for compiler analyses: uniformity, resources, SoR."""
+
+import pytest
+
+from repro.compiler import (
+    analyze_sor,
+    analyze_uniformity,
+    compile_kernel,
+    estimate_resources,
+)
+from repro.ir import DType, KernelBuilder, walk_instrs
+
+
+def _kernel_with_scalar_work():
+    b = KernelBuilder("k")
+    a = b.buffer_param("a", DType.F32)
+    out = b.buffer_param("out", DType.F32)
+    n = b.scalar_param("n", DType.U32)
+    grp = b.group_id(0)
+    base = b.mul(grp, n)          # uniform: group id x param
+    gid = b.global_id(0)          # vector
+    mixed = b.add(gid, base)      # vector (mixes uniform + vector)
+    b.store(out, mixed, b.load(a, gid))
+    return b.finish(), base, gid, mixed
+
+
+class TestUniformity:
+    def test_uniform_sources_propagate(self):
+        k, base, gid, mixed = _kernel_with_scalar_work()
+        info = analyze_uniformity(k)
+        assert info.is_uniform(base)
+        assert not info.is_uniform(gid)
+        assert not info.is_uniform(mixed)
+
+    def test_constants_and_params_uniform(self):
+        b = KernelBuilder("k")
+        n = b.scalar_param("n", DType.U32)
+        c = b.const(5, DType.U32)
+        k = b.finish()
+        info = analyze_uniformity(k)
+        assert info.is_uniform(n)
+        assert info.is_uniform(c)
+
+    def test_uniform_address_loads_scalarize(self):
+        """A load with a wavefront-uniform address runs on the SU."""
+        b = KernelBuilder("k")
+        a = b.buffer_param("a", DType.F32)
+        x = b.load(a, b.const(0, DType.U32))
+        k = b.finish()
+        info = analyze_uniformity(k)
+        assert info.is_uniform(x)
+
+    def test_vector_address_loads_stay_vector(self):
+        b = KernelBuilder("k")
+        a = b.buffer_param("a", DType.F32)
+        x = b.load(a, b.global_id(0))
+        k = b.finish()
+        info = analyze_uniformity(k)
+        assert not info.is_uniform(x)
+
+    def test_divergent_region_demotes(self):
+        b = KernelBuilder("k")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        cond = b.lt(gid, 4)       # non-uniform condition
+        v = b.var(DType.U32, 0)
+        with b.if_(cond):
+            b.set(v, 7)            # written under divergence
+        b.store(out, gid, v)
+        k = b.finish()
+        info = analyze_uniformity(k)
+        assert not info.is_uniform(v)
+
+    def test_nonuniform_redefinition_demotes(self):
+        b = KernelBuilder("k")
+        out = b.buffer_param("out", DType.U32)
+        v = b.var(DType.U32, 1)    # uniform at first
+        b.set(v, b.global_id(0))   # redefined as vector
+        b.store(out, b.global_id(0), v)
+        k = b.finish()
+        info = analyze_uniformity(k)
+        assert not info.is_uniform(v)
+
+    def test_uniform_loop_counter_scalar(self):
+        b = KernelBuilder("k")
+        out = b.buffer_param("out", DType.U32)
+        acc = b.var(DType.U32, 0)
+        with b.for_range(0, 4) as i:
+            b.set(acc, b.add(acc, i))
+        b.store(out, b.global_id(0), acc)
+        k = b.finish()
+        info = analyze_uniformity(k)
+        assert info.is_uniform(acc)
+        assert info.is_uniform(i)
+
+
+class TestResources:
+    def test_more_live_values_more_vgprs(self):
+        def kernel(width):
+            b = KernelBuilder("k")
+            a = b.buffer_param("a", DType.F32)
+            out = b.buffer_param("out", DType.F32)
+            gid = b.global_id(0)
+            vals = [b.load(a, b.add(gid, i)) for i in range(width)]
+            acc = vals[0]
+            for v in vals[1:]:
+                acc = b.add(acc, v)
+            b.store(out, gid, acc)
+            return b.finish()
+
+        narrow = estimate_resources(kernel(2))
+        wide = estimate_resources(kernel(16))
+        assert wide.vgprs_per_workitem > narrow.vgprs_per_workitem
+
+    def test_uniform_values_charged_to_sgprs(self):
+        b = KernelBuilder("k")
+        out = b.buffer_param("out", DType.U32)
+        n = b.scalar_param("n", DType.U32)
+        u1 = b.mul(n, 3)
+        u2 = b.add(u1, 7)
+        b.store(out, b.global_id(0), u2)
+        res = estimate_resources(b.finish())
+        assert res.sgprs_per_wave > 16   # above the baseline
+
+    def test_lds_footprint(self):
+        b = KernelBuilder("k")
+        b.local_alloc("t", DType.F32, 256)
+        res = estimate_resources(b.finish())
+        assert res.lds_bytes_per_group == 1024
+
+    def test_rmt_inflates_registers(self):
+        from repro.kernels import SMALL_SUITE
+
+        bench = SMALL_SUITE["FWT"]()
+        orig = bench.compile("original")
+        rmt = bench.compile("intra+lds")
+        assert rmt.resources.vgprs_per_workitem >= orig.resources.vgprs_per_workitem
+        assert rmt.resources.lds_bytes_per_group > orig.resources.lds_bytes_per_group
+
+
+class TestSorAnalysis:
+    def _compiled(self, variant):
+        b = KernelBuilder("k")
+        a = b.buffer_param("a", DType.F32)
+        out = b.buffer_param("out", DType.F32)
+        lds = b.local_alloc("t", DType.F32, 64)
+        gid = b.global_id(0)
+        lid = b.local_id(0)
+        b.store_local(lds, lid, b.load(a, gid))
+        b.barrier()
+        b.store(out, gid, b.load_local(lds, lid))
+        k = b.finish()
+        k.metadata["local_size"] = (64, 1, 1)
+        return compile_kernel(k, variant)
+
+    def test_table2_intra_plus(self):
+        sor = self._compiled("intra+lds").sor
+        assert set(sor.protected) == {"SIMD ALU", "VRF", "LDS"}
+
+    def test_table2_intra_minus(self):
+        sor = self._compiled("intra-lds").sor
+        assert set(sor.protected) == {"SIMD ALU", "VRF"}
+        assert "LDS" in sor.unprotected
+
+    def test_table3_inter(self):
+        sor = self._compiled("inter").sor
+        assert set(sor.unprotected) == {"R/W L1$"}
+
+    def test_untransformed_nothing_protected(self):
+        sor = self._compiled("original").sor
+        assert not sor.protected
+
+    def test_reports_have_reasons(self):
+        sor = self._compiled("intra+lds").sor
+        assert all(e.reason for e in sor.entries)

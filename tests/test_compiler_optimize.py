@@ -1,0 +1,261 @@
+"""Tests for the cleanup optimization passes (fold / CSE / DCE)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import compile_kernel
+from repro.compiler.passes.optimize import (
+    CommonSubexpressionPass,
+    ConstantFoldingPass,
+    DeadCodeEliminationPass,
+    optimize,
+)
+from repro.compiler.pass_manager import clone_kernel
+from repro.ir import (
+    Alu,
+    Const,
+    DType,
+    KernelBuilder,
+    verify_kernel,
+    walk_instrs,
+)
+from repro.runtime import Session
+
+
+def _count(kernel):
+    return len(list(walk_instrs(kernel.body)))
+
+
+class TestDce:
+    def test_removes_unused_computation(self):
+        b = KernelBuilder("k")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        _dead = b.mul(b.add(gid, 5), 7)
+        b.store(out, gid, gid)
+        k = b.finish()
+        before = _count(k)
+        DeadCodeEliminationPass().run(k)
+        verify_kernel(k)
+        assert _count(k) < before
+
+    def test_keeps_stores_and_roots(self):
+        b = KernelBuilder("k")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        v = b.add(gid, 1)
+        b.store(out, gid, v)
+        k = b.finish()
+        before = _count(k)
+        DeadCodeEliminationPass().run(k)
+        assert _count(k) == before
+
+    def test_keeps_loop_carried_values(self):
+        b = KernelBuilder("k")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        acc = b.var(DType.U32, 0)
+        with b.for_range(0, 4) as i:
+            b.set(acc, b.add(acc, i))
+        b.store(out, gid, acc)
+        k = b.finish()
+        DeadCodeEliminationPass().run(k)
+        verify_kernel(k)
+        # acc updates inside the loop must survive
+        ck = compile_kernel(k, "original", verify=True)
+        s = Session()
+        ob = s.zeros("out", 64, np.uint32)
+        s.launch(ck, 64, 64, {"out": ob})
+        assert (s.download(ob) == 6).all()
+
+    def test_keeps_if_condition_chain(self):
+        b = KernelBuilder("k")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        cond = b.lt(gid, 8)
+        with b.if_(cond):
+            b.store(out, gid, 1)
+        k = b.finish()
+        DeadCodeEliminationPass().run(k)
+        verify_kernel(k)
+        kinds = [type(i).__name__ for i in walk_instrs(k.body)]
+        assert "Cmp" in kinds
+
+
+class TestConstantFolding:
+    def test_folds_integer_chain(self):
+        b = KernelBuilder("k")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        c = b.add(b.const(2, DType.U32), b.const(3, DType.U32))
+        c = b.shl(c, b.const(2, DType.U32))
+        b.store(out, gid, c)
+        k = b.finish()
+        ConstantFoldingPass().run(k)
+        consts = [i for i in walk_instrs(k.body) if isinstance(i, Const)]
+        assert any(i.value == 20 for i in consts)
+
+    def test_u32_wraparound(self):
+        b = KernelBuilder("k")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        c = b.sub(b.const(0, DType.U32), b.const(1, DType.U32))
+        b.store(out, gid, c)
+        k = b.finish()
+        ConstantFoldingPass().run(k)
+        consts = [i for i in walk_instrs(k.body) if isinstance(i, Const)]
+        assert any(i.value == 0xFFFFFFFF for i in consts)
+
+    def test_does_not_fold_floats(self):
+        b = KernelBuilder("k")
+        out = b.buffer_param("out", DType.F32)
+        gid = b.global_id(0)
+        c = b.add(b.const(0.5, DType.F32), b.const(0.25, DType.F32))
+        b.store(out, gid, c)
+        k = b.finish()
+        before = _count(k)
+        ConstantFoldingPass().run(k)
+        assert _count(k) == before
+
+    def test_loop_invalidates_env(self):
+        """A register redefined inside a loop must not be treated constant."""
+        b = KernelBuilder("k")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        x = b.var(DType.U32, 1)
+        with b.for_range(0, 3) as _i:
+            b.set(x, b.add(x, x))
+        y = b.add(x, 0)
+        b.store(out, gid, y)
+        k = b.finish()
+        ConstantFoldingPass().run(k)
+        ck = compile_kernel(k, "original")
+        s = Session()
+        ob = s.zeros("out", 64, np.uint32)
+        s.launch(ck, 64, 64, {"out": ob})
+        assert (s.download(ob) == 8).all()
+
+
+class TestCse:
+    def test_merges_duplicate_expressions(self):
+        b = KernelBuilder("k")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        a1 = b.mul(gid, 3)
+        a2 = b.mul(gid, 3)  # same registers? no — new const register
+        # Use identical source registers explicitly:
+        three = b.const(3, DType.U32)
+        c1 = b.mul(gid, three)
+        c2 = b.mul(gid, three)
+        b.store(out, gid, b.add(c1, c2))
+        k = b.finish()
+        CommonSubexpressionPass().run(k)
+        muls = [i for i in walk_instrs(k.body)
+                if isinstance(i, Alu) and i.op == "mul"]
+        movs = [i for i in walk_instrs(k.body)
+                if isinstance(i, Alu) and i.op == "mov"]
+        assert movs, "second identical mul should become a move"
+
+    def test_redefinition_blocks_cse(self):
+        b = KernelBuilder("k")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        x = b.var(DType.U32, 2)
+        c1 = b.mul(gid, x)
+        b.set(x, 5)
+        c2 = b.mul(gid, x)   # must NOT merge with c1
+        b.store(out, gid, b.add(c1, c2))
+        k = b.finish()
+        CommonSubexpressionPass().run(k)
+        ck = compile_kernel(k, "original")
+        s = Session()
+        ob = s.zeros("out", 64, np.uint32)
+        s.launch(ck, 64, 64, {"out": ob})
+        expected = (np.arange(64) * 2 + np.arange(64) * 5).astype(np.uint32)
+        np.testing.assert_array_equal(s.download(ob), expected)
+
+
+class TestOptimizePipeline:
+    def _kernel(self):
+        b = KernelBuilder("k")
+        a = b.buffer_param("a", DType.F32)
+        out = b.buffer_param("out", DType.F32)
+        lds = b.local_alloc("t", DType.F32, 64)
+        gid = b.global_id(0)
+        lid = b.local_id(0)
+        b.store_local(lds, lid, b.load(a, gid))
+        b.barrier()
+        b.store(out, gid, b.mul(b.load_local(lds, lid), 2.0))
+        k = b.finish()
+        k.metadata["local_size"] = (64, 1, 1)
+        return k
+
+    @pytest.mark.parametrize("variant", ["intra+lds", "intra-lds", "inter"])
+    def test_optimized_rmt_equivalent(self, variant):
+        data = np.arange(256, dtype=np.float32)
+
+        def run(optimized):
+            ck = compile_kernel(self._kernel(), variant, optimize=optimized)
+            s = Session()
+            ab = s.upload("a", data)
+            ob = s.zeros("out", 256, np.float32)
+            res = s.launch(ck, 256, 64, {"a": ab, "out": ob})
+            assert not res.detections
+            return s.download(ob)
+
+        np.testing.assert_array_equal(run(False), run(True))
+
+    def test_optimization_shrinks_rmt_kernel(self):
+        plain = compile_kernel(self._kernel(), "intra+lds")
+        opt = compile_kernel(self._kernel(), "intra+lds", optimize=True)
+        assert _count(opt.kernel) <= _count(plain.kernel)
+        assert (opt.resources.vgprs_per_workitem
+                <= plain.resources.vgprs_per_workitem)
+
+    def test_optimize_helper_runs_all(self):
+        k = self._kernel()
+        before = _count(k)
+        optimize(k)
+        verify_kernel(k)
+        assert _count(k) <= before
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 2**31 - 1), n_ops=st.integers(1, 10))
+def test_optimize_preserves_semantics_on_random_programs(seed, n_ops):
+    rng = np.random.default_rng(seed)
+    ops = ["add", "sub", "mul", "and", "or", "xor", "min", "max"]
+
+    def build():
+        b = KernelBuilder("p")
+        a = b.buffer_param("a", DType.U32)
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        vals = [b.load(a, gid), b.const(int(rng.integers(0, 100)), DType.U32)]
+        for _ in range(n_ops):
+            op = ops[int(rng.integers(0, len(ops)))]
+            x = vals[int(rng.integers(0, len(vals)))]
+            y = vals[int(rng.integers(0, len(vals)))]
+            vals.append(getattr(b, {"and": "and_", "or": "or_"}.get(op, op))(x, y))
+        b.store(out, gid, vals[-1])
+        k = b.finish()
+        k.metadata["local_size"] = (64, 1, 1)
+        return k
+
+    data = (np.arange(128, dtype=np.uint64) * 2654435761 % 2**32).astype(np.uint32)
+
+    def run(optimized):
+        rng2 = np.random.default_rng(seed)  # rebuild identically
+        nonlocal rng
+        rng = rng2
+        ck = compile_kernel(build(), "original", optimize=optimized)
+        s = Session()
+        ab = s.upload("a", data.astype(np.uint32))
+        ob = s.zeros("out", 128, np.uint32)
+        s.launch(ck, 128, 64, {"a": ab, "out": ob})
+        return s.download(ob)
+
+    np.testing.assert_array_equal(run(False), run(True))

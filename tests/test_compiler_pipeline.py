@@ -1,0 +1,100 @@
+"""Tests for the compile pipeline and pass manager."""
+
+import pytest
+
+from repro.compiler import (
+    PassManager,
+    RMT_VARIANTS,
+    clone_kernel,
+    compile_kernel,
+    rmt_pass_for,
+)
+from repro.compiler.pass_manager import Pass
+from repro.ir import DType, KernelBuilder, VerificationError, walk_instrs
+
+
+def _kernel():
+    b = KernelBuilder("k")
+    a = b.buffer_param("a", DType.F32)
+    out = b.buffer_param("out", DType.F32)
+    gid = b.global_id(0)
+    b.store(out, gid, b.load(a, gid))
+    k = b.finish()
+    k.metadata["local_size"] = (64, 1, 1)
+    return k
+
+
+class TestRmtPassFor:
+    def test_original_is_none(self):
+        assert rmt_pass_for("original") is None
+
+    @pytest.mark.parametrize("variant", [v for v in RMT_VARIANTS if v != "original"])
+    def test_known_variants_resolve(self, variant):
+        assert rmt_pass_for(variant) is not None
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError, match="unknown RMT variant"):
+            rmt_pass_for("bogus")
+
+    def test_fast_flag_parsed(self):
+        p = rmt_pass_for("intra-lds_fast")
+        assert p.options.fast_comm and not p.options.include_lds
+
+
+class TestCompileKernel:
+    @pytest.mark.parametrize("variant", RMT_VARIANTS)
+    def test_compiles_all_variants(self, variant):
+        ck = compile_kernel(_kernel(), variant)
+        assert ck.variant == variant
+        assert ck.resources.vgprs_per_workitem > 0
+        assert ck.sor is not None
+
+    def test_original_kernel_untouched(self):
+        k = _kernel()
+        before = len(list(walk_instrs(k.body)))
+        compile_kernel(k, "intra+lds")
+        assert len(list(walk_instrs(k.body))) == before
+        assert "rmt" not in k.metadata
+
+    def test_scalar_instrs_exposed(self):
+        ck = compile_kernel(_kernel(), "original")
+        assert isinstance(ck.scalar_instrs, set)
+
+    def test_rmt_metadata_property(self):
+        assert compile_kernel(_kernel(), "original").rmt_metadata is None
+        assert compile_kernel(_kernel(), "inter").rmt_metadata["flavor"] == "inter"
+
+
+class TestPassManager:
+    def test_verifies_between_passes(self):
+        class Corrupting(Pass):
+            name = "corrupt"
+
+            def run(self, kernel):
+                from repro.ir import Alu, VReg
+
+                ghost = VReg("ghost", DType.U32)
+                dst = kernel.new_reg(DType.U32)
+                kernel.body.append(Alu("mov", dst, ghost))
+                return kernel
+
+        with pytest.raises(VerificationError):
+            PassManager([Corrupting()]).run(_kernel())
+
+    def test_verify_disabled(self):
+        class Corrupting(Pass):
+            def run(self, kernel):
+                from repro.ir import Alu, VReg
+
+                ghost = VReg("ghost", DType.U32)
+                kernel.body.append(Alu("mov", kernel.new_reg(DType.U32), ghost))
+                return kernel
+
+        PassManager([Corrupting()], verify=False).run(_kernel())  # no raise
+
+    def test_empty_pipeline_is_identity_modulo_clone(self):
+        k = _kernel()
+        out = PassManager([]).run(k)
+        assert out is not k
+        assert out.name == k.name
+        assert len(out.body) == len(k.body)

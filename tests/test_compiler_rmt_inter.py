@@ -1,0 +1,161 @@
+"""Structural and semantic tests for the Inter-Group RMT pass."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import InterGroupRmtPass, RmtOptions, compile_kernel
+from repro.compiler.pass_manager import PassManager
+from repro.compiler.passes.rmt_common import (
+    INTER_COMM_ADDR,
+    INTER_COMM_VAL,
+    INTER_COUNTER,
+    INTER_FLAG,
+)
+from repro.ir import (
+    AtomicGlobal,
+    DType,
+    KernelBuilder,
+    ReportError,
+    verify_kernel,
+    walk_instrs,
+)
+from repro.runtime import Session
+
+
+def _base_kernel():
+    b = KernelBuilder("base")
+    a = b.buffer_param("a", DType.F32)
+    out = b.buffer_param("out", DType.F32)
+    gid = b.global_id(0)
+    grp = b.group_id(0)
+    x = b.load(a, gid)
+    b.store(out, gid, b.add(x, b.u2f(grp)))
+    k = b.finish()
+    k.metadata["local_size"] = (64, 1, 1)
+    return k
+
+
+def _transform(communication=True):
+    p = InterGroupRmtPass(RmtOptions(communication=communication))
+    return PassManager([p]).run(_base_kernel())
+
+
+class TestStructure:
+    def test_transformed_verifies(self):
+        verify_kernel(_transform())
+
+    def test_hidden_params_appended(self):
+        k = _transform()
+        names = {p.name for p in k.params}
+        assert {INTER_COUNTER, INTER_FLAG, INTER_COMM_ADDR, INTER_COMM_VAL} <= names
+
+    def test_metadata(self):
+        k = _transform()
+        meta = k.metadata["rmt"]
+        assert meta["flavor"] == "inter"
+        assert meta["ndrange"] == "double_groups_dim0"
+        assert set(meta["extra_buffers"]) == {
+            INTER_COUNTER, INTER_FLAG, INTER_COMM_ADDR, INTER_COMM_VAL
+        }
+
+    def test_ticket_counter_atomic_present(self):
+        k = _transform()
+        atomics = [i for i in walk_instrs(k.body) if isinstance(i, AtomicGlobal)]
+        counter_ops = [a for a in atomics if a.buf.name == INTER_COUNTER]
+        assert len(counter_ops) == 1 and counter_ops[0].op == "add"
+
+    def test_lock_protocol_atomics(self):
+        k = _transform()
+        atomics = [i for i in walk_instrs(k.body) if isinstance(i, AtomicGlobal)]
+        flag_ops = [a for a in atomics if a.buf.name == INTER_FLAG]
+        # producer: wait + signal; consumer: wait + free = 4 flag operations
+        assert len(flag_ops) == 4
+        assert {a.op for a in flag_ops} == {"add", "xchg"}
+
+    def test_no_comm_variant_has_no_lock_traffic(self):
+        k = _transform(communication=False)
+        atomics = [i for i in walk_instrs(k.body) if isinstance(i, AtomicGlobal)]
+        assert all(a.buf.name == INTER_COUNTER for a in atomics)
+        assert not any(isinstance(i, ReportError) for i in walk_instrs(k.body))
+
+    def test_bcast_lds_allocated(self):
+        k = _transform()
+        assert k.local("__rmt_gid_bcast").nelems == 1
+
+
+class TestSemantics:
+    def _run(self, variant, n=512, local=64):
+        compiled = compile_kernel(_base_kernel(), variant)
+        s = Session()
+        data = np.arange(n, dtype=np.float32)
+        ab = s.upload("a", data)
+        ob = s.zeros("out", n, np.float32)
+        res = s.launch(compiled, n, local, {"a": ab, "out": ob})
+        return s.download(ob), res, s
+
+    def test_output_equivalence(self):
+        expect, _, _ = self._run("original")
+        got, res, _ = self._run("inter")
+        np.testing.assert_array_equal(got, expect)
+        assert not res.detections
+
+    def test_doubles_groups(self):
+        _, orig, _ = self._run("original")
+        _, rmt, _ = self._run("inter")
+        assert rmt.groups_launched == 2 * orig.groups_launched
+
+    def test_group_id_virtualization_covers_grid(self):
+        """Every original group id is produced exactly twice."""
+        b = KernelBuilder("grp")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        grp = b.group_id(0)
+        b.store(out, gid, grp)
+        k = b.finish()
+        k.metadata["local_size"] = (64, 1, 1)
+        compiled = compile_kernel(k, "inter")
+        s = Session()
+        ob = s.zeros("out", 512, np.uint32)
+        s.launch(compiled, 512, 64, {"out": ob})
+        got = s.download(ob)
+        np.testing.assert_array_equal(got, np.repeat(np.arange(8), 64))
+
+    def test_flags_all_freed_after_run(self):
+        """The two-tier lock leaves every slot free (0) at kernel end."""
+        _, _, s = self._run("inter")
+        flag_bufs = [b for n, b in s.device.memory.buffers.items()
+                     if n.startswith(INTER_FLAG)]
+        assert flag_bufs
+        for buf in flag_bufs:
+            assert (buf.data == 0).all()
+
+    def test_ticket_counter_consumed_exactly(self):
+        _, res, s = self._run("inter")
+        counters = [b for n, b in s.device.memory.buffers.items()
+                    if n.startswith(INTER_COUNTER)]
+        assert counters[0].data[0] == res.groups_launched
+
+
+class TestDetection:
+    def test_forced_mismatch_detected(self):
+        from repro.faults import FaultHook, FaultPlan
+
+        detections = 0
+        fired = 0
+        for trigger in (2, 36, 52, 54):
+            compiled = compile_kernel(_base_kernel(), "inter")
+            plan = FaultPlan(target="vgpr", wave_ordinal=0,
+                             trigger_instr=trigger, bit=18, lane=7,
+                             victim_index=1)
+            hook = FaultHook(
+                plan, scalar_reg_ids=compiled.uniformity.uniform_regs
+            )
+            s = Session()
+            ab = s.upload("a", np.arange(512, dtype=np.float32))
+            ob = s.zeros("out", 512, np.float32)
+            res = s.launch(compiled, 512, 64, {"a": ab, "out": ob},
+                           fault_hook=hook)
+            fired += hook.record.fired
+            detections += bool(res.detections)
+        assert fired == 4
+        assert detections >= 1, "upsets in live producer values must be caught"

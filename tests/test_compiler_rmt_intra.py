@@ -1,0 +1,161 @@
+"""Structural and semantic tests for the Intra-Group RMT pass."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import IntraGroupRmtPass, RmtOptions, compile_kernel
+from repro.compiler.pass_manager import PassManager
+from repro.compiler.passes.rmt_common import INTRA_COMM_ADDR, INTRA_COMM_VAL
+from repro.ir import (
+    DType,
+    KernelBuilder,
+    ReportError,
+    SpecialId,
+    StoreGlobal,
+    StoreLocal,
+    Swizzle,
+    verify_kernel,
+    walk_instrs,
+)
+from repro.runtime import Session
+
+
+def _base_kernel(with_lds=True):
+    b = KernelBuilder("base")
+    a = b.buffer_param("a", DType.F32)
+    out = b.buffer_param("out", DType.F32)
+    gid = b.global_id(0)
+    x = b.load(a, gid)
+    if with_lds:
+        lds = b.local_alloc("tile", DType.F32, 64)
+        lid = b.local_id(0)
+        b.store_local(lds, lid, x)
+        b.barrier()
+        x = b.load_local(lds, lid)
+    b.store(out, gid, b.mul(x, 3.0))
+    k = b.finish()
+    k.metadata["local_size"] = (64, 1, 1)
+    return k
+
+
+def _transform(include_lds=True, communication=True, fast=False, kernel=None):
+    p = IntraGroupRmtPass(RmtOptions(
+        include_lds=include_lds, communication=communication, fast_comm=fast))
+    return PassManager([p]).run(kernel or _base_kernel())
+
+
+class TestStructure:
+    def test_transformed_verifies(self):
+        verify_kernel(_transform())
+
+    def test_metadata_recorded(self):
+        k = _transform(include_lds=False)
+        meta = k.metadata["rmt"]
+        assert meta["flavor"] == "intra"
+        assert meta["include_lds"] is False
+        assert meta["ndrange"] == "double_local_dim0"
+        assert k.metadata["local_size"] == (128, 1, 1)
+
+    def test_original_ids_replaced(self):
+        k = _transform()
+        # The only remaining get_global_id(0)s are the prologue's raw
+        # queries; the body's were replaced by moves.
+        specials = [i for i in walk_instrs(k.body) if isinstance(i, SpecialId)]
+        body_gids = [s for s in specials if s.kind == "global_id"]
+        assert len(body_gids) == 1    # prologue only
+
+    def test_lds_allocations_doubled_when_included(self):
+        k = _transform(include_lds=True)
+        assert k.local("tile").nelems == 128
+
+    def test_lds_allocations_kept_when_excluded(self):
+        k = _transform(include_lds=False)
+        assert k.local("tile").nelems == 64
+
+    def test_comm_buffers_allocated(self):
+        k = _transform()
+        assert k.local(INTRA_COMM_ADDR).nelems == 64
+        assert k.local(INTRA_COMM_VAL).nelems == 64
+
+    def test_fast_comm_uses_swizzle_not_lds(self):
+        k = _transform(fast=True)
+        assert any(isinstance(i, Swizzle) for i in walk_instrs(k.body))
+        with pytest.raises(KeyError):
+            k.local(INTRA_COMM_ADDR)
+
+    def test_report_error_present_iff_communicating(self):
+        k = _transform(communication=True)
+        assert any(isinstance(i, ReportError) for i in walk_instrs(k.body))
+        k2 = _transform(communication=False)
+        assert not any(isinstance(i, ReportError) for i in walk_instrs(k2.body))
+
+    def test_minus_lds_guards_local_stores(self):
+        """−LDS inserts comparisons for local stores too (more ReportError
+        paths than +LDS, which only guards the global store)."""
+        plus = _transform(include_lds=True)
+        minus = _transform(include_lds=False)
+        n_plus = sum(1 for i in walk_instrs(plus.body) if isinstance(i, ReportError))
+        n_minus = sum(1 for i in walk_instrs(minus.body) if isinstance(i, ReportError))
+        assert n_minus > n_plus
+
+    def test_missing_local_size_metadata_rejected(self):
+        k = _base_kernel()
+        del k.metadata["local_size"]
+        with pytest.raises(ValueError, match="local_size"):
+            _transform(kernel=k)
+
+
+class TestSemantics:
+    def _run(self, variant, kernel=None, n=512):
+        kernel = kernel or _base_kernel()
+        compiled = compile_kernel(kernel, variant)
+        s = Session()
+        data = np.arange(n, dtype=np.float32)
+        ab = s.upload("a", data)
+        ob = s.zeros("out", n, np.float32)
+        res = s.launch(compiled, n, 64, {"a": ab, "out": ob})
+        return s.download(ob), res
+
+    @pytest.mark.parametrize("variant", [
+        "intra+lds", "intra-lds", "intra+lds_fast", "intra-lds_fast",
+    ])
+    def test_output_equivalence(self, variant):
+        expect, _ = self._run("original")
+        got, res = self._run(variant)
+        np.testing.assert_array_equal(got, expect)
+        assert not res.detections
+
+    def test_doubles_workitems(self):
+        _, orig = self._run("original")
+        _, rmt = self._run("intra+lds")
+        assert rmt.waves_launched == 2 * orig.waves_launched
+        assert rmt.groups_launched == orig.groups_launched
+
+    def test_wrong_local_size_rejected_at_launch(self):
+        compiled = compile_kernel(_base_kernel(), "intra+lds")
+        s = Session()
+        ab = s.upload("a", np.zeros(512, dtype=np.float32))
+        ob = s.zeros("out", 512, np.float32)
+        with pytest.raises(ValueError, match="local size"):
+            s.launch(compiled, 512, 128, {"a": ab, "out": ob})
+
+
+class TestDetection:
+    def test_forced_mismatch_detected(self):
+        """Corrupting one producer lane's store value raises the flag."""
+        from repro.faults import FaultHook, FaultPlan
+
+        kernel = _base_kernel(with_lds=False)
+        compiled = compile_kernel(kernel, "intra+lds")
+        # Find the multiply feeding the store; flip its result in an odd
+        # (producer) lane right before the comparison executes.
+        plan = FaultPlan(target="vgpr", wave_ordinal=0, trigger_instr=4,
+                         bit=12, lane=33, victim_index=0)
+        hook = FaultHook(plan, scalar_reg_ids=compiled.uniformity.uniform_regs)
+        s = Session()
+        ab = s.upload("a", np.arange(512, dtype=np.float32))
+        ob = s.zeros("out", 512, np.float32)
+        res = s.launch(compiled, 512, 64, {"a": ab, "out": ob},
+                       fault_hook=hook)
+        assert hook.record.fired
+        assert res.detections, "fault in producer lane must be detected"

@@ -1,0 +1,61 @@
+"""Tests for the Table 1 ECC model."""
+
+import pytest
+
+from repro.eval.ecc import (
+    ecc_overhead,
+    format_table1,
+    secded_check_bits,
+    table1,
+    total_overhead_fraction,
+)
+
+
+class TestSecDed:
+    def test_known_widths(self):
+        # (39,32) and (72,64) are the classic SEC-DED geometries.
+        assert secded_check_bits(32) == 7
+        assert secded_check_bits(64) == 8
+        assert secded_check_bits(512) == 11
+
+    def test_monotonic(self):
+        prev = 0
+        for bits in (8, 16, 32, 64, 128, 256, 512):
+            r = secded_check_bits(bits)
+            assert r >= prev
+            prev = r
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            secded_check_bits(0)
+
+
+class TestTable1:
+    def test_paper_values(self):
+        rows = {e.structure: e for e in table1()}
+        assert rows["Local data share"].overhead_bytes == 14 * 1024
+        assert rows["Vector register file"].overhead_bytes == 56 * 1024
+        assert rows["Scalar register file"].overhead_bytes == 1.75 * 1024
+        # Standard (522,512) code: 352 B (paper prints 343.75 B).
+        assert rows["R/W L1 cache"].overhead_bytes == pytest.approx(352, abs=9)
+
+    def test_sizes_match_paper(self):
+        rows = {e.structure: e for e in table1()}
+        assert rows["Local data share"].size_bytes == 64 * 1024
+        assert rows["Vector register file"].size_bytes == 256 * 1024
+        assert rows["Scalar register file"].size_bytes == 8 * 1024
+        assert rows["R/W L1 cache"].size_bytes == 16 * 1024
+
+    def test_total_overhead_21_percent(self):
+        assert total_overhead_fraction(table1()) == pytest.approx(0.21, abs=0.005)
+
+    def test_ecc_overhead_formula(self):
+        # 1 kB at 32-bit words: 256 words x 7 bits = 224 B.
+        assert ecc_overhead(1024, 32) == 224
+
+    def test_format_contains_all_rows(self):
+        text = format_table1(table1())
+        for name in ("Local data share", "Vector register file",
+                     "Scalar register file", "R/W L1 cache"):
+            assert name in text
+        assert "21.0%" in text

@@ -1,0 +1,133 @@
+"""Tests for the experiment harness and figure generation (small scale)."""
+
+import json
+
+import pytest
+
+from repro.eval.experiments import (
+    fig2_data,
+    fig3_data,
+    fig5_data,
+    fig8_data,
+    table1_data,
+    table2_data,
+    table3_data,
+)
+from repro.eval.harness import CACHE_VERSION, Harness
+from repro.eval.render import FigureData, format_figure
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return Harness(scale="small")
+
+
+class TestHarness:
+    def test_run_records_fields(self, harness):
+        rec = harness.run("FWT", "original")
+        assert rec.cycles > 0
+        assert rec.verified
+        assert 0 <= rec.counters["VALUBusy"] <= 1
+        assert rec.power_avg_w > 0
+
+    def test_in_memory_cache(self, harness):
+        a = harness.run("FWT", "original")
+        b = harness.run("FWT", "original")
+        assert a is b
+
+    def test_slowdown_of_original_is_one(self, harness):
+        assert harness.slowdown("FWT", "original") == pytest.approx(1.0)
+
+    def test_rmt_slowdown_positive(self, harness):
+        assert harness.slowdown("FWT", "intra+lds") > 0.5
+
+    def test_capped_run_not_faster_than_uncapped(self, harness):
+        base = harness.run("MM", "original")
+        capped = harness.run("MM", "original", capped_from="intra+lds")
+        assert capped.cycles >= base.cycles * 0.95
+
+    def test_capped_requires_original(self, harness):
+        with pytest.raises(ValueError, match="original"):
+            harness.run("FWT", "inter", capped_from="inter")
+
+    def test_disk_cache_roundtrip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        h1 = Harness(scale="small", cache_path=str(path))
+        rec = h1.run("PS", "original")
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert any(k.startswith(f"v{CACHE_VERSION}/small/PS/") for k in payload)
+        h2 = Harness(scale="small", cache_path=str(path))
+        rec2 = h2.run("PS", "original")
+        assert rec2.cycles == rec.cycles
+
+    def test_stale_cache_version_ignored(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({
+            "v0/small/PS/original/comm=True/cap=": {
+                "abbrev": "PS", "variant": "original", "scale": "small",
+                "communication": True, "cycles": 1.0,
+            }
+        }))
+        h = Harness(scale="small", cache_path=str(path))
+        assert not h._cache
+
+
+class TestStaticFigures:
+    def test_table1_reproduces_paper(self):
+        fig = table1_data()
+        row = fig.row_for("structure", "Vector register file")
+        assert row["ecc_kB"] == pytest.approx(56.0)
+        assert row["paper_ecc_kB"] == pytest.approx(56.0)
+
+    def test_table2_checkmarks(self):
+        fig = table2_data()
+        plus = fig.row_for("flavor", "intra+lds")
+        minus = fig.row_for("flavor", "intra-lds")
+        assert plus["LDS"] and not minus["LDS"]
+        assert not plus["SU"] and not minus["SU"]
+
+    def test_table3_checkmarks(self):
+        fig = table3_data()
+        inter = fig.row_for("flavor", "inter")
+        assert inter["SU"] and inter["SRF"] and inter["IF/SCHED"]
+        assert not inter["R/W L1$"]
+
+    def test_fig8_swizzle_semantics(self):
+        fig = fig8_data()
+        for row in fig.rows:
+            lane = int(row["lane"][1:])
+            assert row["after"] == (lane | 1)
+
+
+class TestSimFigures:
+    def test_fig2_rows_complete(self, harness):
+        fig = fig2_data(harness)
+        assert len(fig.rows) == 16
+        for row in fig.rows:
+            assert row["intra+lds"] > 0.4
+            assert row["measured_band"] in ("low", "high")
+
+    def test_fig3_three_variants_per_kernel(self, harness):
+        fig = fig3_data(harness)
+        assert len(fig.rows) == 48
+
+    def test_fig5_power_rows(self, harness):
+        fig = fig5_data(harness)
+        assert len(fig.rows) == 9
+        for row in fig.rows:
+            assert row["average_w"] > 0
+            assert row["peak_w"] >= row["average_w"] * 0.99
+
+
+class TestRender:
+    def test_format_figure_alignment(self):
+        fig = FigureData("F", "demo", ["a", "bb"], [{"a": 1.0, "bb": None}])
+        text = format_figure(fig)
+        assert "== F: demo ==" in text
+        assert "1.00" in text and "-" in text
+
+    def test_row_for_missing(self):
+        fig = FigureData("F", "demo", ["a"], [{"a": 1}])
+        with pytest.raises(KeyError):
+            fig.row_for("a", 2)

@@ -1,0 +1,96 @@
+"""Tests for counter accounting and merging."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import Device
+from repro.gpu.counters import BusyTracker, KernelCounters, merge_counters
+from repro.ir import DType, KernelBuilder
+
+
+class TestBusyTracker:
+    def test_total_accumulates(self):
+        t = BusyTracker(window_cycles=100)
+        t.add(0, 10)
+        t.add(20, 25)
+        assert t.total == 15
+
+    def test_empty_interval_ignored(self):
+        t = BusyTracker()
+        t.add(10, 10)
+        t.add(10, 5)
+        assert t.total == 0
+
+    def test_window_split(self):
+        t = BusyTracker(window_cycles=100)
+        t.add(90, 230)
+        assert t.windows[0] == pytest.approx(10)
+        assert t.windows[1] == pytest.approx(100)
+        assert t.windows[2] == pytest.approx(30)
+
+    def test_windows_sum_to_total(self):
+        t = BusyTracker(window_cycles=64)
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            s = rng.uniform(0, 1000)
+            t.add(s, s + rng.uniform(0, 200))
+        assert sum(t.windows.values()) == pytest.approx(t.total)
+
+    def test_window_fraction(self):
+        t = BusyTracker(window_cycles=100)
+        t.add(0, 50)
+        assert t.window_fraction(0) == pytest.approx(0.5)
+        assert t.window_fraction(9) == 0.0
+
+
+class TestKernelCounters:
+    def _run(self, n=1024):
+        b = KernelBuilder("k")
+        a = b.buffer_param("a", DType.F32)
+        out = b.buffer_param("out", DType.F32)
+        lds = b.local_alloc("t", DType.F32, 64)
+        gid = b.global_id(0)
+        lid = b.local_id(0)
+        x = b.load(a, gid)
+        b.store_local(lds, lid, x)
+        b.barrier()
+        b.store(out, gid, b.mul(b.load_local(lds, lid), 2.0))
+        k = b.finish()
+        dev = Device()
+        ab = dev.alloc("a", np.ones(n, dtype=np.float32))
+        ob = dev.alloc_zeros("out", n, np.float32)
+        res = dev.launch(k, n, 64, {"a": ab, "out": ob})
+        return res
+
+    def test_report_fractions_in_unit_range(self):
+        res = self._run()
+        rep = res.counters.report(res.cycles, 12, 4)
+        for value in rep.as_dict().values():
+            assert 0.0 <= value or value == rep.kernel_cycles
+        assert 0.0 <= rep.valu_busy <= 1.0
+        assert 0.0 <= rep.mem_unit_busy <= 1.0
+
+    def test_instruction_tallies(self):
+        res = self._run(n=1024)
+        c = res.counters
+        assert c.valu_instructions > 0
+        assert c.lds_accesses == 2 * (1024 // 64)   # one store + one load per wave
+        assert c.global_load_bytes == 1024 * 4
+        assert c.global_store_bytes == 1024 * 4
+
+    def test_merge_counters(self):
+        r1 = self._run()
+        r2 = self._run()
+        merged = merge_counters([r1.counters, r2.counters], window_cycles=1_000_000)
+        assert merged.valu_instructions == (
+            r1.counters.valu_instructions + r2.counters.valu_instructions
+        )
+        assert merged.valu.total == pytest.approx(
+            r1.counters.valu.total + r2.counters.valu.total
+        )
+
+    def test_report_hit_rates(self):
+        res = self._run()
+        rep = res.counters.report(res.cycles, 12, 4)
+        assert 0.0 <= rep.l1_hit_rate <= 1.0
+        assert 0.0 <= rep.l2_hit_rate <= 1.0

@@ -1,0 +1,78 @@
+"""Tests for the occupancy model."""
+
+import pytest
+
+from repro.gpu.config import HD7790
+from repro.gpu.occupancy import (
+    KernelResources,
+    SchedulingError,
+    compute_occupancy,
+)
+
+
+def _res(vgprs=32, sgprs=32, lds=0, cap=0):
+    return KernelResources(
+        vgprs_per_workitem=vgprs, sgprs_per_wave=sgprs,
+        lds_bytes_per_group=lds, groups_per_cu_cap=cap,
+    )
+
+
+class TestOccupancy:
+    def test_wave_count(self):
+        occ = compute_occupancy(HD7790, _res(), local_size=256)
+        assert occ.waves_per_group == 4
+
+    def test_vgpr_limit(self):
+        light = compute_occupancy(HD7790, _res(vgprs=25), 64)
+        heavy = compute_occupancy(HD7790, _res(vgprs=128), 64)
+        assert light.max_waves_per_simd == 10
+        assert heavy.max_waves_per_simd == 2
+
+    def test_vgpr_limits_groups(self):
+        # 256 work-items = 4 waves/group; 64 VGPRs -> 4 waves/SIMD -> 16
+        # wave slots -> 4 groups.
+        occ = compute_occupancy(HD7790, _res(vgprs=64), 256)
+        assert occ.max_groups_per_cu == 4
+        assert occ.limiting_resource == "wave_slots"
+
+    def test_lds_limits_groups(self):
+        occ = compute_occupancy(HD7790, _res(lds=32 * 1024), 64)
+        assert occ.max_groups_per_cu == 2
+        assert occ.limiting_resource == "lds"
+
+    def test_group_cap_limit(self):
+        occ = compute_occupancy(HD7790, _res(), 64)
+        assert occ.max_groups_per_cu == HD7790.max_groups_per_cu
+
+    def test_inflation_cap(self):
+        occ = compute_occupancy(HD7790, _res(cap=3), 64)
+        assert occ.max_groups_per_cu == 3
+        assert occ.limiting_resource == "inflation_cap"
+
+    def test_monotonic_in_vgprs(self):
+        prev = None
+        for vgprs in (16, 32, 64, 128, 256):
+            occ = compute_occupancy(HD7790, _res(vgprs=vgprs), 128)
+            if prev is not None:
+                assert occ.max_groups_per_cu <= prev
+            prev = occ.max_groups_per_cu
+
+    def test_oversized_lds_rejected(self):
+        with pytest.raises(SchedulingError, match="LDS"):
+            compute_occupancy(HD7790, _res(lds=128 * 1024), 64)
+
+    def test_oversized_vgprs_rejected(self):
+        with pytest.raises(SchedulingError):
+            compute_occupancy(HD7790, _res(vgprs=500), 64)
+
+    def test_inflated_composition(self):
+        a = _res(vgprs=20, sgprs=30, lds=100)
+        b = _res(vgprs=40, sgprs=10, lds=50)
+        c = a.inflated(b)
+        assert c.vgprs_per_workitem == 40
+        assert c.sgprs_per_wave == 30
+        assert c.lds_bytes_per_group == 100
+
+    def test_max_waves_per_cu(self):
+        occ = compute_occupancy(HD7790, _res(), 64)
+        assert occ.max_waves_per_cu == occ.max_waves_per_simd * 4

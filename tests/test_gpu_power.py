@@ -1,0 +1,67 @@
+"""Tests for the activity-based power model."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import DEFAULT_POWER, Device, HD7790, estimate_power
+from repro.gpu.counters import KernelCounters
+from repro.ir import DType, KernelBuilder
+
+
+def _counters_with_activity(valu_frac, cycles=2_000_000):
+    c = KernelCounters(window_cycles=1_000_000)
+    simd_capacity = HD7790.num_cus * HD7790.simds_per_cu
+    c.valu.add(0, valu_frac * cycles * simd_capacity / simd_capacity)
+    # spread busy across the run at per-window level
+    c.valu.windows.clear()
+    per_window = valu_frac * 1_000_000 * simd_capacity
+    for w in range(cycles // 1_000_000):
+        c.valu.windows[w] = per_window
+    c.valu.total = per_window * (cycles // 1_000_000)
+    return c
+
+
+class TestPowerModel:
+    def test_idle_power_is_static(self):
+        c = KernelCounters(window_cycles=1_000_000)
+        rep = estimate_power(c, 1_000_000, HD7790, DEFAULT_POWER)
+        assert rep.average_w == pytest.approx(DEFAULT_POWER.static_w)
+        assert rep.dynamic_avg_w == pytest.approx(0.0)
+
+    def test_full_valu_adds_valu_power(self):
+        c = _counters_with_activity(1.0)
+        rep = estimate_power(c, 2_000_000, HD7790, DEFAULT_POWER)
+        assert rep.average_w == pytest.approx(
+            DEFAULT_POWER.static_w + DEFAULT_POWER.valu_w, rel=0.02
+        )
+
+    def test_power_monotonic_in_activity(self):
+        lo = estimate_power(_counters_with_activity(0.2), 2_000_000, HD7790, DEFAULT_POWER)
+        hi = estimate_power(_counters_with_activity(0.8), 2_000_000, HD7790, DEFAULT_POWER)
+        assert hi.average_w > lo.average_w
+
+    def test_peak_at_least_average(self):
+        c = _counters_with_activity(0.5)
+        # make one window busier
+        c.valu.windows[0] *= 1.5
+        rep = estimate_power(c, 2_000_000, HD7790, DEFAULT_POWER)
+        assert rep.peak_w >= rep.average_w
+
+    def test_power_in_figure5_band_for_real_kernel(self):
+        """A real kernel's modelled power lands in the paper's 60-74 W band."""
+        b = KernelBuilder("k")
+        a = b.buffer_param("a", DType.F32)
+        out = b.buffer_param("out", DType.F32)
+        gid = b.global_id(0)
+        acc = b.var(DType.F32, 0.0)
+        with b.for_range(0, 32) as _i:
+            b.set(acc, b.add(acc, b.load(a, gid)))
+        b.store(out, gid, acc)
+        k = b.finish()
+        dev = Device()
+        n = 16384
+        ab = dev.alloc("a", np.ones(n, dtype=np.float32))
+        ob = dev.alloc_zeros("out", n, np.float32)
+        dev.launch(k, n, 64, {"a": ab, "out": ob})
+        rep = dev.power_report()
+        assert 52.0 <= rep.average_w <= 80.0

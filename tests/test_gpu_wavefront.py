@@ -1,0 +1,315 @@
+"""Tests for the wavefront interpreter: ALU semantics, masks, IDs, LDS."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import Device
+from repro.ir import DType, KernelBuilder
+
+
+def _run_elementwise(build_fn, inputs, out_dtype=np.float32, n=64,
+                     out_name="out", local=64, scalars=None):
+    """Build a 1-in/1-out elementwise kernel with build_fn(b, x) -> result."""
+    b = KernelBuilder("t")
+    in_dt = {
+        np.float32: DType.F32, np.int32: DType.I32, np.uint32: DType.U32,
+    }[inputs.dtype.type]
+    out_dt = {
+        np.float32: DType.F32, np.int32: DType.I32, np.uint32: DType.U32,
+    }[out_dtype]
+    a = b.buffer_param("a", in_dt)
+    out = b.buffer_param("out", out_dt)
+    gid = b.global_id(0)
+    x = b.load(a, gid)
+    b.store(out, gid, build_fn(b, x))
+    k = b.finish()
+
+    dev = Device()
+    ab = dev.alloc("a", inputs)
+    ob = dev.alloc_zeros("out", n, out_dtype)
+    dev.launch(k, n, local, {"a": ab, "out": ob}, scalars=scalars or {})
+    return dev.read_buffer(ob)
+
+
+class TestAluSemantics:
+    def test_float_arith(self):
+        x = np.linspace(-4, 4, 64).astype(np.float32)
+        got = _run_elementwise(lambda b, v: b.add(b.mul(v, 2.0), 1.0), x)
+        np.testing.assert_allclose(got, x * 2 + 1, rtol=1e-6)
+
+    def test_div_float(self):
+        x = np.linspace(1, 8, 64).astype(np.float32)
+        got = _run_elementwise(lambda b, v: b.div(1.0, v), x)
+        np.testing.assert_allclose(got, 1.0 / x, rtol=1e-6)
+
+    def test_int_div_truncates_toward_zero(self):
+        x = np.array([-7, -1, 1, 7] * 16, dtype=np.int32)
+        got = _run_elementwise(lambda b, v: b.div(v, 2), x, out_dtype=np.int32)
+        np.testing.assert_array_equal(got, np.array([-3, 0, 0, 3] * 16))
+
+    def test_int_rem_sign(self):
+        x = np.array([-7, -3, 3, 7] * 16, dtype=np.int32)
+        got = _run_elementwise(lambda b, v: b.rem(v, 4), x, out_dtype=np.int32)
+        np.testing.assert_array_equal(got, np.array([-3, -3, 3, 3] * 16))
+
+    def test_div_by_zero_integer_is_zero(self):
+        x = np.zeros(64, dtype=np.uint32)
+        got = _run_elementwise(lambda b, v: b.div(7, v), x, out_dtype=np.uint32)
+        np.testing.assert_array_equal(got, np.zeros(64, dtype=np.uint32))
+
+    def test_shifts(self):
+        x = np.arange(64, dtype=np.uint32)
+        got = _run_elementwise(lambda b, v: b.shl(v, 2), x, out_dtype=np.uint32)
+        np.testing.assert_array_equal(got, x << 2)
+        got = _run_elementwise(lambda b, v: b.shr(v, 1), x, out_dtype=np.uint32)
+        np.testing.assert_array_equal(got, x >> 1)
+
+    def test_ashr_arithmetic(self):
+        x = np.array([-8, 8] * 32, dtype=np.int32)
+        got = _run_elementwise(lambda b, v: b.ashr(v, 1), x, out_dtype=np.int32)
+        np.testing.assert_array_equal(got, x >> 1)
+
+    def test_bitwise(self):
+        x = np.arange(64, dtype=np.uint32)
+        got = _run_elementwise(lambda b, v: b.xor(b.and_(v, 12), 5), x,
+                               out_dtype=np.uint32)
+        np.testing.assert_array_equal(got, (x & 12) ^ 5)
+
+    def test_minmax(self):
+        x = np.linspace(-10, 10, 64).astype(np.float32)
+        got = _run_elementwise(lambda b, v: b.min(b.max(v, -2.0), 2.0), x)
+        np.testing.assert_allclose(got, np.clip(x, -2, 2), rtol=1e-6)
+
+    def test_transcendentals(self):
+        x = np.linspace(0.1, 4, 64).astype(np.float32)
+        got = _run_elementwise(lambda b, v: b.sqrt(v), x)
+        np.testing.assert_allclose(got, np.sqrt(x), rtol=1e-6)
+        got = _run_elementwise(lambda b, v: b.exp(b.log(v)), x)
+        np.testing.assert_allclose(got, x, rtol=1e-5)
+        got = _run_elementwise(lambda b, v: b.sin(v), x)
+        np.testing.assert_allclose(got, np.sin(x), rtol=1e-5, atol=1e-6)
+
+    def test_rsqrt(self):
+        x = np.linspace(0.5, 4, 64).astype(np.float32)
+        got = _run_elementwise(lambda b, v: b.rsqrt(v), x)
+        np.testing.assert_allclose(got, 1 / np.sqrt(x), rtol=1e-5)
+
+    def test_conversions(self):
+        x = np.linspace(-7.9, 7.9, 64).astype(np.float32)
+        got = _run_elementwise(lambda b, v: b.f2i(v), x, out_dtype=np.int32)
+        np.testing.assert_array_equal(got, x.astype(np.int32))
+        xi = np.arange(64, dtype=np.int32)
+        got = _run_elementwise(lambda b, v: b.i2f(v), xi, out_dtype=np.float32)
+        np.testing.assert_array_equal(got, xi.astype(np.float32))
+
+    def test_bitcast_preserves_bits(self):
+        x = np.array([1.0, -1.0] * 32, dtype=np.float32)
+        got = _run_elementwise(lambda b, v: b.bitcast(v, DType.U32), x,
+                               out_dtype=np.uint32)
+        np.testing.assert_array_equal(got, x.view(np.uint32))
+
+    def test_select(self):
+        x = np.arange(64, dtype=np.uint32)
+        got = _run_elementwise(
+            lambda b, v: b.select(b.lt(v, 32), v, b.const(0, DType.U32)),
+            x, out_dtype=np.uint32)
+        np.testing.assert_array_equal(got, np.where(x < 32, x, 0))
+
+    def test_neg_abs(self):
+        x = np.linspace(-5, 5, 64).astype(np.float32)
+        got = _run_elementwise(lambda b, v: b.abs(b.neg(v)), x)
+        np.testing.assert_allclose(got, np.abs(x), rtol=1e-6)
+
+    def test_floor_pow(self):
+        x = np.linspace(0.5, 3.5, 64).astype(np.float32)
+        got = _run_elementwise(lambda b, v: b.floor(v), x)
+        np.testing.assert_array_equal(got, np.floor(x))
+        got = _run_elementwise(lambda b, v: b.pow(v, 2.0), x)
+        np.testing.assert_allclose(got, x ** 2, rtol=1e-5)
+
+
+class TestIdsAndGeometry:
+    def _ids_kernel(self, kind, dim=0):
+        b = KernelBuilder("ids")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        val = getattr(b, kind)(dim)
+        b.store(out, gid, val)
+        return b.finish()
+
+    def _run_ids(self, kind, dim, gsz, lsz, n):
+        dev = Device()
+        ob = dev.alloc_zeros("out", n, np.uint32)
+        dev.launch(self._ids_kernel(kind, dim), gsz, lsz, {"out": ob})
+        return dev.read_buffer(ob)
+
+    def test_global_id(self):
+        out = self._run_ids("global_id", 0, 256, 64, 256)
+        np.testing.assert_array_equal(out, np.arange(256))
+
+    def test_local_id_wraps(self):
+        out = self._run_ids("local_id", 0, 256, 64, 256)
+        np.testing.assert_array_equal(out, np.tile(np.arange(64), 4))
+
+    def test_group_id(self):
+        out = self._run_ids("group_id", 0, 256, 64, 256)
+        np.testing.assert_array_equal(out, np.repeat(np.arange(4), 64))
+
+    def test_sizes(self):
+        out = self._run_ids("global_size", 0, 256, 64, 256)
+        assert (out == 256).all()
+        out = self._run_ids("local_size", 0, 256, 64, 256)
+        assert (out == 64).all()
+        out = self._run_ids("num_groups", 0, 256, 64, 256)
+        assert (out == 4).all()
+
+    def test_2d_global_id(self):
+        b = KernelBuilder("ids2d")
+        out = b.buffer_param("out", DType.U32)
+        gx = b.global_id(0)
+        gy = b.global_id(1)
+        gsx = b.global_size(0)
+        b.store(out, b.add(b.mul(gy, gsx), gx), gy)
+        k = b.finish()
+        dev = Device()
+        ob = dev.alloc_zeros("out", 16 * 8, np.uint32)
+        dev.launch(k, (16, 8), (8, 4), {"out": ob})
+        out = dev.read_buffer(ob).reshape(8, 16)
+        np.testing.assert_array_equal(out, np.repeat(np.arange(8), 16).reshape(8, 16))
+
+    def test_partial_wave_masked(self):
+        """local size 32 < wavefront 64: inactive lanes write nothing."""
+        b = KernelBuilder("partial")
+        out = b.buffer_param("out", DType.U32)
+        b.store(out, b.global_id(0), 7)
+        k = b.finish()
+        dev = Device()
+        ob = dev.alloc_zeros("out", 64, np.uint32)
+        dev.launch(k, 32, 32, {"out": ob})
+        out_v = dev.read_buffer(ob)
+        assert (out_v[:32] == 7).all()
+        assert (out_v[32:] == 0).all()
+
+
+class TestControlFlowSemantics:
+    def test_divergent_if(self):
+        x = np.arange(64, dtype=np.uint32)
+        got = _run_elementwise(
+            lambda b, v: b.select(b.eq(b.and_(v, 1), 0), v, b.mul(v, 10)),
+            x, out_dtype=np.uint32)
+        expected = np.where(x % 2 == 0, x, x * 10)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_divergent_loop_trip_counts(self):
+        """Each lane iterates a different number of times."""
+        b = KernelBuilder("k")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        trip = b.rem(gid, 7)
+        acc = b.var(DType.U32, 0)
+        i = b.var(DType.U32, 0)
+        with b.loop() as lp:
+            lp.break_unless(b.lt(i, trip))
+            b.set(acc, b.add(acc, i))
+            b.set(i, b.add(i, 1))
+        b.store(out, gid, acc)
+        k = b.finish()
+        dev = Device()
+        ob = dev.alloc_zeros("out", 64, np.uint32)
+        dev.launch(k, 64, 64, {"out": ob})
+        got = dev.read_buffer(ob)
+        trips = np.arange(64) % 7
+        expected = np.array([t * (t - 1) // 2 for t in trips], dtype=np.uint32)
+        np.testing.assert_array_equal(got, expected)
+
+    def test_nested_if_in_loop(self):
+        b = KernelBuilder("k")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        acc = b.var(DType.U32, 0)
+        with b.for_range(0, 8) as i:
+            with b.if_(b.eq(b.and_(i, 1), 0)):
+                b.set(acc, b.add(acc, i))
+        b.store(out, gid, acc)
+        k = b.finish()
+        dev = Device()
+        ob = dev.alloc_zeros("out", 64, np.uint32)
+        dev.launch(k, 64, 64, {"out": ob})
+        assert (dev.read_buffer(ob) == 0 + 2 + 4 + 6).all()
+
+
+class TestSwizzle:
+    def _swizzle(self, **kw):
+        b = KernelBuilder("k")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        lid = b.local_id(0)
+        s = b.swizzle(lid, **kw)
+        b.store(out, gid, s)
+        k = b.finish()
+        dev = Device()
+        ob = dev.alloc_zeros("out", 64, np.uint32)
+        dev.launch(k, 64, 64, {"out": ob})
+        return dev.read_buffer(ob)
+
+    def test_or_mask_pairs(self):
+        out = self._swizzle(or_mask=1)
+        lanes = np.arange(64)
+        np.testing.assert_array_equal(out, lanes | 1)
+
+    def test_xor_mask_swap(self):
+        out = self._swizzle(xor_mask=1)
+        lanes = np.arange(64)
+        np.testing.assert_array_equal(out, lanes ^ 1)
+
+    def test_and_mask_broadcast_groups(self):
+        out = self._swizzle(and_mask=~3)
+        lanes = np.arange(64)
+        np.testing.assert_array_equal(out, lanes & ~3)
+
+
+class TestLdsSemantics:
+    def test_lds_roundtrip_and_reverse(self):
+        b = KernelBuilder("k")
+        out = b.buffer_param("out", DType.U32)
+        lds = b.local_alloc("tile", DType.U32, 64)
+        gid = b.global_id(0)
+        lid = b.local_id(0)
+        b.store_local(lds, lid, lid)
+        b.barrier()
+        rev = b.sub(63, lid)
+        b.store(out, gid, b.load_local(lds, rev))
+        k = b.finish()
+        dev = Device()
+        ob = dev.alloc_zeros("out", 64, np.uint32)
+        dev.launch(k, 64, 64, {"out": ob})
+        np.testing.assert_array_equal(dev.read_buffer(ob), 63 - np.arange(64))
+
+    def test_lds_out_of_bounds_raises(self):
+        b = KernelBuilder("k")
+        out = b.buffer_param("out", DType.U32)
+        lds = b.local_alloc("tile", DType.U32, 8)
+        b.store_local(lds, b.global_id(0), 1)
+        b.store(out, 0, 0)
+        k = b.finish()
+        dev = Device()
+        ob = dev.alloc_zeros("out", 64, np.uint32)
+        with pytest.raises(IndexError, match="LDS"):
+            dev.launch(k, 64, 64, {"out": ob})
+
+    def test_lds_isolated_between_groups(self):
+        b = KernelBuilder("k")
+        out = b.buffer_param("out", DType.U32)
+        lds = b.local_alloc("tile", DType.U32, 64)
+        gid = b.global_id(0)
+        lid = b.local_id(0)
+        grp = b.group_id(0)
+        b.store_local(lds, lid, grp)
+        b.barrier()
+        b.store(out, gid, b.load_local(lds, lid))
+        k = b.finish()
+        dev = Device()
+        ob = dev.alloc_zeros("out", 128, np.uint32)
+        dev.launch(k, 128, 64, {"out": ob})
+        got = dev.read_buffer(ob)
+        np.testing.assert_array_equal(got, np.repeat([0, 1], 64))

@@ -1,0 +1,170 @@
+"""Tests for the KernelBuilder DSL."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    Alu,
+    Barrier,
+    Const,
+    DType,
+    If,
+    KernelBuilder,
+    LoadGlobal,
+    SpecialId,
+    StoreGlobal,
+    While,
+    verify_kernel,
+    walk_instrs,
+)
+
+
+def test_simple_kernel_structure():
+    b = KernelBuilder("k")
+    a = b.buffer_param("a", DType.F32)
+    out = b.buffer_param("out", DType.F32)
+    gid = b.global_id(0)
+    x = b.load(a, gid)
+    b.store(out, gid, b.add(x, 1.0))
+    k = b.finish()
+    verify_kernel(k)
+    kinds = [type(i).__name__ for i in walk_instrs(k.body)]
+    assert "SpecialId" in kinds
+    assert "LoadGlobal" in kinds
+    assert "StoreGlobal" in kinds
+
+
+def test_scalar_param_materializes_register():
+    b = KernelBuilder("k")
+    n = b.scalar_param("n", DType.U32)
+    assert n.dtype is DType.U32
+    k = b.finish()
+    assert k.scalar("n").name == "n"
+
+
+def test_immediate_coercion_infers_from_operand():
+    b = KernelBuilder("k")
+    a = b.buffer_param("a", DType.F32)
+    x = b.load(a, b.global_id(0))
+    y = b.add(x, 2)            # int immediate against f32 operand
+    assert y.dtype is DType.F32
+
+
+def test_if_else_emits_both_bodies():
+    b = KernelBuilder("k")
+    out = b.buffer_param("out", DType.U32)
+    gid = b.global_id(0)
+    cond = b.lt(gid, 10)
+    with b.if_else(cond) as orelse:
+        b.store(out, gid, 1)
+        with orelse():
+            b.store(out, gid, 2)
+    k = b.finish()
+    verify_kernel(k)
+    ifs = [s for s in k.body if isinstance(s, If)]
+    assert len(ifs) == 1
+    assert len(ifs[0].then_body) >= 1
+    assert len(ifs[0].else_body) >= 1
+
+
+def test_loop_requires_break_unless():
+    b = KernelBuilder("k")
+    with pytest.raises(RuntimeError, match="break_unless"):
+        with b.loop():
+            pass
+
+
+def test_loop_break_unless_twice_rejected():
+    b = KernelBuilder("k")
+    i = b.var(DType.U32, 0)
+    with pytest.raises(RuntimeError, match="twice"):
+        with b.loop() as lp:
+            c = b.lt(i, 3)
+            lp.break_unless(c)
+            lp.break_unless(c)
+
+
+def test_loop_condition_must_be_predicate():
+    b = KernelBuilder("k")
+    i = b.var(DType.U32, 0)
+    with pytest.raises((TypeError, RuntimeError)):
+        with b.loop() as lp:
+            lp.break_unless(i)
+
+
+def test_for_range_builds_while():
+    b = KernelBuilder("k")
+    out = b.buffer_param("out", DType.U32)
+    gid = b.global_id(0)
+    acc = b.var(DType.U32, 0)
+    with b.for_range(0, 4) as i:
+        b.set(acc, b.add(acc, i))
+    b.store(out, gid, acc)
+    k = b.finish()
+    verify_kernel(k)
+    assert any(isinstance(s, While) for s in k.body)
+
+
+def test_finish_rejects_unbalanced_contexts():
+    b = KernelBuilder("k")
+    cond = b.eq(b.global_id(0), 0)
+    ctx = b.if_(cond)
+    ctx.__enter__()
+    with pytest.raises(RuntimeError, match="unbalanced"):
+        b.finish()
+
+
+def test_emit_after_finish_rejected():
+    b = KernelBuilder("k")
+    b.finish()
+    with pytest.raises(RuntimeError, match="finished"):
+        b.global_id(0)
+
+
+def test_duplicate_local_alloc_rejected():
+    b = KernelBuilder("k")
+    b.local_alloc("tile", DType.F32, 16)
+    with pytest.raises(ValueError, match="duplicate"):
+        b.local_alloc("tile", DType.F32, 16)
+
+
+def test_attach_emits_into_existing_kernel():
+    b = KernelBuilder("k")
+    out = b.buffer_param("out", DType.U32)
+    b.store(out, b.global_id(0), 1)
+    k = b.finish()
+
+    prologue = []
+    eb = KernelBuilder.attach(k, prologue)
+    eb.global_id(0)
+    assert len(prologue) == 1
+    assert isinstance(prologue[0], SpecialId)
+
+
+def test_as_u32_passthrough_and_bitcast():
+    b = KernelBuilder("k")
+    a = b.buffer_param("a", DType.F32)
+    u = b.global_id(0)
+    assert b.as_u32(u) is u          # already u32: no instruction
+    f = b.load(a, u)
+    cast = b.as_u32(f)
+    assert cast.dtype is DType.U32
+
+
+def test_barrier_and_atomic_emission():
+    b = KernelBuilder("k")
+    buf = b.buffer_param("c", DType.U32)
+    b.barrier()
+    old = b.atomic("add", buf, 0, 1)
+    assert old is not None and old.dtype is DType.U32
+    none = b.atomic("xchg", buf, 0, 1, want_old=False)
+    assert none is None
+    k = b.finish()
+    assert any(isinstance(i, Barrier) for i in walk_instrs(k.body))
+
+
+def test_swizzle_defaults():
+    b = KernelBuilder("k")
+    v = b.global_id(0)
+    s = b.swizzle(v, or_mask=1)
+    assert s.dtype is DType.U32

@@ -1,0 +1,137 @@
+"""Tests for IR core data structures: kernel lookups, cloning, walking."""
+
+import pytest
+
+from repro.ir import (
+    Alu,
+    DType,
+    If,
+    KernelBuilder,
+    VReg,
+    While,
+    clone_stmt,
+    format_kernel,
+    walk_instrs,
+    walk_stmts,
+)
+from repro.compiler import clone_kernel
+
+
+def _loop_kernel():
+    b = KernelBuilder("k")
+    a = b.buffer_param("a", DType.F32)
+    out = b.buffer_param("out", DType.F32)
+    lds = b.local_alloc("tile", DType.F32, 32)
+    gid = b.global_id(0)
+    acc = b.var(DType.F32, 0.0)
+    with b.for_range(0, 4) as i:
+        cond = b.lt(i, 2)
+        with b.if_(cond):
+            b.set(acc, b.add(acc, b.load(a, gid)))
+    b.store(out, gid, acc)
+    return b.finish()
+
+
+class TestKernelLookups:
+    def test_buffer_lookup(self):
+        k = _loop_kernel()
+        assert k.buffer("a").dtype is DType.F32
+        with pytest.raises(KeyError):
+            k.buffer("nope")
+
+    def test_local_lookup(self):
+        k = _loop_kernel()
+        assert k.local("tile").nelems == 32
+        with pytest.raises(KeyError):
+            k.local("nope")
+
+    def test_scalar_lookup_missing(self):
+        k = _loop_kernel()
+        with pytest.raises(KeyError):
+            k.scalar("nope")
+
+    def test_lds_bytes(self):
+        k = _loop_kernel()
+        assert k.lds_bytes() == 32 * 4
+
+    def test_new_reg_unique_names(self):
+        k = _loop_kernel()
+        r1 = k.new_reg(DType.U32)
+        r2 = k.new_reg(DType.U32)
+        assert r1.name != r2.name
+
+
+class TestWalkers:
+    def test_walk_instrs_covers_nested(self):
+        k = _loop_kernel()
+        instrs = list(walk_instrs(k.body))
+        assert any(type(i).__name__ == "LoadGlobal" for i in instrs)
+        assert any(type(i).__name__ == "StoreGlobal" for i in instrs)
+
+    def test_walk_stmts_includes_control_flow(self):
+        k = _loop_kernel()
+        stmts = list(walk_stmts(k.body))
+        assert any(isinstance(s, While) for s in stmts)
+        assert any(isinstance(s, If) for s in stmts)
+
+    def test_all_regs_nonempty(self):
+        k = _loop_kernel()
+        regs = k.all_regs()
+        assert len(regs) > 4
+        assert all(isinstance(r, VReg) for r in regs)
+
+
+class TestCloning:
+    def test_clone_stmt_regmap_substitution(self):
+        a = VReg("a", DType.U32)
+        b_ = VReg("b", DType.U32)
+        c = VReg("c", DType.U32)
+        instr = Alu("add", c, a, b_)
+        new_c = VReg("c2", DType.U32)
+        clone = clone_stmt(instr, {c: new_c})
+        assert clone.dst is new_c
+        assert clone.a is a
+
+    def test_clone_kernel_independent_bodies(self):
+        k = _loop_kernel()
+        k2 = clone_kernel(k)
+        n_before = len(list(walk_instrs(k.body)))
+        k2.body.append(Alu("mov", k2.new_reg(DType.U32), k2.all_regs()[0]))
+        assert len(list(walk_instrs(k.body))) == n_before
+
+    def test_clone_kernel_metadata_deep_copied(self):
+        k = _loop_kernel()
+        k.metadata["local_size"] = (64, 1, 1)
+        k2 = clone_kernel(k)
+        k2.metadata["local_size"] = (128, 1, 1)
+        assert k.metadata["local_size"] == (64, 1, 1)
+
+    def test_clone_statement_trees_are_fresh(self):
+        k = _loop_kernel()
+        k2 = clone_kernel(k)
+        loops = [s for s in k.body if isinstance(s, While)]
+        loops2 = [s for s in k2.body if isinstance(s, While)]
+        assert loops and loops2
+        assert loops[0] is not loops2[0]
+        assert loops[0].body is not loops2[0].body
+
+
+class TestPrinter:
+    def test_format_kernel_mentions_everything(self):
+        k = _loop_kernel()
+        text = format_kernel(k)
+        assert "kernel k(" in text
+        assert "tile[32]" in text
+        assert "while" in text
+        assert "store_global" in text
+
+    def test_format_kernel_if_else(self):
+        b = KernelBuilder("k")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        with b.if_else(b.lt(gid, 1)) as orelse:
+            b.store(out, gid, 1)
+            with orelse():
+                b.store(out, gid, 2)
+        text = format_kernel(b.finish())
+        assert "} else {" in text

@@ -1,0 +1,68 @@
+"""Tests for repro.ir.types."""
+
+import numpy as np
+import pytest
+
+from repro.ir.types import (
+    DType,
+    MEMORY_DTYPES,
+    bitcast_from_u32,
+    bitcast_to_u32,
+)
+
+
+class TestDType:
+    def test_np_dtypes(self):
+        assert DType.I32.np_dtype == np.dtype(np.int32)
+        assert DType.U32.np_dtype == np.dtype(np.uint32)
+        assert DType.F32.np_dtype == np.dtype(np.float32)
+        assert DType.PRED.np_dtype == np.dtype(np.bool_)
+
+    def test_nbytes(self):
+        assert DType.I32.nbytes == 4
+        assert DType.U32.nbytes == 4
+        assert DType.F32.nbytes == 4
+        assert DType.PRED.nbytes == 1
+
+    def test_is_float(self):
+        assert DType.F32.is_float
+        assert not DType.I32.is_float
+        assert not DType.U32.is_float
+
+    def test_is_integer(self):
+        assert DType.I32.is_integer
+        assert DType.U32.is_integer
+        assert not DType.F32.is_integer
+        assert not DType.PRED.is_integer
+
+    def test_memory_dtypes_excludes_pred(self):
+        assert DType.PRED not in MEMORY_DTYPES
+        assert set(MEMORY_DTYPES) == {DType.I32, DType.U32, DType.F32}
+
+
+class TestBitcast:
+    def test_f32_roundtrip(self):
+        values = np.array([1.5, -2.25, 0.0, np.inf], dtype=np.float32)
+        raw = bitcast_to_u32(values)
+        assert raw.dtype == np.uint32
+        back = bitcast_from_u32(raw, DType.F32)
+        np.testing.assert_array_equal(back, values)
+
+    def test_i32_roundtrip(self):
+        values = np.array([-1, 0, 2**31 - 1, -2**31], dtype=np.int32)
+        back = bitcast_from_u32(bitcast_to_u32(values), DType.I32)
+        np.testing.assert_array_equal(back, values)
+
+    def test_negative_float_bits(self):
+        value = np.array([-0.0], dtype=np.float32)
+        assert bitcast_to_u32(value)[0] == 0x80000000
+
+    def test_bool_to_u32(self):
+        values = np.array([True, False], dtype=np.bool_)
+        raw = bitcast_to_u32(values)
+        np.testing.assert_array_equal(raw, [1, 0])
+
+    def test_u32_to_pred(self):
+        raw = np.array([0, 1, 42], dtype=np.uint32)
+        back = bitcast_from_u32(raw, DType.PRED)
+        np.testing.assert_array_equal(back, [False, True, True])

@@ -1,0 +1,124 @@
+"""Tests for the IR verifier."""
+
+import pytest
+
+from repro.ir import (
+    Alu,
+    BufferParam,
+    Cmp,
+    DType,
+    If,
+    Kernel,
+    KernelBuilder,
+    LoadGlobal,
+    LocalAlloc,
+    PredOp,
+    StoreGlobal,
+    StoreLocal,
+    VReg,
+    VerificationError,
+    verify_kernel,
+)
+
+
+def _valid_kernel():
+    b = KernelBuilder("ok")
+    a = b.buffer_param("a", DType.F32)
+    out = b.buffer_param("out", DType.F32)
+    gid = b.global_id(0)
+    b.store(out, gid, b.load(a, gid))
+    return b.finish()
+
+
+def test_valid_kernel_passes():
+    verify_kernel(_valid_kernel())
+
+
+def test_undefined_register_read_rejected():
+    k = Kernel("bad")
+    buf = BufferParam("out", DType.U32)
+    k.params.append(buf)
+    ghost = VReg("ghost", DType.U32)
+    k.body.append(StoreGlobal(buf, ghost, ghost))
+    with pytest.raises(VerificationError, match="undefined register"):
+        verify_kernel(k)
+
+
+def test_undeclared_buffer_rejected():
+    k = Kernel("bad")
+    rogue = BufferParam("rogue", DType.U32)
+    idx = VReg("i", DType.U32)
+    k.body.append(Alu("mov", idx, idx))  # defines idx (self-read is its own bug)
+    with pytest.raises(VerificationError):
+        verify_kernel(k)
+
+    k2 = _valid_kernel()
+    gid = next(iter(k2.body[0].dests()))
+    k2.body.append(StoreGlobal(rogue, gid, gid))
+    with pytest.raises(VerificationError, match="undeclared buffer"):
+        verify_kernel(k2)
+
+
+def test_undeclared_lds_rejected():
+    k = _valid_kernel()
+    gid = next(iter(k.body[0].dests()))
+    rogue = LocalAlloc("rogue", DType.U32, 8)
+    k.body.append(StoreLocal(rogue, gid, gid))
+    with pytest.raises(VerificationError, match="undeclared LDS"):
+        verify_kernel(k)
+
+
+def test_nonpred_if_condition_rejected():
+    k = _valid_kernel()
+    gid = next(iter(k.body[0].dests()))
+    k.body.append(If(gid, []))
+    with pytest.raises(VerificationError, match="not a predicate"):
+        verify_kernel(k)
+
+
+def test_store_type_mismatch_rejected():
+    b = KernelBuilder("bad")
+    out = b.buffer_param("out", DType.F32)
+    gid = b.global_id(0)
+    k = b.kernel
+    k.body.append(StoreGlobal(out, gid, gid))  # u32 value into f32 buffer
+    with pytest.raises(VerificationError, match="store value type"):
+        verify_kernel(k)
+
+
+def test_predop_requires_predicates():
+    b = KernelBuilder("bad")
+    gid = b.global_id(0)
+    k = b.kernel
+    dst = k.new_reg(DType.PRED)
+    k.body.append(PredOp("and", dst, gid, gid))
+    with pytest.raises(VerificationError, match="not a predicate"):
+        verify_kernel(k)
+
+
+def test_conditional_definitions_visible_after_if():
+    """Non-SSA: a register defined in both arms is defined after the If."""
+    b = KernelBuilder("k")
+    out = b.buffer_param("out", DType.U32)
+    gid = b.global_id(0)
+    v = b.var(DType.U32, 0)
+    cond = b.lt(gid, 4)
+    with b.if_else(cond) as orelse:
+        b.set(v, 1)
+        with orelse():
+            b.set(v, 2)
+    b.store(out, gid, v)
+    verify_kernel(b.finish())
+
+
+def test_loop_cond_block_definitions_visible():
+    b = KernelBuilder("k")
+    out = b.buffer_param("out", DType.U32)
+    gid = b.global_id(0)
+    i = b.var(DType.U32, 0)
+    with b.loop() as lp:
+        c = b.lt(i, 4)
+        lp.break_unless(c)
+        b.set(i, b.add(i, 1))
+    b.store(out, gid, i)
+    verify_kernel(b.finish())

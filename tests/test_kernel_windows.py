@@ -1,0 +1,60 @@
+"""Tests for the launch-sequence windowing of BitS and FW (DESIGN.md §6)."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.bitonic_sort import BitonicSort
+from repro.kernels.floyd_warshall import FloydWarshall
+
+
+class TestBitonicWindow:
+    def test_window_still_fully_sorts(self):
+        bench = BitonicSort(n=1024, local_size=64, start_stage=8)
+        res = bench.execute("original")
+        np.testing.assert_array_equal(res.outputs["arr"], np.sort(bench.data))
+
+    def test_host_prefix_matches_device_prefix(self):
+        """Host-applied stages produce the same state the device would."""
+        full = BitonicSort(n=512, local_size=64, start_stage=1)
+        full_res = full.execute("original")
+        windowed = BitonicSort(n=512, local_size=64, start_stage=5)
+        win_res = windowed.execute("original")
+        np.testing.assert_array_equal(
+            win_res.outputs["arr"], full_res.outputs["arr"]
+        )
+
+    def test_window_reduces_launches(self):
+        full = BitonicSort(n=1024, local_size=64).execute("original")
+        win = BitonicSort(n=1024, local_size=64, start_stage=9).execute("original")
+        assert len(win.launches) < len(full.launches)
+
+    def test_window_rmt_variants_still_verify(self):
+        for variant in ("intra+lds", "inter"):
+            bench = BitonicSort(n=1024, local_size=64, start_stage=9)
+            res = bench.execute(variant)
+            assert bench.check(res)
+            assert not res.detections
+
+
+class TestFloydWarshallWindow:
+    def test_window_matches_prefix_reference(self):
+        bench = FloydWarshall(n=32, local_size=64, k_iters=8)
+        res = bench.execute("original")
+        assert bench.check(res)
+        assert len(res.launches) == 8
+
+    def test_full_run_is_default(self):
+        bench = FloydWarshall(n=16, local_size=64)
+        res = bench.execute("original")
+        assert len(res.launches) == 16
+        # Full relaxation: result is the true all-pairs shortest paths.
+        d = res.outputs["dist"].reshape(16, 16).astype(np.int64)
+        for k in range(16):
+            assert (d <= d[:, k:k + 1] + d[k:k + 1, :]).all()
+
+    def test_window_rmt_equivalence(self):
+        expect = FloydWarshall(n=32, local_size=64, k_iters=8).execute("original")
+        got = FloydWarshall(n=32, local_size=64, k_iters=8).execute("intra-lds")
+        np.testing.assert_array_equal(
+            got.outputs["dist"], expect.outputs["dist"]
+        )

@@ -1,0 +1,192 @@
+"""Per-kernel behavioural tests beyond the suite-wide oracle checks."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.binary_search import BinarySearch
+from repro.kernels.binomial_option import BinomialOption
+from repro.kernels.bitonic_sort import BitonicSort
+from repro.kernels.dct import Dct, _dct_matrix
+from repro.kernels.dwt_haar import DwtHaar1D
+from repro.kernels.fast_walsh import FastWalshTransform
+from repro.kernels.floyd_warshall import FloydWarshall
+from repro.kernels.matmul import MatrixMultiplication
+from repro.kernels.nbody import NBody
+from repro.kernels.prefix_sum import PrefixSum
+from repro.kernels.quasi_random import QuasiRandomSequence
+from repro.kernels.reduction import Reduction
+from repro.kernels.simple_convolution import SimpleConvolution
+from repro.kernels.sobel_filter import SobelFilter
+from repro.kernels.urng import Urng
+
+
+class TestBinarySearch:
+    def test_finds_key_at_various_positions(self):
+        for seed in (1, 2, 3):
+            bench = BinarySearch(n=2048, segment=8, seed=seed)
+            res = bench.execute("original")
+            idx = res.outputs["out"][0]
+            assert bench.data[idx] == bench.key
+
+    def test_invalid_segment_rejected(self):
+        with pytest.raises(ValueError):
+            BinarySearch(n=100, segment=7)
+
+    def test_divergence_counted(self):
+        bench = BinarySearch(n=2048, segment=8)
+        res = bench.execute("original")
+        assert res.merged_counters().divergent_branches > 0
+
+
+class TestBitonicSort:
+    def test_sorts_multiple_seeds(self):
+        for seed in (1, 9):
+            bench = BitonicSort(n=512, local_size=64, seed=seed)
+            res = bench.execute("original")
+            np.testing.assert_array_equal(res.outputs["arr"], np.sort(bench.data))
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            BitonicSort(n=1000)
+
+    def test_launch_count_is_log_squared(self):
+        bench = BitonicSort(n=256, local_size=64)
+        res = bench.execute("original")
+        stages = 8
+        assert len(res.launches) == stages * (stages + 1) // 2
+
+
+class TestBlackScholesAndBO:
+    def test_bo_prices_nonnegative(self):
+        bench = BinomialOption(options=24)
+        res = bench.execute("original")
+        assert (res.outputs["out"] >= 0).all()
+
+    def test_bo_reference_matches_closed_recursion(self):
+        bench = BinomialOption(options=8)
+        ref = bench.reference()["out"]
+        assert ref.shape == (8,)
+        assert (ref >= 0).all()
+
+
+class TestTransforms:
+    def test_fwt_involution_scaled(self):
+        """Applying FWT twice scales by n."""
+        bench = FastWalshTransform(n=256, local_size=64)
+        once = bench.reference()["arr"]
+        bench2 = FastWalshTransform(n=256, local_size=64)
+        bench2.data = once.copy()
+        twice = bench2.reference()["arr"]
+        np.testing.assert_allclose(twice, bench.data * 256, rtol=1e-4)
+
+    def test_dct_matrix_orthonormal(self):
+        c = _dct_matrix()
+        np.testing.assert_allclose(c @ c.T, np.eye(8), atol=1e-12)
+
+    def test_dct_constant_block_concentrates_dc(self):
+        bench = Dct(width=8, height=8)
+        bench.image = np.ones(64, dtype=np.float32)
+        res = bench.execute("original")
+        out = res.outputs["out"].reshape(8, 8)
+        assert out[0, 0] == pytest.approx(8.0, rel=1e-4)
+        assert np.abs(out).sum() == pytest.approx(8.0, rel=1e-3)
+
+    def test_dwt_energy_preserved(self):
+        bench = DwtHaar1D(n=1024, local_size=64)
+        ref = bench.reference()["dst"]
+        np.testing.assert_allclose(
+            np.sum(ref.astype(np.float64) ** 2),
+            np.sum(bench.data.astype(np.float64) ** 2),
+            rtol=1e-5,
+        )
+
+
+class TestGraphAndLinalg:
+    def test_fw_triangle_inequality(self):
+        bench = FloydWarshall(n=32, local_size=64)
+        res = bench.execute("original")
+        d = res.outputs["dist"].reshape(32, 32).astype(np.int64)
+        # d[i,j] <= d[i,k] + d[k,j] for sampled triples
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            i, j, k = rng.integers(0, 32, size=3)
+            assert d[i, j] <= d[i, k] + d[k, j]
+
+    def test_mm_identity(self):
+        bench = MatrixMultiplication(n=32)
+        bench.a = np.eye(32, dtype=np.float32)
+        res = bench.execute("original")
+        np.testing.assert_allclose(
+            res.outputs["c"].reshape(32, 32), bench.b, rtol=1e-5
+        )
+
+    def test_mm_tile_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MatrixMultiplication(n=30)
+
+
+class TestNBodyPhysics:
+    def test_symmetric_pair_cancels(self):
+        bench = NBody(bodies=128, local_size=64)
+        # Place bodies symmetrically around the origin with equal masses:
+        # net acceleration on the center pair is mirror-symmetric.
+        res = bench.execute("original")
+        ref = bench.reference()
+        assert np.isfinite(res.outputs["ax"]).all()
+        np.testing.assert_allclose(res.outputs["ax"], ref["ax"], rtol=2e-2, atol=2e-3)
+
+
+class TestScanAndReduce:
+    def test_prefix_sum_monotone_for_positive_input(self):
+        bench = PrefixSum(n=128)
+        res = bench.execute("original")
+        out = res.outputs["dst"]
+        assert (np.diff(out) >= 0).all()
+
+    def test_prefix_sum_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            PrefixSum(n=100)
+
+    def test_reduction_partials_sum_to_total(self):
+        bench = Reduction(n=4096, local_size=256)
+        res = bench.execute("original")
+        assert res.outputs["dst"].astype(np.uint64).sum() == bench.data.astype(np.uint64).sum()
+
+    def test_reduction_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            Reduction(n=1000, local_size=256)
+
+
+class TestImageKernels:
+    def test_sc_preserves_constant_image(self):
+        bench = SimpleConvolution(width=64, height=32, local_size=64)
+        bench.image = np.full(64 * 32, 3.0, dtype=np.float32)
+        res = bench.execute("original")
+        np.testing.assert_allclose(res.outputs["out"], 3.0, rtol=1e-4)
+
+    def test_sf_zero_on_flat_image(self):
+        bench = SobelFilter(width=64, height=32, local_size=64)
+        bench.image = np.full(64 * 32, 1.0, dtype=np.float32)
+        res = bench.execute("original")
+        assert np.abs(res.outputs["out"]).max() == 0.0
+
+    def test_sf_borders_untouched(self):
+        bench = SobelFilter(width=64, height=32, local_size=64)
+        res = bench.execute("original")
+        out = res.outputs["out"].reshape(32, 64)
+        assert (out[0] == 0).all() and (out[-1] == 0).all()
+        assert (out[:, 0] == 0).all() and (out[:, -1] == 0).all()
+
+
+class TestRngKernels:
+    def test_urng_outputs_in_unit_interval(self):
+        bench = Urng(n=2048, local_size=128)
+        res = bench.execute("original")
+        out = res.outputs["out"]
+        assert (out >= 0).all() and (out < 1).all()
+
+    def test_qrs_first_dimension_van_der_corput(self):
+        bench = QuasiRandomSequence(n=256, local_size=64)
+        ref = bench.reference()["out"][:256]
+        # dimension 0 is a bit-reversal sequence: all values distinct.
+        assert len(np.unique(ref)) == 256

@@ -1,0 +1,99 @@
+"""Correctness tests for all 16 benchmark kernels (small scale)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import RMT_VARIANTS
+from repro.kernels import SMALL_SUITE, SUITE, all_abbrevs, make_benchmark
+
+ALL = sorted(SMALL_SUITE)
+
+
+class TestRegistry:
+    def test_sixteen_kernels(self):
+        assert len(SUITE) == 16
+        assert set(SUITE) == set(SMALL_SUITE)
+
+    def test_make_benchmark_paper_and_small(self):
+        b1 = make_benchmark("FWT", "paper")
+        b2 = make_benchmark("FWT", "small")
+        assert b1.n > b2.n
+
+    def test_unknown_abbrev(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            make_benchmark("XYZ")
+
+    def test_all_abbrevs_order(self):
+        assert all_abbrevs()[0] == "BinS"
+        assert len(all_abbrevs()) == 16
+
+    def test_metadata_populated(self):
+        for ab in ALL:
+            bench = SMALL_SUITE[ab]()
+            assert bench.abbrev == ab
+            assert bench.name
+            assert bench.description
+            kernel = bench.build()
+            assert "local_size" in kernel.metadata
+
+
+@pytest.mark.parametrize("abbrev", ALL)
+def test_original_correct(abbrev):
+    bench = SMALL_SUITE[abbrev]()
+    result = bench.execute("original")
+    assert bench.check(result), f"{abbrev} failed its oracle"
+    assert not result.detections
+
+
+@pytest.mark.parametrize("abbrev", ALL)
+def test_intra_plus_lds_correct(abbrev):
+    bench = SMALL_SUITE[abbrev]()
+    result = bench.execute("intra+lds")
+    assert bench.check(result)
+    assert not result.detections
+
+
+@pytest.mark.parametrize("abbrev", ALL)
+def test_intra_minus_lds_correct(abbrev):
+    bench = SMALL_SUITE[abbrev]()
+    result = bench.execute("intra-lds")
+    assert bench.check(result)
+    assert not result.detections
+
+
+@pytest.mark.parametrize("abbrev", ALL)
+def test_intra_fast_correct(abbrev):
+    bench = SMALL_SUITE[abbrev]()
+    result = bench.execute("intra+lds_fast")
+    assert bench.check(result)
+    assert not result.detections
+
+
+@pytest.mark.parametrize("abbrev", ALL)
+def test_inter_correct(abbrev):
+    bench = SMALL_SUITE[abbrev]()
+    result = bench.execute("inter")
+    assert bench.check(result)
+    assert not result.detections
+
+
+@pytest.mark.parametrize("abbrev", ["FWT", "MM", "R"])
+def test_no_comm_variants_still_correct(abbrev):
+    """Component-isolation transforms (no output comparison) stay correct."""
+    bench = SMALL_SUITE[abbrev]()
+    for variant in ("intra+lds", "inter"):
+        result = bench.execute(variant, communication=False)
+        assert bench.check(result)
+        assert not result.detections
+
+
+class TestDeterminism:
+    def test_same_seed_same_cycles(self):
+        a = SMALL_SUITE["R"]().execute("original")
+        b = SMALL_SUITE["R"]().execute("original")
+        assert a.cycles == b.cycles
+
+    def test_inputs_seeded(self):
+        a = SMALL_SUITE["BlkSch"]()
+        b = SMALL_SUITE["BlkSch"]()
+        np.testing.assert_array_equal(a.rand, b.rand)

@@ -1,0 +1,48 @@
+"""Tests for the report CLI and example scripts (smoke level)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.eval.report import main as report_main
+
+_REPO = Path(__file__).resolve().parent.parent
+
+
+class TestReportCli:
+    def test_static_figures(self, capsys):
+        rc = report_main(["--figures", "table1,table2,table3,fig8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" in out
+        assert "Table 3" in out
+        assert "Figure 8" in out
+
+    def test_small_scale_sim_figure(self, capsys):
+        rc = report_main(["--scale", "small", "--figures", "fig5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "BO" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            report_main(["--figures", "fig99"])
+
+
+@pytest.mark.parametrize("script,args", [
+    ("quickstart.py", []),
+    ("overhead_analysis.py", ["--kernels", "FWT,PS"]),
+    ("swizzle_fast_comm.py", ["--kernels", "PS,FWT"]),
+    ("fault_injection_campaign.py", ["--trials", "3", "--kernels", "FWT"]),
+])
+def test_examples_run_clean(script, args):
+    proc = subprocess.run(
+        [sys.executable, str(_REPO / "examples" / script), *args],
+        capture_output=True, text=True, timeout=900,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip()

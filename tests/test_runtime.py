@@ -1,0 +1,118 @@
+"""Tests for the host runtime Session and RMT launch adaptation."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import compile_kernel
+from repro.compiler.passes.rmt_common import INTER_COUNTER, INTER_FLAG
+from repro.ir import DType, KernelBuilder
+from repro.runtime import Session
+
+
+def _kernel():
+    b = KernelBuilder("k")
+    a = b.buffer_param("a", DType.F32)
+    out = b.buffer_param("out", DType.F32)
+    gid = b.global_id(0)
+    b.store(out, gid, b.mul(b.load(a, gid), 2.0))
+    k = b.finish()
+    k.metadata["local_size"] = (64, 1, 1)
+    return k
+
+
+class TestBuffers:
+    def test_upload_download_roundtrip(self):
+        s = Session()
+        data = np.arange(16, dtype=np.float32)
+        buf = s.upload("x", data)
+        np.testing.assert_array_equal(s.download(buf), data)
+
+    def test_zeros(self):
+        s = Session()
+        buf = s.zeros("z", 8, np.uint32)
+        assert (s.download(buf) == 0).all()
+
+    def test_download_reflects_device_writes(self):
+        s = Session()
+        compiled = compile_kernel(_kernel(), "original")
+        ab = s.upload("a", np.ones(128, dtype=np.float32))
+        ob = s.zeros("out", 128, np.float32)
+        s.launch(compiled, 128, 64, {"a": ab, "out": ob})
+        assert (s.download(ob) == 2.0).all()
+
+
+class TestRmtAdaptation:
+    def test_original_ndrange_unchanged(self):
+        s = Session()
+        compiled = compile_kernel(_kernel(), "original")
+        ab = s.upload("a", np.zeros(128, dtype=np.float32))
+        ob = s.zeros("out", 128, np.float32)
+        res = s.launch(compiled, 128, 64, {"a": ab, "out": ob})
+        assert res.groups_launched == 2
+
+    def test_intra_doubles_local_and_global(self):
+        s = Session()
+        compiled = compile_kernel(_kernel(), "intra+lds")
+        ab = s.upload("a", np.zeros(128, dtype=np.float32))
+        ob = s.zeros("out", 128, np.float32)
+        res = s.launch(compiled, 128, 64, {"a": ab, "out": ob})
+        assert res.groups_launched == 2          # same group count
+        assert res.waves_launched == 4           # doubled work-items
+
+    def test_inter_doubles_groups_and_binds_hidden_buffers(self):
+        s = Session()
+        compiled = compile_kernel(_kernel(), "inter")
+        ab = s.upload("a", np.zeros(128, dtype=np.float32))
+        ob = s.zeros("out", 128, np.float32)
+        res = s.launch(compiled, 128, 64, {"a": ab, "out": ob})
+        assert res.groups_launched == 4
+        hidden = [n for n in s.device.memory.buffers if n.startswith("__rmt_")]
+        assert any(n.startswith(INTER_COUNTER) for n in hidden)
+        assert any(n.startswith(INTER_FLAG) for n in hidden)
+
+    def test_inter_hidden_buffers_fresh_per_launch(self):
+        s = Session()
+        compiled = compile_kernel(_kernel(), "inter")
+        ab = s.upload("a", np.zeros(128, dtype=np.float32))
+        ob = s.zeros("out", 128, np.float32)
+        s.launch(compiled, 128, 64, {"a": ab, "out": ob})
+        s.launch(compiled, 128, 64, {"a": ab, "out": ob})
+        counters = [n for n in s.device.memory.buffers
+                    if n.startswith(INTER_COUNTER)]
+        assert len(counters) == 2
+
+    def test_elapsed_cycles_accumulate(self):
+        s = Session()
+        compiled = compile_kernel(_kernel(), "original")
+        ab = s.upload("a", np.zeros(128, dtype=np.float32))
+        ob = s.zeros("out", 128, np.float32)
+        s.launch(compiled, 128, 64, {"a": ab, "out": ob})
+        first = s.elapsed_cycles
+        s.launch(compiled, 128, 64, {"a": ab, "out": ob})
+        assert s.elapsed_cycles > first
+
+    def test_detections_aggregated(self):
+        b = KernelBuilder("err")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        with b.if_(b.eq(gid, 0)):
+            b.report_error()
+        b.store(out, gid, gid)
+        k = b.finish()
+        k.metadata["local_size"] = (64, 1, 1)
+        s = Session()
+        compiled = compile_kernel(k, "original")
+        ob = s.zeros("out", 64, np.uint32)
+        s.launch(compiled, 64, 64, {"out": ob})
+        s.launch(compiled, 64, 64, {"out": ob})
+        assert len(s.detections()) == 2
+
+    def test_power_report_available(self):
+        s = Session()
+        compiled = compile_kernel(_kernel(), "original")
+        ab = s.upload("a", np.zeros(4096, dtype=np.float32))
+        ob = s.zeros("out", 4096, np.float32)
+        s.launch(compiled, 4096, 64, {"a": ab, "out": ob})
+        rep = s.power_report()
+        assert rep.average_w > 0
+        assert rep.peak_w >= rep.average_w
