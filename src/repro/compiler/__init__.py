@@ -14,9 +14,11 @@ from .pipeline import (
     compile_kernel,
     rmt_pass_for,
 )
+from .analysis.dataflow import build_cfg, definite_assignment, liveness
 from .analysis.resources import estimate_resources
 from .analysis.sor import STRUCTURES, SorEntry, SorReport, analyze_sor
 from .analysis.uniformity import UniformityInfo, analyze_uniformity
+from .lint import Diagnostic, LintError, check_kernel, run_lints
 from .passes.optimize import (
     CommonSubexpressionPass,
     ConstantFoldingPass,
@@ -32,8 +34,10 @@ __all__ = [
     "CompiledKernel",
     "ConstantFoldingPass",
     "DeadCodeEliminationPass",
+    "Diagnostic",
     "InterGroupRmtPass",
     "IntraGroupRmtPass",
+    "LintError",
     "Pass",
     "PassManager",
     "RMT_VARIANTS",
@@ -44,9 +48,14 @@ __all__ = [
     "UniformityInfo",
     "analyze_sor",
     "analyze_uniformity",
+    "build_cfg",
+    "check_kernel",
     "clone_kernel",
     "compile_kernel",
+    "definite_assignment",
     "estimate_resources",
+    "liveness",
     "optimize",
     "rmt_pass_for",
+    "run_lints",
 ]

@@ -1,15 +1,50 @@
-"""Compiler analyses: uniformity, resource estimation, SoR coverage."""
+"""Compiler analyses: uniformity, resource estimation, SoR coverage,
+and the CFG/dataflow framework backing the lint suite."""
 
+from .dataflow import (
+    CFG,
+    BarrierIntervals,
+    BasicBlock,
+    DefiniteAssignment,
+    DefSite,
+    Liveness,
+    Loc,
+    ReachingDefs,
+    barrier_free_path,
+    barrier_intervals,
+    build_cfg,
+    compute_dominators,
+    definite_assignment,
+    dominates,
+    liveness,
+    reaching_definitions,
+)
 from .resources import estimate_resources
 from .sor import STRUCTURES, SorEntry, SorReport, analyze_sor
 from .uniformity import UniformityInfo, analyze_uniformity
 
 __all__ = [
+    "BarrierIntervals",
+    "BasicBlock",
+    "CFG",
+    "DefSite",
+    "DefiniteAssignment",
+    "Liveness",
+    "Loc",
+    "ReachingDefs",
     "STRUCTURES",
     "SorEntry",
     "SorReport",
     "UniformityInfo",
     "analyze_sor",
     "analyze_uniformity",
+    "barrier_free_path",
+    "barrier_intervals",
+    "build_cfg",
+    "compute_dominators",
+    "definite_assignment",
+    "dominates",
     "estimate_resources",
+    "liveness",
+    "reaching_definitions",
 ]

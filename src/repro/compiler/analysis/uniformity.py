@@ -14,6 +14,7 @@ scalar work (SU/SRF inside the SoR — Table 3).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Set
 
@@ -63,11 +64,24 @@ def analyze_uniformity(kernel: Kernel) -> UniformityInfo:
     only moves downward (uniform → vector), so iteration terminates.
     """
     info = UniformityInfo()
-    for _ in range(8):
+    # Each non-converged iteration must demote at least one register or
+    # instruction, so the register count bounds the true iteration need;
+    # the generous cap below only guards against an analysis bug looping
+    # forever on a state that never stabilizes.
+    max_iters = max(32, 2 * len(kernel.all_regs()) + 8)
+    for _ in range(max_iters):
         before = (frozenset(info.scalar_instrs), frozenset(info.uniform_regs))
         _walk(kernel.body, info, divergent=False)
         if (frozenset(info.scalar_instrs), frozenset(info.uniform_regs)) == before:
             break
+    else:
+        warnings.warn(
+            f"uniformity analysis did not converge on kernel "
+            f"{kernel.name!r} after {max_iters} iterations; "
+            "results may be optimistic",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return info
 
 

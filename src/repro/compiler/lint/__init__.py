@@ -1,0 +1,32 @@
+"""Static lint suite over the kernel IR.
+
+Four checkers built on :mod:`repro.compiler.analysis.dataflow`:
+
+- ``barrier-divergence`` — barriers under non-wavefront-uniform control
+  flow (hardware deadlock);
+- ``lds-race`` — conflicting LDS accesses by distinct work-items with
+  no intervening barrier, proved via a symbolic affine index domain;
+- ``undef`` — dominance-based definite-assignment check on register
+  reads;
+- ``sor-coverage`` — RMT sphere-of-replication contract: every primary
+  store is consumer-predicated, output-compared across a communication
+  channel, and (+LDS) replica-remapped.
+
+Entry points: :func:`run_lints` (collect diagnostics),
+:func:`check_kernel` (raise :class:`LintError` on errors — wired into
+the pass manager as post-pass verification).
+"""
+
+from .diagnostics import ERROR, WARNING, Diagnostic, LintError
+from .engine import LintContext, check_kernel, checker_names, run_lints
+
+__all__ = [
+    "Diagnostic",
+    "LintError",
+    "LintContext",
+    "ERROR",
+    "WARNING",
+    "check_kernel",
+    "checker_names",
+    "run_lints",
+]

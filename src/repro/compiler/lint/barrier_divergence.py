@@ -1,0 +1,63 @@
+"""Barrier-divergence checker.
+
+GCN's ``s_barrier`` waits for every *wavefront* of the work-group, so a
+barrier is only safe when every wavefront reaches it the same number of
+times.  A barrier nested under control flow whose condition is not
+wavefront-uniform can be skipped (or repeated) by some wavefronts —
+which deadlocks real hardware.  Work-groups that fit in a single
+wavefront are exempt: a lone wavefront always agrees with itself, and
+executing the barrier with some lanes inactive is harmless.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ...ir.core import Barrier, If, Stmt, VReg, While
+from .diagnostics import ERROR, Diagnostic
+from .engine import WAVEFRONT, LintContext
+
+_CHECKER = "barrier-divergence"
+
+
+def check_barrier_divergence(ctx: LintContext) -> List[Diagnostic]:
+    flat = ctx.flat_local_size
+    if flat is not None and flat <= WAVEFRONT:
+        return []
+    diags: List[Diagnostic] = []
+    _walk(ctx, ctx.kernel.body, None, diags)
+    return diags
+
+
+def _walk(
+    ctx: LintContext,
+    body: List[Stmt],
+    divergent_cond: Optional[Tuple[str, VReg]],
+    diags: List[Diagnostic],
+) -> None:
+    uni = ctx.uniformity
+    for stmt in body:
+        if isinstance(stmt, If):
+            inner = divergent_cond
+            if inner is None and not uni.is_uniform(stmt.cond):
+                inner = ("if", stmt.cond)
+            _walk(ctx, stmt.then_body, inner, diags)
+            _walk(ctx, stmt.else_body, inner, diags)
+        elif isinstance(stmt, While):
+            _walk(ctx, stmt.cond_block, divergent_cond, diags)
+            inner = divergent_cond
+            if inner is None and not uni.is_uniform(stmt.cond):
+                inner = ("while", stmt.cond)
+            _walk(ctx, stmt.body, inner, diags)
+        elif isinstance(stmt, Barrier) and divergent_cond is not None:
+            kind, cond = divergent_cond
+            diags.append(
+                ctx.diag(
+                    _CHECKER,
+                    ERROR,
+                    stmt,
+                    f"barrier under divergent {kind} condition {cond!r}: "
+                    "wavefronts may disagree on reaching it, deadlocking "
+                    "the work-group",
+                )
+            )

@@ -1,0 +1,45 @@
+"""Diagnostic records and the lint failure exception."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ...ir.verify import VerificationError
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding, pinned to a kernel and a structured-IR location."""
+
+    checker: str
+    severity: str        # ERROR or WARNING
+    kernel: str
+    loc: str             # rendered Loc path, e.g. "body[4].then[1]"
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity}: [{self.checker}] {self.kernel} @ {self.loc}: {self.message}"
+
+
+class LintError(VerificationError):
+    """A kernel failed the post-pass lint stage.
+
+    Subclasses :class:`VerificationError` so existing callers that treat
+    verification failures as compile failures handle lint rejections the
+    same way.  The full diagnostic list is on ``.diagnostics``.
+    """
+
+    def __init__(self, diagnostics: Sequence[Diagnostic]):
+        self.diagnostics: List[Diagnostic] = list(diagnostics)
+        errors = [d for d in self.diagnostics if d.severity == ERROR]
+        kernel = errors[0].kernel if errors else "<unknown>"
+        shown = "; ".join(str(d) for d in errors[:5])
+        extra = f" (+{len(errors) - 5} more)" if len(errors) > 5 else ""
+        super().__init__(
+            f"kernel {kernel!r}: {len(errors)} lint error(s): {shown}{extra}",
+            errors=[str(d) for d in errors],
+        )

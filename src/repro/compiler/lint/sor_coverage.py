@@ -1,0 +1,354 @@
+"""RMT sphere-of-replication coverage verifier.
+
+Walks a *transformed* kernel (one carrying ``metadata['rmt']``) and
+proves the structural contract of Tables 2/3: every store whose value
+exits the sphere of replication is
+
+1. predicated on the consumer-duplicate parity test of its flavor
+   (Intra-Group: ``(id & 1) == 0``; Inter-Group: ``(ticket & 1) != 0``);
+2. (when output comparison is enabled) preceded, under that predicate,
+   by an ``if (!(got_a == addr && got_v == value)) report_error`` block
+   whose ``got_*`` operands crossed a communication channel — an LDS
+   communication buffer, a register swizzle, or an L2 atomic readback —
+   while ``addr``/``value`` are the consumer's private copies.
+
+Under Intra-Group +LDS, LDS stays inside the SoR instead: every LDS
+access must then be remapped into a per-replica half, i.e. its index
+must include a ``parity * original_nelems`` term.
+
+A pass bug that drops a comparison or skips a remap therefore fails
+compilation here instead of silently weakening fault coverage.  The
+matching is chain-based (following ``mov``/``bitcast``), so it survives
+the constant-folding/CSE/DCE cleanup pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ...ir.core import (
+    Alu,
+    AtomicGlobal,
+    Cmp,
+    Const,
+    If,
+    Instr,
+    Kernel,
+    LoadLocal,
+    PredOp,
+    ReportError,
+    Stmt,
+    StoreGlobal,
+    StoreLocal,
+    Swizzle,
+    VReg,
+    While,
+    walk_instrs,
+    walk_stmts,
+)
+from .diagnostics import ERROR, Diagnostic
+from .engine import LintContext
+
+_CHECKER = "sor-coverage"
+_RMT_PREFIX = "__rmt_"
+
+#: Chain-following steps: single-def copies and reinterpretations.
+_COPY_OPS = frozenset({"mov", "bitcast_u32", "bitcast_i32", "bitcast_f32"})
+
+
+class _Defs:
+    """Definition map over the whole kernel (non-SSA aware)."""
+
+    def __init__(self, kernel: Kernel):
+        self.by_reg: dict = {}
+        for instr in walk_instrs(kernel.body):
+            for dst in instr.dests():
+                self.by_reg.setdefault(id(dst), []).append(instr)
+
+    def single(self, reg: VReg) -> Optional[Instr]:
+        defs = self.by_reg.get(id(reg), [])
+        return defs[0] if len(defs) == 1 else None
+
+    def resolve(self, reg: VReg) -> Tuple[VReg, bool]:
+        """Follow copy chains; return (root register, crossed_channel).
+
+        ``crossed_channel`` is True when the chain passes through an RMT
+        communication read: an LDS load from a ``__rmt_`` buffer, a
+        swizzle, or a global atomic on a ``__rmt_`` buffer.
+        """
+        cur = reg
+        for _ in range(64):  # chains are short; bound defends against cycles
+            d = self.single(cur)
+            if d is None:
+                return cur, False
+            if isinstance(d, LoadLocal) and d.lds.name.startswith(_RMT_PREFIX):
+                return cur, True
+            if isinstance(d, Swizzle):
+                return cur, True
+            if isinstance(d, AtomicGlobal) and d.buf.name.startswith(_RMT_PREFIX):
+                return cur, True
+            if isinstance(d, Alu) and d.op in _COPY_OPS:
+                cur = d.a
+                continue
+            return cur, False
+        return cur, False
+
+    def const_value(self, reg: VReg) -> Optional[int]:
+        root, _ = self.resolve(reg)
+        d = self.single(root)
+        if isinstance(d, Const) and isinstance(d.value, (int, bool)):
+            return int(d.value)
+        return None
+
+    def is_parity_of_id(self, reg: VReg) -> bool:
+        """Is ``reg`` (through copies) an ``x & 1`` low-bit extraction?"""
+        root, _ = self.resolve(reg)
+        d = self.single(root)
+        if not isinstance(d, Alu) or d.op != "and" or d.b is None:
+            return False
+        return self.const_value(d.a) == 1 or self.const_value(d.b) == 1
+
+
+def check_sor_coverage(ctx: LintContext) -> List[Diagnostic]:
+    meta = ctx.kernel.metadata.get("rmt")
+    if not meta:
+        return []
+    flavor = meta.get("flavor")
+    communication = bool(meta.get("communication", True))
+    include_lds = bool(meta.get("include_lds", False))
+
+    defs = _Defs(ctx.kernel)
+    diags: List[Diagnostic] = []
+
+    sor_exits: List[Tuple[Instr, Tuple[If, ...]]] = []
+    lds_accesses: List[Instr] = []
+    _collect(ctx.kernel.body, (), flavor, include_lds, sor_exits, lds_accesses)
+
+    expected_op = "eq" if flavor == "intra" else "ne"
+    for store, enclosing in sor_exits:
+        diags.extend(
+            _check_guarded_store(
+                ctx, defs, store, enclosing, expected_op, communication
+            )
+        )
+    if flavor == "intra" and include_lds:
+        for access in lds_accesses:
+            diags.extend(_check_lds_remap(ctx, defs, access))
+    return diags
+
+
+def _collect(
+    body: Sequence[Stmt],
+    enclosing: Tuple[If, ...],
+    flavor: str,
+    include_lds: bool,
+    sor_exits: List[Tuple[Instr, Tuple[If, ...]]],
+    lds_accesses: List[Instr],
+) -> None:
+    for stmt in body:
+        if isinstance(stmt, If):
+            _collect(stmt.then_body, enclosing + (stmt,), flavor, include_lds,
+                     sor_exits, lds_accesses)
+            _collect(stmt.else_body, enclosing + (stmt,), flavor, include_lds,
+                     sor_exits, lds_accesses)
+        elif isinstance(stmt, While):
+            _collect(stmt.cond_block, enclosing, flavor, include_lds,
+                     sor_exits, lds_accesses)
+            _collect(stmt.body, enclosing, flavor, include_lds,
+                     sor_exits, lds_accesses)
+        elif isinstance(stmt, StoreGlobal):
+            if not stmt.buf.name.startswith(_RMT_PREFIX):
+                sor_exits.append((stmt, enclosing))
+        elif isinstance(stmt, StoreLocal):
+            if stmt.lds.name.startswith(_RMT_PREFIX):
+                continue
+            if flavor == "intra" and not include_lds:
+                # −LDS: the shared LDS is outside the SoR.
+                sor_exits.append((stmt, enclosing))
+            elif flavor == "intra" and include_lds:
+                lds_accesses.append(stmt)
+        elif isinstance(stmt, LoadLocal):
+            if (
+                flavor == "intra"
+                and include_lds
+                and not stmt.lds.name.startswith(_RMT_PREFIX)
+            ):
+                lds_accesses.append(stmt)
+
+
+# ---------------------------------------------------------------------------
+# Guarded-store structure
+# ---------------------------------------------------------------------------
+
+
+def _is_consumer_guard(defs: _Defs, cond: VReg, expected_op: str) -> bool:
+    root, _ = defs.resolve(cond)
+    d = defs.single(root)
+    if not isinstance(d, Cmp) or d.op != expected_op:
+        return False
+    for parity, zero in ((d.a, d.b), (d.b, d.a)):
+        if defs.is_parity_of_id(parity) and defs.const_value(zero) == 0:
+            return True
+    return False
+
+
+def _check_guarded_store(
+    ctx: LintContext,
+    defs: _Defs,
+    store: Instr,
+    enclosing: Tuple[If, ...],
+    expected_op: str,
+    communication: bool,
+) -> List[Diagnostic]:
+    what = (
+        f"global store to {store.buf.name!r}"
+        if isinstance(store, StoreGlobal)
+        else f"SoR-exiting local store to {store.lds.name!r}"
+    )
+    if not enclosing:
+        return [
+            ctx.diag(
+                _CHECKER, ERROR, store,
+                f"{what} is not predicated on the consumer duplicate: "
+                "both replicas would store (and faults escape undetected)",
+            )
+        ]
+    consumer_if = enclosing[-1]
+    if not _is_consumer_guard(defs, consumer_if.cond, expected_op):
+        return [
+            ctx.diag(
+                _CHECKER, ERROR, store,
+                f"{what} guard {consumer_if.cond!r} is not the "
+                f"consumer-parity predicate (expected `(id & 1) "
+                f"{expected_op} 0` through copies)",
+            )
+        ]
+    if not communication:
+        return []
+
+    # Locate the mismatch handler among this store's siblings before it.
+    body = (
+        consumer_if.then_body
+        if _contains(consumer_if.then_body, store)
+        else consumer_if.else_body
+    )
+    cmp_leaves: Optional[List[Cmp]] = None
+    for stmt in body:
+        if stmt is store:
+            break
+        if isinstance(stmt, If) and _has_report_error(stmt):
+            cmp_leaves = _comparison_leaves(defs, stmt.cond)
+    if cmp_leaves is None:
+        return [
+            ctx.diag(
+                _CHECKER, ERROR, store,
+                f"{what} has no output comparison: no report_error "
+                "mismatch handler precedes it under the consumer guard",
+            )
+        ]
+
+    idx_root, _ = defs.resolve(store.index)
+    val_root, _ = defs.resolve(store.value)
+    addr_ok = value_ok = False
+    for leaf in cmp_leaves:
+        if leaf.op != "eq":
+            continue
+        for mine, theirs in ((leaf.a, leaf.b), (leaf.b, leaf.a)):
+            mroot, _ = defs.resolve(mine)
+            _troot, via_channel = defs.resolve(theirs)
+            if not via_channel:
+                continue
+            if mroot is idx_root:
+                addr_ok = True
+            if mroot is val_root:
+                value_ok = True
+    out = []
+    if not addr_ok:
+        out.append(
+            ctx.diag(
+                _CHECKER, ERROR, store,
+                f"{what}: output comparison does not check the store "
+                "address against the producer's copy",
+            )
+        )
+    if not value_ok:
+        out.append(
+            ctx.diag(
+                _CHECKER, ERROR, store,
+                f"{what}: output comparison does not check the store "
+                "value against the producer's copy",
+            )
+        )
+    return out
+
+
+def _contains(body: Sequence[Stmt], target: Instr) -> bool:
+    return any(s is target for s in walk_stmts(body))
+
+
+def _has_report_error(stmt: If) -> bool:
+    return any(isinstance(s, ReportError) for s in walk_stmts(stmt.then_body))
+
+
+def _comparison_leaves(defs: _Defs, cond: VReg) -> List[Cmp]:
+    """Cmp instructions under the (negated) conjunction guarding the
+    mismatch handler: ``pnot(pand(eq, eq))`` → the two eq leaves."""
+    leaves: List[Cmp] = []
+
+    def visit(reg: VReg, depth: int) -> None:
+        if depth > 16:
+            return
+        root, _ = defs.resolve(reg)
+        d = defs.single(root)
+        if isinstance(d, Cmp):
+            leaves.append(d)
+        elif isinstance(d, PredOp):
+            visit(d.a, depth + 1)
+            if d.b is not None:
+                visit(d.b, depth + 1)
+
+    visit(cond, 0)
+    return leaves
+
+
+# ---------------------------------------------------------------------------
+# +LDS replica remapping
+# ---------------------------------------------------------------------------
+
+
+def _check_lds_remap(
+    ctx: LintContext, defs: _Defs, access: Instr
+) -> List[Diagnostic]:
+    half = access.lds.nelems // 2
+    if _has_replica_offset(defs, access.index, half, 0):
+        return []
+    kind = "store" if isinstance(access, StoreLocal) else "load"
+    return [
+        ctx.diag(
+            _CHECKER, ERROR, access,
+            f"LDS {kind} on {access.lds.name!r} is not remapped into a "
+            f"replica half: index lacks a `parity * {half}` offset, so "
+            "both replicas would share (and corrupt) one copy",
+        )
+    ]
+
+
+def _has_replica_offset(defs: _Defs, index: VReg, half: int, depth: int) -> bool:
+    """Does the index's add-closure contain a ``(id & 1) * half`` term?"""
+    if depth > 16:
+        return False
+    root, _ = defs.resolve(index)
+    d = defs.single(root)
+    if not isinstance(d, Alu) or d.b is None:
+        return False
+    if d.op == "mul":
+        for parity, scale in ((d.a, d.b), (d.b, d.a)):
+            if defs.is_parity_of_id(parity) and defs.const_value(scale) == half:
+                return True
+        return False
+    if d.op == "add":
+        return (
+            _has_replica_offset(defs, d.a, half, depth + 1)
+            or _has_replica_offset(defs, d.b, half, depth + 1)
+        )
+    return False

@@ -1,0 +1,604 @@
+"""Symbolic affine index expressions for the LDS race detector.
+
+Work-item-dependent values are abstracted as affine combinations of a
+small set of *thread symbols* plus opaque *uniform symbols*:
+
+* ``("lid", d)`` — raw local ID along dimension ``d``;
+* ``("hid",)`` — the dimension-0 local ID halved (``lid0 >> 1``), the
+  redundant-pair slot the Intra-Group RMT prologue computes;
+* ``("par",)`` — the replica parity bit (``id & 1``), which selects the
+  producer/consumer role and the private LDS half under +LDS;
+* ``("u", ...)`` / ``("param", ...)`` / ``("sid", ...)`` — opaque but
+  wavefront-uniform quantities (loop-carried scalars, kernel parameters,
+  group IDs).  Two occurrences of the same key denote the same runtime
+  value, which is what lets guard bounds like ``lid < stride`` cancel
+  against address offsets like ``lid + stride``.
+
+The prover answers one question: can a *store* by one work-item and an
+access by a *different* work-item (in a different wavefront — wavefronts
+execute in lockstep, so intra-wavefront accesses are ordered) touch the
+same LDS element?  It proves safety by expression identity + injectivity,
+by symbolic range disjointness, by replica-half separation, or by
+exhaustive enumeration when everything is concrete; enumeration also
+yields concrete two-thread witnesses for definite races.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Symbol keys.  Thread symbols vary per work-item; everything else is
+#: uniform across the work-group.
+LID = tuple("lid{}".format(d) for d in range(3))
+
+
+def lid_sym(dim: int) -> Tuple:
+    return ("lid", dim)
+
+
+HID = ("hid",)
+PAR = ("par",)
+
+_THREAD_KINDS = ("lid", "hid", "par")
+
+
+def is_thread_sym(sym: Tuple) -> bool:
+    return sym[0] in _THREAD_KINDS
+
+
+class Affine:
+    """``const + Σ coeff·symbol`` with integer coefficients."""
+
+    __slots__ = ("terms", "const")
+
+    def __init__(self, terms: Optional[Dict[Tuple, int]] = None, const: int = 0):
+        self.terms = {k: v for k, v in (terms or {}).items() if v != 0}
+        self.const = const
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def constant(cls, value: int) -> "Affine":
+        return cls({}, value)
+
+    @classmethod
+    def sym(cls, key: Tuple, coeff: int = 1) -> "Affine":
+        return cls({key: coeff}, 0)
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def add(self, other: "Affine") -> "Affine":
+        terms = dict(self.terms)
+        for k, v in other.terms.items():
+            terms[k] = terms.get(k, 0) + v
+        return Affine(terms, self.const + other.const)
+
+    def sub(self, other: "Affine") -> "Affine":
+        return self.add(other.scale(-1))
+
+    def scale(self, k: int) -> "Affine":
+        return Affine({s: c * k for s, c in self.terms.items()}, self.const * k)
+
+    # -- structure -----------------------------------------------------------
+
+    def is_const(self) -> bool:
+        return not self.terms
+
+    def thread_terms(self) -> Dict[Tuple, int]:
+        return {s: c for s, c in self.terms.items() if is_thread_sym(s)}
+
+    def uniform_part(self) -> "Affine":
+        return Affine(
+            {s: c for s, c in self.terms.items() if not is_thread_sym(s)}, self.const
+        )
+
+    def drop(self, sym: Tuple) -> "Affine":
+        terms = dict(self.terms)
+        terms.pop(sym, None)
+        return Affine(terms, self.const)
+
+    def coeff(self, sym: Tuple) -> int:
+        return self.terms.get(sym, 0)
+
+    def is_zero(self) -> bool:
+        return not self.terms and self.const == 0
+
+    def key(self) -> Tuple:
+        return (tuple(sorted(self.terms.items())), self.const)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Affine) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        bits = []
+        for s, c in sorted(self.terms.items()):
+            name = {("hid",): "lid0>>1", ("par",): "parity"}.get(s)
+            if name is None:
+                name = f"{s[0]}{s[1]}" if s[0] == "lid" else "u:" + str(s[1:] and s[1] or s[0])
+            bits.append(name if c == 1 else f"{c}*{name}")
+        if self.const or not bits:
+            bits.append(str(self.const))
+        return " + ".join(bits)
+
+
+#: Guard constraint: ``diff <op> 0`` where diff is an Affine.
+Constraint = Tuple[str, Affine]
+
+_NEGATE = {"lt": "ge", "ge": "lt", "le": "gt", "gt": "le", "eq": "ne", "ne": "eq"}
+
+
+def negate_op(op: str) -> str:
+    return _NEGATE[op]
+
+
+# ---------------------------------------------------------------------------
+# The prover
+# ---------------------------------------------------------------------------
+
+SAFE = "safe"
+RACE = "race"
+UNKNOWN = "unknown"
+
+
+@dataclass
+class ThreadModel:
+    """Work-group geometry the prover reasons over.
+
+    ``local_size`` may be ``None`` when the kernel carries no
+    ``metadata['local_size']``; ranges then stay unbounded and only
+    identity/pinning arguments can prove safety.
+    """
+
+    local_size: Optional[Tuple[int, int, int]]
+    wavefront: int = 64
+    #: symbol key -> known non-negative (all ours are; kept for clarity).
+    nonneg: Optional[Dict[Tuple, bool]] = None
+
+    def range_of(self, sym: Tuple) -> Optional[int]:
+        """Exclusive upper bound of a thread symbol, if known."""
+        if self.local_size is None:
+            return 2 if sym == PAR else None
+        if sym[0] == "lid":
+            return self.local_size[sym[1]]
+        if sym == HID:
+            return max(1, self.local_size[0] // 2)
+        if sym == PAR:
+            return 2
+        return None
+
+    def flat_local(self) -> Optional[int]:
+        if self.local_size is None:
+            return None
+        n = 1
+        for d in self.local_size:
+            n *= d
+        return n
+
+    def sym_nonneg(self, sym: Tuple) -> bool:
+        if is_thread_sym(sym):
+            return True
+        return (self.nonneg or {}).get(sym, False)
+
+
+def proves_nonneg(model: ThreadModel, aff: Affine) -> bool:
+    """Sound check that an affine combination is always >= 0."""
+    if aff.const < 0:
+        return False
+    return all(c > 0 and model.sym_nonneg(s) for s, c in aff.terms.items())
+
+
+def _injectivity(model: ThreadModel, thread_terms: Dict[Tuple, int]) -> str:
+    """How much of the thread identity an expression pins down.
+
+    Returns ``"full"`` (equal values force equal work-items),
+    ``"mod_parity"`` (equal values force the same redundant pair — same
+    wavefront, since pairs occupy adjacent lanes), or ``"no"``.
+    """
+    if not thread_terms:
+        return "no"
+    ranges = []
+    for s, c in thread_terms.items():
+        r = model.range_of(s)
+        if r is None:
+            return "no"
+        ranges.append((abs(c), r))
+    # Mixed-radix: sorted by |coeff|, each must exceed the span below it.
+    ranges.sort()
+    span = 0
+    for c, r in ranges:
+        if c <= span:
+            return "no"
+        span += c * (r - 1)
+
+    # Which dimensions does the expression determine?
+    covered_dims = set()
+    has_hid = HID in thread_terms
+    has_par = PAR in thread_terms
+    ls = model.local_size or (None, None, None)
+    for d in range(3):
+        size = ls[d]
+        if size is not None and size <= 1:
+            covered_dims.add(d)      # degenerate dimension: nothing to pin
+        elif lid_sym(d) in thread_terms:
+            covered_dims.add(d)
+    if model.local_size is None:
+        # No geometry: be conservative, require the raw dim-0 ID alone.
+        if set(thread_terms) == {lid_sym(0)}:
+            return "full"
+        if set(thread_terms) <= {HID, PAR} and has_hid:
+            return "full" if has_par else "mod_parity"
+        return "no"
+    if covered_dims == {0, 1, 2}:
+        return "full"
+    if 0 not in covered_dims and has_hid:
+        if covered_dims | {0} == {0, 1, 2}:
+            return "full" if has_par else "mod_parity"
+    return "no"
+
+
+def _bound_candidates(
+    model: ThreadModel, sym: Tuple, guards: Sequence[Constraint], upper: bool
+) -> List[Affine]:
+    """Candidate symbolic bounds for one thread symbol (inclusive)."""
+    out: List[Affine] = []
+    r = model.range_of(sym)
+    if upper and r is not None:
+        out.append(Affine.constant(r - 1))
+    if not upper:
+        out.append(Affine.constant(0))
+    for op, diff in guards:
+        tt = diff.thread_terms()
+        if set(tt) != {sym}:
+            continue
+        c = tt[sym]
+        if abs(c) != 1:
+            continue
+        rest = diff.drop(sym)
+        if c == -1:
+            # -sym + rest <op> 0
+            rest = rest.scale(-1)
+            op = {"lt": "gt", "le": "ge", "gt": "lt", "ge": "le"}.get(op, op)
+        # sym + rest <op> 0  =>  sym <op> -rest
+        limit = rest.scale(-1)
+        if upper:
+            if op == "lt":
+                out.append(limit.add(Affine.constant(-1)))
+            elif op in ("le", "eq"):
+                out.append(limit)
+        else:
+            if op == "gt":
+                out.append(limit.add(Affine.constant(1)))
+            elif op in ("ge", "eq"):
+                out.append(limit)
+    return out
+
+
+def _expr_bounds(
+    model: ThreadModel, expr: Affine, guards: Sequence[Constraint], upper: bool
+) -> List[Affine]:
+    """Candidate inclusive bounds of an expression's value.
+
+    Thread symbols are replaced by their bound candidates; uniform terms
+    ride along symbolically.  Returns a (small) cross-product.
+    """
+    results = [expr.uniform_part()]
+    for sym, c in expr.thread_terms().items():
+        want_upper = upper if c > 0 else not upper
+        cands = _bound_candidates(model, sym, guards, want_upper)
+        if not cands:
+            return []
+        results = [
+            base.add(cand.scale(c)) for base in results for cand in cands
+        ][:16]
+    return results
+
+
+def ranges_disjoint(
+    model: ThreadModel,
+    expr_a: Affine,
+    guards_a: Sequence[Constraint],
+    expr_b: Affine,
+    guards_b: Sequence[Constraint],
+) -> bool:
+    """Prove max(A) < min(B) or max(B) < min(A) symbolically."""
+    for lo_expr, lo_g, hi_expr, hi_g in (
+        (expr_a, guards_a, expr_b, guards_b),
+        (expr_b, guards_b, expr_a, guards_a),
+    ):
+        his = _expr_bounds(model, lo_expr, lo_g, upper=True)
+        los = _expr_bounds(model, hi_expr, hi_g, upper=False)
+        for hi in his:
+            for lo in los:
+                # lo - hi - 1 >= 0  =>  hi < lo
+                if proves_nonneg(model, lo.sub(hi).add(Affine.constant(-1))):
+                    return True
+    return False
+
+
+def pinned_same_thread(
+    guards_a: Sequence[Constraint], guards_b: Sequence[Constraint],
+    model: ThreadModel,
+) -> bool:
+    """Both accesses are pinned to the same single work-item by equality
+    guards with an identical left-hand side (e.g. ``flat_lid == 0``)."""
+    def pins(guards):
+        out = []
+        for op, diff in guards:
+            if op == "eq" and _injectivity(model, diff.thread_terms()) == "full":
+                out.append(diff.key())
+        return set(out)
+
+    pa, pb = pins(guards_a), pins(guards_b)
+    return bool(pa & pb)
+
+
+def _pin_map(guards: Sequence[Constraint]) -> Dict[Tuple, int]:
+    """Thread symbols an equality guard fixes to a concrete value."""
+    pins: Dict[Tuple, int] = {}
+    for op, diff in guards:
+        if op != "eq":
+            continue
+        tt = diff.thread_terms()
+        if len(tt) != 1:
+            continue
+        ((sym, c),) = tt.items()
+        rest = diff.drop(sym)
+        if rest.terms:
+            continue
+        # c*sym + rest.const == 0
+        if (-rest.const) % c:
+            continue
+        pins[sym] = (-rest.const) // c
+    return pins
+
+
+def _subst(expr: Affine, pins: Dict[Tuple, int]) -> Affine:
+    out = expr
+    for sym, val in pins.items():
+        c = out.coeff(sym)
+        if c:
+            out = out.drop(sym).add(Affine.constant(c * val))
+    return out
+
+
+def _resolve_lids(
+    model: ThreadModel, pins: Dict[Tuple, int], parity_equal: bool
+) -> Optional[Tuple]:
+    """Full thread coordinate a pin set determines, if any.
+
+    With ``parity_equal`` (both replicas' private halves, parities known
+    equal) a pinned pair slot alone fixes dimension 0 up to the shared
+    parity, which suffices for a same-thread argument; the slot value is
+    then used in place of ``lid0``.
+    """
+    ls = model.local_size
+    if ls is None:
+        return None
+    lids = []
+    for d in range(3):
+        if ls[d] <= 1:
+            lids.append(0)
+        elif lid_sym(d) in pins:
+            lids.append(pins[lid_sym(d)])
+        elif d == 0 and HID in pins and (PAR in pins or parity_equal):
+            par = pins.get(PAR)
+            lids.append(("hid", pins[HID], par))
+        else:
+            return None
+    return tuple(lids)
+
+
+def same_thread_by_index(
+    model: ThreadModel,
+    expr_a: Affine,
+    guards_a: Sequence[Constraint],
+    expr_b: Affine,
+    guards_b: Sequence[Constraint],
+    parity_equal: bool = False,
+) -> bool:
+    """Prove that index equality forces the two work-items to be the
+    same one.
+
+    Combines equality-guard pins (``lid == 0``) with the collision
+    equation ``expr_a(s) == expr_b(t)`` itself: when one side reduces to
+    a concrete constant under its pins, the other side's remaining
+    single thread symbol is forced, and if both coordinates then resolve
+    identically no *distinct* pair can collide.  This is what proves the
+    classic ``if (lid == 0) out = scratch[0]`` epilogue safe against the
+    tree stores ``scratch[lid]``.
+    """
+    base_a, base_b = _pin_map(guards_a), _pin_map(guards_b)
+    ra, rb = _subst(expr_a, base_a), _subst(expr_b, base_b)
+    if ra.is_const() and rb.is_const() and ra.const != rb.const:
+        return True  # pinned to constant indexes that never collide
+    for x, y, x_is_a in ((ra, rb, True), (rb, ra, False)):
+        if not y.is_const() or x.uniform_part().terms:
+            continue
+        pa, pb = dict(base_a), dict(base_b)
+        tt = x.thread_terms()
+        if len(tt) > 1:
+            continue
+        if len(tt) == 1:
+            ((sym, c),) = tt.items()
+            num = y.const - x.const
+            if num % c:
+                continue
+            (pa if x_is_a else pb)[sym] = num // c
+        ca = _resolve_lids(model, pa, parity_equal)
+        cb = _resolve_lids(model, pb, parity_equal)
+        if ca is not None and ca == cb:
+            return True
+    return False
+
+
+def parity_value(guards: Sequence[Constraint]) -> Optional[int]:
+    """The replica parity a guard set pins the access to, if any."""
+    for op, diff in guards:
+        if set(diff.thread_terms()) == {PAR} and diff.terms.get(PAR) == 1:
+            pinned = -diff.uniform_part().const
+            if diff.uniform_part().terms:
+                continue
+            if op == "eq" and pinned in (0, 1):
+                return pinned
+            if op == "ne" and pinned in (0, 1):
+                return 1 - pinned
+    return None
+
+
+def _guards_concrete(guards: Sequence[Constraint]) -> bool:
+    return all(not diff.uniform_part().terms for _op, diff in guards)
+
+
+def _eval_concrete(aff: Affine, lids: Tuple[int, int, int]) -> int:
+    v = aff.const
+    for s, c in aff.terms.items():
+        if s[0] == "lid":
+            v += c * lids[s[1]]
+        elif s == HID:
+            v += c * (lids[0] >> 1)
+        elif s == PAR:
+            v += c * (lids[0] & 1)
+        else:  # pragma: no cover - callers filter uniform symbols first
+            raise ValueError("uniform symbol in concrete evaluation")
+    return v
+
+
+def _check_concrete(op: str, value: int) -> bool:
+    return {
+        "lt": value < 0, "le": value <= 0, "gt": value > 0,
+        "ge": value >= 0, "eq": value == 0, "ne": value != 0,
+    }[op]
+
+
+def find_witness(
+    model: ThreadModel,
+    expr_a: Affine,
+    guards_a: Sequence[Constraint],
+    expr_b: Affine,
+    guards_b: Sequence[Constraint],
+    limit: int = 1024,
+) -> Optional[Tuple[Tuple[int, int, int], Tuple[int, int, int]]]:
+    """Exhaustively search for two *different-wavefront* work-items whose
+    accesses collide.  Only valid when both expressions and all guards
+    are free of uniform symbols and the geometry is known and small.
+
+    Returns ``None`` either when provably conflict-free (exhausted) or
+    when the search does not apply — callers must distinguish via
+    :func:`witness_applicable`.
+    """
+    if not witness_applicable(model, expr_a, guards_a, expr_b, guards_b, limit):
+        return None
+    ls = model.local_size
+    threads = [
+        (x, y, z)
+        for z in range(ls[2]) for y in range(ls[1]) for x in range(ls[0])
+    ]
+
+    def flat(t):
+        return t[0] + ls[0] * (t[1] + ls[1] * t[2])
+
+    elems_a: Dict[int, List[Tuple[int, int, int]]] = {}
+    for t in threads:
+        if all(_check_concrete(op, _eval_concrete(d, t)) for op, d in guards_a):
+            elems_a.setdefault(_eval_concrete(expr_a, t), []).append(t)
+    for t in threads:
+        if not all(_check_concrete(op, _eval_concrete(d, t)) for op, d in guards_b):
+            continue
+        for other in elems_a.get(_eval_concrete(expr_b, t), ()):
+            if flat(other) // model.wavefront != flat(t) // model.wavefront:
+                return other, t
+    return None
+
+
+def witness_applicable(
+    model: ThreadModel,
+    expr_a: Affine,
+    guards_a: Sequence[Constraint],
+    expr_b: Affine,
+    guards_b: Sequence[Constraint],
+    limit: int = 1024,
+) -> bool:
+    flat = model.flat_local()
+    if flat is None or flat > limit or flat <= model.wavefront:
+        return False
+    return (
+        not expr_a.uniform_part().terms
+        and not expr_b.uniform_part().terms
+        and _guards_concrete(guards_a)
+        and _guards_concrete(guards_b)
+    )
+
+
+def classify_conflict(
+    model: ThreadModel,
+    store_expr: Affine,
+    store_guards: Sequence[Constraint],
+    other_expr: Affine,
+    other_guards: Sequence[Constraint],
+    replica_half: Optional[int] = None,
+):
+    """Decide whether a store/access pair can collide across wavefronts.
+
+    ``replica_half`` is the element count of one replica half when the
+    +LDS transformation doubled this allocation (``nelems // 2``), which
+    enables the private-half separation argument.
+
+    Returns ``(verdict, detail)`` with verdict one of SAFE / RACE /
+    UNKNOWN; RACE carries a concrete witness pair in ``detail``.
+    """
+    if store_expr is None or other_expr is None:
+        return UNKNOWN, "index not statically analyzable"
+
+    flat = model.flat_local()
+    if flat is not None and flat <= model.wavefront:
+        return SAFE, "work-group fits in one wavefront (lockstep)"
+
+    ea, eb = store_expr, other_expr
+    parity_forced_equal = False
+    half_a, half_b = ea.coeff(PAR), eb.coeff(PAR)
+    if replica_half and half_a == half_b == replica_half:
+        # Both replicas index private halves: cross-parity accesses are
+        # separated by construction; only same-parity pairs remain.
+        ea, eb = ea.drop(PAR), eb.drop(PAR)
+        parity_forced_equal = True
+
+    pa, pb = parity_value(store_guards), parity_value(other_guards)
+    if parity_forced_equal and pa is not None and pb is not None and pa != pb:
+        return SAFE, "replica halves private and parities differ"
+
+    if pinned_same_thread(store_guards, other_guards, model):
+        return SAFE, "both accesses pinned to the same single work-item"
+
+    if same_thread_by_index(
+        model, ea, store_guards, eb, other_guards,
+        parity_equal=parity_forced_equal,
+    ):
+        return SAFE, "colliding work-items are provably the same work-item"
+
+    diff = eb.sub(ea)
+    if not diff.thread_terms():
+        if diff.is_zero():
+            inj = _injectivity(model, ea.thread_terms())
+            if inj == "full":
+                return SAFE, "identical index expression, one element per work-item"
+            if inj == "mod_parity" or (parity_forced_equal and inj != "no"):
+                return SAFE, (
+                    "identical index expression; colliding work-items form a "
+                    "redundant pair in one wavefront"
+                )
+        if ranges_disjoint(model, ea, store_guards, eb, other_guards):
+            return SAFE, "index ranges provably disjoint"
+    else:
+        if ranges_disjoint(model, ea, store_guards, eb, other_guards):
+            return SAFE, "index ranges provably disjoint"
+
+    if witness_applicable(model, ea, store_guards, eb, other_guards):
+        w = find_witness(model, ea, store_guards, eb, other_guards)
+        if w is None:
+            return SAFE, "exhaustive enumeration found no cross-wavefront collision"
+        return RACE, w
+    return UNKNOWN, "cannot prove work-items access distinct elements"

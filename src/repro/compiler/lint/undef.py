@@ -1,0 +1,130 @@
+"""Dominance-based undefined-register-use checker.
+
+Replaces the program-order heuristic in :mod:`repro.ir.verify` — which
+treats a write in *either* arm of an ``If`` as defining — with the
+definite-assignment (forward *must*) analysis over the CFG: a read is
+flagged unless a definition reaches it on **every** incoming path,
+including the zero-trip path around a ``While``.
+
+One deliberate concession to the non-SSA IR's C-like idiom: a value
+defined under ``if (p)`` and read under a *later* ``if (p)`` with the
+same (single-assignment) predicate register is dynamically fine — the
+guard correlates — so such violations are suppressed.  The DWT kernel's
+per-level active-lane pattern relies on this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ...ir.core import If, Instr, Stmt, VReg, While, walk_instrs
+from ..analysis.dataflow import definite_assignment
+from .diagnostics import ERROR, Diagnostic
+from .engine import LintContext
+
+_CHECKER = "undef"
+
+#: Guard-stack element: (id(cond reg), tag) where tag distinguishes
+#: then/else arms and loop bodies.
+_Guard = Tuple[int, str]
+
+
+def check_undefined_uses(ctx: LintContext) -> List[Diagnostic]:
+    da = definite_assignment(ctx.cfg)
+    if not da.violations and not da.cond_violations:
+        return []
+
+    order: Dict[int, int] = {}
+    guards: Dict[int, Tuple[_Guard, ...]] = {}
+    defs_by_reg: Dict[int, List[Tuple[int, Tuple[_Guard, ...]]]] = {}
+    def_counts: Dict[int, int] = {}
+    _index_body(ctx.kernel.body, (), order, guards, defs_by_reg)
+    for instr in walk_instrs(ctx.kernel.body):
+        for dst in instr.dests():
+            def_counts[id(dst)] = def_counts.get(id(dst), 0) + 1
+
+    diags: List[Diagnostic] = []
+    seen = set()
+    for instr, reg, loc in da.violations:
+        if _suppressed(instr, reg, order, guards, defs_by_reg, def_counts):
+            continue
+        key = (id(instr), id(reg))
+        if key in seen:
+            continue
+        seen.add(key)
+        diags.append(
+            ctx.diag(
+                _CHECKER,
+                ERROR,
+                str(loc),
+                f"{instr!r} reads {reg!r}, which is not definitely "
+                "assigned on every path to this use",
+            )
+        )
+    for _bid, reg, loc in da.cond_violations:
+        key = ("cond", id(reg), str(loc))
+        if key in seen:
+            continue
+        seen.add(key)
+        diags.append(
+            ctx.diag(
+                _CHECKER,
+                ERROR,
+                str(loc),
+                f"branch condition reads {reg!r}, which is not definitely "
+                "assigned on every path to this use",
+            )
+        )
+    return diags
+
+
+def _index_body(
+    body: List[Stmt],
+    stack: Tuple[_Guard, ...],
+    order: Dict[int, int],
+    guards: Dict[int, Tuple[_Guard, ...]],
+    defs_by_reg: Dict[int, List[Tuple[int, Tuple[_Guard, ...]]]],
+) -> None:
+    for stmt in body:
+        if isinstance(stmt, If):
+            _index_body(stmt.then_body, stack + ((id(stmt.cond), "then"),),
+                        order, guards, defs_by_reg)
+            _index_body(stmt.else_body, stack + ((id(stmt.cond), "else"),),
+                        order, guards, defs_by_reg)
+        elif isinstance(stmt, While):
+            _index_body(stmt.cond_block, stack + ((id(stmt.cond), "loop"),),
+                        order, guards, defs_by_reg)
+            _index_body(stmt.body, stack + ((id(stmt.cond), "loop"),),
+                        order, guards, defs_by_reg)
+        else:
+            seq = len(order)
+            order[id(stmt)] = seq
+            guards[id(stmt)] = stack
+            for dst in stmt.dests():
+                defs_by_reg.setdefault(id(dst), []).append((seq, stack))
+
+
+def _suppressed(
+    use: Instr,
+    reg: VReg,
+    order: Dict[int, int],
+    guards: Dict[int, Tuple[_Guard, ...]],
+    defs_by_reg: Dict[int, List[Tuple[int, Tuple[_Guard, ...]]]],
+    def_counts: Dict[int, int],
+) -> bool:
+    """Guard-correlated conditional definition preceding the use."""
+    use_seq = order.get(id(use))
+    if use_seq is None:
+        return False
+    use_guards = set(guards.get(id(use), ()))
+    for def_seq, def_guards in defs_by_reg.get(id(reg), ()):
+        if def_seq >= use_seq:
+            continue
+        if not set(def_guards) <= use_guards:
+            continue
+        # The correlation is only meaningful if every guarding predicate
+        # still holds the value it had at the definition: require each
+        # cond register to be single-assignment.
+        if all(def_counts.get(cid, 0) == 1 for cid, _tag in def_guards):
+            return True
+    return False

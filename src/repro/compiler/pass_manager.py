@@ -45,11 +45,21 @@ class Pass:
 
 
 class PassManager:
-    """Runs a pass pipeline with verification between stages."""
+    """Runs a pass pipeline with verification between stages.
 
-    def __init__(self, passes: Sequence[Pass], verify: bool = True):
+    With ``lint=True`` the static lint suite (barrier divergence, LDS
+    races, definite assignment, RMT SoR coverage) runs once over the
+    final kernel as post-pass verification; lint errors raise
+    :class:`~repro.compiler.lint.LintError`, a
+    :class:`~repro.ir.verify.VerificationError` subclass.
+    """
+
+    def __init__(
+        self, passes: Sequence[Pass], verify: bool = True, lint: bool = False
+    ):
         self.passes = list(passes)
         self.verify = verify
+        self.lint = lint
 
     def run(self, kernel: Kernel) -> Kernel:
         """Clone the input, run every pass, verify after each."""
@@ -60,4 +70,8 @@ class PassManager:
             result = p.run(result)
             if self.verify:
                 verify_kernel(result)
+        if self.lint:
+            from .lint import check_kernel  # lazy: lint imports analyses
+
+            check_kernel(result)
         return result

@@ -76,12 +76,16 @@ def compile_kernel(
     communication: bool = True,
     verify: bool = True,
     optimize: bool = False,
+    lint: bool = True,
 ) -> CompiledKernel:
     """Run the pipeline for one kernel/variant pair.
 
     ``optimize=True`` appends the cleanup pipeline (constant folding,
     CSE, DCE) after the RMT transformation, reducing the transformed
     kernel's register pressure the way a production backend would.
+
+    ``lint=False`` opts out of the post-pass static lint suite (see
+    :mod:`repro.compiler.lint`); lint also requires ``verify``.
     """
     from .passes.optimize import (
         CommonSubexpressionPass,
@@ -99,7 +103,7 @@ def compile_kernel(
             CommonSubexpressionPass(),
             DeadCodeEliminationPass(),
         ])
-    pm = PassManager(passes, verify=verify)
+    pm = PassManager(passes, verify=verify, lint=lint and verify)
     transformed = pm.run(kernel)
     uniformity = analyze_uniformity(transformed)
     resources = estimate_resources(transformed, uniformity)

@@ -6,7 +6,7 @@ surface here instead of deep inside the simulator.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Set
+from typing import List, Optional, Sequence, Set
 
 from .core import (
     AtomicGlobal,
@@ -28,7 +28,15 @@ from .types import DType
 
 
 class VerificationError(Exception):
-    """Raised when a kernel fails structural verification."""
+    """Raised when a kernel fails structural verification.
+
+    ``errors`` holds every individual failure (the message shows only a
+    prefix of them, plus the total count).
+    """
+
+    def __init__(self, message: str, errors: Optional[Sequence[str]] = None):
+        super().__init__(message)
+        self.errors: List[str] = list(errors) if errors is not None else []
 
 
 def verify_kernel(kernel: Kernel) -> None:
@@ -46,8 +54,13 @@ def verify_kernel(kernel: Kernel) -> None:
     checker = _Checker(kernel)
     checker.check_body(kernel.body, set())
     if checker.errors:
+        n = len(checker.errors)
+        shown = "; ".join(checker.errors[:10])
+        if n > 10:
+            shown += f"; ... ({n - 10} more)"
         raise VerificationError(
-            f"kernel {kernel.name!r}: " + "; ".join(checker.errors[:10])
+            f"kernel {kernel.name!r}: {n} error(s): {shown}",
+            errors=checker.errors,
         )
 
 

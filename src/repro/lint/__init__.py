@@ -1,0 +1,126 @@
+"""Command-line front end for the static lint suite.
+
+``python -m repro.lint`` compiles every suite kernel under every RMT
+variant and reports the diagnostics from
+:mod:`repro.compiler.lint` with kernel/statement locations.  Exit
+status is non-zero when any error-severity diagnostic is produced, so
+CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from ..compiler.lint import ERROR, Diagnostic, checker_names, run_lints
+from ..compiler.pipeline import RMT_VARIANTS, compile_kernel
+from ..ir.verify import VerificationError
+from ..kernels.suite import all_abbrevs, make_benchmark
+
+
+def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Run the static lint suite over benchmark kernels.",
+    )
+    parser.add_argument(
+        "--scale", choices=("small", "paper"), default="small",
+        help="benchmark problem sizes (default: small)",
+    )
+    parser.add_argument(
+        "--kernels", default=None,
+        help="comma-separated benchmark abbreviations (default: all)",
+    )
+    parser.add_argument(
+        "--variants", default=None,
+        help=f"comma-separated RMT variants (default: all of "
+             f"{', '.join(RMT_VARIANTS)})",
+    )
+    parser.add_argument(
+        "--checkers", default=None,
+        help=f"comma-separated checkers (default: all of "
+             f"{', '.join(checker_names())})",
+    )
+    parser.add_argument(
+        "--optimize", action="store_true",
+        help="also run the cleanup pipeline (fold/CSE/DCE) before linting",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as errors for the exit status",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="print only diagnostics and the summary line",
+    )
+    return parser.parse_args(argv)
+
+
+def _split(arg: Optional[str]) -> Optional[List[str]]:
+    if arg is None:
+        return None
+    return [x.strip() for x in arg.split(",") if x.strip()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parse_args(argv)
+    abbrevs = _split(args.kernels) or all_abbrevs()
+    variants = _split(args.variants) or list(RMT_VARIANTS)
+    checkers = _split(args.checkers)
+
+    bad = [v for v in variants if v not in RMT_VARIANTS]
+    if bad:
+        print(f"unknown variant(s): {', '.join(bad)}", file=sys.stderr)
+        return 2
+    if checkers is not None:
+        known = set(checker_names())
+        bad = [c for c in checkers if c not in known]
+        if bad:
+            print(
+                f"unknown checker(s): {', '.join(bad)}; "
+                f"have {', '.join(checker_names())}",
+                file=sys.stderr,
+            )
+            return 2
+
+    diagnostics: List[Diagnostic] = []
+    failures = 0
+    checked = 0
+    for abbrev in abbrevs:
+        try:
+            kernel = make_benchmark(abbrev, scale=args.scale).build()
+        except KeyError as exc:
+            print(f"unknown kernel {abbrev!r}: {exc}", file=sys.stderr)
+            return 2
+        for variant in variants:
+            checked += 1
+            target = f"{abbrev}/{variant}"
+            try:
+                # Lint is decoupled from compilation here so one failing
+                # kernel still reports every diagnostic it has.
+                compiled = compile_kernel(
+                    kernel, variant, optimize=args.optimize, lint=False
+                )
+            except VerificationError as exc:
+                failures += 1
+                print(f"{target}: verification failed: {exc}")
+                continue
+            diags = run_lints(compiled.kernel, checkers)
+            diagnostics.extend(diags)
+            for d in diags:
+                print(f"{target}: {d}")
+            if not args.quiet and not diags:
+                print(f"{target}: ok")
+
+    errors = sum(1 for d in diagnostics if d.severity == ERROR)
+    warnings_ = len(diagnostics) - errors
+    print(
+        f"linted {checked} kernel/variant pair(s): {errors} error(s), "
+        f"{warnings_} warning(s), {failures} verification failure(s)"
+    )
+    if errors or failures:
+        return 1
+    if args.strict and warnings_:
+        return 1
+    return 0

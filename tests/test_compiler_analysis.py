@@ -81,6 +81,52 @@ class TestUniformity:
         info = analyze_uniformity(k)
         assert not info.is_uniform(v)
 
+    def test_deep_copy_chain_converges_without_warning(self):
+        """A long copy chain with a late demotion converges cleanly: the
+        copies read the value *before* the non-uniform redefinition, so
+        they stay uniform while the redefined register is demoted."""
+        import warnings
+
+        b = KernelBuilder("k")
+        out = b.buffer_param("out", DType.U32)
+        v = b.var(DType.U32, 0)
+        chain = [b.mov(v)]
+        for _ in range(11):
+            chain.append(b.mov(chain[-1]))
+        b.set(v, b.global_id(0))
+        b.store(out, b.global_id(0), chain[-1])
+        k = b.finish()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            info = analyze_uniformity(k)
+        assert not info.is_uniform(v)
+        assert all(info.is_uniform(r) for r in chain)
+
+    def test_nonconvergence_bound_warns(self, monkeypatch):
+        """If the fixpoint never stabilizes (analysis bug), the generous
+        iteration bound trips and warns instead of looping forever or —
+        as the old hard-coded ``range(8)`` did — silently returning a
+        half-converged result."""
+        from repro.compiler.analysis import uniformity as uniformity_mod
+
+        real_walk = uniformity_mod._walk
+        state = {"tick": 0}
+
+        def flapping_walk(body, info, divergent):
+            real_walk(body, info, divergent)
+            state["tick"] += 1
+            if state["tick"] % 2:
+                info.uniform_regs.add(-1)  # sentinel: never stabilizes
+            else:
+                info.uniform_regs.discard(-1)
+
+        monkeypatch.setattr(uniformity_mod, "_walk", flapping_walk)
+        b = KernelBuilder("k")
+        b.global_id(0)
+        k = b.finish()
+        with pytest.warns(RuntimeWarning, match="did not converge"):
+            uniformity_mod.analyze_uniformity(k)
+
     def test_uniform_loop_counter_scalar(self):
         b = KernelBuilder("k")
         out = b.buffer_param("out", DType.U32)

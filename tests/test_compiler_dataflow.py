@@ -1,0 +1,253 @@
+"""Tests for the CFG/dataflow framework behind the lint suite."""
+
+import pytest
+
+from repro.compiler.analysis.dataflow import (
+    barrier_free_path,
+    barrier_intervals,
+    build_cfg,
+    compute_dominators,
+    definite_assignment,
+    dominates,
+    liveness,
+    reaching_definitions,
+)
+from repro.ir import DType, KernelBuilder
+from repro.ir.core import LoadLocal, StoreGlobal, StoreLocal, walk_instrs
+
+
+def _straightline():
+    b = KernelBuilder("straight")
+    out = b.buffer_param("out", DType.U32)
+    gid = b.global_id(0)
+    x = b.add(gid, 1)
+    b.store(out, gid, x)
+    return b.finish(), gid, x
+
+
+def _diamond():
+    b = KernelBuilder("diamond")
+    out = b.buffer_param("out", DType.U32)
+    gid = b.global_id(0)
+    cond = b.lt(gid, 4)
+    v = b.var(DType.U32, 0)
+    with b.if_else(cond) as orelse:
+        b.set(v, 1)
+        with orelse():
+            b.set(v, 2)
+    b.store(out, gid, v)
+    return b.finish(), v
+
+
+def _loop_kernel():
+    b = KernelBuilder("looped")
+    out = b.buffer_param("out", DType.U32)
+    gid = b.global_id(0)
+    i = b.var(DType.U32, 0)
+    with b.loop() as lp:
+        lp.break_unless(b.lt(i, 8))
+        b.set(i, b.add(i, 1))
+    b.store(out, gid, i)
+    return b.finish(), i
+
+
+class TestCfg:
+    def test_straightline_single_path(self):
+        k, _gid, _x = _straightline()
+        cfg = build_cfg(k)
+        instrs = list(cfg.iter_instrs())
+        assert len(instrs) == len(k.body)
+        # entry reaches exit
+        assert cfg.entry != cfg.exit
+
+    def test_if_produces_branch_and_join(self):
+        k, _v = _diamond()
+        cfg = build_cfg(k)
+        branch_blocks = [blk for blk in cfg.blocks if len(blk.succs) == 2]
+        join_blocks = [blk for blk in cfg.blocks if len(blk.preds) == 2]
+        assert branch_blocks and join_blocks
+
+    def test_while_produces_back_edge(self):
+        k, _i = _loop_kernel()
+        cfg = build_cfg(k)
+        rpo_pos = {bid: n for n, bid in enumerate(cfg.rpo())}
+        back_edges = [
+            (blk.bid, s)
+            for blk in cfg.blocks
+            for s in blk.succs
+            if rpo_pos.get(s, 0) <= rpo_pos.get(blk.bid, 0)
+        ]
+        assert back_edges
+
+    def test_locs_render_structured_paths(self):
+        k, _v = _diamond()
+        cfg = build_cfg(k)
+        rendered = {str(loc) for _bid, _instr, loc in cfg.iter_instrs()}
+        assert any(".then" in r for r in rendered)
+        assert any(".else" in r for r in rendered)
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        k, _v = _diamond()
+        cfg = build_cfg(k)
+        dom = compute_dominators(cfg)
+        for blk in cfg.blocks:
+            assert dominates(dom, cfg.entry, blk.bid)
+
+    def test_branch_arm_does_not_dominate_join(self):
+        k, _v = _diamond()
+        cfg = build_cfg(k)
+        dom = compute_dominators(cfg)
+        join = next(blk.bid for blk in cfg.blocks if len(blk.preds) == 2)
+        for pred in cfg.blocks[join].preds:
+            if pred != cfg.entry:
+                assert not dominates(dom, pred, join) or len(
+                    cfg.blocks[join].preds
+                ) == 1
+
+
+class TestReachingDefs:
+    def test_both_arm_defs_reach_join_use(self):
+        k, v = _diamond()
+        cfg = build_cfg(k)
+        rd = reaching_definitions(cfg)
+        store = k.body[-1]
+        sites = rd.reaching(store, v)
+        # Both arms assign, killing the initializer on every path.
+        assert len(sites) == 2
+        assert {s.block for s in sites} != {cfg.entry}
+
+    def test_straightline_single_def(self):
+        k, _gid, x = _straightline()
+        cfg = build_cfg(k)
+        rd = reaching_definitions(cfg)
+        store = k.body[-1]
+        assert len(rd.reaching(store, x)) == 1
+
+
+class TestLiveness:
+    def _branch_use(self):
+        b = KernelBuilder("live")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        x = b.add(gid, 1)
+        with b.if_(b.lt(gid, 4)):
+            b.store(out, gid, x)
+        k = b.finish()
+        cfg = build_cfg(k)
+        store = next(
+            i for i in walk_instrs(k.body) if isinstance(i, StoreGlobal)
+        )
+        store_bid = next(
+            blk.bid
+            for blk in cfg.blocks
+            if any(instr is store for instr, _loc in blk.instrs)
+        )
+        return cfg, x, store_bid
+
+    def test_value_live_across_branch(self):
+        cfg, x, _store_bid = self._branch_use()
+        lv = liveness(cfg)
+        assert x in lv.regs_out(cfg.entry)
+
+    def test_dead_after_last_use(self):
+        cfg, x, store_bid = self._branch_use()
+        lv = liveness(cfg)
+        assert x not in lv.regs_out(store_bid)
+
+    def test_loop_carried_value_live_around_back_edge(self):
+        k, i = _loop_kernel()
+        cfg = build_cfg(k)
+        lv = liveness(cfg)
+        assert lv.max_live() >= 1
+
+
+class TestDefiniteAssignment:
+    def test_both_arms_definite(self):
+        k, _v = _diamond()
+        cfg = build_cfg(k)
+        da = definite_assignment(cfg)
+        assert not da.violations
+
+    def test_one_arm_not_definite(self):
+        b = KernelBuilder("halfdef")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        cond = b.lt(gid, 4)
+        holder = {}
+        with b.if_(cond):
+            holder["v"] = b.add(gid, 1)
+        b.store(out, gid, holder["v"])
+        k = b.finish()
+        cfg = build_cfg(k)
+        da = definite_assignment(cfg)
+        assert any(reg is holder["v"] for _i, reg, _l in da.violations)
+
+    def test_zero_trip_loop_def_not_definite(self):
+        b = KernelBuilder("zerotrip")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        i = b.var(DType.U32, 0)
+        holder = {}
+        with b.loop() as lp:
+            lp.break_unless(b.lt(i, 8))
+            holder["v"] = b.add(i, 3)
+            b.set(i, b.add(i, 1))
+        b.store(out, gid, holder["v"])
+        k = b.finish()
+        da = definite_assignment(build_cfg(k))
+        assert any(reg is holder["v"] for _i, reg, _l in da.violations)
+
+
+class TestBarrierIntervals:
+    def _barriered(self):
+        b = KernelBuilder("sync")
+        lds = b.local_alloc("buf", DType.U32, 64)
+        lid = b.local_id(0)
+        b.store_local(lds, lid, lid)
+        b.barrier()
+        b.load_local(lds, b.const(0, DType.U32))
+        k = b.finish()
+        store_i = next(i for i in walk_instrs(k.body) if isinstance(i, StoreLocal))
+        load_i = next(i for i in walk_instrs(k.body) if isinstance(i, LoadLocal))
+        return k, store_i, load_i
+
+    def test_barrier_separates(self):
+        k, store_i, load_i = self._barriered()
+        iv = barrier_intervals(build_cfg(k))
+        assert not iv.may_share_interval(store_i, load_i)
+
+    def test_same_interval_shares(self):
+        k, store_i, _load = self._barriered()
+        iv = barrier_intervals(build_cfg(k))
+        assert iv.may_share_interval(store_i, store_i)
+
+    def test_barrier_free_path_direct(self):
+        k, store_i, load_i = self._barriered()
+        cfg = build_cfg(k)
+        assert not barrier_free_path(cfg, store_i, load_i)
+        assert not barrier_free_path(cfg, load_i, store_i)
+
+    def test_loop_trailing_barrier_separates_epilogue(self):
+        """A loop-body store followed by the loop's barrier can never
+        share an interval with a post-loop read — the reduction shape."""
+        b = KernelBuilder("tree")
+        lds = b.local_alloc("buf", DType.U32, 64)
+        lid = b.local_id(0)
+        stride = b.var(DType.U32, 32, hint="stride")
+        with b.loop() as lp:
+            lp.break_unless(b.gt(stride, 0))
+            with b.if_(b.lt(lid, stride)):
+                b.store_local(lds, lid, lid)
+            b.barrier()
+            b.set(stride, b.shr(stride, 1))
+        b.load_local(lds, b.const(0, DType.U32))
+        k = b.finish()
+        cfg = build_cfg(k)
+        store_i = next(i for i in walk_instrs(k.body) if isinstance(i, StoreLocal))
+        load_i = next(i for i in walk_instrs(k.body) if isinstance(i, LoadLocal))
+        assert not barrier_free_path(cfg, store_i, load_i)
+        assert not barrier_free_path(cfg, load_i, store_i)
+        # ... while the in-loop loads DO share an interval with the store.
+        assert barrier_free_path(cfg, store_i, store_i)

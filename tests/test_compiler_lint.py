@@ -1,0 +1,435 @@
+"""Tests for the RMT correctness lint suite.
+
+Each checker gets at least one seeded violation that the structural
+verifier (``verify_kernel``) accepts — the lint suite exists precisely
+to catch what that program-order checker cannot.
+"""
+
+import pytest
+
+from repro.compiler import compile_kernel
+from repro.compiler.lint import (
+    ERROR,
+    LintError,
+    check_kernel,
+    checker_names,
+    run_lints,
+)
+from repro.compiler.pipeline import RMT_VARIANTS
+from repro.ir import DType, KernelBuilder
+from repro.ir.core import (
+    Alu,
+    If,
+    ReportError,
+    StoreGlobal,
+    StoreLocal,
+    walk_instrs,
+    walk_stmts,
+)
+from repro.ir.verify import VerificationError, verify_kernel
+from repro.kernels.suite import all_abbrevs, make_benchmark
+
+
+def _errors(diags, checker=None):
+    return [
+        d
+        for d in diags
+        if d.severity == ERROR and (checker is None or d.checker == checker)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# barrier-divergence
+# ---------------------------------------------------------------------------
+
+
+class TestBarrierDivergence:
+    def _divergent_barrier_kernel(self, local_size):
+        b = KernelBuilder("divbar")
+        lds = b.local_alloc("buf", DType.U32, 128)
+        lid = b.local_id(0)
+        with b.if_(b.lt(lid, 16)):
+            b.store_local(lds, lid, lid)
+            b.barrier()
+        k = b.finish()
+        k.metadata["local_size"] = local_size
+        return k
+
+    def test_divergent_barrier_flagged(self):
+        k = self._divergent_barrier_kernel((128, 1, 1))
+        verify_kernel(k)  # the structural verifier accepts this
+        diags = run_lints(k, ["barrier-divergence"])
+        assert _errors(diags, "barrier-divergence")
+
+    def test_single_wavefront_group_exempt(self):
+        k = self._divergent_barrier_kernel((64, 1, 1))
+        assert not run_lints(k, ["barrier-divergence"])
+
+    def test_uniform_condition_ok(self):
+        b = KernelBuilder("unibar")
+        lds = b.local_alloc("buf", DType.U32, 128)
+        n = b.scalar_param("n", DType.U32)
+        lid = b.local_id(0)
+        with b.if_(b.gt(n, 4)):
+            b.store_local(lds, lid, lid)
+            b.barrier()
+        k = b.finish()
+        k.metadata["local_size"] = (128, 1, 1)
+        assert not run_lints(k, ["barrier-divergence"])
+
+    def test_divergent_while_flagged(self):
+        b = KernelBuilder("divloop")
+        b.local_alloc("buf", DType.U32, 128)
+        lid = b.local_id(0)
+        i = b.var(DType.U32, 0)
+        with b.loop() as lp:
+            lp.break_unless(b.lt(i, lid))  # trip count varies per lane
+            b.barrier()
+            b.set(i, b.add(i, 1))
+        k = b.finish()
+        k.metadata["local_size"] = (128, 1, 1)
+        verify_kernel(k)
+        assert _errors(run_lints(k, ["barrier-divergence"]))
+
+
+# ---------------------------------------------------------------------------
+# lds-race
+# ---------------------------------------------------------------------------
+
+
+class TestLdsRace:
+    def test_all_lanes_store_same_element_races(self):
+        b = KernelBuilder("collide")
+        lds = b.local_alloc("buf", DType.U32, 64)
+        lid = b.local_id(0)
+        b.store_local(lds, b.const(0, DType.U32), lid)
+        k = b.finish()
+        k.metadata["local_size"] = (128, 1, 1)
+        verify_kernel(k)  # structurally fine; dynamically a race
+        errs = _errors(run_lints(k, ["lds-race"]), "lds-race")
+        assert errs
+        assert "witness" in errs[0].message
+
+    def test_per_lane_elements_safe(self):
+        b = KernelBuilder("private")
+        lds = b.local_alloc("buf", DType.U32, 128)
+        lid = b.local_id(0)
+        b.store_local(lds, lid, lid)
+        b.load_local(lds, lid)
+        k = b.finish()
+        k.metadata["local_size"] = (128, 1, 1)
+        assert not run_lints(k, ["lds-race"])
+
+    def test_barrier_between_conflicting_accesses_ok(self):
+        b = KernelBuilder("synced")
+        lds = b.local_alloc("buf", DType.U32, 128)
+        lid = b.local_id(0)
+        b.store_local(lds, lid, lid)
+        b.barrier()
+        b.load_local(lds, b.const(0, DType.U32))
+        k = b.finish()
+        k.metadata["local_size"] = (128, 1, 1)
+        assert not run_lints(k, ["lds-race"])
+
+    def test_missing_barrier_before_shared_read_races(self):
+        """The reduction pattern with the barrier removed."""
+        b = KernelBuilder("nosync")
+        lds = b.local_alloc("buf", DType.U32, 128)
+        lid = b.local_id(0)
+        b.store_local(lds, lid, lid)
+        b.load_local(lds, b.const(0, DType.U32))  # no barrier!
+        k = b.finish()
+        k.metadata["local_size"] = (128, 1, 1)
+        verify_kernel(k)
+        assert _errors(run_lints(k, ["lds-race"]), "lds-race")
+
+    def test_single_wavefront_lockstep_exempt(self):
+        b = KernelBuilder("lockstep")
+        lds = b.local_alloc("buf", DType.U32, 64)
+        lid = b.local_id(0)
+        b.store_local(lds, b.const(0, DType.U32), lid)
+        k = b.finish()
+        k.metadata["local_size"] = (64, 1, 1)
+        assert not run_lints(k, ["lds-race"])
+
+    def test_unanalyzable_index_warns_not_errors(self):
+        b = KernelBuilder("scatter")
+        perm = b.buffer_param("perm", DType.U32)
+        lds = b.local_alloc("buf", DType.U32, 128)
+        lid = b.local_id(0)
+        target = b.load(perm, lid)
+        b.store_local(lds, target, lid)
+        k = b.finish()
+        k.metadata["local_size"] = (128, 1, 1)
+        diags = run_lints(k, ["lds-race"])
+        assert diags and not _errors(diags)
+
+    def test_reduction_tree_proved_safe(self):
+        k = make_benchmark("R", scale="small").build()
+        assert not run_lints(k, ["lds-race"])
+
+
+# ---------------------------------------------------------------------------
+# undef
+# ---------------------------------------------------------------------------
+
+
+class TestUndef:
+    def test_one_arm_definition_flagged(self):
+        b = KernelBuilder("halfdef")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        holder = {}
+        with b.if_(b.lt(gid, 4)):
+            holder["v"] = b.add(gid, 1)
+        b.store(out, gid, holder["v"])
+        k = b.finish()
+        verify_kernel(k)  # program-order heuristic accepts either-arm defs
+        assert _errors(run_lints(k, ["undef"]), "undef")
+
+    def test_both_arm_definition_ok(self):
+        b = KernelBuilder("bothdef")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        v = b.var(DType.U32, 0)
+        with b.if_(b.lt(gid, 4)):
+            b.set(v, 1)
+        b.store(out, gid, v)
+        k = b.finish()
+        assert not run_lints(k, ["undef"])
+
+    def test_guard_correlated_definition_suppressed(self):
+        """The DWT idiom: def and use under later tests of one predicate."""
+        b = KernelBuilder("corr")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        active = b.lt(gid, 4)
+        holder = {}
+        with b.if_(active):
+            holder["v"] = b.add(gid, 1)
+        with b.if_(active):
+            b.store(out, gid, holder["v"])
+        k = b.finish()
+        assert not run_lints(k, ["undef"])
+
+    def test_zero_trip_loop_definition_flagged(self):
+        b = KernelBuilder("zerotrip")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        n = b.scalar_param("n", DType.U32)
+        i = b.var(DType.U32, 0)
+        holder = {}
+        with b.loop() as lp:
+            lp.break_unless(b.lt(i, n))
+            holder["v"] = b.add(i, 7)
+            b.set(i, b.add(i, 1))
+        b.store(out, gid, holder["v"])
+        k = b.finish()
+        verify_kernel(k)
+        assert _errors(run_lints(k, ["undef"]), "undef")
+
+
+# ---------------------------------------------------------------------------
+# sor-coverage (with hand-corrupted RMT output)
+# ---------------------------------------------------------------------------
+
+
+def _transformed(abbrev, variant, **kwargs):
+    k = make_benchmark(abbrev, scale="small").build()
+    return compile_kernel(k, variant, lint=False, **kwargs).kernel
+
+
+class TestSorCoverage:
+    def test_intact_variants_pass(self):
+        for variant in ("intra+lds", "intra-lds", "inter"):
+            k = _transformed("R", variant)
+            assert not run_lints(k, ["sor-coverage"])
+
+    def test_untransformed_kernel_skipped(self):
+        k = make_benchmark("R", scale="small").build()
+        assert not run_lints(k, ["sor-coverage"])
+
+    def test_dropped_output_comparison_rejected(self):
+        """Corrupt the pass output: delete the mismatch handler."""
+        k = _transformed("MM", "intra+lds")
+
+        def drop_handler(body):
+            for stmt in body:
+                if isinstance(stmt, If):
+                    for sub in (stmt.then_body, stmt.else_body):
+                        for s in list(sub):
+                            if isinstance(s, If) and any(
+                                isinstance(x, ReportError)
+                                for x in walk_stmts(s.then_body)
+                            ):
+                                sub.remove(s)
+                                return True
+                        if drop_handler(sub):
+                            return True
+            return False
+
+        assert drop_handler(k.body)
+        verify_kernel(k)  # still structurally valid
+        errs = _errors(run_lints(k, ["sor-coverage"]), "sor-coverage")
+        assert errs
+        assert "no output comparison" in errs[0].message
+
+    def test_unguarded_store_rejected(self):
+        """Corrupt the pass output: hoist the store out of the consumer
+        predicate so both replicas write."""
+        k = _transformed("R", "inter")
+
+        def hoist(body):
+            for pos, stmt in enumerate(body):
+                if isinstance(stmt, If):
+                    inner = [
+                        s
+                        for s in stmt.then_body
+                        if isinstance(s, StoreGlobal)
+                        and not s.buf.name.startswith("__rmt_")
+                    ]
+                    if inner and not stmt.else_body:
+                        body[pos:pos + 1] = list(stmt.then_body)
+                        return True
+                    if hoist(stmt.then_body) or hoist(stmt.else_body):
+                        return True
+            return False
+
+        assert hoist(k.body)
+        verify_kernel(k)
+        errs = _errors(run_lints(k, ["sor-coverage"]), "sor-coverage")
+        assert errs
+
+    def test_skipped_lds_remap_rejected(self):
+        """Corrupt the pass output: undo one LDS replica-half remap."""
+        k = _transformed("R", "intra+lds")
+        defs = {}
+        for instr in walk_instrs(k.body):
+            for dst in instr.dests():
+                defs.setdefault(id(dst), instr)
+        corrupted = False
+        for instr in walk_instrs(k.body):
+            if isinstance(instr, StoreLocal) and not instr.lds.name.startswith(
+                "__rmt_"
+            ):
+                d = defs.get(id(instr.index))
+                if isinstance(d, Alu) and d.op == "add":
+                    instr.index = d.a  # strip the parity*half offset
+                    corrupted = True
+                    break
+        assert corrupted
+        verify_kernel(k)
+        diags = run_lints(k, ["sor-coverage"])
+        errs = _errors(diags, "sor-coverage")
+        assert errs
+        assert "replica half" in errs[0].message
+
+
+# ---------------------------------------------------------------------------
+# engine / pipeline wiring
+# ---------------------------------------------------------------------------
+
+
+class TestWiring:
+    def test_check_kernel_raises_lint_error(self):
+        b = KernelBuilder("collide")
+        lds = b.local_alloc("buf", DType.U32, 64)
+        lid = b.local_id(0)
+        b.store_local(lds, b.const(0, DType.U32), lid)
+        k = b.finish()
+        k.metadata["local_size"] = (128, 1, 1)
+        with pytest.raises(LintError) as exc_info:
+            check_kernel(k)
+        # LintError is a VerificationError: generic handlers still work,
+        # and the structured diagnostics ride along.
+        assert isinstance(exc_info.value, VerificationError)
+        assert exc_info.value.diagnostics
+        assert exc_info.value.errors
+
+    def test_compile_kernel_lints_by_default(self):
+        b = KernelBuilder("collide")
+        lds = b.local_alloc("buf", DType.U32, 64)
+        lid = b.local_id(0)
+        b.store_local(lds, b.const(0, DType.U32), lid)
+        k = b.finish()
+        k.metadata["local_size"] = (128, 1, 1)
+        with pytest.raises(LintError):
+            compile_kernel(k, "original")
+        compiled = compile_kernel(k, "original", lint=False)
+        assert compiled.kernel is not None
+
+    def test_unknown_checker_rejected(self):
+        b = KernelBuilder("k")
+        k = b.finish()
+        with pytest.raises(KeyError):
+            run_lints(k, ["no-such-checker"])
+
+    def test_checker_names_stable(self):
+        assert set(checker_names()) == {
+            "barrier-divergence",
+            "lds-race",
+            "undef",
+            "sor-coverage",
+        }
+
+
+class TestVerificationErrorDetails:
+    def test_error_list_and_count_exposed(self):
+        b = KernelBuilder("broken")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        x = b.add(gid, 1)
+        b.store(out, gid, b.add(x, 1))
+        b.store(out, gid, b.add(x, 2))
+        k = b.finish()
+        # Remove x's definition: both adds now read an undefined register.
+        k.body.remove(next(i for i in walk_instrs(k.body) if x in i.dests()))
+        with pytest.raises(VerificationError) as exc_info:
+            verify_kernel(k)
+        err = exc_info.value
+        assert len(err.errors) == 2
+        assert "2 error(s)" in str(err)
+        assert all("undefined register" in e for e in err.errors)
+
+
+# ---------------------------------------------------------------------------
+# Whole-suite sweep + CLI
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("abbrev", all_abbrevs())
+def test_suite_kernels_lint_clean_fast_variants(abbrev):
+    k = make_benchmark(abbrev, scale="small").build()
+    for variant in ("original", "intra+lds", "inter"):
+        compiled = compile_kernel(k, variant, lint=False)
+        assert not _errors(run_lints(compiled.kernel)), (abbrev, variant)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("abbrev", all_abbrevs())
+def test_suite_kernels_lint_clean_all_variants(abbrev):
+    k = make_benchmark(abbrev, scale="small").build()
+    for variant in RMT_VARIANTS:
+        for optimize in (False, True):
+            compiled = compile_kernel(k, variant, lint=False, optimize=optimize)
+            assert not _errors(run_lints(compiled.kernel)), (
+                abbrev, variant, optimize,
+            )
+
+
+class TestCli:
+    def test_clean_run_exits_zero(self):
+        from repro.lint import main
+
+        assert main(["--kernels", "R,PS", "--variants",
+                     "original,inter", "-q"]) == 0
+
+    def test_unknown_kernel_exits_two(self):
+        from repro.lint import main
+
+        assert main(["--kernels", "NOPE", "-q"]) == 2
+
+    def test_unknown_variant_exits_two(self):
+        from repro.lint import main
+
+        assert main(["--variants", "NOPE", "-q"]) == 2

@@ -101,6 +101,7 @@ class TestStaticFigures:
 
 
 class TestSimFigures:
+    @pytest.mark.slow
     def test_fig2_rows_complete(self, harness):
         fig = fig2_data(harness)
         assert len(fig.rows) == 16

@@ -59,6 +59,7 @@ class TestSingleFault:
         assert "vgpr flip bit 5" in hook.record.description
 
 
+@pytest.mark.slow
 class TestCampaigns:
     def test_campaign_accounting(self):
         r = run_campaign(SMALL_SUITE["FWT"], "intra+lds", "vgpr",
@@ -76,6 +77,7 @@ class TestCampaigns:
         assert a.outcomes == b.outcomes
 
 
+@pytest.mark.slow
 class TestSorProperties:
     """Empirical validation of the paper's Tables 2 and 3."""
 

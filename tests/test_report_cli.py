@@ -21,6 +21,7 @@ class TestReportCli:
         assert "Table 3" in out
         assert "Figure 8" in out
 
+    @pytest.mark.slow
     def test_small_scale_sim_figure(self, capsys):
         rc = report_main(["--scale", "small", "--figures", "fig5"])
         assert rc == 0
@@ -33,6 +34,7 @@ class TestReportCli:
             report_main(["--figures", "fig99"])
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("script,args", [
     ("quickstart.py", []),
     ("overhead_analysis.py", ["--kernels", "FWT,PS"]),
