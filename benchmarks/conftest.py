@@ -4,6 +4,11 @@ Scale defaults to the paper-scale workloads; set ``REPRO_SCALE=small``
 for a quick pass.  Results are cached in ``.repro_cache.json`` at the
 repository root (override with ``REPRO_CACHE``; delete the file to force
 fresh simulation).
+
+Set ``REPRO_WORKERS=N`` (N > 1) to pre-warm the cache by fanning the
+standard kernels × variants grid out across N worker processes before
+the first figure test runs; the figure tests then hit the cache instead
+of simulating serially.
 """
 
 import os
@@ -23,7 +28,12 @@ def _default_cache() -> str:
 @pytest.fixture(scope="session")
 def harness() -> Harness:
     scale = os.environ.get("REPRO_SCALE", "paper")
-    return Harness(scale=scale, cache_path=_default_cache())
+    h = Harness(scale=scale, cache_path=_default_cache())
+    if h.workers > 1:
+        # Parallel pre-warm of the overhead-figure grid (run_grid skips
+        # anything already cached, so this is cheap on warm caches).
+        h.run_grid()
+    return h
 
 
 @pytest.fixture(scope="session")

@@ -13,7 +13,12 @@ claim structurally:
 * LDS upsets escape Intra-Group−LDS (shared allocation) but not
   Intra-Group+LDS (duplicated allocation).
 
-Run:  python examples/fault_injection_campaign.py [--trials 16]
+Run:  python examples/fault_injection_campaign.py [--trials 16] [--workers 4]
+
+``--workers N`` shards each campaign's trials across N forked worker
+processes via ``repro.orchestrator`` — the histograms are bit-identical
+to a serial run because every trial draws its fault plan from its own
+``SeedSequence`` child stream.
 """
 
 import argparse
@@ -26,7 +31,12 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trials", type=int, default=16)
     parser.add_argument("--kernels", default="FWT,R")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes per campaign (0 = one per CPU)")
     args = parser.parse_args()
+    if args.workers == 0:
+        from repro.orchestrator import default_workers
+        args.workers = default_workers()
 
     header = (f"{'kernel':7s} {'variant':11s} {'target':6s} "
               f"{'masked':>7s} {'detected':>9s} {'sdc':>5s} {'hang':>5s}")
@@ -39,6 +49,7 @@ def main():
                 r = run_campaign(
                     factory, variant, target,
                     trials=args.trials, seed=42, max_instr=24,
+                    workers=args.workers,
                 )
                 o = r.outcomes
                 flag = ""

@@ -1,0 +1,12 @@
+"""Entry point: ``python -m repro.campaign``.
+
+Thin shim over :mod:`repro.orchestrator.cli` so sharded fault-injection
+campaigns are launchable without knowing the package layout.
+"""
+
+from .orchestrator.cli import build_parser, main
+
+__all__ = ["build_parser", "main"]
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,7 +1,14 @@
 """Evaluation: ECC model, experiment harness, figure regeneration."""
 
 from .ecc import EccEntry, ecc_overhead, format_table1, secded_check_bits, table1, total_overhead_fraction
-from .harness import CACHE_VERSION, Harness, RunRecord
+from .harness import (
+    CACHE_VERSION,
+    GridCell,
+    Harness,
+    RunRecord,
+    compute_record,
+    default_grid,
+)
 from .render import FigureData, format_figure
 from . import experiments, paper_data
 
@@ -9,8 +16,11 @@ __all__ = [
     "CACHE_VERSION",
     "EccEntry",
     "FigureData",
+    "GridCell",
     "Harness",
     "RunRecord",
+    "compute_record",
+    "default_grid",
     "ecc_overhead",
     "experiments",
     "format_figure",

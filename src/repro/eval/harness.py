@@ -10,7 +10,10 @@ Every figure in the paper is derived from a grid of runs:
 * power summaries for the long-running kernels (Figure 5).
 
 Runs are deterministic, so records are cached (in memory and optionally
-on disk) keyed by the full configuration.
+on disk) keyed by the full configuration.  The grid is embarrassingly
+parallel: :meth:`Harness.run_grid` fans uncached cells out across the
+``repro.orchestrator`` worker pool and merges the resulting records
+back into the same cache.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..compiler.pipeline import compile_kernel
 from ..gpu.config import HD7790
@@ -30,6 +33,9 @@ from .paper_data import FIGURE_ORDER
 
 #: Bump when simulator timing semantics change, to invalidate disk caches.
 CACHE_VERSION = 5
+
+#: Variants the overhead figures sweep by default.
+DEFAULT_GRID_VARIANTS = ("original", "intra+lds", "intra-lds", "inter")
 
 
 @dataclass
@@ -58,14 +64,125 @@ def _key(abbrev, variant, scale, communication, capped_from) -> str:
     return f"v{CACHE_VERSION}/{scale}/{abbrev}/{variant}/comm={communication}/cap={capped_from}"
 
 
-class Harness:
-    """Runs and caches the experiment grid."""
+@dataclass(frozen=True)
+class GridCell:
+    """One cell of the experiment grid (picklable worker payload)."""
 
-    def __init__(self, scale: str = "paper", cache_path: Optional[str] = None):
+    abbrev: str
+    variant: str = "original"
+    communication: bool = True
+    capped_from: str = ""
+
+    def key(self, scale: str) -> str:
+        return _key(self.abbrev, self.variant, scale,
+                    self.communication, self.capped_from)
+
+
+CellLike = Union[GridCell, Tuple, Dict]
+
+
+def _as_cell(cell: CellLike) -> GridCell:
+    if isinstance(cell, GridCell):
+        return cell
+    if isinstance(cell, dict):
+        return GridCell(**cell)
+    return GridCell(*cell)
+
+
+def default_grid(
+    kernels: Optional[Sequence[str]] = None,
+    variants: Sequence[str] = DEFAULT_GRID_VARIANTS,
+) -> List[GridCell]:
+    """The kernels × variants product behind the overhead figures."""
+    return [
+        GridCell(abbrev=abbrev, variant=variant)
+        for abbrev in (kernels if kernels is not None else FIGURE_ORDER)
+        for variant in variants
+    ]
+
+
+# -- cell execution (module-level so forked grid workers can run it) -------
+
+
+def compute_record(cell: GridCell, scale: str) -> RunRecord:
+    """Run one grid cell from scratch and produce its record."""
+    bench = make_benchmark(cell.abbrev, scale)
+    if cell.capped_from:
+        if cell.variant != "original":
+            raise ValueError("capped runs use the original kernel")
+        return _run_capped(bench, cell.abbrev, scale, cell.capped_from)
+    compiled = bench.compile(cell.variant, communication=cell.communication)
+    result = bench.run(_session(), compiled)
+    return _record(bench, cell.abbrev, cell.variant, scale,
+                   cell.communication, "", result)
+
+
+def _run_capped(bench, abbrev: str, scale: str, capped_from: str) -> RunRecord:
+    original = bench.compile("original")
+    rmt = bench.compile(capped_from)
+    local = original.kernel.metadata["local_size"]
+    flat_local = local[0] * local[1] * local[2]
+    occ_orig = compute_occupancy(HD7790, original.resources, flat_local)
+    if capped_from == "inter":
+        # Doubling the group count halves how many *useful* groups a CU
+        # hosts at a time.
+        cap = max(1, occ_orig.max_groups_per_cu // 2)
+    else:
+        rmt_local = rmt.kernel.metadata["local_size"]
+        rmt_flat = rmt_local[0] * rmt_local[1] * rmt_local[2]
+        occ_rmt = compute_occupancy(HD7790, rmt.resources, rmt_flat)
+        cap = min(occ_orig.max_groups_per_cu, occ_rmt.max_groups_per_cu)
+    resources = dataclasses.replace(
+        original.resources, groups_per_cu_cap=cap
+    )
+    result = bench.run(_session(), original, resources=resources)
+    return _record(bench, abbrev, "original", scale, True, capped_from, result)
+
+
+def _record(bench, abbrev, variant, scale, communication, capped_from,
+            result) -> RunRecord:
+    report = result.merged_counters().report(
+        result.cycles, HD7790.num_cus, HD7790.simds_per_cu
+    )
+    power = result.session.power_report()
+    occ = result.launches[0].occupancy
+    return RunRecord(
+        abbrev=abbrev,
+        variant=variant,
+        scale=scale,
+        communication=communication,
+        capped_from=capped_from,
+        cycles=result.cycles,
+        counters=report.as_dict(),
+        power_avg_w=power.average_w,
+        power_peak_w=power.peak_w,
+        occupancy_groups_per_cu=occ.max_groups_per_cu,
+        detections=len(result.detections),
+        verified=bench.check(result),
+    )
+
+
+class Harness:
+    """Runs and caches the experiment grid.
+
+    ``workers`` sets the default fan-out for :meth:`run_grid` (also
+    honoured from the ``REPRO_WORKERS`` environment variable, so test
+    fixtures and CI can opt in without code changes).
+    """
+
+    def __init__(
+        self,
+        scale: str = "paper",
+        cache_path: Optional[str] = None,
+        workers: Optional[int] = None,
+    ):
         self.scale = scale
         if cache_path is None:
             cache_path = os.environ.get("REPRO_CACHE", "")
         self.cache_path = Path(cache_path) if cache_path else None
+        if workers is None:
+            workers = int(os.environ.get("REPRO_WORKERS", "1") or 1)
+        self.workers = max(1, workers)
         self._cache: Dict[str, RunRecord] = {}
         if self.cache_path and self.cache_path.exists():
             self._load_disk()
@@ -85,68 +202,74 @@ class Harness:
         the *original* kernel executed with CU occupancy capped to what
         ``capped_from`` (an RMT variant name) would achieve.
         """
-        key = _key(abbrev, variant, self.scale, communication, capped_from)
+        cell = GridCell(abbrev, variant, communication, capped_from)
+        key = cell.key(self.scale)
         hit = self._cache.get(key)
         if hit is not None:
             return hit
-
-        bench = make_benchmark(abbrev, self.scale)
-        if capped_from:
-            if variant != "original":
-                raise ValueError("capped runs use the original kernel")
-            record = self._run_capped(bench, abbrev, capped_from)
-        else:
-            compiled = bench.compile(variant, communication=communication)
-            result = bench.run(_session(), compiled)
-            record = self._record(bench, abbrev, variant, communication,
-                                  "", result)
+        record = compute_record(cell, self.scale)
         self._cache[key] = record
         if self.cache_path:
             self._save_disk()
         return record
 
-    def _run_capped(self, bench, abbrev: str, capped_from: str) -> RunRecord:
-        original = bench.compile("original")
-        rmt = bench.compile(capped_from)
-        local = original.kernel.metadata["local_size"]
-        flat_local = local[0] * local[1] * local[2]
-        occ_orig = compute_occupancy(HD7790, original.resources, flat_local)
-        if capped_from == "inter":
-            # Doubling the group count halves how many *useful* groups a CU
-            # hosts at a time.
-            cap = max(1, occ_orig.max_groups_per_cu // 2)
-        else:
-            rmt_local = rmt.kernel.metadata["local_size"]
-            rmt_flat = rmt_local[0] * rmt_local[1] * rmt_local[2]
-            occ_rmt = compute_occupancy(HD7790, rmt.resources, rmt_flat)
-            cap = min(occ_orig.max_groups_per_cu, occ_rmt.max_groups_per_cu)
-        resources = dataclasses.replace(
-            original.resources, groups_per_cu_cap=cap
-        )
-        result = bench.run(_session(), original, resources=resources)
-        return self._record(bench, abbrev, "original", True, capped_from, result)
+    def run_grid(
+        self,
+        cells: Optional[Iterable[CellLike]] = None,
+        *,
+        workers: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+        max_retries: int = 1,
+        telemetry=None,
+    ) -> List[RunRecord]:
+        """Run a batch of grid cells, fanning uncached ones out to workers.
 
-    def _record(self, bench, abbrev, variant, communication, capped_from,
-                result) -> RunRecord:
-        report = result.merged_counters().report(
-            result.cycles, HD7790.num_cus, HD7790.simds_per_cu
+        Returns records in ``cells`` order (default: the full kernels ×
+        variants figure grid).  Successful cells are merged into the
+        in-memory cache and written to disk once at the end; a cell that
+        fails even after retries raises ``RuntimeError`` *after* the
+        surviving cells have been cached, so a re-run only repeats the
+        failures.
+        """
+        from ..orchestrator import Telemetry, run_tasks
+
+        grid = [_as_cell(c) for c in (cells if cells is not None
+                                      else default_grid())]
+        if workers is None:
+            workers = self.workers
+        pending = []
+        seen = set()
+        for cell in grid:
+            key = cell.key(self.scale)
+            if key not in self._cache and key not in seen:
+                seen.add(key)
+                pending.append((key, cell))
+
+        tel = telemetry if telemetry is not None else Telemetry(
+            label=f"grid/{self.scale}")
+        tel.start(len(grid), skipped=len(grid) - len(pending))
+        scale = self.scale
+        results = run_tasks(
+            pending,
+            lambda cell: compute_record(cell, scale),
+            workers=workers, timeout_s=timeout_s, max_retries=max_retries,
+            telemetry=tel,
         )
-        power = result.session.power_report()
-        occ = result.launches[0].occupancy
-        return RunRecord(
-            abbrev=abbrev,
-            variant=variant,
-            scale=self.scale,
-            communication=communication,
-            capped_from=capped_from,
-            cycles=result.cycles,
-            counters=report.as_dict(),
-            power_avg_w=power.average_w,
-            power_peak_w=power.peak_w,
-            occupancy_groups_per_cu=occ.max_groups_per_cu,
-            detections=len(result.detections),
-            verified=bench.check(result),
-        )
+        tel.finish()
+
+        failures = []
+        for key, task_result in results.items():
+            if task_result.ok:
+                self._cache[key] = task_result.value
+            else:
+                failures.append(
+                    f"{key}: {task_result.status} ({task_result.error})")
+        if self.cache_path and results:
+            self._save_disk()
+        if failures:
+            raise RuntimeError(
+                "grid cells failed after retries:\n  " + "\n  ".join(failures))
+        return [self._cache[cell.key(self.scale)] for cell in grid]
 
     # -- convenience -----------------------------------------------------
 

@@ -1,15 +1,30 @@
 """Transient-fault injection: SEU models and campaigns."""
 
-from .campaign import OUTCOMES, CampaignResult, run_campaign, run_single_fault
+from .campaign import (
+    DEFAULT_RECORD_CAP,
+    OUTCOMES,
+    CampaignResult,
+    TrialRecord,
+    classify_trial,
+    draw_plans,
+    execute_trial,
+    run_campaign,
+    run_single_fault,
+)
 from .injector import TARGETS, FaultHook, FaultPlan, InjectionRecord, random_plan
 
 __all__ = [
     "CampaignResult",
+    "DEFAULT_RECORD_CAP",
     "FaultHook",
     "FaultPlan",
     "InjectionRecord",
     "OUTCOMES",
     "TARGETS",
+    "TrialRecord",
+    "classify_trial",
+    "draw_plans",
+    "execute_trial",
     "random_plan",
     "run_campaign",
     "run_single_fault",

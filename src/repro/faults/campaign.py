@@ -8,27 +8,75 @@ used by the property tests — is the paper's SoR contract:
   silent data corruption (every upset is masked or detected);
 * structures *outside* the SoR can (and do) produce SDCs, which is why
   the paper is careful to enumerate them in Tables 2 and 3.
+
+Campaigns are embarrassingly parallel and route through the
+``repro.orchestrator`` subsystem: every trial's fault plan is drawn from
+its own ``SeedSequence`` child stream (so ``workers=1`` and ``workers=8``
+produce bit-identical histograms), completed trials stream into an
+optional JSONL journal (``resume=True`` skips them on a re-run), and a
+worker crash or per-trial timeout is recorded as an ``infra_error``
+outcome instead of losing the campaign.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
 
-import numpy as np
-
-from ..gpu.config import HD7790
 from ..gpu.engine import SimulationError
-from ..kernels.base import Benchmark
+from ..kernels.base import Benchmark, BenchResult
 from ..runtime.api import Session
 from .injector import FaultHook, FaultPlan, random_plan
 
-OUTCOMES = ("masked", "detected", "sdc", "hang")
+#: Trial classifications.  The first four are architectural outcomes of
+#: the simulated upset; ``infra_error`` marks a trial the orchestration
+#: layer could not complete (worker crash / timeout after retries).
+OUTCOMES = ("masked", "detected", "sdc", "hang", "infra_error")
+
+#: Default in-memory cap on per-trial records kept by a CampaignResult.
+DEFAULT_RECORD_CAP = 256
+
+
+@dataclass
+class TrialRecord:
+    """One trial's structured outcome (journaled and tallied)."""
+
+    index: int
+    outcome: str
+    plan: Optional[FaultPlan] = None
+    fired: bool = False
+    description: str = ""
+    cycles: float = 0.0
+    error: str = ""
+
+    def to_json(self) -> Dict:
+        return {
+            "index": self.index,
+            "outcome": self.outcome,
+            "plan": asdict(self.plan) if self.plan is not None else None,
+            "fired": self.fired,
+            "description": self.description,
+            "cycles": self.cycles,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "TrialRecord":
+        plan = payload.get("plan")
+        return cls(
+            index=int(payload["index"]),
+            outcome=payload["outcome"],
+            plan=FaultPlan(**plan) if plan else None,
+            fired=bool(payload.get("fired", False)),
+            description=payload.get("description", ""),
+            cycles=float(payload.get("cycles", 0.0)),
+            error=payload.get("error", ""),
+        )
 
 
 @dataclass
 class CampaignResult:
-    """Outcome histogram of one campaign."""
+    """Outcome histogram of one campaign (or one merged set of shards)."""
 
     benchmark: str
     variant: str
@@ -36,7 +84,9 @@ class CampaignResult:
     outcomes: Dict[str, int] = field(default_factory=lambda: {o: 0 for o in OUTCOMES})
     trials: int = 0
     fired: int = 0
-    records: List[str] = field(default_factory=list)
+    records: List[TrialRecord] = field(default_factory=list)
+    record_cap: int = DEFAULT_RECORD_CAP
+    dropped_records: int = 0
 
     @property
     def sdc_count(self) -> int:
@@ -52,12 +102,87 @@ class CampaignResult:
         visible = self.outcomes["detected"] + self.outcomes["sdc"]
         return self.outcomes["detected"] / visible if visible else 1.0
 
+    def add(self, record: TrialRecord) -> None:
+        """Tally one trial; keep fired records up to ``record_cap``."""
+        self.outcomes[record.outcome] = self.outcomes.get(record.outcome, 0) + 1
+        self.trials += 1
+        if record.fired:
+            self.fired += 1
+            if len(self.records) < self.record_cap:
+                self.records.append(record)
+            else:
+                self.dropped_records += 1
+
+    @classmethod
+    def merged(cls, parts: Sequence["CampaignResult"]) -> "CampaignResult":
+        """Merge shard results of one campaign into a single histogram."""
+        if not parts:
+            raise ValueError("nothing to merge")
+        first = parts[0]
+        out = cls(benchmark=first.benchmark, variant=first.variant,
+                  target=first.target, record_cap=first.record_cap)
+        for part in parts:
+            identity = (part.benchmark, part.variant, part.target)
+            if identity != (first.benchmark, first.variant, first.target):
+                raise ValueError(
+                    f"cannot merge shards of different campaigns: "
+                    f"{identity} vs {(first.benchmark, first.variant, first.target)}"
+                )
+            for outcome, count in part.outcomes.items():
+                out.outcomes[outcome] = out.outcomes.get(outcome, 0) + count
+            out.trials += part.trials
+            out.fired += part.fired
+            out.dropped_records += part.dropped_records
+            for rec in part.records:
+                if len(out.records) < out.record_cap:
+                    out.records.append(rec)
+                else:
+                    out.dropped_records += 1
+        return out
+
     def summary(self) -> str:
         return (
             f"{self.benchmark}/{self.variant}/{self.target}: "
             f"{self.trials} trials ({self.fired} fired) -> "
             + ", ".join(f"{k}={v}" for k, v in self.outcomes.items())
         )
+
+
+# -- single-trial execution (shared by serial path, workers, tests) -------
+
+
+def classify_trial(bench: Benchmark, run: BenchResult) -> str:
+    """Classify one *completed* fault run against the benchmark oracle."""
+    if run.detections:
+        return "detected"
+    if bench.check(run):
+        return "masked"
+    return "sdc"
+
+
+def execute_trial(
+    bench: Benchmark,
+    compiled,
+    plan: FaultPlan,
+    cycle_budget: Optional[float] = None,
+    index: int = -1,
+) -> TrialRecord:
+    """Run one benchmark once with one injected fault; record the outcome."""
+    hook = FaultHook(plan, scalar_reg_ids=compiled.uniformity.uniform_regs)
+    session = Session.with_cycle_budget(cycle_budget)
+    try:
+        run = bench.run(session, compiled, fault_hook=hook)
+    except SimulationError:
+        # A corrupted loop bound or lock word wedged the kernel: a
+        # detectable-unrecoverable event (watchdog timeout), not an SDC.
+        outcome, cycles = "hang", 0.0
+    else:
+        outcome, cycles = classify_trial(bench, run), run.cycles
+    return TrialRecord(
+        index=index, outcome=outcome, plan=plan,
+        fired=hook.record.fired, description=hook.record.description,
+        cycles=cycles,
+    )
 
 
 def run_single_fault(
@@ -67,29 +192,35 @@ def run_single_fault(
     cycle_budget: Optional[float] = None,
 ) -> str:
     """Run one benchmark once with one injected fault; classify it."""
-    compiled = bench.compile(variant)
-    scalar_regs = compiled.uniformity.uniform_regs
-    hook = FaultHook(plan, scalar_reg_ids=scalar_regs)
-    session = _fault_session(cycle_budget)
-    try:
-        result = bench.run(session, compiled, fault_hook=hook)
-    except SimulationError:
-        # A corrupted loop bound or lock word wedged the kernel: a
-        # detectable-unrecoverable event (watchdog timeout), not an SDC.
-        return "hang"
-    detected = bool(result.detections)
-    correct = bench.check(result)
-    if detected:
-        return "detected"
-    if correct:
-        return "masked"
-    return "sdc"
+    return execute_trial(bench, bench.compile(variant), plan, cycle_budget).outcome
 
 
-def _fault_session(cycle_budget: Optional[float]) -> Session:
-    if cycle_budget is None:
-        return Session()
-    return Session(config=HD7790.with_(max_cycles=int(cycle_budget)))
+# -- plan derivation -------------------------------------------------------
+
+
+def draw_plans(
+    seed: int,
+    trials: int,
+    target: str,
+    max_wave: int = 8,
+    max_instr: int = 100,
+) -> List[FaultPlan]:
+    """Draw every trial's fault plan from its own child seed stream.
+
+    Plan *i* depends only on ``(seed, i)`` — not on how many plans were
+    drawn before it or which shard executes it — which is what makes
+    serial and sharded campaigns bit-identical.
+    """
+    from ..orchestrator.seeding import trial_rng
+
+    return [
+        random_plan(trial_rng(seed, i), target,
+                    max_wave=max_wave, max_instr=max_instr)
+        for i in range(trials)
+    ]
+
+
+# -- campaign driver -------------------------------------------------------
 
 
 def run_campaign(
@@ -100,39 +231,89 @@ def run_campaign(
     seed: int = 1234,
     max_wave: int = 8,
     max_instr: int = 100,
+    *,
+    workers: int = 1,
+    timeout_s: Optional[float] = None,
+    max_retries: int = 1,
+    journal: Optional[str] = None,
+    resume: bool = False,
+    telemetry=None,
+    record_cap: int = DEFAULT_RECORD_CAP,
 ) -> CampaignResult:
-    """Inject ``trials`` independent random SEUs and tally outcomes."""
-    rng = np.random.default_rng(seed)
+    """Inject ``trials`` independent random SEUs and tally outcomes.
+
+    ``workers > 1`` shards trials across forked worker processes with
+    identical results.  ``journal`` names a JSONL file that receives
+    every completed trial; with ``resume=True`` an existing journal's
+    trials are skipped, so a killed campaign continues where it died.
+    ``timeout_s`` bounds each trial's wall clock (parallel mode only);
+    a trial that keeps crashing or deadlining its shard is recorded as
+    ``infra_error`` after ``max_retries`` re-attempts.
+    """
+    from ..orchestrator import Journal, Telemetry, run_tasks
+
     probe = make_bench()
     result = CampaignResult(
-        benchmark=probe.abbrev, variant=variant, target=target
+        benchmark=probe.abbrev, variant=variant, target=target,
+        record_cap=record_cap,
     )
+    # Open the journal first so an identity mismatch fails before any
+    # simulation work is spent.
+    done: Dict[int, TrialRecord] = {}
+    jnl = None
+    if journal is not None:
+        jnl = Journal(journal, resume=resume, meta={
+            "kind": "fault-campaign",
+            "benchmark": probe.abbrev, "variant": variant, "target": target,
+            "trials": trials, "seed": seed,
+            "max_wave": max_wave, "max_instr": max_instr,
+        })
+        for entry in jnl.entries("trial"):
+            rec = TrialRecord.from_json(entry)
+            if 0 <= rec.index < trials:
+                done[rec.index] = rec
+
     # Golden run establishes a watchdog budget so corrupted spin locks or
     # loop bounds terminate as "hang" instead of running to the horizon.
     golden = probe.execute(variant)
     budget = 25.0 * max(golden.cycles, 1.0) + 2_000_000
-    for _ in range(trials):
+
+    plans = draw_plans(seed, trials, target, max_wave=max_wave,
+                       max_instr=max_instr)
+
+    tel = telemetry if telemetry is not None else Telemetry(
+        label=f"{probe.abbrev}/{variant}/{target}")
+    tel.start(trials, skipped=len(done))
+
+    def run_one(index: int) -> TrialRecord:
         bench = make_bench()
-        plan = random_plan(rng, target, max_wave=max_wave, max_instr=max_instr)
         compiled = bench.compile(variant)
-        hook = FaultHook(plan, scalar_reg_ids=compiled.uniformity.uniform_regs)
-        try:
-            run = bench.run(_fault_session(budget), compiled, fault_hook=hook)
-        except SimulationError:
-            outcome = "hang"
-            run = None
-        if run is not None:
-            detected = bool(run.detections)
-            correct = bench.check(run)
-            if detected:
-                outcome = "detected"
-            elif correct:
-                outcome = "masked"
-            else:
-                outcome = "sdc"
-        result.outcomes[outcome] += 1
-        result.trials += 1
-        if hook.record.fired:
-            result.fired += 1
-            result.records.append(f"{hook.record.description} -> {outcome}")
+        return execute_trial(bench, compiled, plans[index], budget, index=index)
+
+    def on_result(task_result) -> None:
+        if task_result.ok:
+            rec = task_result.value
+        else:
+            rec = TrialRecord(
+                index=task_result.task_id, outcome="infra_error",
+                plan=plans[task_result.task_id],
+                error=f"{task_result.status}: {task_result.error}",
+            )
+        done[rec.index] = rec
+        tel.note_outcome(rec.outcome, shard=task_result.shard)
+        if jnl is not None:
+            jnl.append("trial", **rec.to_json())
+
+    tasks = [(i, i) for i in range(trials) if i not in done]
+    run_tasks(tasks, run_one, workers=workers, timeout_s=timeout_s,
+              max_retries=max_retries, telemetry=tel, on_result=on_result)
+    tel.finish()
+
+    for index in sorted(done):
+        result.add(done[index])
+    if jnl is not None:
+        jnl.append("campaign", outcomes=dict(result.outcomes),
+                   trials=result.trials, fired=result.fired,
+                   telemetry=tel.summary())
+        jnl.close()
     return result

@@ -1,0 +1,45 @@
+"""Parallel campaign orchestrator.
+
+Shards fault-injection campaigns and experiment-grid runs across worker
+processes with deterministic per-trial seeding, an append-only JSONL
+journal (checkpoint/resume), bounded retry + quarantine of crashing
+shards, and structured telemetry.  Consumers:
+
+* ``repro.faults.run_campaign(..., workers=N, journal=..., resume=...)``
+* ``repro.eval.Harness.run_grid(..., workers=N)``
+* the ``python -m repro.campaign`` CLI.
+"""
+
+from .journal import SCHEMA_VERSION, Journal, JournalError, read_journal
+from .pool import (
+    STATUS_CRASH,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    TaskResult,
+    default_workers,
+    fork_available,
+    run_tasks,
+)
+from .seeding import child_sequence, trial_rng, trial_rngs
+from .telemetry import Event, Telemetry
+
+__all__ = [
+    "Event",
+    "Journal",
+    "JournalError",
+    "SCHEMA_VERSION",
+    "STATUS_CRASH",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "TaskResult",
+    "Telemetry",
+    "child_sequence",
+    "default_workers",
+    "fork_available",
+    "read_journal",
+    "run_tasks",
+    "trial_rng",
+    "trial_rngs",
+]

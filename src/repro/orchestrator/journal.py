@@ -1,0 +1,144 @@
+"""Append-only JSONL result journal with checkpoint/resume.
+
+A journal makes a long campaign killable: every completed trial is
+flushed as one JSON line, so re-running the same campaign with
+``resume=True`` skips everything already on disk and appends only the
+missing trials.  The format is deliberately dumb — one object per line —
+so it can be tailed, grepped, and merged with standard tools.
+
+Layout::
+
+    {"kind": "header", "schema": 1, "meta": {...campaign identity...}}
+    {"kind": "trial", "index": 0, "outcome": "masked", ...}
+    {"kind": "trial", "index": 3, "outcome": "detected", ...}
+    ...
+
+Lines appear in *completion* order, not index order; consumers key on
+``index``.  A process killed mid-write leaves at most one truncated
+final line, which the reader tolerates and drops.  Resume refuses to
+continue a journal whose header ``meta`` disagrees with the requested
+campaign (different seed, trial count, benchmark, ...) — silently mixing
+two campaigns would corrupt the histogram.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+SCHEMA_VERSION = 1
+
+
+class JournalError(RuntimeError):
+    """Raised on journal corruption or a resume identity mismatch."""
+
+
+def read_journal(path: Union[str, Path]) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Read ``(header_meta, entries)`` from a journal file.
+
+    Tolerates a truncated final line (crash mid-append).  Raises
+    :class:`JournalError` if the file has no valid header line.
+    """
+    path = Path(path)
+    header: Optional[Dict[str, Any]] = None
+    entries: List[Dict[str, Any]] = []
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except ValueError:
+                # Only the final line may legitimately be truncated; a
+                # bad line in the middle means real corruption, but we
+                # cannot distinguish without buffering, so drop & stop.
+                break
+            if lineno == 0:
+                if obj.get("kind") != "header":
+                    raise JournalError(f"{path}: first line is not a journal header")
+                header = obj
+            else:
+                entries.append(obj)
+    if header is None:
+        raise JournalError(f"{path}: empty journal (no header)")
+    return header, entries
+
+
+class Journal:
+    """Single-writer append-only JSONL journal.
+
+    Open with ``resume=False`` (default) to truncate and start fresh, or
+    ``resume=True`` to load prior entries (available via
+    :meth:`entries`) and append after them.  ``meta`` identifies the
+    campaign; on resume it must match the header already on disk.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        meta: Optional[Dict[str, Any]] = None,
+        resume: bool = False,
+    ):
+        self.path = Path(path)
+        self.meta = dict(meta or {})
+        self._entries: List[Dict[str, Any]] = []
+        self._fh = None
+
+        if resume and self.path.exists():
+            header, self._entries = read_journal(self.path)
+            on_disk = header.get("meta", {})
+            mismatch = {
+                k: (on_disk.get(k), v)
+                for k, v in self.meta.items()
+                if k in on_disk and on_disk[k] != v
+            }
+            if mismatch:
+                raise JournalError(
+                    f"{self.path}: journal belongs to a different campaign: "
+                    + ", ".join(f"{k}: disk={d!r} requested={r!r}"
+                                for k, (d, r) in sorted(mismatch.items()))
+                )
+            self._fh = self.path.open("a", encoding="utf-8")
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("w", encoding="utf-8")
+            self._write({"kind": "header", "schema": SCHEMA_VERSION,
+                         "meta": self.meta})
+
+    # -- reading what resume loaded --------------------------------------
+
+    def entries(self, kind: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Entries loaded at open time (resume only), optionally by kind."""
+        if kind is None:
+            return list(self._entries)
+        return [e for e in self._entries if e.get("kind") == kind]
+
+    def completed_indices(self, kind: str = "trial") -> set:
+        """Indices of entries already journaled (for skip-on-resume)."""
+        return {e["index"] for e in self.entries(kind) if "index" in e}
+
+    # -- writing ----------------------------------------------------------
+
+    def append(self, kind: str, **payload) -> None:
+        """Append one entry and flush it to disk immediately."""
+        self._write({"kind": kind, **payload})
+
+    def _write(self, obj: Dict[str, Any]) -> None:
+        if self._fh is None:
+            raise JournalError(f"{self.path}: journal is closed")
+        self._fh.write(json.dumps(obj, sort_keys=True,
+                                  separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,315 @@
+"""Crash-tolerant process pool for embarrassingly parallel trial work.
+
+``multiprocessing.Pool`` is the obvious tool and the wrong one: a worker
+that segfaults or wedges takes the whole map() down with it, and there
+is no per-task deadline.  Fault-injection campaigns *invite* both
+failure modes — we are deliberately corrupting simulator state — so the
+orchestrator runs its own small pool with the semantics a campaign
+needs:
+
+* each worker process owns a dedicated inbox; the parent assigns one
+  task at a time, so it always knows exactly which task a dead or
+  deadlined worker was holding;
+* a per-task wall-clock ``timeout`` kills the worker and requeues the
+  task, up to ``max_retries`` re-attempts;
+* a task that keeps crashing its shard is *quarantined*: it is recorded
+  as a failed :class:`TaskResult` (the campaign layer turns this into an
+  ``infra_error`` outcome) and the worker is respawned — a worker death
+  never loses the campaign;
+* results stream back through ``on_result`` in completion order, which
+  is what lets the journal checkpoint after every trial.
+
+Workers are forked (never spawned), so ``worker_fn`` and task payloads
+may close over arbitrary parent state — benchmark factories included —
+while *results* must be picklable to cross the queue back.  On platforms
+without ``fork`` the pool degrades to the serial path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .telemetry import Telemetry
+
+#: Task statuses a pool can report.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"          # worker_fn raised
+STATUS_TIMEOUT = "timeout"      # exceeded the per-task deadline
+STATUS_CRASH = "crash"          # worker process died under the task
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one task after all retry attempts."""
+
+    task_id: Any
+    status: str
+    value: Any = None
+    error: str = ""
+    attempts: int = 1
+    duration_s: float = 0.0
+    shard: int = -1
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+@dataclass
+class _Worker:
+    index: int
+    proc: mp.process.BaseProcess
+    inbox: Any
+    current: Optional[Tuple[Any, Any]] = None    # (task_id, payload)
+    deadline: Optional[float] = None
+    started: float = 0.0
+    tasks_done: int = 0
+    crashes: int = 0
+
+
+def _worker_main(index: int, inbox, outbox, worker_fn) -> None:
+    """Worker loop: pull one task, run it, report, repeat until sentinel."""
+    while True:
+        item = inbox.get()
+        if item is None:
+            return
+        task_id, payload = item
+        try:
+            value = worker_fn(payload)
+            msg = (index, task_id, STATUS_OK, value, "")
+        except BaseException as exc:  # noqa: BLE001 - report, don't die
+            msg = (index, task_id, STATUS_ERROR, None, repr(exc))
+        try:
+            outbox.put(msg)
+        except Exception as exc:  # unpicklable result — report that instead
+            outbox.put((index, task_id, STATUS_ERROR, None,
+                        f"result not transferable: {exc!r}"))
+
+
+def fork_available() -> bool:
+    return "fork" in mp.get_all_start_methods()
+
+
+def run_tasks(
+    tasks: Sequence[Tuple[Any, Any]],
+    worker_fn: Callable[[Any], Any],
+    *,
+    workers: int = 1,
+    timeout_s: Optional[float] = None,
+    max_retries: int = 1,
+    telemetry: Optional[Telemetry] = None,
+    on_result: Optional[Callable[[TaskResult], None]] = None,
+) -> Dict[Any, TaskResult]:
+    """Run ``tasks`` (an iterable of ``(task_id, payload)``) to completion.
+
+    Returns ``{task_id: TaskResult}`` covering every task — failures are
+    reported as non-``ok`` results, never raised.  ``on_result`` is
+    invoked in the parent, once per task, in completion order.
+    Serial mode (``workers <= 1`` or no ``fork`` support) runs in-process;
+    there the timeout cannot preempt a wedged task and crashes surface as
+    ``error`` results.
+    """
+    tasks = list(tasks)
+    seen = set()
+    for tid, _ in tasks:
+        if tid in seen:
+            raise ValueError(f"duplicate task id {tid!r}")
+        seen.add(tid)
+    if workers > 1 and not fork_available():
+        workers = 1
+    if workers <= 1:
+        return _run_serial(tasks, worker_fn, max_retries=max_retries,
+                           telemetry=telemetry, on_result=on_result)
+    return _run_pool(tasks, worker_fn, workers=workers, timeout_s=timeout_s,
+                     max_retries=max_retries, telemetry=telemetry,
+                     on_result=on_result)
+
+
+def _finish(results, task_id, result, telemetry, on_result):
+    results[task_id] = result
+    # Outcome tallies are the consumer's job (via Telemetry.note_outcome);
+    # the pool only knows task status, not what the task meant.
+    if telemetry is not None:
+        telemetry.task_done(task_id=task_id, shard=result.shard,
+                            duration=result.duration_s)
+    if on_result is not None:
+        on_result(result)
+
+
+def _run_serial(tasks, worker_fn, *, max_retries, telemetry, on_result):
+    results: Dict[Any, TaskResult] = {}
+    for task_id, payload in tasks:
+        attempts = 0
+        while True:
+            attempts += 1
+            t0 = time.monotonic()
+            try:
+                value = worker_fn(payload)
+                result = TaskResult(task_id, STATUS_OK, value=value,
+                                    attempts=attempts,
+                                    duration_s=time.monotonic() - t0, shard=0)
+                break
+            except Exception as exc:  # noqa: BLE001
+                if attempts > max_retries:
+                    result = TaskResult(task_id, STATUS_ERROR, error=repr(exc),
+                                        attempts=attempts,
+                                        duration_s=time.monotonic() - t0,
+                                        shard=0)
+                    break
+                if telemetry is not None:
+                    telemetry.task_retry(task_id, "error", attempts)
+        _finish(results, task_id, result, telemetry, on_result)
+    return results
+
+
+def _run_pool(tasks, worker_fn, *, workers, timeout_s, max_retries,
+              telemetry, on_result):
+    ctx = mp.get_context("fork")
+    outbox = ctx.Queue()
+    results: Dict[Any, TaskResult] = {}
+    pending = deque(tasks)
+    attempts: Dict[Any, int] = {tid: 0 for tid, _ in tasks}
+    pool: List[_Worker] = []
+
+    def spawn(index: int) -> _Worker:
+        inbox = ctx.Queue()
+        proc = ctx.Process(
+            target=_worker_main, args=(index, inbox, outbox, worker_fn),
+            daemon=True, name=f"orchestrator-worker-{index}",
+        )
+        proc.start()
+        return _Worker(index=index, proc=proc, inbox=inbox)
+
+    def fail_task(worker: _Worker, status: str, error: str) -> None:
+        """A worker died or deadlined while holding a task."""
+        task_id, payload = worker.current
+        worker.current = None
+        worker.deadline = None
+        attempts[task_id] += 1
+        duration = time.monotonic() - worker.started
+        if attempts[task_id] <= max_retries:
+            if telemetry is not None:
+                telemetry.task_retry(task_id, status, attempts[task_id])
+            pending.append((task_id, payload))
+        else:
+            if telemetry is not None:
+                telemetry.worker_quarantined(worker.index, status, task_id)
+            _finish(results, task_id,
+                    TaskResult(task_id, status, error=error,
+                               attempts=attempts[task_id], duration_s=duration,
+                               shard=worker.index),
+                    telemetry, on_result)
+
+    def retire(worker: _Worker, status: str, error: str) -> None:
+        """Kill a misbehaving worker, salvage its task, respawn in place."""
+        worker.crashes += 1
+        if worker.proc.is_alive():
+            worker.proc.terminate()
+        worker.proc.join(timeout=5.0)
+        if worker.proc.is_alive():  # terminate() ignored — escalate
+            worker.proc.kill()
+            worker.proc.join(timeout=5.0)
+        if worker.current is not None:
+            fail_task(worker, status, error)
+        fresh = spawn(worker.index)
+        fresh.crashes = worker.crashes
+        fresh.tasks_done = worker.tasks_done
+        pool[worker.index] = fresh
+
+    pool.extend(spawn(i) for i in range(min(workers, max(1, len(tasks)))))
+    try:
+        while len(results) < len(tasks):
+            # 1. hand work to idle workers
+            for worker in pool:
+                if worker.current is None and pending:
+                    task = pending.popleft()
+                    worker.current = task
+                    worker.started = time.monotonic()
+                    worker.deadline = (worker.started + timeout_s
+                                       if timeout_s else None)
+                    worker.inbox.put(task)
+                    if telemetry is not None:
+                        telemetry.emit("assign", task=task[0],
+                                       shard=worker.index)
+
+            # 2. drain completions (before crash checks, so a result that
+            #    raced a worker death is not double-counted)
+            drained = False
+            try:
+                while True:
+                    widx, task_id, status, value, error = outbox.get(
+                        timeout=0.0 if drained else 0.05)
+                    drained = True
+                    worker = pool[widx]
+                    if task_id in results or worker.current is None or \
+                            worker.current[0] != task_id:
+                        continue  # stale: task already resolved via retry
+                    duration = time.monotonic() - worker.started
+                    worker.current = None
+                    worker.deadline = None
+                    worker.tasks_done += 1
+                    attempts[task_id] += 1
+                    if status == STATUS_OK:
+                        _finish(results, task_id,
+                                TaskResult(task_id, STATUS_OK, value=value,
+                                           attempts=attempts[task_id],
+                                           duration_s=duration, shard=widx),
+                                telemetry, on_result)
+                    elif attempts[task_id] <= max_retries:
+                        if telemetry is not None:
+                            telemetry.task_retry(task_id, status,
+                                                 attempts[task_id])
+                        pending.append(_payload_of(tasks, task_id))
+                    else:
+                        _finish(results, task_id,
+                                TaskResult(task_id, status, error=error,
+                                           attempts=attempts[task_id],
+                                           duration_s=duration, shard=widx),
+                                telemetry, on_result)
+            except queue_mod.Empty:
+                pass
+
+            # 3. reap dead and deadlined workers
+            now = time.monotonic()
+            for worker in list(pool):
+                if worker.current is None:
+                    continue
+                if not worker.proc.is_alive():
+                    code = worker.proc.exitcode
+                    retire(worker, STATUS_CRASH,
+                           f"worker exited with code {code}")
+                elif worker.deadline is not None and now > worker.deadline:
+                    retire(worker, STATUS_TIMEOUT,
+                           f"exceeded {timeout_s:.1f}s deadline")
+    finally:
+        for worker in pool:
+            try:
+                worker.inbox.put(None)
+            except Exception:
+                pass
+        for worker in pool:
+            worker.proc.join(timeout=2.0)
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+                worker.proc.join(timeout=2.0)
+        outbox.close()
+        outbox.cancel_join_thread()
+    return results
+
+
+def _payload_of(tasks, task_id):
+    for tid, payload in tasks:
+        if tid == task_id:
+            return (tid, payload)
+    raise KeyError(task_id)
+
+
+def default_workers() -> int:
+    """A sensible worker count for ``workers=0`` ("auto") requests."""
+    return max(1, os.cpu_count() or 1)

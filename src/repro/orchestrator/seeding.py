@@ -1,0 +1,39 @@
+"""Deterministic per-trial seed derivation for sharded campaigns.
+
+The old campaign loop drew every fault plan from one shared
+``np.random.Generator``, so plan *i* depended on how many draws happened
+before it — fine serially, fatal for sharding (a worker that retries, or
+trials landing on different shards, would perturb every later plan).
+
+Here each trial gets its own independent child stream derived with
+``np.random.SeedSequence(seed, spawn_key=(index,))``.  Child *i* is a
+pure function of ``(seed, index)``: it does not depend on how many other
+children were spawned, in what order trials execute, or which shard runs
+them.  Serial and parallel runs therefore draw bit-identical plans.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def child_sequence(seed: int, index: int) -> np.random.SeedSequence:
+    """The ``index``-th child seed stream of a campaign seed.
+
+    Equivalent to ``np.random.SeedSequence(seed).spawn(index + 1)[index]``
+    but O(1): NumPy identifies a spawned child purely by its
+    ``spawn_key``, so we construct it directly.
+    """
+    return np.random.SeedSequence(seed, spawn_key=(index,))
+
+
+def trial_rng(seed: int, index: int) -> np.random.Generator:
+    """A fresh generator for trial ``index`` of campaign ``seed``."""
+    return np.random.default_rng(child_sequence(seed, index))
+
+
+def trial_rngs(seed: int, trials: int) -> List[np.random.Generator]:
+    """Independent generators for every trial of a campaign."""
+    return [trial_rng(seed, i) for i in range(trials)]

@@ -1,0 +1,198 @@
+"""Structured telemetry for campaign and grid runs.
+
+The orchestrator is built to run thousands of trials; when something
+goes wrong mid-campaign you want more than a final histogram.  The
+:class:`Telemetry` object collects a bounded stream of structured events
+(task assignment, completion, retry, timeout, worker quarantine),
+maintains live throughput / ETA estimates and per-shard outcome tallies,
+and can optionally paint a single live progress line to a stream.
+
+It is deliberately parent-process-only: workers report results through
+the pool, and the pool drives telemetry, so there is exactly one writer
+and no cross-process locking.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Keep at most this many structured events in memory; older ones are
+#: dropped (the count of dropped events is retained).
+DEFAULT_EVENT_CAP = 4096
+
+
+@dataclass
+class Event:
+    """One structured telemetry event."""
+
+    kind: str
+    t: float                      # seconds since telemetry start
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "t": round(self.t, 4), **self.fields}
+
+
+class Telemetry:
+    """Event sink + live statistics for one orchestrated run."""
+
+    def __init__(
+        self,
+        label: str = "",
+        progress: bool = False,
+        stream=None,
+        event_cap: int = DEFAULT_EVENT_CAP,
+        min_refresh_s: float = 0.2,
+    ):
+        self.label = label
+        self.progress = progress
+        self.stream = stream if stream is not None else sys.stderr
+        self.event_cap = event_cap
+        self.min_refresh_s = min_refresh_s
+        self.events: List[Event] = []
+        self.dropped_events = 0
+        self.total = 0
+        self.completed = 0
+        self.skipped = 0            # satisfied from a journal, not re-run
+        self.retries = 0
+        self.quarantined = 0
+        self.outcomes: Counter = Counter()
+        self.shard_outcomes: Dict[int, Counter] = {}
+        self._t0 = time.monotonic()
+        self._last_paint = 0.0
+        self._painted = False
+
+    # -- events ----------------------------------------------------------
+
+    def emit(self, kind: str, **fields) -> None:
+        """Record one structured event (bounded in memory)."""
+        ev = Event(kind=kind, t=time.monotonic() - self._t0, fields=fields)
+        if len(self.events) >= self.event_cap:
+            self.events.pop(0)
+            self.dropped_events += 1
+        self.events.append(ev)
+
+    # -- lifecycle hooks called by the pool / campaign -------------------
+
+    def start(self, total: int, skipped: int = 0) -> None:
+        self.total = total
+        self.skipped = skipped
+        self._t0 = time.monotonic()
+        self.emit("start", total=total, skipped=skipped, label=self.label)
+
+    def task_done(
+        self,
+        task_id: Any = None,
+        outcome: Optional[str] = None,
+        shard: Optional[int] = None,
+        duration: Optional[float] = None,
+    ) -> None:
+        self.completed += 1
+        if outcome is not None:
+            self.outcomes[outcome] += 1
+            if shard is not None:
+                self.shard_outcomes.setdefault(shard, Counter())[outcome] += 1
+        self.emit("done", task=task_id, outcome=outcome, shard=shard,
+                  duration=None if duration is None else round(duration, 4))
+        self.maybe_paint()
+
+    def note_outcome(self, outcome: str, shard: Optional[int] = None) -> None:
+        """Tally a domain-level outcome (e.g. a trial classification).
+
+        Separate from :meth:`task_done` because the pool only knows task
+        status; the campaign layer knows what the task *meant*.
+        """
+        self.outcomes[outcome] += 1
+        if shard is not None and shard >= 0:
+            self.shard_outcomes.setdefault(shard, Counter())[outcome] += 1
+
+    def task_retry(self, task_id: Any, reason: str, attempt: int) -> None:
+        self.retries += 1
+        self.emit("retry", task=task_id, reason=reason, attempt=attempt)
+
+    def worker_quarantined(self, shard: int, reason: str, task_id: Any) -> None:
+        self.quarantined += 1
+        self.emit("quarantine", shard=shard, reason=reason, task=task_id)
+
+    # -- derived statistics ----------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        return time.monotonic() - self._t0
+
+    def throughput(self) -> float:
+        """Completed tasks per second (0 until something finishes)."""
+        el = self.elapsed
+        return self.completed / el if el > 0 and self.completed else 0.0
+
+    def eta_s(self) -> Optional[float]:
+        """Seconds to completion, or None before the first completion."""
+        rate = self.throughput()
+        if not rate or not self.total:
+            return None
+        remaining = max(0, self.total - self.skipped - self.completed)
+        return remaining / rate
+
+    def progress_line(self) -> str:
+        done = self.completed + self.skipped
+        parts = [f"[{done}/{self.total}]"]
+        if self.label:
+            parts.insert(0, self.label)
+        rate = self.throughput()
+        if rate:
+            parts.append(f"{rate:.1f}/s")
+        eta = self.eta_s()
+        if eta is not None:
+            parts.append(f"eta {eta:.0f}s")
+        if self.outcomes:
+            parts.append(" ".join(
+                f"{k}={v}" for k, v in sorted(self.outcomes.items())))
+        if self.retries:
+            parts.append(f"retries={self.retries}")
+        return " ".join(parts)
+
+    # -- live progress line ----------------------------------------------
+
+    def maybe_paint(self, force: bool = False) -> None:
+        if not self.progress:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_paint < self.min_refresh_s:
+            return
+        self._last_paint = now
+        self._painted = True
+        self.stream.write("\r\x1b[2K" + self.progress_line())
+        self.stream.flush()
+
+    def finish(self) -> None:
+        """Emit the final event and terminate the progress line."""
+        self.emit("finish", completed=self.completed, skipped=self.skipped,
+                  retries=self.retries, quarantined=self.quarantined)
+        if self.progress and self._painted:
+            self.maybe_paint(force=True)
+            self.stream.write("\n")
+            self.stream.flush()
+
+    # -- reporting -------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-friendly digest for CLI output and journals."""
+        return {
+            "label": self.label,
+            "total": self.total,
+            "completed": self.completed,
+            "skipped": self.skipped,
+            "retries": self.retries,
+            "quarantined": self.quarantined,
+            "elapsed_s": round(self.elapsed, 3),
+            "throughput_per_s": round(self.throughput(), 3),
+            "outcomes": dict(sorted(self.outcomes.items())),
+            "shard_outcomes": {
+                str(s): dict(sorted(c.items()))
+                for s, c in sorted(self.shard_outcomes.items())
+            },
+        }

@@ -49,6 +49,20 @@ class Session:
         self.device = Device(config, power)
         self._hidden_serial = 0
 
+    @classmethod
+    def with_cycle_budget(cls, max_cycles: Optional[float]) -> "Session":
+        """Session whose simulation aborts past a cycle budget.
+
+        Fault campaigns use this as a watchdog: a corrupted loop bound
+        or lock word raises ``SimulationError`` at the budget instead of
+        running to the device's 2B-cycle horizon, and the campaign
+        classifies the trial as a hang.  ``None`` means the default
+        (effectively unbounded) horizon.
+        """
+        if max_cycles is None:
+            return cls()
+        return cls(config=HD7790.with_(max_cycles=int(max_cycles)))
+
     # -- buffers -----------------------------------------------------------
 
     def upload(self, name: str, data: np.ndarray) -> DeviceBuffer:

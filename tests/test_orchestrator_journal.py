@@ -1,0 +1,159 @@
+"""Journal persistence/resume, seed derivation, and telemetry statistics."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults import draw_plans
+from repro.orchestrator import (
+    Journal,
+    JournalError,
+    Telemetry,
+    child_sequence,
+    read_journal,
+    trial_rng,
+)
+
+
+class TestJournal:
+    def test_header_and_entries_roundtrip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path, meta={"seed": 7, "trials": 4}) as j:
+            j.append("trial", index=0, outcome="masked")
+            j.append("trial", index=1, outcome="sdc")
+        header, entries = read_journal(path)
+        assert header["kind"] == "header"
+        assert header["meta"] == {"seed": 7, "trials": 4}
+        assert [e["index"] for e in entries] == [0, 1]
+
+    def test_fresh_open_truncates(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path, meta={"seed": 1}) as j:
+            j.append("trial", index=0)
+        with Journal(path, meta={"seed": 1}):
+            pass
+        _, entries = read_journal(path)
+        assert entries == []
+
+    def test_resume_loads_and_appends(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path, meta={"seed": 1}) as j:
+            j.append("trial", index=0)
+        with Journal(path, meta={"seed": 1}, resume=True) as j:
+            assert j.completed_indices() == {0}
+            j.append("trial", index=1)
+        _, entries = read_journal(path)
+        assert [e["index"] for e in entries] == [0, 1]
+
+    def test_resume_meta_mismatch_refused(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        Journal(path, meta={"seed": 1, "trials": 8}).close()
+        with pytest.raises(JournalError, match="different campaign"):
+            Journal(path, meta={"seed": 2, "trials": 8}, resume=True)
+
+    def test_resume_of_missing_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "missing.jsonl"
+        with Journal(path, meta={"seed": 1}, resume=True) as j:
+            assert j.entries() == []
+        assert path.exists()
+
+    def test_truncated_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with Journal(path, meta={"seed": 1}) as j:
+            j.append("trial", index=0, outcome="masked")
+        with path.open("a") as fh:
+            fh.write('{"kind": "trial", "index": 1, "outco')  # killed mid-write
+        header, entries = read_journal(path)
+        assert [e["index"] for e in entries] == [0]
+        with Journal(path, meta={"seed": 1}, resume=True) as j:
+            assert j.completed_indices() == {0}
+
+    def test_headerless_file_rejected(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(json.dumps({"kind": "trial", "index": 0}) + "\n")
+        with pytest.raises(JournalError, match="not a journal header"):
+            read_journal(path)
+
+    def test_closed_journal_refuses_writes(self, tmp_path):
+        j = Journal(tmp_path / "j.jsonl", meta={})
+        j.close()
+        with pytest.raises(JournalError, match="closed"):
+            j.append("trial", index=0)
+
+
+class TestSeeding:
+    def test_child_is_pure_function_of_seed_and_index(self):
+        a = trial_rng(99, 5).integers(0, 2**31, 4)
+        b = trial_rng(99, 5).integers(0, 2**31, 4)
+        assert (a == b).all()
+
+    def test_children_independent_of_each_other(self):
+        draws = {i: trial_rng(7, i).integers(0, 2**31, 4).tolist()
+                 for i in range(8)}
+        assert len({tuple(v) for v in draws.values()}) == 8
+
+    def test_matches_numpy_spawn(self):
+        spawned = np.random.SeedSequence(1234).spawn(6)
+        for i, child in enumerate(spawned):
+            ours = child_sequence(1234, i)
+            assert ours.generate_state(4).tolist() == \
+                   child.generate_state(4).tolist()
+
+    def test_plans_independent_of_trial_count(self):
+        # Plan i must not depend on how many trials surround it — the
+        # property that makes sharded campaigns bit-identical to serial.
+        short = draw_plans(42, 4, "vgpr", max_wave=8, max_instr=24)
+        long = draw_plans(42, 16, "vgpr", max_wave=8, max_instr=24)
+        assert [vars(p) for p in short] == [vars(p) for p in long[:4]]
+
+    def test_plans_vary_across_trials_and_seeds(self):
+        plans = draw_plans(42, 16, "vgpr")
+        assert len({tuple(sorted(vars(p).items())) for p in plans}) > 1
+        other = draw_plans(43, 16, "vgpr")
+        assert [vars(p) for p in plans] != [vars(p) for p in other]
+
+
+class TestTelemetry:
+    def test_counts_eta_and_summary(self):
+        tel = Telemetry(label="t")
+        tel.start(10, skipped=2)
+        for i in range(4):
+            tel.task_done(task_id=i, duration=0.01)
+            tel.note_outcome("masked" if i % 2 else "sdc", shard=i % 2)
+        s = tel.summary()
+        assert s["completed"] == 4 and s["skipped"] == 2
+        assert s["outcomes"] == {"masked": 2, "sdc": 2}
+        assert s["shard_outcomes"]["0"]["sdc"] == 2
+        assert tel.eta_s() is not None and tel.eta_s() >= 0
+        line = tel.progress_line()
+        assert "[6/10]" in line and "masked=2" in line
+
+    def test_event_cap_bounds_memory(self):
+        tel = Telemetry(event_cap=10)
+        for i in range(25):
+            tel.emit("tick", i=i)
+        assert len(tel.events) == 10
+        assert tel.dropped_events == 15
+        assert tel.events[-1].fields["i"] == 24
+
+    def test_progress_paints_single_line(self):
+        class Sink:
+            def __init__(self):
+                self.text = ""
+
+            def write(self, s):
+                self.text += s
+
+            def flush(self):
+                pass
+
+        sink = Sink()
+        tel = Telemetry(label="p", progress=True, stream=sink,
+                        min_refresh_s=0.0)
+        tel.start(2)
+        tel.task_done(task_id=0)
+        tel.task_done(task_id=1)
+        tel.finish()
+        assert "[2/2]" in sink.text
+        assert sink.text.endswith("\n")

@@ -1,0 +1,140 @@
+"""Pool semantics: sharding, retry, timeout, crash quarantine, streaming."""
+
+import os
+import time
+
+import pytest
+
+from repro.orchestrator import (
+    STATUS_CRASH,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    Telemetry,
+    fork_available,
+    run_tasks,
+)
+
+needs_fork = pytest.mark.skipif(not fork_available(),
+                                reason="requires fork start method")
+
+
+def square(x):
+    return x * x
+
+
+class TestSerial:
+    def test_results_complete(self):
+        r = run_tasks([(i, i) for i in range(6)], square, workers=1)
+        assert sorted(r) == list(range(6))
+        assert all(r[i].ok and r[i].value == i * i for i in range(6))
+
+    def test_duplicate_task_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate task id"):
+            run_tasks([("a", 1), ("a", 2)], square, workers=1)
+
+    def test_error_retried_then_reported(self):
+        calls = []
+
+        def flaky(x):
+            calls.append(x)
+            raise RuntimeError("boom")
+
+        r = run_tasks([("t", 1)], flaky, workers=1, max_retries=2)
+        assert r["t"].status == STATUS_ERROR
+        assert r["t"].attempts == 3
+        assert "boom" in r["t"].error
+        assert len(calls) == 3
+
+    def test_retry_can_succeed(self):
+        state = {"n": 0}
+
+        def flaky(x):
+            state["n"] += 1
+            if state["n"] < 2:
+                raise RuntimeError("transient")
+            return x
+
+        r = run_tasks([("t", 5)], flaky, workers=1, max_retries=2)
+        assert r["t"].ok and r["t"].value == 5 and r["t"].attempts == 2
+
+    def test_on_result_streams_every_task(self):
+        got = []
+        run_tasks([(i, i) for i in range(4)], square, workers=1,
+                  on_result=lambda tr: got.append(tr.task_id))
+        assert sorted(got) == [0, 1, 2, 3]
+
+
+@needs_fork
+class TestPool:
+    def test_matches_serial(self):
+        serial = run_tasks([(i, i) for i in range(8)], square, workers=1)
+        pooled = run_tasks([(i, i) for i in range(8)], square, workers=3)
+        assert {k: v.value for k, v in serial.items()} == \
+               {k: v.value for k, v in pooled.items()}
+
+    def test_closure_payloads_cross_fork(self):
+        offset = 1000  # captured by the closure, never pickled
+        r = run_tasks([(i, i) for i in range(4)], lambda x: x + offset,
+                      workers=2)
+        assert all(r[i].value == i + 1000 for i in range(4))
+
+    def test_worker_exception_becomes_error_result(self):
+        def boom(x):
+            raise ValueError(f"bad {x}")
+
+        r = run_tasks([("a", 1)], boom, workers=2, max_retries=0)
+        assert r["a"].status == STATUS_ERROR and "bad 1" in r["a"].error
+
+    def test_worker_crash_quarantined_others_survive(self):
+        def work(x):
+            if x == "die":
+                os._exit(9)
+            return x
+
+        tel = Telemetry()
+        r = run_tasks([("a", "die"), ("b", "fine"), ("c", "also")],
+                      work, workers=2, max_retries=1, telemetry=tel)
+        assert r["a"].status == STATUS_CRASH
+        assert r["a"].attempts == 2          # initial + one retry
+        assert r["b"].ok and r["b"].value == "fine"
+        assert r["c"].ok
+        assert tel.quarantined == 1
+        assert any(e.kind == "quarantine" for e in tel.events)
+
+    def test_timeout_kills_and_records(self):
+        def work(x):
+            if x == 0:
+                time.sleep(60)
+            return x
+
+        t0 = time.monotonic()
+        r = run_tasks([(0, 0), (1, 1)], work, workers=2,
+                      timeout_s=0.5, max_retries=0)
+        assert time.monotonic() - t0 < 30
+        assert r[0].status == STATUS_TIMEOUT
+        assert "deadline" in r[0].error
+        assert r[1].ok
+
+    def test_telemetry_counts_and_throughput(self):
+        tel = Telemetry(label="pool")
+        tel.start(5)
+        run_tasks([(i, i) for i in range(5)], square, workers=2,
+                  telemetry=tel)
+        tel.finish()
+        assert tel.completed == 5
+        summary = tel.summary()
+        assert summary["completed"] == 5
+        assert summary["throughput_per_s"] > 0
+        kinds = {e.kind for e in tel.events}
+        assert {"start", "assign", "done", "finish"} <= kinds
+
+    def test_more_tasks_than_workers(self):
+        r = run_tasks([(i, i) for i in range(20)], square, workers=3)
+        assert len(r) == 20 and all(tr.ok for tr in r.values())
+
+    def test_statuses_and_shards_recorded(self):
+        r = run_tasks([(i, i) for i in range(6)], square, workers=2)
+        assert all(tr.status == STATUS_OK for tr in r.values())
+        assert all(tr.shard in (0, 1) for tr in r.values())
+        assert all(tr.duration_s >= 0 for tr in r.values())
