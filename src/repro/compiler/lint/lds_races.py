@@ -321,10 +321,12 @@ class _Evaluator:
             if not a.thread_terms() and not b.thread_terms():
                 return self._opaque(dst)
             return None
-        if op == "shl" and b.is_const() and 0 <= b.const < 32:
-            return a.scale(1 << b.const)
+        # The engine masks shift counts with `& 31` (hardware semantics);
+        # mirror that here — a raw negative count would throw in Python.
+        if op == "shl" and b.is_const():
+            return a.scale(1 << (b.const & 31))
         if op == "shr" and b.is_const():
-            return self._shr(a, b.const, dst)
+            return self._shr(a, b.const & 31, dst)
         if op == "and" and (b.is_const() and b.const == 1 or a.is_const() and a.const == 1):
             other = a if (b.is_const() and b.const == 1) else b
             return self._low_bit(other, dst)

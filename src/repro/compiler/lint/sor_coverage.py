@@ -159,6 +159,11 @@ def _collect(
         elif isinstance(stmt, StoreGlobal):
             if not stmt.buf.name.startswith(_RMT_PREFIX):
                 sor_exits.append((stmt, enclosing))
+        elif isinstance(stmt, AtomicGlobal):
+            # A user atomic is a read-modify-write SoR exit: executed by
+            # both replicas it would double its architectural effect.
+            if not stmt.buf.name.startswith(_RMT_PREFIX):
+                sor_exits.append((stmt, enclosing))
         elif isinstance(stmt, StoreLocal):
             if stmt.lds.name.startswith(_RMT_PREFIX):
                 continue
@@ -200,11 +205,12 @@ def _check_guarded_store(
     expected_op: str,
     communication: bool,
 ) -> List[Diagnostic]:
-    what = (
-        f"global store to {store.buf.name!r}"
-        if isinstance(store, StoreGlobal)
-        else f"SoR-exiting local store to {store.lds.name!r}"
-    )
+    if isinstance(store, StoreGlobal):
+        what = f"global store to {store.buf.name!r}"
+    elif isinstance(store, AtomicGlobal):
+        what = f"global atomic on {store.buf.name!r}"
+    else:
+        what = f"SoR-exiting local store to {store.lds.name!r}"
     if not enclosing:
         return [
             ctx.diag(

@@ -24,6 +24,8 @@ from typing import Dict, List, Optional, Tuple
 
 from ...ir.builder import KernelBuilder
 from ...ir.core import (
+    Alu,
+    AtomicGlobal,
     BufferParam,
     Instr,
     Kernel,
@@ -162,8 +164,13 @@ class _InterRewriter:
         self.comm_v = comm_v
 
     def rewrite(self, instr: Instr) -> Optional[List[Stmt]]:
-        if not isinstance(instr, StoreGlobal):
-            return None
+        if isinstance(instr, StoreGlobal):
+            return self._guarded_store(instr)
+        if isinstance(instr, AtomicGlobal) and not instr.buf.name.startswith("__rmt_"):
+            return self._guarded_atomic(instr)
+        return None
+
+    def _guarded_store(self, instr: StoreGlobal) -> List[Stmt]:
         out: List[Stmt] = []
         sb = KernelBuilder.attach(self.kernel, out)
 
@@ -174,31 +181,131 @@ class _InterRewriter:
 
         idx_u = sb.as_u32(instr.index)
         val_u = sb.as_u32(instr.value)
-        slot = self.slot
 
-        with sb.if_(self.is_producer):
-            # Tier 1: wait for the pair's slot to be free (flag == 0).
-            with sb.loop() as lp:
-                f = sb.atomic("add", self.flag_buf, slot, 0)
-                lp.break_unless(sb.ne(f, 0))
-            sb.store(self.comm_a, slot, idx_u)
-            sb.store(self.comm_v, slot, val_u)
-            # Tier 2: publish (globally visible through the L2).
-            sb.atomic("xchg", self.flag_buf, slot, 1, want_old=False)
+        self._produce(sb, idx_u, val_u)
 
         with sb.if_(self.is_consumer):
-            # Wait for the producer's signal.
-            with sb.loop() as lp:
-                f = sb.atomic("add", self.flag_buf, slot, 0)
-                lp.break_unless(sb.ne(f, 1))
-            # Read back through the L2 (atomic add of 0) — the L1s are
-            # write-through but not coherent across CUs.
-            got_a = sb.atomic("add", self.comm_a, slot, 0)
-            got_v = sb.atomic("add", self.comm_v, slot, 0)
+            got_a, got_v = self._consume(sb)
             ok = sb.pand(sb.eq(got_a, idx_u), sb.eq(got_v, val_u))
             with sb.if_(sb.pnot(ok)):
                 sb.report_error()
             sb._emit(instr)
             # Free the slot for this work-item's next store.
-            sb.atomic("xchg", self.flag_buf, slot, 0, want_old=False)
+            sb.atomic("xchg", self.flag_buf, self.slot, 0, want_old=False)
+        return out
+
+    # -- handshake helpers -------------------------------------------------
+
+    def _produce(self, sb: KernelBuilder, a_u: VReg, b_u: VReg) -> None:
+        """Producer half of one exchange round (waits for a free slot)."""
+        slot = self.slot
+        with sb.if_(self.is_producer):
+            # Tier 1: wait for the pair's slot to be free (flag == 0).
+            with sb.loop() as lp:
+                f = sb.atomic("add", self.flag_buf, slot, 0)
+                lp.break_unless(sb.ne(f, 0))
+            sb.store(self.comm_a, slot, a_u)
+            sb.store(self.comm_v, slot, b_u)
+            # Tier 2: publish (globally visible through the L2).
+            sb.atomic("xchg", self.flag_buf, slot, 1, want_old=False)
+
+    def _consume(self, sb: KernelBuilder):
+        """Consumer half: wait for the signal, read back through the L2.
+
+        Must be emitted under ``if_(is_consumer)``; the caller frees the
+        slot (``flag := 0``) or repurposes it for a reply (``flag := 2``).
+        """
+        slot = self.slot
+        with sb.loop() as lp:
+            f = sb.atomic("add", self.flag_buf, slot, 0)
+            lp.break_unless(sb.ne(f, 1))
+        # Read back through the L2 (atomic add of 0) — the L1s are
+        # write-through but not coherent across CUs.
+        got_a = sb.atomic("add", self.comm_a, slot, 0)
+        got_v = sb.atomic("add", self.comm_v, slot, 0)
+        return got_a, got_v
+
+    # -- atomics -----------------------------------------------------------
+
+    def _guarded_atomic(self, instr: AtomicGlobal) -> List[Stmt]:
+        """Execute a global atomic once per redundant group pair.
+
+        Unrewritten, both replica groups would perform the
+        read-modify-write, doubling its architectural effect.  The
+        consumer compares the producer's operands, performs the atomic
+        alone, and — when the old value is consumed — replies with the
+        result through the same slot (flag state 2), so both replicas
+        continue with identical state.
+        """
+        out: List[Stmt] = []
+        sb = KernelBuilder.attach(self.kernel, out)
+        slot = self.slot
+
+        old_u = sb.const(0, DType.U32) if instr.dst is not None else None
+
+        def emit_atomic(sb_inner: KernelBuilder) -> None:
+            tmp = (
+                None if instr.dst is None
+                else self.kernel.new_reg(instr.dst.dtype, hint="old")
+            )
+            sb_inner._emit(AtomicGlobal(
+                instr.op, tmp, instr.buf, instr.index, instr.value,
+                instr.compare,
+            ))
+            if tmp is not None:
+                sb_inner.set(old_u, sb_inner.as_u32(tmp))
+
+        if not self.options.communication:
+            with sb.if_(self.is_consumer):
+                emit_atomic(sb)
+        else:
+            idx_u = sb.as_u32(instr.index)
+            val_u = sb.as_u32(instr.value)
+            rounds = [(idx_u, val_u)]
+            if instr.compare is not None:
+                cmp_u = sb.as_u32(instr.compare)
+                rounds.append((cmp_u, cmp_u))
+
+            oks: list = []
+            for i, (a_u, b_u) in enumerate(rounds):
+                self._produce(sb, a_u, b_u)
+                with sb.if_(self.is_consumer):
+                    got_a, got_b = self._consume(sb)
+                    oks.append(sb.pand(sb.eq(got_a, a_u), sb.eq(got_b, b_u)))
+                    if i < len(rounds) - 1:
+                        # Intermediate round: free the slot so the
+                        # producer can publish the next pair.
+                        sb.atomic("xchg", self.flag_buf, slot, 0,
+                                  want_old=False)
+
+            with sb.if_(self.is_consumer):
+                ok = oks[0]
+                for o in oks[1:]:
+                    ok = sb.pand(ok, o)
+                with sb.if_(sb.pnot(ok)):
+                    sb.report_error()
+                emit_atomic(sb)
+                if old_u is not None:
+                    # Reply: old value travels consumer→producer through
+                    # the slot (flag state 2); the producer frees it.
+                    sb.store(self.comm_v, slot, old_u)
+                    sb.atomic("xchg", self.flag_buf, slot, 2, want_old=False)
+                else:
+                    sb.atomic("xchg", self.flag_buf, slot, 0, want_old=False)
+
+            if old_u is not None:
+                with sb.if_(self.is_producer):
+                    with sb.loop() as lp:
+                        f = sb.atomic("add", self.flag_buf, slot, 0)
+                        lp.break_unless(sb.ne(f, 2))
+                    got = sb.atomic("add", self.comm_v, slot, 0)
+                    sb.set(old_u, got)
+                    sb.atomic("xchg", self.flag_buf, slot, 0, want_old=False)
+
+        if instr.dst is not None:
+            op = {
+                DType.U32: "mov", DType.I32: "bitcast_i32",
+                DType.F32: "bitcast_f32",
+            }[instr.dst.dtype]
+            sb._emit(Alu(op, instr.dst, old_u))
         return out

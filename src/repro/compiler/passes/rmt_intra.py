@@ -27,6 +27,8 @@ from typing import Dict, List, Optional, Tuple
 
 from ...ir.builder import KernelBuilder
 from ...ir.core import (
+    Alu,
+    AtomicGlobal,
     Instr,
     Kernel,
     LoadLocal,
@@ -170,6 +172,8 @@ class _IntraRewriter:
                 instr, index=instr.index, value=instr.value,
                 emit_store=lambda sb: sb._emit(instr),
             )
+        if isinstance(instr, AtomicGlobal):
+            return self._guarded_atomic(instr)
         if isinstance(instr, StoreLocal):
             if opts.include_lds:
                 return self._remap_lds_access(instr, is_store=True)
@@ -213,26 +217,107 @@ class _IntraRewriter:
 
         idx_u = sb.as_u32(index)
         val_u = sb.as_u32(value)
-
-        if opts.fast_comm:
-            # Register-level exchange (Section 8): each even (consumer)
-            # lane reads its odd (producer) partner's lane.  The extra
-            # moves model the packing the paper attributes FAST's small
-            # regressions to.
-            packed_a = sb.mov(idx_u)
-            packed_v = sb.mov(val_u)
-            got_a = sb.swizzle(packed_a, or_mask=1)
-            got_v = sb.swizzle(packed_v, or_mask=1)
-        else:
-            with sb.if_(self.is_producer):
-                sb.store_local(self.comm_addr, self.pair_slot, idx_u)
-                sb.store_local(self.comm_val, self.pair_slot, val_u)
-            got_a = sb.load_local(self.comm_addr, self.pair_slot)
-            got_v = sb.load_local(self.comm_val, self.pair_slot)
+        got_a, got_v = self._exchange(sb, idx_u, val_u)
 
         with sb.if_(self.is_consumer):
             ok = sb.pand(sb.eq(got_a, idx_u), sb.eq(got_v, val_u))
             with sb.if_(sb.pnot(ok)):
                 sb.report_error()
             emit_store(sb)
+        return out
+
+    def _exchange(self, sb: KernelBuilder, a_u: VReg, b_u: VReg):
+        """One producer→consumer round over the communication channel."""
+        if self.options.fast_comm:
+            # Register-level exchange (Section 8): each even (consumer)
+            # lane reads its odd (producer) partner's lane.  The extra
+            # moves model the packing the paper attributes FAST's small
+            # regressions to.
+            packed_a = sb.mov(a_u)
+            packed_v = sb.mov(b_u)
+            got_a = sb.swizzle(packed_a, or_mask=1)
+            got_b = sb.swizzle(packed_v, or_mask=1)
+        else:
+            with sb.if_(self.is_producer):
+                sb.store_local(self.comm_addr, self.pair_slot, a_u)
+                sb.store_local(self.comm_val, self.pair_slot, b_u)
+            got_a = sb.load_local(self.comm_addr, self.pair_slot)
+            got_b = sb.load_local(self.comm_val, self.pair_slot)
+        return got_a, got_b
+
+    # -- atomics -----------------------------------------------------------
+
+    def _guarded_atomic(self, instr: AtomicGlobal) -> List[Stmt]:
+        """Execute a global atomic once per redundant pair.
+
+        Global atomics exit the SoR exactly like stores — and, left
+        unrewritten, *both* replicas would perform the read-modify-write,
+        doubling its architectural effect (an atomic add would count
+        every work-item twice).  The consumer compares the producer's
+        operands, performs the atomic alone, and (when the old value is
+        consumed) hands the result back across the channel so both
+        replicas continue with identical state.
+        """
+        opts = self.options
+        out: List[Stmt] = []
+        sb = KernelBuilder.attach(self.kernel, out)
+
+        # Pre-defined landing register so the result dominates later uses
+        # in both replicas.
+        old_u = sb.const(0, DType.U32) if instr.dst is not None else None
+
+        def emit_atomic(sb_inner: KernelBuilder) -> None:
+            tmp = (
+                None if instr.dst is None
+                else self.kernel.new_reg(instr.dst.dtype, hint="old")
+            )
+            sb_inner._emit(AtomicGlobal(
+                instr.op, tmp, instr.buf, instr.index, instr.value,
+                instr.compare,
+            ))
+            if tmp is not None:
+                sb_inner.set(old_u, sb_inner.as_u32(tmp))
+
+        if not opts.communication:
+            # Component isolation: unchecked consumer-side execution.
+            # The producer's copy of the old value stays 0 — acceptable
+            # only because isolation mode never compares outputs.
+            with sb.if_(self.is_consumer):
+                emit_atomic(sb)
+        else:
+            idx_u = sb.as_u32(instr.index)
+            val_u = sb.as_u32(instr.value)
+            got_a, got_v = self._exchange(sb, idx_u, val_u)
+            cmp_pairs = [(got_a, idx_u), (got_v, val_u)]
+            if instr.compare is not None:
+                cmp_u = sb.as_u32(instr.compare)
+                got_c, _ = self._exchange(sb, cmp_u, cmp_u)
+                cmp_pairs.append((got_c, cmp_u))
+
+            with sb.if_(self.is_consumer):
+                ok = sb.eq(*cmp_pairs[0])
+                for got, mine in cmp_pairs[1:]:
+                    ok = sb.pand(ok, sb.eq(got, mine))
+                with sb.if_(sb.pnot(ok)):
+                    sb.report_error()
+                emit_atomic(sb)
+
+            if old_u is not None:
+                # Broadcast the old value consumer→producer (the reverse
+                # direction of the usual exchange).
+                if opts.fast_comm:
+                    packed = sb.mov(old_u)
+                    got = sb.swizzle(packed, and_mask=~1)
+                else:
+                    with sb.if_(self.is_consumer):
+                        sb.store_local(self.comm_val, self.pair_slot, old_u)
+                    got = sb.load_local(self.comm_val, self.pair_slot)
+                old_u = got
+
+        if instr.dst is not None:
+            op = {
+                DType.U32: "mov", DType.I32: "bitcast_i32",
+                DType.F32: "bitcast_f32",
+            }[instr.dst.dtype]
+            sb._emit(Alu(op, instr.dst, old_u))
         return out

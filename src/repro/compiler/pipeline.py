@@ -11,7 +11,7 @@ register/LDS footprints → occupancy) feed the timing simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Set
+from typing import Optional, Sequence, Set
 
 from ..gpu.occupancy import KernelResources
 from ..ir.core import Kernel
@@ -77,6 +77,8 @@ def compile_kernel(
     verify: bool = True,
     optimize: bool = False,
     lint: bool = True,
+    rmt_pass: Optional[Pass] = None,
+    extra_passes: Sequence[Pass] = (),
 ) -> CompiledKernel:
     """Run the pipeline for one kernel/variant pair.
 
@@ -86,6 +88,12 @@ def compile_kernel(
 
     ``lint=False`` opts out of the post-pass static lint suite (see
     :mod:`repro.compiler.lint`); lint also requires ``verify``.
+
+    ``rmt_pass`` substitutes a custom transformation for the variant's
+    stock pass, and ``extra_passes`` run right after it (before the
+    cleanup pipeline).  Both exist for differential testing — the fuzz
+    oracle uses them to plant deliberately broken passes and prove it
+    can detect them (see :mod:`repro.fuzz.oracle`).
     """
     from .passes.optimize import (
         CommonSubexpressionPass,
@@ -94,9 +102,11 @@ def compile_kernel(
     )
 
     passes = []
-    p = rmt_pass_for(variant, communication=communication)
+    p = rmt_pass if rmt_pass is not None else rmt_pass_for(
+        variant, communication=communication)
     if p is not None:
         passes.append(p)
+    passes.extend(extra_passes)
     if optimize:
         passes.extend([
             ConstantFoldingPass(),

@@ -1,0 +1,49 @@
+"""Differential fuzzing subsystem: random kernel generation plus a
+multi-way RMT equivalence oracle (see ``python -m repro.fuzz --help``).
+
+The pieces:
+
+* :mod:`repro.fuzz.program` — serializable program specs (build IR,
+  make inputs, render runnable reproducers);
+* :mod:`repro.fuzz.generator` — seeded, determinism-by-construction
+  random program generation;
+* :mod:`repro.fuzz.oracle` — run a program through baseline + every RMT
+  variant at O0/O1 and cross-check memory, detections, and (optionally)
+  fault-injection SoR coverage;
+* :mod:`repro.fuzz.shrink` — greedy reproducer minimization;
+* :mod:`repro.fuzz.corpus` — hand-crafted edge-shape regression corpus;
+* :mod:`repro.fuzz.cli` — the campaign driver behind ``-m repro.fuzz``.
+"""
+
+from .generator import GenConfig, generate_program
+from .oracle import (
+    Finding,
+    OracleReport,
+    RunSpec,
+    check_program,
+    default_runs,
+    format_findings,
+    run_program,
+)
+from .program import BufferSpec, FuzzProgram, LdsSpec, Op, ScalarSpec
+from .shrink import ShrinkResult, same_errors_predicate, shrink_program
+
+__all__ = [
+    "BufferSpec",
+    "Finding",
+    "FuzzProgram",
+    "GenConfig",
+    "LdsSpec",
+    "Op",
+    "OracleReport",
+    "RunSpec",
+    "ScalarSpec",
+    "ShrinkResult",
+    "check_program",
+    "default_runs",
+    "format_findings",
+    "generate_program",
+    "run_program",
+    "same_errors_predicate",
+    "shrink_program",
+]

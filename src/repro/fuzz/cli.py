@@ -1,0 +1,243 @@
+"""``python -m repro.fuzz`` — the differential fuzzing campaign driver.
+
+Generates ``--count`` seeded programs, fans each one's oracle check
+across the orchestrator's crash-tolerant worker pool, journals every
+trial to JSONL (resumable with ``--resume``), and optionally shrinks
+any error-finding program into a runnable reproducer script.
+
+Typical invocations::
+
+    python -m repro.fuzz --seed 0 --count 300            # acceptance run
+    python -m repro.fuzz --count 50 --workers 8 --faults 4
+    python -m repro.fuzz --count 200 --time-budget 60 --shrink
+    python -m repro.fuzz --write-corpus                  # refresh corpus
+
+Exit status is non-zero iff any *error*-severity finding surfaced
+(unfaulted divergence, crash, hang, or an exact-coverage SoR escape).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from .generator import GenConfig, generate_program
+from .oracle import RunSpec, check_program, format_findings
+from .program import FuzzProgram
+
+#: Variant names accepted by ``--variants`` (each runs at O0 and O1).
+VARIANT_CHOICES = ("original", "intra+lds", "intra-lds", "inter")
+
+
+def build_runs(variants: Optional[Sequence[str]]) -> Optional[List[RunSpec]]:
+    """Translate a ``--variants`` filter into a RunSpec matrix.
+
+    ``None`` keeps the oracle's default full matrix.  ``original`` in a
+    filter means "also diff original@O1 against the O0 baseline".
+    """
+    if not variants:
+        return None
+    runs: List[RunSpec] = []
+    for name in variants:
+        if name not in VARIANT_CHOICES:
+            raise ValueError(f"unknown variant {name!r} "
+                             f"(choose from {', '.join(VARIANT_CHOICES)})")
+        if name == "original":
+            runs.append(RunSpec("original", optimize=True))
+        else:
+            runs.append(RunSpec(name, optimize=False))
+            runs.append(RunSpec(name, optimize=True))
+    return runs
+
+
+def _trial(payload: Dict) -> Dict:
+    """Worker body: generate one program, run the oracle, summarize."""
+    prog = generate_program(payload["seed"], payload.get("cfg"))
+    report = check_program(
+        prog,
+        runs=payload.get("runs"),
+        faults=payload.get("faults", 0),
+        fault_seed=payload["seed"],
+    )
+    return {
+        "seed": payload["seed"],
+        "program": report.program,
+        "digest": report.digest,
+        "runs": len(report.runs),
+        "findings": [f.to_json() for f in report.findings],
+        "n_errors": len(report.errors),
+    }
+
+
+def _shrink_and_dump(seed: int, runs, out_dir: str) -> Optional[str]:
+    """Re-check, shrink, and write a reproducer for one error seed."""
+    from .shrink import same_errors_predicate, shrink_program
+
+    prog = generate_program(seed)
+    report = check_program(prog, runs=runs)
+    if not report.errors:
+        return None  # raced away (should not happen: trials are deterministic)
+    result = shrink_program(prog, same_errors_predicate(report, runs=runs))
+    shrunk = result.program
+    shrunk.name = f"fuzz_min_{seed}"
+    sigs = ", ".join(sorted({f"{f.kind}@{f.run}" for f in report.errors}))
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"{shrunk.name}.py")
+    with open(path, "w") as fh:
+        fh.write(shrunk.to_python(
+            f"Minimized from generate_program({seed}) "
+            f"({result.ops_before} -> {result.ops_after} ops); "
+            f"original error signature: {sigs}."))
+    return path
+
+
+def make_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differential fuzzing of the RMT compiler/engine stack.")
+    p.add_argument("--seed", type=int, default=0,
+                   help="base seed; trial i uses seed+i (default 0)")
+    p.add_argument("--count", type=int, default=100,
+                   help="number of programs to generate (default 100)")
+    p.add_argument("--time-budget", type=float, default=None, metavar="S",
+                   help="stop scheduling new chunks after S seconds")
+    p.add_argument("--variants", default=None, metavar="A,B",
+                   help="comma list from: " + ", ".join(VARIANT_CHOICES)
+                        + " (default: full matrix)")
+    p.add_argument("--faults", type=int, default=0, metavar="N",
+                   help="also inject N single-bit faults per program "
+                        "(SoR-coverage probe; default 0)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (default 1)")
+    p.add_argument("--timeout", type=float, default=120.0, metavar="S",
+                   help="per-trial wall clock in parallel mode (default 120)")
+    p.add_argument("--max-ops", type=int, default=None,
+                   help="override the generator's op budget ceiling")
+    p.add_argument("--shrink", action="store_true",
+                   help="minimize error programs and write reproducers")
+    p.add_argument("--repro-dir", default="tests/corpus", metavar="DIR",
+                   help="where --shrink writes reproducers "
+                        "(default tests/corpus)")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="JSONL findings journal")
+    p.add_argument("--resume", action="store_true",
+                   help="skip trials already present in --journal")
+    p.add_argument("--progress", action="store_true",
+                   help="live progress meter on stderr")
+    p.add_argument("--write-corpus", action="store_true",
+                   help="regenerate tests/corpus edge-shape scripts and exit")
+    return p
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+
+    if args.write_corpus:
+        from .corpus import write_corpus
+        for path in write_corpus(args.repro_dir):
+            print(path)
+        return 0
+
+    from ..orchestrator import Journal, Telemetry, run_tasks
+
+    variants = (args.variants.split(",") if args.variants else None)
+    try:
+        runs = build_runs(variants)
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    cfg = None
+    if args.max_ops is not None:
+        cfg = GenConfig(max_ops=args.max_ops,
+                        min_ops=min(GenConfig.min_ops, args.max_ops))
+
+    journal = None
+    done: set = set()
+    if args.journal:
+        journal = Journal(args.journal, resume=args.resume, meta={
+            "campaign": "fuzz", "seed": args.seed, "count": args.count,
+            "variants": variants or "all", "faults": args.faults,
+        })
+        if args.resume:
+            done = journal.completed_indices("trial")
+
+    telemetry = Telemetry(label="fuzz", progress=args.progress)
+    pending = [
+        (i, {"seed": args.seed + i, "runs": runs, "faults": args.faults,
+             "cfg": cfg})
+        for i in range(args.count) if i not in done
+    ]
+    telemetry.start(total=args.count, skipped=len(done))
+
+    error_seeds: List[int] = []
+    all_findings: List[Dict] = []
+    infra_failures: List[str] = []
+
+    def on_result(res) -> None:
+        if not res.ok:
+            infra_failures.append(f"trial {res.task_id}: {res.status} "
+                                  f"{res.error}")
+            if journal:
+                journal.append("trial", index=res.task_id, status=res.status,
+                               error=res.error)
+            return
+        value = res.value
+        if journal:
+            journal.append("trial", index=res.task_id, status="ok", **value)
+        for f in value["findings"]:
+            all_findings.append(f)
+            if journal:
+                journal.append("finding", index=res.task_id, **f)
+        if value["n_errors"]:
+            error_seeds.append(value["seed"])
+
+    # Chunked scheduling so --time-budget can stop between chunks while
+    # each chunk still saturates the pool.
+    t0 = time.monotonic()
+    chunk = max(args.workers, 1) * 8
+    scheduled = 0
+    for start in range(0, len(pending), chunk):
+        if (args.time_budget is not None and scheduled
+                and time.monotonic() - t0 > args.time_budget):
+            break
+        batch = pending[start:start + chunk]
+        scheduled += len(batch)
+        run_tasks(batch, _trial, workers=args.workers,
+                  timeout_s=args.timeout, max_retries=1,
+                  telemetry=telemetry, on_result=on_result)
+    telemetry.finish()
+
+    repro_paths: List[str] = []
+    if args.shrink and error_seeds:
+        for seed in sorted(set(error_seeds)):
+            path = _shrink_and_dump(seed, runs, args.repro_dir)
+            if path:
+                repro_paths.append(path)
+                if journal:
+                    journal.append("reproducer", seed=seed, path=path)
+
+    errors = [f for f in all_findings if f["severity"] == "error"]
+    infos = [f for f in all_findings if f["severity"] != "error"]
+    print(f"fuzz: {scheduled}/{args.count} trials "
+          f"(skipped {len(done)} journaled), "
+          f"{len(errors)} error finding(s), {len(infos)} info finding(s), "
+          f"{len(infra_failures)} infra failure(s)")
+    for f in errors:
+        print(f"  [error] seed {f['seed']}: {f['kind']} @ {f['run']}: "
+              f"{f['detail']}")
+    for line in infra_failures:
+        print(f"  [infra] {line}")
+    for path in repro_paths:
+        print(f"  reproducer: {path}")
+    if journal:
+        journal.append("summary", scheduled=scheduled, errors=len(errors),
+                       infos=len(infos), infra=len(infra_failures))
+        journal.close()
+    return 1 if (errors or infra_failures) else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,290 @@
+"""Hand-crafted edge-shape programs for the regression corpus.
+
+Each program isolates one structural shape that has historically been a
+soft spot for RMT transformations (empty control arms, barriers inside
+uniform loops, communication adjacent to atomics, …).  They run through
+the same differential oracle as fuzz-generated programs, and
+:func:`write_corpus` renders them as standalone reproducer scripts into
+``tests/corpus/`` where ``tests/test_fuzz_corpus.py`` replays them —
+alongside any minimized fuzz findings checked in later.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from .program import BufferSpec, FuzzProgram, LdsSpec, Op, ScalarSpec
+
+#: Bump when edge shapes change so regenerated corpus files are traceable.
+CORPUS_VERSION = 1
+
+
+def _prog(name: str, **kw) -> FuzzProgram:
+    kw.setdefault("global_size", 64)
+    kw.setdefault("local_size", 16)
+    p = FuzzProgram(name=name, **kw)
+    p.meta["corpus"] = CORPUS_VERSION
+    problems = p.validate()
+    if problems:  # pragma: no cover - authoring error
+        raise AssertionError(f"corpus program {name}: {problems}")
+    return p
+
+
+def empty_if() -> FuzzProgram:
+    """A branch with an empty then-arm; the else-arm stores."""
+    return _prog(
+        "edge_empty_if",
+        buffers=[BufferSpec("in0", "u32", 64, role="in", init="random", seed=11),
+                 BufferSpec("out0", "u32", 64, role="out")],
+        ops=[
+            Op("special", result=1, op="global_id", imm=0),
+            Op("const", result=2, dtype="u32", imm=63),
+            Op("alu", result=3, dtype="u32", op="and", args=(1, 2)),
+            Op("load", result=4, ref="in0", args=(3,)),
+            Op("const", result=5, dtype="u32", imm=32),
+            Op("cmp", result=6, op="lt", args=(1, 5)),
+            Op("if", args=(6,), body=[],
+               orelse=[Op("store", ref="out0", args=(1, 4))]),
+            Op("if", args=(6,), body=[], orelse=[]),  # fully empty branch
+            Op("store", ref="out0", args=(1, 4)),
+        ])
+
+
+def barrier_in_uniform_loop() -> FuzzProgram:
+    """A constant-trip loop carrying a full LDS phase each iteration."""
+    return _prog(
+        "edge_barrier_uniform_loop",
+        buffers=[BufferSpec("in0", "u32", 64, role="in", init="iota"),
+                 BufferSpec("out0", "u32", 64, role="out")],
+        lds=[LdsSpec("tile", "u32", 16)],
+        ops=[
+            Op("special", result=1, op="global_id", imm=0),
+            Op("special", result=2, op="local_id", imm=0),
+            Op("const", result=3, dtype="u32", imm=63),
+            Op("alu", result=4, dtype="u32", op="and", args=(1, 3)),
+            Op("load", result=5, ref="in0", args=(4,)),
+            Op("alu", result=20, dtype="u32", op="add", args=(5, 5)),
+            Op("for", result=6, imm=(0, 3, 1), body=[
+                Op("alu", result=7, dtype="u32", op="add", args=(20, 6)),
+                Op("store_local", ref="tile", args=(2, 7)),
+                Op("barrier"),
+                Op("const", result=8, dtype="u32", imm=1),
+                Op("alu", result=9, dtype="u32", op="add", args=(2, 8)),
+                Op("const", result=10, dtype="u32", imm=15),
+                Op("alu", result=11, dtype="u32", op="and", args=(9, 10)),
+                Op("load_local", result=12, ref="tile", args=(11,)),
+                Op("barrier"),
+            ]),
+            Op("store", ref="out0", args=(1, 20)),
+        ])
+
+
+def lds_read_after_atomic() -> FuzzProgram:
+    """A global atomic immediately before an LDS phase: the RMT atomic
+    handshake and the barrier-delimited LDS traffic must not tangle."""
+    return _prog(
+        "edge_lds_read_after_atomic",
+        buffers=[BufferSpec("in0", "u32", 64, role="in", init="random", seed=3),
+                 BufferSpec("out0", "u32", 64, role="out"),
+                 BufferSpec("acc0", "u32", 8, role="acc")],
+        lds=[LdsSpec("tile", "u32", 16)],
+        ops=[
+            Op("special", result=1, op="global_id", imm=0),
+            Op("special", result=2, op="local_id", imm=0),
+            Op("const", result=3, dtype="u32", imm=7),
+            Op("alu", result=4, dtype="u32", op="and", args=(1, 3)),
+            Op("const", result=5, dtype="u32", imm=63),
+            Op("alu", result=6, dtype="u32", op="and", args=(1, 5)),
+            Op("load", result=7, ref="in0", args=(6,)),
+            Op("atomic", op="add", ref="acc0", args=(4, 7)),
+            Op("store_local", ref="tile", args=(2, 7)),
+            Op("barrier"),
+            Op("const", result=8, dtype="u32", imm=15),
+            Op("alu", result=9, dtype="u32", op="and", args=(7, 8)),
+            Op("load_local", result=10, ref="tile", args=(9,)),
+            Op("barrier"),
+            Op("store", ref="out0", args=(1, 10)),
+        ])
+
+
+def both_arms_store() -> FuzzProgram:
+    """if/else where each arm stores a different value to the own cell."""
+    return _prog(
+        "edge_both_arms_store",
+        buffers=[BufferSpec("in0", "i32", 64, role="in", init="random", seed=9),
+                 BufferSpec("out0", "i32", 64, role="out")],
+        ops=[
+            Op("special", result=1, op="global_id", imm=0),
+            Op("const", result=2, dtype="u32", imm=63),
+            Op("alu", result=3, dtype="u32", op="and", args=(1, 2)),
+            Op("load", result=4, ref="in0", args=(3,)),
+            Op("const", result=5, dtype="i32", imm=0),
+            Op("cmp", result=6, op="lt", args=(4, 5)),
+            Op("if", args=(6,),
+               body=[Op("alu", result=7, dtype="i32", op="sub", args=(5, 4)),
+                     Op("store", ref="out0", args=(1, 7))],
+               orelse=[Op("store", ref="out0", args=(1, 4))]),
+        ])
+
+
+def divergent_loop_trips() -> FuzzProgram:
+    """Per-lane trip counts accumulated into the output."""
+    return _prog(
+        "edge_divergent_loop",
+        buffers=[BufferSpec("out0", "u32", 64, role="out")],
+        ops=[
+            Op("special", result=1, op="global_id", imm=0),
+            Op("const", result=2, dtype="u32", imm=7),
+            Op("alu", result=3, dtype="u32", op="and", args=(1, 2)),
+            Op("const", result=4, dtype="u32", imm=0),
+            Op("alu", result=5, dtype="u32", op="add", args=(4, 4)),
+            Op("for", result=6, imm=(0, 0, 1), args=(3,), body=[
+                Op("alu", result=7, dtype="u32", op="mul", args=(6, 6)),
+            ]),
+            Op("store", ref="out0", args=(1, 3)),
+        ])
+
+
+def nested_branch_store() -> FuzzProgram:
+    """A store two branches deep — the consumer guard nests under user
+    control flow."""
+    return _prog(
+        "edge_nested_branch_store",
+        buffers=[BufferSpec("in0", "u32", 64, role="in", init="random", seed=21),
+                 BufferSpec("out0", "u32", 64, role="out")],
+        ops=[
+            Op("special", result=1, op="global_id", imm=0),
+            Op("const", result=2, dtype="u32", imm=63),
+            Op("alu", result=3, dtype="u32", op="and", args=(1, 2)),
+            Op("load", result=4, ref="in0", args=(3,)),
+            Op("const", result=5, dtype="u32", imm=32),
+            Op("cmp", result=6, op="ge", args=(1, 5)),
+            Op("const", result=7, dtype="u32", imm=1),
+            Op("alu", result=8, dtype="u32", op="and", args=(4, 7)),
+            Op("cmp", result=9, op="eq", args=(8, 7)),
+            Op("if", args=(6,), body=[
+                Op("if", args=(9,), body=[
+                    Op("store", ref="out0", args=(1, 4)),
+                ]),
+            ]),
+            Op("store", ref="out0", args=(1, 8)),
+        ])
+
+
+def f32_reverse_bijection() -> FuzzProgram:
+    """f32 math stored through the reversal bijection (n-1-gid)."""
+    return _prog(
+        "edge_f32_reverse",
+        buffers=[BufferSpec("in0", "f32", 64, role="in", init="random", seed=4),
+                 BufferSpec("out0", "f32", 64, role="out")],
+        scalars=[ScalarSpec("s0", "f32", 1.5)],
+        ops=[
+            Op("special", result=1, op="global_id", imm=0),
+            Op("scalar", result=2, ref="s0"),
+            Op("const", result=3, dtype="u32", imm=63),
+            Op("alu", result=4, dtype="u32", op="and", args=(1, 3)),
+            Op("load", result=5, ref="in0", args=(4,)),
+            Op("alu", result=6, dtype="f32", op="mul", args=(5, 2)),
+            Op("alu", result=7, dtype="f32", op="sqrt", args=(6,)),
+            Op("alu", result=8, dtype="f32", op="add", args=(7, 5)),
+            Op("const", result=9, dtype="u32", imm=63),
+            Op("alu", result=10, dtype="u32", op="sub", args=(9, 1)),
+            Op("store", ref="out0", args=(10, 8)),
+        ])
+
+
+def select_chain() -> FuzzProgram:
+    """Predicate algebra (pand/por/pnot) feeding chained selects."""
+    return _prog(
+        "edge_select_chain",
+        buffers=[BufferSpec("in0", "u32", 64, role="in", init="random", seed=8),
+                 BufferSpec("out0", "u32", 64, role="out")],
+        ops=[
+            Op("special", result=1, op="global_id", imm=0),
+            Op("const", result=2, dtype="u32", imm=63),
+            Op("alu", result=3, dtype="u32", op="and", args=(1, 2)),
+            Op("load", result=4, ref="in0", args=(3,)),
+            Op("const", result=5, dtype="u32", imm=100),
+            Op("cmp", result=6, op="gt", args=(4, 5)),
+            Op("const", result=7, dtype="u32", imm=16),
+            Op("cmp", result=8, op="lt", args=(1, 7)),
+            Op("predop", result=9, op="and", args=(6, 8)),
+            Op("predop", result=10, op="not", args=(9,)),
+            Op("predop", result=11, op="or", args=(9, 10)),
+            Op("select", result=12, args=(9, 4, 1)),
+            Op("select", result=13, args=(11, 12, 5)),
+            Op("store", ref="out0", args=(1, 13)),
+        ])
+
+
+def multi_out_acc() -> FuzzProgram:
+    """Two out buffers on different bijections plus a max-accumulator."""
+    return _prog(
+        "edge_multi_out_acc",
+        buffers=[BufferSpec("in0", "u32", 64, role="in", init="random", seed=2),
+                 BufferSpec("out0", "u32", 64, role="out"),
+                 BufferSpec("out1", "u32", 64, role="out"),
+                 BufferSpec("acc0", "u32", 16, role="acc")],
+        ops=[
+            Op("special", result=1, op="global_id", imm=0),
+            Op("const", result=2, dtype="u32", imm=63),
+            Op("alu", result=3, dtype="u32", op="and", args=(1, 2)),
+            Op("load", result=4, ref="in0", args=(3,)),
+            Op("const", result=5, dtype="u32", imm=15),
+            Op("alu", result=6, dtype="u32", op="and", args=(4, 5)),
+            Op("atomic", op="max", ref="acc0", args=(6, 4)),
+            Op("const", result=7, dtype="u32", imm=21),
+            Op("alu", result=8, dtype="u32", op="xor", args=(1, 7)),
+            Op("store", ref="out0", args=(8, 4)),
+            Op("const", result=9, dtype="u32", imm=13),
+            Op("alu", result=10, dtype="u32", op="mul", args=(1, 9)),
+            Op("alu", result=11, dtype="u32", op="and", args=(10, 2)),
+            Op("store", ref="out1", args=(11, 6)),
+        ])
+
+
+def trivial_store() -> FuzzProgram:
+    """The degenerate minimum: one unconditional constant store."""
+    return _prog(
+        "edge_trivial_store",
+        buffers=[BufferSpec("out0", "u32", 64, role="out")],
+        ops=[
+            Op("special", result=1, op="global_id", imm=0),
+            Op("const", result=2, dtype="u32", imm=7),
+            Op("alu", result=3, dtype="u32", op="add", args=(1, 2)),
+            Op("store", ref="out0", args=(1, 3)),
+        ])
+
+
+EDGE_SHAPES = (
+    empty_if,
+    barrier_in_uniform_loop,
+    lds_read_after_atomic,
+    both_arms_store,
+    divergent_loop_trips,
+    nested_branch_store,
+    f32_reverse_bijection,
+    select_chain,
+    multi_out_acc,
+    trivial_store,
+)
+
+
+def edge_programs() -> List[FuzzProgram]:
+    """All hand-crafted edge-shape programs, freshly constructed."""
+    return [make() for make in EDGE_SHAPES]
+
+
+def write_corpus(directory: str) -> List[str]:
+    """Render every edge program as a reproducer script; return paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for prog in edge_programs():
+        path = os.path.join(directory, f"{prog.name}.py")
+        with open(path, "w") as fh:
+            fh.write(prog.to_python(
+                f"Hand-crafted edge shape (corpus v{CORPUS_VERSION}); "
+                "regenerate with `python -m repro.fuzz --write-corpus`."))
+        paths.append(path)
+    return paths

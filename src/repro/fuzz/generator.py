@@ -1,0 +1,444 @@
+"""Seeded random kernel generator.
+
+``generate_program(seed)`` produces a :class:`~repro.fuzz.program.
+FuzzProgram` that is **deterministic and lint-clean by construction**,
+so that any cross-variant divergence the oracle observes indicts the
+compiler/engine, never the program.  The discipline:
+
+* every buffer size is a power of two and every global index is either
+  a per-``gid`` bijection or masked with ``size - 1`` — out-of-bounds
+  access (which the engine treats as a crash) is impossible;
+* each ``out`` buffer has ONE fixed bijective store index over ``gid``
+  (identity, reversal, xor, add-mod, or odd-multiplier), so no two
+  work-items ever race on a cell, under any scheduling;
+* ``in`` buffers are read-only; each ``out`` buffer is either *readable*
+  (loads at the owning work-item's own cell; stored only by the final
+  epilogue) or *writable* (mid-program stores allowed, never loaded) —
+  under Inter-Group RMT the producer replica does not wait for the
+  consumer's physical store, so reading back an already-stored cell
+  would observe SoR-exited memory at an unsynchronized time;
+* each ``acc`` buffer is pinned to ONE commutative integer atomic op
+  (``add``/``max``/``or``) for the whole program and never read — ops of
+  one kind commute with themselves under any interleaving, but mixed
+  kinds on one cell (``or`` then ``max``) are order-dependent;
+* LDS follows a write→barrier→read→barrier phase discipline with the
+  store index equal to ``lid`` (trivially race-free), and barriers are
+  emitted only in uniform control flow (top level or constant-trip-count
+  loops);
+* data-dependent loop bounds are masked to small trip counts, and all
+  float arithmetic stays inside plain IEEE ops the engine evaluates
+  identically at O0 and O1 (the optimizer folds integers only).
+
+Reproducibility: the same ``(seed, GenConfig)`` yields the identical
+spec, bit for bit (``FuzzProgram.digest()``), on any host — randomness
+flows exclusively from ``np.random.SeedSequence(seed)``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .program import BufferSpec, FuzzProgram, LdsSpec, Op, ScalarSpec
+
+#: (global_size, local_size) launch shapes the generator samples.
+_SHAPES = ((64, 16), (64, 32), (128, 16), (128, 32), (128, 64), (256, 32))
+
+_INT_BINOPS = ("add", "sub", "mul", "and", "or", "xor", "min", "max",
+               "shl", "shr", "div", "rem")
+_F32_BINOPS = ("add", "sub", "mul", "div", "min", "max", "pow")
+_F32_UNOPS = ("neg", "abs", "sqrt", "floor", "sin")
+_CMP_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
+_ATOMIC_OPS = ("add", "max", "or")
+
+
+@dataclass
+class GenConfig:
+    """Knobs bounding the generated program's size and feature mix."""
+
+    min_ops: int = 10
+    max_ops: int = 36
+    max_depth: int = 2
+    allow_f32: bool = True
+    allow_lds: bool = True
+    allow_atomics: bool = True
+    allow_branches: bool = True
+    allow_loops: bool = True
+    #: Segment-kind weights; zeroing one disables that shape.
+    weights: Dict[str, float] = field(default_factory=lambda: {
+        "alu": 4.0, "load": 2.0, "select": 1.0, "store": 1.0,
+        "atomic": 1.0, "branch": 1.4, "uloop": 0.7, "dloop": 0.7,
+        "lds": 1.2,
+    })
+
+
+def generate_program(seed: int, cfg: Optional[GenConfig] = None) -> FuzzProgram:
+    """Generate one deterministic, verifier/lint-clean program."""
+    return _Gen(seed, cfg or GenConfig()).run()
+
+
+class _Gen:
+    def __init__(self, seed: int, cfg: GenConfig):
+        self.seed = seed
+        self.cfg = cfg
+        self.rng = np.random.default_rng(np.random.SeedSequence(seed))
+        self.next_id = 0
+        self.block_stack: List[List[Op]] = [[]]
+        # Value pools by dtype class; scoped with the block structure so
+        # an op never references a value defined on another control path.
+        self.pools: Dict[str, List[int]] = {
+            "u32": [], "i32": [], "f32": [], "pred": []}
+        self.budget = int(self.rng.integers(cfg.min_ops, cfg.max_ops + 1))
+
+    # -- plumbing ----------------------------------------------------------
+
+    def nid(self) -> int:
+        self.next_id += 1
+        return self.next_id
+
+    def emit(self, op: Op) -> Op:
+        self.block_stack[-1].append(op)
+        return op
+
+    @contextmanager
+    def scope(self, block: List[Op]):
+        marks = {k: len(v) for k, v in self.pools.items()}
+        self.block_stack.append(block)
+        try:
+            yield
+        finally:
+            self.block_stack.pop()
+            for k, n in marks.items():
+                del self.pools[k][n:]
+
+    def define(self, dtype: str, op: Op) -> int:
+        vid = self.nid()
+        op.result = vid
+        self.emit(op)
+        self.pools[dtype].append(vid)
+        return vid
+
+    def choice(self, seq):
+        return seq[int(self.rng.integers(len(seq)))]
+
+    # -- value sourcing ----------------------------------------------------
+
+    def const(self, dtype: str) -> int:
+        if dtype == "f32":
+            imm = float(np.float32(self.rng.uniform(-8, 8)))
+        elif dtype == "i32":
+            imm = int(self.rng.integers(-64, 64))
+        else:
+            imm = int(self.rng.integers(0, 256))
+        return self.define(dtype, Op("const", dtype=dtype, imm=imm))
+
+    def val(self, dtype: str) -> int:
+        pool = self.pools[dtype]
+        if pool and self.rng.random() < 0.8:
+            return self.choice(pool)
+        return self.const(dtype)
+
+    def int_val(self) -> Tuple[int, str]:
+        dt = "i32" if (self.pools["i32"] and self.rng.random() < 0.3) else "u32"
+        return self.val(dt), dt
+
+    def coerce(self, vid: int, src: str, dst: str) -> int:
+        """Emit a conversion so ``vid`` becomes usable at dtype ``dst``."""
+        if src == dst:
+            return vid
+        if dst == "f32":
+            op = "u2f" if src == "u32" else "i2f"
+            return self.define("f32", Op("alu", dtype="f32", op=op, args=(vid,)))
+        # Reinterpretation keeps cross-variant bit-determinism even for
+        # f32 sources (a value conversion could round, a bitcast cannot).
+        return self.define(dst, Op("alu", dtype=dst, op="bitcast", args=(vid,)))
+
+    def value_for(self, dtype: str) -> int:
+        """A value of ``dtype``, converting a random pool member if the
+        dtype's own pool is empty-ish."""
+        if self.pools[dtype] or self.rng.random() < 0.3:
+            return self.val(dtype)
+        for src in ("u32", "i32", "f32"):
+            if self.pools[src]:
+                return self.coerce(self.choice(self.pools[src]), src, dtype)
+        return self.const(dtype)
+
+    def masked_index(self, nelems: int) -> int:
+        """An always-in-bounds index: ``value & (nelems - 1)``."""
+        vid, dt = self.int_val()
+        if dt == "i32":
+            vid = self.coerce(vid, "i32", "u32")
+        mask = self.define("u32", Op("const", dtype="u32", imm=nelems - 1))
+        return self.define("u32", Op("alu", dtype="u32", op="and",
+                                     args=(vid, mask)))
+
+    # -- out-buffer bijections ---------------------------------------------
+
+    def make_bijection(self, n: int):
+        """Pick one bijective map gid → [0, n) for an out buffer."""
+        kind = self.choice(("identity", "reverse", "xor", "addmod", "mulodd"))
+        if kind == "identity":
+            return ("identity", 0)
+        if kind == "reverse":
+            return ("reverse", n - 1)
+        if kind == "xor":
+            return ("xor", int(self.rng.integers(1, n)))
+        if kind == "addmod":
+            return ("addmod", int(self.rng.integers(1, n)))
+        return ("mulodd", int(self.rng.integers(0, n // 2)) * 2 + 1)
+
+    def emit_bijection(self, bij, n: int) -> int:
+        """Emit index ops computing the bijection of ``gid``."""
+        kind, c = bij
+        if kind == "identity":
+            return self.gid
+        cid = self.define("u32", Op("const", dtype="u32", imm=c))
+        if kind == "reverse":
+            return self.define("u32", Op("alu", dtype="u32", op="sub",
+                                         args=(cid, self.gid)))
+        if kind == "xor":
+            return self.define("u32", Op("alu", dtype="u32", op="xor",
+                                         args=(self.gid, cid)))
+        raw_op = "add" if kind == "addmod" else "mul"
+        raw = self.define("u32", Op("alu", dtype="u32", op=raw_op,
+                                    args=(self.gid, cid)))
+        mask = self.define("u32", Op("const", dtype="u32", imm=n - 1))
+        return self.define("u32", Op("alu", dtype="u32", op="and",
+                                     args=(raw, mask)))
+
+    # -- segments ----------------------------------------------------------
+
+    def seg_alu(self, depth: int) -> None:
+        use_f32 = (self.cfg.allow_f32 and self.pools["f32"]
+                   and self.rng.random() < 0.4)
+        if use_f32:
+            if self.rng.random() < 0.3:
+                op = self.choice(_F32_UNOPS)
+                self.define("f32", Op("alu", dtype="f32", op=op,
+                                      args=(self.val("f32"),)))
+            else:
+                op = self.choice(_F32_BINOPS)
+                self.define("f32", Op("alu", dtype="f32", op=op,
+                                      args=(self.val("f32"), self.val("f32"))))
+            return
+        dt = "i32" if (self.pools["i32"] and self.rng.random() < 0.25) else "u32"
+        op = self.choice(_INT_BINOPS)
+        self.define(dt, Op("alu", dtype=dt, op=op,
+                           args=(self.val(dt), self.val(dt))))
+
+    def seg_load(self, depth: int) -> None:
+        # 'in' buffers at any masked index; readable 'out' buffers only
+        # at the own cell (and those are never stored before the
+        # epilogue, so the read is race-free under every flavor).
+        if self.readable_out and self.rng.random() < 0.25:
+            buf = self.choice(self.readable_out)
+            idx = self.emit_bijection(self.bijections[buf.name], buf.nelems)
+        else:
+            buf = self.choice(self.in_bufs)
+            idx = self.masked_index(buf.nelems)
+        self.define(buf.dtype, Op("load", ref=buf.name, args=(idx,)))
+
+    def seg_select(self, depth: int) -> None:
+        a, dt = self.int_val()
+        b = self.val(dt)
+        p = self.define("pred", Op("cmp", op=self.choice(_CMP_OPS),
+                                   args=(a, b)))
+        if self.rng.random() < 0.4 and len(self.pools["pred"]) >= 2:
+            q = self.choice(self.pools["pred"])
+            pop = self.choice(("and", "or"))
+            p = self.define("pred", Op("predop", op=pop, args=(p, q)))
+        dt2 = self.choice([d for d in ("u32", "i32", "f32")
+                           if self.pools[d]] or ["u32"])
+        self.define(dt2, Op("select",
+                            args=(p, self.value_for(dt2), self.value_for(dt2))))
+
+    def seg_store(self, depth: int) -> None:
+        buf = self.choice(self.writable_out)
+        idx = self.emit_bijection(self.bijections[buf.name], buf.nelems)
+        val = self.value_for(buf.dtype)
+        self.emit(Op("store", ref=buf.name, args=(idx, val)))
+
+    def seg_atomic(self, depth: int) -> None:
+        buf = self.choice(self.acc_bufs)
+        idx = self.masked_index(buf.nelems)
+        val = self.value_for(buf.dtype)
+        self.emit(Op("atomic", op=self.acc_ops[buf.name], ref=buf.name,
+                     args=(idx, val)))
+
+    def seg_branch(self, depth: int) -> None:
+        a, dt = self.int_val()
+        b = self.val(dt)
+        p = self.define("pred", Op("cmp", op=self.choice(_CMP_OPS),
+                                   args=(a, b)))
+        node = self.emit(Op("if", args=(p,)))
+        n_then = int(self.rng.integers(0, 4))  # 0 → empty-arm edge shape
+        with self.scope(node.body):
+            for _ in range(n_then):
+                self.segment(depth + 1, uniform=False)
+        if self.rng.random() < 0.5:
+            with self.scope(node.orelse):
+                for _ in range(int(self.rng.integers(1, 3))):
+                    self.segment(depth + 1, uniform=False)
+
+    def seg_uloop(self, depth: int, uniform: bool) -> None:
+        trips = int(self.rng.integers(2, 5))
+        node = self.emit(Op("for", imm=(0, trips, 1)))
+        with self.scope(node.body):
+            node.result = self.nid()
+            self.pools["u32"].append(node.result)
+            for _ in range(int(self.rng.integers(1, 3))):
+                # A constant-bound loop preserves uniformity: barriers
+                # and LDS phases stay legal inside it.
+                self.segment(depth + 1, uniform=uniform)
+
+    def seg_dloop(self, depth: int) -> None:
+        raw, dt = self.int_val()
+        if dt == "i32":
+            raw = self.coerce(raw, "i32", "u32")
+        mask = self.define("u32", Op("const", dtype="u32", imm=3))
+        stop = self.define("u32", Op("alu", dtype="u32", op="and",
+                                     args=(raw, mask)))
+        node = self.emit(Op("for", imm=(0, 0, 1), args=(stop,)))
+        with self.scope(node.body):
+            node.result = self.nid()
+            self.pools["u32"].append(node.result)
+            for _ in range(int(self.rng.integers(1, 3))):
+                self.segment(depth + 1, uniform=False)
+
+    def seg_lds(self, depth: int) -> None:
+        """One full write→barrier→read→barrier phase (uniform ctx only)."""
+        lds = self.choice(self.lds_bufs)
+        val = self.value_for(lds.dtype)
+        self.emit(Op("store_local", ref=lds.name, args=(self.lid, val)))
+        self.emit(Op("barrier"))
+        if self.rng.random() < 0.5:
+            idx = self.masked_index(lds.nelems)
+        else:
+            # Affine neighbour read: (lid + c) & (n - 1).
+            c = self.define("u32", Op("const", dtype="u32",
+                                      imm=int(self.rng.integers(1, lds.nelems))))
+            raw = self.define("u32", Op("alu", dtype="u32", op="add",
+                                        args=(self.lid, c)))
+            m = self.define("u32", Op("const", dtype="u32", imm=lds.nelems - 1))
+            idx = self.define("u32", Op("alu", dtype="u32", op="and",
+                                        args=(raw, m)))
+        self.define(lds.dtype, Op("load_local", ref=lds.name, args=(idx,)))
+        self.emit(Op("barrier"))
+
+    # -- driver ------------------------------------------------------------
+
+    def segment(self, depth: int, uniform: bool) -> None:
+        if self.budget <= 0:
+            return
+        cfg = self.cfg
+        kinds, weights = [], []
+        for kind, w in cfg.weights.items():
+            if w <= 0:
+                continue
+            if kind == "lds" and not (uniform and cfg.allow_lds
+                                      and self.lds_bufs):
+                continue
+            if kind == "atomic" and not (cfg.allow_atomics and self.acc_bufs):
+                continue
+            if kind == "store" and not self.writable_out:
+                continue
+            if kind == "branch" and not (cfg.allow_branches
+                                         and depth < cfg.max_depth):
+                continue
+            if kind in ("uloop", "dloop") and not (cfg.allow_loops
+                                                   and depth < cfg.max_depth):
+                continue
+            kinds.append(kind)
+            weights.append(w)
+        probs = np.asarray(weights) / sum(weights)
+        kind = kinds[int(self.rng.choice(len(kinds), p=probs))]
+        self.budget -= 1
+        if kind == "uloop":
+            self.seg_uloop(depth, uniform)
+        else:
+            getattr(self, f"seg_{kind}")(depth)
+
+    def run(self) -> FuzzProgram:
+        rng, cfg = self.rng, self.cfg
+        gsize, lsize = self.choice(_SHAPES)
+
+        buffers: List[BufferSpec] = []
+        for i in range(int(rng.integers(1, 3))):
+            dt = self.choice(("u32", "i32", "f32") if cfg.allow_f32
+                             else ("u32", "i32"))
+            n = int(self.choice((32, 64, 128)))
+            buffers.append(BufferSpec(f"in{i}", dt, n, role="in",
+                                      init=self.choice(("iota", "random")),
+                                      seed=int(rng.integers(0, 2**31))))
+        for i in range(int(rng.integers(1, 3))):
+            dt = self.choice(("u32", "i32", "f32") if cfg.allow_f32
+                             else ("u32", "i32"))
+            buffers.append(BufferSpec(f"out{i}", dt, gsize, role="out"))
+        if cfg.allow_atomics and rng.random() < 0.7:
+            buffers.append(BufferSpec("acc0", self.choice(("u32", "i32")),
+                                      int(self.choice((8, 16, 32))),
+                                      role="acc"))
+
+        self.in_bufs = [b for b in buffers if b.role == "in"]
+        self.out_bufs = [b for b in buffers if b.role == "out"]
+        self.acc_bufs = [b for b in buffers if b.role == "acc"]
+        self.bijections = {b.name: self.make_bijection(b.nelems)
+                           for b in self.out_bufs}
+        # Readable outs are stored only by the epilogue; writable outs
+        # are never loaded (see the module docstring on the Inter-Group
+        # producer/consumer store race).
+        self.readable_out = [b for b in self.out_bufs if rng.random() < 0.5]
+        self.writable_out = [b for b in self.out_bufs
+                             if b not in self.readable_out]
+        self.acc_ops = {b.name: self.choice(_ATOMIC_OPS)
+                        for b in self.acc_bufs}
+
+        lds_bufs: List[LdsSpec] = []
+        if cfg.allow_lds and rng.random() < 0.75:
+            dt = self.choice(("u32", "i32", "f32") if cfg.allow_f32
+                             else ("u32", "i32"))
+            lds_bufs.append(LdsSpec("tile0", dt, lsize))
+        self.lds_bufs = lds_bufs
+
+        scalars: List[ScalarSpec] = []
+        for i in range(int(rng.integers(0, 3))):
+            dt = self.choice(("u32", "f32") if cfg.allow_f32 else ("u32",))
+            v = (float(np.float32(rng.uniform(-4, 4))) if dt == "f32"
+                 else int(rng.integers(0, 1024)))
+            scalars.append(ScalarSpec(f"s{i}", dt, v))
+
+        # Preamble: gid/lid and scalar imports seed the value pools.
+        self.gid = self.define("u32", Op("special", op="global_id", imm=0))
+        self.lid = self.define("u32", Op("special", op="local_id", imm=0))
+        for s in scalars:
+            self.define(s.dtype, Op("scalar", ref=s.name))
+
+        while self.budget > 0:
+            self.segment(0, uniform=True)
+
+        # Epilogue: every out buffer gets one unconditional store so the
+        # differential comparison always has signal.
+        for buf in self.out_bufs:
+            idx = self.emit_bijection(self.bijections[buf.name], buf.nelems)
+            self.emit(Op("store", ref=buf.name, args=(idx,
+                                                      self.value_for(buf.dtype))))
+
+        prog = FuzzProgram(
+            name=f"fuzz_{self.seed}",
+            global_size=gsize,
+            local_size=lsize,
+            buffers=buffers,
+            scalars=scalars,
+            lds=lds_bufs,
+            ops=self.block_stack[0],
+            meta={"seed": self.seed, "generator": "v1"},
+        )
+        problems = prog.validate()
+        if problems:  # pragma: no cover - generator invariant
+            raise AssertionError(
+                f"generator produced invalid spec (seed {self.seed}): "
+                + "; ".join(problems))
+        return prog

@@ -1,0 +1,314 @@
+"""Multi-way differential oracle over the RMT variants.
+
+``check_program`` runs one :class:`~repro.fuzz.program.FuzzProgram`
+through the baseline compiler (``original`` at O0) and a matrix of
+RMT/optimizer configurations, then cross-checks:
+
+* **final global memory** must be bit-identical everywhere (raw bytes,
+  so NaN payloads count too) — any difference is a ``miscompare``;
+* **detection counters** must be zero on every unfaulted run — the RMT
+  output comparison crying wolf is a ``false_detection``;
+* no run may ``crash`` (verifier/lint/engine exception) or ``hang``
+  (cycle-budget watchdog) on a program the generator guarantees clean.
+
+With ``faults > 0`` it additionally injects single-bit upsets (via
+:mod:`repro.faults`) into the RMT runs and checks the sphere-of-
+replication contract from the paper's Table 4: a corrupted output
+should imply a prior detection.  Escapes through the compare-to-store
+window are a *measured* property of the design (the paper's ACF is not
+100%), so fault findings are ``info`` severity except where the repo's
+own campaigns prove exact coverage (LDS upsets under Intra+LDS and
+Inter, where the structure is fully inside the SoR).
+
+The per-run compile hooks (``rmt_pass``, ``extra_passes`` on
+:class:`RunSpec`) exist so tests can *plant* bugs — a pass that skips an
+output comparison, a store off-by-one — and prove the oracle flags
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..compiler.pipeline import compile_kernel
+from ..faults.injector import FaultHook, random_plan
+from ..gpu.engine import SimulationError
+from ..orchestrator.seeding import trial_rng
+from ..runtime.api import Session
+from .program import FuzzProgram
+
+#: Watchdog: unfaulted RMT runs get this many times the baseline's
+#: cycles (plus slack) before the engine declares a hang.
+HANG_BUDGET_FACTOR = 50
+HANG_BUDGET_SLACK = 2_000_000
+
+#: Fault targets cycled through in fault mode.
+_FAULT_TARGETS = ("vgpr", "sgpr", "lds")
+
+
+@dataclass
+class RunSpec:
+    """One compiler configuration to run differentially."""
+
+    variant: str
+    optimize: bool = False
+    rmt_pass: object = None          # planted-bug hook: replaces the stock pass
+    extra_passes: Tuple = ()         # planted-bug hook: appended after it
+    lint: bool = True
+
+    @property
+    def label(self) -> str:
+        return f"{self.variant}@O{int(self.optimize)}"
+
+
+def default_runs() -> List[RunSpec]:
+    """The standard differential matrix (baseline excluded)."""
+    out = [RunSpec("original", optimize=True)]
+    for variant in ("intra+lds", "intra-lds", "inter"):
+        for optimize in (False, True):
+            out.append(RunSpec(variant, optimize=optimize))
+    return out
+
+
+@dataclass
+class RunResult:
+    """Outcome of one compile+launch of the program."""
+
+    label: str
+    status: str                      # 'ok' | 'crash' | 'hang'
+    error: str = ""
+    detections: int = 0
+    cycles: float = 0.0
+    memory: Optional[Dict[str, np.ndarray]] = None
+
+
+@dataclass
+class Finding:
+    """One oracle divergence (or fault-mode observation)."""
+
+    kind: str        # miscompare | false_detection | crash | hang |
+                     # baseline_failure | fault_sdc | fault_hang
+    severity: str    # 'error' | 'info'
+    program: str
+    run: str
+    detail: str
+    seed: Optional[int] = None
+
+    def to_json(self) -> Dict:
+        return {"kind": self.kind, "severity": self.severity,
+                "program": self.program, "run": self.run,
+                "detail": self.detail, "seed": self.seed}
+
+
+@dataclass
+class OracleReport:
+    """Everything ``check_program`` learned about one program."""
+
+    program: str
+    digest: str
+    findings: List[Finding] = field(default_factory=list)
+    runs: List[RunResult] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+# ---------------------------------------------------------------------------
+# Single runs
+# ---------------------------------------------------------------------------
+
+
+def run_program(
+    prog: FuzzProgram,
+    spec: RunSpec,
+    cycle_budget: Optional[float] = None,
+    fault_hook: Optional[FaultHook] = None,
+    fault_plan=None,
+) -> RunResult:
+    """Compile and launch ``prog`` under one configuration.
+
+    The kernel is rebuilt from the spec every time — compiler passes
+    mutate kernels in place, so sharing IR across runs would let one
+    variant contaminate the next.
+    """
+    try:
+        compiled = compile_kernel(
+            prog.build(),
+            variant=spec.variant,
+            optimize=spec.optimize,
+            lint=spec.lint,
+            rmt_pass=spec.rmt_pass,
+            extra_passes=spec.extra_passes,
+        )
+    except Exception as e:  # noqa: BLE001 - any compile failure is the finding
+        return RunResult(spec.label, "crash", error=f"compile: {e}")
+
+    if fault_plan is not None:
+        fault_hook = FaultHook(
+            fault_plan, scalar_reg_ids=compiled.uniformity.uniform_regs)
+    session = Session.with_cycle_budget(cycle_budget)
+    bindings = {
+        b.name: session.upload(f"{prog.name}.{b.name}", b.initial_data())
+        for b in prog.buffers
+    }
+    scalars = {s.name: s.value for s in prog.scalars}
+    try:
+        result = session.launch(
+            compiled, prog.global_size, prog.local_size, bindings,
+            scalars=scalars, fault_hook=fault_hook,
+        )
+    except SimulationError as e:
+        return RunResult(spec.label, "hang", error=str(e))
+    except Exception as e:  # noqa: BLE001 - engine bug == crash finding
+        return RunResult(spec.label, "crash", error=f"launch: {e}")
+
+    memory = {name: session.download(buf) for name, buf in bindings.items()}
+    return RunResult(
+        spec.label, "ok",
+        detections=len(result.detections),
+        cycles=result.cycles,
+        memory=memory,
+    )
+
+
+def _first_diff(a: np.ndarray, b: np.ndarray) -> str:
+    au, bu = a.view(np.uint32), b.view(np.uint32)
+    idx = np.nonzero(au != bu)[0]
+    i = int(idx[0])
+    return (f"{len(idx)} word(s) differ, first at [{i}]: "
+            f"baseline={a[i]!r} (0x{int(au[i]):08x}) vs "
+            f"got={b[i]!r} (0x{int(bu[i]):08x})")
+
+
+def _diff_memory(base: Dict[str, np.ndarray],
+                 other: Dict[str, np.ndarray]) -> List[str]:
+    """Bitwise comparison; returns one description per differing buffer."""
+    diffs = []
+    for name in base:
+        a, b = base[name], other[name]
+        if a.tobytes() != b.tobytes():
+            diffs.append(f"buffer {name!r}: {_first_diff(a, b)}")
+    return diffs
+
+
+# ---------------------------------------------------------------------------
+# The oracle
+# ---------------------------------------------------------------------------
+
+
+def check_program(
+    prog: FuzzProgram,
+    runs: Optional[Sequence[RunSpec]] = None,
+    faults: int = 0,
+    fault_seed: int = 0,
+    max_fault_instr: int = 80,
+) -> OracleReport:
+    """Differentially test one program; return every divergence found."""
+    seed = prog.meta.get("seed")
+    report = OracleReport(program=prog.name, digest=prog.digest())
+
+    def found(kind: str, severity: str, run: str, detail: str) -> None:
+        report.findings.append(Finding(
+            kind=kind, severity=severity, program=prog.name,
+            run=run, detail=detail, seed=seed))
+
+    problems = prog.validate()
+    if problems:
+        found("baseline_failure", "error", "spec", "; ".join(problems))
+        return report
+
+    baseline_spec = RunSpec("original", optimize=False)
+    baseline = run_program(prog, baseline_spec)
+    report.runs.append(baseline)
+    if baseline.status != "ok":
+        found("baseline_failure", "error", baseline.label,
+              f"{baseline.status}: {baseline.error}")
+        return report
+    if baseline.detections:
+        found("false_detection", "error", baseline.label,
+              f"{baseline.detections} detection(s) on an unfaulted "
+              "untransformed run")
+
+    budget = HANG_BUDGET_FACTOR * baseline.cycles + HANG_BUDGET_SLACK
+    specs = list(default_runs() if runs is None else runs)
+    for spec in specs:
+        run = run_program(prog, spec, cycle_budget=budget)
+        report.runs.append(run)
+        if run.status != "ok":
+            found(run.status, "error", run.label, run.error)
+            continue
+        if run.detections:
+            found("false_detection", "error", run.label,
+                  f"{run.detections} detection(s) on an unfaulted run")
+        for diff in _diff_memory(baseline.memory, run.memory):
+            found("miscompare", "error", run.label, diff)
+
+    if faults > 0:
+        _check_faults(prog, report, baseline, budget, specs,
+                      faults, fault_seed, max_fault_instr, found)
+    return report
+
+
+def _lds_in_sor(variant: str) -> bool:
+    return variant == "inter" or variant == "intra+lds"
+
+
+def _check_faults(prog, report, baseline, budget, specs, faults,
+                  fault_seed, max_fault_instr, found) -> None:
+    """SoR-coverage probe: corrupted output should imply detection."""
+    rmt_specs = [s for s in specs
+                 if s.variant != "original" and s.rmt_pass is None]
+    if not rmt_specs:
+        return
+    for i in range(faults):
+        spec = rmt_specs[i % len(rmt_specs)]
+        target = _FAULT_TARGETS[(i // len(rmt_specs)) % len(_FAULT_TARGETS)]
+        if target == "lds" and not (prog.lds or _lds_in_sor(spec.variant)):
+            target = "vgpr"
+        plan = random_plan(trial_rng(fault_seed, i), target,
+                           max_wave=8, max_instr=max_fault_instr)
+        run = run_program(prog, spec, cycle_budget=budget, fault_plan=plan)
+        label = f"{run.label}+fault[{i}:{target}]"
+        if run.status == "hang":
+            # Detectable-unrecoverable: the watchdog fired, no silent lie.
+            found("fault_hang", "info", label, run.error)
+            continue
+        if run.status == "crash":
+            found("crash", "error", label, run.error)
+            continue
+        if run.detections:
+            continue                      # detected before any store: fine
+        diffs = _diff_memory(baseline.memory, run.memory)
+        if not diffs:
+            continue                      # masked: fine
+        # Silent corruption.  Exact-coverage structures (LDS fully inside
+        # the SoR) make this an error; register targets can escape through
+        # the compare-to-store window, which the paper itself measures.
+        severity = ("error" if target == "lds" and _lds_in_sor(spec.variant)
+                    else "info")
+        found("fault_sdc", severity, label,
+              f"SDC with no detection ({target} upset): " + "; ".join(diffs))
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+
+
+def format_findings(report: OracleReport) -> str:
+    lines = [f"program {report.program} (digest {report.digest}): "
+             f"{len(report.runs)} runs, {len(report.findings)} finding(s), "
+             f"{len(report.errors)} error(s)"]
+    for f in report.findings:
+        lines.append(f"  [{f.severity}] {f.kind} @ {f.run}: {f.detail}")
+    if not report.findings:
+        lines.append("  all variants bit-identical, zero detections")
+    return "\n".join(lines)

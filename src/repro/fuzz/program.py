@@ -1,0 +1,319 @@
+"""Serializable fuzz-program representation.
+
+A :class:`FuzzProgram` is a *specification* of one kernel plus its
+launch: buffer/scalar declarations, NDRange, and a tree of :class:`Op`
+records in an SSA-ish value-id form.  The spec — not the built IR — is
+the unit the fuzzing subsystem passes around because it supports the
+three operations the differential pipeline needs:
+
+* **replay**: :meth:`FuzzProgram.build` deterministically interprets the
+  ops through the builder DSL, so the same spec can be compiled fresh
+  for every RMT variant (compiler passes mutate kernels; specs are
+  immutable sources of truth);
+* **shrinking**: ops form a flat-enough tree that
+  :mod:`repro.fuzz.shrink` can delete instructions or unwrap blocks and
+  revalidate cheaply;
+* **reproduction**: dataclass reprs are valid Python constructor calls,
+  so :meth:`FuzzProgram.to_python` can dump any program — fuzz-found or
+  hand-written — as a standalone runnable script for ``tests/corpus/``.
+
+Ops reference earlier results by integer value id.  :meth:`validate`
+checks referential integrity (defined-before-use, names resolve, index
+masks in bounds) without building IR, which is what keeps the shrinker
+honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..ir.builder import KernelBuilder
+from ..ir.core import Kernel, VReg
+from ..ir.types import DType
+
+#: Spec dtype names → IR dtypes (predicates are internal-only).
+DTYPES: Dict[str, DType] = {"u32": DType.U32, "i32": DType.I32, "f32": DType.F32}
+
+#: numpy dtypes for host-side buffers.
+NP_DTYPES = {"u32": np.uint32, "i32": np.int32, "f32": np.float32}
+
+#: Op kinds a spec may contain (see :class:`Op`).
+OP_KINDS = (
+    "const", "scalar", "special", "alu", "cmp", "predop", "select",
+    "load", "store", "load_local", "store_local", "atomic", "barrier",
+    "if", "for",
+)
+
+
+@dataclass
+class BufferSpec:
+    """One global buffer: name, dtype, size, role, and initial contents.
+
+    Roles enforce the determinism discipline the differential oracle
+    relies on (every run must be bit-reproducible regardless of
+    wavefront scheduling):
+
+    * ``in``  — read-only; loads may use arbitrary (masked) indices;
+    * ``out`` — stores only at the buffer's fixed per-work-item
+      bijection; loads only at the same index (own cell);
+    * ``acc`` — accumulator: integer buffers touched only by
+      commutative atomics (``add``/``max``/``or``), never loaded.
+    """
+
+    name: str
+    dtype: str
+    nelems: int
+    role: str = "in"
+    init: str = "zeros"      # 'zeros' | 'iota' | 'random'
+    seed: int = 0            # stream for 'random' init
+
+    def initial_data(self) -> np.ndarray:
+        npdt = NP_DTYPES[self.dtype]
+        if self.init == "zeros":
+            return np.zeros(self.nelems, npdt)
+        if self.init == "iota":
+            return np.arange(self.nelems, dtype=npdt)
+        if self.init == "random":
+            rng = np.random.default_rng(np.random.SeedSequence(self.seed))
+            if self.dtype == "f32":
+                return (rng.standard_normal(self.nelems) * 8).astype(npdt)
+            return rng.integers(0, 2**32, size=self.nelems,
+                                dtype=np.uint32).view(npdt).copy()
+        raise ValueError(f"unknown buffer init {self.init!r}")
+
+
+@dataclass
+class ScalarSpec:
+    """One scalar kernel parameter with its launch-time value."""
+
+    name: str
+    dtype: str
+    value: float
+
+
+@dataclass
+class Op:
+    """One spec node.  Meaning of the fields by ``kind``:
+
+    ========== ======================================================
+    kind       fields used
+    ========== ======================================================
+    const      result, dtype, imm (the immediate)
+    scalar     result, ref (scalar param name)
+    special    result, op ('global_id'…), imm (dim)
+    alu        result, dtype, op, args (1–2 value ids)
+    cmp        result, op ('eq'…), args (2)
+    predop     result, op ('and'/'or'/'not'), args (1–2 predicate ids)
+    select     result, args (pred, a, b)
+    load       result, ref (buffer), args (index id)
+    store      ref (buffer), args (index id, value id)
+    load_local result, ref (lds name), args (index id)
+    store_local ref (lds name), args (index id, value id)
+    atomic     op ('add'/'max'/'or'), ref (buffer), args (index, value)
+    barrier    —
+    if         args (pred id), body, orelse
+    for        result (induction var id), imm (start, stop, step) with
+               stop overridden by args[0] when args is non-empty, body
+    ========== ======================================================
+    """
+
+    kind: str
+    result: Optional[int] = None
+    dtype: Optional[str] = None
+    op: Optional[str] = None
+    ref: Optional[str] = None
+    imm: object = None
+    args: Tuple[int, ...] = ()
+    body: List["Op"] = field(default_factory=list)
+    orelse: List["Op"] = field(default_factory=list)
+
+
+@dataclass
+class LdsSpec:
+    """One LDS allocation (elements per work-group)."""
+
+    name: str
+    dtype: str
+    nelems: int
+
+
+@dataclass
+class FuzzProgram:
+    """A complete, launchable program specification."""
+
+    name: str
+    global_size: int
+    local_size: int
+    buffers: List[BufferSpec] = field(default_factory=list)
+    scalars: List[ScalarSpec] = field(default_factory=list)
+    lds: List[LdsSpec] = field(default_factory=list)
+    ops: List[Op] = field(default_factory=list)
+    #: Provenance: generator seed, shrink trail, … (never semantic).
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    # -- IR construction ---------------------------------------------------
+
+    def build(self) -> Kernel:
+        """Interpret the spec into a fresh IR kernel."""
+        b = KernelBuilder(self.name)
+        env: Dict[int, VReg] = {}
+        bufs = {s.name: b.buffer_param(s.name, DTYPES[s.dtype])
+                for s in self.buffers}
+        for s in self.scalars:
+            env[("scalar", s.name)] = b.scalar_param(s.name, DTYPES[s.dtype])  # type: ignore[index]
+        allocs = {s.name: b.local_alloc(s.name, DTYPES[s.dtype], s.nelems)
+                  for s in self.lds}
+        self._build_body(b, self.ops, env, bufs, allocs)
+        kernel = b.finish()
+        kernel.metadata["local_size"] = (self.local_size, 1, 1)
+        kernel.metadata["fuzz"] = dict(self.meta)
+        return kernel
+
+    def _build_body(self, b: KernelBuilder, ops: List[Op], env, bufs, allocs) -> None:
+        for op in ops:
+            self._build_op(b, op, env, bufs, allocs)
+
+    def _build_op(self, b: KernelBuilder, op: Op, env, bufs, allocs) -> None:
+        k = op.kind
+        if k == "const":
+            env[op.result] = b.const(op.imm, DTYPES[op.dtype])
+        elif k == "scalar":
+            env[op.result] = b.mov(env[("scalar", op.ref)])
+        elif k == "special":
+            env[op.result] = getattr(b, op.op)(int(op.imm or 0))
+        elif k == "alu":
+            args = [env[a] for a in op.args]
+            if op.op == "bitcast":
+                env[op.result] = b.bitcast(args[0], DTYPES[op.dtype])
+                return
+            method = {"and": "and_", "or": "or_", "not": "not_"}.get(op.op, op.op)
+            env[op.result] = getattr(b, method)(*args)
+        elif k == "cmp":
+            env[op.result] = getattr(b, op.op)(env[op.args[0]], env[op.args[1]])
+        elif k == "predop":
+            method = {"and": "pand", "or": "por", "not": "pnot"}[op.op]
+            env[op.result] = getattr(b, method)(*[env[a] for a in op.args])
+        elif k == "select":
+            p, a, v = (env[a] for a in op.args)
+            env[op.result] = b.select(p, a, v)
+        elif k == "load":
+            env[op.result] = b.load(bufs[op.ref], env[op.args[0]])
+        elif k == "store":
+            b.store(bufs[op.ref], env[op.args[0]], env[op.args[1]])
+        elif k == "load_local":
+            env[op.result] = b.load_local(allocs[op.ref], env[op.args[0]])
+        elif k == "store_local":
+            b.store_local(allocs[op.ref], env[op.args[0]], env[op.args[1]])
+        elif k == "atomic":
+            b.atomic(op.op, bufs[op.ref], env[op.args[0]], env[op.args[1]],
+                     want_old=False)
+        elif k == "barrier":
+            b.barrier()
+        elif k == "if":
+            with b.if_else(env[op.args[0]]) as orelse:
+                self._build_body(b, op.body, env, bufs, allocs)
+            if op.orelse:
+                with orelse():
+                    self._build_body(b, op.orelse, env, bufs, allocs)
+        elif k == "for":
+            start, stop, step = op.imm
+            stop_operand = env[op.args[0]] if op.args else stop
+            with b.for_range(start, stop_operand, step) as i:
+                env[op.result] = i
+                self._build_body(b, op.body, env, bufs, allocs)
+        else:  # pragma: no cover - validate() rejects unknown kinds
+            raise ValueError(f"unknown op kind {k!r}")
+
+    # -- static validation -------------------------------------------------
+
+    def validate(self) -> List[str]:
+        """Check spec integrity without building IR; return problems."""
+        problems: List[str] = []
+        if self.global_size % self.local_size:
+            problems.append("global_size not a multiple of local_size")
+        buf_names = {s.name for s in self.buffers}
+        lds_names = {s.name for s in self.lds}
+        scalar_names = {s.name for s in self.scalars}
+        if len(buf_names) != len(self.buffers):
+            problems.append("duplicate buffer names")
+
+        defined: set = set()
+
+        def walk(ops: List[Op], depth: int) -> None:
+            for op in ops:
+                if op.kind not in OP_KINDS:
+                    problems.append(f"unknown op kind {op.kind!r}")
+                    continue
+                refs = op.args if op.kind != "for" else op.args[:1]
+                for a in refs:
+                    if a not in defined:
+                        problems.append(f"{op.kind} reads undefined value {a}")
+                if op.kind == "scalar" and op.ref not in scalar_names:
+                    problems.append(f"scalar op references unknown {op.ref!r}")
+                if op.kind in ("load", "store", "atomic") and op.ref not in buf_names:
+                    problems.append(f"{op.kind} references unknown buffer {op.ref!r}")
+                if op.kind in ("load_local", "store_local") and op.ref not in lds_names:
+                    problems.append(f"{op.kind} references unknown lds {op.ref!r}")
+                if op.kind == "for":
+                    if op.result is not None:
+                        defined.add(op.result)
+                    walk(op.body, depth + 1)
+                elif op.kind == "if":
+                    walk(op.body, depth + 1)
+                    walk(op.orelse, depth + 1)
+                elif op.result is not None:
+                    defined.add(op.result)
+
+        walk(self.ops, 0)
+        return problems
+
+    # -- hashing / serialization -------------------------------------------
+
+    def spec_repr(self) -> str:
+        """Canonical textual form (dataclass reprs are deterministic)."""
+        return repr((self.name, self.global_size, self.local_size,
+                     self.buffers, self.scalars, self.lds, self.ops))
+
+    def digest(self) -> str:
+        import hashlib
+
+        return hashlib.sha256(self.spec_repr().encode()).hexdigest()[:16]
+
+    def to_python(self, provenance: str = "") -> str:
+        """Render a standalone runnable reproducer script.
+
+        The emitted file defines ``make_program()`` (imported by the
+        corpus replay test) and, run as a script, replays the full
+        differential oracle and prints its report.
+        """
+        import pprint
+
+        header = f'"""Fuzz reproducer: {self.name}.\n\n{provenance}\n"""'
+        body = pprint.pformat(self, indent=1, width=88, sort_dicts=False)
+        return f'''{header}
+
+from repro.fuzz.program import (  # noqa: F401
+    BufferSpec, FuzzProgram, LdsSpec, Op, ScalarSpec,
+)
+
+
+def make_program() -> FuzzProgram:
+    return {_indent(body, 4)}
+
+
+if __name__ == "__main__":
+    from repro.fuzz.oracle import check_program, format_findings
+
+    report = check_program(make_program())
+    print(format_findings(report))
+    raise SystemExit(1 if report.errors else 0)
+'''
+
+
+def _indent(text: str, n: int) -> str:
+    pad = " " * n
+    lines = text.splitlines()
+    return "\n".join([lines[0]] + [pad + l for l in lines[1:]])

@@ -1,0 +1,193 @@
+"""Greedy reproducer minimization.
+
+Given a program that makes the oracle report errors, ``shrink_program``
+searches for a smaller program that still reports *the same kind* of
+error, by repeatedly trying three reductions until a fixpoint:
+
+1. **truncate-tail** — cut the top-level op list at a point (coarse,
+   binary-style, tried first because one success removes many ops);
+2. **delete-op** — remove one op anywhere in the tree (deepest sites
+   first, so block contents drain before their containers);
+3. **unwrap-block** — replace an ``if``/``for`` node with its body
+   contents spliced inline.
+
+Every candidate must pass :meth:`FuzzProgram.validate` (no dangling
+value references) before the expensive oracle predicate runs.  The
+predicate sees a deep-copied spec, so rejected candidates leave no
+trace.
+
+The default predicate, :func:`same_errors_predicate`, matches on the
+``(kind, run)`` signature of the original report's error findings —
+shrinking a miscompare must not "succeed" by mutating it into an
+unrelated crash.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .oracle import OracleReport, RunSpec, check_program
+from .program import FuzzProgram, Op
+
+Predicate = Callable[[FuzzProgram], bool]
+Path = Tuple  # alternating (index, arm) steps into nested op bodies
+
+
+@dataclass
+class ShrinkResult:
+    program: FuzzProgram
+    ops_before: int
+    ops_after: int
+    attempts: int
+    rounds: int
+
+
+def count_ops(prog: FuzzProgram) -> int:
+    n = 0
+
+    def walk(ops: Sequence[Op]) -> None:
+        nonlocal n
+        for op in ops:
+            n += 1
+            walk(op.body)
+            walk(op.orelse)
+
+    walk(prog.ops)
+    return n
+
+
+def same_errors_predicate(
+    original: OracleReport,
+    runs: Optional[Sequence[RunSpec]] = None,
+) -> Predicate:
+    """Candidate keeps the bug iff it reproduces one of the original
+    error signatures (finding kind on the same run label)."""
+    wanted = {(f.kind, f.run) for f in original.errors}
+
+    def predicate(prog: FuzzProgram) -> bool:
+        report = check_program(prog, runs=runs)
+        return any((f.kind, f.run) in wanted for f in report.errors)
+
+    return predicate
+
+
+# -- tree navigation --------------------------------------------------------
+
+
+def _resolve(prog: FuzzProgram, path: Path) -> List[Op]:
+    """The op list addressed by ``path`` ('' = top level)."""
+    ops: List[Op] = prog.ops
+    for idx, arm in path:
+        ops = getattr(ops[idx], arm)
+    return ops
+
+
+def _sites(prog: FuzzProgram) -> List[Tuple[Path, int, int]]:
+    """All (container_path, index, depth) op sites, deepest first."""
+    out: List[Tuple[Path, int, int]] = []
+
+    def walk(ops: Sequence[Op], path: Path, depth: int) -> None:
+        for i, op in enumerate(ops):
+            out.append((path, i, depth))
+            walk(op.body, path + ((i, "body"),), depth + 1)
+            walk(op.orelse, path + ((i, "orelse"),), depth + 1)
+
+    walk(prog.ops, (), 0)
+    out.sort(key=lambda s: -s[2])
+    return out
+
+
+def _try(prog: FuzzProgram, mutate, predicate: Predicate
+         ) -> Optional[FuzzProgram]:
+    cand = copy.deepcopy(prog)
+    mutate(cand)
+    if cand.validate():
+        return None
+    return cand if predicate(cand) else None
+
+
+# -- the shrinker -----------------------------------------------------------
+
+
+def shrink_program(
+    prog: FuzzProgram,
+    predicate: Predicate,
+    max_rounds: int = 8,
+) -> ShrinkResult:
+    """Minimize ``prog`` while ``predicate`` stays true.
+
+    ``predicate(prog)`` must be true for the input program itself;
+    raises ``ValueError`` otherwise (a non-reproducing input would
+    "shrink" to garbage).
+    """
+    if not predicate(prog):
+        raise ValueError("predicate does not hold on the input program")
+
+    current = copy.deepcopy(prog)
+    attempts = 0
+    rounds = 0
+
+    for _ in range(max_rounds):
+        rounds += 1
+        before = count_ops(current)
+
+        # 1. truncate-tail: binary-style cuts of the top-level list.
+        cut = len(current.ops) // 2
+        while cut >= 1:
+            def truncate(p, n=len(current.ops) - cut):
+                del p.ops[n:]
+            attempts += 1
+            cand = _try(current, truncate, predicate)
+            if cand is not None:
+                current = cand
+            cut //= 2
+
+        # 2. delete-op, deepest sites first, until a pass stalls.
+        progress = True
+        while progress:
+            progress = False
+            for path, idx, _depth in _sites(current):
+                def delete(p, path=path, idx=idx):
+                    del _resolve(p, path)[idx]
+                attempts += 1
+                cand = _try(current, delete, predicate)
+                if cand is not None:
+                    current = cand
+                    progress = True
+                    break  # sites are stale after a structural change
+
+        # 3. unwrap blocks once deletes stop helping.
+        progress = True
+        while progress:
+            progress = False
+            for path, idx, _depth in _sites(current):
+                node = _resolve(current, path)[idx]
+                if node.kind not in ("if", "for"):
+                    continue
+
+                def unwrap(p, path=path, idx=idx):
+                    lst = _resolve(p, path)
+                    n = lst[idx]
+                    lst[idx:idx + 1] = list(n.body) + list(n.orelse)
+                attempts += 1
+                cand = _try(current, unwrap, predicate)
+                if cand is not None:
+                    current = cand
+                    progress = True
+                    break
+
+        if count_ops(current) == before:
+            break
+
+    current.meta = dict(prog.meta)
+    current.meta["shrunk_from"] = prog.digest()
+    current.meta["shrink_attempts"] = attempts
+    return ShrinkResult(
+        program=current,
+        ops_before=count_ops(prog),
+        ops_after=count_ops(current),
+        attempts=attempts,
+        rounds=rounds,
+    )

@@ -53,6 +53,14 @@ _PURE_OPS = frozenset(
     {Alu, Const, Cmp, PredOp, Select, SpecialId, LoadParam, Swizzle}
 )
 
+#: A loop made purely of batched ALU work never reaches a natural yield
+#: point, so without a periodic flush the timing engine — and therefore
+#: the cycle-budget watchdog — would never see time advance (a host-side
+#: livelock on e.g. a fault-corrupted loop bound).  Flushing is timing-
+#: neutral (ExecReq accounting is additive), so only pathological spin
+#: loops ever hit this threshold.
+_SPIN_FLUSH_CYCLES = 4096
+
 
 # ---------------------------------------------------------------------------
 # Requests yielded to the timing engine
@@ -285,6 +293,9 @@ class Wavefront:
                     if not live.all() and mask.any():
                         self._pend.n_div_branch += 1
                     yield from self._exec_body(stmt.body, live)
+                    if (self._pend.valu_cycles + self._pend.salu_cycles
+                            > _SPIN_FLUSH_CYCLES):
+                        yield self._flush()
             else:
                 yield from self._exec_instr(stmt, mask)
 

@@ -1,0 +1,67 @@
+"""Fuzz reproducer: edge_trivial_store.
+
+Hand-crafted edge shape (corpus v1); regenerate with `python -m repro.fuzz --write-corpus`.
+"""
+
+from repro.fuzz.program import (  # noqa: F401
+    BufferSpec, FuzzProgram, LdsSpec, Op, ScalarSpec,
+)
+
+
+def make_program() -> FuzzProgram:
+    return FuzzProgram(name='edge_trivial_store',
+                global_size=64,
+                local_size=16,
+                buffers=[BufferSpec(name='out0',
+                                    dtype='u32',
+                                    nelems=64,
+                                    role='out',
+                                    init='zeros',
+                                    seed=0)],
+                scalars=[],
+                lds=[],
+                ops=[Op(kind='special',
+                        result=1,
+                        dtype=None,
+                        op='global_id',
+                        ref=None,
+                        imm=0,
+                        args=(),
+                        body=[],
+                        orelse=[]),
+                     Op(kind='const',
+                        result=2,
+                        dtype='u32',
+                        op=None,
+                        ref=None,
+                        imm=7,
+                        args=(),
+                        body=[],
+                        orelse=[]),
+                     Op(kind='alu',
+                        result=3,
+                        dtype='u32',
+                        op='add',
+                        ref=None,
+                        imm=None,
+                        args=(1, 2),
+                        body=[],
+                        orelse=[]),
+                     Op(kind='store',
+                        result=None,
+                        dtype=None,
+                        op=None,
+                        ref='out0',
+                        imm=None,
+                        args=(1, 3),
+                        body=[],
+                        orelse=[])],
+                meta={'corpus': 1})
+
+
+if __name__ == "__main__":
+    from repro.fuzz.oracle import check_program, format_findings
+
+    report = check_program(make_program())
+    print(format_findings(report))
+    raise SystemExit(1 if report.errors else 0)

@@ -1,0 +1,63 @@
+"""Regression corpus replay (tests/corpus/).
+
+Every reproducer script in tests/corpus/ — the hand-crafted edge-shape
+set plus anything ``--shrink`` dumped from fuzz campaigns — must load,
+validate, and pass the full differential matrix cleanly.  A divergence
+here means a previously-understood behaviour regressed.
+"""
+
+import glob
+import importlib.util
+import os
+
+import pytest
+
+from repro.fuzz.corpus import EDGE_SHAPES, edge_programs, write_corpus
+from repro.fuzz.oracle import check_program, format_findings
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS_FILES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.py")))
+
+
+def _load(path):
+    name = "corpus_" + os.path.splitext(os.path.basename(path))[0]
+    spec = importlib.util.spec_from_file_location(name, path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_corpus_is_populated():
+    assert len(CORPUS_FILES) >= 10
+
+
+@pytest.mark.parametrize("path", CORPUS_FILES,
+                         ids=[os.path.basename(p) for p in CORPUS_FILES])
+def test_corpus_program_replays_clean(path):
+    mod = _load(path)
+    prog = mod.make_program()
+    assert prog.validate() == []
+    report = check_program(prog)
+    assert report.ok, format_findings(report)
+
+
+def test_edge_programs_cover_declared_shapes():
+    progs = edge_programs()
+    assert len(progs) == len(EDGE_SHAPES)
+    names = {p.name for p in progs}
+    assert len(names) == len(progs)
+
+
+def test_committed_edge_files_in_sync(tmp_path):
+    """The committed edge_*.py scripts must match what write_corpus
+    renders — catches corpus.py edits that forgot --write-corpus."""
+    written = write_corpus(str(tmp_path))
+    for path in written:
+        committed = os.path.join(CORPUS_DIR, os.path.basename(path))
+        assert os.path.exists(committed), (
+            f"{os.path.basename(path)} missing: run "
+            "`python -m repro.fuzz --write-corpus`")
+        with open(path) as fh_new, open(committed) as fh_old:
+            assert fh_new.read() == fh_old.read(), (
+                f"{os.path.basename(path)} stale: run "
+                "`python -m repro.fuzz --write-corpus`")

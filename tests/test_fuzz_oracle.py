@@ -1,0 +1,316 @@
+"""Planted-bug tests for the differential oracle (repro.fuzz.oracle).
+
+The oracle is only trustworthy if it *provably* flags broken compilers.
+These tests plant two classic RMT pass bugs via the RunSpec hooks —
+
+* an intra-group pass that silently drops one output comparison
+  (detection coverage hole), and
+* a store-index off-by-one (plain miscompare) —
+
+and assert the oracle (and, for the comparison hole, the static
+sor-coverage lint) catches each one.  A third set of planted passes
+exercises the false-detection and hang findings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.lint import LintError
+from repro.compiler.pass_manager import Pass
+from repro.compiler.passes.rmt_common import RmtOptions
+from repro.compiler.passes.rmt_intra import IntraGroupRmtPass
+from repro.compiler.pipeline import compile_kernel
+from repro.faults.injector import random_plan
+from repro.fuzz.generator import generate_program
+from repro.fuzz.oracle import (
+    RunSpec,
+    check_program,
+    default_runs,
+    format_findings,
+    run_program,
+)
+from repro.fuzz.program import BufferSpec, FuzzProgram, Op
+from repro.ir.core import Alu, Cmp, Const, If, ReportError, StoreGlobal, While
+from repro.ir.types import DType
+from repro.orchestrator.seeding import trial_rng
+
+
+def planted_probe() -> FuzzProgram:
+    """``out0[gid] = in0[gid & 63] + gid`` — the store value varies per
+    lane, so an index permutation cannot go unnoticed, and the compare-
+    before-store window is wide enough for register faults to land in."""
+    return FuzzProgram(
+        name="planted_probe",
+        global_size=64,
+        local_size=16,
+        buffers=[
+            BufferSpec("in0", "u32", 64, role="in", init="random", seed=11),
+            BufferSpec("out0", "u32", 64, role="out", init="zeros"),
+        ],
+        ops=[
+            Op("special", result=1, op="global_id", imm=0),
+            Op("const", result=2, dtype="u32", imm=63),
+            Op("alu", result=3, dtype="u32", op="and", args=(1, 2)),
+            Op("load", result=4, ref="in0", args=(3,)),
+            Op("alu", result=5, dtype="u32", op="add", args=(4, 1)),
+            Op("store", ref="out0", args=(1, 5)),
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Planted compiler bugs
+# ---------------------------------------------------------------------------
+
+
+class OffByOnePass(Pass):
+    """Planted bug: xor the first global store's index with 1."""
+
+    name = "planted-off-by-one"
+
+    def run(self, kernel):
+        self._patch(kernel.body, kernel)
+        return kernel
+
+    def _patch(self, body, kernel) -> bool:
+        for i, stmt in enumerate(body):
+            if isinstance(stmt, StoreGlobal):
+                one = kernel.new_reg(DType.U32, hint="obo_c")
+                bad = kernel.new_reg(DType.U32, hint="obo")
+                body[i:i] = [Const(one, 1),
+                             Alu("xor", bad, stmt.index, one)]
+                stmt.index = bad
+                return True
+            if isinstance(stmt, If):
+                if (self._patch(stmt.then_body, kernel)
+                        or self._patch(stmt.else_body, kernel)):
+                    return True
+            if isinstance(stmt, While):
+                if self._patch(stmt.body, kernel):
+                    return True
+        return False
+
+
+class SkipComparePass(Pass):
+    """Planted bug: run the stock Intra-Group(+LDS) pass, then delete the
+    first output-comparison branch (the ``If`` guarding a report_error).
+    The transformed kernel still duplicates computation but one store
+    goes out unchecked — a detection coverage hole."""
+
+    name = "planted-skip-compare"
+
+    def __init__(self):
+        self.inner = IntraGroupRmtPass(RmtOptions(include_lds=True))
+
+    def run(self, kernel):
+        kernel = self.inner.run(kernel)
+        assert self._strip(kernel.body), "no report_error branch to strip"
+        return kernel
+
+    def _strip(self, body) -> bool:
+        """Delete the innermost ``If`` directly guarding a report_error
+        (NOT any enclosing consumer branch, which also holds the store)."""
+        for i, stmt in enumerate(body):
+            if isinstance(stmt, If):
+                if self._strip(stmt.then_body) or self._strip(stmt.else_body):
+                    return True
+                if any(isinstance(s, ReportError) for s in stmt.then_body):
+                    del body[i]
+                    return True
+            elif isinstance(stmt, While):
+                if self._strip(stmt.cond_block) or self._strip(stmt.body):
+                    return True
+        return False
+
+
+class CryWolfPass(Pass):
+    """Planted bug: unconditionally raise the detection flag."""
+
+    name = "planted-cry-wolf"
+
+    def run(self, kernel):
+        kernel.body.append(ReportError(7))
+        return kernel
+
+
+class SpinForeverPass(Pass):
+    """Planted bug: append a loop whose condition never goes false."""
+
+    name = "planted-spin"
+
+    def run(self, kernel):
+        a = kernel.new_reg(DType.U32, hint="spin_a")
+        b = kernel.new_reg(DType.U32, hint="spin_b")
+        p = kernel.new_reg(DType.PRED, hint="spin_p")
+        cond_block = [Const(a, 0), Const(b, 0), Cmp("eq", p, a, b)]
+        kernel.body.append(While(cond_block, p, []))
+        return kernel
+
+
+def _memory_differs(a, b) -> bool:
+    return any(a[k].tobytes() != b[k].tobytes() for k in a)
+
+
+# ---------------------------------------------------------------------------
+# Clean-program behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestCleanPrograms:
+    def test_full_matrix_clean(self):
+        report = check_program(generate_program(1))
+        assert report.ok, format_findings(report)
+        # baseline + original@O1 + 3 variants x O0/O1
+        assert len(report.runs) == 1 + len(default_runs())
+        assert all(r.status == "ok" for r in report.runs)
+        assert all(r.detections == 0 for r in report.runs)
+
+    def test_probe_program_clean(self):
+        report = check_program(planted_probe())
+        assert report.ok, format_findings(report)
+
+    def test_fault_mode_reports_no_errors_on_clean_program(self):
+        report = check_program(planted_probe(), faults=6, fault_seed=5)
+        assert report.ok, format_findings(report)
+
+    def test_finding_json_roundtrip(self):
+        report = check_program(
+            planted_probe(),
+            runs=[RunSpec("original", optimize=False,
+                          extra_passes=(OffByOnePass(),), lint=False)])
+        assert report.errors
+        j = report.errors[0].to_json()
+        assert j["kind"] == "miscompare"
+        assert j["severity"] == "error"
+        assert j["program"] == "planted_probe"
+
+
+# ---------------------------------------------------------------------------
+# Planted store off-by-one -> miscompare
+# ---------------------------------------------------------------------------
+
+
+class TestOffByOne:
+    def test_miscompare_flagged(self):
+        report = check_program(
+            planted_probe(),
+            runs=[RunSpec("original", optimize=False,
+                          extra_passes=(OffByOnePass(),), lint=False)])
+        kinds = {(f.kind, f.run) for f in report.errors}
+        assert ("miscompare", "original@O0") in kinds, \
+            format_findings(report)
+        # It is a pure data miscompare: no detections, no crash.
+        assert not {f.kind for f in report.findings} & {"crash", "hang"}
+
+    def test_miscompare_flagged_under_rmt_variant(self):
+        report = check_program(
+            planted_probe(),
+            runs=[RunSpec("intra+lds", optimize=False,
+                          extra_passes=(OffByOnePass(),), lint=False)])
+        assert any(f.kind == "miscompare" for f in report.errors), \
+            format_findings(report)
+
+    def test_detail_names_buffer_and_index(self):
+        report = check_program(
+            planted_probe(),
+            runs=[RunSpec("original", optimize=False,
+                          extra_passes=(OffByOnePass(),), lint=False)])
+        detail = report.errors[0].detail
+        assert "out0" in detail and "differ" in detail
+
+
+# ---------------------------------------------------------------------------
+# Planted skipped comparison -> lint rejection + SoR coverage hole
+# ---------------------------------------------------------------------------
+
+
+class TestSkipCompare:
+    def test_static_lint_rejects_missing_compare(self):
+        """The sor-coverage lint alone catches the planted pass."""
+        with pytest.raises(LintError, match="sor"):
+            compile_kernel(planted_probe().build(), variant="intra+lds",
+                           rmt_pass=SkipComparePass(), lint=True)
+
+    def test_unfaulted_behaviour_unchanged(self):
+        """The bug is purely a detection hole: without faults the buggy
+        pass still computes correct outputs and raises no flag."""
+        report = check_program(
+            planted_probe(),
+            runs=[RunSpec("intra+lds", optimize=False,
+                          rmt_pass=SkipComparePass(), lint=False)])
+        assert report.ok, format_findings(report)
+
+    def test_fault_detection_hole(self):
+        """Stock pass: some register fault is detected.  Buggy pass: some
+        register fault silently corrupts memory with zero detections."""
+        prog = planted_probe()
+        baseline = run_program(prog, RunSpec("original", optimize=False))
+        assert baseline.status == "ok"
+
+        stock = RunSpec("intra+lds", optimize=False)
+        buggy = RunSpec("intra+lds", optimize=False,
+                        rmt_pass=SkipComparePass(), lint=False)
+
+        stock_detected = False
+        buggy_sdc = False
+        for i in range(120):
+            plan = random_plan(trial_rng(99, i), "vgpr",
+                               max_wave=8, max_instr=60)
+            if not stock_detected:
+                r = run_program(prog, stock, fault_plan=plan)
+                if r.status == "ok" and r.detections:
+                    stock_detected = True
+            if not buggy_sdc:
+                r = run_program(prog, buggy, fault_plan=plan)
+                if (r.status == "ok" and not r.detections
+                        and _memory_differs(baseline.memory, r.memory)):
+                    buggy_sdc = True
+            if stock_detected and buggy_sdc:
+                break
+        assert stock_detected, "no fault plan triggered a stock detection"
+        assert buggy_sdc, ("no fault plan produced a silent corruption "
+                           "under the compare-skipping pass")
+
+
+# ---------------------------------------------------------------------------
+# False detections and hangs
+# ---------------------------------------------------------------------------
+
+
+class TestOtherFindings:
+    def test_false_detection_flagged(self):
+        report = check_program(
+            planted_probe(),
+            runs=[RunSpec("original", optimize=False,
+                          extra_passes=(CryWolfPass(),), lint=False)])
+        assert any(f.kind == "false_detection" for f in report.errors), \
+            format_findings(report)
+
+    def test_hang_flagged(self):
+        result = run_program(
+            planted_probe(),
+            RunSpec("original", optimize=False,
+                    extra_passes=(SpinForeverPass(),), lint=False),
+            cycle_budget=100_000)
+        assert result.status == "hang"
+
+    def test_crash_flagged(self):
+        class BoomPass(Pass):
+            name = "planted-boom"
+
+            def run(self, kernel):
+                raise RuntimeError("planted compiler crash")
+
+        report = check_program(
+            planted_probe(),
+            runs=[RunSpec("original", optimize=False,
+                          extra_passes=(BoomPass(),), lint=False)])
+        assert any(f.kind == "crash" and "planted compiler crash" in f.detail
+                   for f in report.errors)
+
+    def test_spec_validation_failure_is_a_finding(self):
+        bad = planted_probe()
+        bad.ops.append(Op("alu", result=9, dtype="u32", op="add",
+                          args=(777, 778)))
+        report = check_program(bad)
+        assert any(f.kind == "baseline_failure" for f in report.errors)

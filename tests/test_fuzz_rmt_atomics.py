@@ -1,0 +1,132 @@
+"""Regression tests for the RMT atomic double-execution bug.
+
+The fuzzing subsystem's first differential catch: both RMT passes used
+to leave user atomics unguarded, so the producer *and* consumer replica
+each performed the RMW — an ``atomic add`` of ``gid+1`` over 64 items
+yielded 4160 instead of 2080.  The fix executes the atomic once (in the
+producer's lane/group) and forwards the old value to the consumer, so
+``want_old`` results stay replica-consistent without a detection.
+
+These tests pin the fixed semantics for every atomic op the generator
+uses (add/max/or), both ``want_old`` modes, and every RMT variant.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.pipeline import compile_kernel
+from repro.ir.builder import KernelBuilder
+from repro.ir.types import DType
+from repro.runtime.api import Session
+
+N = 64
+LOCAL = 16
+VARIANTS = ("original", "intra+lds", "intra-lds", "inter")
+
+
+def _launch(kernel, variant, optimize=False, n=N, bufs=()):
+    compiled = compile_kernel(kernel, variant=variant, optimize=optimize)
+    s = Session()
+    bindings = {name: s.upload(name, data.copy()) for name, data in bufs}
+    res = s.launch(compiled, n, LOCAL, bindings)
+    return {name: s.download(b) for name, b in bindings.items()}, res
+
+
+def _atomic_kernel(op, value_of, want_old):
+    """acc[0] <op>= value_of(gid); optionally out[gid] = old."""
+    b = KernelBuilder(f"atomic_{op}_{int(want_old)}")
+    acc = b.buffer_param("acc", DType.U32)
+    out = b.buffer_param("out", DType.U32)
+    gid = b.global_id(0)
+    zero = b.const(0, DType.U32)
+    old = b.atomic(op, acc, zero, value_of(b, gid), want_old=want_old)
+    if want_old:
+        b.store(out, gid, old)
+    else:
+        b.store(out, gid, gid)
+    k = b.finish()
+    k.metadata["local_size"] = (LOCAL, 1, 1)
+    return k
+
+
+def _bufs():
+    return (("acc", np.zeros(1, np.uint32)), ("out", np.zeros(N, np.uint32)))
+
+
+class TestSingleExecution:
+    """The original repro: add of gid+1 must total 2080, not 4160."""
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    @pytest.mark.parametrize("optimize", [False, True])
+    def test_add_totals_once(self, variant, optimize):
+        k = _atomic_kernel("add", lambda b, g: b.add(g, b.const(1, DType.U32)),
+                           want_old=False)
+        mem, res = _launch(k, variant, optimize, bufs=_bufs())
+        assert int(mem["acc"][0]) == N * (N + 1) // 2  # 2080
+        assert not res.detections
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_max_bitwise_identical(self, variant):
+        k = _atomic_kernel("max", lambda b, g: g, want_old=False)
+        mem, res = _launch(k, variant, bufs=_bufs())
+        assert int(mem["acc"][0]) == N - 1
+        assert not res.detections
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_or_bitwise_identical(self, variant):
+        def val(b, g):
+            # 1 << (gid & 31): all 64 lanes together set all 32 bits.
+            return b.shl(b.const(1, DType.U32), b.and_(g, b.const(31, DType.U32)))
+        k = _atomic_kernel("or", val, want_old=False)
+        mem, res = _launch(k, variant, bufs=_bufs())
+        assert int(mem["acc"][0]) == 0xFFFFFFFF
+        assert not res.detections
+
+
+class TestWantOld:
+    """With ``want_old`` the consumer must see the producer's old value
+    (replica-consistent), not perform its own RMW."""
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_add_old_values_consistent(self, variant):
+        total = N * (N + 1) // 2
+        k = _atomic_kernel("add", lambda b, g: b.add(g, b.const(1, DType.U32)),
+                           want_old=True)
+        mem, res = _launch(k, variant, bufs=_bufs())
+        assert not res.detections, (
+            "replica-divergent old values => double execution regressed")
+        assert int(mem["acc"][0]) == total
+        old = mem["out"].astype(np.uint64)
+        # Each old value is a strict partial sum: in [0, total) and, with
+        # the lane's own increment added, at most the final total.
+        gids = np.arange(N, dtype=np.uint64)
+        assert (old < total).all()
+        assert (old + gids + 1 <= total).all()
+        # Old values are distinct (each RMW observed a unique prefix).
+        assert len(set(old.tolist())) == N
+
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_max_old_values_bounded(self, variant):
+        k = _atomic_kernel("max", lambda b, g: g, want_old=True)
+        mem, res = _launch(k, variant, bufs=_bufs())
+        assert not res.detections
+        assert int(mem["acc"][0]) == N - 1
+        assert (mem["out"] < N).all()
+
+
+class TestCrossVariantDeterminism:
+    """Deterministic atomics (single kind per cell) must be bit-identical
+    across the whole variant matrix — the fuzz oracle's core invariant."""
+
+    def test_full_matrix_identical_memory(self):
+        k = None
+        golden = None
+        for variant in VARIANTS:
+            k = _atomic_kernel("max", lambda b, g: g, want_old=False)
+            mem, res = _launch(k, variant, bufs=_bufs())
+            assert not res.detections
+            if golden is None:
+                golden = mem
+            else:
+                for name in golden:
+                    np.testing.assert_array_equal(golden[name], mem[name])

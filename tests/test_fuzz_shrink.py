@@ -1,0 +1,111 @@
+"""Tests for the greedy reproducer minimizer (repro.fuzz.shrink)."""
+
+import pytest
+
+from repro.fuzz.generator import generate_program
+from repro.fuzz.oracle import RunSpec, check_program
+from repro.fuzz.program import BufferSpec, FuzzProgram, Op
+from repro.fuzz.shrink import (
+    ShrinkResult,
+    count_ops,
+    same_errors_predicate,
+    shrink_program,
+)
+from tests.test_fuzz_oracle import OffByOnePass, planted_probe
+
+
+def _padded_probe() -> FuzzProgram:
+    """The planted probe wrapped in junk the shrinker should remove:
+    dead ALU chains, an empty-ish branch, and a pointless loop."""
+    prog = planted_probe()
+    pad = [
+        Op("const", result=100, dtype="u32", imm=5),
+        Op("alu", result=101, dtype="u32", op="mul", args=(100, 100)),
+        Op("alu", result=102, dtype="u32", op="add", args=(101, 100)),
+        Op("cmp", result=103, op="lt", args=(100, 101)),
+        Op("if", args=(103,), body=[
+            Op("alu", result=104, dtype="u32", op="xor", args=(101, 102)),
+        ]),
+        Op("for", result=105, imm=(0, 3, 1), body=[
+            Op("alu", result=106, dtype="u32", op="sub", args=(102, 100)),
+        ]),
+    ]
+    prog.ops[0:0] = pad
+    assert prog.validate() == []
+    return prog
+
+
+class TestCountOps:
+    def test_counts_nested(self):
+        p = _padded_probe()
+        assert count_ops(p) == 6 + 2 + 6  # probe + nested + pad tops
+
+
+class TestPredicates:
+    def test_non_reproducing_input_rejected(self):
+        with pytest.raises(ValueError):
+            shrink_program(planted_probe(), lambda p: False)
+
+    def test_same_errors_predicate_matches_signature(self):
+        runs = [RunSpec("original", optimize=False,
+                        extra_passes=(OffByOnePass(),), lint=False)]
+        report = check_program(planted_probe(), runs=runs)
+        assert report.errors
+        pred = same_errors_predicate(report, runs=runs)
+        assert pred(planted_probe())
+        # A program with no store cannot reproduce a store miscompare.
+        no_store = planted_probe()
+        no_store.ops = [op for op in no_store.ops if op.kind != "store"]
+        assert not pred(no_store)
+
+
+class TestStructuralShrink:
+    """Cheap structural predicate: exercises the reduction machinery
+    without paying for oracle runs on every candidate."""
+
+    def _has_store(self, prog: FuzzProgram) -> bool:
+        def walk(ops):
+            return any(op.kind == "store" or walk(op.body) or walk(op.orelse)
+                       for op in ops)
+        return prog.validate() == [] and walk(prog.ops)
+
+    def test_shrinks_generated_program_to_store_core(self):
+        prog = generate_program(0)
+        result = shrink_program(prog, self._has_store)
+        assert isinstance(result, ShrinkResult)
+        assert result.ops_after < result.ops_before
+        assert result.program.validate() == []
+        assert self._has_store(result.program)
+        # Greedy fixpoint: the store plus its index/value dep chains.
+        assert result.ops_after <= 12
+
+    def test_provenance_stamped(self):
+        prog = generate_program(0)
+        result = shrink_program(prog, self._has_store)
+        assert result.program.meta["shrunk_from"] == prog.digest()
+        assert result.program.meta["shrink_attempts"] == result.attempts
+        assert result.program.meta["seed"] == 0
+
+    def test_input_program_not_mutated(self):
+        prog = generate_program(0)
+        before = prog.spec_repr()
+        shrink_program(prog, self._has_store)
+        assert prog.spec_repr() == before
+
+
+class TestOracleShrink:
+    def test_padded_probe_shrinks_to_core(self):
+        """End-to-end: minimize a real miscompare under the oracle
+        predicate.  The junk padding must go; the load/add/store chain
+        that makes the off-by-one visible must stay."""
+        runs = [RunSpec("original", optimize=False,
+                        extra_passes=(OffByOnePass(),), lint=False)]
+        prog = _padded_probe()
+        report = check_program(prog, runs=runs)
+        assert report.errors
+        result = shrink_program(prog, same_errors_predicate(report, runs=runs),
+                                max_rounds=4)
+        assert result.ops_after < count_ops(prog)
+        assert result.ops_after <= 6
+        final = check_program(result.program, runs=runs)
+        assert any(f.kind == "miscompare" for f in final.errors)
