@@ -1,0 +1,689 @@
+"""Interval (value-range) abstract interpreter over the structured IR.
+
+Computes, for every integer virtual register, a conservative interval of
+the *mathematical* value it can hold, and records the interval of every
+memory-access index together with a snapshot of the whole environment at
+the access point.  Two clients build on it:
+
+* the **OOB lint** (:mod:`..lint.oob`), which flags accesses whose index
+  interval provably (or possibly) leaves the allocation;
+* the **translation validator** (:mod:`..tv`), which uses the interval of
+  the pre-offset index of a remapped +LDS access to prove that the two
+  replica halves of a doubled allocation are disjoint.
+
+Design notes:
+
+* Bounds are ints or ``None`` (±∞).  Arithmetic is over mathematical
+  integers — no 32-bit wrap clamping.  A u32 subtraction that can
+  underflow therefore yields a negative lower bound, which downstream
+  reads as "the machine value may wrap to a huge index": sound for
+  bounds checking in both directions.  Re-anchoring operations (``and``
+  with a non-negative mask, ``rem`` by a known-positive divisor of a
+  non-negative value) return machine-exact non-negative intervals.
+* Loops use the classic **directional widening**: a bound that moved
+  between iterations widens to ±∞, a stable bound is kept.  This is what
+  lets a halving loop (``stride >>= 1`` from ``ls/2``) retain its upper
+  bound while the lower bound is re-sharpened by the loop guard.
+* Branch conditions **refine** intervals in each arm (and in loop
+  bodies / after loop exit) through the conjunctive predicate tree, with
+  constraints killed when a mentioned register is reassigned (the IR is
+  not SSA).
+* ``sub(max(x, y), y)`` is recognized as ``max(x - y, 0)`` — needed for
+  the PrefixSum partner-index idiom — guarded by a version check so the
+  rewrite only fires when ``y`` was not reassigned in between.
+
+Work-item ID intrinsics take their bounds from ``metadata['local_size']``
+and ``metadata['global_size']`` when present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...ir.core import (
+    Alu,
+    AtomicGlobal,
+    Cmp,
+    Const,
+    If,
+    Instr,
+    Kernel,
+    LoadGlobal,
+    LoadLocal,
+    LoadParam,
+    PredOp,
+    Select,
+    SpecialId,
+    Stmt,
+    StoreGlobal,
+    StoreLocal,
+    VReg,
+    While,
+)
+from ...ir.types import DType
+
+_INT = (DType.U32, DType.I32)
+
+
+# ---------------------------------------------------------------------------
+# Intervals
+# ---------------------------------------------------------------------------
+
+
+class Interval:
+    """Closed integer interval; a ``None`` bound means unbounded."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Optional[int], hi: Optional[int]):
+        self.lo = lo
+        self.hi = hi
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def top() -> "Interval":
+        return Interval(None, None)
+
+    @staticmethod
+    def const(v: int) -> "Interval":
+        return Interval(v, v)
+
+    @staticmethod
+    def nonneg() -> "Interval":
+        return Interval(0, None)
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo is None and self.hi is None
+
+    @property
+    def is_bounded(self) -> bool:
+        return self.lo is not None and self.hi is not None
+
+    def within(self, lo: int, hi: int) -> bool:
+        """Provably ``lo <= value <= hi``?"""
+        return (
+            self.lo is not None and self.hi is not None
+            and self.lo >= lo and self.hi <= hi
+        )
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Interval)
+            and self.lo == other.lo and self.hi == other.hi
+        )
+
+    def __hash__(self):
+        return hash((self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+    # -- lattice -----------------------------------------------------------
+
+    def hull(self, other: "Interval") -> "Interval":
+        lo = None if self.lo is None or other.lo is None else min(self.lo, other.lo)
+        hi = None if self.hi is None or other.hi is None else max(self.hi, other.hi)
+        return Interval(lo, hi)
+
+    def widen(self, newer: "Interval") -> "Interval":
+        """Directional widening: drop only the bound that moved."""
+        lo = (
+            self.lo
+            if self.lo is not None and newer.lo is not None and newer.lo >= self.lo
+            else None
+        )
+        hi = (
+            self.hi
+            if self.hi is not None and newer.hi is not None and newer.hi <= self.hi
+            else None
+        )
+        return Interval(lo, hi)
+
+    def clamp_lo(self, lo: Optional[int]) -> "Interval":
+        if lo is None:
+            return self
+        new_lo = lo if self.lo is None else max(self.lo, lo)
+        return Interval(new_lo, self.hi)
+
+    def clamp_hi(self, hi: Optional[int]) -> "Interval":
+        if hi is None:
+            return self
+        new_hi = hi if self.hi is None else min(self.hi, hi)
+        return Interval(self.lo, new_hi)
+
+
+def _default(reg: VReg) -> Interval:
+    """Interval for a register we know nothing about but its type."""
+    # An opaque u32 value that nothing has wrapped is a machine value in
+    # [0, 2^32); anchoring it at >= 0 is what keeps later subtraction
+    # results honest about possible underflow.
+    if reg.dtype is DType.U32:
+        return Interval.nonneg()
+    return Interval.top()
+
+
+# -- bound-aware arithmetic helpers -----------------------------------------
+
+
+def _addb(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    return None if a is None or b is None else a + b
+
+
+def _iv_add(a: Interval, b: Interval) -> Interval:
+    return Interval(_addb(a.lo, b.lo), _addb(a.hi, b.hi))
+
+
+def _iv_sub(a: Interval, b: Interval) -> Interval:
+    return Interval(
+        None if a.lo is None or b.hi is None else a.lo - b.hi,
+        None if a.hi is None or b.lo is None else a.hi - b.lo,
+    )
+
+
+def _iv_neg(a: Interval) -> Interval:
+    return Interval(
+        None if a.hi is None else -a.hi,
+        None if a.lo is None else -a.lo,
+    )
+
+
+_INF = float("inf")
+
+
+def _iv_mul(a: Interval, b: Interval) -> Interval:
+    def ext(v: Optional[int], sign: float) -> float:
+        return sign * _INF if v is None else v
+
+    def mulx(x: float, y: float) -> float:
+        if x == 0 or y == 0:
+            return 0.0
+        return x * y
+
+    corners = [
+        mulx(ext(a.lo, -1), ext(b.lo, -1)),
+        mulx(ext(a.lo, -1), ext(b.hi, +1)),
+        mulx(ext(a.hi, +1), ext(b.lo, -1)),
+        mulx(ext(a.hi, +1), ext(b.hi, +1)),
+    ]
+    lo, hi = min(corners), max(corners)
+    return Interval(
+        None if lo == -_INF else int(lo),
+        None if hi == _INF else int(hi),
+    )
+
+
+def _iv_minmax(a: Interval, b: Interval, is_max: bool) -> Interval:
+    pick = max if is_max else min
+
+    def bound(x: Optional[int], y: Optional[int], unbounded_wins: bool) -> Optional[int]:
+        if x is None or y is None:
+            if unbounded_wins:
+                return None
+            return y if x is None else x
+        return pick(x, y)
+
+    # For max: lo = max(a.lo, b.lo) (a None lo loses), hi = max(a.hi, b.hi)
+    # (a None hi wins); dually for min.
+    return Interval(
+        bound(a.lo, b.lo, unbounded_wins=not is_max),
+        bound(a.hi, b.hi, unbounded_wins=is_max),
+    )
+
+
+def _iv_div(a: Interval, b: Interval) -> Interval:
+    # Only the non-negative / known-positive case matters for indexing.
+    if a.lo is None or a.lo < 0 or b.lo is None or b.lo < 1:
+        return Interval.top()
+    lo = 0 if b.hi is None else a.lo // b.hi
+    hi = None if a.hi is None else a.hi // b.lo
+    return Interval(lo, hi)
+
+
+def _iv_rem(a: Interval, b: Interval) -> Interval:
+    if b.lo is None or b.lo < 1:
+        return Interval.top()
+    hi = None if b.hi is None else b.hi - 1
+    if a.lo is not None and a.lo >= 0:
+        # Machine-exact re-anchor even when b is unbounded above: the
+        # result also never exceeds the dividend.
+        return Interval(0, hi if a.hi is None else (a.hi if hi is None else min(a.hi, hi)))
+    return Interval(None if hi is None else -hi, hi)
+
+
+def _pow2_cover(v: int) -> int:
+    """Smallest ``2**k - 1`` covering ``v``."""
+    return (1 << v.bit_length()) - 1
+
+
+class _Evaluator:
+    """Structured walk computing per-register intervals and access records."""
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self.env: Dict[int, Interval] = {}
+        self.penv: Dict[int, object] = {}
+        self.regs: Dict[int, VReg] = {}
+        #: Monotonic per-register assignment counters; never rolled back,
+        #: so a cross-register fact recorded at version v is conservatively
+        #: invalidated by *any* later reassignment (joins included).
+        self.versions: Dict[int, int] = {}
+        #: id(dst of ``max``) -> (id(operand), operand version) for the
+        #: ``sub(max(x, y), y) >= 0`` rewrite.
+        self.maxinfo: Dict[int, List[Tuple[int, int]]] = {}
+        self.accesses: List["AccessRange"] = []
+        self.local_size = _norm_shape(kernel.metadata.get("local_size"))
+        self.global_size = _norm_shape(kernel.metadata.get("global_size"))
+        bn = kernel.metadata.get("buffer_nelems") or {}
+        self.buffer_nelems: Dict[str, int] = dict(bn)
+
+    # -- environment -------------------------------------------------------
+
+    def _get(self, reg: VReg) -> Interval:
+        iv = self.env.get(id(reg))
+        return _default(reg) if iv is None else iv
+
+    def _assign(self, dst: VReg, iv: Interval) -> None:
+        rid = id(dst)
+        self.regs[rid] = dst
+        self.env[rid] = iv
+        self.versions[rid] = self.versions.get(rid, 0) + 1
+        self.maxinfo.pop(rid, None)
+        # Kill predicate trees mentioning the reassigned register: their
+        # constraints described the old value.
+        for pid, mention in list(self.penv.items()):
+            if mention is not None and rid in mention[1]:
+                self.penv[pid] = None
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> List["AccessRange"]:
+        self._eval_body(self.kernel.body, record=True)
+        return self.accesses
+
+    def _eval_body(self, body: List[Stmt], record: bool) -> None:
+        for stmt in body:
+            if isinstance(stmt, If):
+                self._eval_if(stmt, record)
+            elif isinstance(stmt, While):
+                self._eval_while(stmt, record)
+            else:
+                self._eval_instr(stmt, record)
+
+    def _eval_if(self, stmt: If, record: bool) -> None:
+        pre_env = dict(self.env)
+        pre_penv = dict(self.penv)
+        self._refine(stmt.cond, True)
+        self._eval_body(stmt.then_body, record)
+        then_env, then_penv = self.env, self.penv
+        self.env, self.penv = dict(pre_env), dict(pre_penv)
+        self._refine(stmt.cond, False)
+        self._eval_body(stmt.else_body, record)
+
+        joined: Dict[int, Interval] = {}
+        for rid in set(then_env) | set(self.env):
+            tv = then_env.get(rid)
+            ev = self.env.get(rid)
+            if tv is None:
+                joined[rid] = ev  # defined only in else: uses are guarded
+            elif ev is None:
+                joined[rid] = tv
+            else:
+                joined[rid] = tv.hull(ev)
+        self.env = joined
+        for rid in set(then_penv) | set(self.penv):
+            if self.penv.get(rid) is not then_penv.get(rid):
+                self.penv[rid] = None
+
+    def _eval_while(self, stmt: While, record: bool) -> None:
+        head = dict(self.env)
+        head_penv = dict(self.penv)
+        for _ in range(10):
+            self.env = dict(head)
+            self.penv = dict(head_penv)
+            self._eval_body(stmt.cond_block, record=False)
+            self._refine(stmt.cond, True)
+            self._eval_body(stmt.body, record=False)
+            nxt: Dict[int, Interval] = {}
+            changed = False
+            for rid in set(head) | set(self.env):
+                old = head.get(rid)
+                new = self.env.get(rid)
+                if old is None:
+                    nxt[rid] = new
+                    changed = True
+                elif new is None or old == new:
+                    nxt[rid] = old
+                else:
+                    w = old.widen(new)
+                    nxt[rid] = w
+                    changed = changed or w != old
+            nxt_penv: Dict[int, object] = {}
+            for rid in set(head_penv) | set(self.penv):
+                if head_penv.get(rid) is self.penv.get(rid):
+                    nxt_penv[rid] = head_penv.get(rid)
+                else:
+                    nxt_penv[rid] = None
+                    changed = changed or head_penv.get(rid) is not None
+            head, head_penv = nxt, nxt_penv
+            if not changed:
+                break
+        # Final recording pass over the widened fixpoint.
+        self.env = dict(head)
+        self.penv = dict(head_penv)
+        self._eval_body(stmt.cond_block, record)
+        exit_env = dict(self.env)
+        exit_penv = dict(self.penv)
+        self._refine(stmt.cond, True)
+        self._eval_body(stmt.body, record)
+        # Post-loop state: the loop exits from after the condition block
+        # with the condition false.
+        self.env = exit_env
+        self.penv = exit_penv
+        self._refine(stmt.cond, False)
+
+    # -- branch refinement -------------------------------------------------
+
+    _NEGATE = {"eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt", "le": "gt", "gt": "le"}
+
+    def _refine(self, cond: VReg, polarity: bool) -> None:
+        mention = self.penv.get(id(cond))
+        if mention is None:
+            return
+        for op, ra, rb in self._prims(mention[0], polarity):
+            a = self._get(ra)
+            b = self._get(rb)
+            if op == "eq":
+                meet = a.clamp_lo(b.lo).clamp_hi(b.hi)
+                self.env[id(ra)] = meet
+                self.env[id(rb)] = b.clamp_lo(a.lo).clamp_hi(a.hi)
+            elif op == "lt":
+                self.env[id(ra)] = a.clamp_hi(None if b.hi is None else b.hi - 1)
+                self.env[id(rb)] = b.clamp_lo(None if a.lo is None else a.lo + 1)
+            elif op == "le":
+                self.env[id(ra)] = a.clamp_hi(b.hi)
+                self.env[id(rb)] = b.clamp_lo(a.lo)
+            elif op == "gt":
+                self.env[id(ra)] = a.clamp_lo(None if b.lo is None else b.lo + 1)
+                self.env[id(rb)] = b.clamp_hi(None if a.hi is None else a.hi - 1)
+            elif op == "ge":
+                self.env[id(ra)] = a.clamp_lo(b.lo)
+                self.env[id(rb)] = b.clamp_hi(a.hi)
+            # "ne" carries no interval fact.
+
+    def _prims(self, tree, polarity: bool) -> List[Tuple[str, VReg, VReg]]:
+        """Conjunctive comparison facts implied by a predicate tree."""
+        if tree is None:
+            return []
+        kind = tree[0]
+        if kind == "cmp":
+            _, op, ra, rb = tree
+            if not polarity:
+                op = self._NEGATE[op]
+            return [(op, ra, rb)]
+        if kind == "and":
+            if polarity:
+                return self._prims(tree[1], True) + self._prims(tree[2], True)
+            return []
+        if kind == "or":
+            if not polarity:
+                return self._prims(tree[1], False) + self._prims(tree[2], False)
+            return []
+        if kind == "not":
+            return self._prims(tree[1], not polarity)
+        return []
+
+    # -- instructions ------------------------------------------------------
+
+    def _eval_instr(self, instr: Instr, record: bool) -> None:
+        for r in (*instr.dests(), *instr.sources()):
+            self.regs.setdefault(id(r), r)
+
+        if record:
+            self._record(instr)
+
+        if isinstance(instr, Cmp):
+            tree = ("cmp", instr.op, instr.a, instr.b)
+            mset = frozenset((id(instr.a), id(instr.b)))
+            self._assign(instr.dst, Interval.top())
+            self.penv[id(instr.dst)] = (tree, mset)
+            return
+        if isinstance(instr, PredOp):
+            a = self.penv.get(id(instr.a))
+            b = self.penv.get(id(instr.b)) if instr.b is not None else None
+            self._assign(instr.dst, Interval.top())
+            if instr.op == "not" and a is not None:
+                self.penv[id(instr.dst)] = (("not", a[0]), a[1])
+            elif instr.op in ("and", "or") and a is not None and b is not None:
+                self.penv[id(instr.dst)] = ((instr.op, a[0], b[0]), a[1] | b[1])
+            else:
+                self.penv[id(instr.dst)] = None
+            return
+
+        dests = instr.dests()
+        if not dests:
+            return
+        dst = dests[0]
+        self._assign(dst, self._value(instr, dst))
+        if isinstance(instr, Alu) and instr.op == "mov":
+            self.penv[id(dst)] = self.penv.get(id(instr.a))
+        else:
+            self.penv[id(dst)] = None
+        if isinstance(instr, Alu) and instr.op == "max" and instr.b is not None:
+            # Registered after _assign so the dst-kill does not erase it.
+            self.maxinfo[id(dst)] = [
+                (id(instr.a), self.versions.get(id(instr.a), 0)),
+                (id(instr.b), self.versions.get(id(instr.b), 0)),
+            ]
+
+    def _value(self, instr: Instr, dst: VReg) -> Interval:
+        if isinstance(instr, Const):
+            if dst.dtype in _INT and isinstance(instr.value, (int, bool)):
+                return Interval.const(int(instr.value))
+            return _default(dst)
+        if isinstance(instr, LoadParam):
+            return _default(dst)
+        if isinstance(instr, SpecialId):
+            return self._special(instr)
+        if isinstance(instr, Alu):
+            return self._alu(instr, dst)
+        if isinstance(instr, Select):
+            if dst.dtype not in _INT:
+                return _default(dst)
+            return self._get(instr.a).hull(self._get(instr.b))
+        # Loads, atomics, swizzles: opaque values of the dest's type.
+        return _default(dst)
+
+    def _special(self, instr: SpecialId) -> Interval:
+        kind, dim = instr.kind, instr.dim
+        ls = self.local_size
+        gs = self.global_size
+        if kind == "local_id":
+            return Interval(0, ls[dim] - 1) if ls else Interval.nonneg()
+        if kind == "local_size":
+            return Interval.const(ls[dim]) if ls else Interval(1, None)
+        if kind == "global_id":
+            return Interval(0, gs[dim] - 1) if gs else Interval.nonneg()
+        if kind == "global_size":
+            return Interval.const(gs[dim]) if gs else Interval(1, None)
+        ng = None
+        if ls and gs and ls[dim] and gs[dim] % ls[dim] == 0:
+            ng = gs[dim] // ls[dim]
+        if kind == "num_groups":
+            return Interval.const(ng) if ng else Interval(1, None)
+        if kind == "group_id":
+            return Interval(0, ng - 1) if ng else Interval.nonneg()
+        return Interval.nonneg()
+
+    def _alu(self, instr: Alu, dst: VReg) -> Interval:
+        op = instr.op
+        if dst.dtype not in _INT and op not in ("mov",):
+            return _default(dst)
+        a = self._get(instr.a)
+        if instr.b is None:
+            if op in ("mov", "bitcast_u32", "bitcast_i32"):
+                if op != "mov" and instr.a.dtype not in _INT:
+                    return _default(dst)
+                return a
+            if op == "neg":
+                return _iv_neg(a)
+            if op == "abs":
+                if a.lo is not None and a.lo >= 0:
+                    return a
+                hi_mag = None
+                if a.lo is not None and a.hi is not None:
+                    hi_mag = max(abs(a.lo), abs(a.hi))
+                return Interval(0, hi_mag)
+            return _default(dst)
+        b = self._get(instr.b)
+        if op == "add":
+            return _iv_add(a, b)
+        if op == "sub":
+            out = _iv_sub(a, b)
+            if self._is_max_with(instr.a, instr.b):
+                # sub(max(x, y), y) == max(x - y, 0).
+                out = out.clamp_lo(0)
+            return out
+        if op == "mul":
+            return _iv_mul(a, b)
+        if op == "div":
+            return _iv_div(a, b)
+        if op == "rem":
+            return _iv_rem(a, b)
+        if op == "min":
+            return _iv_minmax(a, b, is_max=False)
+        if op == "max":
+            return _iv_minmax(a, b, is_max=True)
+        if op == "and":
+            # Masking re-anchors: the machine result is within the mask.
+            masks = []
+            if b.is_bounded and b.lo >= 0:
+                masks.append(_pow2_cover(b.hi))
+            if a.is_bounded and a.lo >= 0:
+                masks.append(_pow2_cover(a.hi))
+            if masks:
+                return Interval(0, min(masks))
+            return Interval.top()
+        if op in ("or", "xor"):
+            if (a.is_bounded and a.lo >= 0 and b.is_bounded and b.lo >= 0):
+                return Interval(0, max(_pow2_cover(a.hi), _pow2_cover(b.hi)))
+            return Interval.top()
+        if op == "shl":
+            if b.is_bounded and b.lo == b.hi and 0 <= b.lo <= 31:
+                return _iv_mul(a, Interval.const(1 << b.lo))
+            return Interval.top()
+        if op in ("shr", "ashr"):
+            if (
+                b.is_bounded and b.lo == b.hi and 0 <= b.lo <= 31
+                and a.lo is not None and a.lo >= 0
+            ):
+                return Interval(a.lo >> b.lo, None if a.hi is None else a.hi >> b.lo)
+            return Interval.top()
+        return Interval.top()
+
+    # -- the sub(max(x, y), y) special case --------------------------------
+
+    def _is_max_with(self, a: VReg, b: VReg) -> bool:
+        for rid, version in self.maxinfo.get(id(a), ()):  # operands of the max
+            if rid == id(b) and self.versions.get(rid, 0) == version:
+                return True
+        return False
+
+    # -- access recording --------------------------------------------------
+
+    def _record(self, instr: Instr) -> None:
+        if isinstance(instr, (LoadLocal, StoreLocal)):
+            kind = "store_local" if isinstance(instr, StoreLocal) else "load_local"
+            self._add_access(instr, kind, instr.lds.name, instr.lds.nelems, instr.index)
+        elif isinstance(instr, (LoadGlobal, StoreGlobal)):
+            kind = "store_global" if isinstance(instr, StoreGlobal) else "load_global"
+            self._add_access(
+                instr, kind, instr.buf.name,
+                self.buffer_nelems.get(instr.buf.name), instr.index,
+            )
+        elif isinstance(instr, AtomicGlobal):
+            self._add_access(
+                instr, "atomic_global", instr.buf.name,
+                self.buffer_nelems.get(instr.buf.name), instr.index,
+            )
+
+    def _add_access(
+        self, instr: Instr, kind: str, target: str,
+        nelems: Optional[int], index: VReg,
+    ) -> None:
+        env = {rid: iv for rid, iv in self.env.items() if not iv.is_top}
+        self.accesses.append(
+            AccessRange(
+                instr=instr,
+                kind=kind,
+                target=target,
+                nelems=nelems,
+                index=self._get(index),
+                env=env,
+            )
+        )
+
+
+def _norm_shape(shape) -> Optional[Tuple[int, int, int]]:
+    if shape is None:
+        return None
+    if isinstance(shape, int):
+        shape = (shape,)
+    t = tuple(int(x) for x in shape) + (1,) * (3 - len(shape))
+    return t[:3]
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AccessRange:
+    """One memory access with its index interval and environment snapshot."""
+
+    instr: Instr
+    kind: str                  # load_local / store_local / load_global / ...
+    target: str                # allocation or buffer name
+    nelems: Optional[int]      # allocation size, when statically known
+    index: Interval
+    env: Dict[int, Interval] = field(repr=False)
+
+    def interval_of(self, reg: VReg) -> Interval:
+        """Interval of any register as of this access point."""
+        iv = self.env.get(id(reg))
+        return _default(reg) if iv is None else iv
+
+
+@dataclass
+class RangeAnalysis:
+    """Value-range analysis results for one kernel."""
+
+    kernel: Kernel
+    accesses: List[AccessRange]
+    by_instr: Dict[int, AccessRange]
+
+    def access_for(self, instr: Instr) -> Optional[AccessRange]:
+        return self.by_instr.get(id(instr))
+
+    def interval_at(self, instr: Instr, reg: VReg) -> Interval:
+        """Interval of ``reg`` at the program point of access ``instr``."""
+        acc = self.by_instr.get(id(instr))
+        return _default(reg) if acc is None else acc.interval_of(reg)
+
+
+def analyze_ranges(kernel: Kernel) -> RangeAnalysis:
+    """Run the interval interpreter over one kernel."""
+    ev = _Evaluator(kernel)
+    accesses = ev.run()
+    return RangeAnalysis(
+        kernel=kernel,
+        accesses=accesses,
+        by_instr={id(a.instr): a for a in accesses},
+    )

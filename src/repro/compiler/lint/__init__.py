@@ -1,6 +1,7 @@
 """Static lint suite over the kernel IR.
 
-Four checkers built on :mod:`repro.compiler.analysis.dataflow`:
+Five checkers built on :mod:`repro.compiler.analysis.dataflow` and
+:mod:`repro.compiler.analysis.ranges`:
 
 - ``barrier-divergence`` — barriers under non-wavefront-uniform control
   flow (hardware deadlock);
@@ -10,14 +11,22 @@ Four checkers built on :mod:`repro.compiler.analysis.dataflow`:
   reads;
 - ``sor-coverage`` — RMT sphere-of-replication contract: every primary
   store is consumer-predicated, output-compared across a communication
-  channel, and (+LDS) replica-remapped.
+  channel, and (+LDS) replica-remapped;
+- ``oob`` — interval-analysis bounds check of LDS and global accesses
+  against statically-known allocation sizes.
 
-Entry points: :func:`run_lints` (collect diagnostics),
-:func:`check_kernel` (raise :class:`LintError` on errors — wired into
-the pass manager as post-pass verification).
+Entry points: :func:`run_lints` (collect diagnostics, deterministically
+ordered), :func:`check_kernel` (raise :class:`LintError` on errors —
+wired into the pass manager as post-pass verification).
 """
 
-from .diagnostics import ERROR, WARNING, Diagnostic, LintError
+from .diagnostics import (
+    ERROR,
+    WARNING,
+    Diagnostic,
+    LintError,
+    normalize_diagnostics,
+)
 from .engine import LintContext, check_kernel, checker_names, run_lints
 
 __all__ = [
@@ -28,5 +37,6 @@ __all__ = [
     "WARNING",
     "check_kernel",
     "checker_names",
+    "normalize_diagnostics",
     "run_lints",
 ]

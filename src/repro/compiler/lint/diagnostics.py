@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 from ...ir.verify import VerificationError
 
@@ -23,6 +23,30 @@ class Diagnostic:
 
     def __str__(self) -> str:
         return f"{self.severity}: [{self.checker}] {self.kernel} @ {self.loc}: {self.message}"
+
+    def to_json(self) -> Dict[str, str]:
+        """Machine-readable form (shared by repro.lint and repro.tv)."""
+        return {
+            "checker": self.checker,
+            "severity": self.severity,
+            "kernel": self.kernel,
+            "loc": self.loc,
+            "message": self.message,
+        }
+
+
+def normalize_diagnostics(diagnostics: Sequence[Diagnostic]) -> List[Diagnostic]:
+    """Deterministic diagnostic order: sort by (checker, loc, message) and
+    drop exact duplicates (checkers walking both an access and its alias
+    can report the same finding twice)."""
+    seen = set()
+    out: List[Diagnostic] = []
+    for d in sorted(diagnostics, key=lambda d: (d.checker, d.loc, d.message)):
+        key = (d.checker, d.severity, d.kernel, d.loc, d.message)
+        if key not in seen:
+            seen.add(key)
+            out.append(d)
+    return out
 
 
 class LintError(VerificationError):

@@ -13,8 +13,9 @@ from ..analysis.dataflow import (
     build_cfg,
     reaching_definitions,
 )
+from ..analysis.ranges import RangeAnalysis, analyze_ranges
 from ..analysis.uniformity import UniformityInfo, analyze_uniformity
-from .diagnostics import ERROR, Diagnostic, LintError
+from .diagnostics import ERROR, Diagnostic, LintError, normalize_diagnostics
 
 #: One wavefront = 64 lanes on GCN; accesses inside a wavefront are
 #: lockstep-ordered, which several checkers exploit.
@@ -30,6 +31,7 @@ class LintContext:
         self._uniformity: Optional[UniformityInfo] = None
         self._intervals: Optional[BarrierIntervals] = None
         self._rdefs: Optional[ReachingDefs] = None
+        self._ranges: Optional[RangeAnalysis] = None
 
     @property
     def cfg(self) -> CFG:
@@ -54,6 +56,12 @@ class LintContext:
         if self._rdefs is None:
             self._rdefs = reaching_definitions(self.cfg)
         return self._rdefs
+
+    @property
+    def ranges(self) -> RangeAnalysis:
+        if self._ranges is None:
+            self._ranges = analyze_ranges(self.kernel)
+        return self._ranges
 
     @property
     def local_size(self) -> Optional[Tuple[int, int, int]]:
@@ -93,6 +101,7 @@ Checker = Callable[[LintContext], List[Diagnostic]]
 def _registry() -> Dict[str, Checker]:
     from .barrier_divergence import check_barrier_divergence
     from .lds_races import check_lds_races
+    from .oob import check_oob
     from .sor_coverage import check_sor_coverage
     from .undef import check_undefined_uses
 
@@ -101,6 +110,7 @@ def _registry() -> Dict[str, Checker]:
         "lds-race": check_lds_races,
         "undef": check_undefined_uses,
         "sor-coverage": check_sor_coverage,
+        "oob": check_oob,
     }
 
 
@@ -121,7 +131,7 @@ def run_lints(
     out: List[Diagnostic] = []
     for name in names:
         out.extend(registry[name](ctx))
-    return out
+    return normalize_diagnostics(out)
 
 
 def check_kernel(

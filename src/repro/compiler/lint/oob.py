@@ -1,0 +1,50 @@
+"""Static out-of-bounds checker backed by the value-range interpreter.
+
+For every global/LDS access whose allocation size is statically known
+(LDS allocations always; global buffers when the kernel carries
+``metadata['buffer_nelems']``), compare the interval of the index against
+``[0, nelems)``:
+
+* **error** — the access is *provably* out of bounds every time it
+  executes (the whole interval lies outside the allocation);
+* **warning** — the index is bounded on both sides but the interval
+  crosses the allocation boundary, so some abstract execution is out of
+  bounds;
+* silent — the interval is unbounded on a side.  An unbounded index is
+  almost always a scalar-parameter-dependent address (``i*n + k``) that
+  the host launches in bounds; warning on every one of those would bury
+  real findings, so the checker only speaks when it can bound the index.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .diagnostics import ERROR, WARNING, Diagnostic
+from .engine import LintContext
+
+
+def check_oob(ctx: LintContext) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for acc in ctx.ranges.accesses:
+        n = acc.nelems
+        if n is None:
+            continue
+        iv = acc.index
+        definitely_oob = (
+            (iv.lo is not None and iv.lo >= n)
+            or (iv.hi is not None and iv.hi < 0)
+        )
+        if definitely_oob:
+            out.append(ctx.diag(
+                "oob", ERROR, acc.instr,
+                f"{acc.kind} {acc.target}[{iv}] is out of bounds "
+                f"for allocation of {n} element(s)",
+            ))
+        elif iv.is_bounded and (iv.lo < 0 or iv.hi >= n):
+            out.append(ctx.diag(
+                "oob", WARNING, acc.instr,
+                f"{acc.kind} {acc.target}[{iv}] may leave the "
+                f"allocation of {n} element(s)",
+            ))
+    return out

@@ -71,6 +71,10 @@ class InterGroupRmtPass(Pass):
             },
         }
         kernel.name = kernel.name + "_rmt_inter"
+        gs = kernel.metadata.get("global_size")
+        if gs is not None:
+            gs = (tuple(gs) + (1, 1))[:3] if not isinstance(gs, int) else (gs, 1, 1)
+            kernel.metadata["global_size"] = (gs[0] * 2, gs[1], gs[2])
 
         counter_buf = BufferParam(INTER_COUNTER, DType.U32)
         flag_buf = BufferParam(INTER_FLAG, DType.U32)

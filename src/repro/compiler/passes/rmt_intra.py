@@ -76,6 +76,10 @@ class IntraGroupRmtPass(Pass):
         kernel.metadata["local_size"] = (
             local_size[0] * 2, local_size[1], local_size[2]
         )
+        gs = kernel.metadata.get("global_size")
+        if gs is not None:
+            gs = (tuple(gs) + (1, 1))[:3] if not isinstance(gs, int) else (gs, 1, 1)
+            kernel.metadata["global_size"] = (gs[0] * 2, gs[1], gs[2])
         suffix = "_rmt_intra" + ("_lds" if opts.include_lds else "_nolds")
         if opts.fast_comm:
             suffix += "_fast"

@@ -77,6 +77,7 @@ def compile_kernel(
     verify: bool = True,
     optimize: bool = False,
     lint: bool = True,
+    validate: Optional[bool] = None,
     rmt_pass: Optional[Pass] = None,
     extra_passes: Sequence[Pass] = (),
 ) -> CompiledKernel:
@@ -88,6 +89,14 @@ def compile_kernel(
 
     ``lint=False`` opts out of the post-pass static lint suite (see
     :mod:`repro.compiler.lint`); lint also requires ``verify``.
+
+    ``validate`` controls per-compile translation validation (see
+    :mod:`repro.compiler.tv`): the transformed kernel is checked against
+    the original under the RMT simulation relation, and any *failed*
+    proof obligation raises :class:`~repro.compiler.tv.TvError` with a
+    counterexample witness.  The default (``None``) follows ``lint and
+    verify``; pass ``validate=False`` to opt out, or ``validate=True``
+    to validate even with lint disabled.
 
     ``rmt_pass`` substitutes a custom transformation for the variant's
     stock pass, and ``extra_passes`` run right after it (before the
@@ -115,6 +124,12 @@ def compile_kernel(
         ])
     pm = PassManager(passes, verify=verify, lint=lint and verify)
     transformed = pm.run(kernel)
+    if validate is None:
+        validate = lint and verify
+    if validate:
+        from .tv import validate_compile  # lazy: tv imports the lint suite
+
+        validate_compile(kernel, transformed, variant=variant)
     uniformity = analyze_uniformity(transformed)
     resources = estimate_resources(transformed, uniformity)
     sor = analyze_sor(transformed)

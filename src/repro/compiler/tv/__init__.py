@@ -1,0 +1,38 @@
+"""Translation validation of the RMT compiler (Alive2-style).
+
+Instead of trusting the RMT passes, every compile can carry its own
+proof: :func:`validate_compile` checks a concrete (original,
+transformed) kernel pair against the simulation relation — correct
+replica structure, preserved control skeleton, 1:1 effect
+correspondence, aligned replica-uniform barriers, output comparison on
+every sphere-of-replication exit, forwarded atomic results, and
+provably disjoint +LDS replica halves (via the value-range interpreter
+of :mod:`repro.compiler.analysis.ranges`).
+
+On violation it emits a structured counterexample witness (the minimal
+instruction-pair diff plus the violated obligation).  ``python -m
+repro.tv`` certifies the whole kernel/variant/opt-level matrix and
+cross-checks the fuzz oracle's planted-bug passes.
+"""
+
+from .obligations import (
+    FAILED,
+    OBLIGATIONS,
+    UNPROVEN,
+    TvError,
+    TvReport,
+    TvWitness,
+)
+from .uniform import PairValueAnalysis
+from .validator import validate_compile
+
+__all__ = [
+    "FAILED",
+    "OBLIGATIONS",
+    "UNPROVEN",
+    "PairValueAnalysis",
+    "TvError",
+    "TvReport",
+    "TvWitness",
+    "validate_compile",
+]

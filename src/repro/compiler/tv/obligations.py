@@ -1,0 +1,143 @@
+"""Proof obligations, witnesses and reports of the translation validator.
+
+The validator does not re-prove the RMT transformation correct in
+general; it discharges, for one concrete (original, transformed) kernel
+pair, the finite list of obligations that together imply the simulation
+relation of DESIGN.md: the transformed kernel runs two replicas of the
+original computation (or one with result forwarding, for constructs a
+single replica must execute), both replicas follow the original control
+skeleton, every sphere-of-replication exit is compared before it
+retires, barriers stay aligned and replica-uniform, and duplicated LDS
+halves never overlap.
+
+Each obligation ends in one of four statuses:
+
+* ``proved``   — discharged;
+* ``failed``   — a concrete counterexample **witness** was found: the
+  transformed kernel provably violates the relation (a planted or real
+  miscompile);
+* ``unproven`` — the checker could not complete the proof (usually an
+  interval the range analysis cannot bound).  Not a miscompile verdict,
+  but the compile is not *certified* either — ``python -m repro.tv``
+  and the CI gate treat unproven as failure;
+* ``skipped``  — not applicable to this mode (e.g. replica obligations
+  on an identity compile).
+
+``TvError`` is raised (by ``validate_compile(raise_on_failure=True)``)
+only for ``failed`` witnesses, so range-analysis imprecision can never
+reject a correct compile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ...ir.verify import VerificationError
+
+#: Witness statuses.
+FAILED = "failed"
+UNPROVEN = "unproven"
+
+#: The obligation list, in checking order.
+OBLIGATIONS = (
+    "metadata",
+    "control-skeleton",
+    "effect-correspondence",
+    "barrier-alignment",
+    "output-comparison",
+    "atomic-forwarding",
+    "replica-completeness",
+    "lds-disjointness",
+)
+
+
+@dataclass(frozen=True)
+class TvWitness:
+    """One violated (or undischargeable) obligation, pinned to code.
+
+    ``loc`` points into the transformed kernel; ``original_loc`` (when
+    the obligation relates a pair of instructions) points at the
+    original-kernel instruction the transformed one failed to simulate —
+    together they form the minimal instruction-pair diff.
+    """
+
+    obligation: str
+    status: str              # FAILED or UNPROVEN
+    kernel: str              # transformed kernel name
+    loc: str
+    message: str
+    original_loc: str = ""
+
+    def __str__(self) -> str:
+        pair = f" (original @ {self.original_loc})" if self.original_loc else ""
+        return (f"{self.status}: [{self.obligation}] {self.kernel} @ "
+                f"{self.loc}{pair}: {self.message}")
+
+    def to_json(self) -> Dict[str, str]:
+        return {
+            "obligation": self.obligation,
+            "status": self.status,
+            "kernel": self.kernel,
+            "loc": self.loc,
+            "message": self.message,
+            "original_loc": self.original_loc,
+        }
+
+
+@dataclass
+class TvReport:
+    """Outcome of validating one compile."""
+
+    original: str
+    transformed: str
+    variant: Optional[str]
+    mode: str                                  # 'identity' | 'intra' | 'inter'
+    obligations: Dict[str, str] = field(default_factory=dict)
+    witnesses: List[TvWitness] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Certified: every obligation proved (or skipped), no witnesses."""
+        return not self.witnesses
+
+    @property
+    def failures(self) -> List[TvWitness]:
+        return [w for w in self.witnesses if w.status == FAILED]
+
+    @property
+    def unproven(self) -> List[TvWitness]:
+        return [w for w in self.witnesses if w.status == UNPROVEN]
+
+    def to_json(self) -> Dict:
+        return {
+            "original": self.original,
+            "transformed": self.transformed,
+            "variant": self.variant,
+            "mode": self.mode,
+            "ok": self.ok,
+            "obligations": dict(self.obligations),
+            "witnesses": [w.to_json() for w in self.witnesses],
+        }
+
+
+class TvError(VerificationError):
+    """A compile failed translation validation with a concrete witness.
+
+    Subclasses :class:`VerificationError` so callers that treat
+    verification failures as compile failures (the fuzz oracle, the
+    harness) handle statically-rejected miscompiles the same way.  The
+    full report is on ``.report``.
+    """
+
+    def __init__(self, report: TvReport):
+        self.report = report
+        failures = report.failures
+        shown = "; ".join(str(w) for w in failures[:5])
+        extra = f" (+{len(failures) - 5} more)" if len(failures) > 5 else ""
+        super().__init__(
+            f"translation validation of {report.transformed!r} (from "
+            f"{report.original!r}) failed {len(failures)} obligation "
+            f"witness(es): {shown}{extra}",
+            errors=[str(w) for w in failures],
+        )

@@ -1,0 +1,232 @@
+"""Replica-pair value classification for transformed RMT kernels.
+
+The simulation relation of the translation validator needs to know, for
+every register of the *transformed* kernel, whether the two redundant
+executions (the paired lanes of Intra-Group RMT, or the paired
+work-groups of Inter-Group RMT) compute the **same** value in it.  This
+module runs a small abstract interpretation over a five-point lattice:
+
+* ``BOT``   — no definition seen yet (fixpoint bottom);
+* ``EVEN``  — same value in both replicas, and provably even (the
+  doubled launch-geometry intrinsics: ``local_size(0)`` under intra,
+  ``num_groups(0)``/``global_size(0)`` under inter);
+* ``UNI``   — same value in both replicas ("pair-free");
+* ``RAW``   — the raw replica-identity source whose low bit separates
+  the pair (``global_id(0)``/``local_id(0)`` under intra, the ticket
+  broadcast under inter): replica values differ by exactly 1;
+* ``PAR``   — the parity bit of a RAW value (or a predicate derived
+  from it): the producer/consumer selector;
+* ``TAINT`` — may differ between replicas in an unstructured way.
+
+The transfer functions encode how the RMT prologue launders RAW back
+into UNI: ``raw >> 1`` merges the pair (both lanes map to the same
+virtual id) and ``raw & 1`` extracts the parity selector, while
+``even >> 1`` and ``even & 1`` stay uniform.  Values read through the
+communication channels (``__rmt_`` LDS buffers, swizzles, ``__rmt_comm``
+atomics) are produced by one replica and observed by both, so they
+classify UNI; likewise user LDS reads (replicated-and-disjoint under
++LDS, validated-before-store under −LDS) and global loads at pair-free
+indices return pair-identical data.
+
+A guard context whose conditions are all pair-free ("PFREE") encloses
+code that both replicas execute identically — the property the
+replica-completeness and barrier-alignment obligations check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from ...ir.core import (
+    Alu,
+    AtomicGlobal,
+    Cmp,
+    Const,
+    Instr,
+    Kernel,
+    LoadGlobal,
+    LoadLocal,
+    LoadParam,
+    PredOp,
+    Select,
+    SpecialId,
+    Swizzle,
+    VReg,
+    walk_instrs,
+)
+from ..lint.sor_coverage import _COPY_OPS, _Defs
+
+_RMT_PREFIX = "__rmt_"
+_COMM_PREFIX = "__rmt_comm"
+_BCAST_LDS = "__rmt_gid_bcast"
+
+BOT, EVEN, UNI, RAW, PAR, TAINT = range(6)
+
+CLASS_NAMES = {
+    BOT: "bot", EVEN: "even", UNI: "uni",
+    RAW: "raw", PAR: "par", TAINT: "taint",
+}
+
+
+def join(x: int, y: int) -> int:
+    if x == y:
+        return x
+    if x == BOT:
+        return y
+    if y == BOT:
+        return x
+    if {x, y} <= {EVEN, UNI}:
+        return UNI
+    return TAINT
+
+
+def _pair_free(c: int) -> bool:
+    return c in (BOT, EVEN, UNI)
+
+
+class PairValueAnalysis:
+    """Flow-insensitive fixpoint over the transformed kernel."""
+
+    def __init__(self, kernel: Kernel, flavor: str, defs: Optional[_Defs] = None):
+        if flavor not in ("intra", "inter"):
+            raise ValueError(f"unknown RMT flavor {flavor!r}")
+        self.kernel = kernel
+        self.flavor = flavor
+        self.defs = defs if defs is not None else _Defs(kernel)
+        self.cls: Dict[int, int] = {}
+        self._run()
+
+    # -- queries -----------------------------------------------------------
+
+    def of(self, reg: VReg) -> int:
+        return self.cls.get(id(reg), BOT)
+
+    def pair_free(self, reg: VReg) -> bool:
+        return _pair_free(self.of(reg))
+
+    def guards_pair_free(self, guards: Iterable[Tuple[VReg, str]]) -> bool:
+        return all(self.pair_free(reg) for reg, _kind in guards)
+
+    # -- fixpoint ----------------------------------------------------------
+
+    def _run(self) -> None:
+        for _ in range(50):
+            changed = False
+            for instr in walk_instrs(self.kernel.body):
+                dests = instr.dests()
+                if not dests:
+                    continue
+                c = self._transfer(instr)
+                for dst in dests:
+                    old = self.cls.get(id(dst), BOT)
+                    new = join(old, c)
+                    if new != old:
+                        self.cls[id(dst)] = new
+                        changed = True
+            if not changed:
+                break
+
+    # -- transfer functions ------------------------------------------------
+
+    def _transfer(self, instr: Instr) -> int:
+        if isinstance(instr, (Const, LoadParam)):
+            return UNI
+        if isinstance(instr, SpecialId):
+            return self._special(instr)
+        if isinstance(instr, Swizzle):
+            # The swizzle reads the partner lane's copy: a channel value,
+            # observed identically by both replicas of the pair.
+            return UNI
+        if isinstance(instr, LoadLocal):
+            if self.flavor == "inter" and instr.lds.name == _BCAST_LDS:
+                return RAW  # the group's ticket
+            return UNI
+        if isinstance(instr, LoadGlobal):
+            c = self.of(instr.index)
+            if c == BOT:
+                return BOT
+            return UNI if _pair_free(c) else TAINT
+        if isinstance(instr, AtomicGlobal):
+            name = instr.buf.name
+            if name.startswith(_COMM_PREFIX):
+                return UNI  # channel readback
+            # __rmt_counter / __rmt_flag values (tickets, handshakes) and
+            # user atomic results are ordering-dependent.
+            return TAINT
+        if isinstance(instr, Cmp):
+            return self._boolean(self.of(instr.a), self.of(instr.b))
+        if isinstance(instr, PredOp):
+            a = self.of(instr.a)
+            if instr.op == "not":
+                return a
+            return self._boolean(a, self.of(instr.b))
+        if isinstance(instr, Select):
+            cs = [self.of(instr.pred), self.of(instr.a), self.of(instr.b)]
+            if BOT in cs:
+                return BOT
+            return UNI if all(_pair_free(c) for c in cs) else TAINT
+        if isinstance(instr, Alu):
+            return self._alu(instr)
+        return TAINT
+
+    def _special(self, instr: SpecialId) -> int:
+        kind, dim = instr.kind, instr.dim
+        if self.flavor == "intra":
+            if dim == 0 and kind in ("global_id", "local_id"):
+                return RAW
+            if dim == 0 and kind in ("global_size", "local_size"):
+                return EVEN
+            return UNI
+        # inter
+        if dim == 0 and kind in ("num_groups", "global_size"):
+            return EVEN
+        if kind in ("local_id", "local_size"):
+            return UNI
+        if kind in ("global_id", "group_id"):
+            # The pass virtualizes these from the ticket; a raw read left
+            # in the kernel would differ between the paired groups.
+            return TAINT
+        return UNI
+
+    @staticmethod
+    def _boolean(a: int, b: int) -> int:
+        if a == BOT or b == BOT:
+            return BOT
+        if a == TAINT or b == TAINT:
+            return TAINT
+        if _pair_free(a) and _pair_free(b):
+            return UNI
+        return PAR
+
+    def _alu(self, instr: Alu) -> int:
+        a = self.of(instr.a)
+        if instr.b is None:
+            if a == BOT:
+                return BOT
+            if instr.op in _COPY_OPS:
+                return a
+            return UNI if _pair_free(a) else TAINT
+        b = self.of(instr.b)
+        if a == BOT or b == BOT:
+            return BOT
+        if instr.op == "and":
+            for x, x_cls, other in (
+                (instr.a, a, instr.b), (instr.b, b, instr.a),
+            ):
+                if self.defs.const_value(other) == 1:
+                    if x_cls == RAW:
+                        return PAR       # parity extraction
+                    if x_cls == EVEN:
+                        return UNI       # low bit of an even value is 0
+                    if x_cls == PAR:
+                        return PAR
+                    return UNI if _pair_free(x_cls) else TAINT
+        if instr.op == "shr" and self.defs.const_value(instr.b) == 1:
+            if a in (RAW, EVEN):
+                return UNI  # 2k and 2k+1 both map to k; even/2 is exact
+            return UNI if _pair_free(a) else TAINT
+        if a == TAINT or b == TAINT:
+            return TAINT
+        if _pair_free(a) and _pair_free(b):
+            return UNI
+        return TAINT

@@ -72,6 +72,8 @@ class BinarySearch(Benchmark):
                 b.store(out, 0, i)
         k = b.finish()
         k.metadata["local_size"] = (self.local_size, 1, 1)
+        k.metadata["global_size"] = (self.n // self.segment, 1, 1)
+        k.metadata["buffer_nelems"] = {"arr": self.n, "out": 1}
         return k
 
     def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:

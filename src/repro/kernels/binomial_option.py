@@ -89,6 +89,10 @@ class BinomialOption(Benchmark):
             b.store(out, group, b.load_local(final_buf, 0))
         kern = b.finish()
         kern.metadata["local_size"] = (ls, 1, 1)
+        kern.metadata["global_size"] = (self.options * ls, 1, 1)
+        kern.metadata["buffer_nelems"] = {
+            "rand": self.options, "out": self.options,
+        }
         return kern
 
     def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:

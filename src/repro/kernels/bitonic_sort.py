@@ -81,6 +81,8 @@ class BitonicSort(Benchmark):
         b.store(arr, right_id, b.select(increasing, greater, lesser))
         k = b.finish()
         k.metadata["local_size"] = (self.local_size, 1, 1)
+        k.metadata["global_size"] = (self.n // 2, 1, 1)
+        k.metadata["buffer_nelems"] = {"arr": self.n}
         return k
 
     def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:

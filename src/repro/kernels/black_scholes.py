@@ -95,6 +95,10 @@ class BlackScholes(Benchmark):
         b.store(put, gid, put_price)
         kern = b.finish()
         kern.metadata["local_size"] = (self.local_size, 1, 1)
+        kern.metadata["global_size"] = (self.n, 1, 1)
+        kern.metadata["buffer_nelems"] = {
+            "rand": self.n, "call": self.n, "put": self.n,
+        }
         return kern
 
     def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:

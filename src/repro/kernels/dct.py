@@ -81,6 +81,11 @@ class Dct(Benchmark):
         b.store(out, pixel_idx, acc2)
         kern = b.finish()
         kern.metadata["local_size"] = (_B, _B, 1)
+        kern.metadata["global_size"] = (self.width, self.height, 1)
+        npix = self.width * self.height
+        kern.metadata["buffer_nelems"] = {
+            "img": npix, "coef": _B * _B, "out": npix,
+        }
         return kern
 
     def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:

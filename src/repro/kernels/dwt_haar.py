@@ -79,6 +79,8 @@ class DwtHaar1D(Benchmark):
             b.store(dst, group_base, b.load_local(work, 0))
         kern = b.finish()
         kern.metadata["local_size"] = (ls, 1, 1)
+        kern.metadata["global_size"] = (self.n // 2, 1, 1)
+        kern.metadata["buffer_nelems"] = {"src": self.n, "dst": self.n}
         return kern
 
     def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:

@@ -47,6 +47,8 @@ class FastWalshTransform(Benchmark):
         b.store(arr, match, b.sub(t1, t2))
         k = b.finish()
         k.metadata["local_size"] = (self.local_size, 1, 1)
+        k.metadata["global_size"] = (self.n // 2, 1, 1)
+        k.metadata["buffer_nelems"] = {"arr": self.n}
         return k
 
     def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:

@@ -52,6 +52,8 @@ class FloydWarshall(Benchmark):
         b.store(d, gid, relaxed)
         kern = b.finish()
         kern.metadata["local_size"] = (self.local_size, 1, 1)
+        kern.metadata["global_size"] = (self.n * self.n, 1, 1)
+        kern.metadata["buffer_nelems"] = {"dist": self.n * self.n}
         return kern
 
     def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:

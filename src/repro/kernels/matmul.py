@@ -67,6 +67,9 @@ class MatrixMultiplication(Benchmark):
         b.store(c_buf, b.add(b.mul(row, n), col), acc)
         kern = b.finish()
         kern.metadata["local_size"] = (_TILE, _TILE, 1)
+        kern.metadata["global_size"] = (self.n, self.n, 1)
+        nn = self.n * self.n
+        kern.metadata["buffer_nelems"] = {"a": nn, "b": nn, "c": nn}
         return kern
 
     def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:

@@ -80,6 +80,12 @@ class NBody(Benchmark):
         b.store(az_out, gid, b.mul(az, _DT))
         kern = b.finish()
         kern.metadata["local_size"] = (self.local_size, 1, 1)
+        kern.metadata["global_size"] = (self.bodies, 1, 1)
+        nb = self.bodies
+        kern.metadata["buffer_nelems"] = {
+            "px": nb, "py": nb, "pz": nb, "mass": nb,
+            "ax": nb, "ay": nb, "az": nb,
+        }
         return kern
 
     def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:

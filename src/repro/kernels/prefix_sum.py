@@ -58,6 +58,8 @@ class PrefixSum(Benchmark):
         b.store(dst, lid, b.load_local(block, lid))
         kern = b.finish()
         kern.metadata["local_size"] = (self.n, 1, 1)
+        kern.metadata["global_size"] = (self.n, 1, 1)
+        kern.metadata["buffer_nelems"] = {"src": self.n, "dst": self.n}
         return kern
 
     def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:

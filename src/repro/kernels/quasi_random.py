@@ -60,6 +60,10 @@ class QuasiRandomSequence(Benchmark):
             b.store(out, b.add(b.mul(d, n), gid), acc)
         kern = b.finish()
         kern.metadata["local_size"] = (self.local_size, 1, 1)
+        kern.metadata["global_size"] = (self.n, 1, 1)
+        kern.metadata["buffer_nelems"] = {
+            "directions": _DIMS * _BITS, "out": _DIMS * self.n,
+        }
         return kern
 
     def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:

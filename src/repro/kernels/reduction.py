@@ -59,6 +59,8 @@ class Reduction(Benchmark):
             b.store(dst, b.group_id(0), b.load_local(scratch, 0))
         kern = b.finish()
         kern.metadata["local_size"] = (ls, 1, 1)
+        kern.metadata["global_size"] = (self.n, 1, 1)
+        kern.metadata["buffer_nelems"] = {"src": self.n, "dst": self.n // ls}
         return kern
 
     def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:

@@ -65,6 +65,10 @@ class SimpleConvolution(Benchmark):
         b.store(out, gid, acc)
         kern = b.finish()
         kern.metadata["local_size"] = (self.local_size, 1, 1)
+        kern.metadata["global_size"] = (w * h, 1, 1)
+        kern.metadata["buffer_nelems"] = {
+            "img": w * h, "mask": _MASK * _MASK, "out": w * h,
+        }
         return kern
 
     def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:

@@ -73,6 +73,9 @@ class SobelFilter(Benchmark):
             b.store(out, gid, mag)
         kern = b.finish()
         kern.metadata["local_size"] = (self.local_size, 1, 1)
+        n = self.width * self.height
+        kern.metadata["global_size"] = (n, 1, 1)
+        kern.metadata["buffer_nelems"] = {"img": n, "out": n}
         return kern
 
     def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:

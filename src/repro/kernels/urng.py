@@ -55,6 +55,8 @@ class Urng(Benchmark):
         b.store(out, gid, norm)
         kern = b.finish()
         kern.metadata["local_size"] = (self.local_size, 1, 1)
+        kern.metadata["global_size"] = (self.n, 1, 1)
+        kern.metadata["buffer_nelems"] = {"seeds": self.n, "out": self.n}
         return kern
 
     def run(self, session, compiled, resources=None, fault_hook=None) -> BenchResult:

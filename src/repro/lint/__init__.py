@@ -4,14 +4,16 @@
 variant and reports the diagnostics from
 :mod:`repro.compiler.lint` with kernel/statement locations.  Exit
 status is non-zero when any error-severity diagnostic is produced, so
-CI can gate on it.
+CI can gate on it.  ``--json`` emits one machine-readable document
+using the same per-diagnostic serialization as ``python -m repro.tv``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..compiler.lint import ERROR, Diagnostic, checker_names, run_lints
 from ..compiler.pipeline import RMT_VARIANTS, compile_kernel
@@ -51,6 +53,10 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
         help="treat warnings as errors for the exit status",
     )
     parser.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON document instead of text",
+    )
+    parser.add_argument(
         "-q", "--quiet", action="store_true",
         help="print only diagnostics and the summary line",
     )
@@ -85,6 +91,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
 
     diagnostics: List[Diagnostic] = []
+    rows: List[Dict] = []
     failures = 0
     checked = 0
     for abbrev in abbrevs:
@@ -104,23 +111,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 )
             except VerificationError as exc:
                 failures += 1
-                print(f"{target}: verification failed: {exc}")
+                rows.append({"target": target, "ok": False,
+                             "error": str(exc), "diagnostics": []})
+                if not args.json:
+                    print(f"{target}: verification failed: {exc}")
                 continue
             diags = run_lints(compiled.kernel, checkers)
             diagnostics.extend(diags)
-            for d in diags:
-                print(f"{target}: {d}")
-            if not args.quiet and not diags:
-                print(f"{target}: ok")
+            rows.append({
+                "target": target,
+                "ok": not any(d.severity == ERROR for d in diags),
+                "diagnostics": [d.to_json() for d in diags],
+            })
+            if not args.json:
+                for d in diags:
+                    print(f"{target}: {d}")
+                if not args.quiet and not diags:
+                    print(f"{target}: ok")
 
     errors = sum(1 for d in diagnostics if d.severity == ERROR)
     warnings_ = len(diagnostics) - errors
-    print(
-        f"linted {checked} kernel/variant pair(s): {errors} error(s), "
-        f"{warnings_} warning(s), {failures} verification failure(s)"
-    )
-    if errors or failures:
-        return 1
-    if args.strict and warnings_:
-        return 1
-    return 0
+    ok = not (errors or failures or (args.strict and warnings_))
+    if args.json:
+        print(json.dumps({
+            "results": rows,
+            "summary": {
+                "total": checked, "errors": errors, "warnings": warnings_,
+                "verification_failures": failures,
+            },
+            "ok": ok,
+        }, indent=2))
+    else:
+        print(
+            f"linted {checked} kernel/variant pair(s): {errors} error(s), "
+            f"{warnings_} warning(s), {failures} verification failure(s)"
+        )
+    return 0 if ok else 1

@@ -1,0 +1,174 @@
+"""Command-line front end for the translation validator.
+
+``python -m repro.tv`` certifies every suite kernel under the RMT
+variant × optimization-level matrix: each compile is checked against
+the simulation relation of :mod:`repro.compiler.tv`, and the exit
+status is non-zero unless **every** obligation of every compile is
+proved — ``unproven`` counts as a certification failure here, even
+though it does not reject the compile in the pipeline.
+
+``--selftest`` instead plants the known bug passes (store off-by-one,
+skipped comparison, dropped replica, cry-wolf, spin-forever) and checks
+each is statically rejected with a witness on the expected obligation,
+cross-checking against the dynamic differential oracle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from ..compiler.pipeline import RMT_VARIANTS, compile_kernel
+from ..compiler.tv import TvReport, validate_compile
+from ..ir.verify import VerificationError
+from ..kernels.suite import all_abbrevs, make_benchmark
+
+#: The certification matrix defaults (the paper's headline variants).
+DEFAULT_VARIANTS = ("original", "intra+lds", "intra-lds", "inter")
+DEFAULT_OPT_LEVELS = (0, 1)
+
+
+def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tv",
+        description="Statically certify RMT compiles against the "
+                    "simulation relation.",
+    )
+    parser.add_argument(
+        "--scale", choices=("small", "paper"), default="small",
+        help="benchmark problem sizes (default: small)",
+    )
+    parser.add_argument(
+        "--kernels", default=None,
+        help="comma-separated benchmark abbreviations (default: all)",
+    )
+    parser.add_argument(
+        "--variants", default=",".join(DEFAULT_VARIANTS),
+        help=f"comma-separated RMT variants (default: "
+             f"{','.join(DEFAULT_VARIANTS)}; known: {', '.join(RMT_VARIANTS)})",
+    )
+    parser.add_argument(
+        "--opt", default=",".join(str(o) for o in DEFAULT_OPT_LEVELS),
+        help="comma-separated optimization levels from {0,1} (default: 0,1)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON document instead of text",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="print only failures and the summary line",
+    )
+    parser.add_argument(
+        "--selftest", action="store_true",
+        help="run the planted-bug selftest instead of the kernel matrix",
+    )
+    parser.add_argument(
+        "--no-dynamic", action="store_true",
+        help="selftest: skip the dynamic-oracle cross-check",
+    )
+    return parser.parse_args(argv)
+
+
+def _split(arg: Optional[str]) -> Optional[List[str]]:
+    if arg is None:
+        return None
+    return [x.strip() for x in arg.split(",") if x.strip()]
+
+
+def _run_selftest(args: argparse.Namespace) -> int:
+    from .selftest import format_selftest, run_selftest
+
+    results = run_selftest(dynamic=not args.no_dynamic)
+    if args.json:
+        print(json.dumps({
+            "selftest": [r.to_json() for r in results],
+            "ok": all(r.ok for r in results),
+        }, indent=2))
+    else:
+        print(format_selftest(results))
+    return 0 if all(r.ok for r in results) else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parse_args(argv)
+    if args.selftest:
+        return _run_selftest(args)
+
+    abbrevs = _split(args.kernels) or all_abbrevs()
+    variants = _split(args.variants) or list(DEFAULT_VARIANTS)
+    bad = [v for v in variants if v not in RMT_VARIANTS]
+    if bad:
+        print(f"unknown variant(s): {', '.join(bad)}", file=sys.stderr)
+        return 2
+    try:
+        opt_levels = [int(o) for o in _split(args.opt) or []]
+    except ValueError:
+        opt_levels = []
+    if not opt_levels or any(o not in (0, 1) for o in opt_levels):
+        print(f"--opt must be a comma list from {{0,1}}, got {args.opt!r}",
+              file=sys.stderr)
+        return 2
+
+    rows: List[Dict] = []
+    certified = failed = unproven = crashed = 0
+    for abbrev in abbrevs:
+        try:
+            bench = make_benchmark(abbrev, scale=args.scale)
+        except KeyError as exc:
+            print(f"unknown kernel {abbrev!r}: {exc}", file=sys.stderr)
+            return 2
+        for variant in variants:
+            for opt in opt_levels:
+                target = f"{abbrev}/{variant}@O{opt}"
+                kernel = bench.build()
+                try:
+                    compiled = compile_kernel(
+                        kernel, variant, optimize=bool(opt),
+                        lint=False, validate=False,
+                    )
+                except VerificationError as exc:
+                    crashed += 1
+                    rows.append({"target": target, "ok": False,
+                                 "error": str(exc)})
+                    print(f"{target}: compile failed: {exc}")
+                    continue
+                report: TvReport = validate_compile(
+                    kernel, compiled.kernel, variant=variant,
+                    raise_on_failure=False)
+                row = report.to_json()
+                row["target"] = target
+                rows.append(row)
+                if report.ok:
+                    certified += 1
+                    if not (args.quiet or args.json):
+                        print(f"{target}: certified "
+                              f"({report.transformed})")
+                else:
+                    if report.failures:
+                        failed += 1
+                    else:
+                        unproven += 1
+                    if not args.json:
+                        print(f"{target}: NOT certified")
+                        for w in report.witnesses:
+                            print(f"  {w}")
+
+    total = len(rows)
+    ok = certified == total
+    if args.json:
+        print(json.dumps({
+            "results": rows,
+            "summary": {
+                "total": total, "certified": certified, "failed": failed,
+                "unproven": unproven, "compile_failures": crashed,
+            },
+            "ok": ok,
+        }, indent=2))
+    else:
+        print(f"certified {certified}/{total} compile(s): {failed} with "
+              f"failed obligations, {unproven} unproven, {crashed} compile "
+              "failure(s)")
+    return 0 if ok else 1

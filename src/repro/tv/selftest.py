@@ -1,0 +1,294 @@
+"""Planted-miscompile selftest for the translation validator.
+
+The validator is only trustworthy if it provably rejects broken
+compilers.  This module plants the classic RMT pass bugs through the
+same ``rmt_pass``/``extra_passes`` hooks the fuzz oracle uses and
+asserts each one dies with a ``failed`` witness on the expected
+obligation:
+
+* **off-by-one**  — a store-index permutation (miscompile);
+* **skip-compare** — an output comparison silently dropped (coverage
+  hole: dynamically *invisible* on unfaulted runs — only the static
+  checkers see it);
+* **drop-replica** — a replicated instruction predicated onto one lane
+  parity (half the redundancy silently gone);
+* **cry-wolf**    — an unconditional detection report planted into an
+  identity compile;
+* **spin-forever** — an infinite loop appended to an identity compile.
+
+For the bugs the *dynamic* differential oracle also catches, the
+selftest cross-checks that the static verdict subsumes the dynamic one:
+every planted miscompile the oracle flags must carry a static witness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..compiler.pass_manager import Pass
+from ..compiler.passes.rmt_common import RmtOptions
+from ..compiler.passes.rmt_intra import IntraGroupRmtPass
+from ..compiler.pipeline import compile_kernel
+from ..compiler.tv import TvReport, validate_compile
+from ..fuzz.program import BufferSpec, FuzzProgram, Op
+from ..ir.core import (
+    Alu,
+    Cmp,
+    Const,
+    If,
+    ReportError,
+    SpecialId,
+    StoreGlobal,
+    While,
+)
+from ..ir.types import DType
+
+
+def probe_program() -> FuzzProgram:
+    """``out0[gid] = in0[gid & 63] + gid`` — per-lane store values, so
+    index permutations and replica drops cannot go unnoticed."""
+    return FuzzProgram(
+        name="tv_probe",
+        global_size=64,
+        local_size=16,
+        buffers=[
+            BufferSpec("in0", "u32", 64, role="in", init="random", seed=11),
+            BufferSpec("out0", "u32", 64, role="out", init="zeros"),
+        ],
+        ops=[
+            Op("special", result=1, op="global_id", imm=0),
+            Op("const", result=2, dtype="u32", imm=63),
+            Op("alu", result=3, dtype="u32", op="and", args=(1, 2)),
+            Op("load", result=4, ref="in0", args=(3,)),
+            Op("alu", result=5, dtype="u32", op="add", args=(4, 1)),
+            Op("store", ref="out0", args=(1, 5)),
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Planted passes (mirrors of the fuzz-oracle test fixtures)
+# ---------------------------------------------------------------------------
+
+
+class OffByOnePass(Pass):
+    """Planted bug: xor the first global store's index with 1."""
+
+    name = "planted-off-by-one"
+
+    def run(self, kernel):
+        self._patch(kernel.body, kernel)
+        return kernel
+
+    def _patch(self, body, kernel) -> bool:
+        for i, stmt in enumerate(body):
+            if isinstance(stmt, StoreGlobal):
+                one = kernel.new_reg(DType.U32, hint="obo_c")
+                bad = kernel.new_reg(DType.U32, hint="obo")
+                body[i:i] = [Const(one, 1), Alu("xor", bad, stmt.index, one)]
+                stmt.index = bad
+                return True
+            if isinstance(stmt, If):
+                if (self._patch(stmt.then_body, kernel)
+                        or self._patch(stmt.else_body, kernel)):
+                    return True
+            if isinstance(stmt, While):
+                if self._patch(stmt.body, kernel):
+                    return True
+        return False
+
+
+class SkipComparePass(Pass):
+    """Planted bug: stock Intra-Group(+LDS), then delete the innermost
+    output-comparison branch (the ``If`` guarding a report_error)."""
+
+    name = "planted-skip-compare"
+
+    def __init__(self):
+        self.inner = IntraGroupRmtPass(RmtOptions(include_lds=True))
+
+    def run(self, kernel):
+        kernel = self.inner.run(kernel)
+        assert self._strip(kernel.body), "no report_error branch to strip"
+        return kernel
+
+    def _strip(self, body) -> bool:
+        for i, stmt in enumerate(body):
+            if isinstance(stmt, If):
+                if self._strip(stmt.then_body) or self._strip(stmt.else_body):
+                    return True
+                if any(isinstance(s, ReportError) for s in stmt.then_body):
+                    del body[i]
+                    return True
+            elif isinstance(stmt, While):
+                if self._strip(stmt.cond_block) or self._strip(stmt.body):
+                    return True
+        return False
+
+
+class DropReplicaPass(Pass):
+    """Planted bug: predicate the first top-level ALU add on lane
+    parity — one replica silently stops computing it."""
+
+    name = "planted-drop-replica"
+
+    def run(self, kernel):
+        for i, stmt in enumerate(kernel.body):
+            if isinstance(stmt, Alu) and stmt.op == "add":
+                gid = kernel.new_reg(DType.U32, hint="dr_gid")
+                one = kernel.new_reg(DType.U32, hint="dr_one")
+                par = kernel.new_reg(DType.U32, hint="dr_par")
+                zero = kernel.new_reg(DType.U32, hint="dr_zero")
+                p = kernel.new_reg(DType.PRED, hint="dr_p")
+                pre = [SpecialId(gid, "global_id", 0), Const(one, 1),
+                       Alu("and", par, gid, one), Const(zero, 0),
+                       Cmp("eq", p, par, zero)]
+                kernel.body[i:i + 1] = pre + [If(p, [stmt], [])]
+                return kernel
+        raise AssertionError("no top-level add to wrap")
+
+
+class CryWolfPass(Pass):
+    """Planted bug: unconditionally raise the detection flag."""
+
+    name = "planted-cry-wolf"
+
+    def run(self, kernel):
+        kernel.body.append(ReportError(7))
+        return kernel
+
+
+class SpinForeverPass(Pass):
+    """Planted bug: append a loop whose condition never goes false."""
+
+    name = "planted-spin"
+
+    def run(self, kernel):
+        a = kernel.new_reg(DType.U32, hint="spin_a")
+        b = kernel.new_reg(DType.U32, hint="spin_b")
+        p = kernel.new_reg(DType.PRED, hint="spin_p")
+        kernel.body.append(
+            While([Const(a, 0), Const(b, 0), Cmp("eq", p, a, b)], p, []))
+        return kernel
+
+
+# ---------------------------------------------------------------------------
+# The selftest
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PlantedCase:
+    name: str
+    variant: str
+    expect_obligation: str           # must be 'failed' in the report
+    rmt_pass: Optional[Pass] = None
+    extra_passes: Tuple = ()
+    dynamic_kinds: Tuple[str, ...] = ()  # oracle finding kinds to cross-check
+
+
+def _cases() -> List[PlantedCase]:
+    return [
+        PlantedCase("off-by-one", "intra+lds", "effect-correspondence",
+                    extra_passes=(OffByOnePass(),),
+                    dynamic_kinds=("miscompare",)),
+        PlantedCase("skip-compare", "intra+lds", "output-comparison",
+                    rmt_pass=SkipComparePass()),
+        PlantedCase("drop-replica", "intra+lds", "replica-completeness",
+                    extra_passes=(DropReplicaPass(),),
+                    dynamic_kinds=("false_detection", "miscompare", "crash")),
+        PlantedCase("cry-wolf", "original", "effect-correspondence",
+                    extra_passes=(CryWolfPass(),),
+                    dynamic_kinds=("false_detection",)),
+        PlantedCase("spin-forever", "original", "control-skeleton",
+                    extra_passes=(SpinForeverPass(),)),
+    ]
+
+
+@dataclass
+class SelftestResult:
+    case: str
+    rejected: bool                   # static validator produced a failure
+    obligation_hit: bool             # ... on the expected obligation
+    report: TvReport
+    dynamic_caught: Optional[bool] = None   # None = not cross-checked
+    escapes: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.rejected and self.obligation_hit and not self.escapes
+
+    def to_json(self) -> Dict:
+        return {
+            "case": self.case,
+            "rejected": self.rejected,
+            "obligation_hit": self.obligation_hit,
+            "dynamic_caught": self.dynamic_caught,
+            "escapes": list(self.escapes),
+            "report": self.report.to_json(),
+        }
+
+
+def run_selftest(dynamic: bool = True) -> List[SelftestResult]:
+    """Plant each bug, validate, and (optionally) cross-check the
+    dynamic oracle: a dynamically-caught miscompile with no static
+    witness is an *escape* — the acceptance criterion of the validator.
+    """
+    results: List[SelftestResult] = []
+    for case in _cases():
+        original = probe_program().build()
+        compiled = compile_kernel(
+            original,
+            variant=case.variant,
+            rmt_pass=case.rmt_pass,
+            extra_passes=case.extra_passes,
+            lint=False,          # isolate the validator from the lint gate
+            validate=False,
+        )
+        report = validate_compile(
+            original, compiled.kernel, variant=case.variant,
+            raise_on_failure=False)
+        result = SelftestResult(
+            case=case.name,
+            rejected=bool(report.failures),
+            obligation_hit=report.obligations.get(
+                case.expect_obligation) == "failed",
+            report=report,
+        )
+        if dynamic and case.dynamic_kinds:
+            from ..fuzz.oracle import RunSpec, check_program
+
+            oracle = check_program(
+                probe_program(),
+                runs=[RunSpec(case.variant, optimize=False,
+                              rmt_pass=case.rmt_pass,
+                              extra_passes=case.extra_passes, lint=False)])
+            result.dynamic_caught = not oracle.ok
+            if result.dynamic_caught and not result.rejected:
+                result.escapes.append(
+                    f"dynamic oracle caught {case.name} "
+                    f"({', '.join(sorted({f.kind for f in oracle.errors}))}) "
+                    "but the validator produced no witness")
+        results.append(result)
+    return results
+
+
+def format_selftest(results: List[SelftestResult]) -> str:
+    lines = []
+    for r in results:
+        verdict = "rejected" if r.rejected else "MISSED"
+        hit = "" if r.obligation_hit else " (wrong obligation)"
+        dyn = ""
+        if r.dynamic_caught is not None:
+            dyn = (", dynamic oracle agrees" if r.dynamic_caught
+                   else ", dynamic oracle blind to it")
+        lines.append(f"  {r.case}: {verdict}{hit}{dyn}")
+        for esc in r.escapes:
+            lines.append(f"    ESCAPE: {esc}")
+        for w in r.report.failures[:2]:
+            lines.append(f"    witness: {w}")
+    good = sum(1 for r in results if r.ok)
+    lines.append(f"selftest: {good}/{len(results)} planted bugs statically "
+                 "rejected on the expected obligation")
+    return "\n".join(lines)

@@ -370,6 +370,7 @@ class TestWiring:
             "lds-race",
             "undef",
             "sor-coverage",
+            "oob",
         }
 
 

@@ -1,0 +1,173 @@
+"""Edge-case tests for the CFG/dataflow framework: degenerate shapes
+the suite kernels never produce — empty bodies, zero-instruction
+kernels, unreachable blocks — must not crash or corrupt the fixpoints."""
+
+from repro.compiler.analysis.dataflow import (
+    barrier_free_path,
+    barrier_intervals,
+    build_cfg,
+    compute_dominators,
+    definite_assignment,
+    dominates,
+    liveness,
+    reaching_definitions,
+)
+from repro.ir import DType, KernelBuilder
+from repro.ir.core import Kernel
+
+
+def _run_all(cfg):
+    """Every analysis over one CFG — none may raise."""
+    return (
+        compute_dominators(cfg),
+        reaching_definitions(cfg),
+        liveness(cfg),
+        definite_assignment(cfg),
+        barrier_intervals(cfg),
+    )
+
+
+class TestEmptyKernel:
+    def test_zero_statement_kernel(self):
+        k = Kernel(name="empty", params=[], locals=[], body=[])
+        cfg = build_cfg(k)
+        assert len(cfg) == 2          # entry and exit only
+        dom, rd, lv, da, bi = _run_all(cfg)
+        assert dominates(dom, cfg.entry, cfg.exit)
+        assert rd.sites == []
+        assert lv.max_live() == 0
+        assert not da.violations and not da.cond_violations
+
+    def test_rpo_covers_both_blocks(self):
+        k = Kernel(name="empty", params=[], locals=[], body=[])
+        cfg = build_cfg(k)
+        assert set(cfg.rpo()) == {cfg.entry, cfg.exit}
+
+
+class TestSingleBlockKernel:
+    def _straight(self):
+        b = KernelBuilder("single")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        x = b.add(gid, 1)
+        b.store(out, gid, x)
+        return b.finish(), gid, x
+
+    def test_all_instrs_in_entry_block(self):
+        k, _gid, _x = self._straight()
+        cfg = build_cfg(k)
+        assert all(bid == cfg.entry for bid, _i, _l in cfg.iter_instrs())
+
+    def test_analyses_on_straight_line(self):
+        k, gid, x = self._straight()
+        cfg = build_cfg(k)
+        dom, rd, lv, da, bi = _run_all(cfg)
+        store = k.body[-1]
+        assert len(rd.reaching(store, x)) == 1
+        assert not da.violations
+        # No barriers: everything shares the entry interval.
+        assert bi.may_share_interval(k.body[0], store)
+        assert barrier_free_path(cfg, k.body[0], store)
+
+
+class TestEmptyBodies:
+    def test_empty_then_arm(self):
+        b = KernelBuilder("emptythen")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        with b.if_(b.lt(gid, 4)):
+            pass
+        b.store(out, gid, gid)
+        k = b.finish()
+        cfg = build_cfg(k)
+        dom, rd, lv, da, bi = _run_all(cfg)
+        assert not da.violations
+        assert dominates(dom, cfg.entry, cfg.exit)
+
+    def test_empty_else_arm(self):
+        b = KernelBuilder("emptyelse")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        with b.if_else(b.lt(gid, 4)) as orelse:
+            b.store(out, gid, gid)
+            with orelse():
+                pass
+        k = b.finish()
+        _run_all(build_cfg(k))
+
+    def test_empty_loop_body(self):
+        """A While whose body is empty still has a back edge, and the
+        fixpoints terminate."""
+        b = KernelBuilder("emptyloop")
+        out = b.buffer_param("out", DType.U32)
+        i = b.var(DType.U32, 0)
+        with b.loop() as lp:
+            lp.break_unless(b.lt(i, 8))
+        b.store(out, i, i)
+        k = b.finish()
+        cfg = build_cfg(k)
+        rpo_pos = {bid: n for n, bid in enumerate(cfg.rpo())}
+        back = [(blk.bid, s) for blk in cfg.blocks for s in blk.succs
+                if rpo_pos.get(s, 0) <= rpo_pos.get(blk.bid, 0)]
+        assert back
+        dom, rd, lv, da, bi = _run_all(cfg)
+        assert not da.violations
+
+    def test_nested_empty_structures(self):
+        b = KernelBuilder("nestempty")
+        gid = b.global_id(0)
+        i = b.var(DType.U32, 0)
+        with b.if_(b.lt(gid, 4)):
+            with b.loop() as lp:
+                lp.break_unless(b.lt(i, 2))
+        k = b.finish()
+        dom, rd, lv, da, bi = _run_all(build_cfg(k))
+        assert not da.violations
+
+
+class TestUnreachableBlocks:
+    """The structured lowering never produces unreachable blocks, but
+    the analyses are documented to tolerate them (clients may prune or
+    stitch CFGs); splice one in and check the documented behaviour."""
+
+    def _with_orphan(self):
+        b = KernelBuilder("orphan")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        b.store(out, gid, gid)
+        k = b.finish()
+        cfg = build_cfg(k)
+        orphan = cfg._new_block()
+        orphan.instrs.append((k.body[0], cfg.locs[id(k.body[0])]))
+        return cfg, orphan
+
+    def test_rpo_skips_unreachable(self):
+        cfg, orphan = self._with_orphan()
+        assert orphan.bid not in cfg.rpo()
+
+    def test_dominators_keep_full_set_for_unreachable(self):
+        cfg, orphan = self._with_orphan()
+        dom = compute_dominators(cfg)
+        # "Everything dominates an unreachable block" — the standard
+        # convention, which makes dominance queries vacuously true there.
+        assert dominates(dom, cfg.entry, orphan.bid)
+        assert dominates(dom, cfg.exit, orphan.bid)
+
+    def test_analyses_terminate_with_unreachable_block(self):
+        cfg, _orphan = self._with_orphan()
+        _run_all(cfg)
+
+    def test_barrier_queries_conservative_for_unknown_instrs(self):
+        b = KernelBuilder("known")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        b.store(out, gid, gid)
+        k = b.finish()
+        cfg = build_cfg(k)
+        bi = barrier_intervals(cfg)
+        b2 = KernelBuilder("foreign")
+        b2.global_id(0)
+        stmt = b2.kernel.body[0]
+        # Statements the CFG has never seen: be conservative, not wrong.
+        assert bi.may_share_interval(k.body[0], stmt)
+        assert barrier_free_path(cfg, k.body[0], stmt)

@@ -1,0 +1,119 @@
+"""Tests for the lint/tv command-line front ends and the shared
+deterministic diagnostic serialization."""
+
+import json
+
+import pytest
+
+from repro.compiler.lint import Diagnostic, normalize_diagnostics
+from repro.lint import main as lint_main
+from repro.tv import main as tv_main
+
+
+class TestNormalization:
+    def _diags(self):
+        return [
+            Diagnostic("undef", "error", "k", "body[3]", "zzz"),
+            Diagnostic("lds-race", "warning", "k", "body[1]", "aaa"),
+            Diagnostic("undef", "error", "k", "body[3]", "zzz"),  # dup
+            Diagnostic("undef", "error", "k", "body[1]", "mmm"),
+        ]
+
+    def test_sorted_and_deduped(self):
+        out = normalize_diagnostics(self._diags())
+        assert [(d.checker, d.loc, d.message) for d in out] == [
+            ("lds-race", "body[1]", "aaa"),
+            ("undef", "body[1]", "mmm"),
+            ("undef", "body[3]", "zzz"),
+        ]
+
+    def test_order_independent_of_input(self):
+        a = normalize_diagnostics(self._diags())
+        b = normalize_diagnostics(list(reversed(self._diags())))
+        assert a == b
+
+    def test_to_json_round_trip(self):
+        d = Diagnostic("oob", "warning", "k", "body[2].then[0]", "msg")
+        doc = d.to_json()
+        assert doc == {
+            "checker": "oob", "severity": "warning", "kernel": "k",
+            "loc": "body[2].then[0]", "message": "msg",
+        }
+        assert json.dumps(doc)  # JSON-serializable as-is
+
+
+class TestLintCli:
+    def test_clean_subset_exits_zero(self, capsys):
+        rc = lint_main(["--kernels", "R", "--variants", "original", "-q"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 error(s)" in out
+
+    def test_json_document(self, capsys):
+        rc = lint_main(["--kernels", "R,FWT", "--variants",
+                        "original,intra+lds", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["ok"] is True
+        assert doc["summary"]["total"] == 4
+        assert {r["target"] for r in doc["results"]} == {
+            "R/original", "R/intra+lds", "FWT/original", "FWT/intra+lds"}
+        for row in doc["results"]:
+            assert row["ok"] is True
+            assert row["diagnostics"] == []
+
+    def test_unknown_variant_exits_two(self, capsys):
+        assert lint_main(["--variants", "bogus"]) == 2
+
+    def test_unknown_checker_exits_two(self, capsys):
+        assert lint_main(["--checkers", "bogus"]) == 2
+
+
+class TestTvCli:
+    def test_certifies_subset(self, capsys):
+        rc = tv_main(["--kernels", "R", "--variants", "original,intra+lds",
+                      "--opt", "1", "-q"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "certified 2/2" in out
+
+    def test_json_document(self, capsys):
+        rc = tv_main(["--kernels", "R", "--variants", "intra+lds",
+                      "--opt", "0", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["ok"] is True
+        assert doc["summary"] == {
+            "total": 1, "certified": 1, "failed": 0, "unproven": 0,
+            "compile_failures": 0}
+        row = doc["results"][0]
+        assert row["target"] == "R/intra+lds@O0"
+        assert row["mode"] == "intra"
+        assert row["witnesses"] == []
+        # Same serializer family as repro.lint: obligations are a name
+        # -> status map, witnesses mirror Diagnostic.to_json keys.
+        assert all(v in ("proved", "skipped")
+                   for v in row["obligations"].values())
+
+    def test_unknown_variant_exits_two(self, capsys):
+        assert tv_main(["--variants", "bogus"]) == 2
+
+    def test_bad_opt_exits_two(self, capsys):
+        assert tv_main(["--opt", "3"]) == 2
+
+    def test_selftest_static_only(self, capsys):
+        rc = tv_main(["--selftest", "--no-dynamic"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "5/5 planted bugs statically rejected" in out
+
+    def test_selftest_json(self, capsys):
+        rc = tv_main(["--selftest", "--no-dynamic", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert doc["ok"] is True
+        assert {c["case"] for c in doc["selftest"]} == {
+            "off-by-one", "skip-compare", "drop-replica", "cry-wolf",
+            "spin-forever"}
+        assert all(c["rejected"] and c["obligation_hit"]
+                   for c in doc["selftest"])

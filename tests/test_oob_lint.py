@@ -1,0 +1,98 @@
+"""Tests for the interval-analysis out-of-bounds lint."""
+
+import pytest
+
+from repro.compiler.lint import ERROR, WARNING, run_lints
+from repro.compiler.pipeline import compile_kernel
+from repro.ir import DType, KernelBuilder
+from repro.kernels.suite import all_abbrevs, make_benchmark
+
+
+def _oob(kernel):
+    return run_lints(kernel, ["oob"])
+
+
+def _with_sizes(kernel, local=16, global_=64, nelems=None):
+    kernel.metadata["local_size"] = (local, 1, 1)
+    kernel.metadata["global_size"] = (global_, 1, 1)
+    if nelems:
+        kernel.metadata["buffer_nelems"] = dict(nelems)
+    return kernel
+
+
+class TestPlantedOob:
+    def test_provable_oob_is_error(self):
+        b = KernelBuilder("prov")
+        out = b.buffer_param("out", DType.U32)
+        b.store(out, b.const(100, DType.U32), b.const(1, DType.U32))
+        k = _with_sizes(b.finish(), nelems={"out": 10})
+        diags = _oob(k)
+        assert [d.severity for d in diags] == [ERROR]
+        assert "out[[100, 100]]" in diags[0].message
+
+    def test_boundary_crossing_is_warning(self):
+        """gid in [0, 63] against a 32-element buffer: some abstract
+        execution is out of bounds, but not all — warning."""
+        b = KernelBuilder("cross")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        b.store(out, gid, gid)
+        k = _with_sizes(b.finish(), global_=64, nelems={"out": 32})
+        diags = _oob(k)
+        assert [d.severity for d in diags] == [WARNING]
+
+    def test_lds_oob_needs_no_metadata(self):
+        """LDS allocation sizes are in the IR itself."""
+        b = KernelBuilder("ldsoob")
+        lds = b.local_alloc("buf", DType.U32, 8)
+        lid = b.local_id(0)
+        b.store_local(lds, b.add(lid, b.const(8, DType.U32)), lid)
+        k = _with_sizes(b.finish(), local=16)
+        diags = _oob(k)
+        assert [d.severity for d in diags] == [ERROR]
+        assert diags[0].checker == "oob"
+
+    def test_unbounded_index_is_silent(self):
+        """Scalar-parameter-dependent addresses are host-launched in
+        bounds; the checker only speaks when it can bound the index."""
+        b = KernelBuilder("param")
+        out = b.buffer_param("out", DType.U32)
+        n = b.scalar_param("n", DType.U32)
+        b.store(out, b.mul(b.global_id(0), n), n)
+        k = _with_sizes(b.finish(), nelems={"out": 64})
+        assert _oob(k) == []
+
+    def test_guarded_access_in_bounds(self):
+        """Branch refinement keeps a properly guarded access clean."""
+        b = KernelBuilder("guarded")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        with b.if_(b.lt(gid, 32)):
+            b.store(out, gid, gid)
+        k = _with_sizes(b.finish(), global_=64, nelems={"out": 32})
+        assert _oob(k) == []
+
+    def test_unknown_buffer_size_is_silent(self):
+        b = KernelBuilder("nosize")
+        out = b.buffer_param("out", DType.U32)
+        b.store(out, b.const(10 ** 9, DType.U32), b.const(0, DType.U32))
+        k = _with_sizes(b.finish())
+        assert _oob(k) == []
+
+
+@pytest.mark.parametrize("abbrev", all_abbrevs())
+@pytest.mark.parametrize("variant", ["original", "intra+lds", "intra-lds", "inter"])
+def test_suite_matrix_oob_clean(abbrev, variant):
+    """Satellite acceptance: no OOB finding anywhere in the suite under
+    the headline RMT variants, unoptimized or optimized."""
+    bench = make_benchmark(abbrev, scale="small")
+    for optimize in (False, True):
+        compiled = compile_kernel(
+            bench.build(), variant, optimize=optimize, lint=False,
+            validate=False,
+        )
+        diags = run_lints(compiled.kernel, ["oob"])
+        assert diags == [], (
+            f"{abbrev}/{variant}@O{int(optimize)}: "
+            + "; ".join(str(d) for d in diags)
+        )

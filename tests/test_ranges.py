@@ -1,0 +1,282 @@
+"""Tests for the interval (value-range) abstract interpreter."""
+
+from repro.compiler.analysis.ranges import Interval, analyze_ranges
+from repro.ir import DType, KernelBuilder
+from repro.ir.core import StoreGlobal, StoreLocal, walk_instrs
+
+
+def _first_store(kernel):
+    return next(
+        i for i in walk_instrs(kernel.body)
+        if isinstance(i, (StoreGlobal, StoreLocal))
+    )
+
+
+def _with_sizes(kernel, local=16, global_=64, nelems=None):
+    kernel.metadata["local_size"] = (local, 1, 1)
+    kernel.metadata["global_size"] = (global_, 1, 1)
+    if nelems:
+        kernel.metadata["buffer_nelems"] = dict(nelems)
+    return kernel
+
+
+class TestInterval:
+    def test_hull_and_widen(self):
+        a = Interval(0, 10)
+        b = Interval(5, 20)
+        assert a.hull(b) == Interval(0, 20)
+        # Directional widening drops only the bound that moved.
+        assert Interval(0, 10).widen(Interval(0, 12)) == Interval(0, None)
+        assert Interval(0, 10).widen(Interval(-2, 10)) == Interval(None, 10)
+        assert Interval(0, 10).widen(Interval(2, 8)) == Interval(0, 10)
+
+    def test_within(self):
+        assert Interval(1, 3).within(0, 7)
+        assert not Interval(1, 9).within(0, 7)
+        assert not Interval(None, 3).within(0, 7)
+
+
+class TestTransfers:
+    def test_const_and_arith(self):
+        b = KernelBuilder("arith")
+        out = b.buffer_param("out", DType.U32)
+        five = b.const(5, DType.U32)
+        three = b.const(3, DType.U32)
+        s = b.add(five, three)
+        d = b.sub(s, three)
+        p = b.mul(s, three)
+        b.store(out, d, p)
+        k = _with_sizes(b.finish())
+        ra = analyze_ranges(k)
+        store = _first_store(k)
+        assert ra.interval_at(store, s) == Interval(8, 8)
+        assert ra.interval_at(store, d) == Interval(5, 5)
+        assert ra.interval_at(store, p) == Interval(24, 24)
+
+    def test_special_ids_bounded_by_metadata(self):
+        b = KernelBuilder("ids")
+        out = b.buffer_param("out", DType.U32)
+        lid = b.local_id(0)
+        gid = b.global_id(0)
+        ls = b.local_size(0)
+        b.store(out, gid, b.add(lid, ls))
+        k = _with_sizes(b.finish(), local=16, global_=64)
+        ra = analyze_ranges(k)
+        store = _first_store(k)
+        assert ra.interval_at(store, lid) == Interval(0, 15)
+        assert ra.interval_at(store, gid) == Interval(0, 63)
+        assert ra.interval_at(store, ls) == Interval(16, 16)
+
+    def test_and_mask_reanchors(self):
+        """``x & 63`` is machine-exact in [0, 63] even for opaque x."""
+        b = KernelBuilder("mask")
+        out = b.buffer_param("out", DType.U32)
+        inp = b.buffer_param("inp", DType.U32)
+        x = b.load(inp, b.global_id(0))
+        masked = b.and_(x, b.const(63, DType.U32))
+        b.store(out, masked, x)
+        k = _with_sizes(b.finish())
+        ra = analyze_ranges(k)
+        store = _first_store(k)
+        assert ra.interval_at(store, masked) == Interval(0, 63)
+
+    def test_rem_reanchors(self):
+        b = KernelBuilder("rem")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        r = b.rem(gid, b.const(10, DType.U32))
+        b.store(out, r, gid)
+        k = _with_sizes(b.finish())
+        store = _first_store(k)
+        assert analyze_ranges(k).interval_at(store, r) == Interval(0, 9)
+
+    def test_shifts(self):
+        b = KernelBuilder("shift")
+        out = b.buffer_param("out", DType.U32)
+        lid = b.local_id(0)
+        dbl = b.shl(lid, b.const(1, DType.U32))
+        half = b.shr(lid, b.const(1, DType.U32))
+        b.store(out, dbl, half)
+        k = _with_sizes(b.finish(), local=16)
+        ra = analyze_ranges(k)
+        store = _first_store(k)
+        assert ra.interval_at(store, dbl) == Interval(0, 30)
+        assert ra.interval_at(store, half) == Interval(0, 7)
+
+    def test_u32_sub_admits_underflow(self):
+        """Interval arithmetic is mathematical: a u32 subtraction that
+        can underflow reads as a possibly-negative value (i.e. the
+        machine index may wrap huge), not as zero."""
+        b = KernelBuilder("under")
+        out = b.buffer_param("out", DType.U32)
+        lid = b.local_id(0)
+        d = b.sub(lid, b.const(8, DType.U32))
+        b.store(out, d, lid)
+        k = _with_sizes(b.finish(), local=16)
+        store = _first_store(k)
+        assert analyze_ranges(k).interval_at(store, d) == Interval(-8, 7)
+
+    def test_sub_of_max_clamps_at_zero(self):
+        """``sub(max(x, y), y)`` is recognized as max(x - y, 0) — the
+        PrefixSum partner-index idiom."""
+        b = KernelBuilder("maxsub")
+        out = b.buffer_param("out", DType.U32)
+        lid = b.local_id(0)
+        y = b.const(8, DType.U32)
+        m = b.max(lid, y)
+        d = b.sub(m, y)
+        b.store(out, d, lid)
+        k = _with_sizes(b.finish(), local=16)
+        store = _first_store(k)
+        assert analyze_ranges(k).interval_at(store, d) == Interval(0, 7)
+
+    def test_select_hulls_both_arms(self):
+        b = KernelBuilder("sel")
+        out = b.buffer_param("out", DType.U32)
+        lid = b.local_id(0)
+        v = b.select(b.lt(lid, 8), b.const(2, DType.U32),
+                     b.const(40, DType.U32))
+        b.store(out, lid, v)
+        k = _with_sizes(b.finish(), local=16)
+        store = _first_store(k)
+        assert analyze_ranges(k).interval_at(store, v) == Interval(2, 40)
+
+
+class TestBranchRefinement:
+    def test_then_arm_refined_by_guard(self):
+        b = KernelBuilder("guard")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        with b.if_(b.lt(gid, 4)):
+            b.store(out, gid, gid)
+        k = _with_sizes(b.finish(), global_=64)
+        store = _first_store(k)
+        assert analyze_ranges(k).interval_at(store, gid) == Interval(0, 3)
+
+    def test_else_arm_gets_negation(self):
+        b = KernelBuilder("negguard")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        with b.if_else(b.lt(gid, 4)) as orelse:
+            b.add(gid, 0)
+            with orelse():
+                b.store(out, gid, gid)
+        k = _with_sizes(b.finish(), global_=64)
+        store = _first_store(k)
+        assert analyze_ranges(k).interval_at(store, gid) == Interval(4, 63)
+
+    def test_conjunction_refines_both_facts(self):
+        b = KernelBuilder("conj")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        p = b.pand(b.ge(gid, 8), b.lt(gid, 16))
+        with b.if_(p):
+            b.store(out, gid, gid)
+        k = _with_sizes(b.finish(), global_=64)
+        store = _first_store(k)
+        assert analyze_ranges(k).interval_at(store, gid) == Interval(8, 15)
+
+    def test_refinement_killed_by_reassignment(self):
+        """A guard on ``v`` says nothing once ``v`` is reassigned."""
+        b = KernelBuilder("killed")
+        out = b.buffer_param("out", DType.U32)
+        v = b.var(DType.U32, 2)
+        p = b.lt(v, 4)
+        b.set(v, 100)
+        with b.if_(p):
+            b.store(out, v, v)
+        k = _with_sizes(b.finish())
+        store = _first_store(k)
+        assert analyze_ranges(k).interval_at(store, v) == Interval(100, 100)
+
+
+class TestLoops:
+    def test_counting_loop_body_interval(self):
+        """Widening blows the moving bound; the guard re-sharpens it."""
+        b = KernelBuilder("count")
+        out = b.buffer_param("out", DType.U32)
+        i = b.var(DType.U32, 0)
+        with b.loop() as lp:
+            lp.break_unless(b.lt(i, 8))
+            b.store(out, i, i)
+            b.set(i, b.add(i, 1))
+        k = _with_sizes(b.finish())
+        store = _first_store(k)
+        assert analyze_ranges(k).interval_at(store, i) == Interval(0, 7)
+
+    def test_halving_loop_keeps_upper_bound(self):
+        """The reduction idiom: ``stride >>= 1`` from ls/2 — the upper
+        bound is stable across iterations and must survive widening."""
+        b = KernelBuilder("halve")
+        out = b.buffer_param("out", DType.U32)
+        stride = b.var(DType.U32, 8, hint="stride")
+        with b.loop() as lp:
+            lp.break_unless(b.gt(stride, 0))
+            b.store(out, stride, stride)
+            b.set(stride, b.shr(stride, b.const(1, DType.U32)))
+        k = _with_sizes(b.finish())
+        store = _first_store(k)
+        iv = analyze_ranges(k).interval_at(store, stride)
+        assert iv == Interval(1, 8)
+
+    def test_post_loop_negated_guard(self):
+        b = KernelBuilder("after")
+        out = b.buffer_param("out", DType.U32)
+        i = b.var(DType.U32, 0)
+        with b.loop() as lp:
+            lp.break_unless(b.lt(i, 8))
+            b.set(i, b.add(i, 1))
+        b.store(out, i, i)
+        k = _with_sizes(b.finish())
+        store = _first_store(k)
+        iv = analyze_ranges(k).interval_at(store, i)
+        # Exit implies i >= 8; the widened upper bound is gone.
+        assert iv.lo == 8
+
+
+class TestAccessRecording:
+    def test_global_access_uses_buffer_nelems(self):
+        b = KernelBuilder("glob")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        b.store(out, gid, gid)
+        k = _with_sizes(b.finish(), global_=64, nelems={"out": 64})
+        ra = analyze_ranges(k)
+        store = _first_store(k)
+        acc = ra.access_for(store)
+        assert acc is not None
+        assert acc.kind == "store_global"
+        assert acc.target == "out"
+        assert acc.nelems == 64
+        assert acc.index == Interval(0, 63)
+
+    def test_lds_access_always_has_nelems(self):
+        b = KernelBuilder("lds")
+        lds = b.local_alloc("buf", DType.U32, 32)
+        lid = b.local_id(0)
+        b.store_local(lds, lid, lid)
+        k = _with_sizes(b.finish(), local=16)
+        acc = analyze_ranges(k).access_for(_first_store(k))
+        assert acc.kind == "store_local"
+        assert acc.nelems == 32
+        assert acc.index == Interval(0, 15)
+
+    def test_unknown_buffer_has_no_nelems(self):
+        b = KernelBuilder("nosize")
+        out = b.buffer_param("out", DType.U32)
+        b.store(out, b.global_id(0), b.const(1, DType.U32))
+        k = _with_sizes(b.finish())
+        acc = analyze_ranges(k).access_for(_first_store(k))
+        assert acc.nelems is None
+
+    def test_interval_at_unrecorded_instr_defaults(self):
+        """Queries off any access point fall back to the type default."""
+        b = KernelBuilder("dflt")
+        out = b.buffer_param("out", DType.U32)
+        gid = b.global_id(0)
+        b.store(out, gid, gid)
+        k = _with_sizes(b.finish())
+        ra = analyze_ranges(k)
+        other = k.body[0]  # the SpecialId itself — not an access
+        assert ra.access_for(other) is None
+        assert ra.interval_at(other, gid) == Interval(0, None)

@@ -1,0 +1,179 @@
+"""Tests for the translation validator (simulation-relation checker)."""
+
+import pytest
+
+from repro.compiler.pipeline import compile_kernel
+from repro.compiler.tv import (
+    FAILED,
+    OBLIGATIONS,
+    TvError,
+    TvReport,
+    validate_compile,
+)
+from repro.kernels.suite import make_benchmark
+from repro.tv.selftest import (
+    CryWolfPass,
+    DropReplicaPass,
+    OffByOnePass,
+    SkipComparePass,
+    SpinForeverPass,
+    probe_program,
+    run_selftest,
+)
+
+#: Kernels exercising every obligation: LDS reductions (R), the
+#: partner-index idiom (PS), and a pure-global kernel (FW).
+_FAST_KERNELS = ("R", "PS", "FW")
+_VARIANTS = ("original", "intra+lds", "intra-lds", "inter")
+
+
+def _validate(abbrev, variant, optimize):
+    kernel = make_benchmark(abbrev, scale="small").build()
+    compiled = compile_kernel(
+        kernel, variant, optimize=optimize, lint=False, validate=False)
+    return validate_compile(
+        kernel, compiled.kernel, variant=variant, raise_on_failure=False)
+
+
+class TestCertification:
+    @pytest.mark.parametrize("abbrev", _FAST_KERNELS)
+    @pytest.mark.parametrize("variant", _VARIANTS)
+    @pytest.mark.parametrize("optimize", [False, True])
+    def test_suite_subset_certifies(self, abbrev, variant, optimize):
+        report = _validate(abbrev, variant, optimize)
+        assert report.ok, "; ".join(str(w) for w in report.witnesses)
+        assert set(report.obligations) == set(OBLIGATIONS)
+        assert all(s in ("proved", "skipped")
+                   for s in report.obligations.values())
+
+    def test_identity_mode_skips_replica_obligations(self):
+        report = _validate("R", "original", False)
+        assert report.mode == "identity"
+        for name in ("output-comparison", "atomic-forwarding",
+                     "replica-completeness"):
+            assert report.obligations[name] == "skipped"
+        assert report.obligations["effect-correspondence"] == "proved"
+
+    def test_fast_variants_certify(self):
+        for variant in ("intra+lds_fast", "intra-lds_fast"):
+            kernel = make_benchmark("R", scale="small").build()
+            compiled = compile_kernel(
+                kernel, variant, optimize=True, lint=False, validate=False)
+            report = validate_compile(
+                kernel, compiled.kernel, variant=variant,
+                raise_on_failure=False)
+            assert report.ok, "; ".join(str(w) for w in report.witnesses)
+
+    def test_report_json_shape(self):
+        report = _validate("R", "intra+lds", True)
+        doc = report.to_json()
+        assert doc["ok"] is True
+        assert doc["mode"] == "intra"
+        assert doc["variant"] == "intra+lds"
+        assert set(doc["obligations"]) == set(OBLIGATIONS)
+        assert doc["witnesses"] == []
+
+
+class TestPlantedRejection:
+    """Every planted miscompile must die with a FAILED witness on the
+    expected obligation — the acceptance criterion of the validator."""
+
+    def test_static_selftest_rejects_all(self):
+        results = run_selftest(dynamic=False)
+        assert len(results) == 5
+        for r in results:
+            assert r.rejected, f"{r.case}: no failed witness"
+            assert r.obligation_hit, (
+                f"{r.case}: wrong obligation — got "
+                f"{ {k: v for k, v in r.report.obligations.items() if v == FAILED} }"
+            )
+
+    def test_dynamic_oracle_never_outruns_validator(self):
+        """Cross-check: every planted bug the differential oracle
+        catches must also carry a static witness (no escapes)."""
+        results = run_selftest(dynamic=True)
+        for r in results:
+            assert not r.escapes, r.escapes
+
+    def test_witness_is_instruction_pair_diff(self):
+        """The off-by-one witness names both sides of the mismatch."""
+        original = probe_program().build()
+        compiled = compile_kernel(
+            original, "intra+lds", extra_passes=(OffByOnePass(),),
+            lint=False, validate=False)
+        report = validate_compile(
+            original, compiled.kernel, variant="intra+lds",
+            raise_on_failure=False)
+        w = next(w for w in report.failures
+                 if w.obligation == "effect-correspondence")
+        assert w.status == FAILED
+        assert w.loc                     # transformed-side location
+        assert w.original_loc            # ... paired with the original's
+        assert w.obligation in str(w)
+        assert set(w.to_json()) == {
+            "obligation", "status", "kernel", "loc", "message",
+            "original_loc"}
+
+    @pytest.mark.parametrize("planted,variant,obligation", [
+        (SkipComparePass, "intra+lds", "output-comparison"),
+        (CryWolfPass, "original", "effect-correspondence"),
+        (SpinForeverPass, "original", "control-skeleton"),
+    ])
+    def test_individual_obligations(self, planted, variant, obligation):
+        original = probe_program().build()
+        if variant != "original" and planted is SkipComparePass:
+            compiled = compile_kernel(
+                original, variant, rmt_pass=planted(), lint=False,
+                validate=False)
+        else:
+            compiled = compile_kernel(
+                original, variant, extra_passes=(planted(),), lint=False,
+                validate=False)
+        report = validate_compile(
+            original, compiled.kernel, variant=variant,
+            raise_on_failure=False)
+        assert report.obligations[obligation] == FAILED
+
+    def test_drop_replica_breaks_completeness(self):
+        original = probe_program().build()
+        compiled = compile_kernel(
+            original, "intra+lds", extra_passes=(DropReplicaPass(),),
+            lint=False, validate=False)
+        report = validate_compile(
+            original, compiled.kernel, variant="intra+lds",
+            raise_on_failure=False)
+        assert report.obligations["replica-completeness"] == FAILED
+
+
+class TestPipelineWiring:
+    def test_default_compile_validates_clean(self):
+        kernel = make_benchmark("R", scale="small").build()
+        compiled = compile_kernel(kernel, "intra+lds")  # lint + tv on
+        assert compiled.kernel.metadata.get("rmt")
+
+    def test_planted_bug_raises_tv_error(self):
+        original = probe_program().build()
+        with pytest.raises(TvError) as excinfo:
+            compile_kernel(
+                original, "intra+lds", extra_passes=(OffByOnePass(),),
+                lint=False, validate=True)
+        report = excinfo.value.report
+        assert isinstance(report, TvReport)
+        assert report.failures
+        assert "effect-correspondence" in str(excinfo.value)
+
+    def test_opt_out_skips_validation(self):
+        original = probe_program().build()
+        compiled = compile_kernel(
+            original, "intra+lds", extra_passes=(OffByOnePass(),),
+            lint=False, validate=False)
+        assert compiled.kernel is not None
+
+    def test_validation_follows_lint_by_default(self):
+        """``validate`` defaults to ``lint and verify`` — a lint-off
+        compile of a planted bug must not raise."""
+        original = probe_program().build()
+        compiled = compile_kernel(
+            original, "intra+lds", extra_passes=(OffByOnePass(),),
+            lint=False)
+        assert compiled.kernel is not None
