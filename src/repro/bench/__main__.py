@@ -1,0 +1,42 @@
+"""CLI: ``python -m repro.bench`` — run the perf microbenchmarks.
+
+Writes ``BENCH_5.json`` (override with ``--out``) and prints a summary.
+Exit status is non-zero only on a *correctness* divergence (fused vs
+reference interpreter, cached vs recompiled campaign outcomes); the
+speedup numbers are recorded, never gated, so CI stays deterministic.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import SECTIONS, format_report, run_bench, write_report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Hot-path microbenchmarks (interpreter fusion, "
+                    "compile cache, campaign throughput).",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads for CI smoke runs")
+    parser.add_argument("--only", action="append", choices=SECTIONS,
+                        help="run only this section (repeatable)")
+    parser.add_argument("--out", default="BENCH_5.json",
+                        help="report path (default: %(default)s)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress the text summary")
+    args = parser.parse_args(argv)
+
+    report = run_bench(quick=args.quick, only=args.only)
+    write_report(report, args.out)
+    if not args.quiet:
+        print(format_report(report))
+        print(f"wrote {args.out}")
+    return 0 if report["correct"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,476 @@
+"""Content-addressed compile cache.
+
+Fault campaigns, fuzz sweeps, and the figure harness compile the same
+kernel/variant pair thousands of times — and since translation
+validation landed, every one of those compiles also pays lint + TV.
+This module keys ``compile_kernel`` results by a *stable structural
+hash* of the kernel IR plus every compile option that can change the
+result, so the expensive pipeline runs once per distinct compile.
+
+The fingerprint is content-addressed, not identity-addressed:
+
+* virtual registers are numbered by first occurrence in a canonical
+  walk (parameters → locals → metadata → body), so alpha-renaming a
+  register does **not** change the key — register names are never
+  semantic in this IR;
+* buffer/scalar parameter names, LDS allocation names, and metadata
+  **do** participate — the runtime binds buffers and LDS by name and
+  the range/TV analyses read metadata, so renaming those is a semantic
+  change;
+* every value is serialised through a canonical encoder (exact float
+  hex, sorted dict order, enum values) so the hash is identical across
+  process restarts and platforms.
+
+Compile *options* — variant, communication, optimize, verify/lint, the
+resolved validate flag, and the planted-bug hooks ``rmt_pass`` /
+``extra_passes`` — are folded into the key.  A pass object whose
+configuration cannot be canonically serialised (e.g. one closing over a
+lambda) raises :class:`Uncacheable` internally and the compile simply
+bypasses the cache; a differential test planting such a pass can never
+be served a stale stock compile.
+
+Two tiers:
+
+* **memory** — a process-wide dict of finished
+  :class:`~repro.compiler.pipeline.CompiledKernel` objects.  Campaign
+  and fuzz workers are *forked* from the orchestrating process, so a
+  parent that compiles before fan-out prewarms every worker.
+* **disk** (optional) — pickles of the *transformed kernel only*.  The
+  backend analyses (uniformity, resources, SoR) hold ``id()``-based
+  instruction sets that are meaningless in another process, so a disk
+  hit re-runs the cheap annotation tail; lint and TV were already paid
+  when the entry was stored.  Any unpickling problem is treated as
+  corruption and degrades to a clean full recompile.
+
+The default tier selection reads ``REPRO_COMPILE_CACHE`` once at
+import: ``0``/``off`` disables caching, a path enables the disk tier
+there, anything else (including unset) means memory-only.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import types
+from dataclasses import dataclass, field, fields, is_dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.core import (
+    Alu,
+    AtomicGlobal,
+    Barrier,
+    Cmp,
+    Const,
+    If,
+    Kernel,
+    LoadGlobal,
+    LoadLocal,
+    LoadParam,
+    PredOp,
+    ReportError,
+    Select,
+    SpecialId,
+    StoreGlobal,
+    StoreLocal,
+    Swizzle,
+    While,
+)
+from ..ir.types import DType
+
+
+class Uncacheable(Exception):
+    """Raised when a compile's inputs have no canonical serialisation."""
+
+
+# ---------------------------------------------------------------------------
+# Canonical value encoding
+# ---------------------------------------------------------------------------
+
+_MAX_DEPTH = 12
+
+
+def _canon(obj, depth: int = 0) -> str:
+    """Deterministic, process-independent text encoding of a value."""
+    if depth > _MAX_DEPTH:
+        raise Uncacheable("value nesting too deep")
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        return repr(obj)
+    if isinstance(obj, float):
+        return obj.hex()
+    if isinstance(obj, np.generic):
+        return _canon(obj.item(), depth + 1)
+    if isinstance(obj, DType):
+        return f"dtype:{obj.value}"
+    if isinstance(obj, (list, tuple)):
+        inner = ",".join(_canon(v, depth + 1) for v in obj)
+        return f"[{inner}]"
+    if isinstance(obj, dict):
+        items = sorted(
+            (_canon(k, depth + 1), _canon(v, depth + 1)) for k, v in obj.items()
+        )
+        return "{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if isinstance(obj, (set, frozenset)):
+        return "{" + ",".join(sorted(_canon(v, depth + 1) for v in obj)) + "}"
+    if is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        body = ",".join(
+            f"{f.name}={_canon(getattr(obj, f.name), depth + 1)}"
+            for f in fields(obj)
+        )
+        return f"{cls.__module__}.{cls.__qualname__}({body})"
+    # Functions carry an (empty) __dict__, so without this guard every
+    # lambda would canonicalise to the same "builtins.function()" string
+    # and two differently-planted passes could share a cache key.
+    if isinstance(obj, (types.FunctionType, types.MethodType,
+                        types.BuiltinFunctionType, types.ModuleType,
+                        np.ndarray)):
+        raise Uncacheable(f"cannot canonicalise {type(obj).__name__}")
+    # Plain config-style objects (e.g. compiler passes): class identity
+    # plus instance attributes.  Anything exotic — closures, modules,
+    # arrays — is refused rather than guessed at.
+    d = getattr(obj, "__dict__", None)
+    if d is not None:
+        cls = type(obj)
+        body = ",".join(
+            f"{k}={_canon(v, depth + 1)}" for k, v in sorted(d.items())
+            if not k.startswith("_")
+        )
+        return f"{cls.__module__}.{cls.__qualname__}({body})"
+    raise Uncacheable(f"cannot canonicalise {type(obj).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Kernel structural fingerprint
+# ---------------------------------------------------------------------------
+
+
+class _RegNumbering:
+    """First-occurrence register slots — the alpha-renaming quotient."""
+
+    def __init__(self) -> None:
+        self._slots: Dict[int, str] = {}
+
+    def ref(self, reg) -> str:
+        if reg is None:
+            return "_"
+        key = id(reg)
+        slot = self._slots.get(key)
+        if slot is None:
+            slot = f"%{len(self._slots)}:{reg.dtype.value}"
+            self._slots[key] = slot
+        return slot
+
+
+def _fp_body(body: Sequence, regs: _RegNumbering, out: List[str], depth: int = 0) -> None:
+    if depth > 64:
+        raise Uncacheable("statement nesting too deep")
+    r = regs.ref
+    for stmt in body:
+        cls = stmt.__class__
+        if cls is Alu:
+            out.append(f"alu.{stmt.op} {r(stmt.dst)},{r(stmt.a)},{r(stmt.b)}")
+        elif cls is Cmp:
+            out.append(f"cmp.{stmt.op} {r(stmt.dst)},{r(stmt.a)},{r(stmt.b)}")
+        elif cls is Const:
+            out.append(f"const {r(stmt.dst)},{_canon(stmt.value)}")
+        elif cls is LoadParam:
+            out.append(f"param {r(stmt.dst)},{stmt.param.name}")
+        elif cls is SpecialId:
+            out.append(f"sid.{stmt.kind}.{stmt.dim} {r(stmt.dst)}")
+        elif cls is PredOp:
+            out.append(f"pred.{stmt.op} {r(stmt.dst)},{r(stmt.a)},{r(stmt.b)}")
+        elif cls is Select:
+            out.append(
+                f"select {r(stmt.dst)},{r(stmt.pred)},{r(stmt.a)},{r(stmt.b)}"
+            )
+        elif cls is Swizzle:
+            out.append(
+                f"swz.{stmt.and_mask}.{stmt.or_mask}.{stmt.xor_mask} "
+                f"{r(stmt.dst)},{r(stmt.src)}"
+            )
+        elif cls is LoadGlobal:
+            out.append(f"ldg {r(stmt.dst)},{stmt.buf.name}[{r(stmt.index)}]")
+        elif cls is StoreGlobal:
+            out.append(f"stg {stmt.buf.name}[{r(stmt.index)}],{r(stmt.value)}")
+        elif cls is LoadLocal:
+            out.append(f"ldl {r(stmt.dst)},{stmt.lds.name}[{r(stmt.index)}]")
+        elif cls is StoreLocal:
+            out.append(f"stl {stmt.lds.name}[{r(stmt.index)}],{r(stmt.value)}")
+        elif cls is AtomicGlobal:
+            out.append(
+                f"atomic.{stmt.op} {r(stmt.dst)},{stmt.buf.name}"
+                f"[{r(stmt.index)}],{r(stmt.value)},{r(stmt.compare)}"
+            )
+        elif cls is Barrier:
+            out.append("barrier")
+        elif cls is ReportError:
+            out.append(f"err.{stmt.code}")
+        elif cls is If:
+            out.append(f"if {r(stmt.cond)} {{")
+            _fp_body(stmt.then_body, regs, out, depth + 1)
+            out.append("} else {")
+            _fp_body(stmt.else_body, regs, out, depth + 1)
+            out.append("}")
+        elif cls is While:
+            out.append("while {")
+            _fp_body(stmt.cond_block, regs, out, depth + 1)
+            out.append(f"}} cond {r(stmt.cond)} {{")
+            _fp_body(stmt.body, regs, out, depth + 1)
+            out.append("}")
+        else:
+            raise Uncacheable(f"unknown statement {type(stmt).__name__}")
+
+
+def kernel_fingerprint(kernel: Kernel) -> str:
+    """Stable structural hash of one kernel (hex digest).
+
+    Invariant under virtual-register renaming; sensitive to any change
+    in opcodes, operand structure, dtypes, parameter/LDS names, constant
+    values, control flow, or metadata.
+    """
+    regs = _RegNumbering()
+    lines: List[str] = [f"kernel {kernel.name}"]
+    for p in kernel.params:
+        lines.append(f"p {type(p).__name__}:{p.name}:{p.dtype.value}")
+    for a in kernel.locals:
+        lines.append(f"l {a.name}:{a.dtype.value}:{a.nelems}")
+    lines.append(f"meta {_canon(kernel.metadata)}")
+    _fp_body(kernel.body, regs, lines)
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+def pass_fingerprint(p) -> str:
+    """Canonical identity of a compiler pass (class + configuration)."""
+    if p is None:
+        return "none"
+    return _canon(p)
+
+
+def compile_key(
+    kernel: Kernel,
+    variant: str,
+    communication: bool,
+    verify: bool,
+    optimize: bool,
+    lint: bool,
+    validate: bool,
+    rmt_pass=None,
+    extra_passes: Sequence = (),
+) -> Optional[str]:
+    """Cache key for one ``compile_kernel`` call, or None if uncacheable.
+
+    ``validate`` must already be resolved (the pipeline's ``None``
+    default maps to ``lint and verify`` before keying) so that spellings
+    requesting identical work share an entry.
+    """
+    try:
+        parts = [
+            "v1",
+            kernel_fingerprint(kernel),
+            f"variant={variant}",
+            f"comm={communication}",
+            f"verify={verify}",
+            f"optimize={optimize}",
+            f"lint={lint}",
+            f"validate={validate}",
+            f"rmt_pass={pass_fingerprint(rmt_pass)}",
+            f"extra={[pass_fingerprint(q) for q in extra_passes]}",
+        ]
+    except Uncacheable:
+        return None
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The cache
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    mem_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    disk_errors: int = 0
+    uncacheable: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class CompileCache:
+    """Two-tier (memory + optional disk) compile cache."""
+
+    def __init__(self, disk_dir: Optional[str] = None, max_entries: int = 512):
+        self._mem: Dict[str, object] = {}
+        self._order: List[str] = []
+        self.max_entries = max_entries
+        self.disk_dir = disk_dir
+        self.stats = CacheStats()
+        if disk_dir:
+            os.makedirs(disk_dir, exist_ok=True)
+
+    # -- lookup / store ---------------------------------------------------
+
+    def lookup(self, key: str, annotate: Callable[[Kernel, str], object]):
+        """Return a cached CompiledKernel for ``key``, or None.
+
+        ``annotate`` rebuilds the process-local backend annotations for
+        a disk hit (uniformity/resources/SoR sets are ``id()``-based and
+        do not survive pickling).
+        """
+        hit = self._mem.get(key)
+        if hit is not None:
+            self.stats.mem_hits += 1
+            return hit
+        rec = self._disk_load(key)
+        if rec is not None:
+            kernel, variant = rec
+            try:
+                compiled = annotate(kernel, variant)
+            except Exception:
+                # A corrupt-but-unpicklable entry: forget it, recompile.
+                self.stats.disk_errors += 1
+                self._disk_drop(key)
+                self.stats.misses += 1
+                return None
+            self.stats.disk_hits += 1
+            self._mem_put(key, compiled)
+            return compiled
+        self.stats.misses += 1
+        return None
+
+    def store(self, key: str, compiled) -> None:
+        self.stats.stores += 1
+        self._mem_put(key, compiled)
+        self._disk_store(key, compiled)
+
+    def clear(self) -> None:
+        self._mem.clear()
+        self._order.clear()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._mem)
+
+    # -- memory tier ------------------------------------------------------
+
+    def _mem_put(self, key: str, compiled) -> None:
+        if key not in self._mem and len(self._order) >= self.max_entries:
+            oldest = self._order.pop(0)
+            self._mem.pop(oldest, None)
+        if key not in self._mem:
+            self._order.append(key)
+        self._mem[key] = compiled
+
+    # -- disk tier --------------------------------------------------------
+
+    def _disk_path(self, key: str) -> str:
+        return os.path.join(self.disk_dir, f"{key}.pkl")
+
+    def _disk_store(self, key: str, compiled) -> None:
+        if not self.disk_dir:
+            return
+        kernel = compiled.kernel
+        # The lowered fused program holds exec()-generated closures that
+        # cannot (and need not) be pickled; it is re-lowered on load.
+        fused_prog = kernel.__dict__.pop("_fused_program", None)
+        try:
+            payload = pickle.dumps(
+                {"schema": 1, "variant": compiled.variant, "kernel": kernel},
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except Exception:
+            self.stats.disk_errors += 1
+            return
+        finally:
+            if fused_prog is not None:
+                kernel._fused_program = fused_prog
+        # Atomic publish so a concurrent reader never sees a torn file.
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp, self._disk_path(key))
+        except OSError:
+            self.stats.disk_errors += 1
+
+    def _disk_load(self, key: str) -> Optional[Tuple[Kernel, str]]:
+        if not self.disk_dir:
+            return None
+        path = self._disk_path(key)
+        try:
+            with open(path, "rb") as fh:
+                rec = pickle.load(fh)
+            if rec.get("schema") != 1:
+                raise ValueError("unknown cache schema")
+            kernel = rec["kernel"]
+            variant = rec["variant"]
+            if not isinstance(kernel, Kernel) or not isinstance(variant, str):
+                raise TypeError("malformed cache record")
+            return kernel, variant
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Truncated write, bit rot, stale schema, hostile file — all
+            # degrade to a recompile, never a crash.
+            self.stats.disk_errors += 1
+            self._disk_drop(key)
+            return None
+
+    def _disk_drop(self, key: str) -> None:
+        if not self.disk_dir:
+            return
+        try:
+            os.unlink(self._disk_path(key))
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default
+# ---------------------------------------------------------------------------
+
+_default_cache: Optional[CompileCache] = None
+_initialised = False
+
+
+def default_cache() -> Optional[CompileCache]:
+    """The process-wide cache per ``REPRO_COMPILE_CACHE`` (None = off)."""
+    global _default_cache, _initialised
+    if not _initialised:
+        _initialised = True
+        spec = os.environ.get("REPRO_COMPILE_CACHE", "")
+        if spec.lower() in ("0", "off", "false"):
+            _default_cache = None
+        elif spec in ("", "1", "on", "true", "mem", "memory"):
+            _default_cache = CompileCache()
+        else:
+            _default_cache = CompileCache(disk_dir=spec)
+    return _default_cache
+
+
+def set_default_cache(cache: Optional[CompileCache]) -> None:
+    """Install (or disable, with None) the process-wide cache."""
+    global _default_cache, _initialised
+    _default_cache = cache
+    _initialised = True
+
+
+def resolve_cache(cache) -> Optional[CompileCache]:
+    """Map ``compile_kernel``'s cache argument to a cache instance.
+
+    ``None`` (the default) selects the process-wide cache, ``False``
+    bypasses caching for this compile, and a :class:`CompileCache`
+    instance is used as-is.
+    """
+    if cache is None:
+        return default_cache()
+    if cache is False:
+        return None
+    return cache

@@ -19,6 +19,7 @@ from ..ir.verify import verify_kernel
 from .analysis.resources import estimate_resources
 from .analysis.sor import SorReport, analyze_sor
 from .analysis.uniformity import UniformityInfo, analyze_uniformity
+from .cache import compile_key, resolve_cache
 from .pass_manager import Pass, PassManager
 from .passes.rmt_common import RmtOptions
 from .passes.rmt_inter import InterGroupRmtPass
@@ -70,6 +71,25 @@ class CompiledKernel:
         return self.kernel.metadata.get("rmt")
 
 
+def _annotate(transformed: Kernel, variant: str) -> CompiledKernel:
+    """Backend annotation tail: analyses the simulator consumes.
+
+    Factored out so the compile cache can rebuild process-local
+    annotations (the uniformity/SoR sets are ``id()``-based and do not
+    survive pickling) for a kernel restored from the disk tier.
+    """
+    uniformity = analyze_uniformity(transformed)
+    resources = estimate_resources(transformed, uniformity)
+    sor = analyze_sor(transformed)
+    return CompiledKernel(
+        kernel=transformed,
+        resources=resources,
+        uniformity=uniformity,
+        sor=sor,
+        variant=variant,
+    )
+
+
 def compile_kernel(
     kernel: Kernel,
     variant: str = "original",
@@ -80,6 +100,7 @@ def compile_kernel(
     validate: Optional[bool] = None,
     rmt_pass: Optional[Pass] = None,
     extra_passes: Sequence[Pass] = (),
+    cache=None,
 ) -> CompiledKernel:
     """Run the pipeline for one kernel/variant pair.
 
@@ -103,12 +124,39 @@ def compile_kernel(
     cleanup pipeline).  Both exist for differential testing — the fuzz
     oracle uses them to plant deliberately broken passes and prove it
     can detect them (see :mod:`repro.fuzz.oracle`).
+
+    ``cache`` selects the compile cache (see
+    :mod:`repro.compiler.cache`): ``None`` uses the process-wide
+    default, ``False`` bypasses caching for this call, and an explicit
+    :class:`~repro.compiler.cache.CompileCache` is used as-is.  The key
+    covers the kernel's structural fingerprint and every argument above,
+    so a hit is exactly the compile that would have run; a compile whose
+    inputs cannot be canonically fingerprinted (an exotic planted pass)
+    silently bypasses the cache.
     """
     from .passes.optimize import (
         CommonSubexpressionPass,
         ConstantFoldingPass,
         DeadCodeEliminationPass,
     )
+
+    if validate is None:
+        validate = lint and verify
+
+    cache_obj = resolve_cache(cache)
+    key = None
+    if cache_obj is not None:
+        key = compile_key(
+            kernel, variant=variant, communication=communication,
+            verify=verify, optimize=optimize, lint=lint, validate=validate,
+            rmt_pass=rmt_pass, extra_passes=extra_passes,
+        )
+        if key is None:
+            cache_obj.stats.uncacheable += 1
+        else:
+            hit = cache_obj.lookup(key, _annotate)
+            if hit is not None:
+                return hit
 
     passes = []
     p = rmt_pass if rmt_pass is not None else rmt_pass_for(
@@ -124,19 +172,11 @@ def compile_kernel(
         ])
     pm = PassManager(passes, verify=verify, lint=lint and verify)
     transformed = pm.run(kernel)
-    if validate is None:
-        validate = lint and verify
     if validate:
         from .tv import validate_compile  # lazy: tv imports the lint suite
 
         validate_compile(kernel, transformed, variant=variant)
-    uniformity = analyze_uniformity(transformed)
-    resources = estimate_resources(transformed, uniformity)
-    sor = analyze_sor(transformed)
-    return CompiledKernel(
-        kernel=transformed,
-        resources=resources,
-        uniformity=uniformity,
-        sor=sor,
-        variant=variant,
-    )
+    compiled = _annotate(transformed, variant)
+    if cache_obj is not None and key is not None:
+        cache_obj.store(key, compiled)
+    return compiled

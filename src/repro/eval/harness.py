@@ -104,6 +104,29 @@ def default_grid(
 # -- cell execution (module-level so forked grid workers can run it) -------
 
 
+def _prewarm_cells(cells: Sequence[GridCell], scale: str) -> None:
+    """Best-effort compile of each cell's kernels into the process cache.
+
+    Errors are deliberately swallowed: a genuinely broken cell will fail
+    inside its worker, where the retry/quarantine machinery and the
+    error reporting live.
+    """
+    from ..compiler.cache import default_cache
+
+    if default_cache() is None:
+        return
+    for cell in cells:
+        try:
+            if cell.capped_from:
+                make_benchmark(cell.abbrev, scale).compile("original")
+                make_benchmark(cell.abbrev, scale).compile(cell.capped_from)
+            else:
+                make_benchmark(cell.abbrev, scale).compile(
+                    cell.variant, communication=cell.communication)
+        except Exception:
+            pass
+
+
 def compute_record(cell: GridCell, scale: str) -> RunRecord:
     """Run one grid cell from scratch and produce its record."""
     bench = make_benchmark(cell.abbrev, scale)
@@ -249,6 +272,11 @@ class Harness:
             label=f"grid/{self.scale}")
         tel.start(len(grid), skipped=len(grid) - len(pending))
         scale = self.scale
+        if workers and workers > 1 and pending:
+            # Compile every pending cell in the parent first: the forked
+            # workers inherit the warm compile cache, so lint + TV run
+            # once per distinct kernel/variant instead of once per worker.
+            _prewarm_cells([cell for _, cell in pending], scale)
         results = run_tasks(
             pending,
             lambda cell: compute_record(cell, scale),

@@ -135,9 +135,13 @@ def run_program(
 ) -> RunResult:
     """Compile and launch ``prog`` under one configuration.
 
-    The kernel is rebuilt from the spec every time — compiler passes
-    mutate kernels in place, so sharing IR across runs would let one
-    variant contaminate the next.
+    The kernel IR is rebuilt from the spec every time (cheap, and keeps
+    each run's provenance independent), but the compile itself is served
+    by the content-addressed compile cache: structurally identical
+    rebuilds hash to the same key, so the fault probe's repeated
+    recompiles of one spec pay lint + TV exactly once.  Planted
+    ``rmt_pass``/``extra_passes`` hooks participate in the cache key —
+    a buggy-pass run can never be served the stock compile.
     """
     try:
         compiled = compile_kernel(

@@ -19,6 +19,7 @@ from .counters import KernelCounters, merge_counters
 from .engine import Engine, LaunchResult
 from .memory import CacheModel, DeviceBuffer, GlobalMemory
 from .occupancy import KernelResources
+from .fused import maybe_lower
 from .power import PowerReport, estimate_power
 from .wavefront import LaunchContext
 
@@ -88,6 +89,10 @@ class Device:
         )
         if fault_hook is not None:
             ctx.fault_hook = fault_hook
+        else:
+            # Lowered once per kernel instance and memoized on it; the
+            # reference interpreter remains the fault-injection path.
+            ctx.fused = maybe_lower(kernel)
         if resources is None:
             resources = KernelResources(
                 vgprs_per_workitem=32, sgprs_per_wave=32,

@@ -1,0 +1,429 @@
+"""Block-fused kernel executors.
+
+The reference interpreter in :mod:`repro.gpu.wavefront` dispatches every
+instruction through an ``isinstance`` chain and a pair of method calls —
+fine for correctness work, but the dominant Python hot path once fault
+campaigns and fuzz sweeps run thousands of launches.  This module lowers
+a compiled kernel's statement tree once per kernel: every maximal
+straight-line run of side-effect-free instructions (``_PURE_OPS``) is
+compiled — via ``exec`` of generated source — into a single *fused
+block executor* that evaluates the whole run over the 64-lane numpy
+vectors with no per-instruction dispatch, then charges one aggregate
+cost into the pending :class:`~repro.gpu.wavefront.ExecReq`.
+
+Timing neutrality is by construction:
+
+* the reference path charges each pure instruction into the *pending*
+  ``ExecReq`` and only yields at a non-pure boundary (memory op,
+  barrier, loop back-edge, spin-flush) — exactly the block boundaries
+  of the lowered tree, so the aggregate charge observed by the timing
+  engine at every yield point is identical;
+* all per-instruction cycle costs are integers, so summing them per
+  block is exact;
+* branch accounting (``n_branch``/``n_div_branch``/``branch_cycles``)
+  and the ``_SPIN_FLUSH_CYCLES`` back-edge flush are replicated verbatim
+  in :func:`_exec_fused`.
+
+Fault injection needs to observe (and corrupt) state *between*
+instructions, so a launch with a fault hook installed always falls back
+to the reference interpreter — the fused path is only taken when
+``ctx.fault_hook is None``.  Bitwise equivalence of the two paths is
+pinned by ``tests/test_fused_equivalence.py`` and guarded in CI by
+``python -m repro.bench --quick``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.core import (
+    Alu,
+    Cmp,
+    Const,
+    If,
+    Instr,
+    Kernel,
+    LoadParam,
+    PredOp,
+    Select,
+    SpecialId,
+    Stmt,
+    Swizzle,
+    While,
+)
+from ..ir.core import TRANSCENDENTAL_OPS
+from .wavefront import (
+    _ALU_FUNCS,
+    _CMP_FUNCS,
+    _LANES,
+    _PURE_OPS,
+    _SPIN_FLUSH_CYCLES,
+    WAVE,
+    Wavefront,
+)
+
+# ---------------------------------------------------------------------------
+# Global enable switch
+# ---------------------------------------------------------------------------
+
+_enabled = os.environ.get("REPRO_FUSION", "1").lower() not in ("0", "false", "off")
+
+
+def fusion_enabled() -> bool:
+    """Whether launches lower kernels to fused executors by default."""
+    return _enabled
+
+
+def set_fusion_enabled(on: bool) -> None:
+    global _enabled
+    _enabled = bool(on)
+
+
+@contextlib.contextmanager
+def fusion(on: bool):
+    """Temporarily force fusion on or off (tests, benchmarks)."""
+    prev = _enabled
+    set_fusion_enabled(on)
+    try:
+        yield
+    finally:
+        set_fusion_enabled(prev)
+
+
+# ---------------------------------------------------------------------------
+# Lowered statement tree
+# ---------------------------------------------------------------------------
+
+
+def _reg_arr(regs: Dict[int, np.ndarray], rid: int, dt) -> np.ndarray:
+    """Fetch-or-create one lane vector (mirrors ``Wavefront.read``)."""
+    arr = regs.get(rid)
+    if arr is None:
+        arr = regs[rid] = np.zeros(WAVE, dt)
+    return arr
+
+
+#: Binary ALU/predicate opcodes rendered as infix operators in generated
+#: source (everything else calls the shared semantic function table).
+_INFIX_ALU = {"add": "+", "sub": "-", "mul": "*", "and": "&", "or": "|", "xor": "^"}
+_INFIX_CMP = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+
+
+class FusedBlock:
+    """One straight-line run of pure instructions, compiled to a closure.
+
+    ``fn(wave, mask)`` performs every register update of the run (masked
+    writes, dtype casts, lazy register materialisation) with the same
+    observable semantics as the reference ``_exec_pure`` loop.  Cycle
+    accounting is aggregated per launch context in :meth:`execute`.
+    """
+
+    __slots__ = ("instrs", "n", "fn")
+
+    def __init__(self, instrs: Sequence[Instr], label: str):
+        self.instrs = tuple(instrs)
+        self.n = len(self.instrs)
+        self.fn = _codegen(self.instrs, label)
+
+    def execute(self, wave: Wavefront, mask: np.ndarray) -> None:
+        wave.dyn_instrs += self.n
+        self.fn(wave, mask)
+        costs = wave.ctx.fused_costs
+        c = costs.get(id(self))
+        if c is None:
+            c = costs[id(self)] = _block_costs(self.instrs, wave.ctx)
+        p = wave._pend
+        p.valu_cycles += c[0]
+        p.salu_cycles += c[1]
+        p.n_valu += c[2]
+        p.n_salu += c[3]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FusedBlock n={self.n}>"
+
+
+class LoweredIf:
+    """Structured branch over lowered bodies."""
+
+    __slots__ = ("cond", "then_items", "else_items", "has_else")
+
+    def __init__(self, cond, then_items, else_items, has_else):
+        self.cond = cond
+        self.then_items = then_items
+        self.else_items = else_items
+        self.has_else = has_else
+
+
+class LoweredWhile:
+    """Structured loop over lowered condition/body item lists."""
+
+    __slots__ = ("cond_items", "cond", "body_items")
+
+    def __init__(self, cond_items, cond, body_items):
+        self.cond_items = cond_items
+        self.cond = cond
+        self.body_items = body_items
+
+
+class FusedProgram:
+    """The lowered form of one kernel body."""
+
+    __slots__ = ("items", "n_blocks", "n_fused_instrs")
+
+    def __init__(self, items):
+        self.items = items
+        blocks = list(self._walk_blocks(items))
+        self.n_blocks = len(blocks)
+        self.n_fused_instrs = sum(b.n for b in blocks)
+
+    @staticmethod
+    def _walk_blocks(items):
+        for item in items:
+            if isinstance(item, FusedBlock):
+                yield item
+            elif isinstance(item, LoweredIf):
+                yield from FusedProgram._walk_blocks(item.then_items)
+                yield from FusedProgram._walk_blocks(item.else_items)
+            elif isinstance(item, LoweredWhile):
+                yield from FusedProgram._walk_blocks(item.cond_items)
+                yield from FusedProgram._walk_blocks(item.body_items)
+
+
+def _block_costs(instrs: Sequence[Instr], ctx) -> Tuple[int, int, int, int]:
+    """Aggregate ExecReq contribution, mirroring ``_charge_alu``."""
+    cfg = ctx.config
+    scalar = ctx.scalar_instrs
+    vc = sc = nv = ns = 0
+    for instr in instrs:
+        if id(instr) in scalar:
+            sc += cfg.salu_latency
+            ns += 1
+        elif instr.__class__ is Alu and instr.op in TRANSCENDENTAL_OPS:
+            vc += cfg.trans_issue_cycles
+            nv += 1
+        else:
+            vc += cfg.valu_issue_cycles
+            nv += 1
+    return vc, sc, nv, ns
+
+
+# ---------------------------------------------------------------------------
+# Code generation
+# ---------------------------------------------------------------------------
+
+
+def _codegen(instrs: Sequence[Instr], label: str):
+    """Compile one pure-op run into a ``fn(wave, mask)`` closure.
+
+    Registers are fetched once into locals (they are mutated in place by
+    masked ``np.copyto``, so the locals stay valid across the block);
+    every write replicates the reference ``Wavefront.write`` semantics:
+    cast to the destination dtype when needed, then masked copy.
+    """
+    env: Dict[str, object] = {"_cp": np.copyto, "_reg": _reg_arr, "_where": np.where}
+    reg_names: Dict[int, str] = {}
+    reg_dts: Dict[int, str] = {}
+    prologue: List[str] = []
+    lines: List[str] = []
+
+    def rname(reg) -> str:
+        rid = id(reg)
+        nm = reg_names.get(rid)
+        if nm is None:
+            nm = f"r{len(reg_names)}"
+            dt = f"d{len(reg_names)}"
+            reg_names[rid] = nm
+            reg_dts[rid] = dt
+            env[dt] = reg.dtype.np_dtype
+            prologue.append(f"    {nm} = _reg(regs, {rid}, {dt})")
+        return nm
+
+    def emit(dst, expr: str, checked: bool = True) -> None:
+        dn = rname(dst)
+        dt = reg_dts[id(dst)]
+        lines.append(f"    _v = {expr}")
+        if checked:
+            lines.append(f"    if _v.dtype != {dt}: _v = _v.astype({dt})")
+        lines.append(f"    _cp({dn}, _v, where=mask)")
+
+    for k, ins in enumerate(instrs):
+        cls = ins.__class__
+        if cls is Alu:
+            a = rname(ins.a)
+            if ins.b is None:
+                if ins.op == "mov":
+                    emit(ins.dst, a)
+                elif ins.op == "not":
+                    emit(ins.dst, f"~{a}")
+                else:
+                    env[f"f{k}"] = _ALU_FUNCS[ins.op]
+                    emit(ins.dst, f"f{k}({a})")
+            else:
+                b = rname(ins.b)
+                infix = _INFIX_ALU.get(ins.op)
+                if infix is not None:
+                    emit(ins.dst, f"({a} {infix} {b})")
+                else:
+                    env[f"f{k}"] = _ALU_FUNCS[ins.op]
+                    emit(ins.dst, f"f{k}({a}, {b})")
+        elif cls is Cmp:
+            a, b = rname(ins.a), rname(ins.b)
+            emit(ins.dst, f"({a} {_INFIX_CMP[ins.op]} {b})")
+        elif cls is Const:
+            # A Const broadcast depends only on the instruction, so the
+            # 64-lane vector is materialised once at codegen time.
+            arr = np.full(WAVE, ins.value, dtype=ins.dst.dtype.np_dtype)
+            arr.flags.writeable = False
+            env[f"C{k}"] = arr
+            emit(ins.dst, f"C{k}", checked=False)
+        elif cls is LoadParam:
+            # LoadParam depends on the launch's scalar bindings; the
+            # per-launch broadcast cache keeps it to one np.full.
+            env[f"i{k}"] = ins
+            emit(ins.dst, f"wave._broadcast_value(i{k})", checked=False)
+        elif cls is PredOp:
+            a = rname(ins.a)
+            if ins.op == "not":
+                emit(ins.dst, f"~{a}")
+            else:
+                b = rname(ins.b)
+                emit(ins.dst, f"({a} {_INFIX_ALU[ins.op]} {b})")
+        elif cls is Select:
+            p, a, b = rname(ins.pred), rname(ins.a), rname(ins.b)
+            emit(ins.dst, f"_where({p}, {a}, {b})")
+        elif cls is SpecialId:
+            env[f"i{k}"] = ins
+            emit(ins.dst, f"wave._special_value(i{k})")
+        elif cls is Swizzle:
+            src_lanes = (
+                ((_LANES & ins.and_mask) | ins.or_mask) ^ ins.xor_mask
+            ) % WAVE
+            env[f"L{k}"] = src_lanes
+            emit(ins.dst, f"{rname(ins.src)}[L{k}]")
+        else:  # pragma: no cover - lowering only collects _PURE_OPS
+            raise TypeError(f"cannot fuse {ins!r}")
+
+    src = "\n".join(
+        ["def _fused(wave, mask):", "    regs = wave.regs"] + prologue + lines
+    )
+    code = compile(src, f"<fused:{label}>", "exec")
+    exec(code, env)  # noqa: S102 - source is generated from trusted IR
+    return env["_fused"]
+
+
+# ---------------------------------------------------------------------------
+# Lowering
+# ---------------------------------------------------------------------------
+
+
+def _lower_body(body: Sequence[Stmt], label: str) -> List[object]:
+    items: List[object] = []
+    run: List[Instr] = []
+
+    def flush() -> None:
+        if run:
+            items.append(FusedBlock(run, f"{label}#{len(items)}"))
+            run.clear()
+
+    for stmt in body:
+        cls = stmt.__class__
+        if cls in _PURE_OPS:
+            run.append(stmt)
+        elif cls is If:
+            flush()
+            items.append(
+                LoweredIf(
+                    stmt.cond,
+                    _lower_body(stmt.then_body, label),
+                    _lower_body(stmt.else_body, label),
+                    bool(stmt.else_body),
+                )
+            )
+        elif cls is While:
+            flush()
+            items.append(
+                LoweredWhile(
+                    _lower_body(stmt.cond_block, label),
+                    stmt.cond,
+                    _lower_body(stmt.body, label),
+                )
+            )
+        else:
+            flush()
+            items.append(stmt)
+    flush()
+    return items
+
+
+def lower_kernel(kernel: Kernel) -> FusedProgram:
+    """Lower (and memoize on the kernel object) one kernel body.
+
+    The lowered program is keyed to the kernel *instance*: compiler
+    passes clone kernels before mutating them, so a compiled kernel's
+    body is stable for its lifetime and the memo stays valid.
+    """
+    cached = getattr(kernel, "_fused_program", None)
+    if cached is None:
+        cached = FusedProgram(_lower_body(kernel.body, kernel.name))
+        kernel._fused_program = cached
+    return cached
+
+
+def maybe_lower(kernel: Kernel):
+    """Lower ``kernel`` if fusion is globally enabled, else ``None``."""
+    if not _enabled:
+        return None
+    return lower_kernel(kernel)
+
+
+# ---------------------------------------------------------------------------
+# Fused interpreter loop (attached to Wavefront)
+# ---------------------------------------------------------------------------
+
+
+def _exec_fused(self: Wavefront, items, mask: np.ndarray):
+    """Lowered-tree twin of ``Wavefront._exec_body`` (timing-identical)."""
+    cfg = self.ctx.config
+    for item in items:
+        cls = item.__class__
+        if cls is FusedBlock:
+            item.execute(self, mask)
+        elif cls is LoweredIf:
+            cond = self.read(item.cond)
+            then_mask = mask & cond
+            inv_mask = mask & ~cond
+            t_any = bool(then_mask.any())
+            i_any = bool(inv_mask.any())
+            self._pend.n_branch += 1
+            self._pend.valu_cycles += cfg.branch_cycles
+            if t_any and i_any:
+                self._pend.n_div_branch += 1
+            if t_any:
+                yield from self._exec_fused(item.then_items, then_mask)
+            if item.has_else and i_any:
+                yield from self._exec_fused(item.else_items, inv_mask)
+        elif cls is LoweredWhile:
+            live = mask.copy()
+            while True:
+                yield from self._exec_fused(item.cond_items, live)
+                cond = self.read(item.cond)
+                live &= cond
+                self._pend.n_branch += 1
+                self._pend.valu_cycles += cfg.branch_cycles
+                if not live.any():
+                    break
+                if not live.all() and mask.any():
+                    self._pend.n_div_branch += 1
+                yield from self._exec_fused(item.body_items, live)
+                if (self._pend.valu_cycles + self._pend.salu_cycles
+                        > _SPIN_FLUSH_CYCLES):
+                    yield self._flush()
+        else:
+            yield from self._exec_instr(item, mask)
+
+
+Wavefront._exec_fused = _exec_fused

@@ -152,6 +152,12 @@ class LaunchContext:
         self.fault_hook: Optional[Callable] = None
         #: per-launch cache of broadcast immediates (shared by all waves)
         self.broadcast_cache: Dict[int, np.ndarray] = {}
+        #: lowered fused program (see :mod:`repro.gpu.fused`), or None to
+        #: interpret per-instruction
+        self.fused = None
+        #: per-launch aggregate ExecReq cost per fused block (id -> tuple);
+        #: launch-scoped because scalar-unit placement varies per compile
+        self.fused_costs: Dict[int, tuple] = {}
         for d in range(3):
             if global_size[d] % local_size[d] != 0:
                 raise ValueError(
@@ -238,9 +244,22 @@ class Wavefront:
     # -- interpreter ---------------------------------------------------------
 
     def run(self):
-        """Generator executing the whole kernel body."""
+        """Generator executing the whole kernel body.
+
+        When the launch carries a lowered program (``ctx.fused``) and no
+        fault hook is installed, straight-line pure-op runs execute
+        through the block-fused executors in :mod:`repro.gpu.fused` —
+        bitwise and timing identical, just without per-instruction
+        dispatch.  Fault hooks need to observe every instruction, so a
+        hooked launch always takes the reference interpreter.
+        """
         with np.errstate(all="ignore"):
-            yield from self._exec_body(self.ctx.kernel.body, self.active0.copy())
+            fused = self.ctx.fused
+            if fused is not None and self.ctx.fault_hook is None:
+                yield from self._exec_fused(fused.items, self.active0.copy())
+            else:
+                yield from self._exec_body(self.ctx.kernel.body,
+                                           self.active0.copy())
             if self._has_pending():
                 yield self._flush()
 

@@ -130,5 +130,5 @@ class BinomialOption(Benchmark):
             )
         return {"out": lattice[:, 0].astype(np.float32)}
 
-    def check(self, result, rtol: float = 1e-3, atol: float = 1e-3) -> bool:
-        return super().check(result, rtol=rtol, atol=atol)
+    def check(self, result, rtol: float = 1e-3, atol: float = 1e-3, ref=None) -> bool:
+        return super().check(result, rtol=rtol, atol=atol, ref=ref)

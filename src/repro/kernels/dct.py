@@ -109,5 +109,5 @@ class Dct(Benchmark):
                 out[by:by + _B, bx:bx + _B] = c @ x @ c.T
         return {"out": out.astype(np.float32).reshape(-1)}
 
-    def check(self, result, rtol: float = 1e-3, atol: float = 1e-4) -> bool:
-        return super().check(result, rtol=rtol, atol=atol)
+    def check(self, result, rtol: float = 1e-3, atol: float = 1e-4, ref=None) -> bool:
+        return super().check(result, rtol=rtol, atol=atol, ref=ref)

@@ -109,5 +109,5 @@ class DwtHaar1D(Benchmark):
             out[base] = seg[0]
         return {"dst": out.astype(np.float32)}
 
-    def check(self, result, rtol: float = 1e-3, atol: float = 1e-4) -> bool:
-        return super().check(result, rtol=rtol, atol=atol)
+    def check(self, result, rtol: float = 1e-3, atol: float = 1e-4, ref=None) -> bool:
+        return super().check(result, rtol=rtol, atol=atol, ref=ref)

@@ -86,5 +86,5 @@ class MatrixMultiplication(Benchmark):
         c = self.a.astype(np.float64) @ self.b.astype(np.float64)
         return {"c": c.astype(np.float32).reshape(-1)}
 
-    def check(self, result, rtol: float = 1e-3, atol: float = 1e-3) -> bool:
-        return super().check(result, rtol=rtol, atol=atol)
+    def check(self, result, rtol: float = 1e-3, atol: float = 1e-3, ref=None) -> bool:
+        return super().check(result, rtol=rtol, atol=atol, ref=ref)

@@ -120,6 +120,6 @@ class NBody(Benchmark):
             "az": (np.sum(s * dz, axis=1) * _DT).astype(np.float32),
         }
 
-    def check(self, result, rtol: float = 2e-2, atol: float = 2e-3) -> bool:
+    def check(self, result, rtol: float = 2e-2, atol: float = 2e-3, ref=None) -> bool:
         # f32 rsqrt accumulation over 1k terms vs f64 oracle.
-        return super().check(result, rtol=rtol, atol=atol)
+        return super().check(result, rtol=rtol, atol=atol, ref=ref)

@@ -74,5 +74,5 @@ class PrefixSum(Benchmark):
     def reference(self) -> Dict[str, np.ndarray]:
         return {"dst": np.cumsum(self.data.astype(np.float64)).astype(np.float32)}
 
-    def check(self, result, rtol: float = 1e-3, atol: float = 1e-3) -> bool:
-        return super().check(result, rtol=rtol, atol=atol)
+    def check(self, result, rtol: float = 1e-3, atol: float = 1e-3, ref=None) -> bool:
+        return super().check(result, rtol=rtol, atol=atol, ref=ref)

@@ -93,5 +93,5 @@ class SimpleConvolution(Benchmark):
                 out += mask[dy, dx] * padded[dy:dy + self.height, dx:dx + self.width]
         return {"out": out.astype(np.float32).reshape(-1)}
 
-    def check(self, result, rtol: float = 1e-3, atol: float = 1e-4) -> bool:
-        return super().check(result, rtol=rtol, atol=atol)
+    def check(self, result, rtol: float = 1e-3, atol: float = 1e-4, ref=None) -> bool:
+        return super().check(result, rtol=rtol, atol=atol, ref=ref)

@@ -103,5 +103,5 @@ class SobelFilter(Benchmark):
         out[1:-1, 1:-1] = np.sqrt(gx * gx + gy * gy)
         return {"out": out.astype(np.float32).reshape(-1)}
 
-    def check(self, result, rtol: float = 1e-3, atol: float = 1e-4) -> bool:
-        return super().check(result, rtol=rtol, atol=atol)
+    def check(self, result, rtol: float = 1e-3, atol: float = 1e-4, ref=None) -> bool:
+        return super().check(result, rtol=rtol, atol=atol, ref=ref)

@@ -125,9 +125,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 target = f"{abbrev}/{variant}@O{opt}"
                 kernel = bench.build()
                 try:
+                    # cache=False: the proof anchors transformed values
+                    # to THIS kernel's register objects, so the
+                    # certifier must run the real transformation — a
+                    # cached compile (from a structurally identical
+                    # build) would be unprovable by construction.
                     compiled = compile_kernel(
                         kernel, variant, optimize=bool(opt),
-                        lint=False, validate=False,
+                        lint=False, validate=False, cache=False,
                     )
                 except VerificationError as exc:
                     crashed += 1

@@ -245,6 +245,7 @@ def run_selftest(dynamic: bool = True) -> List[SelftestResult]:
             extra_passes=case.extra_passes,
             lint=False,          # isolate the validator from the lint gate
             validate=False,
+            cache=False,         # the proof anchors to THIS build's regs
         )
         report = validate_compile(
             original, compiled.kernel, variant=case.variant,

@@ -1,0 +1,57 @@
+"""Smoke tests for ``python -m repro.bench`` and the campaign
+compile-once guarantee it benchmarks."""
+
+import json
+import os
+
+from repro.bench.__main__ import main
+from repro.faults.campaign import run_campaign
+from repro.kernels import base as kernels_base
+from repro.kernels.suite import make_benchmark
+
+
+def test_bench_cli_writes_report(tmp_path, capsys):
+    out = str(tmp_path / "BENCH_5.json")
+    rc = main(["--quick", "--only", "compile", "--out", out])
+    assert rc == 0
+    report = json.loads(open(out).read())
+    assert report["schema"] == 1 and report["bench"] == 5
+    assert report["quick"] is True
+    assert report["correct"] is True
+    compile_sec = report["sections"]["compile"]
+    assert compile_sec["cold_ms"] > 0 and compile_sec["warm_ms"] > 0
+    assert "compile" in capsys.readouterr().out
+
+
+def test_bench_cli_quiet_suppresses_summary(tmp_path, capsys):
+    out = str(tmp_path / "b.json")
+    rc = main(["--quick", "--only", "compile", "--out", out, "-q"])
+    assert rc == 0
+    assert capsys.readouterr().out == ""
+    assert os.path.exists(out)
+
+
+def test_bench_equivalence_section_gates_exit(tmp_path):
+    out = str(tmp_path / "b.json")
+    rc = main(["--quick", "--only", "interp", "--out", out, "-q"])
+    report = json.loads(open(out).read())
+    assert rc == (0 if report["sections"]["interp"]["bitwise_identical"]
+                  else 1)
+    assert report["sections"]["interp"]["bitwise_identical"] is True
+
+
+def test_campaign_compiles_once_per_run(monkeypatch):
+    """run_campaign must compile before fan-out, never per trial."""
+    calls = {"n": 0}
+    real = kernels_base.Benchmark.compile
+
+    def counting(self, *a, **kw):
+        calls["n"] += 1
+        return real(self, *a, **kw)
+
+    monkeypatch.setattr(kernels_base.Benchmark, "compile", counting)
+    result = run_campaign(lambda: make_benchmark("FWT", "small"),
+                          "intra+lds", "vgpr", trials=4, seed=7,
+                          max_instr=20)
+    assert len(result.records) == 4
+    assert calls["n"] == 1

@@ -1,0 +1,275 @@
+"""Correctness of the content-addressed compile cache (PR 5).
+
+The cache must be a pure memoisation: a hit is exactly the compile that
+would have run.  These tests pin the fingerprint's equivalence class
+(stable across processes, invariant under register renaming, sensitive
+to every semantic input) and the disk tier's failure behaviour
+(corruption degrades to a clean recompile).
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.compiler import cache as cc
+from repro.compiler.cache import (
+    CompileCache,
+    Uncacheable,
+    compile_key,
+    kernel_fingerprint,
+    pass_fingerprint,
+)
+from repro.compiler.pipeline import compile_kernel, rmt_pass_for
+from repro.ir.builder import KernelBuilder
+from repro.ir.types import DType
+from repro.kernels.suite import make_benchmark
+from repro.runtime.api import Session
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+def _build_kernel(reg_hint="t", buf_name="out", const=3):
+    kb = KernelBuilder("fp_probe")
+    out = kb.buffer_param(buf_name, DType.U32)
+    gid = kb.global_id(0)
+    x = kb.var(DType.U32, kb.add(gid, kb.const(const, DType.U32)),
+               hint=reg_hint)
+    kb.store(out, gid, x)
+    kernel = kb.finish()
+    kernel.metadata.update({
+        "local_size": (64, 1, 1), "global_size": (64, 1, 1),
+        "buffer_nelems": {buf_name: 64},
+    })
+    return kernel
+
+
+# -- fingerprint equivalence class -----------------------------------------
+
+
+def test_fingerprint_deterministic_within_process():
+    assert kernel_fingerprint(_build_kernel()) == kernel_fingerprint(
+        _build_kernel())
+
+
+def test_fingerprint_stable_across_process_restarts():
+    code = (
+        "from tests.test_compile_cache import _build_kernel\n"
+        "from repro.compiler.cache import kernel_fingerprint\n"
+        "print(kernel_fingerprint(_build_kernel()))\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [REPO_SRC, os.path.join(REPO_SRC, os.pardir)])
+    env["PYTHONHASHSEED"] = "99"      # hash randomisation must not leak in
+    out = subprocess.run(
+        [sys.executable, "-c", code], env=env, capture_output=True, text=True)
+    assert out.returncode == 0, out.stderr
+    assert out.stdout.strip() == kernel_fingerprint(_build_kernel())
+
+
+def test_fingerprint_invariant_under_register_renaming():
+    # Register names are never semantic: only their def/use structure is.
+    assert kernel_fingerprint(_build_kernel(reg_hint="t")) == \
+        kernel_fingerprint(_build_kernel(reg_hint="zz"))
+
+
+def test_fingerprint_sensitive_to_buffer_renaming():
+    # Buffer names ARE semantic (the runtime binds by name).
+    assert kernel_fingerprint(_build_kernel(buf_name="out")) != \
+        kernel_fingerprint(_build_kernel(buf_name="dst"))
+
+
+def test_fingerprint_sensitive_to_ir_mutation():
+    assert kernel_fingerprint(_build_kernel(const=3)) != \
+        kernel_fingerprint(_build_kernel(const=4))
+
+
+def test_fingerprint_sensitive_to_metadata():
+    a, b = _build_kernel(), _build_kernel()
+    b.metadata["buffer_nelems"] = {"out": 128}
+    assert kernel_fingerprint(a) != kernel_fingerprint(b)
+
+
+# -- compile keys ----------------------------------------------------------
+
+
+def _key(kernel, **kw):
+    base = dict(variant="original", communication=True, verify=True,
+                optimize=False, lint=True, validate=True)
+    base.update(kw)
+    return compile_key(kernel, **base)
+
+
+def test_key_distinct_per_option():
+    k = _build_kernel()
+    base = _key(k)
+    assert base is not None
+    assert _key(k, optimize=True) != base
+    assert _key(k, variant="intra+lds") != base
+    assert _key(k, lint=False) != base
+    assert _key(k, validate=False) != base
+    assert _key(k, communication=False) != base
+
+
+def test_key_includes_planted_pass_configuration():
+    k = _build_kernel()
+    stock = _key(k, variant="intra+lds")
+    planted = _key(k, variant="intra+lds",
+                   rmt_pass=rmt_pass_for("intra+lds", communication=False))
+    assert stock != planted
+
+
+def test_key_matches_for_structurally_identical_builds():
+    assert _key(_build_kernel()) == _key(_build_kernel(reg_hint="other"))
+
+
+def test_uncacheable_pass_disables_caching_not_compilation():
+    class WeirdPass:
+        name = "weird"
+
+        def __init__(self):
+            self.fn = lambda k: k    # closures have no canonical encoding
+
+        def run(self, kernel):
+            return kernel
+
+    with pytest.raises(Uncacheable):
+        pass_fingerprint(WeirdPass())
+    assert _key(_build_kernel(), rmt_pass=WeirdPass()) is None
+
+    cache = CompileCache()
+    compiled = compile_kernel(_build_kernel(), "original",
+                              rmt_pass=WeirdPass(), cache=cache)
+    assert compiled is not None
+    assert len(cache) == 0
+    assert cache.stats.uncacheable == 1
+
+
+# -- memory tier -----------------------------------------------------------
+
+
+def test_memory_hit_returns_identical_compiled_object():
+    cache = CompileCache()
+    c1 = compile_kernel(_build_kernel(), "original", cache=cache)
+    c2 = compile_kernel(_build_kernel(), "original", cache=cache)
+    assert c1 is c2
+    assert cache.stats.mem_hits == 1 and cache.stats.stores == 1
+
+
+def test_cache_hit_skips_lint_and_tv(monkeypatch):
+    import repro.compiler.tv as tv_mod
+
+    calls = {"tv": 0}
+    real = tv_mod.validate_compile
+
+    def counting(*a, **kw):
+        calls["tv"] += 1
+        return real(*a, **kw)
+
+    monkeypatch.setattr(tv_mod, "validate_compile", counting)
+    cache = CompileCache()
+    bench = make_benchmark("FWT", "small")
+    for _ in range(4):
+        compile_kernel(bench.build(), "intra+lds", cache=cache)
+    assert calls["tv"] == 1
+
+
+def test_cache_false_bypasses():
+    cache = CompileCache()
+    cc.set_default_cache(cache)
+    try:
+        c1 = compile_kernel(_build_kernel(), "original", cache=False)
+        c2 = compile_kernel(_build_kernel(), "original", cache=False)
+    finally:
+        cc.set_default_cache(None)
+    assert c1 is not c2
+    assert len(cache) == 0
+
+
+def test_memory_tier_evicts_at_capacity():
+    cache = CompileCache(max_entries=2)
+    for const in (1, 2, 3):
+        compile_kernel(_build_kernel(const=const), "original", cache=cache)
+    assert len(cache) == 2
+
+
+# -- disk tier -------------------------------------------------------------
+
+
+def test_disk_roundtrip_and_bitwise_equal_execution(tmp_path):
+    disk = str(tmp_path / "cc")
+    bench = make_benchmark("FWT", "small")
+    store = CompileCache(disk_dir=disk)
+    original = compile_kernel(bench.build(), "intra+lds", cache=store)
+    assert store.stats.stores == 1
+
+    fresh = CompileCache(disk_dir=disk)       # simulates a new process
+    restored = compile_kernel(bench.build(), "intra+lds", cache=fresh)
+    assert fresh.stats.disk_hits == 1 and fresh.stats.stores == 0
+    assert restored is not original
+
+    ref = make_benchmark("FWT", "small").run(Session(), original)
+    got = make_benchmark("FWT", "small").run(Session(), restored)
+    assert ref.cycles == got.cycles
+    for name in ref.outputs:
+        assert np.array_equal(ref.outputs[name], got.outputs[name])
+
+
+def test_disk_corruption_degrades_to_clean_recompile(tmp_path):
+    disk = str(tmp_path / "cc")
+    store = CompileCache(disk_dir=disk)
+    compile_kernel(_build_kernel(), "original", cache=store)
+    [entry] = [f for f in os.listdir(disk) if f.endswith(".pkl")]
+    with open(os.path.join(disk, entry), "wb") as fh:
+        fh.write(b"\x00not a pickle")
+
+    fresh = CompileCache(disk_dir=disk)
+    compiled = compile_kernel(_build_kernel(), "original", cache=fresh)
+    assert compiled is not None
+    assert fresh.stats.disk_errors == 1
+    assert fresh.stats.stores == 1            # re-stored a good entry
+    # ... and the replacement entry is loadable again.
+    again = CompileCache(disk_dir=disk)
+    compile_kernel(_build_kernel(), "original", cache=again)
+    assert again.stats.disk_hits == 1
+
+
+def test_disk_truncated_entry_recovers(tmp_path):
+    disk = str(tmp_path / "cc")
+    store = CompileCache(disk_dir=disk)
+    compile_kernel(_build_kernel(), "original", cache=store)
+    [entry] = [f for f in os.listdir(disk) if f.endswith(".pkl")]
+    path = os.path.join(disk, entry)
+    data = open(path, "rb").read()
+    with open(path, "wb") as fh:
+        fh.write(data[: len(data) // 2])
+    fresh = CompileCache(disk_dir=disk)
+    assert compile_kernel(_build_kernel(), "original", cache=fresh) is not None
+    assert fresh.stats.disk_errors == 1
+
+
+# -- environment wiring ----------------------------------------------------
+
+
+def test_default_cache_env_off(monkeypatch):
+    monkeypatch.setenv("REPRO_COMPILE_CACHE", "0")
+    cc.set_default_cache(None)
+    cc._initialised = False
+    try:
+        assert cc.default_cache() is None
+    finally:
+        cc._initialised = False
+
+
+def test_default_cache_env_disk_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_COMPILE_CACHE", str(tmp_path / "dc"))
+    cc._initialised = False
+    try:
+        cache = cc.default_cache()
+        assert cache is not None and cache.disk_dir == str(tmp_path / "dc")
+    finally:
+        cc.set_default_cache(None)
+        cc._initialised = False

@@ -235,8 +235,11 @@ class TestUndef:
 
 
 def _transformed(abbrev, variant, **kwargs):
+    # cache=False: these tests corrupt the returned kernel in place, and
+    # cached CompiledKernel objects are shared process-wide.
     k = make_benchmark(abbrev, scale="small").build()
-    return compile_kernel(k, variant, lint=False, **kwargs).kernel
+    return compile_kernel(k, variant, lint=False, cache=False,
+                          **kwargs).kernel
 
 
 class TestSorCoverage:

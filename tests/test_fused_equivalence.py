@@ -1,0 +1,185 @@
+"""Bitwise equivalence of the block-fused executors vs the reference
+interpreter.
+
+The fused path (PR 5) must be an *unobservable* optimisation: identical
+memory images, cycle counts, counter totals, and detection events on
+every kernel, variant, and opt level.  The fast lane pins a
+representative subset; the ``slow``-marked sweep covers the full suite
+matrix the way the acceptance criteria demand.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.pipeline import compile_kernel
+from repro.fuzz.corpus import edge_programs
+from repro.fuzz.oracle import RunSpec, run_program
+from repro.gpu import fused
+from repro.gpu.counters import BusyTracker
+from repro.gpu.fused import FusedBlock, FusedProgram, lower_kernel
+from repro.kernels.suite import SMALL_SUITE, make_benchmark
+from repro.runtime.api import Session
+
+
+def _norm_counters(counters):
+    return {
+        k: (v.total if isinstance(v, BusyTracker) else v)
+        for k, v in vars(counters).items()
+    }
+
+
+def _run_suite(abbrev, variant, on, optimize=False):
+    with fused.fusion(on):
+        bench = make_benchmark(abbrev, "small")
+        compiled = compile_kernel(
+            bench.build(), variant, optimize=optimize, cache=False)
+        return bench.run(Session(), compiled)
+
+
+def _assert_bitwise_equal(ref, fzd, where):
+    assert ref.cycles == fzd.cycles, f"{where}: cycle counts diverge"
+    for name in ref.outputs:
+        assert np.array_equal(ref.outputs[name], fzd.outputs[name]), (
+            f"{where}: output {name!r} diverges")
+    assert _norm_counters(ref.merged_counters()) == _norm_counters(
+        fzd.merged_counters()), f"{where}: counters diverge"
+    assert len(ref.detections) == len(fzd.detections), where
+
+
+# -- fast lane: representative suite subset --------------------------------
+
+FAST_CASES = [
+    ("FWT", "intra+lds", False),    # LDS + barriers + loops
+    ("FWT", "inter", False),        # inter-group handshake
+    ("BinS", "original", False),    # divergent while loop
+    ("MM", "intra-lds", True),      # O1 cleanup pipeline
+    ("BO", "intra+lds", True),      # transcendental-heavy, O1
+]
+
+
+@pytest.mark.parametrize("abbrev,variant,optimize", FAST_CASES)
+def test_fused_matches_reference_fast(abbrev, variant, optimize):
+    ref = _run_suite(abbrev, variant, on=False, optimize=optimize)
+    fzd = _run_suite(abbrev, variant, on=True, optimize=optimize)
+    _assert_bitwise_equal(ref, fzd, f"{abbrev}/{variant}/O{int(optimize)}")
+
+
+# -- full sweep: whole suite × variants × opt levels -----------------------
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("abbrev", sorted(SMALL_SUITE))
+@pytest.mark.parametrize("variant",
+                         ["original", "intra+lds", "intra-lds", "inter"])
+@pytest.mark.parametrize("optimize", [False, True])
+def test_fused_matches_reference_full(abbrev, variant, optimize):
+    ref = _run_suite(abbrev, variant, on=False, optimize=optimize)
+    fzd = _run_suite(abbrev, variant, on=True, optimize=optimize)
+    _assert_bitwise_equal(ref, fzd, f"{abbrev}/{variant}/O{int(optimize)}")
+
+
+# -- fuzz corpus replay ----------------------------------------------------
+
+
+@pytest.mark.parametrize("prog", edge_programs(), ids=lambda p: p.name)
+def test_fused_matches_reference_on_corpus(prog):
+    for spec in (RunSpec("original"), RunSpec("intra+lds"),
+                 RunSpec("inter", optimize=True)):
+        with fused.fusion(False):
+            ref = run_program(prog, spec, cycle_budget=50_000_000)
+        with fused.fusion(True):
+            fzd = run_program(prog, spec, cycle_budget=50_000_000)
+        where = f"{prog.name}/{spec.label}"
+        assert ref.status == fzd.status == "ok", where
+        assert ref.cycles == fzd.cycles, where
+        assert ref.detections == fzd.detections, where
+        for name in ref.memory:
+            assert np.array_equal(ref.memory[name].view(np.uint8),
+                                  fzd.memory[name].view(np.uint8)), (
+                f"{where}: {name}")
+
+
+# -- fault-hook interplay --------------------------------------------------
+
+
+def test_fault_hook_launch_is_identical_with_fusion_enabled():
+    """A hooked launch must bypass fusion and match pre-PR behaviour."""
+    from repro.faults.campaign import draw_plans, execute_trial
+
+    plans = draw_plans(3, 4, "vgpr", max_instr=20)
+    bench = make_benchmark("FWT", "small")
+    compiled = bench.compile("intra+lds", cache=False)
+
+    def outcomes(on):
+        with fused.fusion(on):
+            recs = [
+                execute_trial(make_benchmark("FWT", "small"), compiled,
+                              plan, 50_000_000, index=i)
+                for i, plan in enumerate(plans)
+            ]
+        return [(r.outcome, r.fired, r.cycles, r.description) for r in recs]
+
+    assert outcomes(True) == outcomes(False)
+
+
+def test_fused_program_not_used_when_hook_installed():
+    from repro.gpu.wavefront import LaunchContext
+
+    bench = make_benchmark("FWT", "small")
+    compiled = bench.compile("original", cache=False)
+    seen = []
+
+    orig_init = LaunchContext.__init__
+
+    def spy(self, *a, **kw):
+        orig_init(self, *a, **kw)
+        seen.append(self)
+
+    LaunchContext.__init__ = spy
+    try:
+        with fused.fusion(True):
+            bench.run(Session(), compiled, fault_hook=lambda wave, instr: None)
+    finally:
+        LaunchContext.__init__ = orig_init
+    assert seen and all(ctx.fused is None for ctx in seen)
+
+
+# -- lowering unit behaviour -----------------------------------------------
+
+
+def test_lower_kernel_memoizes_on_kernel_instance():
+    kernel = make_benchmark("FWT", "small").build()
+    prog = lower_kernel(kernel)
+    assert isinstance(prog, FusedProgram)
+    assert lower_kernel(kernel) is prog
+    assert prog.n_blocks > 0 and prog.n_fused_instrs > 0
+
+
+def test_fused_blocks_only_contain_pure_ops():
+    from repro.gpu.wavefront import _PURE_OPS
+
+    kernel = make_benchmark("BitS", "small").build()
+    prog = lower_kernel(kernel)
+
+    def walk(items):
+        for item in items:
+            if isinstance(item, FusedBlock):
+                for ins in item.instrs:
+                    assert ins.__class__ in _PURE_OPS
+            elif hasattr(item, "then_items"):
+                walk(item.then_items)
+                walk(item.else_items)
+            elif hasattr(item, "body_items"):
+                walk(item.cond_items)
+                walk(item.body_items)
+
+    walk(prog.items)
+
+
+def test_fusion_toggle_controls_launch_lowering():
+    bench = make_benchmark("FWT", "small")
+    compiled = bench.compile("original", cache=False)
+    with fused.fusion(False):
+        assert fused.maybe_lower(compiled.kernel) is None
+    with fused.fusion(True):
+        assert fused.maybe_lower(compiled.kernel) is not None
