@@ -14,12 +14,20 @@ from .engine import Engine, LaunchResult, SimulationError
 from .memory import CacheModel, DeviceBuffer, GlobalMemory, coalesce_lines
 from .occupancy import KernelResources, Occupancy, SchedulingError, compute_occupancy
 from .power import PowerReport, estimate_power
+from .schedule import (
+    DefaultScheduler,
+    OpInfo,
+    ReorderScheduler,
+    ScheduleDeadlock,
+    Scheduler,
+)
 from .wavefront import LaunchContext, Wavefront
 
 __all__ = [
     "CacheModel",
     "CounterReport",
     "DEFAULT_POWER",
+    "DefaultScheduler",
     "Device",
     "DeviceBuffer",
     "DeviceRunStats",
@@ -32,8 +40,12 @@ __all__ = [
     "LaunchContext",
     "LaunchResult",
     "Occupancy",
+    "OpInfo",
     "PowerConfig",
     "PowerReport",
+    "ReorderScheduler",
+    "ScheduleDeadlock",
+    "Scheduler",
     "SchedulingError",
     "SimulationError",
     "Wavefront",

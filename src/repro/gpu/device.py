@@ -76,8 +76,13 @@ class Device:
         resources: Optional[KernelResources] = None,
         scalar_instrs: Optional[set] = None,
         fault_hook=None,
+        scheduler=None,
     ) -> LaunchResult:
-        """Run one NDRange launch; advances the device clock."""
+        """Run one NDRange launch; advances the device clock.
+
+        ``scheduler`` substitutes a :class:`~repro.gpu.schedule.Scheduler`
+        for the engine's default time-ordered/FIFO event order.
+        """
         ctx = LaunchContext(
             kernel=kernel,
             global_size=_normalize_size(global_size),
@@ -98,7 +103,8 @@ class Device:
                 vgprs_per_workitem=32, sgprs_per_wave=32,
                 lds_bytes_per_group=kernel.lds_bytes(),
             )
-        engine = Engine(self.config, self.memory, self.l1s, self.l2, start_time=self.clock)
+        engine = Engine(self.config, self.memory, self.l1s, self.l2,
+                        start_time=self.clock, scheduler=scheduler)
         result = engine.run(ctx, resources)
         self.clock += result.cycles
         self.stats.total_cycles += result.cycles

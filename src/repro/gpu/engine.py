@@ -10,9 +10,13 @@ them against a next-free-time model of every contended resource:
 * shared L2 banks and DRAM bandwidth (bytes/cycle tokens),
 * per-address atomic serialization at the L2.
 
-A single global time-ordered event heap applies functional global-memory
-effects in time order, which keeps cross-work-group protocols (the
-Inter-Group RMT locks) causally consistent.  Latency hiding emerges
+A single global event queue applies functional global-memory effects in
+processing order, which keeps cross-work-group protocols (the
+Inter-Group RMT locks) causally consistent.  The queue's pop order is a
+pluggable :class:`~repro.gpu.schedule.Scheduler` policy; the default is
+a time-ordered heap with FIFO tie-break (the historical behaviour),
+while adversarial and model-checking schedulers may legally permute
+continuations to explore other interleavings.  Latency hiding emerges
 naturally: a wavefront blocked on memory leaves its SIMD free for the
 other resident wavefronts — the mechanism behind the paper's headline
 finding that memory-bound kernels hide the cost of redundant computation.
@@ -20,7 +24,6 @@ finding that memory-bound kernels hide the cost of redundant computation.
 
 from __future__ import annotations
 
-import heapq
 import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -31,6 +34,7 @@ from .config import GpuConfig
 from .counters import KernelCounters
 from .memory import CacheModel, GlobalMemory, coalesce_lines
 from .occupancy import KernelResources, Occupancy, compute_occupancy
+from .schedule import DefaultScheduler, Scheduler
 from .wavefront import (
     BarrierReq,
     ErrorReq,
@@ -97,12 +101,14 @@ class Engine:
         l1s: List[CacheModel],
         l2: CacheModel,
         start_time: float = 0.0,
+        scheduler: Optional[Scheduler] = None,
     ):
         self.config = config
         self.mem = global_mem
         self.l1s = l1s
         self.l2 = l2
         self.start_time = start_time
+        self.scheduler = scheduler
         self.counters = KernelCounters(window_cycles=1_000_000)
         self._dram_free = start_time
         self._l2_bank_free = [start_time] * config.l2_banks
@@ -122,7 +128,9 @@ class Engine:
         pending_groups = list(range(ctx.total_groups))
         pending_groups.reverse()  # pop() yields group 0 first
 
-        heap: List[tuple] = []
+        sched = self.scheduler if self.scheduler is not None else DefaultScheduler()
+        sched.begin(ctx)
+        observe = sched.observe if sched.observes else None
         seq = itertools.count()
         t0 = self.start_time
         end_time = t0
@@ -146,7 +154,7 @@ class Engine:
                 cu.simd_waves[simd] += 1
                 wave.simd = simd
                 wave.gen = wave.run()
-                heapq.heappush(heap, (when + w * _WAVE_STAGGER, next(seq), wave, None))
+                sched.push((when + w * _WAVE_STAGGER, next(seq), wave, None))
                 waves_launched += 1
 
         # Initial fill: round-robin groups over CUs up to the occupancy cap.
@@ -157,8 +165,8 @@ class Engine:
                 dispatch(cu_idx, t0)
 
         max_events = 200_000_000
-        while heap:
-            t, _s, wave, sendval = heapq.heappop(heap)
+        while sched:
+            t, _s, wave, sendval = sched.pop()
             events += 1
             if events > max_events or t > cfg.max_cycles:
                 raise SimulationError(
@@ -178,18 +186,22 @@ class Engine:
                     cu.resident_groups -= 1
                     if pending_groups:
                         dispatch(wave.cu, t + _DISPATCH_LATENCY)
+                if observe is not None:
+                    observe(wave, None, t, None)
                 continue
 
             kind = type(req)
             if kind is ExecReq:
                 ready = self._do_exec(wave, req, t)
-                heapq.heappush(heap, (ready, next(seq), wave, None))
+                sched.push((ready, next(seq), wave, None))
             elif kind is GlobalReq:
                 ready, result = self._do_global(wave, req, t)
-                heapq.heappush(heap, (ready, next(seq), wave, result))
+                sched.push((ready, next(seq), wave, result))
+                if observe is not None:
+                    observe(wave, req, t, result)
             elif kind is LdsReq:
                 ready = self._do_lds(wave, req, t)
-                heapq.heappush(heap, (ready, next(seq), wave, None))
+                sched.push((ready, next(seq), wave, None))
             elif kind is BarrierReq:
                 group = wave.group
                 group.barrier_waiting.append((t, wave))
@@ -197,11 +209,15 @@ class Engine:
                     release = max(bt for bt, _w in group.barrier_waiting)
                     release += self.config.branch_cycles
                     for _bt, w in group.barrier_waiting:
-                        heapq.heappush(heap, (release, next(seq), w, None))
+                        sched.push((release, next(seq), w, None))
                     group.barrier_waiting = []
+                if observe is not None:
+                    observe(wave, req, t, None)
             elif kind is ErrorReq:
                 detections.append((t, req.code, req.lanes))
-                heapq.heappush(heap, (t, next(seq), wave, None))
+                sched.push((t, next(seq), wave, None))
+                if observe is not None:
+                    observe(wave, req, t, None)
             else:  # pragma: no cover
                 raise SimulationError(f"unknown request {req!r}")
             end_time = max(end_time, t)

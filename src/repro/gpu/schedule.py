@@ -1,0 +1,230 @@
+"""Pluggable wavefront event scheduling for the timing engine.
+
+Every interleaving-relevant decision the simulator makes — which
+wavefront issues first out of a barrier, which wavefront's atomic wins a
+lock word, the order communication-buffer accesses hit the L2 — reduces
+to one mechanism: the order wavefront continuations are popped from the
+engine's event queue.  This module turns that order into a policy
+object, the :class:`Scheduler`, so callers can substitute adversarial or
+exploration policies without touching the engine:
+
+* :class:`DefaultScheduler` is the engine's historical behaviour — a
+  time-ordered heap with FIFO sequence tie-break — and is required to be
+  bitwise- and cycle-identical to the pre-refactor engine (pinned by
+  ``tests/test_scheduler_identity.py`` against goldens captured before
+  the refactor).
+* :class:`ReorderScheduler` keeps time-monotonic processing but permutes
+  (reverses/rotates) the tie-break among same-timestamp continuations —
+  a cheap adversarial lane for the inter-group protocol's ticket
+  virtualization and two-tier lock.
+* :mod:`repro.mc` plugs in a fully controlled scheduler that treats
+  shared-memory operations as schedule decision points and drives a
+  DPOR model-checking sweep.
+
+A scheduler that sets ``observes = True`` additionally receives an
+``observe(wave, req, t, result)`` callback after the engine applies each
+*synchronization-relevant* request (global memory operations, barrier
+arrivals, detection events) and an ``observe(wave, None, t, None)`` when
+a wavefront's generator completes.  Purely local work (``ExecReq``,
+``LdsReq``) is never reported — those requests commute with everything
+another work-group can do.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from .wavefront import BarrierReq, ErrorReq, GlobalReq
+
+
+class ScheduleDeadlock(Exception):
+    """Every remaining wavefront is parked on a spin that cannot advance.
+
+    Raised by schedulers that track spin progress (the model checker's
+    controlled scheduler) when all unfinished wavefronts are blocked
+    re-reading values no runnable wavefront can ever change — the
+    schedule-space analogue of a lock-liveness failure.
+    """
+
+    def __init__(self, parked: Dict[Tuple[int, int], Tuple[str, Tuple[int, ...]]]):
+        self.parked = dict(parked)
+        spots = ", ".join(
+            f"wave{list(k)} on {buf}[{','.join(str(a) for a in sorted(addrs)[:4])}"
+            f"{',...' if len(addrs) > 4 else ''}]"
+            for k, (buf, addrs) in sorted(self.parked.items())
+        )
+        super().__init__(
+            f"schedule deadlock: {len(self.parked)} wavefront(s) spinning on "
+            f"values nothing can change ({spots})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Operation classification
+# ---------------------------------------------------------------------------
+
+
+class OpInfo:
+    """Classification of one synchronization-relevant request.
+
+    ``addrs`` are element indices into the named buffer, so a shared
+    location is the pair ``(buf, addr)``.  ``sync`` marks atomics — the
+    hardware serializes them at the L2, so two atomics on one address
+    are ordered (they synchronize) and never *race*, though their order
+    still matters for exploration.  An atomic that cannot change memory
+    (``add`` of all-zero operands — the paper's read-through-L2 trick)
+    is classified as a read.
+    """
+
+    __slots__ = ("kind", "buf", "addrs", "write", "sync")
+
+    def __init__(self, kind: str, buf: str, addrs: Tuple[int, ...],
+                 write: bool, sync: bool):
+        self.kind = kind        # 'load' | 'store' | 'atomic' | 'barrier'
+        self.buf = buf
+        self.addrs = addrs
+        self.write = write
+        self.sync = sync
+
+    def __repr__(self) -> str:
+        rw = "w" if self.write else "r"
+        return f"OpInfo({self.kind}:{rw} {self.buf}{list(self.addrs[:4])})"
+
+
+def classify(req) -> Optional[OpInfo]:
+    """Map an engine request to an :class:`OpInfo` (None if purely local)."""
+    cls = type(req)
+    if cls is GlobalReq:
+        addrs = tuple(int(i) for i in np.asarray(req.indices).ravel())
+        if req.op == "atomic":
+            pure_read = req.atomic_op == "add" and not np.any(req.values)
+            return OpInfo("atomic", req.buf.name, addrs,
+                          write=not pure_read, sync=True)
+        if req.op in ("load", "sload"):
+            return OpInfo("load", req.buf.name, addrs, write=False, sync=False)
+        return OpInfo("store", req.buf.name, addrs, write=True, sync=False)
+    if cls is BarrierReq:
+        return OpInfo("barrier", "", (), write=False, sync=True)
+    if cls is ErrorReq:
+        return None
+    return None
+
+
+def conflicts(a: OpInfo, b: OpInfo) -> bool:
+    """Do two operations fail to commute (same location, one writes)?"""
+    if a.kind == "barrier" or b.kind == "barrier":
+        return False
+    if a.buf != b.buf or not (a.write or b.write):
+        return False
+    if len(a.addrs) == 1 and len(b.addrs) == 1:
+        return a.addrs[0] == b.addrs[0]
+    return not set(a.addrs).isdisjoint(b.addrs)
+
+
+# ---------------------------------------------------------------------------
+# Schedulers
+# ---------------------------------------------------------------------------
+
+
+class Scheduler:
+    """Owns the engine's pending-continuation queue.
+
+    Entries are the engine's event tuples ``(time, seq, wave, sendval)``;
+    the engine pushes continuations and pops the next one to run.  The
+    scheduler decides the pop order — everything else (request
+    semantics, resource timing, barrier bookkeeping) stays in the
+    engine.
+    """
+
+    #: When True the engine calls :meth:`observe` after applying each
+    #: synchronization-relevant request.
+    observes = False
+
+    def begin(self, ctx) -> None:
+        """Reset for one launch; ``ctx`` is the LaunchContext."""
+
+    def push(self, entry: tuple) -> None:
+        raise NotImplementedError
+
+    def pop(self) -> tuple:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def observe(self, wave, req, t: float, result) -> None:
+        """One request was applied (``req is None`` = wavefront done)."""
+
+
+class DefaultScheduler(Scheduler):
+    """The engine's historical order: time-ordered, FIFO tie-break."""
+
+    def __init__(self):
+        self._heap: List[tuple] = []
+
+    def begin(self, ctx) -> None:
+        self._heap = []
+
+    def push(self, entry: tuple) -> None:
+        heapq.heappush(self._heap, entry)
+
+    def pop(self) -> tuple:
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class ReorderScheduler(Scheduler):
+    """Adversarial same-timestamp permutations, still time-monotonic.
+
+    Pops proceed in non-decreasing time order (so resource accounting
+    stays coherent), but whenever several continuations share the
+    minimal timestamp the batch is served in ``reversed`` or
+    ``rotate=k`` order instead of FIFO.  Reversal flips, for example,
+    which work-group's wavefront acquires the inter-group ticket counter
+    first — turning the deterministic producer-then-consumer dispatch
+    into consumer-first contention without a full model-checking sweep.
+
+    Continuations pushed while a batch is being served (at the same or a
+    later timestamp) wait for the next batch, which keeps the policy
+    well-defined; functional outputs must be unaffected, cycle counts
+    may legitimately differ from the default order.
+    """
+
+    def __init__(self, policy: str = "reverse", rotate: int = 1):
+        if policy not in ("reverse", "rotate"):
+            raise ValueError(f"unknown reorder policy {policy!r}")
+        self.policy = policy
+        self.rotate = rotate
+        self._heap: List[tuple] = []
+        self._batch: List[tuple] = []
+        self.batches_permuted = 0
+
+    def begin(self, ctx) -> None:
+        self._heap = []
+        self._batch = []
+        self.batches_permuted = 0
+
+    def push(self, entry: tuple) -> None:
+        heapq.heappush(self._heap, entry)
+
+    def __len__(self) -> int:
+        return len(self._heap) + len(self._batch)
+
+    def pop(self) -> tuple:
+        if not self._batch:
+            t0 = self._heap[0][0]
+            while self._heap and self._heap[0][0] == t0:
+                self._batch.append(heapq.heappop(self._heap))
+            if len(self._batch) > 1:
+                self.batches_permuted += 1
+                if self.policy == "reverse":
+                    self._batch.reverse()
+                else:
+                    k = self.rotate % len(self._batch)
+                    self._batch = self._batch[k:] + self._batch[:k]
+        return self._batch.pop(0)

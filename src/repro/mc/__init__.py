@@ -1,0 +1,258 @@
+"""Schedule-space model checking for the Inter-Group RMT protocol.
+
+``python -m repro.mc`` sweeps wavefront interleavings of small
+inter-group dispatches through the controlled scheduler
+(:mod:`repro.mc.controlled`) with DPOR reduction
+(:mod:`repro.mc.explore`), checking every execution for comm-buffer
+races, lock-liveness/deadlock failures, silent output corruption, and
+— with ``--faults`` — detection completeness under an injected
+register flip.
+
+Exit status: 0 when every sweep is clean, 1 on any violation (or a
+failed ``--selftest``), 2 on usage errors.  Failing schedules are
+serialized as runnable reproducer scripts (see :mod:`repro.mc.witness`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..compiler.lint.diagnostics import Diagnostic
+from .controlled import ControlledScheduler, ReplayDivergence, Turn, WaveKey
+from .explore import (
+    MarkerFault,
+    RunOutcome,
+    SweepReport,
+    Violation,
+    classify_outcome,
+    explore,
+    minimize_witness,
+    run_schedule,
+)
+from .hb import Race, TraceClocks, compute_clocks, find_races
+from .witness import load_schedule, replay, write_reproducer
+from .workloads import WORKLOADS, Workload, get_workload
+
+__all__ = [
+    "ControlledScheduler",
+    "MarkerFault",
+    "Race",
+    "ReplayDivergence",
+    "RunOutcome",
+    "SweepReport",
+    "TraceClocks",
+    "Turn",
+    "Violation",
+    "WaveKey",
+    "Workload",
+    "WORKLOADS",
+    "classify_outcome",
+    "compute_clocks",
+    "explore",
+    "find_races",
+    "get_workload",
+    "main",
+    "minimize_witness",
+    "run_schedule",
+]
+
+DEFAULT_WORKLOADS = ("handshake1", "lock2")
+
+
+def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.mc",
+        description="Sweep inter-group RMT schedules for races, "
+                    "deadlocks, and missed detections.",
+    )
+    parser.add_argument(
+        "--workloads", default=",".join(DEFAULT_WORKLOADS),
+        help=f"comma-separated workload names, or 'all' "
+             f"(default: {','.join(DEFAULT_WORKLOADS)}; "
+             f"known: {', '.join(sorted(WORKLOADS))})",
+    )
+    parser.add_argument(
+        "--max-schedules", type=int, default=256,
+        help="bound on executions per sweep (default: 256)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="fan workload sweeps over an orchestrator process pool",
+    )
+    parser.add_argument(
+        "--faults", action="store_true",
+        help="also sweep each workload under an injected register flip "
+             "and require a detection on every schedule",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON document (violations as lint-style "
+             "diagnostics) instead of text",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the JSON report to FILE (CI artifact)",
+    )
+    parser.add_argument(
+        "--witness-dir", default="mc_witnesses", metavar="DIR",
+        help="directory for failing-schedule reproducer scripts "
+             "(default: mc_witnesses)",
+    )
+    parser.add_argument(
+        "--no-minimize", action="store_true",
+        help="serialize raw witnesses without delta-debugging them",
+    )
+    parser.add_argument(
+        "--replay", nargs="+", default=None, metavar="SCRIPT",
+        help="replay reproducer/corpus scripts instead of sweeping",
+    )
+    parser.add_argument(
+        "--selftest", action="store_true",
+        help="plant a lock-liveness bug and a comm-buffer race; both "
+             "must be caught with minimized witnesses",
+    )
+    return parser.parse_args(argv)
+
+
+def _sweep_payload(payload: dict) -> dict:
+    """Worker body for one (workload, fault-mode) sweep."""
+    report = explore(
+        get_workload(payload["workload"]),
+        max_schedules=payload["max_schedules"],
+        fault=payload["fault"],
+    )
+    d = report.to_dict()
+    d["fault"] = payload["fault"]
+    return d
+
+
+def _violation_diag(v: dict) -> Diagnostic:
+    return Diagnostic(
+        checker=f"mc-{v['kind']}",
+        severity="ERROR",
+        kernel=v["workload"],
+        loc=(f"schedule[{v['turn']}]" if v.get("turn") is not None
+             else "schedule[]"),
+        message=v["message"],
+    )
+
+
+def _write_witnesses(reports: List[dict], witness_dir: Path,
+                     minimize: bool, log) -> List[str]:
+    written: List[str] = []
+    for rep in reports:
+        for n, v in enumerate(rep["violations"]):
+            choices = [tuple(c) for c in v["choices"]]
+            if minimize and not rep["fault"]:
+                choices = minimize_witness(
+                    get_workload(v["workload"]), choices, v["kind"])
+            path = write_reproducer(
+                witness_dir / f"{v['workload']}_{v['kind']}_{n}.py",
+                v["workload"], choices, v["kind"], v["message"])
+            written.append(str(path))
+            log(f"  witness: {path}")
+    return written
+
+
+def _run_selftest(args: argparse.Namespace) -> int:
+    from .selftest import run_selftest
+
+    log = (lambda msg: None) if args.json else print
+    result = run_selftest(max_schedules=args.max_schedules, log=log)
+    doc = result.to_dict()
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        for leg in result.legs:
+            verdict = "ok" if leg.caught else "FAILED"
+            print(f"selftest {leg.label}: {verdict}")
+        print(f"selftest: {'ok' if result.ok else 'FAILED'}")
+    if args.out:
+        Path(args.out).write_text(json.dumps(doc, indent=2))
+    return 0 if result.ok else 1
+
+
+def _run_replay(args: argparse.Namespace) -> int:
+    status = 0
+    for script in args.replay:
+        print(f"replaying {script}")
+        workload, choices, kind = load_schedule(Path(script))
+        status |= replay(workload, choices, expect=kind, log=print)
+    return status
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parse_args(argv)
+    if args.selftest:
+        return _run_selftest(args)
+    if args.replay:
+        return _run_replay(args)
+
+    names = ([*sorted(WORKLOADS)] if args.workloads.strip() == "all"
+             else [w.strip() for w in args.workloads.split(",") if w.strip()])
+    unknown = [n for n in names if n not in WORKLOADS]
+    if unknown:
+        print(f"unknown workload(s): {', '.join(unknown)}; "
+              f"known: {', '.join(sorted(WORKLOADS))}", file=sys.stderr)
+        return 2
+
+    payloads = [{"workload": n, "max_schedules": args.max_schedules,
+                 "fault": fault}
+                for n in names
+                for fault in ((False, True) if args.faults else (False,))]
+    tasks = [((p["workload"], p["fault"]), p) for p in payloads]
+
+    if args.workers > 1:
+        from ..orchestrator.pool import run_tasks
+
+        results = run_tasks(tasks, _sweep_payload, workers=args.workers)
+        failed = [r for r in results.values() if not r.ok]
+        if failed:
+            for r in failed:
+                print(f"sweep {r.task_id} crashed: {r.error}",
+                      file=sys.stderr)
+            return 2
+        reports = [results[tid].value for tid, _ in tasks]
+    else:
+        reports = [_sweep_payload(p) for p in payloads]
+
+    log = (lambda msg: None) if args.json else print
+    total_violations: List[dict] = []
+    for rep in reports:
+        mode = "faults" if rep["fault"] else "sweep"
+        log(f"{rep['workload']} [{mode}]: {rep['explored']} schedules "
+            f"explored, {rep['hb_pruned']} pruned by happens-before, "
+            f"{rep['dup_pruned']} duplicate prefixes"
+            f"{', truncated' if rep['truncated'] else ''}, "
+            f"{len(rep['violations'])} violations")
+        for v in rep["violations"]:
+            log(f"  {v['kind']}: {v['message']}")
+        total_violations.extend(rep["violations"])
+
+    witnesses: List[str] = []
+    if total_violations:
+        witnesses = _write_witnesses(
+            reports, Path(args.witness_dir), not args.no_minimize, log)
+
+    doc = {
+        "reports": reports,
+        "violations": [_violation_diag(v).to_json()
+                       for v in total_violations],
+        "witnesses": witnesses,
+        "ok": not total_violations,
+    }
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        explored = sum(r["explored"] for r in reports)
+        pruned = sum(r["pruned"] for r in reports)
+        print(f"total: {len(reports)} sweeps, {explored} schedules "
+              f"explored, {pruned} pruned, "
+              f"{len(total_violations)} violations")
+    if args.out:
+        Path(args.out).write_text(json.dumps(doc, indent=2))
+    return 0 if not total_violations else 1

@@ -1,0 +1,191 @@
+"""Schedule-controlled wavefront scheduler for model checking.
+
+The :class:`ControlledScheduler` drives the timing engine one *turn* at
+a time: at each decision point it picks a runnable wavefront (replaying
+a choice prefix, then following a deterministic default policy) and lets
+it run until it completes one **visible operation** — a global-memory
+load/store/atomic or a barrier arrival.  Purely local work (ALU, LDS)
+is folded into the turn: it commutes with anything another work-group
+can do, so giving it schedule choices would only inflate the search
+space without adding behaviours.
+
+Spin loops get special treatment so the schedule space stays finite: a
+wavefront whose visible operation is a *read* that repeats its
+predecessor exactly (same location, same value — e.g. the inter-group
+consumer polling its slot flag) is **parked** and removed from the
+enabled set until some other wavefront writes one of the addresses it
+is spinning on.  If every unfinished wavefront ends up parked, no
+future step can change the values being polled, and the scheduler
+raises :class:`~repro.gpu.schedule.ScheduleDeadlock` — the lock-
+liveness failure the model checker is hunting.
+
+The recorded :class:`Turn` list is the execution trace the DPOR driver
+and the happens-before tracker consume; ``enabled`` snapshots at each
+decision are what make stateless backtracking possible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..gpu.schedule import OpInfo, ScheduleDeadlock, Scheduler, classify
+
+#: A stable wavefront identity across replays: (flat_group, wave_idx).
+WaveKey = Tuple[int, int]
+
+
+class ReplayDivergence(Exception):
+    """A replayed choice named a wavefront that is not enabled.
+
+    Executions are deterministic given the choice sequence, so this
+    only fires on a malformed schedule (hand-edited witness, or a
+    corpus entry for a workload that has since changed shape).
+    """
+
+
+class Turn:
+    """One scheduling decision and the visible operation it led to."""
+
+    __slots__ = ("index", "wave", "enabled", "op", "spin")
+
+    def __init__(self, index: int, wave: WaveKey, enabled: Tuple[WaveKey, ...]):
+        self.index = index
+        self.wave = wave
+        self.enabled = enabled
+        #: the turn's visible OpInfo; None if the wavefront finished (or
+        #: the launch ended) before reaching one
+        self.op: Optional[OpInfo] = None
+        #: True when the op was a no-progress spin re-read (the wave was
+        #: parked afterwards)
+        self.spin = False
+
+    def __repr__(self) -> str:
+        return (f"Turn({self.index}: wave{list(self.wave)} "
+                f"{self.op!r}{' spin' if self.spin else ''})")
+
+
+def _result_sig(result) -> Optional[bytes]:
+    if result is None:
+        return None
+    return np.asarray(result).tobytes()
+
+
+class ControlledScheduler(Scheduler):
+    """Replay a choice prefix, then run the deterministic default policy.
+
+    ``choices`` is a sequence of :data:`WaveKey`; each is consumed by one
+    decision point.  Once exhausted, the lowest enabled key is chosen —
+    so any prefix extends to a complete, deterministic execution, which
+    is what lets the DPOR driver restart exploration from a backtrack
+    point with a plain prefix instead of a full schedule.
+    """
+
+    observes = True
+
+    def __init__(self, choices: Sequence[WaveKey] = ()):
+        self.choices: List[WaveKey] = [tuple(c) for c in choices]
+        self.turns: List[Turn] = []
+        self._runnable: Dict[WaveKey, tuple] = {}
+        self._parked: Dict[WaveKey, Tuple[tuple, str, Set[int]]] = {}
+        self._last_sig: Dict[WaveKey, tuple] = {}
+        self._current: Optional[WaveKey] = None
+        self._consumed = 0
+        self.ctx = None
+
+    # -- bookkeeping -------------------------------------------------------
+
+    @staticmethod
+    def key_of(wave) -> WaveKey:
+        return (wave.group.flat_group, wave.wave_idx)
+
+    @property
+    def parked_waves(self) -> Dict[WaveKey, Tuple[str, Tuple[int, ...]]]:
+        return {k: (buf, tuple(sorted(addrs)))
+                for k, (_e, buf, addrs) in self._parked.items()}
+
+    # -- Scheduler interface ----------------------------------------------
+
+    def begin(self, ctx) -> None:
+        if self.ctx is not None:
+            raise RuntimeError(
+                "ControlledScheduler drives exactly one launch; "
+                "create a fresh instance per execution")
+        self.ctx = ctx
+
+    def push(self, entry: tuple) -> None:
+        self._runnable[self.key_of(entry[2])] = entry
+
+    def __len__(self) -> int:
+        return len(self._runnable) + len(self._parked)
+
+    def pop(self) -> tuple:
+        cur = self._current
+        if cur is not None:
+            entry = self._runnable.pop(cur, None)
+            if entry is not None:
+                return entry
+            # The current wave finished or blocked at a barrier without a
+            # fresh continuation — its turn is over.
+            self._current = None
+
+        candidates = sorted(self._runnable)
+        if not candidates:
+            # Only parked waves remain: nothing can ever change the
+            # values they are spinning on.
+            raise ScheduleDeadlock(self.parked_waves)
+        if self._consumed < len(self.choices):
+            chosen = self.choices[self._consumed]
+            if chosen not in candidates:
+                raise ReplayDivergence(
+                    f"choice #{self._consumed} wants wave {list(chosen)} but "
+                    f"enabled set is {[list(c) for c in candidates]}")
+        else:
+            chosen = candidates[0]
+        self._consumed += 1
+        self.turns.append(Turn(len(self.turns), chosen, tuple(candidates)))
+        self._current = chosen
+        return self._runnable.pop(chosen)
+
+    def observe(self, wave, req, t: float, result) -> None:
+        key = self.key_of(wave)
+        if req is None:               # wavefront completed
+            if self._current == key:
+                self._current = None
+            self._last_sig.pop(key, None)
+            return
+        op = classify(req)
+        if op is None:                # ErrorReq: detection, not a sync op
+            return
+        if op.kind == "barrier":
+            turn = self.turns[-1]
+            if turn.wave == key and turn.op is None:
+                turn.op = op
+            if self._current == key:
+                self._current = None
+            self._last_sig.pop(key, None)
+            return
+
+        # A global-memory operation ends the current turn.
+        sig = (op.kind, op.buf, op.addrs, op.write, _result_sig(result))
+        spin_repeat = (not op.write) and self._last_sig.get(key) == sig
+        self._last_sig[key] = sig
+        turn = self.turns[-1]
+        if turn.wave == key and turn.op is None:
+            turn.op = op
+            turn.spin = spin_repeat
+        if self._current == key:
+            self._current = None
+
+        if spin_repeat:
+            entry = self._runnable.pop(key, None)
+            if entry is not None:
+                self._parked[key] = (entry, op.buf, set(op.addrs))
+
+        if op.write:
+            addrs = set(op.addrs)
+            for k in [k for k, (_e, buf, spin_addrs) in self._parked.items()
+                      if buf == op.buf and spin_addrs & addrs]:
+                entry, _buf, _a = self._parked.pop(k)
+                self._runnable[k] = entry

@@ -1,0 +1,406 @@
+"""Stateless DPOR exploration of inter-group RMT schedules.
+
+The driver enumerates wavefront interleavings of one small Inter-Group
+dispatch.  Each *execution* replays a choice prefix through a fresh
+:class:`~repro.mc.controlled.ControlledScheduler` on a fresh simulated
+device (stateless model checking: nothing persists between executions
+except the prefix queue).  From each completed trace it derives
+backtrack points with a dynamic partial-order-reduction rule in the
+Flanagan–Godefroid style:
+
+* two turns *conflict* when their visible operations touch overlapping
+  elements of the same buffer and at least one writes;
+* a conflicting pair already ordered by happens-before (through a
+  barrier, or an atomic chain on *another* address) cannot be reversed
+  by any schedule — reversing it is pruned (``hb_pruned``);
+* otherwise the earlier turn is a backtrack point: a new prefix that
+  runs the later turn's wavefront there instead.  Prefixes already
+  queued are pruned (``dup_pruned``).
+
+Orderedness is judged against the acting wavefront's clock *before*
+the later operation (``C_pre``), so the synchronization edge an
+atomic pair creates by executing does not suppress exploring its own
+reversal — which atomic wins the ticket counter is exactly the kind of
+nondeterminism the sweep must cover.
+
+Every execution is checked for four violation classes: comm-buffer
+**races** (vector-clock happens-before, :mod:`repro.mc.hb`),
+**deadlock/liveness** failures (every unfinished wavefront parked in a
+spin loop), output **mismatches** the RMT protocol failed to flag, and
+— under ``fault=True`` — **missed detections** (an injected register
+flip that some schedule lets escape).  Fault-free sweeps additionally
+flag spurious detections (``cry-wolf``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..compiler.pipeline import CompiledKernel, compile_kernel
+from ..gpu import fused
+from ..gpu.engine import SimulationError
+from ..gpu.schedule import ScheduleDeadlock, conflicts
+from ..ir.core import Alu
+from ..runtime.api import Session
+from .controlled import ControlledScheduler, ReplayDivergence, Turn, WaveKey
+from .hb import Race, TraceClocks, compute_clocks, find_races
+from .workloads import FAULT_MARKER_OP, Workload
+
+#: Cycle watchdog per execution; parking catches protocol spin loops, the
+#: budget catches anything that diverges with ever-changing values.
+RUN_CYCLE_BUDGET = 5_000_000
+
+
+# ---------------------------------------------------------------------------
+# Single-execution harness
+# ---------------------------------------------------------------------------
+
+
+class MarkerFault:
+    """Deterministic single-event upset for detection-completeness runs.
+
+    Fires once, in wavefront (group 0, wave 0), at its first ``xor`` —
+    the marker every MC workload routes its payload through — and flips
+    bit 0 of lane 0 of the first writable source register.  One half of
+    one producer/consumer pair computes a wrong value, so *every*
+    schedule of a correct RMT compile must raise a detection.
+    """
+
+    def __init__(self):
+        self.fired = False
+
+    def __call__(self, wave, instr) -> None:
+        if self.fired:
+            return
+        if wave.group.flat_group != 0 or wave.wave_idx != 0:
+            return
+        if not isinstance(instr, Alu) or instr.op != FAULT_MARKER_OP:
+            return
+        for src in instr.sources():
+            arr = wave.regs.get(id(src))
+            if arr is None or not arr.flags.writeable or arr.dtype == np.bool_:
+                continue
+            arr.view(np.uint32)[0] ^= np.uint32(1)
+            self.fired = True
+            return
+
+
+@dataclass
+class RunOutcome:
+    """Everything observed from one controlled execution."""
+
+    turns: List[Turn]
+    choices: Tuple[WaveKey, ...]          # full decision sequence taken
+    outputs: Dict[str, np.ndarray] = field(default_factory=dict)
+    detections: int = 0
+    deadlock: Optional[ScheduleDeadlock] = None
+    sim_error: Optional[str] = None
+    check_failure: Optional[str] = None
+    fault_fired: bool = False
+
+
+_COMPILE_MEMO: Dict[str, CompiledKernel] = {}
+
+
+def compile_workload(workload: Workload, rmt_pass=None) -> CompiledKernel:
+    """Inter-variant compile; stock compiles are memoized per process."""
+    if rmt_pass is None and workload.name in _COMPILE_MEMO:
+        return _COMPILE_MEMO[workload.name]
+    compiled = compile_kernel(
+        workload.build(), variant="inter",
+        rmt_pass=rmt_pass, lint=False, validate=False, cache=False,
+    )
+    if rmt_pass is None:
+        _COMPILE_MEMO[workload.name] = compiled
+    return compiled
+
+
+def run_schedule(
+    workload: Workload,
+    choices: Sequence[WaveKey] = (),
+    *,
+    compiled: Optional[CompiledKernel] = None,
+    rmt_pass=None,
+    fault: bool = False,
+) -> RunOutcome:
+    """Execute one schedule of ``workload`` and collect its trace."""
+    if compiled is None:
+        compiled = compile_workload(workload, rmt_pass)
+    sched = ControlledScheduler(choices)
+    session = Session.with_cycle_budget(RUN_CYCLE_BUDGET)
+    hook = MarkerFault() if fault else None
+    deadlock = None
+    sim_error = None
+    result = None
+    with fused.fusion(False):
+        buffers = {name: session.upload(name, arr)
+                   for name, arr in workload.inputs().items()}
+        try:
+            result = session.launch(
+                compiled, workload.global_size, workload.local_size,
+                bindings=buffers, scheduler=sched,
+                fault_hook=hook if fault else None,
+            )
+        except ScheduleDeadlock as exc:
+            deadlock = exc
+        except SimulationError as exc:
+            sim_error = str(exc)
+
+    outcome = RunOutcome(
+        turns=sched.turns,
+        choices=tuple(t.wave for t in sched.turns),
+        deadlock=deadlock,
+        sim_error=sim_error,
+        fault_fired=bool(hook and hook.fired),
+    )
+    if result is not None:
+        outcome.outputs = {name: session.download(buf)
+                           for name, buf in buffers.items()}
+        outcome.detections = len(result.detections)
+        outcome.check_failure = workload.check(outcome.outputs)
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Violations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Violation:
+    """One property failure, with a replayable schedule witness."""
+
+    kind: str                   # 'race' | 'deadlock' | 'mismatch' |
+                                # 'missed-detection' | 'cry-wolf' | 'hang'
+    workload: str
+    message: str
+    choices: List[List[int]]    # JSON-friendly [[group, wave], ...]
+    turn: Optional[int] = None  # trace position the violation anchors to
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "workload": self.workload,
+                "message": self.message, "choices": self.choices,
+                "turn": self.turn}
+
+
+def _as_choice_list(choices: Sequence[WaveKey]) -> List[List[int]]:
+    return [list(c) for c in choices]
+
+
+def classify_outcome(workload: Workload, outcome: RunOutcome,
+                     *, fault: bool = False) -> List[Violation]:
+    """Judge one execution against the swept properties."""
+    violations: List[Violation] = []
+    witness = _as_choice_list(outcome.choices)
+
+    def add(kind: str, message: str, turn: Optional[int] = None) -> None:
+        violations.append(Violation(kind, workload.name, message,
+                                    witness, turn))
+
+    if outcome.deadlock is not None:
+        parked = getattr(outcome.deadlock, "parked", outcome.deadlock.args)
+        add("deadlock",
+            f"all unfinished wavefronts parked in spin loops: {parked}",
+            len(outcome.turns) - 1 if outcome.turns else None)
+        return violations
+    if outcome.sim_error is not None:
+        add("hang", f"simulation aborted: {outcome.sim_error}")
+        return violations
+
+    clocks = compute_clocks(outcome.turns, workload.waves_per_group)
+    for race in find_races(outcome.turns, clocks):
+        add("race", race.describe(), race.second.index)
+
+    if fault:
+        if outcome.fault_fired and outcome.detections == 0:
+            add("missed-detection",
+                "injected register flip produced no RMT detection")
+    else:
+        if outcome.check_failure is not None and outcome.detections == 0:
+            add("mismatch",
+                f"silent output corruption: {outcome.check_failure}")
+        if outcome.detections > 0:
+            add("cry-wolf",
+                f"{outcome.detections} detections in a fault-free run")
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# DPOR sweep
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SweepReport:
+    """Summary of one workload's schedule-space sweep."""
+
+    workload: str
+    explored: int = 0
+    hb_pruned: int = 0
+    dup_pruned: int = 0
+    truncated: bool = False     # hit max_schedules with prefixes pending
+    max_turns: int = 0
+    elapsed_s: float = 0.0
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def pruned(self) -> int:
+        return self.hb_pruned + self.dup_pruned
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "explored": self.explored,
+            "hb_pruned": self.hb_pruned,
+            "dup_pruned": self.dup_pruned,
+            "pruned": self.pruned,
+            "truncated": self.truncated,
+            "max_turns": self.max_turns,
+            "elapsed_s": round(self.elapsed_s, 3),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+
+def _mem_turns(turns: Sequence[Turn]) -> List[Turn]:
+    return [t for t in turns
+            if t.op is not None and t.op.kind != "barrier" and not t.spin]
+
+
+def _backtrack_prefixes(
+    turns: Sequence[Turn], clocks: TraceClocks,
+) -> Tuple[List[Tuple[WaveKey, ...]], int]:
+    """Candidate prefixes reversing unordered conflicting pairs."""
+    prefixes: List[Tuple[WaveKey, ...]] = []
+    hb_pruned = 0
+    base = [t.wave for t in turns]
+    mem = _mem_turns(turns)
+    for n, later in enumerate(mem):
+        for earlier in mem[:n]:
+            if earlier.wave == later.wave:
+                continue
+            if not conflicts(earlier.op, later.op):
+                continue
+            if clocks.ordered(earlier.index, later.index):
+                hb_pruned += 1
+                continue
+            j = earlier.index
+            stem = tuple(base[:j])
+            if later.wave in turns[j].enabled:
+                prefixes.append(stem + (later.wave,))
+            else:
+                for alt in turns[j].enabled:
+                    if alt != earlier.wave:
+                        prefixes.append(stem + (alt,))
+    return prefixes, hb_pruned
+
+
+def explore(
+    workload: Workload,
+    *,
+    max_schedules: int = 512,
+    rmt_pass=None,
+    fault: bool = False,
+    stop_on_violation: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepReport:
+    """Sweep the schedule space of one workload."""
+    t0 = time.monotonic()
+    report = SweepReport(workload=workload.name)
+    compiled = compile_workload(workload, rmt_pass)
+    frontier: List[Tuple[WaveKey, ...]] = [()]
+    visited = {()}
+
+    while frontier:
+        if report.explored >= max_schedules:
+            report.truncated = True
+            break
+        prefix = frontier.pop()
+        try:
+            outcome = run_schedule(workload, prefix,
+                                   compiled=compiled, fault=fault)
+        except ReplayDivergence:
+            # A backtrack prefix stopped being feasible (parking can
+            # shrink the enabled set relative to the source trace).
+            continue
+        report.explored += 1
+        report.max_turns = max(report.max_turns, len(outcome.turns))
+        report.violations.extend(
+            classify_outcome(workload, outcome, fault=fault))
+        if stop_on_violation and report.violations:
+            break
+
+        if outcome.deadlock is None and outcome.sim_error is None:
+            clocks = compute_clocks(outcome.turns, workload.waves_per_group)
+            candidates, hb = _backtrack_prefixes(outcome.turns, clocks)
+            report.hb_pruned += hb
+            for cand in candidates:
+                if cand in visited:
+                    report.dup_pruned += 1
+                else:
+                    visited.add(cand)
+                    frontier.append(cand)
+        if progress is not None and report.explored % 16 == 0:
+            progress(f"{workload.name}: {report.explored} schedules, "
+                     f"{len(frontier)} pending, "
+                     f"{len(report.violations)} violations")
+
+    report.elapsed_s = time.monotonic() - t0
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Witness minimization
+# ---------------------------------------------------------------------------
+
+
+def minimize_witness(
+    workload: Workload,
+    choices: Sequence[WaveKey],
+    kind: str,
+    *,
+    compiled: Optional[CompiledKernel] = None,
+    rmt_pass=None,
+    fault: bool = False,
+    max_runs: int = 200,
+) -> List[WaveKey]:
+    """Shrink a violating schedule while preserving the violation kind.
+
+    Greedy delta-debugging over the choice sequence: first truncate the
+    tail (the default policy completes any prefix), then drop interior
+    choices one at a time, re-running after each candidate edit.
+    """
+    if compiled is None:
+        compiled = compile_workload(workload, rmt_pass)
+    budget = [max_runs]
+
+    def still_fails(cand: Sequence[WaveKey]) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        try:
+            outcome = run_schedule(workload, cand,
+                                   compiled=compiled, fault=fault)
+        except ReplayDivergence:
+            return False
+        return any(v.kind == kind
+                   for v in classify_outcome(workload, outcome, fault=fault))
+
+    best = [tuple(c) for c in choices]
+    # Tail truncation by halving.
+    while best and still_fails(best[:len(best) // 2]):
+        best = best[:len(best) // 2]
+    while best and still_fails(best[:-1]):
+        best = best[:-1]
+    # Interior deletion.
+    i = 0
+    while i < len(best):
+        cand = best[:i] + best[i + 1:]
+        if still_fails(cand):
+            best = cand
+        else:
+            i += 1
+    return [tuple(c) for c in best]

@@ -1,0 +1,159 @@
+"""Vector-clock happens-before tracking over a controlled trace.
+
+Given the :class:`~repro.mc.controlled.Turn` list recorded by one
+controlled execution, this module reconstructs the happens-before
+partial order of the trace and flags **data races**: pairs of
+conflicting global-memory accesses from different wavefronts that are
+not ordered by synchronization.
+
+The synchronization model mirrors what the simulated hardware actually
+guarantees for the inter-group RMT protocol:
+
+* **Program order** — each wavefront's turns are totally ordered.
+* **Atomic release/acquire** — two atomics on the *same element* of the
+  same buffer synchronize in trace order.  This covers the ticket
+  counter, the two-tier slot flags, and the atomic-add-of-zero reads
+  the consumer uses to pull comm-buffer values through the L2.
+* **Barrier joins** — a work-group barrier joins the clocks of every
+  wavefront in the group; all participants resume with the join.
+
+Plain loads and stores never synchronize.  A conflicting unordered pair
+where at least one side is a plain access is a race: on real hardware
+nothing forces the consumer to see the producer's comm-buffer store.
+
+Races are judged against ``C_pre(i)`` — the acting wavefront's clock
+*before* it executes turn ``i``.  The DPOR driver reuses the same
+clocks, but with one deliberate difference: for backtracking it treats
+same-address atomic pairs as *reorderable* even though they synchronize
+(their order is exactly what the sweep must invert to explore, e.g.
+which group wins the ticket counter), so the sync edge created *by the
+pair itself* must not suppress its own reversal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..gpu.schedule import OpInfo, conflicts
+from .controlled import Turn, WaveKey
+
+Clock = Dict[WaveKey, int]
+
+
+def _join(a: Clock, b: Clock) -> Clock:
+    out = dict(a)
+    for k, v in b.items():
+        if out.get(k, 0) < v:
+            out[k] = v
+    return out
+
+
+def _leq(a: Clock, b: Clock) -> bool:
+    return all(b.get(k, 0) >= v for k, v in a.items())
+
+
+class TraceClocks:
+    """Per-turn vector clocks for one recorded execution."""
+
+    def __init__(self, pre: List[Clock], post: List[Clock]):
+        #: clock of the acting wavefront just before its turn's op
+        self.pre = pre
+        #: clock just after (includes any acquire joins and its own tick)
+        self.post = post
+
+    def ordered(self, j: int, i: int) -> bool:
+        """True when turn ``j`` happens-before turn ``i`` (``j < i``)."""
+        return _leq(self.post[j], self.pre[i])
+
+
+def compute_clocks(turns: Sequence[Turn], waves_per_group: int) -> TraceClocks:
+    """Replay the trace's synchronization and produce per-turn clocks."""
+    wave_clock: Dict[WaveKey, Clock] = {}
+    addr_clock: Dict[Tuple[str, int], Clock] = {}
+    barrier_gather: Dict[int, Tuple[Clock, List[int]]] = {}
+    pre: List[Clock] = []
+    post: List[Clock] = []
+
+    for turn in turns:
+        w = turn.wave
+        c = wave_clock.get(w)
+        if c is None:
+            c = {w: 0}
+        pre.append(dict(c))
+
+        c = dict(c)
+        c[w] = c.get(w, 0) + 1
+        op = turn.op
+        if op is not None:
+            if op.kind == "barrier":
+                group = w[0]
+                gathered, members = barrier_gather.get(group, ({}, []))
+                gathered = _join(gathered, c)
+                members.append(turn.index)
+                if len(members) >= waves_per_group:
+                    # Release: every member's *post* clock becomes the
+                    # join.  Earlier arrivals are patched in place; the
+                    # current turn's post is appended below.
+                    for idx in members[:-1]:
+                        post[idx] = dict(gathered)
+                        wave_clock[turns[idx].wave] = dict(gathered)
+                    barrier_gather.pop(group, None)
+                    c = dict(gathered)
+                else:
+                    barrier_gather[group] = (gathered, members)
+            elif op.sync:
+                for a in op.addrs:
+                    key = (op.buf, a)
+                    seen = addr_clock.get(key)
+                    if seen is not None:
+                        c = _join(c, seen)
+                    addr_clock[key] = dict(c)
+        post.append(dict(c))
+        wave_clock[w] = c
+
+    return TraceClocks(pre, post)
+
+
+class Race:
+    """A conflicting, unsynchronized pair of turns."""
+
+    __slots__ = ("first", "second", "buf", "addrs")
+
+    def __init__(self, first: Turn, second: Turn, buf: str,
+                 addrs: Tuple[int, ...]):
+        self.first = first
+        self.second = second
+        self.buf = buf
+        self.addrs = addrs
+
+    def describe(self) -> str:
+        f, s = self.first, self.second
+        return (f"race on {self.buf}[{list(self.addrs)}]: "
+                f"turn {f.index} wave{list(f.wave)} {f.op.kind}"
+                f"{'(w)' if f.op.write else '(r)'} vs "
+                f"turn {s.index} wave{list(s.wave)} {s.op.kind}"
+                f"{'(w)' if s.op.write else '(r)'}")
+
+
+def find_races(turns: Sequence[Turn], clocks: TraceClocks) -> List[Race]:
+    """Conflicting cross-wave pairs not ordered by happens-before.
+
+    Same-address atomic/atomic pairs are exempt: they synchronize by
+    construction, so their order is a scheduling fact, not a race.
+    """
+    races: List[Race] = []
+    mem_turns = [t for t in turns
+                 if t.op is not None and t.op.kind != "barrier" and not t.spin]
+    for n, second in enumerate(mem_turns):
+        for first in mem_turns[:n]:
+            if first.wave == second.wave:
+                continue
+            if not conflicts(first.op, second.op):
+                continue
+            if first.op.sync and second.op.sync:
+                continue
+            if clocks.ordered(first.index, second.index):
+                continue
+            overlap = tuple(sorted(set(first.op.addrs) & set(second.op.addrs)))
+            races.append(Race(first, second, first.op.buf, overlap))
+    return races

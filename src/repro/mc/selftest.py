@@ -1,0 +1,202 @@
+"""Self-test: plant protocol bugs and prove the checker catches them.
+
+A model checker that has never seen a failing run is indistinguishable
+from one that cannot fail.  This module compiles the ``handshake1``
+workload through a *sabotaged* Inter-Group RMT pass and asserts the
+sweep convicts each bug with a minimized, replayable schedule witness:
+
+* **Lock-liveness bug** — the producer's tier-2 publish writes flag
+  state 3 instead of 1.  The consumer's wait loop (``while flag != 1``)
+  can never exit; once the producer retires, every unfinished wavefront
+  is parked in a spin loop and the controlled scheduler reports a
+  schedule deadlock.
+* **Comm-buffer race** — the consumer's flag-wait loop is deleted, so
+  its atomic read-backs of ``__rmt_comm_addr``/``__rmt_comm_val`` are
+  no longer ordered after the producer's plain stores.  The vector-
+  clock tracker must flag the store/read pair as a race (the ticket-
+  counter edge alone does not order them).
+
+A third leg sweeps the *stock* compile and requires zero violations,
+guarding against a checker that convicts everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..compiler.pass_manager import Pass
+from ..compiler.passes.rmt_common import INTER_COMM_ADDR, INTER_FLAG
+from ..compiler.passes.rmt_inter import InterGroupRmtPass
+from ..ir.core import AtomicGlobal, Cmp, Const, If, Kernel, While, walk_instrs
+from .explore import SweepReport, Violation, explore, minimize_witness
+from .workloads import get_workload
+
+SELFTEST_WORKLOAD = "handshake1"
+
+
+# ---------------------------------------------------------------------------
+# Sabotaged passes
+# ---------------------------------------------------------------------------
+
+
+class SabotagedInterPass(Pass):
+    """Run the stock Inter-Group pass, then apply a bug mutator."""
+
+    def __init__(self, label: str, mutate: Callable[[Kernel], int]):
+        self.name = f"rmt-inter-sabotage-{label}"
+        self._mutate = mutate
+        self._inner = InterGroupRmtPass()
+
+    def run(self, kernel: Kernel) -> Kernel:
+        kernel = self._inner.run(kernel)
+        hits = self._mutate(kernel)
+        if hits == 0:
+            raise RuntimeError(
+                f"{self.name}: mutation found no target; the protocol "
+                "shape changed and the selftest needs updating")
+        return kernel
+
+
+def _const_defs(kernel: Kernel) -> dict:
+    return {id(i.dst): i for i in walk_instrs(kernel.body)
+            if isinstance(i, Const)}
+
+
+def plant_liveness_bug(kernel: Kernel) -> int:
+    """Publish flag state 3 instead of 1 (consumer spins forever)."""
+    consts = _const_defs(kernel)
+    hits = 0
+    for instr in walk_instrs(kernel.body):
+        if (isinstance(instr, AtomicGlobal) and instr.op == "xchg"
+                and instr.buf.name == INTER_FLAG):
+            const = consts.get(id(instr.value))
+            if const is not None and const.value == 1:
+                const.value = 3
+                hits += 1
+    return hits
+
+
+def _is_consumer_wait(stmt) -> bool:
+    if not isinstance(stmt, While):
+        return False
+    has_flag_read = any(
+        isinstance(i, AtomicGlobal) and i.buf.name == INTER_FLAG
+        for i in stmt.cond_block)
+    consts = {id(i.dst): i for i in stmt.cond_block if isinstance(i, Const)}
+    waits_for_one = any(
+        isinstance(i, Cmp) and i.op == "ne"
+        and id(i.b) in consts and consts[id(i.b)].value == 1
+        for i in stmt.cond_block)
+    return has_flag_read and waits_for_one
+
+
+def plant_race_bug(kernel: Kernel) -> int:
+    """Delete the consumer's flag-wait ahead of the comm read-backs."""
+    hits = 0
+
+    def scrub(body: list) -> None:
+        nonlocal hits
+        doomed = []
+        for n, stmt in enumerate(body):
+            if isinstance(stmt, If):
+                scrub(stmt.then_body)
+                scrub(stmt.else_body)
+            elif isinstance(stmt, While):
+                scrub(stmt.body)
+                if _is_consumer_wait(stmt) and any(
+                        isinstance(i, AtomicGlobal)
+                        and i.buf.name == INTER_COMM_ADDR
+                        for s in body[n + 1:]
+                        for i in ([s] if not isinstance(s, (If, While))
+                                  else walk_instrs([s]))):
+                    doomed.append(stmt)
+        for stmt in doomed:
+            body.remove(stmt)
+            hits += 1
+
+    scrub(kernel.body)
+    return hits
+
+
+# ---------------------------------------------------------------------------
+# Selftest driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SelftestLeg:
+    """Outcome of one planted-bug (or clean-control) sweep."""
+
+    label: str
+    expect: Optional[str]           # violation kind required, None = clean
+    report: SweepReport
+    caught: bool = False
+    witness: List[List[int]] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {"label": self.label, "expect": self.expect,
+                "caught": self.caught, "witness": self.witness,
+                "report": self.report.to_dict()}
+
+
+@dataclass
+class SelftestResult:
+    legs: List[SelftestLeg]
+
+    @property
+    def ok(self) -> bool:
+        return all(leg.caught for leg in self.legs)
+
+    def to_dict(self) -> dict:
+        return {"ok": self.ok, "legs": [leg.to_dict() for leg in self.legs]}
+
+
+def _first_of_kind(violations: List[Violation],
+                   kind: str) -> Optional[Violation]:
+    for v in violations:
+        if v.kind == kind:
+            return v
+    return None
+
+
+def run_selftest(max_schedules: int = 64,
+                 log: Optional[Callable[[str], None]] = None) -> SelftestResult:
+    """Plant both bugs, sweep, and demand a conviction for each."""
+    say = log or (lambda msg: None)
+    workload = get_workload(SELFTEST_WORKLOAD)
+    legs: List[SelftestLeg] = []
+
+    plans = [
+        ("lock-liveness", "deadlock",
+         SabotagedInterPass("liveness", plant_liveness_bug)),
+        ("comm-race", "race",
+         SabotagedInterPass("race", plant_race_bug)),
+        ("clean-control", None, None),
+    ]
+    for label, expect, rmt_pass in plans:
+        say(f"selftest[{label}]: sweeping {workload.name} "
+            f"(expect {expect or 'no violations'})")
+        report = explore(workload, max_schedules=max_schedules,
+                         rmt_pass=rmt_pass)
+        leg = SelftestLeg(label=label, expect=expect, report=report)
+        if expect is None:
+            leg.caught = not report.violations
+            say(f"selftest[{label}]: {report.explored} schedules, "
+                f"{len(report.violations)} violations")
+        else:
+            hit = _first_of_kind(report.violations, expect)
+            if hit is not None:
+                witness = minimize_witness(
+                    workload, [tuple(c) for c in hit.choices], expect,
+                    rmt_pass=rmt_pass)
+                leg.caught = True
+                leg.witness = [list(c) for c in witness]
+                say(f"selftest[{label}]: caught {expect} — minimized "
+                    f"witness {leg.witness} "
+                    f"({len(hit.choices)} -> {len(witness)} choices)")
+            else:
+                say(f"selftest[{label}]: MISSED — no {expect} violation in "
+                    f"{report.explored} schedules")
+        legs.append(leg)
+    return SelftestResult(legs=legs)

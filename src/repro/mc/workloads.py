@@ -1,0 +1,249 @@
+"""Small inter-group dispatches sized for exhaustive schedule sweeps.
+
+Every workload here compiles with the Inter-Group RMT variant and is
+deliberately tiny: one or two original work-groups (so two or four
+wavefronts after the producer/consumer doubling), all resident on the
+device at dispatch.  That keeps the visible-operation trace short
+enough for the DPOR driver to enumerate every non-equivalent
+interleaving, while still covering the protocol features the paper's
+hand transformation relies on:
+
+* ``handshake1``/``handshake2`` — the plain produce/consume handshake
+  through the ticket counter, slot flags and comm buffers.
+* ``lock2`` — two stores per work-item, forcing slot reuse and tier-1
+  lock contention between consecutive handshakes on the same slot.
+* ``atomic1`` — a user-visible atomic, exercising the guarded-atomic
+  reply path (flag state 2) on top of the publish/consume states.
+* ``barrier2`` — two wavefronts per group synchronizing through LDS and
+  a work-group barrier before the guarded store.
+
+``check`` functions only assert schedule-independent facts (final
+output values, permutation invariants), so any failure under a legal
+schedule is a genuine protocol bug, not an artifact of reordering.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..ir.builder import KernelBuilder
+from ..ir.core import Kernel
+from ..ir.types import DType
+
+#: ALU opcode the fault injector targets (see :mod:`repro.mc.explore`);
+#: every workload body computes its payload through one ``xor``.
+FAULT_MARKER_OP = "xor"
+_MASK = 0x2A
+
+
+class Workload:
+    """One model-checking scenario: kernel, inputs, and invariants."""
+
+    def __init__(
+        self,
+        name: str,
+        description: str,
+        build: Callable[[], Kernel],
+        inputs: Callable[[], Dict[str, np.ndarray]],
+        check: Callable[[Dict[str, np.ndarray]], Optional[str]],
+        global_size: Tuple[int, int, int],
+        local_size: Tuple[int, int, int],
+    ):
+        self.name = name
+        self.description = description
+        self.build = build
+        self.inputs = inputs
+        self.check = check
+        self.global_size = global_size
+        self.local_size = local_size
+
+    @property
+    def waves_per_group(self) -> int:
+        return -(-self.local_size[0] * self.local_size[1]
+                 * self.local_size[2] // 64)
+
+    def __repr__(self) -> str:
+        return f"Workload({self.name!r})"
+
+
+def _src_values(n: int) -> np.ndarray:
+    return (np.arange(n, dtype=np.uint32) * 7 + 3) & 0xFFFF
+
+
+def _handshake_kernel(name: str, items: int) -> Kernel:
+    b = KernelBuilder(name)
+    src = b.buffer_param("src", DType.U32)
+    dst = b.buffer_param("dst", DType.U32)
+    gid = b.global_id(0)
+    v = b.load(src, gid)
+    b.store(dst, gid, b.xor(v, _MASK))
+    k = b.finish()
+    k.metadata["local_size"] = (64, 1, 1)
+    k.metadata["global_size"] = (items, 1, 1)
+    k.metadata["buffer_nelems"] = {"src": items, "dst": items}
+    return k
+
+
+def _handshake_workload(name: str, items: int, doc: str) -> Workload:
+    def inputs() -> Dict[str, np.ndarray]:
+        return {"src": _src_values(items),
+                "dst": np.zeros(items, np.uint32)}
+
+    def check(outputs: Dict[str, np.ndarray]) -> Optional[str]:
+        want = _src_values(items) ^ _MASK
+        got = outputs["dst"]
+        if not np.array_equal(got, want):
+            bad = int(np.flatnonzero(got != want)[0])
+            return (f"dst[{bad}] = {int(got[bad])}, "
+                    f"expected {int(want[bad])}")
+        return None
+
+    return Workload(name, doc, lambda: _handshake_kernel(name, items),
+                    inputs, check, (items, 1, 1), (64, 1, 1))
+
+
+def _lock2_kernel() -> Kernel:
+    items = 64
+    b = KernelBuilder("mc_lock2")
+    src = b.buffer_param("src", DType.U32)
+    dst = b.buffer_param("dst", DType.U32)
+    dst2 = b.buffer_param("dst2", DType.U32)
+    gid = b.global_id(0)
+    v = b.xor(b.load(src, gid), _MASK)
+    b.store(dst, gid, v)
+    b.store(dst2, gid, b.add(v, 1))
+    k = b.finish()
+    k.metadata["local_size"] = (64, 1, 1)
+    k.metadata["global_size"] = (items, 1, 1)
+    k.metadata["buffer_nelems"] = {"src": items, "dst": items, "dst2": items}
+    return k
+
+
+def _lock2_workload() -> Workload:
+    items = 64
+
+    def inputs() -> Dict[str, np.ndarray]:
+        return {"src": _src_values(items),
+                "dst": np.zeros(items, np.uint32),
+                "dst2": np.zeros(items, np.uint32)}
+
+    def check(outputs: Dict[str, np.ndarray]) -> Optional[str]:
+        want = _src_values(items) ^ _MASK
+        if not np.array_equal(outputs["dst"], want):
+            return "dst mismatch"
+        if not np.array_equal(outputs["dst2"], want + 1):
+            return "dst2 mismatch"
+        return None
+
+    return Workload(
+        "lock2",
+        "two guarded stores per item: slot reuse, tier-1 lock contention",
+        _lock2_kernel, inputs, check, (items, 1, 1), (64, 1, 1))
+
+
+def _atomic1_kernel() -> Kernel:
+    items = 64
+    b = KernelBuilder("mc_atomic1")
+    ctr = b.buffer_param("ctr", DType.U32)
+    dst = b.buffer_param("dst", DType.U32)
+    gid = b.global_id(0)
+    old = b.atomic("add", ctr, 0, 1)
+    b.store(dst, gid, b.xor(b.xor(old, _MASK), _MASK))
+    k = b.finish()
+    k.metadata["local_size"] = (64, 1, 1)
+    k.metadata["global_size"] = (items, 1, 1)
+    k.metadata["buffer_nelems"] = {"ctr": 1, "dst": items}
+    return k
+
+
+def _atomic1_workload() -> Workload:
+    items = 64
+
+    def inputs() -> Dict[str, np.ndarray]:
+        return {"ctr": np.zeros(1, np.uint32),
+                "dst": np.zeros(items, np.uint32)}
+
+    def check(outputs: Dict[str, np.ndarray]) -> Optional[str]:
+        # The ticket each item draws is schedule-dependent; the set of
+        # tickets and the final counter are not.
+        if int(outputs["ctr"][0]) != items:
+            return f"ctr = {int(outputs['ctr'][0])}, expected {items}"
+        got = np.sort(outputs["dst"])
+        if not np.array_equal(got, np.arange(items, dtype=np.uint32)):
+            return "dst is not a permutation of the ticket range"
+        return None
+
+    return Workload(
+        "atomic1",
+        "user atomic add: guarded-atomic reply path (flag state 2)",
+        _atomic1_kernel, inputs, check, (items, 1, 1), (64, 1, 1))
+
+
+def _barrier2_kernel() -> Kernel:
+    items = 128
+    b = KernelBuilder("mc_barrier2")
+    src = b.buffer_param("src", DType.U32)
+    dst = b.buffer_param("dst", DType.U32)
+    lds = b.local_alloc("stage", DType.U32, items)
+    gid = b.global_id(0)
+    lid = b.local_id(0)
+    b.store_local(lds, lid, b.load(src, gid))
+    b.barrier()
+    flipped = b.sub(items - 1, lid)
+    v = b.load_local(lds, flipped)
+    b.store(dst, gid, b.xor(v, _MASK))
+    k = b.finish()
+    k.metadata["local_size"] = (items, 1, 1)
+    k.metadata["global_size"] = (items, 1, 1)
+    k.metadata["buffer_nelems"] = {"src": items, "dst": items}
+    return k
+
+
+def _barrier2_workload() -> Workload:
+    items = 128
+
+    def inputs() -> Dict[str, np.ndarray]:
+        return {"src": _src_values(items),
+                "dst": np.zeros(items, np.uint32)}
+
+    def check(outputs: Dict[str, np.ndarray]) -> Optional[str]:
+        want = _src_values(items)[::-1] ^ _MASK
+        if not np.array_equal(outputs["dst"], want):
+            return "dst mismatch after barrier exchange"
+        return None
+
+    return Workload(
+        "barrier2",
+        "two waves per group: LDS exchange and barrier before the store",
+        _barrier2_kernel, inputs, check, (items, 1, 1), (items, 1, 1))
+
+
+def _registry() -> Dict[str, Workload]:
+    table = {}
+    for wl in (
+        _handshake_workload(
+            "handshake1", 64,
+            "one producer/consumer pair through the comm buffers"),
+        _handshake_workload(
+            "handshake2", 128,
+            "two pairs racing for tickets and slots"),
+        _lock2_workload(),
+        _atomic1_workload(),
+        _barrier2_workload(),
+    ):
+        table[wl.name] = wl
+    return table
+
+
+WORKLOADS: Dict[str, Workload] = _registry()
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        ) from None

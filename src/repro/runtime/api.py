@@ -45,9 +45,15 @@ def _norm(size: Size) -> Tuple[int, int, int]:
 class Session:
     """Host-side context bound to one simulated GPU."""
 
-    def __init__(self, config: GpuConfig = HD7790, power: PowerConfig = DEFAULT_POWER):
+    def __init__(self, config: GpuConfig = HD7790, power: PowerConfig = DEFAULT_POWER,
+                 scheduler=None):
         self.device = Device(config, power)
         self._hidden_serial = 0
+        #: default wavefront scheduler for every launch on this session
+        #: (see :mod:`repro.gpu.schedule`); per-launch ``scheduler=``
+        #: arguments take precedence.  A shared instance is reset by the
+        #: engine at the start of each launch.
+        self.scheduler = scheduler
 
     @classmethod
     def with_cycle_budget(cls, max_cycles: Optional[float]) -> "Session":
@@ -87,13 +93,15 @@ class Session:
         scalars: Optional[Dict[str, object]] = None,
         resources: Optional[KernelResources] = None,
         fault_hook=None,
+        scheduler=None,
     ) -> LaunchResult:
         """Launch a compiled kernel over the *original* NDRange.
 
         ``global_size``/``local_size`` describe the application's
         NDRange; if the kernel was RMT-transformed, this adapter doubles
         the range the way the matching flavor requires and binds any
-        hidden communication buffers.
+        hidden communication buffers.  ``scheduler`` overrides the
+        engine's wavefront issue order (see :mod:`repro.gpu.schedule`).
         """
         gsz = _norm(global_size)
         lsz = _norm(local_size)
@@ -127,6 +135,7 @@ class Session:
             resources=resources or compiled.resources,
             scalar_instrs=compiled.scalar_instrs,
             fault_hook=fault_hook,
+            scheduler=scheduler if scheduler is not None else self.scheduler,
         )
 
     def _alloc_inter_buffers(self, total_items: int) -> Dict[str, DeviceBuffer]:

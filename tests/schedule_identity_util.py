@@ -1,0 +1,110 @@
+"""Execution-digest helper for the scheduler-identity regression tests.
+
+``run_digest`` reduces one benchmark execution to a digest of everything
+observable — cycle count, a hash of every output buffer's bytes, counter
+totals, detection/launch/event tallies.  The goldens in
+``tests/data/schedule_identity.json`` were generated on the engine as it
+stood *before* the pluggable-:class:`~repro.gpu.schedule.Scheduler`
+refactor; ``test_scheduler_identity.py`` recomputes digests on the
+current engine and compares, proving the refactor (and the default
+scheduler) is bitwise- and cycle-neutral.
+
+Regenerate (only legitimate after an intentional timing-model change)::
+
+    PYTHONPATH=src:tests python -c \
+        "import schedule_identity_util as u; u.write_goldens()"
+"""
+
+import hashlib
+import json
+import os
+
+from repro.compiler.pipeline import compile_kernel
+from repro.gpu import fused
+from repro.gpu.counters import BusyTracker
+from repro.kernels.suite import SMALL_SUITE, make_benchmark
+from repro.runtime.api import Session
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data",
+                           "schedule_identity.json")
+
+VARIANTS = ("original", "intra+lds", "intra-lds", "inter")
+OPT_LEVELS = (False, True)
+
+#: Representative subset both the fast lane and the fused path pin.
+FAST_CASES = (
+    ("FWT", "intra+lds", False),
+    ("FWT", "inter", False),
+    ("BinS", "original", False),
+    ("MM", "intra-lds", True),
+    ("BO", "intra+lds", True),
+    ("R", "inter", True),
+)
+
+
+def config_key(abbrev, variant, optimize, fusion_on):
+    path = "fused" if fusion_on else "interp"
+    return f"{abbrev}/{variant}/O{int(optimize)}/{path}"
+
+
+def run_digest(abbrev, variant, optimize, fusion_on, scheduler=None):
+    """Execute one suite config and reduce it to a JSON-safe digest.
+
+    ``scheduler`` installs a session-default wavefront scheduler; the
+    goldens were captured with the pre-refactor (implicit default)
+    order, so any scheduler passed here must claim identity with it.
+    """
+    with fused.fusion(fusion_on):
+        bench = make_benchmark(abbrev, "small")
+        compiled = compile_kernel(bench.build(), variant,
+                                  optimize=optimize, cache=False)
+        res = bench.run(Session(scheduler=scheduler), compiled)
+    h = hashlib.sha256()
+    for name in sorted(res.outputs):
+        h.update(name.encode())
+        h.update(res.outputs[name].tobytes())
+    counters = {}
+    for k, v in sorted(vars(res.merged_counters()).items()):
+        if isinstance(v, BusyTracker):
+            counters[k] = repr(v.total)
+        elif isinstance(v, (int, float)):
+            counters[k] = repr(v)
+    return {
+        "cycles": repr(res.cycles),
+        "outputs_sha256": h.hexdigest(),
+        "counters": counters,
+        "detections": len(res.detections),
+        "events": [int(l.events_processed) for l in res.launches],
+        "waves": [int(l.waves_launched) for l in res.launches],
+        "groups": [int(l.groups_launched) for l in res.launches],
+    }
+
+
+def all_keys():
+    """Every golden key: full interp matrix + fused digests for FAST_CASES."""
+    keys = []
+    for abbrev in sorted(SMALL_SUITE):
+        for variant in VARIANTS:
+            for optimize in OPT_LEVELS:
+                keys.append((abbrev, variant, optimize, False))
+    for abbrev, variant, optimize in FAST_CASES:
+        keys.append((abbrev, variant, optimize, True))
+    return keys
+
+
+def load_goldens():
+    with open(GOLDEN_PATH) as fh:
+        return json.load(fh)
+
+
+def write_goldens(path=GOLDEN_PATH):
+    goldens = {}
+    for abbrev, variant, optimize, fusion_on in all_keys():
+        key = config_key(abbrev, variant, optimize, fusion_on)
+        goldens[key] = run_digest(abbrev, variant, optimize, fusion_on)
+        print(key, "ok", flush=True)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(goldens, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return goldens

@@ -1,0 +1,229 @@
+"""Unit tests for the schedule-space model checker (repro.mc)."""
+
+import json
+
+import pytest
+
+from repro.gpu.schedule import OpInfo
+from repro.mc import main as mc_main
+from repro.mc.controlled import ReplayDivergence, Turn
+from repro.mc.explore import (
+    classify_outcome,
+    compile_workload,
+    explore,
+    minimize_witness,
+    run_schedule,
+)
+from repro.mc.hb import compute_clocks, find_races
+from repro.mc.selftest import (
+    SabotagedInterPass,
+    plant_liveness_bug,
+    plant_race_bug,
+    run_selftest,
+)
+from repro.mc.witness import load_schedule, replay, write_reproducer
+from repro.mc.workloads import WORKLOADS, get_workload
+
+
+# ---------------------------------------------------------------------------
+# Controlled scheduler
+# ---------------------------------------------------------------------------
+
+
+def test_default_prefix_runs_clean():
+    wl = get_workload("handshake1")
+    out = run_schedule(wl)
+    assert out.deadlock is None and out.sim_error is None
+    assert out.check_failure is None
+    assert out.detections == 0
+    assert len(out.turns) > 4
+    # Decision points are 1:1 with turns, and enabled sets are recorded.
+    assert all(t.wave in t.enabled for t in out.turns)
+
+
+def test_replay_divergence_on_bogus_choice():
+    wl = get_workload("handshake1")
+    with pytest.raises(ReplayDivergence):
+        run_schedule(wl, [(7, 7)])
+
+
+def test_consumer_ahead_parks_in_spin():
+    """Driving the consumer first forces it to poll an unpublished slot
+    flag; the second identical read must park it (spin turn recorded),
+    and the producer's publish must unpark it to completion."""
+    wl = get_workload("handshake1")
+    out = run_schedule(wl, [(1, 0)] * 6)
+    assert any(t.spin for t in out.turns)
+    assert out.deadlock is None
+    assert out.check_failure is None
+
+
+# ---------------------------------------------------------------------------
+# Happens-before tracker (synthetic traces)
+# ---------------------------------------------------------------------------
+
+
+def _turn(i, wave, enabled, op):
+    t = Turn(i, wave, tuple(enabled))
+    t.op = op
+    return t
+
+
+def test_unsynchronized_conflict_is_a_race():
+    a, b = (0, 0), (1, 0)
+    turns = [
+        _turn(0, a, [a, b], OpInfo("store", "buf", (3,), True, False)),
+        _turn(1, b, [a, b], OpInfo("load", "buf", (3,), False, False)),
+    ]
+    clocks = compute_clocks(turns, waves_per_group=1)
+    races = find_races(turns, clocks)
+    assert len(races) == 1
+    assert races[0].buf == "buf" and races[0].addrs == (3,)
+
+
+def test_atomic_handshake_orders_the_pair():
+    """store(a) ; release-atomic(a, flag) ... acquire-atomic(b, flag) ;
+    load(b) — the same-address atomic chain must order store vs load."""
+    a, b = (0, 0), (1, 0)
+    turns = [
+        _turn(0, a, [a, b], OpInfo("store", "buf", (3,), True, False)),
+        _turn(1, a, [a, b], OpInfo("atomic", "flag", (0,), True, True)),
+        _turn(2, b, [a, b], OpInfo("atomic", "flag", (0,), False, True)),
+        _turn(3, b, [a, b], OpInfo("load", "buf", (3,), False, False)),
+    ]
+    clocks = compute_clocks(turns, waves_per_group=1)
+    assert find_races(turns, clocks) == []
+    assert clocks.ordered(0, 3)
+    # The atomic pair itself is NOT pre-ordered: its reversal is exactly
+    # what DPOR must explore (C_pre judgement).
+    assert not clocks.ordered(1, 2)
+
+
+def test_disjoint_addresses_do_not_conflict():
+    a, b = (0, 0), (1, 0)
+    turns = [
+        _turn(0, a, [a, b], OpInfo("store", "buf", (1,), True, False)),
+        _turn(1, b, [a, b], OpInfo("store", "buf", (2,), True, False)),
+    ]
+    clocks = compute_clocks(turns, waves_per_group=1)
+    assert find_races(turns, clocks) == []
+
+
+# ---------------------------------------------------------------------------
+# DPOR sweep
+# ---------------------------------------------------------------------------
+
+
+def test_sweep_explores_and_prunes():
+    rep = explore(get_workload("handshake1"), max_schedules=64)
+    assert not rep.truncated
+    assert rep.explored > 1, "DPOR found no alternative schedules"
+    assert rep.pruned > 0, "DPOR pruned nothing; reduction is inert"
+    assert rep.hb_pruned > 0
+    assert rep.violations == []
+
+
+def test_sweep_respects_bound():
+    rep = explore(get_workload("handshake2"), max_schedules=5)
+    assert rep.explored == 5
+    assert rep.truncated
+
+
+# ---------------------------------------------------------------------------
+# Planted bugs and the selftest
+# ---------------------------------------------------------------------------
+
+
+def test_liveness_bug_deadlocks():
+    wl = get_workload("handshake1")
+    sab = SabotagedInterPass("liveness", plant_liveness_bug)
+    out = run_schedule(wl, rmt_pass=sab)
+    assert out.deadlock is not None
+    v = classify_outcome(wl, out)
+    assert [x.kind for x in v] == ["deadlock"]
+
+
+def test_race_bug_is_flagged():
+    wl = get_workload("handshake1")
+    sab = SabotagedInterPass("race", plant_race_bug)
+    out = run_schedule(wl, rmt_pass=sab)
+    kinds = {x.kind for x in classify_outcome(wl, out)}
+    assert "race" in kinds
+
+
+def test_selftest_catches_both_planted_bugs():
+    result = run_selftest(max_schedules=32)
+    assert result.ok, json.dumps(result.to_dict(), indent=2)
+    by_label = {leg.label: leg for leg in result.legs}
+    assert by_label["lock-liveness"].caught
+    assert by_label["comm-race"].caught
+    assert by_label["clean-control"].caught
+
+
+def test_minimized_witness_still_violates():
+    wl = get_workload("handshake1")
+    sab = SabotagedInterPass("liveness", plant_liveness_bug)
+    compiled = compile_workload(wl, sab)
+    out = run_schedule(wl, compiled=compiled)
+    assert out.deadlock is not None
+    witness = minimize_witness(wl, out.choices, "deadlock",
+                               compiled=compiled)
+    assert len(witness) <= len(out.choices)
+    replayed = run_schedule(wl, witness, compiled=compiled)
+    assert replayed.deadlock is not None
+
+
+# ---------------------------------------------------------------------------
+# Witness serialization and CLI
+# ---------------------------------------------------------------------------
+
+
+def test_witness_roundtrip(tmp_path):
+    path = write_reproducer(tmp_path / "w.py", "handshake1",
+                            [(1, 0), (0, 0)], None, "round-trip check")
+    workload, choices, kind = load_schedule(path)
+    assert workload == "handshake1"
+    assert choices == [(1, 0), (0, 0)]
+    assert kind is None
+    assert replay(workload, choices) == 0
+
+
+def test_cli_sweep_writes_report(tmp_path, capsys):
+    out = tmp_path / "report.json"
+    status = mc_main(["--workloads", "handshake1",
+                      "--max-schedules", "16", "--out", str(out)])
+    assert status == 0
+    doc = json.loads(out.read_text())
+    assert doc["ok"] is True
+    assert doc["violations"] == []
+    (rep,) = doc["reports"]
+    assert rep["workload"] == "handshake1"
+    assert rep["explored"] > 1
+    assert rep["pruned"] > 0
+
+
+def test_cli_json_mode_emits_one_document(capsys):
+    status = mc_main(["--workloads", "handshake1",
+                      "--max-schedules", "8", "--json"])
+    assert status == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["ok"] is True
+
+
+def test_cli_rejects_unknown_workload(capsys):
+    assert mc_main(["--workloads", "nope"]) == 2
+
+
+def test_cli_replays_corpus_entry(tmp_path, capsys):
+    path = write_reproducer(tmp_path / "c.py", "lock2",
+                            [(1, 0)], None, "cli replay check")
+    assert mc_main(["--replay", str(path)]) == 0
+
+
+def test_all_workloads_default_schedule_clean():
+    for name in sorted(WORKLOADS):
+        wl = get_workload(name)
+        out = run_schedule(wl)
+        assert out.check_failure is None, (name, out.check_failure)
+        assert out.detections == 0
+        assert classify_outcome(wl, out) == [], name

@@ -1,0 +1,77 @@
+"""The pluggable-scheduler refactor must be execution-neutral.
+
+``tests/data/schedule_identity.json`` holds digests (cycles, output
+hashes, counter totals, event tallies) captured on the engine *before*
+wavefront issue order became a :class:`~repro.gpu.schedule.Scheduler`
+decision point.  Recomputing them on the current engine proves the
+default path is bitwise- and cycle-identical: same outputs, same
+floating-point cycle counts, same event-pop totals.
+
+The fast lane pins a representative suite × variant × opt subset on
+both execution paths (reference interpreter and block-fused executors);
+the full small-suite matrix runs in the slow lane.
+"""
+
+import pytest
+
+from repro.gpu.schedule import DefaultScheduler
+from tests.schedule_identity_util import (
+    FAST_CASES,
+    all_keys,
+    config_key,
+    load_goldens,
+    run_digest,
+)
+
+GOLDENS = load_goldens()
+
+_FAST = [(a, v, o, fused) for fused in (False, True)
+         for (a, v, o) in FAST_CASES]
+_SLOW = [k for k in all_keys() if k not in _FAST]
+
+
+def _assert_digest_matches(abbrev, variant, optimize, fusion_on):
+    key = config_key(abbrev, variant, optimize, fusion_on)
+    assert key in GOLDENS, f"no golden for {key}; regenerate the goldens"
+    got = run_digest(abbrev, variant, optimize, fusion_on)
+    want = GOLDENS[key]
+    for field in sorted(want):
+        assert got[field] == want[field], (
+            f"{key}: {field} diverged from the pre-refactor engine\n"
+            f"  golden:  {want[field]}\n  current: {got[field]}")
+
+
+@pytest.mark.parametrize(
+    "abbrev,variant,optimize,fusion_on", _FAST,
+    ids=[config_key(*k) for k in _FAST])
+def test_default_schedule_matches_prerefactor_fast(
+        abbrev, variant, optimize, fusion_on):
+    _assert_digest_matches(abbrev, variant, optimize, fusion_on)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "abbrev,variant,optimize,fusion_on", _SLOW,
+    ids=[config_key(*k) for k in _SLOW])
+def test_default_schedule_matches_prerefactor_full(
+        abbrev, variant, optimize, fusion_on):
+    _assert_digest_matches(abbrev, variant, optimize, fusion_on)
+
+
+def test_explicit_default_scheduler_is_identity():
+    """Passing ``scheduler=DefaultScheduler()`` must equal passing none.
+
+    Also exercises the session-default plumbing: the same scheduler
+    instance is reused (and reset) across the benchmark's launches.
+    """
+    abbrev, variant, optimize = "FWT", "inter", False
+    key = config_key(abbrev, variant, optimize, False)
+    got = run_digest(abbrev, variant, optimize, False,
+                     scheduler=DefaultScheduler())
+    assert got == GOLDENS[key]
+
+
+def test_goldens_cover_declared_matrix():
+    declared = {config_key(*k) for k in all_keys()}
+    assert declared == set(GOLDENS), (
+        "golden file out of sync with all_keys(); regenerate")
