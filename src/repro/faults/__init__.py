@@ -5,6 +5,7 @@ from .campaign import (
     OUTCOMES,
     CampaignResult,
     TrialRecord,
+    campaign_report,
     classify_trial,
     draw_plans,
     execute_trial,
@@ -22,6 +23,7 @@ __all__ = [
     "OUTCOMES",
     "TARGETS",
     "TrialRecord",
+    "campaign_report",
     "classify_trial",
     "draw_plans",
     "execute_trial",

@@ -21,7 +21,7 @@ outcome instead of losing the campaign.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..gpu.engine import SimulationError
 from ..kernels.base import Benchmark, BenchResult
@@ -85,6 +85,7 @@ class CampaignResult:
     trials: int = 0
     fired: int = 0
     records: List[TrialRecord] = field(default_factory=list)
+    infra: List[TrialRecord] = field(default_factory=list)
     record_cap: int = DEFAULT_RECORD_CAP
     dropped_records: int = 0
 
@@ -106,6 +107,8 @@ class CampaignResult:
         """Tally one trial; keep fired records up to ``record_cap``."""
         self.outcomes[record.outcome] = self.outcomes.get(record.outcome, 0) + 1
         self.trials += 1
+        if record.outcome == "infra_error" and len(self.infra) < self.record_cap:
+            self.infra.append(record)
         if record.fired:
             self.fired += 1
             if len(self.records) < self.record_cap:
@@ -138,7 +141,28 @@ class CampaignResult:
                     out.records.append(rec)
                 else:
                     out.dropped_records += 1
+            for rec in part.infra:
+                if len(out.infra) < out.record_cap:
+                    out.infra.append(rec)
         return out
+
+    def to_json(self) -> Dict:
+        """Deterministic report payload (no wall-clock fields).
+
+        This is the one campaign-report schema: ``repro.campaign
+        --json`` and the serve daemon's ``campaign`` job responses both
+        serialise through it, so a daemon result is comparable
+        bit-for-bit with a batch run of the same spec.
+        """
+        return {
+            "benchmark": self.benchmark,
+            "variant": self.variant,
+            "target": self.target,
+            "trials": self.trials,
+            "fired": self.fired,
+            "outcomes": dict(self.outcomes),
+            "coverage": round(self.coverage, 4),
+        }
 
     def summary(self) -> str:
         return (
@@ -146,6 +170,37 @@ class CampaignResult:
             f"{self.trials} trials ({self.fired} fired) -> "
             + ", ".join(f"{k}={v}" for k, v in self.outcomes.items())
         )
+
+
+def campaign_report(result: CampaignResult, telemetry=None) -> Dict:
+    """One report schema for batch CLI and daemon campaign responses.
+
+    The deterministic histogram comes from :meth:`CampaignResult.to_json`;
+    infrastructure failures (worker crashes / deadline kills after
+    retries) are rendered through the shared
+    :meth:`~repro.compiler.lint.diagnostics.Diagnostic.to_json`
+    serializer — the same record shape ``repro.lint``, ``repro.tv`` and
+    ``repro.mc`` emit — so every surface reports problems identically.
+    ``telemetry`` optionally attaches the run's wall-clock digest, which
+    is *not* part of the deterministic payload.
+    """
+    from ..compiler.lint.diagnostics import WARNING, Diagnostic
+
+    diagnostics = [
+        Diagnostic(
+            checker="campaign",
+            severity=WARNING,
+            kernel=result.benchmark,
+            loc=f"trial[{rec.index}]",
+            message=rec.error or "infra_error",
+        ).to_json()
+        for rec in result.infra
+    ]
+    doc = result.to_json()
+    doc["diagnostics"] = diagnostics
+    if telemetry is not None:
+        doc["telemetry"] = telemetry.summary()
+    return doc
 
 
 # -- single-trial execution (shared by serial path, workers, tests) -------
@@ -242,20 +297,30 @@ def run_campaign(
     workers: int = 1,
     timeout_s: Optional[float] = None,
     max_retries: int = 1,
-    journal: Optional[str] = None,
+    journal: Union[str, "Journal", None] = None,
     resume: bool = False,
     telemetry=None,
     record_cap: int = DEFAULT_RECORD_CAP,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> CampaignResult:
     """Inject ``trials`` independent random SEUs and tally outcomes.
 
     ``workers > 1`` shards trials across forked worker processes with
-    identical results.  ``journal`` names a JSONL file that receives
+    identical results.  ``journal`` names a JSONL file — or passes an
+    already-open :class:`~repro.orchestrator.Journal` (the serve daemon
+    injects one with a streaming ``on_append`` sink) — that receives
     every completed trial; with ``resume=True`` an existing journal's
     trials are skipped, so a killed campaign continues where it died.
     ``timeout_s`` bounds each trial's wall clock (parallel mode only);
     a trial that keeps crashing or deadlining its shard is recorded as
     ``infra_error`` after ``max_retries`` re-attempts.
+
+    ``should_stop`` is polled between trial dispatches; once true the
+    campaign checkpoints: in-flight trials finish and are journaled,
+    undispatched ones are abandoned, and the partial result returns with
+    ``result.trials < trials`` — re-running with ``resume=True``
+    completes it.  The journal is closed on *every* exit path, including
+    KeyboardInterrupt, so an interrupted campaign is always resumable.
     """
     from ..orchestrator import Journal, Telemetry, run_tasks
 
@@ -266,71 +331,86 @@ def run_campaign(
     )
     # Open the journal first so an identity mismatch fails before any
     # simulation work is spent.
+    meta = {
+        "kind": "fault-campaign",
+        "benchmark": probe.abbrev, "variant": variant, "target": target,
+        "trials": trials, "seed": seed,
+        "max_wave": max_wave, "max_instr": max_instr,
+    }
     done: Dict[int, TrialRecord] = {}
-    jnl = None
-    if journal is not None:
-        jnl = Journal(journal, resume=resume, meta={
-            "kind": "fault-campaign",
-            "benchmark": probe.abbrev, "variant": variant, "target": target,
-            "trials": trials, "seed": seed,
-            "max_wave": max_wave, "max_instr": max_instr,
-        })
-        for entry in jnl.entries("trial"):
-            rec = TrialRecord.from_json(entry)
-            if 0 <= rec.index < trials:
-                done[rec.index] = rec
-
-    # Compile exactly once, before fan-out: every trial reuses this
-    # artifact (workers inherit it through the fork), so the lint + TV
-    # certification cost is paid once per campaign, not once per trial.
-    compiled = probe.compile(variant)
-
-    # Golden run establishes a watchdog budget so corrupted spin locks or
-    # loop bounds terminate as "hang" instead of running to the horizon;
-    # its host-side reference outputs are reused by every trial's oracle
-    # check (benchmark inputs are deterministic per instance seed).
-    golden = probe.run(Session(), compiled)
-    reference = probe.reference()
-    budget = 25.0 * max(golden.cycles, 1.0) + 2_000_000
-
-    plans = draw_plans(seed, trials, target, max_wave=max_wave,
-                       max_instr=max_instr)
-
-    tel = telemetry if telemetry is not None else Telemetry(
-        label=f"{probe.abbrev}/{variant}/{target}")
-    tel.start(trials, skipped=len(done))
-
-    def run_one(index: int) -> TrialRecord:
-        # Fresh benchmark instance per trial (deterministic input rng);
-        # the compiled artifact and golden reference are shared.
-        bench = make_bench()
-        return execute_trial(bench, compiled, plans[index], budget,
-                             index=index, reference=reference)
-
-    def on_result(task_result) -> None:
-        if task_result.ok:
-            rec = task_result.value
-        else:
-            rec = TrialRecord(
-                index=task_result.task_id, outcome="infra_error",
-                plan=plans[task_result.task_id],
-                error=f"{task_result.status}: {task_result.error}",
-            )
-        done[rec.index] = rec
-        tel.note_outcome(rec.outcome, shard=task_result.shard)
+    if isinstance(journal, Journal):
+        jnl = journal
+        mismatch = {k: (jnl.meta.get(k), v) for k, v in meta.items()
+                    if k in jnl.meta and jnl.meta[k] != v}
+        if mismatch:
+            raise ValueError(
+                f"injected journal belongs to a different campaign: {mismatch}")
+    elif journal is not None:
+        jnl = Journal(journal, resume=resume, meta=meta)
+    else:
+        jnl = None
+    try:
         if jnl is not None:
-            jnl.append("trial", **rec.to_json())
+            for entry in jnl.entries("trial"):
+                rec = TrialRecord.from_json(entry)
+                if 0 <= rec.index < trials:
+                    done[rec.index] = rec
 
-    tasks = [(i, i) for i in range(trials) if i not in done]
-    run_tasks(tasks, run_one, workers=workers, timeout_s=timeout_s,
-              max_retries=max_retries, telemetry=tel, on_result=on_result)
-    tel.finish()
+        # Compile exactly once, before fan-out: every trial reuses this
+        # artifact (workers inherit it through the fork), so the lint + TV
+        # certification cost is paid once per campaign, not once per trial.
+        compiled = probe.compile(variant)
 
-    for index in sorted(done):
-        result.add(done[index])
-    if jnl is not None:
-        jnl.append("campaign", outcomes=dict(result.outcomes),
-                   trials=result.trials, fired=result.fired,
-                   telemetry=tel.summary())
-        jnl.close()
+        # Golden run establishes a watchdog budget so corrupted spin locks
+        # or loop bounds terminate as "hang" instead of running to the
+        # horizon; its host-side reference outputs are reused by every
+        # trial's oracle check (benchmark inputs are deterministic per
+        # instance seed).
+        golden = probe.run(Session(), compiled)
+        reference = probe.reference()
+        budget = 25.0 * max(golden.cycles, 1.0) + 2_000_000
+
+        plans = draw_plans(seed, trials, target, max_wave=max_wave,
+                           max_instr=max_instr)
+
+        tel = telemetry if telemetry is not None else Telemetry(
+            label=f"{probe.abbrev}/{variant}/{target}")
+        tel.start(trials, skipped=len(done))
+
+        def run_one(index: int) -> TrialRecord:
+            # Fresh benchmark instance per trial (deterministic input rng);
+            # the compiled artifact and golden reference are shared.
+            bench = make_bench()
+            return execute_trial(bench, compiled, plans[index], budget,
+                                 index=index, reference=reference)
+
+        def on_result(task_result) -> None:
+            if task_result.ok:
+                rec = task_result.value
+            else:
+                rec = TrialRecord(
+                    index=task_result.task_id, outcome="infra_error",
+                    plan=plans[task_result.task_id],
+                    error=f"{task_result.status}: {task_result.error}",
+                )
+            done[rec.index] = rec
+            tel.note_outcome(rec.outcome, shard=task_result.shard)
+            if jnl is not None:
+                jnl.append("trial", **rec.to_json())
+
+        tasks = [(i, i) for i in range(trials) if i not in done]
+        run_tasks(tasks, run_one, workers=workers, timeout_s=timeout_s,
+                  max_retries=max_retries, telemetry=tel, on_result=on_result,
+                  should_stop=should_stop)
+        tel.finish()
+
+        for index in sorted(done):
+            result.add(done[index])
+        if jnl is not None and result.trials >= trials:
+            jnl.append("campaign", outcomes=dict(result.outcomes),
+                       trials=result.trials, fired=result.fired,
+                       telemetry=tel.summary())
+    finally:
+        if jnl is not None:
+            jnl.close()
     return result

@@ -27,7 +27,12 @@ from pathlib import Path
 from typing import List, Optional
 
 from ..compiler.pipeline import RMT_VARIANTS
-from ..faults.campaign import OUTCOMES, CampaignResult, run_campaign
+from ..faults.campaign import (
+    OUTCOMES,
+    CampaignResult,
+    campaign_report,
+    run_campaign,
+)
 from ..faults.injector import TARGETS
 from ..kernels.suite import SMALL_SUITE, SUITE
 from .journal import JournalError
@@ -72,6 +77,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip trials already present in the journals")
     parser.add_argument("--format", choices=("markdown", "json"),
                         default="markdown", dest="fmt")
+    parser.add_argument("--json", action="store_const", const="json",
+                        dest="fmt",
+                        help="shorthand for --format json (the shared "
+                             "report schema the serve daemon also emits)")
     parser.add_argument("--out", default=None,
                         help="write the summary to a file instead of stdout")
     parser.add_argument("--progress", action="store_true",
@@ -133,17 +142,12 @@ def _json_doc(args, results: List[CampaignResult],
             "workers": args.workers, "max_wave": args.max_wave,
             "max_instr": args.max_instr,
         },
+        # One report schema across surfaces: each campaign entry is the
+        # same document a serve-daemon campaign job returns (plus the
+        # wall-clock telemetry digest), with infra_error trials rendered
+        # through the shared Diagnostic serializer.
         "campaigns": [
-            {
-                "benchmark": res.benchmark,
-                "variant": res.variant,
-                "target": res.target,
-                "trials": res.trials,
-                "fired": res.fired,
-                "outcomes": res.outcomes,
-                "coverage": round(res.coverage, 4),
-                "telemetry": tel.summary(),
-            }
+            campaign_report(res, tel)
             for res, tel in zip(results, telemetries)
         ],
     }

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 SCHEMA_VERSION = 1
 
@@ -73,6 +73,11 @@ class Journal:
     ``resume=True`` to load prior entries (available via
     :meth:`entries`) and append after them.  ``meta`` identifies the
     campaign; on resume it must match the header already on disk.
+
+    ``on_append`` is an injectable sink: it receives every entry written
+    through :meth:`append` *after* the line has been flushed to disk, so
+    a consumer (the serve daemon streams journal entries to clients this
+    way) never observes an entry that could be lost to a crash.
     """
 
     def __init__(
@@ -80,9 +85,11 @@ class Journal:
         path: Union[str, Path],
         meta: Optional[Dict[str, Any]] = None,
         resume: bool = False,
+        on_append: Optional[Callable[[Dict[str, Any]], None]] = None,
     ):
         self.path = Path(path)
         self.meta = dict(meta or {})
+        self.on_append = on_append
         self._entries: List[Dict[str, Any]] = []
         self._fh = None
 
@@ -123,7 +130,10 @@ class Journal:
 
     def append(self, kind: str, **payload) -> None:
         """Append one entry and flush it to disk immediately."""
-        self._write({"kind": kind, **payload})
+        entry = {"kind": kind, **payload}
+        self._write(entry)
+        if self.on_append is not None:
+            self.on_append(entry)
 
     def _write(self, obj: Dict[str, Any]) -> None:
         if self._fh is None:

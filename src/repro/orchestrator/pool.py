@@ -105,6 +105,7 @@ def run_tasks(
     max_retries: int = 1,
     telemetry: Optional[Telemetry] = None,
     on_result: Optional[Callable[[TaskResult], None]] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> Dict[Any, TaskResult]:
     """Run ``tasks`` (an iterable of ``(task_id, payload)``) to completion.
 
@@ -114,6 +115,13 @@ def run_tasks(
     Serial mode (``workers <= 1`` or no ``fork`` support) runs in-process;
     there the timeout cannot preempt a wedged task and crashes surface as
     ``error`` results.
+
+    ``should_stop`` is polled between dispatches; once it returns true
+    the pool stops handing out new tasks, lets in-flight tasks finish
+    (they are reported through ``on_result`` as usual), and returns the
+    partial result map.  This is the cooperative-cancellation hook the
+    serve daemon uses for job cancellation and graceful drain — a
+    journaled consumer resumes exactly at the first undispatched task.
     """
     tasks = list(tasks)
     seen = set()
@@ -125,10 +133,11 @@ def run_tasks(
         workers = 1
     if workers <= 1:
         return _run_serial(tasks, worker_fn, max_retries=max_retries,
-                           telemetry=telemetry, on_result=on_result)
+                           telemetry=telemetry, on_result=on_result,
+                           should_stop=should_stop)
     return _run_pool(tasks, worker_fn, workers=workers, timeout_s=timeout_s,
                      max_retries=max_retries, telemetry=telemetry,
-                     on_result=on_result)
+                     on_result=on_result, should_stop=should_stop)
 
 
 def _finish(results, task_id, result, telemetry, on_result):
@@ -142,9 +151,12 @@ def _finish(results, task_id, result, telemetry, on_result):
         on_result(result)
 
 
-def _run_serial(tasks, worker_fn, *, max_retries, telemetry, on_result):
+def _run_serial(tasks, worker_fn, *, max_retries, telemetry, on_result,
+                should_stop=None):
     results: Dict[Any, TaskResult] = {}
     for task_id, payload in tasks:
+        if should_stop is not None and should_stop():
+            break
         attempts = 0
         while True:
             attempts += 1
@@ -169,7 +181,7 @@ def _run_serial(tasks, worker_fn, *, max_retries, telemetry, on_result):
 
 
 def _run_pool(tasks, worker_fn, *, workers, timeout_s, max_retries,
-              telemetry, on_result):
+              telemetry, on_result, should_stop=None):
     ctx = mp.get_context("fork")
     outbox = ctx.Queue()
     results: Dict[Any, TaskResult] = {}
@@ -223,11 +235,15 @@ def _run_pool(tasks, worker_fn, *, workers, timeout_s, max_retries,
         pool[worker.index] = fresh
 
     pool.extend(spawn(i) for i in range(min(workers, max(1, len(tasks)))))
+    clean = False
     try:
         while len(results) < len(tasks):
+            stopping = should_stop is not None and should_stop()
+            if stopping and all(w.current is None for w in pool):
+                break  # nothing in flight; abandon the undispatched tail
             # 1. hand work to idle workers
             for worker in pool:
-                if worker.current is None and pending:
+                if worker.current is None and pending and not stopping:
                     task = pending.popleft()
                     worker.current = task
                     worker.started = time.monotonic()
@@ -287,20 +303,49 @@ def _run_pool(tasks, worker_fn, *, workers, timeout_s, max_retries,
                 elif worker.deadline is not None and now > worker.deadline:
                     retire(worker, STATUS_TIMEOUT,
                            f"exceeded {timeout_s:.1f}s deadline")
+        clean = True
     finally:
-        for worker in pool:
+        _shutdown_pool(pool, outbox, graceful=clean)
+    return results
+
+
+def _shutdown_pool(pool: List[_Worker], outbox, graceful: bool) -> None:
+    """Reap every worker process, on the happy path and the interrupt path.
+
+    ``graceful`` (normal completion, or a cooperative ``should_stop``
+    exit) offers each idle worker its shutdown sentinel and gives it a
+    moment to exit on its own.  The abnormal path — KeyboardInterrupt,
+    SIGTERM translated to an exception, a sink that raised — skips the
+    sentinel wait and terminates immediately: a busy worker would hold
+    its inbox until the current task finished, which for a wedged trial
+    is never.  Either way the escalation ends in ``kill()``, so a
+    long-lived parent (the serve daemon) cannot accumulate zombies, and
+    the inbox queues have their feeder threads cancelled so interpreter
+    shutdown never blocks on an unflushed queue.
+    """
+    for worker in pool:
+        if graceful:
             try:
                 worker.inbox.put(None)
             except Exception:
                 pass
-        for worker in pool:
-            worker.proc.join(timeout=2.0)
-            if worker.proc.is_alive():
-                worker.proc.terminate()
-                worker.proc.join(timeout=2.0)
-        outbox.close()
-        outbox.cancel_join_thread()
-    return results
+        elif worker.proc.is_alive():
+            worker.proc.terminate()
+    for worker in pool:
+        worker.proc.join(timeout=2.0 if graceful else 1.0)
+        if worker.proc.is_alive():
+            worker.proc.terminate()
+            worker.proc.join(timeout=1.0)
+        if worker.proc.is_alive():  # terminate() ignored — escalate
+            worker.proc.kill()
+            worker.proc.join(timeout=1.0)
+        try:
+            worker.inbox.close()
+            worker.inbox.cancel_join_thread()
+        except Exception:
+            pass
+    outbox.close()
+    outbox.cancel_join_thread()
 
 
 def _payload_of(tasks, task_id):

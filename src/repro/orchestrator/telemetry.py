@@ -10,6 +10,13 @@ and can optionally paint a single live progress line to a stream.
 It is deliberately parent-process-only: workers report results through
 the pool, and the pool drives telemetry, so there is exactly one writer
 and no cross-process locking.
+
+An ``on_event`` sink makes the stream injectable: the serve daemon
+(:mod:`repro.serve`) passes a callback that forwards every event to the
+submitting client as it happens, while the batch CLIs keep the default
+in-memory ring + progress line.  The sink runs synchronously in the
+parent on the emitting thread; a sink that raises aborts the run, so
+sinks should be cheap and non-throwing (enqueue and return).
 """
 
 from __future__ import annotations
@@ -18,7 +25,7 @@ import sys
 import time
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 #: Keep at most this many structured events in memory; older ones are
 #: dropped (the count of dropped events is retained).
@@ -47,12 +54,14 @@ class Telemetry:
         stream=None,
         event_cap: int = DEFAULT_EVENT_CAP,
         min_refresh_s: float = 0.2,
+        on_event: Optional[Callable[[Event], None]] = None,
     ):
         self.label = label
         self.progress = progress
         self.stream = stream if stream is not None else sys.stderr
         self.event_cap = event_cap
         self.min_refresh_s = min_refresh_s
+        self.on_event = on_event
         self.events: List[Event] = []
         self.dropped_events = 0
         self.total = 0
@@ -75,6 +84,8 @@ class Telemetry:
             self.events.pop(0)
             self.dropped_events += 1
         self.events.append(ev)
+        if self.on_event is not None:
+            self.on_event(ev)
 
     # -- lifecycle hooks called by the pool / campaign -------------------
 

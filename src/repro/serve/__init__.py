@@ -1,0 +1,55 @@
+"""repro.serve — the compile/certify/campaign service daemon.
+
+One long-lived asyncio process that owns the process-wide compile cache
+and a content-addressed result store, and serves ``compile``,
+``certify``, and ``campaign`` jobs to any number of clients over a
+local Unix socket (or TCP).  See :mod:`.daemon` for the job lifecycle
+and drain semantics, :mod:`.protocol` for the wire format, and
+:mod:`.client` for the synchronous client library.
+
+Run the daemon with ``python -m repro.serve`` (console script
+``repro-serve``) and talk to it with ``python -m repro.serve.client``
+(``repro-serve-client``) or :class:`ServeClient`.
+"""
+
+from .daemon import DaemonHandle, ServeConfig, ServeDaemon, start_background
+from .jobs import JobError, execute_job
+from .protocol import (
+    DEFAULT_SOCKET,
+    PROTOCOL_VERSION,
+    JobSpec,
+    ProtocolError,
+    job_key,
+    parse_job,
+)
+from .store import ResultStore
+
+
+def __getattr__(name):
+    # Lazy so `python -m repro.serve.client` does not pre-import the
+    # client module through the package and trip runpy's double-import
+    # warning.
+    if name in ("ServeClient", "ServeError"):
+        from . import client
+
+        return getattr(client, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "DEFAULT_SOCKET",
+    "PROTOCOL_VERSION",
+    "DaemonHandle",
+    "JobError",
+    "JobSpec",
+    "ProtocolError",
+    "ResultStore",
+    "ServeClient",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServeError",
+    "execute_job",
+    "job_key",
+    "parse_job",
+    "start_background",
+]

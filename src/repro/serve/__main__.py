@@ -1,0 +1,68 @@
+"""``python -m repro.serve`` — run the compile/certify/campaign daemon.
+
+Binds a Unix socket (default ``.repro-serve.sock``; override with
+``--socket`` or ``REPRO_SERVE_SOCKET``) or TCP with ``--host``/``--port``.
+SIGTERM or SIGINT drains gracefully: queued jobs are cancelled, running
+campaigns checkpoint their journals, and the process exits once the
+last job has flushed (bounded by ``--drain-grace``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import Optional, Sequence
+
+from .daemon import ServeConfig, ServeDaemon
+from .protocol import DEFAULT_SOCKET
+
+
+def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="RMT compile/certify/campaign service daemon.",
+    )
+    parser.add_argument("--socket", default=DEFAULT_SOCKET,
+                        help=f"Unix socket path (default: {DEFAULT_SOCKET})")
+    parser.add_argument("--host", default=None,
+                        help="listen on TCP at this host instead of a socket")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 = ephemeral; with --host)")
+    parser.add_argument("--max-jobs", type=int, default=2,
+                        help="concurrent job slots (default: 2)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="default fork workers per campaign (default: 1)")
+    parser.add_argument("--journal-dir", default=None,
+                        help="directory for resumable campaign journals")
+    parser.add_argument("--cache-dir", default=None,
+                        help="compile-cache disk tier shared by all jobs")
+    parser.add_argument("--drain-grace", type=float, default=60.0,
+                        help="max seconds to wait for jobs on drain")
+    return parser.parse_args(argv)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parse_args(argv)
+    config = ServeConfig(
+        socket=args.socket, host=args.host, port=args.port,
+        max_jobs=args.max_jobs, job_workers=args.workers,
+        journal_dir=args.journal_dir, cache_dir=args.cache_dir,
+        drain_grace_s=args.drain_grace,
+    )
+    daemon = ServeDaemon(config)
+    if args.host is not None:
+        print(f"repro-serve: listening on {args.host}:{args.port}",
+              file=sys.stderr)
+    else:
+        print(f"repro-serve: listening on {args.socket}", file=sys.stderr)
+    try:
+        asyncio.run(daemon.run())
+    except KeyboardInterrupt:
+        pass
+    print("repro-serve: drained, exiting", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,273 @@
+"""Client library + CLI for the serve daemon.
+
+:class:`ServeClient` is deliberately synchronous — a blocking socket
+wrapped in a file object — because callers are batch scripts, tests,
+and the ``repro-serve-client`` CLI, none of which want an event loop of
+their own.  One client = one connection = one serial conversation; run
+several clients (threads or processes) for concurrency, which is
+exactly what the daemon multiplexes.
+
+Typical use::
+
+    with ServeClient(socket_path) as client:
+        result = client.compile("FWT", variant="intra+lds")
+
+or streaming a campaign's telemetry as it runs::
+
+    for event in client.iter_submit({"kind": "campaign", "benchmark": "FWT"}):
+        ...                      # accepted / telemetry / journal / result
+
+``python -m repro.serve.client`` (console script ``repro-serve-client``)
+exposes the same ops as subcommands and prints one JSON line per event.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+from typing import Any, Dict, Iterator, Optional, Sequence
+
+from .protocol import DEFAULT_SOCKET, ProtocolError, decode_line, encode_line
+
+#: Events that end a submission's stream.
+TERMINAL_EVENTS = ("result", "checkpointed", "cancelled", "error")
+
+
+class ServeError(RuntimeError):
+    """Terminal ``error`` event from the daemon; ``.payload`` has details."""
+
+    def __init__(self, payload: Dict[str, Any]):
+        super().__init__(payload.get("error", "job failed"))
+        self.payload = payload
+
+
+class ServeClient:
+    """One blocking connection to a serve daemon (Unix socket or TCP)."""
+
+    def __init__(self, path: Optional[str] = None, host: Optional[str] = None,
+                 port: int = 0, timeout: Optional[float] = None):
+        if host is not None:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        else:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(path or DEFAULT_SOCKET)
+        self._rfile = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # -- plumbing ---------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._rfile.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _send(self, msg: Dict[str, Any]) -> None:
+        self._sock.sendall(encode_line(msg))
+
+    def _recv(self) -> Dict[str, Any]:
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        return decode_line(line)
+
+    def _fresh_id(self) -> str:
+        self._next_id += 1
+        return f"c{self._next_id}"
+
+    # -- ops --------------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        self._send({"op": "ping"})
+        return self._recv()
+
+    def status(self) -> Dict[str, Any]:
+        self._send({"op": "status"})
+        return self._recv()
+
+    def drain(self) -> Dict[str, Any]:
+        self._send({"op": "drain"})
+        return self._recv()
+
+    def cancel(self, cid: Optional[str] = None,
+               job: Optional[int] = None) -> None:
+        """Request cancellation by client tag or server job id.
+
+        Fire-and-forget: the acknowledgement (``cancelling`` or
+        ``error``) arrives in the event stream the caller is already
+        iterating — reading it here would steal stream events.
+        """
+        msg: Dict[str, Any] = {"op": "cancel"}
+        if job is not None:
+            msg["job"] = job
+        if cid is not None:
+            msg["id"] = cid
+        self._send(msg)
+
+    def iter_submit(self, job: Dict[str, Any], priority: int = 0,
+                    deadline_s: Optional[float] = None,
+                    cid: Optional[str] = None) -> Iterator[Dict[str, Any]]:
+        """Submit a job; yield every event through the terminal one."""
+        cid = cid or self._fresh_id()
+        msg: Dict[str, Any] = {"op": "submit", "id": cid, "job": job,
+                               "priority": priority}
+        if deadline_s is not None:
+            msg["deadline_s"] = deadline_s
+        self._send(msg)
+        while True:
+            event = self._recv()
+            if event.get("id") != cid:
+                continue   # event for another in-flight submission
+            yield event
+            if event.get("event") in TERMINAL_EVENTS:
+                return
+
+    def submit(self, job: Dict[str, Any], priority: int = 0,
+               deadline_s: Optional[float] = None) -> Dict[str, Any]:
+        """Submit and block until the terminal event; raise on ``error``."""
+        last: Dict[str, Any] = {}
+        for event in self.iter_submit(job, priority=priority,
+                                      deadline_s=deadline_s):
+            last = event
+        if last.get("event") == "error":
+            raise ServeError(last)
+        return last
+
+    # -- convenience wrappers --------------------------------------------
+
+    def compile(self, benchmark: str, variant: str = "original",
+                opt: int = 0, scale: str = "small", **kw) -> Dict[str, Any]:
+        return self.submit({"kind": "compile", "benchmark": benchmark,
+                            "variant": variant, "opt": opt, "scale": scale},
+                           **kw)
+
+    def certify(self, benchmark: str, scale: str = "small",
+                **kw) -> Dict[str, Any]:
+        return self.submit({"kind": "certify", "benchmark": benchmark,
+                            "scale": scale}, **kw)
+
+    def campaign(self, benchmark: str, **params) -> Dict[str, Any]:
+        priority = params.pop("priority", 0)
+        deadline_s = params.pop("deadline_s", None)
+        return self.submit({"kind": "campaign", "benchmark": benchmark,
+                            **params},
+                           priority=priority, deadline_s=deadline_s)
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def _add_conn_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--socket", default=DEFAULT_SOCKET,
+                        help=f"daemon Unix socket (default: {DEFAULT_SOCKET})")
+    parser.add_argument("--host", default=None,
+                        help="connect over TCP to this host instead")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (with --host)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="socket timeout in seconds")
+
+
+def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve-client",
+        description="Submit jobs to a running repro serve daemon.",
+    )
+    _add_conn_args(parser)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    for name in ("ping", "status", "drain"):
+        sub.add_parser(name)
+
+    def job_parser(name: str) -> argparse.ArgumentParser:
+        p = sub.add_parser(name)
+        p.add_argument("benchmark")
+        p.add_argument("--scale", choices=("small", "paper"), default="small")
+        p.add_argument("--priority", type=int, default=0)
+        p.add_argument("--deadline", type=float, default=None,
+                       help="fail the job after this many seconds")
+        p.add_argument("--quiet", action="store_true",
+                       help="print only the terminal event")
+        return p
+
+    p = job_parser("compile")
+    p.add_argument("--variant", default="original")
+    p.add_argument("--opt", type=int, choices=(0, 1), default=0)
+
+    p = job_parser("certify")
+    p.add_argument("--variants", default=None,
+                   help="comma-separated variant list")
+    p.add_argument("--opt", default=None,
+                   help="comma-separated opt levels from {0,1}")
+
+    p = job_parser("campaign")
+    p.add_argument("--variant", default="intra+lds")
+    p.add_argument("--target", default="vgpr")
+    p.add_argument("--trials", type=int, default=32)
+    p.add_argument("--seed", type=int, default=1234)
+    p.add_argument("--max-wave", type=int, default=8)
+    p.add_argument("--max-instr", type=int, default=24)
+    p.add_argument("--workers", type=int, default=0,
+                   help="fork workers (0 = daemon default)")
+
+    return parser.parse_args(argv)
+
+
+def _build_job(args: argparse.Namespace) -> Dict[str, Any]:
+    job: Dict[str, Any] = {"kind": args.cmd, "benchmark": args.benchmark,
+                           "scale": args.scale}
+    if args.cmd == "compile":
+        job.update(variant=args.variant, opt=args.opt)
+    elif args.cmd == "certify":
+        if args.variants:
+            job["variants"] = [v.strip() for v in args.variants.split(",")
+                               if v.strip()]
+        if args.opt:
+            job["opt_levels"] = [int(o) for o in args.opt.split(",")]
+    else:
+        job.update(variant=args.variant, target=args.target,
+                   trials=args.trials, seed=args.seed,
+                   max_wave=args.max_wave, max_instr=args.max_instr,
+                   workers=args.workers)
+    return job
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parse_args(argv)
+    try:
+        client = ServeClient(path=args.socket, host=args.host,
+                             port=args.port, timeout=args.timeout)
+    except OSError as exc:
+        print(f"cannot connect to daemon: {exc}", file=sys.stderr)
+        return 2
+
+    with client:
+        try:
+            if args.cmd in ("ping", "status", "drain"):
+                print(json.dumps(getattr(client, args.cmd)(), indent=2,
+                                 sort_keys=True))
+                return 0
+            last: Dict[str, Any] = {}
+            for event in client.iter_submit(
+                    _build_job(args), priority=args.priority,
+                    deadline_s=args.deadline):
+                last = event
+                if not args.quiet or event.get("event") in TERMINAL_EVENTS:
+                    print(json.dumps(event, sort_keys=True))
+            return 0 if last.get("event") in ("result", "checkpointed") else 1
+        except (ConnectionError, ProtocolError, OSError) as exc:
+            print(f"connection failed: {exc}", file=sys.stderr)
+            return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

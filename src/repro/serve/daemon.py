@@ -1,0 +1,513 @@
+"""The serve daemon: asyncio front end over the orchestrator subsystems.
+
+One long-lived process owns everything expensive — the process-wide
+compile cache (memory + optional disk tier), the result store, and the
+bounded job-runner slots — and multiplexes any number of client
+connections onto them over a local Unix socket (or TCP for containers
+without a shared filesystem).
+
+Job lifecycle::
+
+    submit ──> result-store hit ───────────────────────────> result(cached)
+          └──> in-flight key match (coalesced subscriber) ─┐
+          └──> priority queue ── runner slot ── executor ──┴─> result
+                    │                 │                        checkpointed
+                    │ (cancel/drain)  │ (cancel, deadline)     cancelled
+                    └─────────────────┴──────────────────────> error
+
+* **Priority queue** — lower number runs first; FIFO within a priority
+  (tie-broken by submission sequence).  ``deadline_s`` is a wall-clock
+  budget covering queue time *and* run time: a job whose deadline
+  expires while queued is failed without running; one that deadlines
+  mid-run is stopped cooperatively and reported as a ``deadline`` error
+  (campaigns keep their journal, so nothing is lost).
+* **Cancellation** — a queued job is dropped; a running job gets its
+  stop event and checkpoints at the next trial boundary.
+* **Single-flight dedup** — submissions are keyed by the structural
+  kernel fingerprint plus canonical parameters (:func:`.protocol.job_key`).
+  A key that is already running or queued attaches the new client as a
+  subscriber instead of enqueueing a duplicate; a key already in the
+  result store is answered immediately.  Either way the expensive work
+  happens exactly once per distinct key.
+* **Graceful drain** — SIGTERM/SIGINT (or the ``drain`` op): stop
+  accepting submissions, cancel the queued tail, signal running jobs to
+  checkpoint, wait (bounded) for them to flush their journals, notify
+  every subscriber, then exit.  Campaign journals written under
+  ``journal_dir`` are ``resume=True``, so resubmitting a drained
+  campaign completes it instead of restarting it.
+
+Executors run in threads (``asyncio.to_thread``) with at most
+``max_jobs`` in flight; campaign jobs may additionally fork
+orchestrator pool workers, which inherit the warm compile cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..compiler.cache import CompileCache, default_cache, set_default_cache
+from .jobs import JobError, execute_job
+from .protocol import (
+    DEFAULT_SOCKET,
+    PROTOCOL_VERSION,
+    JobSpec,
+    ProtocolError,
+    decode_line,
+    encode_line,
+    job_key,
+    parse_job,
+)
+from .store import ResultStore
+
+#: Job states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+CANCELLED = "cancelled"
+CHECKPOINTED = "checkpointed"
+FAILED = "error"
+
+
+@dataclass
+class ServeConfig:
+    """Daemon configuration (mirrors the ``python -m repro.serve`` flags)."""
+
+    socket: Optional[str] = DEFAULT_SOCKET   # unix socket path
+    host: Optional[str] = None               # set for TCP instead
+    port: int = 0
+    max_jobs: int = 2                        # concurrent runner slots
+    job_workers: int = 1                     # default fork workers/campaign
+    journal_dir: Optional[str] = None        # campaign journals (resumable)
+    cache_dir: Optional[str] = None          # compile-cache disk tier
+    drain_grace_s: float = 60.0              # max wait for jobs to checkpoint
+
+
+class _Connection:
+    """One client connection: serialised writes through a send queue."""
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.closed = False
+
+    def send(self, obj: Dict[str, Any]) -> None:
+        if not self.closed:
+            self.queue.put_nowait(obj)
+
+    async def sender(self) -> None:
+        try:
+            while True:
+                obj = await self.queue.get()
+                if obj is None:
+                    break
+                self.writer.write(encode_line(obj))
+                await self.writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self.closed = True
+
+
+@dataclass
+class _Job:
+    jid: int
+    key: str
+    spec: JobSpec
+    priority: int
+    deadline: Optional[float]               # event-loop clock
+    state: str = QUEUED
+    stop: threading.Event = field(default_factory=threading.Event)
+    timed_out: bool = False
+    cancel_requested: bool = False
+    #: (connection, client job tag) pairs fed every event.
+    subscribers: List[Tuple[_Connection, str]] = field(default_factory=list)
+
+
+class ServeDaemon:
+    """Accepts JSON-line jobs, multiplexes them onto runner slots."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        self.store = ResultStore()
+        self.jobs: Dict[int, _Job] = {}
+        self.inflight: Dict[str, _Job] = {}
+        self.running: Set[int] = set()
+        self.connections: Set[_Connection] = set()
+        self.draining = False
+        self.coalesced = 0
+        self.executed = 0
+        self._seq = 0
+        self._queue: "asyncio.PriorityQueue[Tuple[int, int, int]]" = None  # type: ignore[assignment]
+        self._stopped: asyncio.Event = None  # type: ignore[assignment]
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._runners: List[asyncio.Task] = []
+        self._started = threading.Event()    # for start_background()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # -- lifecycle --------------------------------------------------------
+
+    async def run(self) -> None:
+        """Serve until drained; returns after the last job checkpointed."""
+        cfg = self.config
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.PriorityQueue()
+        self._stopped = asyncio.Event()
+
+        if cfg.cache_dir:
+            # Upgrade the process-wide cache to the disk tier; all jobs
+            # (and their forked campaign workers) share it.
+            if default_cache() is None or \
+                    getattr(default_cache(), "disk_dir", None) != cfg.cache_dir:
+                set_default_cache(CompileCache(disk_dir=cfg.cache_dir))
+        if cfg.journal_dir:
+            os.makedirs(cfg.journal_dir, exist_ok=True)
+
+        if cfg.host is not None:
+            self._server = await asyncio.start_server(
+                self._handle_conn, host=cfg.host, port=cfg.port)
+        else:
+            with contextlib.suppress(FileNotFoundError):
+                os.unlink(cfg.socket)
+            self._server = await asyncio.start_unix_server(
+                self._handle_conn, path=cfg.socket)
+
+        # Signal handlers only exist on the main thread; the background
+        # (test) mode drains through the drain op instead.
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+                self._loop.add_signal_handler(sig, self.drain)
+
+        self._runners = [asyncio.create_task(self._runner())
+                         for _ in range(max(1, cfg.max_jobs))]
+        self._started.set()
+        try:
+            await self._stopped.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            for task in self._runners:
+                task.cancel()
+            await asyncio.gather(*self._runners, return_exceptions=True)
+            if cfg.host is None:
+                with contextlib.suppress(FileNotFoundError):
+                    os.unlink(cfg.socket)
+
+    def drain(self) -> None:
+        """Begin graceful shutdown (idempotent; signal-handler safe)."""
+        if self.draining:
+            return
+        self.draining = True
+        for job in list(self.jobs.values()):
+            if job.state == QUEUED:
+                job.state = CANCELLED
+                self.inflight.pop(job.key, None)
+                self._notify(job, {"event": "cancelled", "reason": "drain"})
+            elif job.state == RUNNING:
+                job.stop.set()
+        asyncio.ensure_future(self._finish_drain(), loop=self._loop)
+
+    async def _finish_drain(self) -> None:
+        deadline = self._loop.time() + self.config.drain_grace_s
+        while self.running and self._loop.time() < deadline:
+            await asyncio.sleep(0.05)
+        # Let every connection's sender flush its queued terminal events
+        # before the loop is torn down, or clients would miss the
+        # checkpointed/cancelled notifications the drain produced.
+        while (any(not c.queue.empty() for c in self.connections
+                   if not c.closed) and self._loop.time() < deadline):
+            await asyncio.sleep(0.02)
+        await asyncio.sleep(0.05)
+        self._stopped.set()
+
+    @property
+    def endpoint(self) -> str:
+        if self.config.host is not None:
+            addr = self._server.sockets[0].getsockname()
+            return f"{addr[0]}:{addr[1]}"
+        return self.config.socket
+
+    @property
+    def port(self) -> int:
+        """Bound TCP port (after start; useful with ``port=0``)."""
+        return self._server.sockets[0].getsockname()[1]
+
+    # -- connections ------------------------------------------------------
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        conn = _Connection(writer)
+        self.connections.add(conn)
+        sender = asyncio.create_task(conn.sender())
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    msg = decode_line(line)
+                except ProtocolError as exc:
+                    conn.send({"event": "error", "error": str(exc)})
+                    continue
+                await self._dispatch(conn, msg)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            conn.closed = True
+            self.connections.discard(conn)
+            # Keep running jobs alive — their results still land in the
+            # store — but stop feeding this connection.
+            for job in self.jobs.values():
+                job.subscribers = [(c, t) for c, t in job.subscribers
+                                   if c is not conn]
+            sender.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await sender
+            with contextlib.suppress(ConnectionError):
+                writer.close()
+
+    async def _dispatch(self, conn: _Connection, msg: Dict[str, Any]) -> None:
+        op = msg.get("op")
+        cid = str(msg.get("id", ""))
+        if op == "ping":
+            conn.send({"event": "pong", "version": PROTOCOL_VERSION})
+        elif op == "status":
+            conn.send({"event": "status", **self.status()})
+        elif op == "drain":
+            conn.send({"event": "draining"})
+            self.drain()
+        elif op == "submit":
+            await self._submit(conn, cid, msg)
+        elif op == "cancel":
+            self._cancel(conn, cid, msg)
+        else:
+            conn.send({"event": "error", "id": cid,
+                       "error": f"unknown op {op!r}"})
+
+    def status(self) -> Dict[str, Any]:
+        states: Dict[str, int] = {}
+        for job in self.jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        cache = default_cache()
+        return {
+            "version": PROTOCOL_VERSION,
+            "draining": self.draining,
+            "jobs": states,
+            "executed": self.executed,
+            "coalesced": self.coalesced,
+            "store": self.store.stats(),
+            "cache": None if cache is None else cache.stats.as_dict(),
+        }
+
+    # -- submission -------------------------------------------------------
+
+    async def _submit(self, conn: _Connection, cid: str,
+                      msg: Dict[str, Any]) -> None:
+        if self.draining:
+            conn.send({"event": "error", "id": cid, "status": "rejected",
+                       "error": "daemon is draining"})
+            return
+        try:
+            spec = parse_job(msg.get("job"))
+            priority = int(msg.get("priority", 0))
+            deadline_s = msg.get("deadline_s")
+            if deadline_s is not None and (
+                    not isinstance(deadline_s, (int, float)) or deadline_s <= 0):
+                raise ProtocolError("deadline_s must be a positive number")
+        except ProtocolError as exc:
+            conn.send({"event": "error", "id": cid, "status": "rejected",
+                       "error": str(exc)})
+            return
+        # Key computation builds the kernel once per (benchmark, scale);
+        # off the event loop because a first-touch build is not free.
+        key = await asyncio.to_thread(job_key, spec)
+
+        hit = self.store.get(key)
+        if hit is not None:
+            conn.send({"event": "result", "id": cid, "ok": True,
+                       "cached": True, "key": key, "result": hit})
+            return
+
+        running = self.inflight.get(key)
+        if running is not None and running.state in (QUEUED, RUNNING):
+            # Single-flight: ride the in-progress job instead of
+            # duplicating the work.
+            self.coalesced += 1
+            running.subscribers.append((conn, cid))
+            conn.send({"event": "accepted", "id": cid, "job": running.jid,
+                       "key": key, "coalesced": True})
+            return
+
+        self._seq += 1
+        job = _Job(
+            jid=self._seq, key=key, spec=spec, priority=priority,
+            deadline=(self._loop.time() + deadline_s) if deadline_s else None,
+        )
+        job.subscribers.append((conn, cid))
+        self.jobs[job.jid] = job
+        self.inflight[key] = job
+        self._queue.put_nowait((priority, job.jid, job.jid))
+        conn.send({"event": "accepted", "id": cid, "job": job.jid,
+                   "key": key, "coalesced": False})
+
+    def _cancel(self, conn: _Connection, cid: str, msg: Dict[str, Any]) -> None:
+        job = None
+        if "job" in msg:
+            job = self.jobs.get(msg["job"])
+        else:
+            for candidate in self.jobs.values():
+                if any(c is conn and t == cid for c, t in candidate.subscribers):
+                    job = candidate
+                    break
+        if job is None or job.state not in (QUEUED, RUNNING):
+            conn.send({"event": "error", "id": cid,
+                       "error": "no such cancellable job"})
+            return
+        job.cancel_requested = True
+        if job.state == QUEUED:
+            job.state = CANCELLED
+            self.inflight.pop(job.key, None)
+            self._notify(job, {"event": "cancelled", "reason": "client"})
+        else:
+            job.stop.set()   # runner reports "cancelled" when it returns
+        conn.send({"event": "cancelling", "id": cid, "job": job.jid})
+
+    # -- execution --------------------------------------------------------
+
+    async def _runner(self) -> None:
+        while True:
+            _, _, jid = await self._queue.get()
+            job = self.jobs.get(jid)
+            if job is None or job.state != QUEUED:
+                continue   # cancelled (or drained) while queued
+            if job.deadline is not None and self._loop.time() > job.deadline:
+                job.state = FAILED
+                self.inflight.pop(job.key, None)
+                self._notify(job, {"event": "error", "status": "deadline",
+                                   "error": "deadline expired while queued"})
+                continue
+            job.state = RUNNING
+            self.running.add(job.jid)
+            self.executed += 1
+            watchdog = (asyncio.create_task(self._deadline_watch(job))
+                        if job.deadline is not None else None)
+            loop = self._loop
+
+            def on_event(payload: Dict[str, Any], job=job) -> None:
+                # Called on the executor thread; hop to the event loop.
+                loop.call_soon_threadsafe(self._publish, job, payload)
+
+            try:
+                result = await asyncio.to_thread(
+                    execute_job, job.spec,
+                    should_stop=job.stop.is_set,
+                    on_event=on_event,
+                    journal_dir=self.config.journal_dir,
+                    default_workers=self.config.job_workers,
+                )
+            except JobError as exc:
+                outcome = (FAILED, {"event": "error", "status": "failed",
+                                    **exc.payload})
+            except BaseException as exc:  # noqa: BLE001 - report, keep serving
+                outcome = (FAILED, {"event": "error", "status": "crashed",
+                                    "error": repr(exc)})
+            else:
+                if job.cancel_requested:
+                    outcome = (CANCELLED, {"event": "cancelled",
+                                           "reason": "client",
+                                           "result": result})
+                elif job.timed_out:
+                    outcome = (FAILED, {"event": "error", "status": "deadline",
+                                        "error": "deadline expired",
+                                        "result": result})
+                elif not result.get("complete", True):
+                    # Drain checkpoint: journal flushed, resumable.
+                    outcome = (CHECKPOINTED, {"event": "checkpointed",
+                                              "result": result})
+                else:
+                    self.store.put(job.key, result)
+                    outcome = (DONE, {"event": "result", "ok": True,
+                                      "cached": False, "key": job.key,
+                                      "result": result})
+            finally:
+                if watchdog is not None:
+                    watchdog.cancel()
+                self.running.discard(job.jid)
+            job.state = outcome[0]
+            self.inflight.pop(job.key, None)
+            self._notify(job, outcome[1])
+
+    async def _deadline_watch(self, job: _Job) -> None:
+        delay = job.deadline - self._loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        job.timed_out = True
+        job.stop.set()
+
+    # -- event fan-out ----------------------------------------------------
+
+    def _publish(self, job: _Job, payload: Dict[str, Any]) -> None:
+        event = {"event": payload.get("stream", "progress"), "job": job.jid,
+                 "data": payload.get("data", payload)}
+        for conn, cid in job.subscribers:
+            conn.send({**event, "id": cid})
+
+    def _notify(self, job: _Job, payload: Dict[str, Any]) -> None:
+        for conn, cid in job.subscribers:
+            conn.send({**payload, "id": cid, "job": job.jid})
+
+
+# -- background helper (tests, examples) ------------------------------------
+
+
+class DaemonHandle:
+    """A daemon running on a private event loop in a background thread."""
+
+    def __init__(self, daemon: ServeDaemon, thread: threading.Thread):
+        self.daemon = daemon
+        self.thread = thread
+
+    def drain(self) -> None:
+        loop = self.daemon._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(self.daemon.drain)
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self.thread.join(timeout)
+
+    @property
+    def alive(self) -> bool:
+        return self.thread.is_alive()
+
+
+def start_background(config: Optional[ServeConfig] = None,
+                     ready_timeout: float = 10.0) -> DaemonHandle:
+    """Run a :class:`ServeDaemon` in a daemon thread; wait until bound."""
+    daemon = ServeDaemon(config)
+    failure: List[BaseException] = []
+
+    def runner() -> None:
+        try:
+            asyncio.run(daemon.run())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to starter
+            failure.append(exc)
+            daemon._started.set()
+
+    thread = threading.Thread(target=runner, name="repro-serve", daemon=True)
+    thread.start()
+    if not daemon._started.wait(ready_timeout):
+        raise RuntimeError("serve daemon did not start in time")
+    if failure:
+        raise RuntimeError(f"serve daemon failed to start: {failure[0]!r}")
+    # _started is set just before the listen loop parks; give the loop
+    # one scheduling quantum to actually accept connections.
+    deadline = time.monotonic() + ready_timeout
+    while daemon._server is None and time.monotonic() < deadline:
+        time.sleep(0.01)
+    return DaemonHandle(daemon, thread)

@@ -1,0 +1,197 @@
+"""Job executors: one blocking function per job kind.
+
+These run in a worker thread of the daemon (``asyncio.to_thread``), so
+they are ordinary synchronous code over the existing subsystems —
+``compile_kernel`` + lint for ``compile``, ``repro.tv.certify_matrix``
+for ``certify``, and ``repro.faults.run_campaign`` for ``campaign``.
+The daemon's responsibilities (queueing, deadlines, dedup, streaming)
+stay out of this module; the executors only take two injection points:
+
+* ``on_event(payload)`` — called with ``{"stream": ..., "data": ...}``
+  progress payloads as they happen.  Campaign jobs wire it into the
+  injectable :class:`~repro.orchestrator.Telemetry` and
+  :class:`~repro.orchestrator.Journal` sinks, so the submitting client
+  watches the same events the batch CLI would journal.
+* ``should_stop()`` — cooperative cancellation, polled between trial
+  dispatches.  A stopped campaign checkpoints (journal flushed,
+  ``complete: False``) instead of finishing.
+
+Every executor returns a JSON-safe response dict; a job that cannot
+produce one raises :class:`JobError` whose payload becomes the client's
+``error`` event.  Responses embed exactly the serializers the batch
+CLIs print — ``campaign_report``, ``certify_matrix`` rows,
+``Diagnostic.to_json`` — which is what makes a daemon answer comparable
+bit-for-bit with a batch run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict
+from typing import Any, Callable, Dict, Optional
+
+from ..compiler.cache import kernel_fingerprint
+from ..compiler.lint import run_lints
+from ..compiler.lint.diagnostics import LintError
+from ..compiler.pipeline import compile_kernel
+from ..ir.verify import VerificationError
+from ..kernels.suite import make_benchmark
+from ..orchestrator import Journal, Telemetry
+from ..faults.campaign import campaign_report, run_campaign
+from .protocol import JobSpec
+
+EventSink = Callable[[Dict[str, Any]], None]
+
+
+class JobError(RuntimeError):
+    """A job failed; ``payload`` is the structured error response."""
+
+    def __init__(self, message: str, **payload):
+        super().__init__(message)
+        self.payload = {"error": message, **payload}
+
+
+def _emit(on_event: Optional[EventSink], stream: str, data: Dict[str, Any]) -> None:
+    if on_event is not None:
+        on_event({"stream": stream, "data": data})
+
+
+def execute_job(
+    spec: JobSpec,
+    *,
+    should_stop: Optional[Callable[[], bool]] = None,
+    on_event: Optional[EventSink] = None,
+    journal_dir: Optional[str] = None,
+    default_workers: int = 1,
+) -> Dict[str, Any]:
+    """Run one job to completion (or checkpoint); return its response."""
+    if spec.kind == "compile":
+        return run_compile_job(spec, on_event=on_event)
+    if spec.kind == "certify":
+        return run_certify_job(spec, on_event=on_event)
+    return run_campaign_job(spec, should_stop=should_stop, on_event=on_event,
+                            journal_dir=journal_dir,
+                            default_workers=default_workers)
+
+
+def run_compile_job(spec: JobSpec, on_event: Optional[EventSink] = None) -> Dict:
+    """Kernel spec → variant/opt build through the full default pipeline.
+
+    The compile goes through the process-wide compile cache: on a hit
+    the lint + TV cost was paid when the artifact was first built (the
+    pipeline rejects uncertified compiles), so ``certified`` is sound
+    for cached artifacts too.  Residual warning-severity diagnostics are
+    re-derived from the compiled kernel — ``run_lints`` is pure
+    analysis — and serialised through the shared ``Diagnostic.to_json``.
+    """
+    p = spec.as_dict()
+    bench = make_benchmark(p["benchmark"], scale=p["scale"])
+    kernel = bench.build()
+    fingerprint = kernel_fingerprint(kernel)
+    _emit(on_event, "compile", {"stage": "build", "kernel": kernel.name,
+                                "fingerprint": fingerprint})
+    try:
+        compiled = compile_kernel(kernel, p["variant"], optimize=bool(p["opt"]))
+    except LintError as exc:
+        raise JobError(str(exc),
+                       diagnostics=[d.to_json() for d in exc.diagnostics])
+    except VerificationError as exc:
+        raise JobError(str(exc))
+    warnings = [d.to_json() for d in run_lints(compiled.kernel)]
+    return {
+        "fingerprint": fingerprint,
+        "benchmark": p["benchmark"],
+        "scale": p["scale"],
+        "variant": p["variant"],
+        "opt": p["opt"],
+        "kernel": compiled.kernel.name,
+        "certified": True,
+        "diagnostics": warnings,
+        "resources": asdict(compiled.resources),
+        "scalar_instrs": len(compiled.scalar_instrs),
+    }
+
+
+def run_certify_job(spec: JobSpec, on_event: Optional[EventSink] = None) -> Dict:
+    """TV matrix for one kernel — the daemon face of ``repro.tv``."""
+    from ..tv import certify_matrix
+
+    p = spec.as_dict()
+
+    def on_row(target: str, row: Dict) -> None:
+        _emit(on_event, "row", {"target": target,
+                                "ok": bool(row.get("ok", False))})
+
+    rows, summary = certify_matrix(
+        [p["benchmark"]], p["variants"], p["opt_levels"], scale=p["scale"],
+        on_row=on_row)
+    return {
+        "fingerprint": kernel_fingerprint(
+            make_benchmark(p["benchmark"], scale=p["scale"]).build()),
+        "results": rows,
+        "summary": summary,
+        "ok": summary["certified"] == summary["total"],
+    }
+
+
+def run_campaign_job(
+    spec: JobSpec,
+    *,
+    should_stop: Optional[Callable[[], bool]] = None,
+    on_event: Optional[EventSink] = None,
+    journal_dir: Optional[str] = None,
+    default_workers: int = 1,
+) -> Dict:
+    """Fault-injection sweep with streaming telemetry + journal events.
+
+    The journal lives under ``journal_dir`` named by the job's dedup key
+    material (benchmark/variant/target/trials/seed), opened with
+    ``resume=True``: a checkpointed or killed campaign job that is
+    resubmitted picks up exactly where the journal ends.
+    """
+    p = spec.as_dict()
+    workers = p["workers"] if p["workers"] > 0 else default_workers
+
+    tel = Telemetry(
+        label=spec.label,
+        on_event=None if on_event is None else (
+            lambda ev: _emit(on_event, "telemetry", ev.as_dict())),
+    )
+
+    jnl = None
+    journal_path = None
+    if journal_dir is not None:
+        os.makedirs(journal_dir, exist_ok=True)
+        stem = (f"{p['benchmark']}_{p['variant']}_{p['target']}"
+                f"_t{p['trials']}_s{p['seed']}").replace("+", "p")
+        journal_path = os.path.join(journal_dir, f"{stem}.jsonl")
+        jnl = Journal(
+            journal_path, resume=True,
+            meta={
+                "kind": "fault-campaign",
+                "benchmark": p["benchmark"], "variant": p["variant"],
+                "target": p["target"], "trials": p["trials"],
+                "seed": p["seed"], "max_wave": p["max_wave"],
+                "max_instr": p["max_instr"],
+            },
+            on_append=None if on_event is None else (
+                lambda entry: _emit(on_event, "journal", entry)),
+        )
+
+    result = run_campaign(
+        lambda: make_benchmark(p["benchmark"], scale=p["scale"]),
+        p["variant"], p["target"],
+        trials=p["trials"], seed=p["seed"],
+        max_wave=p["max_wave"], max_instr=p["max_instr"],
+        workers=workers, timeout_s=p["timeout_s"],
+        max_retries=p["max_retries"],
+        journal=jnl, telemetry=tel, should_stop=should_stop,
+    )
+    complete = result.trials >= p["trials"]
+    doc = {
+        "campaign": campaign_report(result, tel),
+        "complete": complete,
+    }
+    if journal_path is not None:
+        doc["journal"] = journal_path
+    return doc

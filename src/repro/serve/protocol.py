@@ -1,0 +1,214 @@
+"""Wire protocol for the serve daemon: JSON lines, job specs, job keys.
+
+Everything on the socket is newline-delimited JSON (one object per
+line, UTF-8) — the same deliberately dumb framing as the orchestrator
+journal, so a session can be driven by ``nc`` and inspected with
+``jq``.  Client → server messages carry an ``op``; server → client
+messages carry an ``event`` plus the client's job tag ``id`` when they
+belong to a submission.
+
+Client ops::
+
+    {"op": "submit", "id": "c1", "priority": 0, "deadline_s": 30.0,
+     "job": {"kind": "compile", "benchmark": "FWT", "variant": "intra+lds"}}
+    {"op": "cancel", "id": "c1"}          # or {"op": "cancel", "job": 7}
+    {"op": "status"} | {"op": "ping"} | {"op": "drain"}
+
+Server events: ``accepted``, ``telemetry`` / ``journal`` / ``row``
+(streamed progress), and exactly one terminal event per submission —
+``result``, ``checkpointed``, ``cancelled``, or ``error``.
+
+This module also owns the two identity notions the daemon multiplexes
+on:
+
+* :func:`parse_job` validates and *canonicalises* a job payload — every
+  parameter is defaulted and type-checked here, so the daemon and the
+  result store only ever see fully-resolved specs and two spellings of
+  the same request cannot diverge;
+* :func:`job_key` is the multi-tenant dedup key: the structural kernel
+  fingerprint of :func:`repro.compiler.cache.kernel_fingerprint` (so
+  the key names the *kernel content*, not the submission) combined with
+  the canonical job parameters.  Identical submissions from different
+  clients share one key, which is what lets the daemon compile once and
+  serve everyone from the result store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..compiler.cache import kernel_fingerprint
+from ..compiler.pipeline import RMT_VARIANTS
+from ..faults.injector import TARGETS
+from ..kernels.suite import SUITE
+
+PROTOCOL_VERSION = 1
+
+#: Default Unix socket path (override with --socket / REPRO_SERVE_SOCKET).
+DEFAULT_SOCKET = os.environ.get("REPRO_SERVE_SOCKET", ".repro-serve.sock")
+
+JOB_KINDS = ("compile", "certify", "campaign")
+
+#: Certify defaults mirror the ``repro.tv`` CLI matrix.
+CERTIFY_VARIANTS = ("original", "intra+lds", "intra-lds", "inter")
+
+SCALES = ("small", "paper")
+
+
+class ProtocolError(ValueError):
+    """A malformed message or an invalid job specification."""
+
+
+def encode_line(obj: Dict[str, Any]) -> bytes:
+    """One protocol message as a JSON line (sorted keys, compact)."""
+    return (json.dumps(obj, sort_keys=True, separators=(",", ":")) + "\n").encode()
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"undecodable message: {exc}") from None
+    if not isinstance(obj, dict):
+        raise ProtocolError("message must be a JSON object")
+    return obj
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One fully-resolved, validated job: kind + canonical parameters."""
+
+    kind: str
+    params: Tuple[Tuple[str, Any], ...]   # sorted, hashable
+
+    def param(self, name: str) -> Any:
+        return dict(self.params)[name]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, **dict(self.params)}
+
+    @property
+    def label(self) -> str:
+        p = dict(self.params)
+        if self.kind == "compile":
+            return f"compile {p['benchmark']}/{p['variant']}@O{p['opt']}"
+        if self.kind == "certify":
+            return f"certify {p['benchmark']}"
+        return (f"campaign {p['benchmark']}/{p['variant']}/{p['target']}"
+                f" x{p['trials']}")
+
+
+def _require(payload: Dict, name: str, choices=None) -> Any:
+    value = payload.get(name)
+    if value is None:
+        raise ProtocolError(f"job is missing required field {name!r}")
+    if choices is not None and value not in choices:
+        raise ProtocolError(
+            f"unknown {name} {value!r}; choose from {', '.join(choices)}")
+    return value
+
+
+def _int_field(payload: Dict, name: str, default: int, lo: int, hi: int) -> int:
+    value = payload.get(name, default)
+    if not isinstance(value, int) or isinstance(value, bool) or not lo <= value <= hi:
+        raise ProtocolError(f"{name} must be an integer in [{lo}, {hi}]")
+    return value
+
+
+def parse_job(payload: Any) -> JobSpec:
+    """Validate a job payload and canonicalise every parameter.
+
+    Unknown fields are rejected rather than ignored: a client typo like
+    ``"trails"`` silently running a 32-trial default campaign would be
+    worse than an error.
+    """
+    if not isinstance(payload, dict):
+        raise ProtocolError("job must be a JSON object")
+    kind = _require(payload, "kind", JOB_KINDS)
+    benchmark = _require(payload, "benchmark", tuple(SUITE))
+    scale = payload.get("scale", "small")
+    if scale not in SCALES:
+        raise ProtocolError(f"unknown scale {scale!r}; choose from {SCALES}")
+
+    known = {"kind", "benchmark", "scale"}
+    params: Dict[str, Any] = {"benchmark": benchmark, "scale": scale}
+    if kind == "compile":
+        known |= {"variant", "opt"}
+        variant = payload.get("variant", "original")
+        if variant not in RMT_VARIANTS:
+            raise ProtocolError(f"unknown variant {variant!r}")
+        params["variant"] = variant
+        params["opt"] = _int_field(payload, "opt", 0, 0, 1)
+    elif kind == "certify":
+        known |= {"variants", "opt_levels"}
+        variants = payload.get("variants", list(CERTIFY_VARIANTS))
+        if (not isinstance(variants, list) or not variants
+                or any(v not in RMT_VARIANTS for v in variants)):
+            raise ProtocolError(f"variants must be a non-empty list from "
+                                f"{', '.join(RMT_VARIANTS)}")
+        opt_levels = payload.get("opt_levels", [0, 1])
+        if (not isinstance(opt_levels, list) or not opt_levels
+                or any(o not in (0, 1) for o in opt_levels)):
+            raise ProtocolError("opt_levels must be a non-empty list from {0,1}")
+        # Tuples, not lists: params must stay hashable for the frozen
+        # JobSpec (and tuples serialise as JSON arrays anyway).
+        params["variants"] = tuple(variants)
+        params["opt_levels"] = tuple(opt_levels)
+    else:  # campaign
+        known |= {"variant", "target", "trials", "seed", "max_wave",
+                  "max_instr", "workers", "timeout_s", "max_retries"}
+        variant = payload.get("variant", "intra+lds")
+        if variant not in RMT_VARIANTS:
+            raise ProtocolError(f"unknown variant {variant!r}")
+        params["variant"] = variant
+        params["target"] = _require(payload, "target", TARGETS) \
+            if "target" in payload else "vgpr"
+        params["trials"] = _int_field(payload, "trials", 32, 1, 1_000_000)
+        params["seed"] = _int_field(payload, "seed", 1234, 0, 2**63 - 1)
+        params["max_wave"] = _int_field(payload, "max_wave", 8, 1, 4096)
+        params["max_instr"] = _int_field(payload, "max_instr", 24, 1, 1_000_000)
+        params["workers"] = _int_field(payload, "workers", 0, 0, 256)
+        params["max_retries"] = _int_field(payload, "max_retries", 1, 0, 16)
+        timeout_s = payload.get("timeout_s")
+        if timeout_s is not None and (
+                not isinstance(timeout_s, (int, float)) or timeout_s <= 0):
+            raise ProtocolError("timeout_s must be a positive number")
+        params["timeout_s"] = timeout_s
+
+    unknown = set(payload) - known
+    if unknown:
+        raise ProtocolError(f"unknown job field(s): {', '.join(sorted(unknown))}")
+    return JobSpec(kind=kind, params=tuple(sorted(params.items())))
+
+
+# -- job keys ---------------------------------------------------------------
+
+#: (benchmark, scale) → structural kernel fingerprint.  Kernel builds are
+#: deterministic, so memoising per daemon process is sound and keeps key
+#: computation off the hot submit path after the first request.
+_FP_MEMO: Dict[Tuple[str, str], str] = {}
+
+
+def benchmark_fingerprint(benchmark: str, scale: str) -> str:
+    """Structural fingerprint of one suite benchmark's (original) kernel."""
+    memo_key = (benchmark, scale)
+    fp = _FP_MEMO.get(memo_key)
+    if fp is None:
+        from ..kernels.suite import make_benchmark
+
+        fp = kernel_fingerprint(make_benchmark(benchmark, scale=scale).build())
+        _FP_MEMO[memo_key] = fp
+    return fp
+
+
+def job_key(spec: JobSpec) -> str:
+    """Content-addressed dedup key: kernel fingerprint + canonical params."""
+    p = dict(spec.params)
+    fp = benchmark_fingerprint(p["benchmark"], p["scale"])
+    blob = json.dumps({"kind": spec.kind, "fingerprint": fp, **p},
+                      sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(f"serve-v{PROTOCOL_VERSION}|{blob}".encode()).hexdigest()

@@ -1,0 +1,61 @@
+"""Result store: finished job responses keyed by content-addressed job key.
+
+The store is the multi-tenant memo on top of the compile cache: where
+the compile cache dedups *pipeline work* inside one process, the result
+store dedups whole *job responses* across clients — a second tenant
+submitting a structurally identical request is answered from here
+without touching the queue at all.
+
+Deliberately tiny and event-loop-confined: the daemon is the only
+reader and writer, always from the asyncio thread, so there is no
+locking.  Entries are plain JSON-safe dicts; lookups return deep copies
+so a client-side (or daemon-side) mutation can never poison the memo.
+Only *complete* successful results are stored — a checkpointed or
+cancelled campaign must re-run (resuming its journal), not be replayed
+as if finished.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, List, Optional
+
+
+class ResultStore:
+    """Bounded in-memory map of job key → finished response payload."""
+
+    def __init__(self, max_entries: int = 1024):
+        self.max_entries = max_entries
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._order: List[str] = []
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return copy.deepcopy(entry)
+
+    def put(self, key: str, result: Dict[str, Any]) -> None:
+        if key not in self._entries and len(self._order) >= self.max_entries:
+            oldest = self._order.pop(0)
+            self._entries.pop(oldest, None)
+        if key not in self._entries:
+            self._order.append(key)
+        self._entries[key] = copy.deepcopy(result)
+        self.stores += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }

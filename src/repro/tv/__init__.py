@@ -18,7 +18,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..compiler.pipeline import RMT_VARIANTS, compile_kernel
 from ..compiler.tv import TvReport, validate_compile
@@ -78,6 +78,64 @@ def _split(arg: Optional[str]) -> Optional[List[str]]:
     return [x.strip() for x in arg.split(",") if x.strip()]
 
 
+def certify_matrix(
+    abbrevs: Sequence[str],
+    variants: Sequence[str],
+    opt_levels: Sequence[int],
+    scale: str = "small",
+    on_row: Optional[Callable[[str, Dict], None]] = None,
+) -> Tuple[List[Dict], Dict[str, int]]:
+    """Certify the kernel × variant × opt matrix; return ``(rows, summary)``.
+
+    The engine behind both ``python -m repro.tv`` and the serve daemon's
+    ``certify`` job, so the two surfaces cannot drift: each row is one
+    compile's :meth:`~repro.compiler.tv.TvReport.to_json` (plus its
+    ``target`` name), or ``{"target", "ok": False, "error"}`` when the
+    compile itself failed verification.  ``on_row`` observes rows as
+    they are produced (the CLI prints them; the daemon streams them).
+    Raises :class:`KeyError` for an unknown benchmark abbreviation.
+    """
+    rows: List[Dict] = []
+    summary = {"total": 0, "certified": 0, "failed": 0, "unproven": 0,
+               "compile_failures": 0}
+    for abbrev in abbrevs:
+        bench = make_benchmark(abbrev, scale=scale)
+        for variant in variants:
+            for opt in opt_levels:
+                target = f"{abbrev}/{variant}@O{opt}"
+                kernel = bench.build()
+                try:
+                    # cache=False: the proof anchors transformed values
+                    # to THIS kernel's register objects, so the
+                    # certifier must run the real transformation — a
+                    # cached compile (from a structurally identical
+                    # build) would be unprovable by construction.
+                    compiled = compile_kernel(
+                        kernel, variant, optimize=bool(opt),
+                        lint=False, validate=False, cache=False,
+                    )
+                except VerificationError as exc:
+                    summary["compile_failures"] += 1
+                    row = {"target": target, "ok": False, "error": str(exc)}
+                else:
+                    report: TvReport = validate_compile(
+                        kernel, compiled.kernel, variant=variant,
+                        raise_on_failure=False)
+                    row = report.to_json()
+                    row["target"] = target
+                    if report.ok:
+                        summary["certified"] += 1
+                    elif report.failures:
+                        summary["failed"] += 1
+                    else:
+                        summary["unproven"] += 1
+                rows.append(row)
+                if on_row is not None:
+                    on_row(target, row)
+    summary["total"] = len(rows)
+    return rows, summary
+
+
 def _run_selftest(args: argparse.Namespace) -> int:
     from .selftest import format_selftest, run_selftest
 
@@ -112,68 +170,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               file=sys.stderr)
         return 2
 
-    rows: List[Dict] = []
-    certified = failed = unproven = crashed = 0
-    for abbrev in abbrevs:
-        try:
-            bench = make_benchmark(abbrev, scale=args.scale)
-        except KeyError as exc:
-            print(f"unknown kernel {abbrev!r}: {exc}", file=sys.stderr)
-            return 2
-        for variant in variants:
-            for opt in opt_levels:
-                target = f"{abbrev}/{variant}@O{opt}"
-                kernel = bench.build()
-                try:
-                    # cache=False: the proof anchors transformed values
-                    # to THIS kernel's register objects, so the
-                    # certifier must run the real transformation — a
-                    # cached compile (from a structurally identical
-                    # build) would be unprovable by construction.
-                    compiled = compile_kernel(
-                        kernel, variant, optimize=bool(opt),
-                        lint=False, validate=False, cache=False,
-                    )
-                except VerificationError as exc:
-                    crashed += 1
-                    rows.append({"target": target, "ok": False,
-                                 "error": str(exc)})
-                    print(f"{target}: compile failed: {exc}")
-                    continue
-                report: TvReport = validate_compile(
-                    kernel, compiled.kernel, variant=variant,
-                    raise_on_failure=False)
-                row = report.to_json()
-                row["target"] = target
-                rows.append(row)
-                if report.ok:
-                    certified += 1
-                    if not (args.quiet or args.json):
-                        print(f"{target}: certified "
-                              f"({report.transformed})")
-                else:
-                    if report.failures:
-                        failed += 1
-                    else:
-                        unproven += 1
-                    if not args.json:
-                        print(f"{target}: NOT certified")
-                        for w in report.witnesses:
-                            print(f"  {w}")
+    from ..compiler.tv.obligations import TvWitness
 
-    total = len(rows)
-    ok = certified == total
+    def on_row(target: str, row: Dict) -> None:
+        if "error" in row:
+            print(f"{target}: compile failed: {row['error']}")
+        elif row["ok"]:
+            if not (args.quiet or args.json):
+                print(f"{target}: certified "
+                      f"({row['transformed']})")
+        elif not args.json:
+            print(f"{target}: NOT certified")
+            for w in row["witnesses"]:
+                print(f"  {TvWitness(**w)}")
+
+    try:
+        rows, summary = certify_matrix(
+            abbrevs, variants, opt_levels, scale=args.scale, on_row=on_row)
+    except KeyError as exc:
+        print(f"unknown kernel: {exc}", file=sys.stderr)
+        return 2
+
+    ok = summary["certified"] == summary["total"]
     if args.json:
         print(json.dumps({
             "results": rows,
-            "summary": {
-                "total": total, "certified": certified, "failed": failed,
-                "unproven": unproven, "compile_failures": crashed,
-            },
+            "summary": summary,
             "ok": ok,
         }, indent=2))
     else:
-        print(f"certified {certified}/{total} compile(s): {failed} with "
-              f"failed obligations, {unproven} unproven, {crashed} compile "
-              "failure(s)")
+        print(f"certified {summary['certified']}/{summary['total']} "
+              f"compile(s): {summary['failed']} with failed obligations, "
+              f"{summary['unproven']} unproven, "
+              f"{summary['compile_failures']} compile failure(s)")
     return 0 if ok else 1

@@ -234,3 +234,77 @@ class TestCliFast:
             campaign_main(["--help"])
         assert exc.value.code == 0
         assert "campaign" in capsys.readouterr().out
+
+
+class TestCheckpointAndJournalClose:
+    """Regression: every exit path closes the journal and stays resumable."""
+
+    def test_should_stop_checkpoints_then_resumes(self, tmp_path):
+        path = str(tmp_path / "ckpt.jsonl")
+        polls = {"n": 0}
+
+        def stop_soon():
+            polls["n"] += 1
+            return polls["n"] > 2
+
+        partial = fwt_campaign(journal=path, should_stop=stop_soon)
+        assert 0 < partial.trials < CAMPAIGN["trials"]
+        header, entries = read_journal(path)
+        # No final "campaign" summary entry: the journal says unfinished.
+        assert all(e["kind"] == "trial" for e in entries)
+        assert len(entries) == partial.trials
+
+        full = fwt_campaign(journal=path, resume=True)
+        assert full.trials == CAMPAIGN["trials"]
+        _, entries = read_journal(path)
+        kinds = [e["kind"] for e in entries]
+        assert kinds.count("trial") == CAMPAIGN["trials"]
+        assert kinds[-1] == "campaign"
+        # The resumed histogram matches an uninterrupted run bit for bit.
+        assert full.to_json() == fwt_campaign().to_json()
+
+    def test_interrupt_closes_journal_and_resumes(self, tmp_path):
+        from repro.orchestrator import Journal
+
+        path = str(tmp_path / "intr.jsonl")
+        meta = {"kind": "fault-campaign", "benchmark": "FWT",
+                "variant": "intra+lds", "target": "vgpr",
+                "trials": CAMPAIGN["trials"], "seed": CAMPAIGN["seed"]}
+        jnl = Journal(path, meta=meta)
+
+        def boom(ev):
+            if ev.kind == "done":
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            fwt_campaign(journal=jnl, telemetry=Telemetry(on_event=boom))
+        assert jnl._fh is None  # closed on the interrupt path
+        header, entries = read_journal(path)  # valid file, no half-open fh
+
+        resumed = fwt_campaign(journal=path, resume=True)
+        assert resumed.trials == CAMPAIGN["trials"]
+        assert resumed.to_json() == fwt_campaign().to_json()
+
+    def test_injected_journal_streams_entries(self, tmp_path):
+        from repro.orchestrator import Journal
+
+        path = str(tmp_path / "sink.jsonl")
+        seen = []
+        jnl = Journal(path, meta={"kind": "fault-campaign",
+                                  "benchmark": "FWT"},
+                      on_append=seen.append)
+        res = fwt_campaign(journal=jnl)
+        assert res.trials == CAMPAIGN["trials"]
+        assert [e["kind"] for e in seen].count("trial") == CAMPAIGN["trials"]
+        assert seen[-1]["kind"] == "campaign"
+        # Sink observed exactly what reached the disk.
+        _, entries = read_journal(path)
+        assert entries == seen
+
+    def test_injected_journal_meta_mismatch_rejected(self, tmp_path):
+        from repro.orchestrator import Journal, JournalError
+
+        path = str(tmp_path / "mismatch.jsonl")
+        fwt_campaign(journal=path)  # seed=3 on disk
+        with pytest.raises(JournalError, match="different campaign"):
+            fwt_campaign(journal=path, resume=True, seed=4)

@@ -138,3 +138,89 @@ class TestPool:
         assert all(tr.status == STATUS_OK for tr in r.values())
         assert all(tr.shard in (0, 1) for tr in r.values())
         assert all(tr.duration_s >= 0 for tr in r.values())
+
+
+def sleepy(x):
+    if x > 1:
+        time.sleep(30)
+    return x
+
+
+class TestShutdownAndCancellation:
+    """Regression: interrupted runs must reap workers, not leak them."""
+
+    def test_should_stop_serial_returns_partial(self):
+        polls = {"n": 0}
+
+        def stop_after_three():
+            polls["n"] += 1
+            return polls["n"] > 3
+
+        r = run_tasks([(i, i) for i in range(10)], square, workers=1,
+                      should_stop=stop_after_three)
+        assert 0 < len(r) < 10
+        assert all(tr.ok for tr in r.values())
+
+    @needs_fork
+    def test_should_stop_pool_checkpoints_and_reaps(self):
+        import multiprocessing
+
+        stop = {"go": False}
+
+        def work(x):
+            time.sleep(0.05)
+            return x
+
+        def should_stop():
+            return stop["go"]
+
+        def flip(_ev):
+            stop["go"] = True
+
+        tel = Telemetry(on_event=flip)   # first event flips the stop flag
+        t0 = time.monotonic()
+        r = run_tasks([(i, i) for i in range(100)], work, workers=2,
+                      telemetry=tel, should_stop=should_stop)
+        assert time.monotonic() - t0 < 20
+        # In-flight tasks finished, undispatched ones were abandoned.
+        assert 0 < len(r) < 100
+        for _ in range(100):
+            if not multiprocessing.active_children():
+                break
+            time.sleep(0.05)
+        assert not multiprocessing.active_children()
+
+    @needs_fork
+    def test_interrupt_in_parent_loop_reaps_workers(self):
+        """A ^C while workers are mid-task must not leave zombies."""
+        import multiprocessing
+
+        def boom(ev):
+            if ev.kind == "done":
+                raise KeyboardInterrupt
+
+        tel = Telemetry(on_event=boom)
+        t0 = time.monotonic()
+        with pytest.raises(KeyboardInterrupt):
+            run_tasks([(i, i) for i in range(8)], sleepy, workers=2,
+                      telemetry=tel)
+        # Abnormal shutdown terminates the sleepers instead of waiting
+        # out their 30s naps.
+        assert time.monotonic() - t0 < 20
+        for _ in range(100):
+            if not multiprocessing.active_children():
+                break
+            time.sleep(0.05)
+        assert not multiprocessing.active_children()
+
+    @needs_fork
+    def test_graceful_completion_leaves_no_children(self):
+        import multiprocessing
+
+        r = run_tasks([(i, i) for i in range(10)], square, workers=3)
+        assert len(r) == 10
+        for _ in range(100):
+            if not multiprocessing.active_children():
+                break
+            time.sleep(0.05)
+        assert not multiprocessing.active_children()

@@ -1,0 +1,326 @@
+"""End-to-end daemon tests: concurrency, dedup, cancellation, drain.
+
+The daemon runs in-process (`start_background`) for most tests — real
+Unix sockets, real threads, private event loop — and as a genuine
+subprocess for the SIGTERM drain test.  Socket paths live under a short
+``/tmp`` tempdir because ``AF_UNIX`` paths are limited to ~108 bytes
+(pytest's ``tmp_path`` can exceed that).
+"""
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+import pytest
+
+from repro.faults import campaign_report, run_campaign
+from repro.kernels import SMALL_SUITE
+from repro.orchestrator import read_journal
+from repro.serve import ServeClient, ServeConfig, ServeError, start_background
+from repro.tv import certify_matrix
+
+#: One fast campaign spec shared by the dedup/bit-identity tests.
+CAMPAIGN_JOB = {"kind": "campaign", "benchmark": "FWT", "trials": 6,
+                "seed": 7, "max_wave": 2, "max_instr": 12}
+#: A campaign long enough to cancel/drain mid-flight.
+LONG_CAMPAIGN = {"kind": "campaign", "benchmark": "FWT", "trials": 40,
+                 "seed": 11, "max_wave": 2, "max_instr": 12}
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+                   "src")
+
+
+@pytest.fixture()
+def served():
+    """A background daemon on a fresh short-path socket; drains on exit."""
+    root = tempfile.mkdtemp(dir="/tmp", prefix="rsrv-")
+    sock = os.path.join(root, "d.sock")
+    handle = start_background(ServeConfig(
+        socket=sock, max_jobs=2, job_workers=1,
+        journal_dir=os.path.join(root, "journals"),
+        drain_grace_s=30.0,
+    ))
+    try:
+        yield handle, sock, root
+    finally:
+        handle.drain()
+        handle.join(30)
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def strip_telemetry(doc):
+    return {k: v for k, v in doc.items() if k != "telemetry"}
+
+
+class TestBasics:
+    def test_ping_status_and_bad_ops(self, served):
+        _, sock, _ = served
+        with ServeClient(sock, timeout=30) as c:
+            assert c.ping()["event"] == "pong"
+            status = c.status()
+            assert status["event"] == "status" and not status["draining"]
+            c._send({"op": "frobnicate"})
+            assert "unknown op" in c._recv()["error"]
+            c._send({"op": "submit", "id": "x", "job": {"kind": "compile"}})
+            ev = c._recv()
+            assert ev["event"] == "error" and ev["status"] == "rejected"
+
+    def test_compile_job(self, served):
+        _, sock, _ = served
+        with ServeClient(sock, timeout=60) as c:
+            r = c.compile("FWT", variant="intra+lds")
+            assert r["event"] == "result" and not r["cached"]
+            res = r["result"]
+            assert res["certified"] and res["variant"] == "intra+lds"
+            assert res["fingerprint"] and res["resources"]["vgprs_per_workitem"] > 0
+
+    def test_compile_failure_reports_error(self, served):
+        _, sock, _ = served
+        with ServeClient(sock, timeout=60) as c:
+            with pytest.raises(ServeError):
+                c.submit({"kind": "campaign", "benchmark": "FWT",
+                          "trials": -1})
+
+
+class TestDedup:
+    def test_duplicate_fingerprint_compiled_exactly_once(self, served):
+        """Two tenants, same structural kernel: one compile, two answers."""
+        handle, sock, _ = served
+        job = {"kind": "compile", "benchmark": "FWT",
+               "variant": "intra+lds", "opt": 1}
+        with ServeClient(sock, timeout=60) as a:
+            first = a.submit(job)
+        with ServeClient(sock, timeout=60) as b:
+            second = b.submit(job)
+        assert not first["cached"] and second["cached"]
+        assert first["key"] == second["key"]
+        assert first["result"] == second["result"]
+        daemon = handle.daemon
+        assert daemon.executed == 1                 # one job ran, ever
+        stats = daemon.store.stats()
+        assert stats["stores"] == 1 and stats["hits"] == 1
+
+    def test_inflight_duplicates_coalesce(self, served):
+        """Same key submitted while running: single-flight, both answered."""
+        handle, sock, _ = served
+        results = {}
+
+        def submit(name):
+            with ServeClient(sock, timeout=120) as c:
+                events = list(c.iter_submit(dict(CAMPAIGN_JOB)))
+                results[name] = events
+
+        threads = [threading.Thread(target=submit, args=(n,))
+                   for n in ("a", "b")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(120)
+        terminals = {n: evs[-1] for n, evs in results.items()}
+        assert all(t["event"] == "result" for t in terminals.values())
+        assert (strip_telemetry(terminals["a"]["result"]["campaign"]) ==
+                strip_telemetry(terminals["b"]["result"]["campaign"]))
+        daemon = handle.daemon
+        # One submission ran the campaign; the other either coalesced
+        # onto it or (if it lost the race entirely) hit the store.
+        assert daemon.executed == 1
+        assert daemon.coalesced + daemon.store.hits == 1
+
+
+class TestBatchParity:
+    def test_campaign_matches_batch_run_bit_for_bit(self, served):
+        _, sock, _ = served
+        with ServeClient(sock, timeout=120) as c:
+            daemon_doc = c.submit(dict(CAMPAIGN_JOB))["result"]["campaign"]
+        batch = run_campaign(
+            SMALL_SUITE["FWT"], "intra+lds", "vgpr",
+            trials=CAMPAIGN_JOB["trials"], seed=CAMPAIGN_JOB["seed"],
+            max_wave=CAMPAIGN_JOB["max_wave"],
+            max_instr=CAMPAIGN_JOB["max_instr"], workers=1)
+        batch_doc = campaign_report(batch)
+        assert strip_telemetry(daemon_doc) == batch_doc
+
+    def test_certify_matches_tv_cli_engine(self, served):
+        _, sock, _ = served
+        with ServeClient(sock, timeout=120) as c:
+            daemon_doc = c.submit({"kind": "certify", "benchmark": "FWT",
+                                   "variants": ["intra+lds"],
+                                   "opt_levels": [0]})["result"]
+        rows, summary = certify_matrix(["FWT"], ["intra+lds"], [0])
+        assert daemon_doc["results"] == rows
+        assert daemon_doc["summary"] == summary
+        assert daemon_doc["ok"]
+
+
+class TestMixedWorkload:
+    def test_n_concurrent_clients(self, served):
+        """Four clients, three job kinds, all answered correctly."""
+        _, sock, _ = served
+        jobs = [
+            {"kind": "compile", "benchmark": "FWT", "variant": "intra+lds"},
+            {"kind": "compile", "benchmark": "DCT", "variant": "inter"},
+            {"kind": "certify", "benchmark": "FWT",
+             "variants": ["intra-lds"], "opt_levels": [1]},
+            dict(CAMPAIGN_JOB),
+        ]
+        outcome = {}
+
+        def drive(i, job):
+            with ServeClient(sock, timeout=180) as c:
+                outcome[i] = c.submit(job)
+
+        threads = [threading.Thread(target=drive, args=(i, j))
+                   for i, j in enumerate(jobs)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(180)
+        assert sorted(outcome) == [0, 1, 2, 3]
+        assert all(o["event"] == "result" for o in outcome.values())
+        assert outcome[0]["result"]["kernel"] != outcome[1]["result"]["kernel"]
+        assert outcome[2]["result"]["ok"]
+        assert outcome[3]["result"]["complete"]
+
+
+class TestCancellation:
+    def test_cancel_mid_campaign_leaves_resumable_journal(self, served):
+        _, sock, root = served
+        events = []
+        with ServeClient(sock, timeout=120) as c:
+            for ev in c.iter_submit(dict(LONG_CAMPAIGN), cid="kill-me"):
+                events.append(ev)
+                if ev["event"] == "journal" and len(events) > 3:
+                    c.cancel(cid="kill-me")
+        terminal = events[-1]
+        assert terminal["event"] == "cancelled"
+        partial = terminal["result"]
+        assert partial["complete"] is False
+        journal_path = partial["journal"]
+        _, entries = read_journal(journal_path)
+        done = [e for e in entries if e["kind"] == "trial"]
+        assert 0 < len(done) < LONG_CAMPAIGN["trials"]
+
+        # Resubmitting the same job resumes the journal to completion.
+        with ServeClient(sock, timeout=600) as c:
+            finished = c.submit(dict(LONG_CAMPAIGN))
+        assert finished["result"]["complete"]
+        assert finished["result"]["campaign"]["trials"] == LONG_CAMPAIGN["trials"]
+        _, entries = read_journal(journal_path)
+        trials = [e for e in entries if e["kind"] == "trial"]
+        assert len(trials) == LONG_CAMPAIGN["trials"]
+        assert len({e["index"] for e in trials}) == LONG_CAMPAIGN["trials"]
+
+    def test_deadline_stops_a_running_campaign(self, served):
+        _, sock, _ = served
+        with ServeClient(sock, timeout=120) as c:
+            with pytest.raises(ServeError) as exc:
+                c.submit(dict(LONG_CAMPAIGN, seed=12), deadline_s=1.0)
+        assert exc.value.payload["status"] == "deadline"
+
+
+class TestDrain:
+    def test_drain_checkpoints_running_campaign(self, served):
+        handle, sock, root = served
+        events = []
+        with ServeClient(sock, timeout=120) as c:
+            for ev in c.iter_submit(dict(LONG_CAMPAIGN, seed=13)):
+                events.append(ev)
+                if ev["event"] == "journal" and len(events) > 3:
+                    handle.drain()
+        terminal = events[-1]
+        assert terminal["event"] == "checkpointed"
+        assert terminal["result"]["complete"] is False
+        handle.join(30)
+        assert not handle.alive
+
+        # A fresh daemon over the same journal dir completes the job.
+        sock2 = os.path.join(root, "d2.sock")
+        handle2 = start_background(ServeConfig(
+            socket=sock2, journal_dir=os.path.join(root, "journals")))
+        try:
+            with ServeClient(sock2, timeout=600) as c:
+                finished = c.submit(dict(LONG_CAMPAIGN, seed=13))
+            assert finished["result"]["complete"]
+            assert (finished["result"]["campaign"]["trials"]
+                    == LONG_CAMPAIGN["trials"])
+        finally:
+            handle2.drain()
+            handle2.join(30)
+
+    def test_submissions_rejected_while_draining(self, served):
+        """Drain holds for the running campaign but rejects new work."""
+        handle, sock, _ = served
+        with ServeClient(sock, timeout=120) as c:
+            c._send({"op": "submit", "id": "bg",
+                     "job": dict(LONG_CAMPAIGN, seed=19)})
+            saw_rejection = saw_checkpoint = False
+            while not (saw_rejection and saw_checkpoint):
+                ev = c._recv()
+                if ev.get("id") == "bg" and ev["event"] == "journal" \
+                        and not handle.daemon.draining:
+                    handle.drain()
+                    c._send({"op": "submit", "id": "late",
+                             "job": {"kind": "compile", "benchmark": "FWT"}})
+                elif ev.get("id") == "late":
+                    assert ev["event"] == "error"
+                    assert "draining" in ev["error"]
+                    saw_rejection = True
+                elif ev.get("id") == "bg" and ev["event"] == "checkpointed":
+                    saw_checkpoint = True
+
+
+@pytest.mark.slow
+class TestSigterm:
+    def test_sigterm_drains_and_journal_resumes(self):
+        """Real daemon process, real SIGTERM, journal survives, resumes."""
+        root = tempfile.mkdtemp(dir="/tmp", prefix="rsig-")
+        sock = os.path.join(root, "d.sock")
+        journals = os.path.join(root, "journals")
+        env = {**os.environ, "PYTHONPATH": SRC}
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve", "--socket", sock,
+             "--journal-dir", journals, "--drain-grace", "60"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+        try:
+            deadline = time.monotonic() + 30
+            while not os.path.exists(sock):
+                assert proc.poll() is None, proc.stderr.read().decode()
+                assert time.monotonic() < deadline, "daemon never bound"
+                time.sleep(0.1)
+
+            events = []
+            with ServeClient(sock, timeout=120) as c:
+                for ev in c.iter_submit(dict(LONG_CAMPAIGN, seed=17)):
+                    events.append(ev)
+                    if ev["event"] == "journal" and len(events) > 3:
+                        proc.send_signal(signal.SIGTERM)
+            assert events[-1]["event"] == "checkpointed"
+            assert proc.wait(timeout=60) == 0
+
+            journal_path = events[-1]["result"]["journal"]
+            _, entries = read_journal(journal_path)
+            partial = [e for e in entries if e["kind"] == "trial"]
+            assert 0 < len(partial) < LONG_CAMPAIGN["trials"]
+
+            # The checkpointed journal resumes to completion in batch
+            # mode — daemon and CLI share one journal format.
+            result = run_campaign(
+                SMALL_SUITE["FWT"], "intra+lds", "vgpr",
+                trials=LONG_CAMPAIGN["trials"], seed=17,
+                max_wave=LONG_CAMPAIGN["max_wave"],
+                max_instr=LONG_CAMPAIGN["max_instr"],
+                journal=journal_path, resume=True)
+            assert result.trials == LONG_CAMPAIGN["trials"]
+            _, entries = read_journal(journal_path)
+            assert [e["kind"] for e in entries][-1] == "campaign"
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(10)
+            shutil.rmtree(root, ignore_errors=True)

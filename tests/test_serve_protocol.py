@@ -1,0 +1,137 @@
+"""Wire protocol: framing, job validation/canonicalisation, dedup keys."""
+
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    JobSpec,
+    ProtocolError,
+    decode_line,
+    encode_line,
+    job_key,
+    parse_job,
+)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        msg = {"op": "submit", "id": "c1", "job": {"kind": "compile"}}
+        assert decode_line(encode_line(msg)) == msg
+
+    def test_one_object_per_line(self):
+        line = encode_line({"a": 1})
+        assert line.endswith(b"\n") and b"\n" not in line[:-1]
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ProtocolError, match="undecodable"):
+            decode_line(b"{not json\n")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_line(b"[1,2,3]\n")
+
+
+class TestParseJob:
+    def test_compile_defaults(self):
+        spec = parse_job({"kind": "compile", "benchmark": "FWT"})
+        assert spec.kind == "compile"
+        assert spec.as_dict() == {
+            "kind": "compile", "benchmark": "FWT", "scale": "small",
+            "variant": "original", "opt": 0,
+        }
+
+    def test_certify_defaults(self):
+        spec = parse_job({"kind": "certify", "benchmark": "FWT"})
+        d = spec.as_dict()
+        assert list(d["variants"]) == ["original", "intra+lds",
+                                       "intra-lds", "inter"]
+        assert list(d["opt_levels"]) == [0, 1]
+
+    def test_campaign_defaults(self):
+        spec = parse_job({"kind": "campaign", "benchmark": "FWT"})
+        d = spec.as_dict()
+        assert d["variant"] == "intra+lds"
+        assert d["target"] == "vgpr"
+        assert d["trials"] == 32 and d["seed"] == 1234
+        assert d["workers"] == 0 and d["timeout_s"] is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown kind"):
+            parse_job({"kind": "transpile", "benchmark": "FWT"})
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown benchmark"):
+            parse_job({"kind": "compile", "benchmark": "NOPE"})
+
+    def test_unknown_field_rejected(self):
+        # A typo like "trails" must not silently run a default campaign.
+        with pytest.raises(ProtocolError, match="trails"):
+            parse_job({"kind": "campaign", "benchmark": "FWT", "trails": 5})
+
+    def test_bad_variant_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown variant"):
+            parse_job({"kind": "compile", "benchmark": "FWT",
+                       "variant": "triple"})
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(ProtocolError, match="trials"):
+            parse_job({"kind": "campaign", "benchmark": "FWT", "trials": True})
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ProtocolError, match="opt"):
+            parse_job({"kind": "compile", "benchmark": "FWT", "opt": 2})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            parse_job("compile FWT")
+
+    def test_params_are_canonical(self):
+        # Two spellings of the same request produce identical specs.
+        a = parse_job({"kind": "compile", "benchmark": "FWT"})
+        b = parse_job({"kind": "compile", "benchmark": "FWT",
+                       "variant": "original", "opt": 0, "scale": "small"})
+        assert a == b
+
+    def test_label(self):
+        spec = parse_job({"kind": "compile", "benchmark": "FWT",
+                          "variant": "intra+lds", "opt": 1})
+        assert spec.label == "compile FWT/intra+lds@O1"
+
+
+class TestJobKey:
+    def test_deterministic(self):
+        spec = parse_job({"kind": "compile", "benchmark": "FWT"})
+        assert job_key(spec) == job_key(spec)
+
+    def test_defaulted_and_explicit_share_a_key(self):
+        a = parse_job({"kind": "campaign", "benchmark": "FWT"})
+        b = parse_job({"kind": "campaign", "benchmark": "FWT",
+                       "variant": "intra+lds", "target": "vgpr",
+                       "trials": 32, "seed": 1234})
+        assert job_key(a) == job_key(b)
+
+    def test_distinct_params_distinct_keys(self):
+        base = {"kind": "campaign", "benchmark": "FWT"}
+        keys = {job_key(parse_job(base)),
+                job_key(parse_job({**base, "seed": 99})),
+                job_key(parse_job({**base, "trials": 64})),
+                job_key(parse_job({**base, "target": "sgpr"}))}
+        assert len(keys) == 4
+
+    def test_distinct_kinds_distinct_keys(self):
+        assert job_key(parse_job({"kind": "compile", "benchmark": "FWT"})) != \
+            job_key(parse_job({"kind": "certify", "benchmark": "FWT"}))
+
+    def test_key_is_content_addressed_not_name_addressed(self):
+        # The key embeds the structural kernel fingerprint, so two
+        # benchmarks with different kernels cannot collide even if every
+        # parameter matches.
+        a = job_key(parse_job({"kind": "compile", "benchmark": "FWT"}))
+        b = job_key(parse_job({"kind": "compile", "benchmark": "DCT"}))
+        assert a != b
+
+    def test_spec_is_hashable_and_json_safe(self):
+        spec = parse_job({"kind": "certify", "benchmark": "FWT"})
+        hash(spec)  # frozen dataclass with tuple params
+        json.dumps(spec.as_dict())
