@@ -294,6 +294,7 @@ def run_campaign(
     max_wave: int = 8,
     max_instr: int = 100,
     *,
+    scale: Optional[str] = None,
     workers: int = 1,
     timeout_s: Optional[float] = None,
     max_retries: int = 1,
@@ -311,6 +312,9 @@ def run_campaign(
     injects one with a streaming ``on_append`` sink) — that receives
     every completed trial; with ``resume=True`` an existing journal's
     trials are skipped, so a killed campaign continues where it died.
+    ``scale`` (``"small"``/``"paper"``) records which suite table built
+    the kernel in the journal identity, so a resume at the wrong scale
+    is rejected instead of silently mixing trials.
     ``timeout_s`` bounds each trial's wall clock (parallel mode only);
     a trial that keeps crashing or deadlining its shard is recorded as
     ``infra_error`` after ``max_retries`` re-attempts.
@@ -337,6 +341,12 @@ def run_campaign(
         "trials": trials, "seed": seed,
         "max_wave": max_wave, "max_instr": max_instr,
     }
+    # ``scale`` names which suite table built the kernel (small vs paper
+    # differ structurally, so their trials must never mix).  Optional for
+    # callers with a bespoke make_bench; the identity checks only compare
+    # keys present on both sides, so older journals stay resumable.
+    if scale is not None:
+        meta["scale"] = scale
     done: Dict[int, TrialRecord] = {}
     if isinstance(journal, Journal):
         jnl = journal

@@ -185,6 +185,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 try:
                     results.append(run_campaign(
                         suite[abbrev], variant, target,
+                        scale=args.scale,
                         trials=args.trials, seed=args.seed,
                         max_wave=args.max_wave, max_instr=args.max_instr,
                         workers=workers, timeout_s=args.timeout,

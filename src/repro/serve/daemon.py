@@ -219,9 +219,12 @@ class ServeDaemon:
             await asyncio.sleep(0.05)
         # Let every connection's sender flush its queued terminal events
         # before the loop is torn down, or clients would miss the
-        # checkpointed/cancelled notifications the drain produced.
+        # checkpointed/cancelled notifications the drain produced.  The
+        # flush gets its own small budget: a job that consumed the whole
+        # drain grace must not starve the notifications it just produced.
+        flush_deadline = self._loop.time() + min(5.0, self.config.drain_grace_s)
         while (any(not c.queue.empty() for c in self.connections
-                   if not c.closed) and self._loop.time() < deadline):
+                   if not c.closed) and self._loop.time() < flush_deadline):
             await asyncio.sleep(0.02)
         await asyncio.sleep(0.05)
         self._stopped.set()
@@ -315,10 +318,13 @@ class ServeDaemon:
             return
         try:
             spec = parse_job(msg.get("job"))
-            priority = int(msg.get("priority", 0))
+            priority = msg.get("priority", 0)
+            if not isinstance(priority, int) or isinstance(priority, bool):
+                raise ProtocolError("priority must be an integer")
             deadline_s = msg.get("deadline_s")
             if deadline_s is not None and (
-                    not isinstance(deadline_s, (int, float)) or deadline_s <= 0):
+                    not isinstance(deadline_s, (int, float))
+                    or isinstance(deadline_s, bool) or deadline_s <= 0):
                 raise ProtocolError("deadline_s must be a positive number")
         except ProtocolError as exc:
             conn.send({"event": "error", "id": cid, "status": "rejected",
@@ -327,6 +333,12 @@ class ServeDaemon:
         # Key computation builds the kernel once per (benchmark, scale);
         # off the event loop because a first-touch build is not free.
         key = await asyncio.to_thread(job_key, spec)
+        if self.draining:
+            # Drain began while the key was computing; the queued tail has
+            # already been cancelled, so enqueueing now would race shutdown.
+            conn.send({"event": "error", "id": cid, "status": "rejected",
+                       "error": "daemon is draining"})
+            return
 
         hit = self.store.get(key)
         if hit is not None:
@@ -414,6 +426,10 @@ class ServeDaemon:
             except JobError as exc:
                 outcome = (FAILED, {"event": "error", "status": "failed",
                                     **exc.payload})
+            except asyncio.CancelledError:
+                # Shutdown is cancelling this runner task; swallowing the
+                # cancellation would leave run()'s gather waiting forever.
+                raise
             except BaseException as exc:  # noqa: BLE001 - report, keep serving
                 outcome = (FAILED, {"event": "error", "status": "crashed",
                                     "error": repr(exc)})

@@ -43,6 +43,19 @@ from .protocol import JobSpec
 EventSink = Callable[[Dict[str, Any]], None]
 
 
+def campaign_journal_stem(p: Dict[str, Any]) -> str:
+    """Journal filename stem carrying the campaign's full identity.
+
+    Every parameter that changes trial outcomes must appear here —
+    notably ``scale`` (small vs paper kernels) and the fault-plan bounds
+    ``max_wave``/``max_instr`` — or two different campaigns would map to
+    the same ``resume=True`` journal and silently mix their trials.
+    """
+    return (f"{p['benchmark']}_{p['variant']}_{p['target']}_{p['scale']}"
+            f"_t{p['trials']}_s{p['seed']}"
+            f"_w{p['max_wave']}_i{p['max_instr']}").replace("+", "p")
+
+
 class JobError(RuntimeError):
     """A job failed; ``payload`` is the structured error response."""
 
@@ -144,10 +157,11 @@ def run_campaign_job(
 ) -> Dict:
     """Fault-injection sweep with streaming telemetry + journal events.
 
-    The journal lives under ``journal_dir`` named by the job's dedup key
-    material (benchmark/variant/target/trials/seed), opened with
+    The journal lives under ``journal_dir`` named by the job's full
+    identity (:func:`campaign_journal_stem`), opened with
     ``resume=True``: a checkpointed or killed campaign job that is
-    resubmitted picks up exactly where the journal ends.
+    resubmitted picks up exactly where the journal ends, and a job with
+    different parameters can never adopt this journal's trials.
     """
     p = spec.as_dict()
     workers = p["workers"] if p["workers"] > 0 else default_workers
@@ -162,17 +176,16 @@ def run_campaign_job(
     journal_path = None
     if journal_dir is not None:
         os.makedirs(journal_dir, exist_ok=True)
-        stem = (f"{p['benchmark']}_{p['variant']}_{p['target']}"
-                f"_t{p['trials']}_s{p['seed']}").replace("+", "p")
+        stem = campaign_journal_stem(p)
         journal_path = os.path.join(journal_dir, f"{stem}.jsonl")
         jnl = Journal(
             journal_path, resume=True,
             meta={
                 "kind": "fault-campaign",
                 "benchmark": p["benchmark"], "variant": p["variant"],
-                "target": p["target"], "trials": p["trials"],
-                "seed": p["seed"], "max_wave": p["max_wave"],
-                "max_instr": p["max_instr"],
+                "target": p["target"], "scale": p["scale"],
+                "trials": p["trials"], "seed": p["seed"],
+                "max_wave": p["max_wave"], "max_instr": p["max_instr"],
             },
             on_append=None if on_event is None else (
                 lambda entry: _emit(on_event, "journal", entry)),
@@ -181,6 +194,7 @@ def run_campaign_job(
     result = run_campaign(
         lambda: make_benchmark(p["benchmark"], scale=p["scale"]),
         p["variant"], p["target"],
+        scale=p["scale"],
         trials=p["trials"], seed=p["seed"],
         max_wave=p["max_wave"], max_instr=p["max_instr"],
         workers=workers, timeout_s=p["timeout_s"],

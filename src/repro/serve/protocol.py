@@ -175,7 +175,8 @@ def parse_job(payload: Any) -> JobSpec:
         params["max_retries"] = _int_field(payload, "max_retries", 1, 0, 16)
         timeout_s = payload.get("timeout_s")
         if timeout_s is not None and (
-                not isinstance(timeout_s, (int, float)) or timeout_s <= 0):
+                not isinstance(timeout_s, (int, float))
+                or isinstance(timeout_s, bool) or timeout_s <= 0):
             raise ProtocolError("timeout_s must be a positive number")
         params["timeout_s"] = timeout_s
 

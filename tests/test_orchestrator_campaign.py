@@ -16,7 +16,7 @@ from repro.faults import (
 )
 from repro.faults.injector import FaultPlan
 from repro.kernels import SMALL_SUITE
-from repro.orchestrator import Telemetry, read_journal
+from repro.orchestrator import JournalError, Telemetry, read_journal
 
 CAMPAIGN = dict(trials=8, seed=3, max_instr=20)
 
@@ -134,6 +134,19 @@ class TestJournalResume:
         indices = [e["index"] for e in entries if e["kind"] == "trial"]
         assert sorted(indices) == list(range(CAMPAIGN["trials"]))
         assert len(indices) == len(set(indices)), "no duplicate trials"
+
+    def test_resume_at_wrong_scale_rejected(self, tmp_path):
+        """small and paper kernels differ structurally; their trials
+        must never mix through a resumed journal."""
+        journal = tmp_path / "campaign.jsonl"
+        fwt_campaign(trials=2, journal=str(journal), scale="small")
+        with pytest.raises(JournalError, match="scale"):
+            fwt_campaign(trials=2, journal=str(journal), resume=True,
+                         scale="paper")
+        # A caller that does not declare a scale (bespoke make_bench,
+        # pre-existing journals) stays resumable.
+        again = fwt_campaign(trials=2, journal=str(journal), resume=True)
+        assert again.trials == 2
 
     def test_completed_journal_resumes_without_rerunning(self, tmp_path):
         journal = tmp_path / "campaign.jsonl"

@@ -23,6 +23,8 @@ from repro.faults import campaign_report, run_campaign
 from repro.kernels import SMALL_SUITE
 from repro.orchestrator import read_journal
 from repro.serve import ServeClient, ServeConfig, ServeError, start_background
+from repro.serve.jobs import campaign_journal_stem
+from repro.serve.protocol import parse_job
 from repro.tv import certify_matrix
 
 #: One fast campaign spec shared by the dedup/bit-identity tests.
@@ -86,6 +88,36 @@ class TestBasics:
             with pytest.raises(ServeError):
                 c.submit({"kind": "campaign", "benchmark": "FWT",
                           "trials": -1})
+
+    def test_bad_priority_and_deadline_rejected_not_fatal(self, served):
+        """Malformed submit envelopes get an error event; the connection
+        survives (a ValueError escaping _dispatch used to tear it down)."""
+        _, sock, _ = served
+        job = {"kind": "compile", "benchmark": "FWT"}
+        with ServeClient(sock, timeout=30) as c:
+            c._send({"op": "submit", "id": "p", "job": job,
+                     "priority": "high"})
+            ev = c._recv()
+            assert ev["event"] == "error" and ev["status"] == "rejected"
+            assert "priority" in ev["error"]
+            # bool is an int subclass; deadline_s=true must not become a
+            # 1-second deadline.
+            c._send({"op": "submit", "id": "d", "job": job,
+                     "deadline_s": True})
+            ev = c._recv()
+            assert ev["event"] == "error" and ev["status"] == "rejected"
+            assert "deadline_s" in ev["error"]
+            assert c.ping()["event"] == "pong"
+
+    def test_campaign_journal_stem_carries_full_identity(self):
+        """Jobs differing in scale (or fault-plan bounds) must never map
+        to the same resumable journal file."""
+        base = parse_job({"kind": "campaign", "benchmark": "FWT"}).as_dict()
+        stems = {campaign_journal_stem(base),
+                 campaign_journal_stem({**base, "scale": "paper"}),
+                 campaign_journal_stem({**base, "max_wave": 4}),
+                 campaign_journal_stem({**base, "max_instr": 50})}
+        assert len(stems) == 4
 
 
 class TestDedup:
@@ -202,7 +234,8 @@ class TestCancellation:
         partial = terminal["result"]
         assert partial["complete"] is False
         journal_path = partial["journal"]
-        _, entries = read_journal(journal_path)
+        header, entries = read_journal(journal_path)
+        assert header["meta"]["scale"] == "small"   # part of journal identity
         done = [e for e in entries if e["kind"] == "trial"]
         assert 0 < len(done) < LONG_CAMPAIGN["trials"]
 

@@ -78,6 +78,11 @@ class TestParseJob:
         with pytest.raises(ProtocolError, match="trials"):
             parse_job({"kind": "campaign", "benchmark": "FWT", "trials": True})
 
+    def test_bool_is_not_a_timeout(self):
+        with pytest.raises(ProtocolError, match="timeout_s"):
+            parse_job({"kind": "campaign", "benchmark": "FWT",
+                       "timeout_s": True})
+
     def test_out_of_range_rejected(self):
         with pytest.raises(ProtocolError, match="opt"):
             parse_job({"kind": "compile", "benchmark": "FWT", "opt": 2})
