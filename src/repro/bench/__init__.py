@@ -1,12 +1,17 @@
 """Performance microbenchmarks — the standing ``BENCH_*.json`` trajectory.
 
 ``python -m repro.bench`` measures the hot paths this repo's evaluation
-machinery lives on and writes ``BENCH_5.json``:
+machinery lives on and writes ``BENCH_6.json``:
 
 * **interp** — simulated cycles/sec of the wavefront interpreter on an
   ALU-dense kernel, reference per-instruction dispatch vs the
   block-fused executors (:mod:`repro.gpu.fused`), with a bitwise
   output/cycle-count cross-check;
+* **vector** — the vectorized run-ahead engine
+  (:mod:`repro.gpu.vectorized`) vs the fused baseline on a
+  multi-workgroup dispatch: all resident wavefronts batched through
+  stacked ``(waves, lanes)`` closures, cross-checked bitwise- and
+  cycle-identical against both other engines;
 * **campaign** — fault-campaign trials/sec, the pre-PR-5 shape (full
   recompile + host-reference recomputation per trial) vs the current
   compile-once/cached path;
@@ -34,7 +39,7 @@ import numpy as np
 from ..compiler import cache as compile_cache
 from ..compiler.pipeline import compile_kernel
 from ..faults.campaign import draw_plans, execute_trial
-from ..gpu import fused
+from ..gpu import fused, vectorized
 from ..gpu.counters import BusyTracker
 from ..ir.builder import KernelBuilder
 from ..ir.types import DType
@@ -42,12 +47,13 @@ from ..kernels.suite import SMALL_SUITE, make_benchmark
 from ..runtime.api import Session
 
 SCHEMA = 1
-BENCH_ID = 5
-SECTIONS = ("interp", "campaign", "compile", "equivalence")
+BENCH_ID = 6
+SECTIONS = ("interp", "vector", "campaign", "compile", "equivalence")
 
-#: Acceptance targets recorded alongside the measurements (ISSUE 5).
+#: Acceptance targets recorded alongside the measurements (ISSUE 5/8).
 INTERP_TARGET = 2.0
 CAMPAIGN_TARGET = 3.0
+VECTOR_TARGET = 10.0
 
 
 # ---------------------------------------------------------------------------
@@ -76,7 +82,8 @@ def _same_counters(a, b) -> bool:
     return True
 
 
-def build_alu_dense(chain: int = 40, iters: int = 32, nitems: int = 256):
+def build_alu_dense(chain: int = 40, iters: int = 32, nitems: int = 256,
+                    local_size: int = 64):
     """A compute-bound kernel: long straight-line FMA runs in a loop.
 
     This is the shape block fusion targets — the memory system is idle
@@ -93,7 +100,7 @@ def build_alu_dense(chain: int = 40, iters: int = 32, nitems: int = 256):
     kb.store(out, gid, x)
     kernel = kb.finish()
     kernel.metadata.update({
-        "local_size": (64, 1, 1),
+        "local_size": (local_size, 1, 1),
         "global_size": (nitems, 1, 1),
         "buffer_nelems": {"out": nitems},
     })
@@ -141,6 +148,71 @@ def bench_interp(quick: bool = False) -> Dict:
         "speedup": round(speedup, 3),
         "target_speedup": INTERP_TARGET,
         "meets_target": speedup >= INTERP_TARGET,
+        "bitwise_identical": bitwise,
+    }
+
+
+# ---------------------------------------------------------------------------
+# vector
+# ---------------------------------------------------------------------------
+
+
+def bench_vector(quick: bool = False) -> Dict:
+    """Vectorized run-ahead engine vs the fused baseline (BENCH_6).
+
+    A multi-workgroup dispatch (32 work-groups of 256 work-items — 128
+    resident wavefronts) of the ALU-dense kernel: the geometry where the
+    vectorized engine's convoys are widest.  All three engines must be
+    bitwise- and cycle-identical; the recorded speedup is over the PR-5
+    fused baseline, with the reference interpreter rate alongside.
+    """
+    chain, iters, nitems, reps = (64, 32, 4096, 2) if quick \
+        else (64, 32, 8192, 3)
+    local_size = 256
+    compiled = compile_kernel(
+        build_alu_dense(chain, iters, nitems=nitems, local_size=local_size),
+        "original", cache=False)
+
+    def one(fusion_on: bool, vector_on: bool):
+        with fused.fusion(fusion_on), vectorized.vector(vector_on):
+            elapsed = 0.0
+            cycles = 0.0
+            output = None
+            for _ in range(reps + 1):          # first rep is warm-up
+                session = Session()
+                buf = session.zeros("out", nitems, np.float32)
+                t0 = time.perf_counter()
+                result = session.launch(compiled, nitems, local_size,
+                                        {"out": buf})
+                dt = time.perf_counter() - t0
+                if output is None:
+                    output = session.download(buf)
+                    continue
+                elapsed += dt
+                cycles += result.cycles
+            return cycles / elapsed, output, result.cycles, result.engine_kind
+
+    ref_rate, ref_out, ref_cycles, _ = one(False, False)
+    fused_rate, fused_out, fused_cycles, _ = one(True, False)
+    vec_rate, vec_out, vec_cycles, vec_engine = one(True, True)
+    bitwise = bool(
+        np.array_equal(ref_out, fused_out)
+        and np.array_equal(ref_out, vec_out)
+        and ref_cycles == fused_cycles == vec_cycles
+        and vec_engine == "vectorized")
+    speedup = vec_rate / fused_rate
+    return {
+        "kernel": "bench_alu_dense",
+        "dispatch": f"{nitems}x{local_size}",
+        "workgroups": nitems // local_size,
+        "wavefronts": nitems // 64,
+        "reference_cycles_per_sec": round(ref_rate),
+        "fused_cycles_per_sec": round(fused_rate),
+        "vectorized_cycles_per_sec": round(vec_rate),
+        "speedup": round(speedup, 3),
+        "speedup_vs_reference": round(vec_rate / ref_rate, 3),
+        "target_speedup": VECTOR_TARGET,
+        "meets_target": speedup >= VECTOR_TARGET,
         "bitwise_identical": bitwise,
     }
 
@@ -322,6 +394,7 @@ def bench_equivalence(quick: bool = False) -> Dict:
 
 _SECTION_FNS = {
     "interp": bench_interp,
+    "vector": bench_vector,
     "campaign": bench_campaign,
     "compile": bench_compile,
     "equivalence": bench_equivalence,
@@ -357,6 +430,9 @@ def report_correct(report: Dict) -> bool:
     interp = sections.get("interp")
     if interp is not None and not interp.get("bitwise_identical"):
         return False
+    vec = sections.get("vector")
+    if vec is not None and not vec.get("bitwise_identical"):
+        return False
     camp = sections.get("campaign")
     if camp is not None and not camp.get("outcomes_identical"):
         return False
@@ -374,6 +450,13 @@ def format_report(report: Dict) -> str:
             f"{i['fused_cycles_per_sec']:>12,} sim cycles/s   "
             f"{i['speedup']:.2f}x (target {i['target_speedup']}x)  "
             f"bitwise={'ok' if i['bitwise_identical'] else 'DIVERGED'}")
+    if "vector" in s:
+        v = s["vector"]
+        lines.append(
+            f"  vector      {v['fused_cycles_per_sec']:>12,} -> "
+            f"{v['vectorized_cycles_per_sec']:>12,} sim cycles/s   "
+            f"{v['speedup']:.2f}x (target {v['target_speedup']}x)  "
+            f"bitwise={'ok' if v['bitwise_identical'] else 'DIVERGED'}")
     if "campaign" in s:
         c = s["campaign"]
         lines.append(

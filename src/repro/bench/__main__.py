@@ -1,9 +1,10 @@
 """CLI: ``python -m repro.bench`` — run the perf microbenchmarks.
 
-Writes ``BENCH_5.json`` (override with ``--out``) and prints a summary.
-Exit status is non-zero only on a *correctness* divergence (fused vs
-reference interpreter, cached vs recompiled campaign outcomes); the
-speedup numbers are recorded, never gated, so CI stays deterministic.
+Writes ``BENCH_6.json`` (override with ``--out``) and prints a summary.
+Exit status is non-zero only on a *correctness* divergence (fused or
+vectorized vs reference interpreter, cached vs recompiled campaign
+outcomes); the speedup numbers are recorded, never gated, so CI stays
+deterministic.
 """
 
 from __future__ import annotations
@@ -24,7 +25,7 @@ def main(argv=None) -> int:
                         help="smaller workloads for CI smoke runs")
     parser.add_argument("--only", action="append", choices=SECTIONS,
                         help="run only this section (repeatable)")
-    parser.add_argument("--out", default="BENCH_5.json",
+    parser.add_argument("--out", default="BENCH_6.json",
                         help="report path (default: %(default)s)")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress the text summary")

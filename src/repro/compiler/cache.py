@@ -377,9 +377,11 @@ class CompileCache:
         if not self.disk_dir:
             return
         kernel = compiled.kernel
-        # The lowered fused program holds exec()-generated closures that
-        # cannot (and need not) be pickled; it is re-lowered on load.
+        # The lowered fused program and the vectorized block closures
+        # hold exec()-generated functions that cannot (and need not) be
+        # pickled; they are re-lowered / re-generated on load.
         fused_prog = kernel.__dict__.pop("_fused_program", None)
+        vec_fns = kernel.__dict__.pop("_vec_fns", None)
         try:
             payload = pickle.dumps(
                 {"schema": 1, "variant": compiled.variant, "kernel": kernel},
@@ -391,6 +393,8 @@ class CompileCache:
         finally:
             if fused_prog is not None:
                 kernel._fused_program = fused_prog
+            if vec_fns is not None:
+                kernel._vec_fns = vec_fns
         # Atomic publish so a concurrent reader never sees a torn file.
         try:
             fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")

@@ -58,12 +58,21 @@ class FaultHook:
         self.scalar_reg_ids = scalar_reg_ids or set()
         self.record = InjectionRecord()
         self._wave_ids = {}
+        # Strong references keep every seen wavefront alive, so id()
+        # keys are never reused: without this, a later launch of a
+        # multi-pass benchmark can allocate a wave at a freed wave's
+        # address and inherit its ordinal, making which wave a plan
+        # targets depend on the process's prior heap state.
+        self._waves = []
 
     def __call__(self, wave, instr) -> None:
         if self.record.fired:
             return
         plan = self.plan
-        ordinal = self._wave_ids.setdefault(id(wave), len(self._wave_ids))
+        ordinal = self._wave_ids.get(id(wave))
+        if ordinal is None:
+            ordinal = self._wave_ids[id(wave)] = len(self._wave_ids)
+            self._waves.append(wave)
         if ordinal != plan.wave_ordinal:
             return
         if wave.dyn_instrs < plan.trigger_instr:

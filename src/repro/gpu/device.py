@@ -21,6 +21,7 @@ from .memory import CacheModel, DeviceBuffer, GlobalMemory
 from .occupancy import KernelResources
 from .fused import maybe_lower
 from .power import PowerReport, estimate_power
+from .vectorized import VecEngine, vector_enabled
 from .wavefront import LaunchContext
 
 
@@ -103,8 +104,20 @@ class Device:
                 vgprs_per_workitem=32, sgprs_per_wave=32,
                 lds_bytes_per_group=kernel.lds_bytes(),
             )
-        engine = Engine(self.config, self.memory, self.l1s, self.l2,
-                        start_time=self.clock, scheduler=scheduler)
+        # The vectorized engine batches resident wavefronts through
+        # stacked-register closures; it is bitwise- and cycle-identical
+        # under the default event order, so the only launches routed
+        # away from it are fault-hooked ones (hooks must observe every
+        # instruction) and schedulers that permute pop order.
+        use_vec = (
+            vector_enabled()
+            and fault_hook is None
+            and (scheduler is None
+                 or getattr(scheduler, "supports_vectorized", False))
+        )
+        engine_cls = VecEngine if use_vec else Engine
+        engine = engine_cls(self.config, self.memory, self.l1s, self.l2,
+                            start_time=self.clock, scheduler=scheduler)
         result = engine.run(ctx, resources)
         self.clock += result.cycles
         self.stats.total_cycles += result.cycles

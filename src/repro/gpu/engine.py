@@ -62,6 +62,9 @@ class LaunchResult:
     groups_launched: int = 0
     waves_launched: int = 0
     events_processed: int = 0
+    #: which engine produced this result ("standard" | "vectorized") —
+    #: lets tests prove the vectorized engine's fallback paths fired.
+    engine_kind: str = "standard"
 
     @property
     def detected(self) -> bool:
@@ -117,6 +120,18 @@ class Engine:
         self._atomic_unit_free = start_time
         self.oob_events = 0
 
+    # -- subclass hooks (see repro.gpu.vectorized) ---------------------
+
+    def _make_scheduler(self, ctx: LaunchContext) -> Scheduler:
+        """The scheduler instance this run pops continuations from."""
+        return self.scheduler if self.scheduler is not None else DefaultScheduler()
+
+    def _spawn_wave(self, ctx: LaunchContext, group: GroupState, wave_idx: int):
+        """Create one wavefront with its continuation generator."""
+        wave = Wavefront(ctx, group, wave_idx)
+        wave.gen = wave.run()
+        return wave
+
     # ------------------------------------------------------------------
 
     def run(self, ctx: LaunchContext, resources: KernelResources) -> LaunchResult:
@@ -128,7 +143,7 @@ class Engine:
         pending_groups = list(range(ctx.total_groups))
         pending_groups.reverse()  # pop() yields group 0 first
 
-        sched = self.scheduler if self.scheduler is not None else DefaultScheduler()
+        sched = self._make_scheduler(ctx)
         sched.begin(ctx)
         observe = sched.observe if sched.observes else None
         seq = itertools.count()
@@ -148,12 +163,11 @@ class Engine:
             cu.resident_groups += 1
             groups_launched += 1
             for w in range(group.n_waves):
-                wave = Wavefront(ctx, group, w)
+                wave = self._spawn_wave(ctx, group, w)
                 wave.cu = cu_idx
                 simd = min(range(cfg.simds_per_cu), key=lambda s: cu.simd_waves[s])
                 cu.simd_waves[simd] += 1
                 wave.simd = simd
-                wave.gen = wave.run()
                 sched.push((when + w * _WAVE_STAGGER, next(seq), wave, None))
                 waves_launched += 1
 

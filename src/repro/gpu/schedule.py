@@ -143,6 +143,13 @@ class Scheduler:
     #: synchronization-relevant request.
     observes = False
 
+    #: Whether the vectorized engine (:mod:`repro.gpu.vectorized`) may
+    #: run ahead of this scheduler's pop order.  Run-ahead preserves the
+    #: event sequence only for the default time-ordered/FIFO policy;
+    #: adversarial and model-checking schedulers leave this False and
+    #: the device falls back to the standard engine.
+    supports_vectorized = False
+
     def begin(self, ctx) -> None:
         """Reset for one launch; ``ctx`` is the LaunchContext."""
 
@@ -162,6 +169,8 @@ class Scheduler:
 class DefaultScheduler(Scheduler):
     """The engine's historical order: time-ordered, FIFO tie-break."""
 
+    supports_vectorized = True
+
     def __init__(self):
         self._heap: List[tuple] = []
 
@@ -176,6 +185,45 @@ class DefaultScheduler(Scheduler):
 
     def __len__(self) -> int:
         return len(self._heap)
+
+
+class EventScheduler(Scheduler):
+    """Delegating event-queue scheduler with a push-notification lane.
+
+    Wraps an inner scheduler (default: :class:`DefaultScheduler`) and
+    reports every pushed continuation to ``sink`` *before* enqueueing
+    it.  The engine's event queue already jumps directly from one ready
+    time to the next — what the sink adds is the fast-forward trigger:
+    at push time a continuation's resume value is final, so a consumer
+    (the vectorized engine's run-ahead coordinator) learns the complete
+    set of advanceable waves without changing pop order at all.  Pop
+    order, ``begin``/``observe`` semantics, and length are delegated
+    verbatim, so wrapping is timing-neutral by construction.
+    """
+
+    supports_vectorized = True
+
+    def __init__(self, inner: Optional[Scheduler] = None, sink=None):
+        self.inner = DefaultScheduler() if inner is None else inner
+        self.sink = sink
+        self.observes = self.inner.observes
+
+    def begin(self, ctx) -> None:
+        self.inner.begin(ctx)
+
+    def push(self, entry: tuple) -> None:
+        if self.sink is not None:
+            self.sink(entry)
+        self.inner.push(entry)
+
+    def pop(self) -> tuple:
+        return self.inner.pop()
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def observe(self, wave, req, t: float, result) -> None:
+        self.inner.observe(wave, req, t, result)
 
 
 class ReorderScheduler(Scheduler):

@@ -20,8 +20,12 @@ import json
 import os
 
 from repro.compiler.pipeline import compile_kernel
-from repro.gpu import fused
+from repro.gpu import fused, vectorized
 from repro.gpu.counters import BusyTracker
+from repro.kernels.bitonic_sort import BitonicSort
+from repro.kernels.fast_walsh import FastWalshTransform
+from repro.kernels.reduction import Reduction
+from repro.kernels.urng import Urng
 from repro.kernels.suite import SMALL_SUITE, make_benchmark
 from repro.runtime.api import Session
 
@@ -41,21 +45,52 @@ FAST_CASES = (
     ("R", "inter", True),
 )
 
+#: Deep multi-workgroup / multi-wavefront launch shapes (4 waves per
+#: group before RMT doubling, dozens of resident groups) — the
+#: geometries the vectorized engine batches hardest, pinned here against
+#: the pre-refactor per-wavefront engine.  Keyed by pseudo-abbreviations
+#: resolved through :data:`MULTI_FACTORIES`.
+MULTI_FACTORIES = {
+    "FWTx4": lambda: FastWalshTransform(n=4096, local_size=256),
+    "Rx4": lambda: Reduction(n=8192, local_size=256),
+    "BitSx4": lambda: BitonicSort(n=4096, local_size=256),
+    "URNGx4": lambda: Urng(n=8192, local_size=256),
+}
+
+MULTI_CASES = tuple(
+    (abbrev, variant, optimize)
+    for abbrev in sorted(MULTI_FACTORIES)
+    for (variant, optimize) in (("intra+lds", False), ("inter", False),
+                                ("original", True))
+)
+
+
+def make_case_benchmark(abbrev):
+    """Resolve an abbreviation to a benchmark (suite or multi-wave)."""
+    factory = MULTI_FACTORIES.get(abbrev)
+    if factory is not None:
+        return factory()
+    return make_benchmark(abbrev, "small")
+
 
 def config_key(abbrev, variant, optimize, fusion_on):
     path = "fused" if fusion_on else "interp"
     return f"{abbrev}/{variant}/O{int(optimize)}/{path}"
 
 
-def run_digest(abbrev, variant, optimize, fusion_on, scheduler=None):
+def run_digest(abbrev, variant, optimize, fusion_on, scheduler=None,
+               vector=False):
     """Execute one suite config and reduce it to a JSON-safe digest.
 
     ``scheduler`` installs a session-default wavefront scheduler; the
     goldens were captured with the pre-refactor (implicit default)
     order, so any scheduler passed here must claim identity with it.
+    ``vector=True`` routes launches through the vectorized run-ahead
+    engine (:mod:`repro.gpu.vectorized`), which claims the same
+    identity — its digests are compared against the *same* goldens.
     """
-    with fused.fusion(fusion_on):
-        bench = make_benchmark(abbrev, "small")
+    with fused.fusion(fusion_on), vectorized.vector(vector):
+        bench = make_case_benchmark(abbrev)
         compiled = compile_kernel(bench.build(), variant,
                                   optimize=optimize, cache=False)
         res = bench.run(Session(scheduler=scheduler), compiled)
@@ -88,6 +123,9 @@ def all_keys():
             for optimize in OPT_LEVELS:
                 keys.append((abbrev, variant, optimize, False))
     for abbrev, variant, optimize in FAST_CASES:
+        keys.append((abbrev, variant, optimize, True))
+    for abbrev, variant, optimize in MULTI_CASES:
+        keys.append((abbrev, variant, optimize, False))
         keys.append((abbrev, variant, optimize, True))
     return keys
 

@@ -11,11 +11,11 @@ from repro.kernels.suite import make_benchmark
 
 
 def test_bench_cli_writes_report(tmp_path, capsys):
-    out = str(tmp_path / "BENCH_5.json")
+    out = str(tmp_path / "BENCH_6.json")
     rc = main(["--quick", "--only", "compile", "--out", out])
     assert rc == 0
     report = json.loads(open(out).read())
-    assert report["schema"] == 1 and report["bench"] == 5
+    assert report["schema"] == 1 and report["bench"] == 6
     assert report["quick"] is True
     assert report["correct"] is True
     compile_sec = report["sections"]["compile"]
@@ -38,6 +38,22 @@ def test_bench_equivalence_section_gates_exit(tmp_path):
     assert rc == (0 if report["sections"]["interp"]["bitwise_identical"]
                   else 1)
     assert report["sections"]["interp"]["bitwise_identical"] is True
+
+
+def test_bench_vector_section_three_way_identical(tmp_path, capsys):
+    """BENCH_6's vector section: the run-ahead engine must be bitwise-
+    and cycle-identical to both other engines on the multi-workgroup
+    dispatch, and the recorded speedup is over the fused baseline."""
+    out = str(tmp_path / "b.json")
+    rc = main(["--quick", "--only", "vector", "--out", out, "-q"])
+    assert rc == 0
+    report = json.loads(open(out).read())
+    vec = report["sections"]["vector"]
+    assert vec["bitwise_identical"] is True
+    assert vec["workgroups"] > 1 and vec["wavefronts"] > vec["workgroups"]
+    assert vec["vectorized_cycles_per_sec"] > vec["fused_cycles_per_sec"]
+    assert vec["target_speedup"] == 10.0
+    assert report["correct"] is True
 
 
 def test_campaign_compiles_once_per_run(monkeypatch):

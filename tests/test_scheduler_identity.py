@@ -14,9 +14,10 @@ the full small-suite matrix runs in the slow lane.
 
 import pytest
 
-from repro.gpu.schedule import DefaultScheduler
+from repro.gpu.schedule import DefaultScheduler, EventScheduler
 from tests.schedule_identity_util import (
     FAST_CASES,
+    MULTI_CASES,
     all_keys,
     config_key,
     load_goldens,
@@ -29,15 +30,36 @@ _FAST = [(a, v, o, fused) for fused in (False, True)
          for (a, v, o) in FAST_CASES]
 _SLOW = [k for k in all_keys() if k not in _FAST]
 
+#: Vectorized-engine lane: the run-ahead engine claims bitwise- and
+#: cycle-identity with the default order, so its digests are checked
+#: against the SAME pre-refactor goldens (no vectorized goldens exist).
+#: Multi-wave geometries batch hardest; FAST_CASES covers single-wave
+#: groups, control flow, and the inter-group lock protocol.
+_VEC_FAST = [
+    ("FWTx4", "intra+lds", False, False),
+    ("FWTx4", "inter", False, True),
+    ("BitSx4", "intra+lds", False, True),
+    ("URNGx4", "inter", False, False),
+    ("Rx4", "original", True, True),
+    ("FWT", "inter", False, False),
+    ("MM", "intra-lds", True, True),
+]
+_VEC_SLOW = sorted(
+    {(a, v, o, f)
+     for (a, v, o) in FAST_CASES + MULTI_CASES
+     for f in (False, True)} - set(_VEC_FAST))
 
-def _assert_digest_matches(abbrev, variant, optimize, fusion_on):
+
+def _assert_digest_matches(abbrev, variant, optimize, fusion_on,
+                           vector=False):
     key = config_key(abbrev, variant, optimize, fusion_on)
     assert key in GOLDENS, f"no golden for {key}; regenerate the goldens"
-    got = run_digest(abbrev, variant, optimize, fusion_on)
+    got = run_digest(abbrev, variant, optimize, fusion_on, vector=vector)
     want = GOLDENS[key]
+    engine = "vectorized engine" if vector else "pre-refactor engine"
     for field in sorted(want):
         assert got[field] == want[field], (
-            f"{key}: {field} diverged from the pre-refactor engine\n"
+            f"{key}: {field} diverged from the {engine}\n"
             f"  golden:  {want[field]}\n  current: {got[field]}")
 
 
@@ -56,6 +78,42 @@ def test_default_schedule_matches_prerefactor_fast(
 def test_default_schedule_matches_prerefactor_full(
         abbrev, variant, optimize, fusion_on):
     _assert_digest_matches(abbrev, variant, optimize, fusion_on)
+
+
+@pytest.mark.parametrize(
+    "abbrev,variant,optimize,fusion_on", _VEC_FAST,
+    ids=[config_key(*k) for k in _VEC_FAST])
+def test_vectorized_engine_matches_prerefactor_fast(
+        abbrev, variant, optimize, fusion_on):
+    _assert_digest_matches(abbrev, variant, optimize, fusion_on,
+                           vector=True)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "abbrev,variant,optimize,fusion_on", _VEC_SLOW,
+    ids=[config_key(*k) for k in _VEC_SLOW])
+def test_vectorized_engine_matches_prerefactor_full(
+        abbrev, variant, optimize, fusion_on):
+    _assert_digest_matches(abbrev, variant, optimize, fusion_on,
+                           vector=True)
+
+
+def test_event_scheduler_wrap_is_identity():
+    """EventScheduler(inner, sink) must be pop-order-neutral.
+
+    Runs the *standard* engine with an explicit EventScheduler wrapping
+    the default heap and a sink that counts pushes — the digest must
+    equal the pre-refactor golden and the sink must actually have seen
+    the event stream.
+    """
+    abbrev, variant, optimize = "FWT", "inter", False
+    key = config_key(abbrev, variant, optimize, False)
+    pushed = []
+    sched = EventScheduler(DefaultScheduler(), sink=pushed.append)
+    got = run_digest(abbrev, variant, optimize, False, scheduler=sched)
+    assert got == GOLDENS[key]
+    assert len(pushed) > 0, "sink never saw a continuation push"
 
 
 def test_explicit_default_scheduler_is_identity():

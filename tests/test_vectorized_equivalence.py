@@ -1,0 +1,318 @@
+"""Three-way equivalence: interpreter vs fused vs vectorized engines.
+
+The vectorized run-ahead engine (:mod:`repro.gpu.vectorized`) must be an
+*unobservable* optimisation, exactly like block fusion before it:
+identical memory images, cycle counts, counter totals, and detection
+events on every kernel, launch geometry, variant, and opt level — and it
+must provably *disengage* (fall back to the standard engine) whenever a
+fault hook or a non-default scheduler needs per-instruction order.
+
+Lanes:
+
+* **geometry sweep** — seeded dispatch shapes crossing work-group count,
+  wavefronts per group, and ragged last wavefronts (``local_size`` not a
+  multiple of 64 leaves partially-active lane masks) through a kernel
+  that mixes divergent loops, LDS traffic with barriers, atomics, and
+  f32 transcendentals;
+* **suite sweep** — the paper's small benchmark suite × RMT variant ×
+  opt level (``slow`` lane, mirroring ``test_fused_equivalence``);
+* **corpus replay** — the hand-written fuzz edge programs;
+* **fault-path identity** — campaign outcome classifications must not
+  move when vectorization is globally enabled, because hooked launches
+  bypass it entirely;
+* **fallback proof** — ``LaunchResult.engine_kind`` pins which engine
+  actually ran.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler.pipeline import compile_kernel
+from repro.fuzz.corpus import edge_programs
+from repro.fuzz.oracle import RunSpec, run_program
+from repro.gpu import fused, vectorized
+from repro.gpu.counters import BusyTracker
+from repro.gpu.schedule import ReorderScheduler
+from repro.ir.builder import KernelBuilder
+from repro.ir.types import DType
+from repro.kernels.suite import SMALL_SUITE, make_benchmark
+from repro.runtime.api import Session
+
+
+def _norm_counters(counters):
+    return {
+        k: (v.total if isinstance(v, BusyTracker) else v)
+        for k, v in vars(counters).items()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Seeded dispatch-geometry sweep
+# ---------------------------------------------------------------------------
+
+#: (local_size, groups) launch shapes.  96/160/200 are deliberately not
+#: multiples of 64: their last wavefront runs with a ragged lane mask,
+#: the case where the vectorized masked write path must match the
+#: reference exactly.  Multi-group shapes exercise convoy batching
+#: across group boundaries.
+GEOMETRIES = [
+    (64, 1),      # single full wave
+    (96, 3),      # 1.5 waves/group — ragged second wave
+    (160, 2),     # 2.5 waves/group
+    (200, 5),     # 3.125 waves/group, 5 groups
+    (256, 7),     # 4 full waves/group, 7 groups
+    (32, 4),      # sub-wave groups: every wave ragged
+]
+
+
+def _build_geometry_kernel(local_size: int, groups: int, seed: int):
+    """Divergence + LDS + atomics over a parametric launch shape."""
+    n = local_size * groups
+    b = KernelBuilder(f"geom{local_size}x{groups}s{seed}")
+    src = b.buffer_param("src", DType.F32)
+    dst = b.buffer_param("dst", DType.F32)
+    tally = b.buffer_param("tally", DType.U32)
+    scratch = b.local_alloc("scratch", DType.F32, local_size)
+
+    gid = b.global_id(0)
+    lid = b.local_id(0)
+    x = b.var(DType.F32, 0.0, hint="x")
+    b.set(x, b.load(src, gid))
+
+    # Divergent while loop: lanes iterate (lid % 7) + 1 times.
+    k = b.var(DType.U32, 0, hint="k")
+    bound = b.add(b.rem(lid, b.const(7, DType.U32)), 1)
+    with b.loop() as lp:
+        lp.break_unless(b.lt(k, bound))
+        b.set(x, b.add(b.mul(x, b.const(0.875, DType.F32)),
+                       b.sqrt(b.abs(x))))
+        b.set(k, b.add(k, 1))
+
+    # LDS neighbour exchange across the whole (possibly ragged) group.
+    b.store_local(scratch, lid, x)
+    b.barrier()
+    nbr = b.load_local(scratch, b.rem(b.add(lid, 1), local_size))
+    b.barrier()
+    b.set(x, b.add(x, b.mul(nbr, b.const(0.5, DType.F32))))
+
+    # Divergent branch with a store on one arm only.
+    with b.if_(b.lt(lid, local_size // 2)):
+        b.set(x, b.sub(x, b.sin(x)))
+
+    b.store(dst, gid, x)
+    b.atomic("add", tally, b.group_id(0),
+             b.f2u(b.abs(x)), want_old=False)
+
+    kern = b.finish()
+    kern.metadata["local_size"] = (local_size, 1, 1)
+    kern.metadata["global_size"] = (n, 1, 1)
+    kern.metadata["buffer_nelems"] = {"src": n, "dst": n, "tally": groups}
+    return kern
+
+
+def _run_geometry(local_size, groups, seed, variant, optimize,
+                  fusion_on, vector_on):
+    n = local_size * groups
+    kern = _build_geometry_kernel(local_size, groups, seed)
+    with fused.fusion(fusion_on), vectorized.vector(vector_on):
+        compiled = compile_kernel(kern, variant, optimize=optimize,
+                                  cache=False)
+        session = Session()
+        rng = np.random.default_rng(np.random.SeedSequence(seed))
+        src = session.upload(
+            "src", (rng.standard_normal(n) * 4).astype(np.float32))
+        dst = session.zeros("dst", n, np.float32)
+        tally = session.zeros("tally", groups, np.uint32)
+        result = session.launch(compiled, n, local_size,
+                                {"src": src, "dst": dst, "tally": tally})
+        return {
+            "dst": session.download(dst).tobytes(),
+            "tally": session.download(tally).tobytes(),
+            "cycles": result.cycles,
+            "counters": _norm_counters(result.counters),
+            "engine": result.engine_kind,
+        }
+
+
+def _assert_three_way(local_size, groups, seed, variant, optimize):
+    where = f"geom {local_size}x{groups} s{seed} {variant}/O{int(optimize)}"
+    interp = _run_geometry(local_size, groups, seed, variant, optimize,
+                           fusion_on=False, vector_on=False)
+    fzd = _run_geometry(local_size, groups, seed, variant, optimize,
+                        fusion_on=True, vector_on=False)
+    vec = _run_geometry(local_size, groups, seed, variant, optimize,
+                        fusion_on=True, vector_on=True)
+    assert vec["engine"] == "vectorized", f"{where}: vec lane fell back"
+    assert interp["engine"] == fzd["engine"] == "standard", where
+    for field in ("dst", "tally", "cycles", "counters"):
+        assert interp[field] == fzd[field], f"{where}: interp!=fused {field}"
+        assert interp[field] == vec[field], f"{where}: interp!=vec {field}"
+
+
+FAST_GEOMETRY = [
+    (96, 3, 11, "original", False),
+    (200, 5, 13, "intra+lds", False),
+    (160, 2, 17, "inter", False),
+]
+
+
+@pytest.mark.parametrize("local_size,groups,seed,variant,optimize",
+                         FAST_GEOMETRY)
+def test_geometry_three_way_fast(local_size, groups, seed, variant, optimize):
+    _assert_three_way(local_size, groups, seed, variant, optimize)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("local_size,groups", GEOMETRIES)
+@pytest.mark.parametrize("variant,optimize", [
+    ("original", False), ("original", True),
+    ("intra+lds", False), ("intra-lds", True), ("inter", False),
+])
+def test_geometry_three_way_full(local_size, groups, variant, optimize):
+    _assert_three_way(local_size, groups, 23, variant, optimize)
+
+
+# ---------------------------------------------------------------------------
+# Suite sweep (slow) — vectorized vs reference across the paper's matrix
+# ---------------------------------------------------------------------------
+
+
+def _run_suite(abbrev, variant, optimize, vector_on):
+    with fused.fusion(not vector_on), vectorized.vector(vector_on):
+        bench = make_benchmark(abbrev, "small")
+        compiled = compile_kernel(
+            bench.build(), variant, optimize=optimize, cache=False)
+        return bench.run(Session(), compiled)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("abbrev", sorted(SMALL_SUITE))
+@pytest.mark.parametrize("variant",
+                         ["original", "intra+lds", "intra-lds", "inter"])
+@pytest.mark.parametrize("optimize", [False, True])
+def test_vectorized_matches_reference_full(abbrev, variant, optimize):
+    where = f"{abbrev}/{variant}/O{int(optimize)}"
+    ref = _run_suite(abbrev, variant, optimize, vector_on=False)
+    vec = _run_suite(abbrev, variant, optimize, vector_on=True)
+    assert ref.cycles == vec.cycles, f"{where}: cycle counts diverge"
+    for name in ref.outputs:
+        assert np.array_equal(ref.outputs[name], vec.outputs[name]), (
+            f"{where}: output {name!r} diverges")
+    assert _norm_counters(ref.merged_counters()) == _norm_counters(
+        vec.merged_counters()), f"{where}: counters diverge"
+    assert len(ref.detections) == len(vec.detections), where
+
+
+# ---------------------------------------------------------------------------
+# Fuzz corpus replay
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("prog", edge_programs(), ids=lambda p: p.name)
+def test_vectorized_matches_reference_on_corpus(prog):
+    for spec in (RunSpec("original"), RunSpec("intra+lds"),
+                 RunSpec("inter", optimize=True)):
+        with fused.fusion(False), vectorized.vector(False):
+            ref = run_program(prog, spec, cycle_budget=50_000_000)
+        with vectorized.vector(True):
+            vec = run_program(prog, spec, cycle_budget=50_000_000)
+        where = f"{prog.name}/{spec.label}"
+        assert ref.status == vec.status == "ok", where
+        assert ref.cycles == vec.cycles, where
+        assert ref.detections == vec.detections, where
+        for name in ref.memory:
+            assert np.array_equal(ref.memory[name].view(np.uint8),
+                                  vec.memory[name].view(np.uint8)), (
+                f"{where}: {name}")
+
+
+# ---------------------------------------------------------------------------
+# Fault-path identity: campaigns classify identically with vec enabled
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("abbrev,variant,target", [
+    ("DWT", "intra+lds", "vgpr"),
+    ("FWT", "inter", "lds"),
+])
+def test_campaign_outcomes_identical_with_vectorization(
+        abbrev, variant, target):
+    """Hooked launches bypass vectorization, so enabling it globally
+    must not move a single trial's classification (masked / detected /
+    sdc / hang) — including hang verdicts from the spin-flush watchdog.
+    """
+    from repro.faults.campaign import run_campaign
+
+    def tally(vector_on):
+        with vectorized.vector(vector_on):
+            res = run_campaign(lambda: make_benchmark(abbrev, "small"),
+                               variant, target, trials=12, seed=99)
+        return (dict(res.outcomes),
+                [(r.outcome, r.fired, r.cycles) for r in res.records])
+
+    assert tally(False) == tally(True)
+
+
+def test_fault_hook_launch_reports_standard_engine():
+    with vectorized.vector(True):
+        bench = make_benchmark("FWT", "small")
+        compiled = bench.compile("original", cache=False)
+        res = bench.run(Session(), compiled,
+                        fault_hook=lambda wave, instr: None)
+    assert all(l.engine_kind == "standard" for l in res.launches)
+
+
+# ---------------------------------------------------------------------------
+# Scheduler fallback: adversarial/controlled pops get the standard engine
+# ---------------------------------------------------------------------------
+
+
+def test_reorder_scheduler_falls_back_to_standard_engine():
+    bench = make_benchmark("FWT", "small")
+    compiled = bench.compile("inter", cache=False)
+    with vectorized.vector(True):
+        res = bench.run(Session(scheduler=ReorderScheduler("reverse")),
+                        compiled)
+        ref = bench.run(Session(), compiled)
+    assert all(l.engine_kind == "standard" for l in res.launches)
+    assert all(l.engine_kind == "vectorized" for l in ref.launches)
+    # Functional outputs agree even though the schedule (and so the
+    # cycle count) legitimately differs.
+    for name in ref.outputs:
+        assert np.array_equal(ref.outputs[name], res.outputs[name]), name
+
+
+@pytest.mark.slow
+def test_mc_selftest_convicts_with_vectorization_enabled():
+    """The model checker's controlled scheduler never supports
+    run-ahead; with vectorization globally on, its sweeps must still
+    run (on the standard engine) and still convict the planted bugs.
+    """
+    from repro.mc.selftest import run_selftest
+
+    with vectorized.vector(True):
+        result = run_selftest(max_schedules=48)
+    assert result.ok, result.summary() if hasattr(result, "summary") else result
+
+
+# ---------------------------------------------------------------------------
+# Unit behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_vector_toggle_default_off_and_context():
+    assert not vectorized.vector_enabled()
+    with vectorized.vector(True):
+        assert vectorized.vector_enabled()
+        with vectorized.vector(False):
+            assert not vectorized.vector_enabled()
+        assert vectorized.vector_enabled()
+    assert not vectorized.vector_enabled()
+
+
+def test_vectorized_launch_sets_engine_kind():
+    bench = make_benchmark("FWT", "small")
+    compiled = bench.compile("original", cache=False)
+    with vectorized.vector(True):
+        res = bench.run(Session(), compiled)
+    assert all(l.engine_kind == "vectorized" for l in res.launches)
