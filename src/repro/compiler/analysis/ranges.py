@@ -687,3 +687,114 @@ def analyze_ranges(kernel: Kernel) -> RangeAnalysis:
         accesses=accesses,
         by_instr={id(a.instr): a for a in accesses},
     )
+
+
+# ---------------------------------------------------------------------------
+# Fault-transfer widths (logical-masking proofs)
+# ---------------------------------------------------------------------------
+
+#: A corrupted value whose downstream influence is at most this many bits
+#: is treated as logically masked (not-ACE) by the vulnerability analysis:
+#: it matches the width of a hardware-masked shift count, the narrowest
+#: structure the paper's SoR argument ever leaves unprotected.
+MASK_BITS = 5
+
+
+def _popcount32(v: int) -> int:
+    return bin(v & 0xFFFFFFFF).count("1")
+
+
+def _const_arm(reg: VReg, const_of: Dict[int, int]) -> Optional[int]:
+    v = const_of.get(id(reg))
+    return v if isinstance(v, int) and v >= 0 else None
+
+
+def _clamp_width(bound: int, arm: int) -> int:
+    return max(bound, arm).bit_length()
+
+
+def fault_transfer_width(
+    instr: Instr,
+    src: VReg,
+    const_of: Dict[int, int],
+    pred_defs: Optional[Dict[int, Cmp]] = None,
+) -> int:
+    """Bits of ``instr``'s result a corrupted ``src`` operand can influence.
+
+    Returns an upper bound in ``0..32``.  ``const_of`` maps ``id(reg)`` of
+    single-definition registers to their known integer constant;
+    ``pred_defs`` maps ``id(pred reg)`` to its unique defining :class:`Cmp`.
+    The proved narrowings are exactly the paper's logical-masking idioms:
+
+    * ``and`` with a constant mask — popcount of the mask;
+    * ``min`` with a non-negative constant ``C`` — ``C.bit_length()``
+      (the corrupted value can only lower the result or pin it at ``C``);
+    * ``rem`` by a constant divisor ``C > 0`` on the dividend side —
+      ``(C - 1).bit_length()``;
+    * the *count* operand of a shift — the machine reads 5 bits;
+    * compare-then-clamp ``Select`` idioms (``p = lt(x, K); select(p, x,
+      K)`` and its ``gt``/``ge`` mirror), for both the data operand and
+      the predicate operand — flipping either still yields a value
+      bounded by the clamp constants.
+
+    Everything else conservatively transfers the full 32 bits.
+    """
+    pred_defs = pred_defs or {}
+    if isinstance(instr, Alu) and instr.b is not None:
+        op = instr.op
+        other = instr.b if instr.a is src else instr.a
+        if op == "and":
+            mask = const_of.get(id(other))
+            if isinstance(mask, int):
+                return _popcount32(mask)
+        elif op == "min":
+            c = _const_arm(other, const_of)
+            if c is not None:
+                return min(32, c.bit_length())
+        elif op == "rem" and instr.a is src:
+            c = const_of.get(id(instr.b))
+            if isinstance(c, int) and c > 0:
+                return min(32, (c - 1).bit_length())
+        elif op in ("shl", "shr", "ashr") and instr.b is src and instr.a is not src:
+            return MASK_BITS
+        return 32
+    if isinstance(instr, Select):
+        width = _select_clamp_width(instr, src, const_of, pred_defs)
+        if width is not None:
+            return width
+    return 32
+
+
+def _select_clamp_width(
+    instr: Select,
+    src: VReg,
+    const_of: Dict[int, int],
+    pred_defs: Dict[int, Cmp],
+) -> Optional[int]:
+    """Width through a compare-then-clamp ``Select``, or ``None``."""
+    cmp = pred_defs.get(id(instr.pred))
+    if cmp is None:
+        return None
+    # Canonical clamp: p = lt/le(x, K); select(p, x, K') — true keeps x
+    # (already bounded by K), false yields the constant arm.
+    if cmp.op in ("lt", "le"):
+        bound = _const_arm(cmp.b, const_of)
+        arm = _const_arm(instr.b, const_of)
+        if bound is not None and arm is not None and cmp.a is instr.a:
+            if src is instr.a or src is instr.pred:
+                return min(32, _clamp_width(bound, arm))
+    # Mirror: p = gt/ge(x, K); select(p, K', x).
+    if cmp.op in ("gt", "ge"):
+        bound = _const_arm(cmp.b, const_of)
+        arm = _const_arm(instr.a, const_of)
+        if bound is not None and arm is not None and cmp.a is instr.b:
+            if src is instr.b or src is instr.pred:
+                return min(32, _clamp_width(bound, arm))
+    # Degenerate: both value arms constant — the pred can only pick
+    # between two known-bounded values.
+    if src is instr.pred:
+        a = _const_arm(instr.a, const_of)
+        b = _const_arm(instr.b, const_of)
+        if a is not None and b is not None:
+            return min(32, max(a, b).bit_length())
+    return None

@@ -69,10 +69,34 @@ def analyze_sor(kernel: Kernel) -> SorReport:
         return _untransformed_report(kernel)
     flavor = meta["flavor"]
     if flavor == "intra":
-        return _intra_report(kernel, include_lds=meta["include_lds"])
+        rpt = _intra_report(kernel, include_lds=meta["include_lds"])
+        partial = meta.get("partial")
+        if partial:
+            rpt = _selective_report(rpt, partial)
+        return rpt
     if flavor == "inter":
         return _inter_report(kernel)
     raise ValueError(f"unknown RMT flavor {flavor!r}")
+
+
+def _selective_report(base: SorReport, partial: Dict) -> SorReport:
+    """Overlay a declared partial sphere onto an intra-flavor report.
+
+    The *structures* inside the sphere are those of the base flavor, but
+    only the declared subset of SoR exits carries output comparisons —
+    recorded as an extra row so Table-2-style summaries surface the
+    coverage reduction instead of silently claiming the full sphere.
+    """
+    protected = list(partial.get("protected", ()))
+    total = int(partial.get("total", len(protected)))
+    rpt = SorReport(base.kernel_name, "selective")
+    rpt.entries.extend(base.entries)
+    fully = len(protected) >= total
+    rpt.entries.append(SorEntry(
+        "OUTPUT CMP", fully,
+        f"output comparison on {len(protected)}/{total} SoR exits "
+        "(declared partial sphere of replication)"))
+    return rpt
 
 
 def _untransformed_report(kernel: Kernel) -> SorReport:

@@ -21,6 +21,14 @@ The fingerprint is content-addressed, not identity-addressed:
   hex, sorted dict order, enum values) so the hash is identical across
   process restarts and platforms.
 
+Because metadata participates, builder ``protect()`` region annotations
+(``metadata["protect"]``) are part of the kernel fingerprint, and
+because a pass's public attributes participate, the selective-RMT
+threshold/source (:class:`~repro.compiler.passes.rmt_selective.SelectiveOptions`)
+are part of the pass fingerprint — a partially-protected build can
+never alias the cache entry of a fully-protected one, even though both
+compile the same kernel body under the same variant string.
+
 Compile *options* — variant, communication, optimize, verify/lint, the
 resolved validate flag, and the planted-bug hooks ``rmt_pass`` /
 ``extra_passes`` — are folded into the key.  A pass object whose

@@ -1,6 +1,6 @@
 """Static lint suite over the kernel IR.
 
-Five checkers built on :mod:`repro.compiler.analysis.dataflow` and
+Six checkers built on :mod:`repro.compiler.analysis.dataflow` and
 :mod:`repro.compiler.analysis.ranges`:
 
 - ``barrier-divergence`` — barriers under non-wavefront-uniform control
@@ -13,7 +13,10 @@ Five checkers built on :mod:`repro.compiler.analysis.dataflow` and
   store is consumer-predicated, output-compared across a communication
   channel, and (+LDS) replica-remapped;
 - ``oob`` — interval-analysis bounds check of LDS and global accesses
-  against statically-known allocation sizes.
+  against statically-known allocation sizes;
+- ``vuln`` — partial sphere-of-replication contract validation: a
+  kernel declaring ``metadata["rmt"]["partial"]`` must partition its
+  actual SoR exits into the protected/unprotected sets it claims.
 
 Entry points: :func:`run_lints` (collect diagnostics, deterministically
 ordered), :func:`check_kernel` (raise :class:`LintError` on errors —

@@ -104,6 +104,7 @@ def _registry() -> Dict[str, Checker]:
     from .oob import check_oob
     from .sor_coverage import check_sor_coverage
     from .undef import check_undefined_uses
+    from .vuln import check_vuln
 
     return {
         "barrier-divergence": check_barrier_divergence,
@@ -111,6 +112,7 @@ def _registry() -> Dict[str, Checker]:
         "undef": check_undefined_uses,
         "sor-coverage": check_sor_coverage,
         "oob": check_oob,
+        "vuln": check_vuln,
     }
 
 

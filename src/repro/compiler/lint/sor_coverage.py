@@ -116,6 +116,12 @@ def check_sor_coverage(ctx: LintContext) -> List[Diagnostic]:
     flavor = meta.get("flavor")
     communication = bool(meta.get("communication", True))
     include_lds = bool(meta.get("include_lds", False))
+    # Declared partial sphere of replication (selective RMT): exits whose
+    # ordinal — in the same DFS collection order used here — is declared
+    # unprotected keep the consumer-parity guard requirement (exactly one
+    # replica may store) but drop the output-comparison requirement.
+    partial = meta.get("partial") or None
+    unprotected = set(partial.get("unprotected", ())) if partial else set()
 
     defs = _Defs(ctx.kernel)
     diags: List[Diagnostic] = []
@@ -125,10 +131,12 @@ def check_sor_coverage(ctx: LintContext) -> List[Diagnostic]:
     _collect(ctx.kernel.body, (), flavor, include_lds, sor_exits, lds_accesses)
 
     expected_op = "eq" if flavor == "intra" else "ne"
-    for store, enclosing in sor_exits:
+    for ordinal, (store, enclosing) in enumerate(sor_exits):
+        comm = communication and not (partial is not None
+                                      and ordinal in unprotected)
         diags.extend(
             _check_guarded_store(
-                ctx, defs, store, enclosing, expected_op, communication
+                ctx, defs, store, enclosing, expected_op, comm
             )
         )
     if flavor == "intra" and include_lds:

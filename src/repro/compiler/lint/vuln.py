@@ -1,0 +1,61 @@
+"""``vuln`` checker: partial sphere-of-replication contract validation.
+
+Ordinary kernels produce no diagnostics — the vulnerability *ranking*
+is a report (``python -m repro.lint --vuln``), not a lint failure.  A
+kernel that declares ``metadata["rmt"]["partial"]`` however has made a
+machine-checkable claim about which SoR exits it protects, and this
+checker holds it to that claim:
+
+* ``protected``/``unprotected`` must partition ``range(total)``;
+* ``total`` must equal the number of SoR exits actually present;
+
+so a selective build whose declared coverage drifts from its code (a
+pass bug, stale metadata after an optimizer change) fails lint instead
+of silently certifying against the wrong contract.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..analysis.vulnerability import exit_sites
+from .diagnostics import ERROR, Diagnostic
+from .engine import LintContext
+
+_CHECKER = "vuln"
+
+
+def check_vuln(ctx: LintContext) -> List[Diagnostic]:
+    meta = ctx.kernel.metadata.get("rmt") or {}
+    partial = meta.get("partial")
+    if not partial:
+        return []
+    out: List[Diagnostic] = []
+
+    def err(message: str) -> None:
+        out.append(ctx.diag(_CHECKER, ERROR, "<metadata>", message))
+
+    try:
+        protected = [int(x) for x in partial.get("protected", ())]
+        unprotected = [int(x) for x in partial.get("unprotected", ())]
+        total = int(partial.get("total", -1))
+    except (TypeError, ValueError):
+        err("metadata['rmt']['partial'] is malformed: protected/"
+            "unprotected/total must be integer collections")
+        return out
+
+    pset, uset = set(protected), set(unprotected)
+    if len(pset) != len(protected) or len(uset) != len(unprotected):
+        err("partial-SoR contract lists duplicate exit ordinals")
+    overlap = pset & uset
+    if overlap:
+        err(f"partial-SoR contract declares ordinal(s) {sorted(overlap)} "
+            "both protected and unprotected")
+    if pset | uset != set(range(total)):
+        err(f"partial-SoR contract must partition range({total}); got "
+            f"protected={sorted(pset)} unprotected={sorted(uset)}")
+    actual = len(exit_sites(ctx.kernel))
+    if actual != total:
+        err(f"partial-SoR contract declares {total} SoR exit(s) but the "
+            f"kernel contains {actual}")
+    return out

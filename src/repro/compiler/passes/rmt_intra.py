@@ -80,10 +80,7 @@ class IntraGroupRmtPass(Pass):
         if gs is not None:
             gs = (tuple(gs) + (1, 1))[:3] if not isinstance(gs, int) else (gs, 1, 1)
             kernel.metadata["global_size"] = (gs[0] * 2, gs[1], gs[2])
-        suffix = "_rmt_intra" + ("_lds" if opts.include_lds else "_nolds")
-        if opts.fast_comm:
-            suffix += "_fast"
-        kernel.name = kernel.name + suffix
+        kernel.name = kernel.name + self._name_suffix()
 
         original_locals = list(kernel.locals)
         original_body = kernel.body
@@ -137,7 +134,7 @@ class IntraGroupRmtPass(Pass):
             comm_addr = kernel.add_local(INTRA_COMM_ADDR, DType.U32, orig_flat_local)
             comm_val = kernel.add_local(INTRA_COMM_VAL, DType.U32, orig_flat_local)
 
-        rewriter = _IntraRewriter(
+        rewriter = self._make_rewriter(
             kernel=kernel,
             options=opts,
             is_producer=is_producer,
@@ -152,6 +149,19 @@ class IntraGroupRmtPass(Pass):
         body = rewrite_stmts(body, rewriter.rewrite)
         kernel.body.extend(body)
         return kernel
+
+    # -- subclass hooks -----------------------------------------------------
+
+    def _name_suffix(self) -> str:
+        opts = self.options
+        suffix = "_rmt_intra" + ("_lds" if opts.include_lds else "_nolds")
+        if opts.fast_comm:
+            suffix += "_fast"
+        return suffix
+
+    def _make_rewriter(self, **context) -> "_IntraRewriter":
+        """Rewriter factory; the selective-RMT subclass overrides this."""
+        return _IntraRewriter(**context)
 
 
 class _IntraRewriter:

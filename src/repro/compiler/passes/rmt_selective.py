@@ -1,0 +1,310 @@
+"""Selective (vulnerability-driven) Intra-Group RMT.
+
+The paper's transformations are all-or-nothing: every sphere-of-
+replication exit receives an output comparison.  This pass instead
+spends the duplication budget where the static ACE/AVF analysis
+(:mod:`repro.compiler.analysis.vulnerability`) says faults actually
+propagate: only exits carrying enough protection-priority mass — or
+exits inside explicit builder ``protect()`` regions — get the full
+producer→consumer compare; the rest execute once, consumer-side,
+unchecked.
+
+The resulting kernel declares its coverage in
+``metadata["rmt"]["partial"]`` — the *partial sphere of replication
+contract* consumed by the SoR-coverage lint, the ``sor`` analysis and
+translation validation, so a selective build is certified against what
+it claims to protect rather than silently passing as fully protected.
+
+A follow-up sinking step moves computation feeding *only* an
+unprotected exit into that exit's consumer guard, so unprotected
+regions are genuinely executed once instead of merely skipping the
+comparison.  Translation validation accepts those single-replica
+definitions precisely because the partial contract proves every use
+stays inside the same consumer guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set
+
+from ...ir.builder import KernelBuilder
+from ...ir.core import (
+    Alu,
+    AtomicGlobal,
+    Cmp,
+    Const,
+    If,
+    Instr,
+    Kernel,
+    LoadParam,
+    PredOp,
+    Select,
+    Stmt,
+    While,
+)
+from ...ir.types import DType
+from ..analysis.vulnerability import (
+    analyze_vulnerability,
+    exit_sites,
+    protected_ordinals_for_regions,
+    protected_ordinals_for_threshold,
+)
+from .rmt_common import RmtOptions
+from .rmt_intra import IntraGroupRmtPass, _IntraRewriter
+
+_SOURCES = ("auto", "regions", "priority")
+
+
+@dataclass(frozen=True)
+class SelectiveOptions:
+    """Protection policy of the selective pass.
+
+    ``threshold`` is the fraction of total exit priority mass to cover
+    when selecting by priority (1.0 degenerates to full protection,
+    0.0 to none).  ``source`` picks where the protected set comes from:
+    ``"regions"`` uses builder ``protect()`` annotations, ``"priority"``
+    the static ranking, and ``"auto"`` prefers regions when the kernel
+    declares any and falls back to the ranking otherwise.  ``sink``
+    enables the single-replica sinking of computation that feeds only
+    unprotected exits.
+    """
+
+    threshold: float = 1.0
+    source: str = "auto"
+    sink: bool = True
+    fast_comm: bool = False
+
+    def __post_init__(self):
+        if self.source not in _SOURCES:
+            raise ValueError(
+                f"SelectiveOptions.source must be one of {_SOURCES}, "
+                f"got {self.source!r}")
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError(
+                f"SelectiveOptions.threshold must be in [0, 1], "
+                f"got {self.threshold!r}")
+
+
+class SelectiveRmtPass(IntraGroupRmtPass):
+    """Intra-Group RMT that duplicates only high-priority SoR exits."""
+
+    def __init__(self, selective: SelectiveOptions = SelectiveOptions()):
+        super().__init__(RmtOptions(
+            include_lds=True, communication=True,
+            fast_comm=selective.fast_comm,
+        ))
+        self.selective = selective
+        self.name = "rmt-selective"
+
+    def run(self, kernel: Kernel) -> Kernel:
+        sel = self.selective
+        total = len(exit_sites(kernel))
+        regions = (kernel.metadata.get("protect") or {}).get("regions") or []
+        if sel.source == "regions" or (sel.source == "auto" and regions):
+            protected = protected_ordinals_for_regions(kernel)
+            source = "regions"
+        else:
+            report = analyze_vulnerability(kernel)
+            protected = protected_ordinals_for_threshold(report, sel.threshold)
+            source = "priority"
+        self._protected: Set[int] = set(protected)
+        self._rewriter: Optional[_SelectiveRewriter] = None
+
+        out = super().run(kernel)
+
+        out.metadata["rmt"]["partial"] = {
+            "protected": sorted(self._protected),
+            "unprotected": sorted(set(range(total)) - self._protected),
+            "total": total,
+            "source": source,
+            "threshold": sel.threshold,
+        }
+        if sel.sink and self._rewriter is not None:
+            sink_unprotected(out, self._rewriter.unprotected_ifs)
+        return out
+
+    # -- subclass hooks ------------------------------------------------------
+
+    def _name_suffix(self) -> str:
+        return "_rmt_selective"
+
+    def _make_rewriter(self, **context) -> "_SelectiveRewriter":
+        self._rewriter = _SelectiveRewriter(
+            protected=self._protected, **context)
+        return self._rewriter
+
+
+class _SelectiveRewriter(_IntraRewriter):
+    """Intra rewriter that checks each exit ordinal against the policy.
+
+    Ordinals count non-``__rmt_`` global stores/atomics in the
+    ``rewrite_stmts`` visit order, which is the same DFS order
+    :func:`~repro.compiler.analysis.vulnerability.exit_sites` and the
+    SoR-coverage lint use — the three agree on numbering by contract.
+    """
+
+    def __init__(self, protected: Set[int], **context):
+        super().__init__(**context)
+        self.protected = protected
+        self.unprotected_ifs: List[If] = []
+        self._ordinal = 0
+
+    def _next_ordinal(self) -> int:
+        ordinal = self._ordinal
+        self._ordinal += 1
+        return ordinal
+
+    def _guarded_store(self, instr, index, value, emit_store) -> List[Stmt]:
+        if self._next_ordinal() in self.protected:
+            return super()._guarded_store(instr, index, value, emit_store)
+        out: List[Stmt] = []
+        sb = KernelBuilder.attach(self.kernel, out)
+        with sb.if_(self.is_consumer):
+            emit_store(sb)
+        self.unprotected_ifs.append(out[-1])
+        return out
+
+    def _guarded_atomic(self, instr: AtomicGlobal) -> List[Stmt]:
+        if self._next_ordinal() in self.protected:
+            return super()._guarded_atomic(instr)
+
+        out: List[Stmt] = []
+        sb = KernelBuilder.attach(self.kernel, out)
+        old_u = sb.const(0, DType.U32) if instr.dst is not None else None
+
+        with sb.if_(self.is_consumer):
+            tmp = (
+                None if instr.dst is None
+                else self.kernel.new_reg(instr.dst.dtype, hint="old")
+            )
+            sb._emit(AtomicGlobal(
+                instr.op, tmp, instr.buf, instr.index, instr.value,
+                instr.compare,
+            ))
+            if tmp is not None:
+                sb.set(old_u, sb.as_u32(tmp))
+        self.unprotected_ifs.append(out[-1])
+
+        if old_u is not None:
+            # The old value is still broadcast consumer→producer so both
+            # replicas continue with identical downstream state — only
+            # the operand *comparison* is elided for unprotected exits.
+            if self.options.fast_comm:
+                packed = sb.mov(old_u)
+                old_u = sb.swizzle(packed, and_mask=~1)
+            else:
+                with sb.if_(self.is_consumer):
+                    sb.store_local(self.comm_val, self.pair_slot, old_u)
+                old_u = sb.load_local(self.comm_val, self.pair_slot)
+
+        if instr.dst is not None:
+            op = {
+                DType.U32: "mov", DType.I32: "bitcast_i32",
+                DType.F32: "bitcast_f32",
+            }[instr.dst.dtype]
+            sb._emit(Alu(op, instr.dst, old_u))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Sinking: single-replica execution of unprotected-only computation
+# ---------------------------------------------------------------------------
+
+#: Instruction kinds safe to execute under a divergence guard: no memory
+#: effects, no cross-lane semantics, no error reporting.
+_PURE = (Const, LoadParam, Alu, Cmp, PredOp, Select)
+
+
+def sink_unprotected(kernel: Kernel, guards: Sequence[If]) -> int:
+    """Move computation feeding only an unprotected consumer guard into it.
+
+    For each unprotected-exit guard, the contiguous run of pure
+    instructions immediately preceding it in its parent block is sunk
+    into the guard's then-body when (a) every destination register has
+    that single definition in the whole kernel and (b) every use of it
+    lies inside the moved run or the guard's subtree.  Returns the
+    number of instructions moved.
+    """
+    if not guards:
+        return 0
+    guard_ids = {id(g) for g in guards}
+
+    # Whole-kernel def counts and use sites (conditions included).
+    def_count: Dict[int, int] = {}
+    use_sites: Dict[int, List[int]] = {}
+    parent: Dict[int, List[Stmt]] = {}
+
+    def walk(block: List[Stmt]) -> None:
+        for stmt in block:
+            parent[id(stmt)] = block
+            if isinstance(stmt, If):
+                use_sites.setdefault(id(stmt.cond), []).append(id(stmt))
+                walk(stmt.then_body)
+                walk(stmt.else_body)
+            elif isinstance(stmt, While):
+                use_sites.setdefault(id(stmt.cond), []).append(id(stmt))
+                walk(stmt.cond_block)
+                walk(stmt.body)
+            else:
+                for d in stmt.dests():
+                    def_count[id(d)] = def_count.get(id(d), 0) + 1
+                for s in stmt.sources():
+                    use_sites.setdefault(id(s), []).append(id(stmt))
+
+    walk(kernel.body)
+
+    moved_total = 0
+    for guard in guards:
+        block = parent.get(id(guard))
+        if block is None or id(guard) not in guard_ids:
+            continue
+        pos = next(i for i, s in enumerate(block) if s is guard)
+        # Everything inside the guard's subtree may keep using sunk values.
+        allowed: Set[int] = {id(guard)}
+        for inner in _subtree(guard):
+            allowed.add(id(inner))
+
+        moved: List[Instr] = []
+        p = pos - 1
+        while p >= 0:
+            cand = block[p]
+            if not isinstance(cand, _PURE):
+                break
+            ok = True
+            for d in cand.dests():
+                if def_count.get(id(d), 0) != 1:
+                    ok = False
+                    break
+                for user in use_sites.get(id(d), ()):
+                    if user not in allowed:
+                        ok = False
+                        break
+                if not ok:
+                    break
+            if not ok:
+                break
+            moved.append(cand)
+            allowed.add(id(cand))
+            p -= 1
+
+        if not moved:
+            continue
+        moved.reverse()
+        del block[p + 1:pos]
+        guard.then_body[:0] = moved
+        moved_total += len(moved)
+    return moved_total
+
+
+def _subtree(guard: If):
+    stack: List[Stmt] = list(guard.then_body) + list(guard.else_body)
+    while stack:
+        stmt = stack.pop()
+        yield stmt
+        if isinstance(stmt, If):
+            stack.extend(stmt.then_body)
+            stack.extend(stmt.else_body)
+        elif isinstance(stmt, While):
+            stack.extend(stmt.cond_block)
+            stack.extend(stmt.body)

@@ -564,11 +564,18 @@ class _Validator:
         if self.mode == "identity":
             self._skip(ob)
             return
+        partial = bool(self.rmt and self.rmt.get("partial"))
+        node_guards = uses_at = None
+        if partial:
+            node_guards, uses_at = self._node_enclosures()
         for instr, guards in self.shapeT.leaves:
             touched = [d for d in instr.dests() if id(d) in self.orig_regs]
             if not touched:
                 continue
             flaw = self._guard_flaw(guards)
+            if flaw == FAILED and partial and self._single_replica_ok(
+                    instr, touched, node_guards, uses_at):
+                continue
             if flaw == FAILED:
                 self._witness(ob, FAILED, instr=instr, message=(
                     f"definition of replicated value {touched[0]!r} is "
@@ -578,6 +585,68 @@ class _Validator:
                 self._witness(ob, UNPROVEN, instr=instr, message=(
                     f"cannot prove both replicas compute {touched[0]!r}: a "
                     "guard condition has unknown replica parity"))
+
+    def _node_enclosures(self):
+        """Node-identity guard chains and per-use enclosures.
+
+        ``Guards`` tuples key by condition *register*, which cannot tell
+        two distinct ``If`` statements sharing one condition apart (every
+        consumer guard tests the same parity register).  The partial-SoR
+        acceptance below needs to know whether a use sits inside one
+        specific guard node, so this walk records chains of
+        ``(id(node), cond, kind)`` and, for every register, the chain of
+        node ids enclosing each of its uses (a control condition counts
+        as a use at the node's own position).
+        """
+        node_guards: Dict[int, Tuple] = {}
+        uses_at: Dict[int, List[Tuple[int, ...]]] = {}
+
+        def walk(body: Sequence[Stmt], chain: Tuple) -> None:
+            ids = tuple(nid for nid, _cond, _kind in chain)
+            for stmt in body:
+                if isinstance(stmt, If):
+                    uses_at.setdefault(id(stmt.cond), []).append(ids)
+                    inner = chain + ((id(stmt), stmt.cond, "if"),)
+                    walk(stmt.then_body, inner)
+                    walk(stmt.else_body, inner)
+                elif isinstance(stmt, While):
+                    uses_at.setdefault(id(stmt.cond), []).append(ids)
+                    inner = chain + ((id(stmt), stmt.cond, "while"),)
+                    walk(stmt.cond_block, inner)
+                    walk(stmt.body, inner)
+                else:
+                    node_guards[id(stmt)] = chain
+                    for s in stmt.sources():
+                        uses_at.setdefault(id(s), []).append(ids)
+
+        walk(self.transformed.body, ())
+        return node_guards, uses_at
+
+    def _single_replica_ok(self, instr, touched, node_guards, uses_at) -> bool:
+        """Partial-SoR acceptance for a parity-guarded definition.
+
+        Under a declared partial sphere of replication, the selective
+        pass sinks computation feeding only an unprotected exit into
+        that exit's consumer guard — a *deliberate* single-replica
+        region.  Such a definition is sound iff every parity guard
+        above it is an ``If`` (a parity-divergent loop would diverge
+        iteration counts) and every use of the defined register stays
+        inside that same guard node, so no dual-replica code ever
+        observes the single-replica value.
+        """
+        chain = node_guards.get(id(instr))
+        if chain is None or self.pairs is None:
+            return False
+        par_nodes = [(nid, kind) for nid, cond, kind in chain
+                     if self.pairs.of(cond) == PAR]
+        if not par_nodes or any(kind != "if" for _nid, kind in par_nodes):
+            return False
+        for nid, _kind in par_nodes:
+            for reg in touched:
+                for enclosure in uses_at.get(id(reg), ()):
+                    if nid not in enclosure:
+                        return False
+        return True
 
     # LDS disjointness -------------------------------------------------------
 

@@ -13,6 +13,13 @@ from .campaign import (
     run_single_fault,
 )
 from .injector import TARGETS, FaultHook, FaultPlan, InjectionRecord, random_plan
+from .validation import (
+    ValidationReport,
+    bucket_sdc_rates,
+    merge_bucket_outcomes,
+    spearman,
+    validate_predictions,
+)
 
 __all__ = [
     "CampaignResult",
@@ -23,11 +30,16 @@ __all__ = [
     "OUTCOMES",
     "TARGETS",
     "TrialRecord",
+    "ValidationReport",
+    "bucket_sdc_rates",
     "campaign_report",
     "classify_trial",
     "draw_plans",
     "execute_trial",
+    "merge_bucket_outcomes",
     "random_plan",
     "run_campaign",
     "run_single_fault",
+    "spearman",
+    "validate_predictions",
 ]

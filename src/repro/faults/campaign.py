@@ -48,6 +48,9 @@ class TrialRecord:
     description: str = ""
     cycles: float = 0.0
     error: str = ""
+    #: Static protection-priority bucket of the flipped register (-1 when
+    #: unknown: no bucket map, LDS faults, or pre-bucket journals).
+    bucket: int = -1
 
     def to_json(self) -> Dict:
         return {
@@ -58,6 +61,7 @@ class TrialRecord:
             "description": self.description,
             "cycles": self.cycles,
             "error": self.error,
+            "bucket": self.bucket,
         }
 
     @classmethod
@@ -71,6 +75,7 @@ class TrialRecord:
             description=payload.get("description", ""),
             cycles=float(payload.get("cycles", 0.0)),
             error=payload.get("error", ""),
+            bucket=int(payload.get("bucket", -1)),
         )
 
 
@@ -88,6 +93,10 @@ class CampaignResult:
     infra: List[TrialRecord] = field(default_factory=list)
     record_cap: int = DEFAULT_RECORD_CAP
     dropped_records: int = 0
+    #: Outcome histogram per static priority bucket (fired trials with a
+    #: known bucket only) — the join the vulnerability-validation harness
+    #: correlates against static predictions.
+    bucket_outcomes: Dict[int, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def sdc_count(self) -> int:
@@ -111,6 +120,9 @@ class CampaignResult:
             self.infra.append(record)
         if record.fired:
             self.fired += 1
+            if record.bucket >= 0:
+                hist = self.bucket_outcomes.setdefault(record.bucket, {})
+                hist[record.outcome] = hist.get(record.outcome, 0) + 1
             if len(self.records) < self.record_cap:
                 self.records.append(record)
             else:
@@ -136,6 +148,10 @@ class CampaignResult:
             out.trials += part.trials
             out.fired += part.fired
             out.dropped_records += part.dropped_records
+            for b, hist in part.bucket_outcomes.items():
+                merged_hist = out.bucket_outcomes.setdefault(b, {})
+                for outcome, count in hist.items():
+                    merged_hist[outcome] = merged_hist.get(outcome, 0) + count
             for rec in part.records:
                 if len(out.records) < out.record_cap:
                     out.records.append(rec)
@@ -154,7 +170,7 @@ class CampaignResult:
         serialise through it, so a daemon result is comparable
         bit-for-bit with a batch run of the same spec.
         """
-        return {
+        doc = {
             "benchmark": self.benchmark,
             "variant": self.variant,
             "target": self.target,
@@ -163,6 +179,12 @@ class CampaignResult:
             "outcomes": dict(self.outcomes),
             "coverage": round(self.coverage, 4),
         }
+        if self.bucket_outcomes:
+            doc["bucket_outcomes"] = {
+                str(b): dict(sorted(self.bucket_outcomes[b].items()))
+                for b in sorted(self.bucket_outcomes)
+            }
+        return doc
 
     def summary(self) -> str:
         return (
@@ -228,9 +250,17 @@ def execute_trial(
     cycle_budget: Optional[float] = None,
     index: int = -1,
     reference=None,
+    priority_buckets: Optional[Dict[int, int]] = None,
 ) -> TrialRecord:
-    """Run one benchmark once with one injected fault; record the outcome."""
-    hook = FaultHook(plan, scalar_reg_ids=compiled.uniformity.uniform_regs)
+    """Run one benchmark once with one injected fault; record the outcome.
+
+    ``priority_buckets`` (``id(reg)`` → static priority bucket, from
+    :func:`repro.compiler.analysis.vulnerability.register_buckets` over
+    the *compiled* kernel) lets the hook stamp each fired record with
+    the victim's predicted vulnerability bucket.
+    """
+    hook = FaultHook(plan, scalar_reg_ids=compiled.uniformity.uniform_regs,
+                     priority_buckets=priority_buckets)
     session = Session.with_cycle_budget(cycle_budget)
     try:
         run = bench.run(session, compiled, fault_hook=hook)
@@ -243,7 +273,7 @@ def execute_trial(
     return TrialRecord(
         index=index, outcome=outcome, plan=plan,
         fired=hook.record.fired, description=hook.record.description,
-        cycles=cycles,
+        cycles=cycles, bucket=hook.record.bucket,
     )
 
 
@@ -371,6 +401,13 @@ def run_campaign(
         # certification cost is paid once per campaign, not once per trial.
         compiled = probe.compile(variant)
 
+        # Static priority buckets are keyed by id(reg) of the compiled
+        # kernel, which forked workers inherit — the analysis runs once
+        # per campaign and every trial record joins to it for free.
+        from ..compiler.analysis.vulnerability import register_buckets
+
+        buckets = register_buckets(compiled.kernel)
+
         # Golden run establishes a watchdog budget so corrupted spin locks
         # or loop bounds terminate as "hang" instead of running to the
         # horizon; its host-side reference outputs are reused by every
@@ -392,7 +429,8 @@ def run_campaign(
             # the compiled artifact and golden reference are shared.
             bench = make_bench()
             return execute_trial(bench, compiled, plans[index], budget,
-                                 index=index, reference=reference)
+                                 index=index, reference=reference,
+                                 priority_buckets=buckets)
 
         def on_result(task_result) -> None:
             if task_result.ok:

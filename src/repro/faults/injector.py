@@ -19,7 +19,7 @@ flagged it), or ``sdc`` (silent data corruption — wrong output, no flag).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Set
+from typing import Dict, Optional, Set
 
 import numpy as np
 
@@ -44,18 +44,29 @@ class FaultPlan:
 
 @dataclass
 class InjectionRecord:
-    """What the hook actually did (for reporting and debugging)."""
+    """What the hook actually did (for reporting and debugging).
+
+    ``bucket`` is the static protection-priority quartile of the victim
+    register (see :mod:`repro.compiler.analysis.vulnerability`), stamped
+    at flip time when the hook was given a bucket map — so campaign
+    records join fault outcomes to static predictions without re-running
+    the analysis per worker.  ``-1`` means unknown (no map supplied, or
+    an LDS fault, which has no per-register bucket).
+    """
 
     fired: bool = False
     description: str = ""
+    bucket: int = -1
 
 
 class FaultHook:
     """Callable installed as the launch context's per-instruction hook."""
 
-    def __init__(self, plan: FaultPlan, scalar_reg_ids: Optional[Set[int]] = None):
+    def __init__(self, plan: FaultPlan, scalar_reg_ids: Optional[Set[int]] = None,
+                 priority_buckets: Optional[Dict[int, int]] = None):
         self.plan = plan
         self.scalar_reg_ids = scalar_reg_ids or set()
+        self.priority_buckets = priority_buckets or {}
         self.record = InjectionRecord()
         self._wave_ids = {}
         # Strong references keep every seen wavefront alive, so id()
@@ -119,6 +130,7 @@ class FaultHook:
             else:
                 view[plan.lane] ^= mask
         self.record.fired = True
+        self.record.bucket = self.priority_buckets.get(rid, -1)
         self.record.description = (
             f"{plan.target} flip bit {plan.bit} wave {plan.wave_ordinal} "
             f"@instr {plan.trigger_instr}"

@@ -67,6 +67,11 @@ class GenConfig:
     allow_atomics: bool = True
     allow_branches: bool = True
     allow_loops: bool = True
+    #: Probability of wrapping a top-level segment (or an epilogue
+    #: store) in a ``protect()`` region for selective-RMT testing.  The
+    #: gate short-circuits at 0.0 — no rng draw — so the default stream,
+    #: and with it every committed corpus digest, is unchanged.
+    protect_prob: float = 0.0
     #: Segment-kind weights; zeroing one disables that shape.
     weights: Dict[str, float] = field(default_factory=lambda: {
         "alu": 4.0, "load": 2.0, "select": 1.0, "store": 1.0,
@@ -308,6 +313,30 @@ class _Gen:
             for _ in range(int(self.rng.integers(1, 3))):
                 self.segment(depth + 1, uniform=False)
 
+    def protect_gate(self) -> bool:
+        """Draw the protect coin — short-circuits when the feature is off
+        so the default-config rng stream is bit-identical to v1."""
+        return (self.cfg.protect_prob > 0
+                and self.rng.random() < self.cfg.protect_prob)
+
+    def protect_segment(self) -> None:
+        """Wrap 1–2 top-level segments in a protect() region marker.
+
+        Unlike branch/loop scopes this pushes the region's op list
+        without :meth:`scope`: protect is not control flow, so values
+        defined inside stay in the pools for later segments — exactly
+        the visibility the builder's ``protect()`` gives them.
+        """
+        node = self.emit(Op("protect"))
+        self.block_stack.append(node.body)
+        try:
+            for _ in range(int(self.rng.integers(1, 3))):
+                self.segment(0, uniform=True)
+        finally:
+            self.block_stack.pop()
+        if not node.body:  # budget ran out before anything landed
+            self.block_stack[-1].pop()
+
     def seg_lds(self, depth: int) -> None:
         """One full write→barrier→read→barrier phase (uniform ctx only)."""
         lds = self.choice(self.lds_bufs)
@@ -417,14 +446,21 @@ class _Gen:
             self.define(s.dtype, Op("scalar", ref=s.name))
 
         while self.budget > 0:
-            self.segment(0, uniform=True)
+            if self.protect_gate():
+                self.protect_segment()
+            else:
+                self.segment(0, uniform=True)
 
         # Epilogue: every out buffer gets one unconditional store so the
         # differential comparison always has signal.
         for buf in self.out_bufs:
             idx = self.emit_bijection(self.bijections[buf.name], buf.nelems)
-            self.emit(Op("store", ref=buf.name, args=(idx,
-                                                      self.value_for(buf.dtype))))
+            store = Op("store", ref=buf.name,
+                       args=(idx, self.value_for(buf.dtype)))
+            if self.protect_gate():
+                self.emit(Op("protect", body=[store]))
+            else:
+                self.emit(store)
 
         prog = FuzzProgram(
             name=f"fuzz_{self.seed}",

@@ -20,6 +20,11 @@ window are a *measured* property of the design (the paper's ACF is not
 own campaigns prove exact coverage (LDS upsets under Intra+LDS and
 Inter, where the structure is fully inside the SoR).
 
+Programs carrying ``protect`` ops additionally get a region-sourced
+*selective* RMT run (see :func:`selective_spec`): unfaulted it must be
+bit-identical to baseline with zero detections, certifying the partial
+sphere-of-replication machinery on generator-shaped regions.
+
 The per-run compile hooks (``rmt_pass``, ``extra_passes`` on
 :class:`RunSpec`) exist so tests can *plant* bugs — a pass that skips an
 output comparison, a store off-by-one — and prove the oracle flags
@@ -71,6 +76,28 @@ def default_runs() -> List[RunSpec]:
         for optimize in (False, True):
             out.append(RunSpec(variant, optimize=optimize))
     return out
+
+
+def _has_protect(ops) -> bool:
+    return any(op.kind == "protect" or _has_protect(op.body)
+               or _has_protect(op.orelse) for op in ops)
+
+
+def selective_spec() -> RunSpec:
+    """A region-sourced selective-RMT run (partial SoR contract).
+
+    Carried as an explicit ``rmt_pass`` so the fault probe skips it —
+    a fault at an unprotected exit escaping is the *declared* contract,
+    not a finding — while the unfaulted differential checks still apply
+    in full: a selective build must be bit-identical to baseline and a
+    detection on a clean run is the comparison crying wolf.
+    """
+    from ..compiler.passes.rmt_selective import (
+        SelectiveOptions, SelectiveRmtPass,
+    )
+
+    return RunSpec("selective",
+                   rmt_pass=SelectiveRmtPass(SelectiveOptions(source="regions")))
 
 
 @dataclass
@@ -243,6 +270,8 @@ def check_program(
 
     budget = HANG_BUDGET_FACTOR * baseline.cycles + HANG_BUDGET_SLACK
     specs = list(default_runs() if runs is None else runs)
+    if runs is None and _has_protect(prog.ops):
+        specs.append(selective_spec())
     for spec in specs:
         run = run_program(prog, spec, cycle_budget=budget)
         report.runs.append(run)

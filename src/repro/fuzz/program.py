@@ -44,7 +44,7 @@ NP_DTYPES = {"u32": np.uint32, "i32": np.int32, "f32": np.float32}
 OP_KINDS = (
     "const", "scalar", "special", "alu", "cmp", "predop", "select",
     "load", "store", "load_local", "store_local", "atomic", "barrier",
-    "if", "for",
+    "if", "for", "protect",
 )
 
 
@@ -117,6 +117,8 @@ class Op:
     if         args (pred id), body, orelse
     for        result (induction var id), imm (start, stop, step) with
                stop overridden by args[0] when args is non-empty, body
+    protect    body (NOT control flow: statements stay in the enclosing
+               scope; marks a selective-RMT protection region)
     ========== ======================================================
     """
 
@@ -224,6 +226,9 @@ class FuzzProgram:
             with b.for_range(start, stop_operand, step) as i:
                 env[op.result] = i
                 self._build_body(b, op.body, env, bufs, allocs)
+        elif k == "protect":
+            with b.protect():
+                self._build_body(b, op.body, env, bufs, allocs)
         else:  # pragma: no cover - validate() rejects unknown kinds
             raise ValueError(f"unknown op kind {k!r}")
 
@@ -264,6 +269,9 @@ class FuzzProgram:
                 elif op.kind == "if":
                     walk(op.body, depth + 1)
                     walk(op.orelse, depth + 1)
+                elif op.kind == "protect":
+                    # Not a scope: nested definitions stay visible after.
+                    walk(op.body, depth)
                 elif op.result is not None:
                     defined.add(op.result)
 

@@ -164,7 +164,7 @@ def shrink_program(
             progress = False
             for path, idx, _depth in _sites(current):
                 node = _resolve(current, path)[idx]
-                if node.kind not in ("if", "for"):
+                if node.kind not in ("if", "for", "protect"):
                     continue
 
                 def unwrap(p, path=path, idx=idx):

@@ -59,6 +59,7 @@ class KernelBuilder:
         self._kernel = Kernel(name)
         self._stack: List[List[Stmt]] = [self._kernel.body]
         self._finished = False
+        self._protected: List[tuple] = []
 
     @classmethod
     def attach(cls, kernel: Kernel, target: List[Stmt]) -> "KernelBuilder":
@@ -72,6 +73,7 @@ class KernelBuilder:
         self._kernel = kernel
         self._stack = [target]
         self._finished = False
+        self._protected = []
         return self
 
     # -- declarations -----------------------------------------------------
@@ -463,10 +465,65 @@ class KernelBuilder:
             yield i
             self.set(i, self.add(i, step_reg))
 
+    @contextlib.contextmanager
+    def protect(self, label: str = ""):
+        """``with b.protect(): ...`` — mark a selective-RMT protection region.
+
+        Not control flow: the wrapped statements stay in the enclosing
+        block (values defined inside remain usable after).  The region —
+        a contiguous statement span of the current block, including any
+        nested control flow opened inside it — is recorded in
+        ``metadata['protect']['regions']`` by :meth:`finish` as a
+        structural path plus ``[start, end)`` indices, the form the
+        selective RMT pass and the vulnerability analysis consume.
+        """
+        block = self._stack[-1]
+        start = len(block)
+        try:
+            yield
+        finally:
+            end = len(block)
+            if end > start:
+                self._protected.append((block, start, end, label))
+
+    def _resolve_protect_regions(self) -> None:
+        if not self._protected:
+            return
+        # Paths use the same convention as analysis Locs / instr_paths:
+        # top level "body", then ".[i]" plus then/else/cond/body arms.
+        prefix_of = {id(self._kernel.body): "body"}
+
+        def walk(stmts, prefix: str) -> None:
+            for i, stmt in enumerate(stmts):
+                at = f"{prefix}.[{i}]"
+                if isinstance(stmt, If):
+                    prefix_of[id(stmt.then_body)] = f"{at}.then"
+                    prefix_of[id(stmt.else_body)] = f"{at}.else"
+                    walk(stmt.then_body, f"{at}.then")
+                    walk(stmt.else_body, f"{at}.else")
+                elif isinstance(stmt, While):
+                    prefix_of[id(stmt.cond_block)] = f"{at}.cond"
+                    prefix_of[id(stmt.body)] = f"{at}.body"
+                    walk(stmt.cond_block, f"{at}.cond")
+                    walk(stmt.body, f"{at}.body")
+
+        walk(self._kernel.body, "body")
+        regions = []
+        for block, start, end, label in self._protected:
+            path = prefix_of.get(id(block))
+            if path is None:
+                raise RuntimeError(
+                    "protect() region's block is no longer part of the kernel")
+            regions.append({"path": path, "start": start, "end": end,
+                            "label": label})
+        regions.sort(key=lambda r: (r["path"], r["start"]))
+        self._kernel.metadata["protect"] = {"regions": regions}
+
     def finish(self) -> Kernel:
         """Finalize and return the kernel."""
         if len(self._stack) != 1:
             raise RuntimeError("unbalanced control-flow contexts at finish()")
+        self._resolve_protect_regions()
         self._finished = True
         return self._kernel
 

@@ -6,6 +6,13 @@ variant and reports the diagnostics from
 status is non-zero when any error-severity diagnostic is produced, so
 CI can gate on it.  ``--json`` emits one machine-readable document
 using the same per-diagnostic serialization as ``python -m repro.tv``.
+
+``--vuln`` switches to the static-vulnerability report: instead of
+linting transformed kernels, every *untransformed* suite kernel runs
+the ACE/AVF analysis of
+:mod:`repro.compiler.analysis.vulnerability` and the per-def-site
+priority ranking is printed (text) or serialized (``--json``).  The
+output is deterministic across runs and processes, so CI can diff it.
 """
 
 from __future__ import annotations
@@ -57,6 +64,16 @@ def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
         help="emit one JSON document instead of text",
     )
     parser.add_argument(
+        "--vuln", action="store_true",
+        help="report the static ACE/AVF vulnerability ranking of each "
+             "untransformed suite kernel instead of linting variants",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="with --vuln (text mode): show the N highest-priority "
+             "def sites per kernel (default: 10)",
+    )
+    parser.add_argument(
         "-q", "--quiet", action="store_true",
         help="print only diagnostics and the summary line",
     )
@@ -69,9 +86,43 @@ def _split(arg: Optional[str]) -> Optional[List[str]]:
     return [x.strip() for x in arg.split(",") if x.strip()]
 
 
+def _vuln_main(args: argparse.Namespace, abbrevs: List[str]) -> int:
+    from ..compiler.analysis.vulnerability import analyze_vulnerability
+
+    docs: List[Dict] = []
+    for abbrev in abbrevs:
+        try:
+            kernel = make_benchmark(abbrev, scale=args.scale).build()
+        except KeyError as exc:
+            print(f"unknown kernel {abbrev!r}: {exc}", file=sys.stderr)
+            return 2
+        report = analyze_vulnerability(kernel)
+        doc = report.to_json()
+        doc["abbrev"] = abbrev
+        docs.append(doc)
+        if not args.json:
+            by_cls: Dict[str, int] = {}
+            for e in report.entries:
+                by_cls[e.classification] = by_cls.get(e.classification, 0) + 1
+            print(f"{abbrev} ({kernel.name}): {len(report.entries)} def "
+                  f"site(s), {len(report.exits)} SoR exit(s), "
+                  f"total priority {report.total_priority:.2f} "
+                  f"[{' '.join(f'{k}={v}' for k, v in sorted(by_cls.items()))}]")
+            if not args.quiet:
+                for e in report.ranked()[:max(args.top, 0)]:
+                    print(f"  {e.priority:10.2f}  b{e.bucket}  {e.reg:>12} "
+                          f"{e.op:<16} {e.classification:<6} w={e.width:<2} "
+                          f"x={e.exposure:<4} {e.path}")
+    if args.json:
+        print(json.dumps({"vuln": docs}, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _parse_args(argv)
     abbrevs = _split(args.kernels) or all_abbrevs()
+    if args.vuln:
+        return _vuln_main(args, abbrevs)
     variants = _split(args.variants) or list(RMT_VARIANTS)
     checkers = _split(args.checkers)
 

@@ -126,6 +126,60 @@ def test_key_matches_for_structurally_identical_builds():
     assert _key(_build_kernel()) == _key(_build_kernel(reg_hint="other"))
 
 
+def _build_protected_kernel(protected=True):
+    kb = KernelBuilder("fp_protect")
+    out = kb.buffer_param("out", DType.U32)
+    gid = kb.global_id(0)
+    if protected:
+        with kb.protect("hot"):
+            kb.store(out, gid, gid)
+    else:
+        kb.store(out, gid, gid)
+    kernel = kb.finish()
+    kernel.metadata.update({
+        "local_size": (64, 1, 1), "global_size": (64, 1, 1),
+        "buffer_nelems": {"out": 64},
+    })
+    return kernel
+
+
+def test_fingerprint_sensitive_to_protect_regions():
+    """A protect() annotation changes selective-build semantics, so a
+    partial build may never alias a fully-unannotated entry."""
+    assert kernel_fingerprint(_build_protected_kernel(True)) != \
+        kernel_fingerprint(_build_protected_kernel(False))
+
+
+def test_key_sensitive_to_selective_policy():
+    from repro.compiler.passes.rmt_selective import (
+        SelectiveOptions, SelectiveRmtPass)
+
+    k = _build_protected_kernel()
+    keys = {
+        _key(k, variant="selective",
+             rmt_pass=SelectiveRmtPass(SelectiveOptions(
+                 source=source, threshold=threshold)))
+        for source, threshold in (
+            ("regions", 1.0), ("priority", 1.0), ("priority", 0.5))
+    }
+    assert None not in keys          # the pass stays cacheable
+    assert len(keys) == 3            # every policy is its own entry
+
+
+def test_selective_cache_hit_returns_identical_object():
+    from repro.compiler.passes.rmt_selective import (
+        SelectiveOptions, SelectiveRmtPass)
+
+    cache = CompileCache()
+    opts = SelectiveOptions(source="regions")
+    c1 = compile_kernel(_build_protected_kernel(), "selective",
+                        rmt_pass=SelectiveRmtPass(opts), cache=cache)
+    c2 = compile_kernel(_build_protected_kernel(), "selective",
+                        rmt_pass=SelectiveRmtPass(opts), cache=cache)
+    assert c1 is c2
+    assert cache.stats.mem_hits == 1
+
+
 def test_uncacheable_pass_disables_caching_not_compilation():
     class WeirdPass:
         name = "weird"

@@ -374,6 +374,7 @@ class TestWiring:
             "undef",
             "sor-coverage",
             "oob",
+            "vuln",
         }
 
 

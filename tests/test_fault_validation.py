@@ -1,0 +1,105 @@
+"""Tests for the static-prediction validation harness: rank
+correlation, bucket joins, and the bucket plumbing through campaign
+records."""
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    TrialRecord,
+    bucket_sdc_rates,
+    merge_bucket_outcomes,
+    run_campaign,
+    spearman,
+    validate_predictions,
+)
+from repro.faults.campaign import CampaignResult
+from repro.kernels import SMALL_SUITE
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        assert spearman([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+        assert spearman([1, 2, 3, 4], [40, 30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_nonlinear_monotone_still_perfect(self):
+        # Rank correlation ignores the shape, only the ordering.
+        assert spearman([1, 2, 3, 4], [1, 8, 27, 1000]) == pytest.approx(1.0)
+
+    def test_ties_share_average_rank(self):
+        # ys ties on the middle pair; correlation drops below 1 but
+        # stays positive and symmetric.
+        r = spearman([1, 2, 3, 4], [1, 2, 2, 3])
+        assert 0.8 < r < 1.0
+        assert spearman([1, 2, 3, 4], [3, 2, 2, 1]) == pytest.approx(-r)
+
+    def test_degenerate_inputs(self):
+        assert spearman([], []) == 0.0
+        assert spearman([1], [2]) == 0.0
+        assert spearman([1, 2, 3], [5, 5, 5]) == 0.0  # zero variance
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            spearman([1, 2], [1])
+
+
+class TestBucketJoins:
+    def test_merge_sums_histograms(self):
+        a = CampaignResult("FWT", "original", "vgpr")
+        b = CampaignResult("FWT", "original", "vgpr")
+        a.bucket_outcomes = {0: {"sdc": 1, "masked": 2}, 3: {"sdc": 4}}
+        b.bucket_outcomes = {0: {"sdc": 2}, 1: {"masked": 1}}
+        merged = merge_bucket_outcomes([a, b])
+        assert merged == {0: {"sdc": 3, "masked": 2}, 1: {"masked": 1},
+                          3: {"sdc": 4}}
+
+    def test_sdc_rates(self):
+        rates = bucket_sdc_rates({0: {"sdc": 1, "masked": 3},
+                                  2: {"masked": 5}})
+        assert rates[0] == (0.25, 4)
+        assert rates[2] == (0.0, 5)
+
+    def test_trial_record_bucket_round_trip(self):
+        plan = FaultPlan("vgpr", 0, 3, 12, 9, 0)
+        rec = TrialRecord(index=0, outcome="sdc", plan=plan, fired=True,
+                          description="d", cycles=1.0, bucket=3)
+        back = TrialRecord.from_json(rec.to_json())
+        assert back.bucket == 3
+
+    def test_trial_record_bucket_default_backfills(self):
+        """Pre-bucket journals load with bucket=-1 (unknown)."""
+        plan = FaultPlan("vgpr", 0, 3, 12, 9, 0)
+        rec = TrialRecord(index=0, outcome="sdc", plan=plan, fired=True,
+                          description="d", cycles=1.0)
+        doc = rec.to_json()
+        doc.pop("bucket")
+        assert TrialRecord.from_json(doc).bucket == -1
+
+
+@pytest.mark.slow
+class TestCampaignBuckets:
+    def test_register_campaign_stamps_buckets(self):
+        r = run_campaign(SMALL_SUITE["FWT"], "original", "vgpr",
+                         trials=10, seed=3, max_instr=20)
+        fired = [t for t in r.records if t.fired]
+        assert fired
+        assert any(t.bucket >= 0 for t in fired)
+        assert sum(sum(h.values()) for h in r.bucket_outcomes.values()) \
+            == sum(1 for t in fired if t.bucket >= 0)
+
+    def test_serial_and_sharded_bucket_histograms_agree(self):
+        a = run_campaign(SMALL_SUITE["FWT"], "original", "vgpr",
+                         trials=10, seed=3, max_instr=20, workers=1)
+        b = run_campaign(SMALL_SUITE["FWT"], "original", "vgpr",
+                         trials=10, seed=3, max_instr=20, workers=2)
+        assert a.bucket_outcomes == b.bucket_outcomes
+
+    def test_validate_predictions_smoke(self):
+        report = validate_predictions("FWT", targets=("vgpr",), trials=12,
+                                      seed=11, max_instr=20)
+        assert -1.0 <= report.rank_correlation <= 1.0
+        assert report.bucket_outcomes
+        doc = report.to_json()
+        assert doc["benchmark"] == "FWT"
+        assert set(doc["sdc_rates"]) == {str(b) for b
+                                         in report.bucket_outcomes}

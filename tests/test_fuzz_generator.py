@@ -205,3 +205,40 @@ class TestLdsRacesShiftRegression:
         p = generate_program(393)
         for variant in ("original",) + VARIANTS:
             compile_kernel(p.build(), variant=variant)
+
+
+class TestProtectRegions:
+    """The protect_prob knob: off by default (stream-preserving), and
+    when on, emitted regions survive the spec → IR round trip."""
+
+    def test_zero_prob_is_stream_identical_to_default(self):
+        for seed in range(10):
+            assert generate_program(seed).digest() == \
+                generate_program(seed, GenConfig(protect_prob=0.0)).digest()
+
+    def test_protect_emission_deterministic(self):
+        cfg = GenConfig(protect_prob=0.5)
+        for seed in range(10):
+            assert generate_program(seed, cfg).digest() == \
+                generate_program(seed, cfg).digest()
+
+    def test_regions_reach_kernel_metadata(self):
+        cfg = GenConfig(protect_prob=0.5)
+        protected = 0
+        for seed in range(10):
+            p = generate_program(seed, cfg)
+            has = any(op.kind == "protect" for op in _walk(p.ops))
+            regions = (p.build().metadata.get("protect")
+                       or {}).get("regions") or []
+            assert bool(regions) == has
+            protected += has
+        assert protected  # the knob actually fires at p=0.5
+
+    def test_protect_programs_validate_and_compile_clean(self):
+        """Values defined inside a region stay usable after it (protect
+        is not a scope), and the builds stay verifier/lint-clean."""
+        cfg = GenConfig(protect_prob=0.5)
+        for seed in range(10):
+            p = generate_program(seed, cfg)
+            assert p.validate() == [], f"seed {seed}: {p.validate()}"
+            compile_kernel(p.build())

@@ -314,3 +314,41 @@ class TestOtherFindings:
                           args=(777, 778)))
         report = check_program(bad)
         assert any(f.kind == "baseline_failure" for f in report.errors)
+
+
+class TestSelectiveRuns:
+    """Programs with protect() regions get a selective-RMT differential
+    run; the fault probe must skip it (partial coverage is declared, not
+    a finding)."""
+
+    def _protect_program(self):
+        from repro.fuzz.generator import GenConfig
+
+        cfg = GenConfig(protect_prob=0.5)
+
+        def has_protect(ops):
+            return any(op.kind == "protect" or has_protect(op.body)
+                       or has_protect(op.orelse) for op in ops)
+
+        for seed in range(20):
+            p = generate_program(seed, cfg)
+            if has_protect(p.ops):
+                return p
+        pytest.fail("no protect program in 20 seeds at p=0.5")
+
+    def test_selective_run_added_and_green(self):
+        report = check_program(self._protect_program())
+        labels = [r.label for r in report.runs]
+        assert "selective@O0" in labels
+        assert report.ok, format_findings(report)
+
+    def test_no_selective_run_without_protect(self):
+        report = check_program(planted_probe())
+        assert not any(r.label.startswith("selective") for r in report.runs)
+
+    def test_fault_probe_skips_selective_spec(self):
+        report = check_program(self._protect_program(), faults=3)
+        fault_labels = [f.run for f in report.findings
+                        if f.kind in ("fault_sdc", "fault_hang")]
+        assert not any(l.startswith("selective") for l in fault_labels)
+        assert report.ok, format_findings(report)

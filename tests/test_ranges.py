@@ -1,6 +1,12 @@
 """Tests for the interval (value-range) abstract interpreter."""
 
-from repro.compiler.analysis.ranges import Interval, analyze_ranges
+from repro.compiler.analysis.ranges import (
+    MASK_BITS,
+    Interval,
+    analyze_ranges,
+    fault_transfer_width,
+)
+from repro.compiler.analysis.vulnerability import analyze_vulnerability
 from repro.ir import DType, KernelBuilder
 from repro.ir.core import StoreGlobal, StoreLocal, walk_instrs
 
@@ -280,3 +286,87 @@ class TestAccessRecording:
         other = k.body[0]  # the SpecialId itself — not an access
         assert ra.access_for(other) is None
         assert ra.interval_at(other, gid) == Interval(0, None)
+
+
+def _entry_for(kernel, reg):
+    report = analyze_vulnerability(kernel)
+    return next(e for e in report.entries if e.reg == reg.name)
+
+
+class TestMaskingProofs:
+    """Logical-masking width proofs, end to end through the ACE/AVF
+    classification (the widths that drive selective-RMT priorities)."""
+
+    def test_and_mask_popcount(self):
+        b = KernelBuilder("andmask")
+        x = b.var(DType.U32, 0)
+        mask = b.const(0b1011, DType.U32)
+        m = b.and_(x, mask)
+        instr = next(i for i in walk_instrs(b._kernel.body)
+                     if getattr(i, "op", None) == "and")
+        assert fault_transfer_width(instr, x, {id(mask): 0b1011}) == 3
+        assert m is not None
+
+    def test_shift_count_is_masked(self):
+        """A value consumed only as a shift count transfers 5 bits —
+        the machine masks the count with &31 — so it is not ACE."""
+        b = KernelBuilder("shiftcount")
+        out = b.buffer_param("out", DType.U32)
+        inp = b.buffer_param("inp", DType.U32)
+        gid = b.global_id(0)
+        x = b.load(inp, gid)
+        b.store(out, gid, b.shl(b.const(3, DType.U32), x))
+        k = _with_sizes(b.finish())
+        entry = _entry_for(k, x)
+        assert entry.width == MASK_BITS
+        assert entry.classification == "masked"
+        assert entry.exposure > 0          # live, just narrow
+
+    def test_compare_then_clamp_is_masked(self):
+        """``p = lt(x, 7); select(p, x, 7)`` bounds every fault in x (and
+        in p) by the clamp constant: width 3, not ACE."""
+        b = KernelBuilder("clamp")
+        out = b.buffer_param("out", DType.U32)
+        inp = b.buffer_param("inp", DType.U32)
+        gid = b.global_id(0)
+        x = b.load(inp, gid)
+        seven = b.const(7, DType.U32)
+        p = b.lt(x, seven)
+        b.store(out, gid, b.select(p, x, seven))
+        k = _with_sizes(b.finish())
+        ex = _entry_for(k, x)
+        ep = _entry_for(k, p)
+        assert ex.width == 3 and ex.classification == "masked"
+        assert ep.width == 3 and ep.classification == "masked"
+
+    def test_dead_past_last_use_not_ace(self):
+        """A def no later instruction consumes has zero residency: its
+        register-file slot is architecturally invisible."""
+        b = KernelBuilder("deadtail")
+        out = b.buffer_param("out", DType.U32)
+        inp = b.buffer_param("inp", DType.U32)
+        gid = b.global_id(0)
+        x = b.load(inp, gid)
+        unused = b.add(x, b.const(1, DType.U32))
+        b.store(out, gid, x)
+        k = _with_sizes(b.finish())
+        entry = _entry_for(k, unused)
+        assert entry.classification == "dead"
+        assert entry.priority == 0.0
+
+    def test_unmasked_store_address_stays_ace(self):
+        """Cry-wolf guard: the shift-count proof must not win when the
+        same value also addresses a store unmasked — any bit flips the
+        destination cell, so the full 32 bits are architecturally
+        exposed."""
+        b = KernelBuilder("addr")
+        out = b.buffer_param("out", DType.U32)
+        inp = b.buffer_param("inp", DType.U32)
+        gid = b.global_id(0)
+        x = b.load(inp, gid)
+        v = b.shl(b.const(1, DType.U32), x)   # masked use…
+        b.store(out, x, v)                     # …but an unmasked address
+        k = _with_sizes(b.finish())
+        entry = _entry_for(k, x)
+        assert entry.width == 32
+        assert entry.classification == "ace"

@@ -1,0 +1,174 @@
+"""Tests for the selective (vulnerability-driven) RMT pass: the partial
+sphere-of-replication contract, single-replica sinking, and the
+coverage it actually buys under fault injection."""
+
+import pytest
+
+from repro.compiler.lint import run_lints
+from repro.compiler.passes.rmt_selective import (
+    SelectiveOptions,
+    SelectiveRmtPass,
+)
+from repro.compiler.pipeline import compile_kernel
+from repro.faults import draw_plans, execute_trial
+from repro.ir import DType, KernelBuilder
+from repro.ir.core import Alu, If, StoreGlobal
+from repro.kernels import SMALL_SUITE
+from repro.runtime import Session
+
+
+def _two_exit_kernel():
+    """One protected store (regions source) and one unprotected store."""
+    b = KernelBuilder("twoexit")
+    out = b.buffer_param("out", DType.U32)
+    aux = b.buffer_param("aux", DType.U32)
+    inp = b.buffer_param("inp", DType.U32)
+    gid = b.global_id(0)
+    x = b.load(inp, gid)
+    with b.protect("hot"):
+        b.store(out, gid, b.add(x, gid))             # exit 0
+    b.store(aux, gid, b.xor(x, gid))                 # exit 1
+    k = b.finish()
+    k.metadata["local_size"] = (16, 1, 1)
+    return k
+
+
+def _compile_selective(kernel, **opts):
+    return compile_kernel(
+        kernel, variant="selective",
+        rmt_pass=SelectiveRmtPass(SelectiveOptions(**opts)),
+        cache=False,
+    )
+
+
+def _aux_guards(kernel):
+    """Every If whose then-body directly stores to 'aux'."""
+    found = []
+
+    def walk(body):
+        for s in body:
+            if isinstance(s, If):
+                if any(isinstance(t, StoreGlobal) and t.buf.name == "aux"
+                       for t in s.then_body):
+                    found.append(s)
+                walk(s.then_body)
+                walk(s.else_body)
+
+    walk(kernel.body)
+    return found
+
+
+class TestOptions:
+    def test_bad_source_rejected(self):
+        with pytest.raises(ValueError, match="source"):
+            SelectiveOptions(source="vibes")
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            SelectiveOptions(threshold=1.5)
+
+
+class TestPartialContract:
+    def test_regions_source_passes_pipeline(self):
+        """A region-annotated kernel certifies (lint + TV) selectively."""
+        compiled = _compile_selective(_two_exit_kernel(), source="regions")
+        partial = compiled.kernel.metadata["rmt"]["partial"]
+        assert partial["protected"] == [0]
+        assert partial["unprotected"] == [1]
+        assert partial["total"] == 2
+        assert partial["source"] == "regions"
+
+    def test_auto_prefers_regions(self):
+        compiled = _compile_selective(_two_exit_kernel(), source="auto")
+        assert compiled.kernel.metadata["rmt"]["partial"]["source"] == "regions"
+
+    def test_priority_threshold_endpoints(self):
+        bench = SMALL_SUITE["FWT"]()
+        full = _compile_selective(bench.build(), source="priority",
+                                  threshold=1.0)
+        none = _compile_selective(bench.build(), source="priority",
+                                  threshold=0.0)
+        assert full.kernel.metadata["rmt"]["partial"]["unprotected"] == []
+        assert none.kernel.metadata["rmt"]["partial"]["protected"] == []
+
+    def test_vuln_checker_accepts_declared_contract(self):
+        compiled = _compile_selective(_two_exit_kernel(), source="regions")
+        assert not run_lints(compiled.kernel, ["vuln"])
+
+    def test_vuln_checker_rejects_corrupted_contract(self):
+        compiled = _compile_selective(_two_exit_kernel(), source="regions")
+        partial = compiled.kernel.metadata["rmt"]["partial"]
+        partial["unprotected"] = []          # ordinal 1 now unaccounted
+        diags = run_lints(compiled.kernel, ["vuln"])
+        assert any(d.severity == "error" for d in diags)
+
+    def test_vuln_checker_rejects_overlap(self):
+        compiled = _compile_selective(_two_exit_kernel(), source="regions")
+        compiled.kernel.metadata["rmt"]["partial"]["unprotected"] = [0, 1]
+        diags = run_lints(compiled.kernel, ["vuln"])
+        assert any(d.severity == "error" for d in diags)
+
+
+class TestSinking:
+    def test_unprotected_feed_sinks_into_consumer_guard(self):
+        compiled = _compile_selective(_two_exit_kernel(), source="regions",
+                                      sink=True)
+        guards = _aux_guards(compiled.kernel)
+        assert guards, "unprotected store lost its consumer guard"
+        assert any(
+            isinstance(s, Alu) and s.op == "xor"
+            for g in guards for s in g.then_body
+        ), "xor feeding only the unprotected exit was not sunk"
+
+    def test_sink_disabled_leaves_computation_hoisted(self):
+        compiled = _compile_selective(_two_exit_kernel(), source="regions",
+                                      sink=False)
+        assert not any(
+            isinstance(s, Alu) and s.op == "xor"
+            for g in _aux_guards(compiled.kernel) for s in g.then_body
+        )
+
+
+class TestExecution:
+    def test_selective_output_matches_reference(self):
+        """Unfaulted selective builds stay correct and never cry wolf."""
+        bench = SMALL_SUITE["FWT"]()
+        compiled = _compile_selective(bench.build(), source="priority",
+                                      threshold=0.5)
+        result = bench.run(Session(), compiled)
+        assert bench.check(result)
+        assert not result.detections
+
+    def test_zero_protection_matches_reference(self):
+        bench = SMALL_SUITE["R"]()
+        compiled = _compile_selective(bench.build(), source="priority",
+                                      threshold=0.0)
+        result = bench.run(Session(), compiled)
+        assert bench.check(result)
+        assert not result.detections
+
+
+@pytest.mark.slow
+class TestFaultCoverage:
+    def test_full_threshold_detects_vgpr_faults(self):
+        """threshold=1.0 degenerates to full Intra-Group protection."""
+        bench = SMALL_SUITE["FWT"]()
+        compiled = _compile_selective(bench.build(), source="priority",
+                                      threshold=1.0)
+        outcomes = [
+            execute_trial(bench, compiled, plan).outcome
+            for plan in draw_plans(5, 12, "vgpr", max_instr=20)
+        ]
+        assert outcomes.count("detected") >= 3
+
+    def test_zero_threshold_cannot_detect(self):
+        """With nothing protected there are no comparisons to fire: the
+        declared contract is 'these exits may silently corrupt'."""
+        bench = SMALL_SUITE["FWT"]()
+        compiled = _compile_selective(bench.build(), source="priority",
+                                      threshold=0.0)
+        outcomes = [
+            execute_trial(bench, compiled, plan).outcome
+            for plan in draw_plans(5, 12, "vgpr", max_instr=20)
+        ]
+        assert outcomes.count("detected") == 0
