@@ -1,7 +1,7 @@
 """Performance microbenchmarks — the standing ``BENCH_*.json`` trajectory.
 
 ``python -m repro.bench`` measures the hot paths this repo's evaluation
-machinery lives on and writes ``BENCH_6.json``:
+machinery lives on and writes ``BENCH_7.json``:
 
 * **interp** — simulated cycles/sec of the wavefront interpreter on an
   ALU-dense kernel, reference per-instruction dispatch vs the
@@ -15,6 +15,10 @@ machinery lives on and writes ``BENCH_6.json``:
 * **campaign** — fault-campaign trials/sec, the pre-PR-5 shape (full
   recompile + host-reference recomputation per trial) vs the current
   compile-once/cached path;
+* **faults** — the same campaign configuration with fault-window
+  execution (:mod:`repro.gpu.fused` + ``FaultEnvelope`` elision, see
+  DESIGN.md §15) toggled off vs on, cross-checking every trial record
+  field between the two fault paths;
 * **compile** — cold vs warm ``compile_kernel`` latency through the
   content-addressed cache (:mod:`repro.compiler.cache`);
 * **equivalence** — the correctness guard: the committed fuzz corpus
@@ -47,13 +51,21 @@ from ..kernels.suite import SMALL_SUITE, make_benchmark
 from ..runtime.api import Session
 
 SCHEMA = 1
-BENCH_ID = 6
-SECTIONS = ("interp", "vector", "campaign", "compile", "equivalence")
+BENCH_ID = 7
+SECTIONS = ("interp", "vector", "campaign", "faults", "compile",
+            "equivalence")
 
 #: Acceptance targets recorded alongside the measurements (ISSUE 5/8).
 INTERP_TARGET = 2.0
 CAMPAIGN_TARGET = 3.0
 VECTOR_TARGET = 10.0
+FAULTS_TARGET = 5.0
+
+#: BENCH_6.json's measured ``campaign.cached_trials_per_sec`` — the
+#: pre-fault-window throughput the ``faults`` section is gated against
+#: (ISSUE 10 asks for 5x over this pinned number, not over a same-run
+#: re-measurement, so the comparison can't drift with box speed).
+BENCH6_CAMPAIGN_RATE = 99.84
 
 
 # ---------------------------------------------------------------------------
@@ -283,6 +295,103 @@ def bench_campaign(quick: bool = False) -> Dict:
 
 
 # ---------------------------------------------------------------------------
+# faults (fault-window execution)
+# ---------------------------------------------------------------------------
+
+
+def bench_faults(quick: bool = False) -> Dict:
+    """Fault-window trials/sec: interpreter fault path vs window+elision.
+
+    The headline rates run the *same workload BENCH_6's campaign section
+    measured* — DWT-Haar n=256, intra+lds, vgpr, the first ``trials``
+    plans of ``draw_plans(11, ..., max_instr=20)`` — so
+    ``speedup_vs_bench6`` compares identical trial-by-trial work against
+    the pinned pre-fault-window rate.  A larger seeded ``sweep`` is
+    reported alongside it because elision is a per-plan property and
+    small prefixes of the plan stream can be elision-lucky (the BENCH_6
+    eight elide 7/8; the 120-plan sweep sits near the distribution's
+    50%).  The off lane pins the PR-9 behaviour
+    (``fused.fault_window(False)``: hooked launches run the reference
+    interpreter, no elision); the on lane runs the DESIGN.md §15 fast
+    path.  Every sweep record field except the ``engine`` tag must agree
+    between lanes — that bit feeds ``report_correct`` and the CI gate.
+    Rates are best-of-``reps`` (noise on shared runners only ever slows
+    a rep down).
+    """
+    from ..faults.campaign import FaultEnvelope, classify_trial
+    from ..kernels.dwt_haar import DwtHaar1D
+
+    trials, sweep_trials, reps = (3, 24, 1) if quick else (8, 120, 3)
+    variant, target = "intra+lds", "vgpr"
+    make_bench = lambda: DwtHaar1D(n=256, local_size=64)  # noqa: E731
+
+    probe = make_bench()
+    compiled = probe.compile(variant)
+    golden_session = Session()
+    golden = probe.run(golden_session, compiled)
+    reference = probe.reference()
+    budget = 25.0 * max(golden.cycles, 1.0) + 2_000_000
+    envelope = FaultEnvelope(
+        wave_instrs=[n for r in golden_session.device.stats.launch_results
+                     for n in r.wave_instrs],
+        outcome=classify_trial(probe, golden, reference),
+        cycles=golden.cycles)
+    plans = draw_plans(11, sweep_trials, target, max_instr=20)
+
+    def lane(window: bool, subset, lane_reps: int) -> tuple:
+        best, records = 0.0, []
+        with fused.fault_window(window):
+            for _ in range(lane_reps):
+                t0 = time.perf_counter()
+                records = []
+                for i, plan in enumerate(subset):
+                    bench = make_bench()
+                    records.append(execute_trial(
+                        bench, compiled, plan, budget, index=i,
+                        reference=reference,
+                        envelope=envelope if window else None))
+                best = max(best, len(subset) / (time.perf_counter() - t0))
+        return best, records
+
+    # Identity over the full sweep, then rates on both workloads.
+    sweep_ref_rate, sweep_ref = lane(False, plans, 1)
+    sweep_win_rate, sweep_win = lane(True, plans, reps)
+    ref_rate, _ = lane(False, plans[:trials], reps)
+    win_rate, win_records = lane(True, plans[:trials], reps)
+
+    def fields(rec) -> tuple:
+        return (rec.outcome, rec.fired, rec.description, rec.cycles,
+                rec.error, rec.bucket)
+
+    identical = all(fields(a) == fields(b)
+                    for a, b in zip(sweep_ref, sweep_win))
+    speedup = win_rate / BENCH6_CAMPAIGN_RATE
+    return {
+        "benchmark": "DWT/n256", "variant": variant, "fault_target": target,
+        "trials": trials, "reps": reps,
+        "reference_trials_per_sec": round(ref_rate, 3),
+        "window_trials_per_sec": round(win_rate, 3),
+        "bench6_campaign_rate": BENCH6_CAMPAIGN_RATE,
+        "speedup_vs_bench6": round(speedup, 3),
+        "target_speedup": FAULTS_TARGET,
+        "meets_target": speedup >= FAULTS_TARGET,
+        "elided": sum(1 for r in win_records if r.engine == "elided"),
+        "fired": sum(1 for r in win_records if r.fired),
+        "outcomes_identical": identical,
+        "outcomes": [r.outcome for r in win_records],
+        "sweep": {
+            "trials": sweep_trials,
+            "reference_trials_per_sec": round(sweep_ref_rate, 3),
+            "window_trials_per_sec": round(sweep_win_rate, 3),
+            "speedup_vs_bench6": round(
+                sweep_win_rate / BENCH6_CAMPAIGN_RATE, 3),
+            "elided": sum(1 for r in sweep_win if r.engine == "elided"),
+            "fired": sum(1 for r in sweep_win if r.fired),
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
 # compile
 # ---------------------------------------------------------------------------
 
@@ -396,6 +505,7 @@ _SECTION_FNS = {
     "interp": bench_interp,
     "vector": bench_vector,
     "campaign": bench_campaign,
+    "faults": bench_faults,
     "compile": bench_compile,
     "equivalence": bench_equivalence,
 }
@@ -436,6 +546,9 @@ def report_correct(report: Dict) -> bool:
     camp = sections.get("campaign")
     if camp is not None and not camp.get("outcomes_identical"):
         return False
+    flt = sections.get("faults")
+    if flt is not None and not flt.get("outcomes_identical"):
+        return False
     return True
 
 
@@ -464,6 +577,15 @@ def format_report(report: Dict) -> str:
             f"{c['cached_trials_per_sec']:>12.2f} trials/s       "
             f"{c['speedup']:.2f}x (target {c['target_speedup']}x)  "
             f"outcomes={'ok' if c['outcomes_identical'] else 'DIVERGED'}")
+    if "faults" in s:
+        f = s["faults"]
+        lines.append(
+            f"  faults      {f['reference_trials_per_sec']:>12.2f} -> "
+            f"{f['window_trials_per_sec']:>12.2f} trials/s       "
+            f"{f['speedup_vs_bench6']:.2f}x vs BENCH_6 "
+            f"(target {f['target_speedup']}x)  "
+            f"outcomes={'ok' if f['outcomes_identical'] else 'DIVERGED'}  "
+            f"elided={f['elided']}/{f['trials']}")
     if "compile" in s:
         c = s["compile"]
         lines.append(

@@ -1,6 +1,6 @@
 """CLI: ``python -m repro.bench`` — run the perf microbenchmarks.
 
-Writes ``BENCH_6.json`` (override with ``--out``) and prints a summary.
+Writes ``BENCH_7.json`` (override with ``--out``) and prints a summary.
 Exit status is non-zero only on a *correctness* divergence (fused or
 vectorized vs reference interpreter, cached vs recompiled campaign
 outcomes); the speedup numbers are recorded, never gated, so CI stays
@@ -25,7 +25,7 @@ def main(argv=None) -> int:
                         help="smaller workloads for CI smoke runs")
     parser.add_argument("--only", action="append", choices=SECTIONS,
                         help="run only this section (repeatable)")
-    parser.add_argument("--out", default="BENCH_6.json",
+    parser.add_argument("--out", default="BENCH_7.json",
                         help="report path (default: %(default)s)")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress the text summary")

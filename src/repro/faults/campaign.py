@@ -16,6 +16,20 @@ produce bit-identical histograms), completed trials stream into an
 optional JSONL journal (``resume=True`` skips them on a re-run), and a
 worker crash or per-trial timeout is recorded as an ``infra_error``
 outcome instead of losing the campaign.
+
+Two fast paths keep the per-trial cost low without changing a single
+outcome bit (both gated on :func:`repro.gpu.fused.fault_window_enabled`
+so the reference configuration remains one toggle away):
+
+* *fault-window execution* — window-capable hooks run the fused
+  engines, dropping to per-instruction stepping only around the victim
+  wave's trigger (see :mod:`repro.gpu.fused`);
+* *no-fire elision* — the golden run's per-wave dynamic instruction
+  totals (the :class:`FaultEnvelope`) prove that a plan whose victim
+  ordinal was never created, or whose trigger exceeds the victim's
+  lifetime instruction count, can never fire; such a trial is
+  bit-identical to the golden run by induction, so its record is
+  synthesized from the envelope without simulating anything.
 """
 
 from __future__ import annotations
@@ -24,9 +38,10 @@ from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..gpu.engine import SimulationError
+from ..gpu.fused import fault_window_enabled
 from ..kernels.base import Benchmark, BenchResult
 from ..runtime.api import Session
-from .injector import FaultHook, FaultPlan, random_plan
+from .injector import FaultHook, FaultPlan
 
 #: Trial classifications.  The first four are architectural outcomes of
 #: the simulated upset; ``infra_error`` marks a trial the orchestration
@@ -51,6 +66,11 @@ class TrialRecord:
     #: Static protection-priority bucket of the flipped register (-1 when
     #: unknown: no bucket map, LDS faults, or pre-bucket journals).
     bucket: int = -1
+    #: Execution-path metadata: which engine simulated the trial
+    #: ("standard" | "vectorized"), or "elided" when the fault envelope
+    #: proved the plan could never fire.  Never part of outcome identity
+    #: — two records that differ only here describe the same trial.
+    engine: str = ""
 
     def to_json(self) -> Dict:
         return {
@@ -62,6 +82,7 @@ class TrialRecord:
             "cycles": self.cycles,
             "error": self.error,
             "bucket": self.bucket,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -76,6 +97,7 @@ class TrialRecord:
             cycles=float(payload.get("cycles", 0.0)),
             error=payload.get("error", ""),
             bucket=int(payload.get("bucket", -1)),
+            engine=payload.get("engine", ""),
         )
 
 
@@ -228,6 +250,32 @@ def campaign_report(result: CampaignResult, telemetry=None) -> Dict:
 # -- single-trial execution (shared by serial path, workers, tests) -------
 
 
+@dataclass
+class FaultEnvelope:
+    """What the golden (fault-free) run proves about every trial.
+
+    ``wave_instrs[o]`` is the lifetime dynamic instruction count of the
+    wave with execution-start ordinal ``o``, concatenated across the
+    benchmark's launches.  The fault hook fires on the first call where
+    the victim's post-increment count reaches the trigger, and it is
+    called for every count ``1..wave_instrs[o]`` — so a plan *can* fire
+    iff its ordinal exists and ``trigger_instr <= wave_instrs[o]``.
+    Until the instant a hook fires, a trial's execution is bit-identical
+    to the golden run (the hook is pure observation); by induction a
+    trial that can never fire *is* the golden run, and its record can be
+    synthesized without simulating.
+    """
+
+    wave_instrs: List[int]
+    outcome: str
+    cycles: float
+
+    def can_fire(self, plan: FaultPlan) -> bool:
+        o = plan.wave_ordinal
+        return (0 <= o < len(self.wave_instrs)
+                and plan.trigger_instr <= self.wave_instrs[o])
+
+
 def classify_trial(bench: Benchmark, run: BenchResult,
                    reference=None) -> str:
     """Classify one *completed* fault run against the benchmark oracle.
@@ -251,6 +299,7 @@ def execute_trial(
     index: int = -1,
     reference=None,
     priority_buckets: Optional[Dict[int, int]] = None,
+    envelope: Optional[FaultEnvelope] = None,
 ) -> TrialRecord:
     """Run one benchmark once with one injected fault; record the outcome.
 
@@ -258,7 +307,19 @@ def execute_trial(
     :func:`repro.compiler.analysis.vulnerability.register_buckets` over
     the *compiled* kernel) lets the hook stamp each fired record with
     the victim's predicted vulnerability bucket.
+
+    ``envelope`` enables no-fire elision: a plan the golden run proves
+    can never fire returns the golden outcome directly (marked
+    ``engine="elided"``).  The elision is skipped when fault-window
+    execution is globally disabled, so the reference configuration
+    simulates every trial.
     """
+    if (envelope is not None and not envelope.can_fire(plan)
+            and fault_window_enabled()):
+        return TrialRecord(
+            index=index, outcome=envelope.outcome, plan=plan,
+            cycles=envelope.cycles, engine="elided",
+        )
     hook = FaultHook(plan, scalar_reg_ids=compiled.uniformity.uniform_regs,
                      priority_buckets=priority_buckets)
     session = Session.with_cycle_budget(cycle_budget)
@@ -270,10 +331,12 @@ def execute_trial(
         outcome, cycles = "hang", 0.0
     else:
         outcome, cycles = classify_trial(bench, run, reference), run.cycles
+    launches = session.device.stats.launch_results
     return TrialRecord(
         index=index, outcome=outcome, plan=plan,
         fired=hook.record.fired, description=hook.record.description,
         cycles=cycles, bucket=hook.record.bucket,
+        engine=launches[-1].engine_kind if launches else "",
     )
 
 
@@ -301,15 +364,16 @@ def draw_plans(
 
     Plan *i* depends only on ``(seed, i)`` — not on how many plans were
     drawn before it or which shard executes it — which is what makes
-    serial and sharded campaigns bit-identical.
+    serial and sharded campaigns bit-identical.  The draws are batched
+    through :func:`repro.faults.planner.draw_plan_batch`, a vectorized
+    reimplementation of the per-trial child-stream derivation that is
+    bit-identical to instantiating ``trial_rng(seed, i)`` per trial
+    (and self-validates against it at runtime).
     """
-    from ..orchestrator.seeding import trial_rng
+    from .planner import draw_plan_batch
 
-    return [
-        random_plan(trial_rng(seed, i), target,
-                    max_wave=max_wave, max_instr=max_instr)
-        for i in range(trials)
-    ]
+    return draw_plan_batch(seed, trials, target,
+                           max_wave=max_wave, max_instr=max_instr)
 
 
 # -- campaign driver -------------------------------------------------------
@@ -413,9 +477,22 @@ def run_campaign(
         # horizon; its host-side reference outputs are reused by every
         # trial's oracle check (benchmark inputs are deterministic per
         # instance seed).
-        golden = probe.run(Session(), compiled)
+        golden_session = Session()
+        golden = probe.run(golden_session, compiled)
         reference = probe.reference()
         budget = 25.0 * max(golden.cycles, 1.0) + 2_000_000
+
+        # The golden run's per-wave instruction totals bound every
+        # trial: plans that provably cannot fire reuse its outcome
+        # instead of re-simulating (see FaultEnvelope).
+        envelope = FaultEnvelope(
+            wave_instrs=[
+                n for r in golden_session.device.stats.launch_results
+                for n in r.wave_instrs
+            ],
+            outcome=classify_trial(probe, golden, reference),
+            cycles=golden.cycles,
+        )
 
         plans = draw_plans(seed, trials, target, max_wave=max_wave,
                            max_instr=max_instr)
@@ -430,7 +507,7 @@ def run_campaign(
             bench = make_bench()
             return execute_trial(bench, compiled, plans[index], budget,
                                  index=index, reference=reference,
-                                 priority_buckets=buckets)
+                                 priority_buckets=buckets, envelope=envelope)
 
         def on_result(task_result) -> None:
             if task_result.ok:

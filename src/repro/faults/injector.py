@@ -14,6 +14,20 @@ wavefront and flips one bit in a chosen structure:
 Outcomes are classified against the benchmark's oracle: ``masked``
 (architecturally invisible), ``detected`` (the RMT output comparison
 flagged it), or ``sdc`` (silent data corruption — wrong output, no flag).
+
+Wave identity is the engine-stamped creation ordinal (``wave.ordinal``,
+assigned by the timing engine the first time a wavefront is popped from
+the event queue — the order the old hook observed first-executed waves
+in, so plans target the same victims as before).  The hook therefore
+keeps **no** per-wave state: earlier revisions pinned ``id(wave)`` keys
+alive with strong references to every wavefront ever seen, which made
+long multi-launch campaigns accumulate dead waves without bound.
+
+``window()`` is the fast-path query API: the fused fault-window
+executor (:mod:`repro.gpu.fused`) asks each wave for its trigger
+watermark and only drops to per-instruction stepping when a fused
+block could cross it; non-victim waves always get ``None`` and never
+leave the block-fused fast path.
 """
 
 from __future__ import annotations
@@ -62,29 +76,42 @@ class InjectionRecord:
 class FaultHook:
     """Callable installed as the launch context's per-instruction hook."""
 
+    #: Declares the window query API: the device may run fused (and,
+    #: where the geometry allows, vectorized) executors around this hook
+    #: instead of forcing the reference interpreter.  Plain callables
+    #: (ad-hoc test hooks, the model checker's marker probes) lack the
+    #: attribute and always get the per-instruction reference path.
+    supports_window = True
+
     def __init__(self, plan: FaultPlan, scalar_reg_ids: Optional[Set[int]] = None,
                  priority_buckets: Optional[Dict[int, int]] = None):
         self.plan = plan
         self.scalar_reg_ids = scalar_reg_ids or set()
         self.priority_buckets = priority_buckets or {}
         self.record = InjectionRecord()
-        self._wave_ids = {}
-        # Strong references keep every seen wavefront alive, so id()
-        # keys are never reused: without this, a later launch of a
-        # multi-pass benchmark can allocate a wave at a freed wave's
-        # address and inherit its ordinal, making which wave a plan
-        # targets depend on the process's prior heap state.
-        self._waves = []
+
+    @property
+    def fired(self) -> bool:
+        return self.record.fired
+
+    def window(self, wave) -> Optional[int]:
+        """Trigger watermark for ``wave``, or ``None`` off the victim.
+
+        Returns the plan's ``trigger_instr`` only while the upset is
+        still pending *and* ``wave`` is the victim (by engine-stamped
+        creation ordinal).  A fused executor may run any block whose
+        instructions all complete strictly below the watermark without
+        consulting the hook; ``None`` means the whole wave is safe.
+        """
+        if self.record.fired or wave.ordinal != self.plan.wave_ordinal:
+            return None
+        return self.plan.trigger_instr
 
     def __call__(self, wave, instr) -> None:
         if self.record.fired:
             return
         plan = self.plan
-        ordinal = self._wave_ids.get(id(wave))
-        if ordinal is None:
-            ordinal = self._wave_ids[id(wave)] = len(self._wave_ids)
-            self._waves.append(wave)
-        if ordinal != plan.wave_ordinal:
+        if wave.ordinal != plan.wave_ordinal:
             return
         if wave.dyn_instrs < plan.trigger_instr:
             return

@@ -1,0 +1,318 @@
+"""Vectorized fault-plan generation for campaigns.
+
+``draw_plans`` promises that plan *i* is a pure function of
+``(seed, i)`` — drawn from ``numpy``'s ``SeedSequence(seed,
+spawn_key=(i,))`` child stream — so serial, sharded, and resumed
+campaigns agree bit-for-bit.  The straightforward implementation pays
+for that promise per trial: constructing a ``SeedSequence``, seeding a
+fresh ``PCG64``, and making five bounded ``Generator.integers`` calls
+costs ~20 µs of Python/numpy dispatch per plan, which at fault-window
+campaign rates (hundreds of trials/sec across many shards) is real
+planning latency before any simulation starts.
+
+This module draws the *same* plans with one batch of numpy array ops
+across all trials.  It reimplements, vectorized across the trial axis,
+exactly the pipeline ``default_rng(child_sequence(seed, i)).integers``
+executes:
+
+1. **Entropy assembly** — the campaign seed as little-endian uint32
+   words, zero-padded to the pool size (numpy does this whenever a
+   spawn key is present, so short seeds still produce distinct
+   children), then the trial index word.
+2. **Entropy-pool mixing** — ``SeedSequence``'s four-word pool mix
+   (O'Neill's ``seed_seq_fe`` hash: INIT_A/MULT_A multiply-xorshift
+   rounds plus the L/R mix) where only the trial-index word varies, so
+   the pool becomes four uint32 arrays over trials.
+3. **State generation** — eight uint32 words per trial via the
+   INIT_B/MULT_B cycle, paired little-endian into the four uint64
+   seeding words ``PCG64`` consumes.
+4. **PCG64** — the 128-bit LCG (multiplier ``0x2360ed05...``) kept as
+   hi/lo uint64 limb arrays with explicit carry/64×64→128 products,
+   XSL-RR output, and the generator's lo-then-hi uint32 double
+   buffering.
+5. **Bounded draws** — Lemire multiply-shift rejection per field
+   (wave, trigger, bit, lane, victim in plan order).  Fields whose
+   range is a single value consume no stream words, matching numpy.
+
+Rejection in step 5 is possible only for non-power-of-two ranges and
+has probability < 2⁻³² per draw; any trial that would reject (and any
+parameterization outside the fast path's envelope) is recomputed with
+the reference per-trial generator, so the batch is exact rather than
+approximate.  A runtime probe additionally spot-checks a few trials
+against the reference path on every batch — if a future numpy changes
+any of the internals above, the module silently degrades to the
+reference loop instead of producing different plans.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .injector import FaultPlan, random_plan
+
+# seed_seq_fe mixing constants (numpy's SeedSequence).
+_INIT_A = np.uint32(0x43B0D7E5)
+_MULT_A = np.uint32(0x931E8875)
+_INIT_B = np.uint32(0x8B51F9DD)
+_MULT_B = np.uint32(0x58F38DED)
+_MIX_L = np.uint32(0xCA01F9DD)
+_MIX_R = np.uint32(0x4973F715)
+_XSHIFT = np.uint32(16)
+_POOL_SIZE = 4
+
+# PCG64's default 128-bit LCG multiplier, split into uint64 limbs.
+_PCG_MULT_HI = np.uint64(0x2360ED051FC65DA4)
+_PCG_MULT_LO = np.uint64(0x4385DF649FCCF645)
+
+_M32 = np.uint64(0xFFFFFFFF)
+_U64_1 = np.uint64(1)
+_U64_32 = np.uint64(32)
+_U64_58 = np.uint64(58)
+_U64_63 = np.uint64(63)
+_U64_64 = np.uint64(64)
+
+
+def _uint32_words(value: int) -> List[int]:
+    """Little-endian uint32 words of a non-negative int (0 -> [0])."""
+    if value < 0:
+        raise ValueError("seed must be non-negative")
+    if value == 0:
+        return [0]
+    words = []
+    while value:
+        words.append(value & 0xFFFFFFFF)
+        value >>= 32
+    return words
+
+
+def _hashmix(value: np.ndarray, hash_const: List[int]) -> np.ndarray:
+    # hash_const evolves as a masked Python int: scalar numpy uint32
+    # multiplies warn on overflow under NEP 50, array ones wrap silently.
+    value = value ^ np.uint32(hash_const[0])
+    hash_const[0] = (hash_const[0] * 0x931E8875) & 0xFFFFFFFF
+    value = value * np.uint32(hash_const[0])
+    return value ^ (value >> _XSHIFT)
+
+
+def _mix(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    result = x * _MIX_L - y * _MIX_R
+    return result ^ (result >> _XSHIFT)
+
+
+def _seed_pool(seed: int, trials: int) -> List[np.ndarray]:
+    """The mixed SeedSequence pool of every trial's child stream.
+
+    Returns four uint32 arrays of shape ``(trials,)`` equal to
+    ``SeedSequence(seed, spawn_key=(i,)).pool`` for each trial ``i``.
+    """
+    seed_words = _uint32_words(seed)
+    if len(seed_words) < _POOL_SIZE:
+        # numpy zero-pads the run entropy to the pool size whenever a
+        # spawn key is present, so the spawn word always lands in the
+        # "extra entropy" mixing loop.
+        seed_words = seed_words + [0] * (_POOL_SIZE - len(seed_words))
+    trial_word = np.arange(trials, dtype=np.uint32)
+    entropy: List[np.ndarray] = [
+        np.full(trials, w, dtype=np.uint32) for w in seed_words
+    ]
+    entropy.append(trial_word)
+
+    hash_const = [int(_INIT_A)]
+    pool = [_hashmix(entropy[i], hash_const) for i in range(_POOL_SIZE)]
+    for i_src in range(_POOL_SIZE):
+        for i_dst in range(_POOL_SIZE):
+            if i_src != i_dst:
+                pool[i_dst] = _mix(pool[i_dst], _hashmix(pool[i_src], hash_const))
+    for i_src in range(_POOL_SIZE, len(entropy)):
+        for i_dst in range(_POOL_SIZE):
+            pool[i_dst] = _mix(pool[i_dst], _hashmix(entropy[i_src], hash_const))
+    return pool
+
+
+def _generate_state(pool: List[np.ndarray]) -> List[np.ndarray]:
+    """The four uint64 PCG64 seeding words of every trial."""
+    hash_const = [int(_INIT_B)]
+    words = []
+    for i in range(2 * _POOL_SIZE):
+        value = pool[i % _POOL_SIZE] ^ np.uint32(hash_const[0])
+        hash_const[0] = (hash_const[0] * 0x58F38DED) & 0xFFFFFFFF
+        value = value * np.uint32(hash_const[0])
+        value = value ^ (value >> _XSHIFT)
+        words.append(value.astype(np.uint64))
+    return [words[2 * i] | (words[2 * i + 1] << _U64_32) for i in range(4)]
+
+
+def _umul128(a: np.ndarray, b_hi: np.uint64, b_lo: np.uint64):
+    """(hi, lo) limbs of a * b for uint64 arrays, b a 128-bit constant."""
+    a_lo = a & _M32
+    a_hi = a >> _U64_32
+    bl_lo = b_lo & _M32
+    bl_hi = b_lo >> _U64_32
+    p0 = a_lo * bl_lo
+    p1 = a_lo * bl_hi
+    p2 = a_hi * bl_lo
+    p3 = a_hi * bl_hi
+    carry = ((p0 >> _U64_32) + (p1 & _M32) + (p2 & _M32)) >> _U64_32
+    lo = p0 + (p1 << _U64_32) + (p2 << _U64_32)
+    hi = p3 + (p1 >> _U64_32) + (p2 >> _U64_32) + carry
+    # the b_hi cross term only contributes to the high limb (mod 2^128)
+    hi = hi + a * b_hi
+    return hi, lo
+
+
+class _VecPcg64:
+    """All trials' PCG64 streams as parallel uint64 limb arrays."""
+
+    def __init__(self, seed_words: List[np.ndarray]):
+        init_hi, init_lo = seed_words[0], seed_words[1]
+        seq_hi, seq_lo = seed_words[2], seed_words[3]
+        self.inc_hi = (seq_hi << _U64_1) | (seq_lo >> _U64_63)
+        self.inc_lo = (seq_lo << _U64_1) | _U64_1
+        self.hi = np.zeros_like(init_hi)
+        self.lo = np.zeros_like(init_lo)
+        self._step()
+        new_lo = self.lo + init_lo
+        carry = (new_lo < init_lo).astype(np.uint64)
+        self.hi = self.hi + init_hi + carry
+        self.lo = new_lo
+        self._step()
+
+    def _step(self) -> None:
+        mul_hi, mul_lo = _umul128(self.lo, _PCG_MULT_HI, _PCG_MULT_LO)
+        mul_hi = mul_hi + self.hi * _PCG_MULT_LO
+        new_lo = mul_lo + self.inc_lo
+        carry = (new_lo < self.inc_lo).astype(np.uint64)
+        self.hi = mul_hi + self.inc_hi + carry
+        self.lo = new_lo
+
+    def next64(self) -> np.ndarray:
+        self._step()
+        rot = self.hi >> _U64_58
+        xored = self.hi ^ self.lo
+        return (xored >> rot) | (xored << ((_U64_64 - rot) & _U64_63))
+
+
+def _plan_fields(target: str, max_wave: int, max_instr: int):
+    """(name, low, high) in the exact order random_plan draws them."""
+    del target  # the target does not consume stream words
+    return (
+        ("wave_ordinal", 0, max_wave),
+        ("trigger_instr", 1, max_instr),
+        ("bit", 0, 32),
+        ("lane", 0, 64),
+        ("victim_index", 0, 64),
+    )
+
+
+def _draw_batch_fast(
+    seed: int,
+    trials: int,
+    target: str,
+    max_wave: int,
+    max_instr: int,
+) -> Optional[List[FaultPlan]]:
+    """Vectorized batch, or ``None`` when outside the fast envelope."""
+    fields = _plan_fields(target, max_wave, max_instr)
+    ranges = []
+    for _name, low, high in fields:
+        rng = high - 1 - low
+        if rng < 0 or rng > 0xFFFFFFFE:
+            # invalid range (let the reference path raise numpy's error)
+            # or a 64-bit Lemire draw — both off the fast path.
+            return None
+        ranges.append(rng)
+
+    pool = _seed_pool(seed, trials)
+    pcg = _VecPcg64(_generate_state(pool))
+
+    # Fields with a single-value range consume no stream words; the rest
+    # consume one buffered uint32 each (low half first, then high).
+    consuming = [k for k, rng in enumerate(ranges) if rng > 0]
+    stream: List[np.ndarray] = []
+    for _ in range((len(consuming) + 1) // 2):
+        word = pcg.next64()
+        stream.append(word & _M32)
+        stream.append(word >> _U64_32)
+
+    values = [np.full(trials, low, dtype=np.int64) for _n, low, _h in fields]
+    reject = np.zeros(trials, dtype=bool)
+    for pos, k in enumerate(consuming):
+        rng = ranges[k]
+        excl = np.uint64(rng + 1)
+        m = stream[pos] * excl
+        # Lemire rejection: possible only when (2^32 % excl) != 0, and
+        # then with probability < 2^-32 per draw — rejected trials are
+        # recomputed exactly on the reference path below.
+        threshold = ((1 << 32) - (rng + 1)) % (rng + 1)
+        if threshold:
+            reject |= (m & _M32) < np.uint64(threshold)
+        values[k] = values[k] + (m >> _U64_32).astype(np.int64)
+
+    plans = [
+        FaultPlan(
+            target=target,
+            wave_ordinal=int(values[0][i]),
+            trigger_instr=int(values[1][i]),
+            bit=int(values[2][i]),
+            lane=int(values[3][i]),
+            victim_index=int(values[4][i]),
+        )
+        for i in range(trials)
+    ]
+    if reject.any():
+        from ..orchestrator.seeding import trial_rng
+
+        for i in np.flatnonzero(reject):
+            plans[int(i)] = random_plan(
+                trial_rng(seed, int(i)), target,
+                max_wave=max_wave, max_instr=max_instr,
+            )
+    return plans
+
+
+def _reference_batch(
+    seed: int, trials: int, target: str, max_wave: int, max_instr: int,
+) -> List[FaultPlan]:
+    from ..orchestrator.seeding import trial_rng
+
+    return [
+        random_plan(trial_rng(seed, i), target,
+                    max_wave=max_wave, max_instr=max_instr)
+        for i in range(trials)
+    ]
+
+
+def draw_plan_batch(
+    seed: int,
+    trials: int,
+    target: str,
+    max_wave: int = 8,
+    max_instr: int = 100,
+) -> List[FaultPlan]:
+    """Every trial's fault plan, bit-identical to the per-trial path.
+
+    Uses the vectorized pipeline when the parameters fit its envelope,
+    spot-checking a few trials against the reference generator (first,
+    middle, last) so a drifting numpy implementation downgrades to the
+    reference loop rather than changing which faults a seed denotes.
+    """
+    if trials <= 0:
+        return []
+    plans = None
+    try:
+        plans = _draw_batch_fast(seed, trials, target, max_wave, max_instr)
+    except (OverflowError, ValueError):
+        plans = None
+    if plans is None:
+        return _reference_batch(seed, trials, target, max_wave, max_instr)
+
+    from ..orchestrator.seeding import trial_rng
+
+    for probe in sorted({0, trials // 2, trials - 1}):
+        want = random_plan(trial_rng(seed, probe), target,
+                           max_wave=max_wave, max_instr=max_instr)
+        if plans[probe] != want:
+            return _reference_batch(seed, trials, target, max_wave, max_instr)
+    return plans

@@ -18,8 +18,8 @@ from .config import DEFAULT_POWER, GpuConfig, HD7790, PowerConfig
 from .counters import KernelCounters, merge_counters
 from .engine import Engine, LaunchResult
 from .memory import CacheModel, DeviceBuffer, GlobalMemory
-from .occupancy import KernelResources
-from .fused import maybe_lower
+from .occupancy import KernelResources, compute_occupancy
+from .fused import fault_window_enabled, maybe_lower
 from .power import PowerReport, estimate_power
 from .vectorized import VecEngine, vector_enabled
 from .wavefront import LaunchContext
@@ -55,6 +55,10 @@ class Device:
         self.l2 = CacheModel(config.l2_bytes, config.l2_line_bytes, config.l2_ways)
         self.clock = 0.0
         self.stats = DeviceRunStats()
+        # Waves are numbered continuously across launches (execution-start
+        # ordinals) so fault plans against multi-launch benchmarks keep
+        # their historical victim numbering.
+        self._wave_ordinals = 0
 
     # -- buffers ----------------------------------------------------------
 
@@ -93,12 +97,22 @@ class Device:
             scalar_instrs=scalar_instrs,
             config=self.config,
         )
+        # Window-capable hooks (FaultHook) name one victim wave and one
+        # trigger watermark, so fused execution stays legal everywhere
+        # except a short per-instruction window around the trigger.
+        # Plain callable hooks observe every instruction and keep the
+        # reference interpreter.
+        windowable = (
+            fault_hook is not None
+            and getattr(fault_hook, "supports_window", False)
+            and fault_window_enabled()
+        )
         if fault_hook is not None:
             ctx.fault_hook = fault_hook
-        else:
-            # Lowered once per kernel instance and memoized on it; the
-            # reference interpreter remains the fault-injection path.
+        if fault_hook is None or windowable:
+            # Lowered once per kernel instance and memoized on it.
             ctx.fused = maybe_lower(kernel)
+            ctx.fault_window = windowable
         if resources is None:
             resources = KernelResources(
                 vgprs_per_workitem=32, sgprs_per_wave=32,
@@ -106,19 +120,28 @@ class Device:
             )
         # The vectorized engine batches resident wavefronts through
         # stacked-register closures; it is bitwise- and cycle-identical
-        # under the default event order, so the only launches routed
-        # away from it are fault-hooked ones (hooks must observe every
-        # instruction) and schedulers that permute pop order.
+        # under the default event order, so the launches routed away
+        # from it are schedulers that permute pop order and fault hooks
+        # it cannot carve a victim group out for (the victim's group
+        # runs as standard wavefronts; predicting which group that is
+        # requires the default no-redispatch dispatch geometry).
+        occ = compute_occupancy(self.config, resources, ctx.flat_local)
+        no_redispatch = (
+            ctx.total_groups <= occ.max_groups_per_cu * self.config.num_cus
+        )
         use_vec = (
             vector_enabled()
-            and fault_hook is None
             and (scheduler is None
                  or getattr(scheduler, "supports_vectorized", False))
+            and (fault_hook is None
+                 or (windowable and scheduler is None and no_redispatch))
         )
         engine_cls = VecEngine if use_vec else Engine
         engine = engine_cls(self.config, self.memory, self.l1s, self.l2,
-                            start_time=self.clock, scheduler=scheduler)
+                            start_time=self.clock, scheduler=scheduler,
+                            wave_ordinal_base=self._wave_ordinals)
         result = engine.run(ctx, resources)
+        self._wave_ordinals += result.waves_launched
         self.clock += result.cycles
         self.stats.total_cycles += result.cycles
         self.stats.launches += 1

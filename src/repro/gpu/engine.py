@@ -62,6 +62,10 @@ class LaunchResult:
     groups_launched: int = 0
     waves_launched: int = 0
     events_processed: int = 0
+    #: final dynamic instruction count of each wave, indexed by ordinal
+    #: minus this launch's ordinal base — the *fault envelope* campaigns
+    #: use to prove a plan can never fire without simulating the trial.
+    wave_instrs: List[int] = field(default_factory=list)
     #: which engine produced this result ("standard" | "vectorized") —
     #: lets tests prove the vectorized engine's fallback paths fired.
     engine_kind: str = "standard"
@@ -105,6 +109,7 @@ class Engine:
         l2: CacheModel,
         start_time: float = 0.0,
         scheduler: Optional[Scheduler] = None,
+        wave_ordinal_base: int = 0,
     ):
         self.config = config
         self.mem = global_mem
@@ -112,6 +117,15 @@ class Engine:
         self.l2 = l2
         self.start_time = start_time
         self.scheduler = scheduler
+        # Execution-start ordinals: stamped on each wave the first time
+        # it is popped from the event queue — the exact order the fault
+        # hook used to observe first-executed waves in, so existing
+        # campaign journals keep targeting the same victims.  The base
+        # is carried across launches by the device so multi-launch
+        # benchmarks number waves continuously.
+        self._ordinal_base = wave_ordinal_base
+        self._next_ordinal = wave_ordinal_base
+        self._wave_instrs_done: Dict[int, int] = {}
         self.counters = KernelCounters(window_cycles=1_000_000)
         self._dram_free = start_time
         self._l2_bank_free = [start_time] * config.l2_banks
@@ -181,6 +195,9 @@ class Engine:
         max_events = 200_000_000
         while sched:
             t, _s, wave, sendval = sched.pop()
+            if wave.ordinal < 0:
+                wave.ordinal = self._next_ordinal
+                self._next_ordinal += 1
             events += 1
             if events > max_events or t > cfg.max_cycles:
                 raise SimulationError(
@@ -191,6 +208,12 @@ class Engine:
                 req = wave.gen.send(sendval)
             except StopIteration:
                 end_time = max(end_time, t)
+                self._wave_instrs_done[wave.ordinal] = wave.dyn_instrs
+                # Break the wave <-> generator reference cycle so finished
+                # waves (and their register files) free by refcount instead
+                # of waiting for a gc pass — campaigns churn thousands of
+                # launches and the cycle collector pauses were measurable.
+                wave.gen = None
                 group = wave.group
                 cu = cus[wave.cu]
                 cu.simd_waves[wave.simd] -= 1
@@ -259,6 +282,10 @@ class Engine:
             groups_launched=groups_launched,
             waves_launched=waves_launched,
             events_processed=events,
+            wave_instrs=[
+                self._wave_instrs_done.get(self._ordinal_base + i, 0)
+                for i in range(waves_launched)
+            ],
         )
 
     # -- request handlers ------------------------------------------------

@@ -25,10 +25,22 @@ Timing neutrality is by construction:
   in :func:`_exec_fused`.
 
 Fault injection needs to observe (and corrupt) state *between*
-instructions, so a launch with a fault hook installed always falls back
-to the reference interpreter — the fused path is only taken when
-``ctx.fault_hook is None``.  Bitwise equivalence of the two paths is
-pinned by ``tests/test_fused_equivalence.py`` and guarded in CI by
+instructions — but a :class:`~repro.faults.injector.FaultHook` names
+exactly one victim wave and one dynamic trigger watermark, so almost
+all of a hooked launch is provably hook-free.  *Fault-window execution*
+(:func:`_exec_fused_window`, on by default, ``REPRO_FAULT_WINDOW`` to
+disable) exploits that: every wave runs the fused fast path, tracking
+its dynamic instruction count block-at-a-time, and only when a block of
+the victim wave could cross the trigger watermark does execution drop
+to per-instruction stepping — calling the hook exactly where the
+reference interpreter would — before resuming fused blocks.  Non-victim
+waves never leave the fast path and never call the hook (it is a no-op
+for them by construction).  Outcomes, injection records, cycles, and
+counters are bit-identical to the reference fault path, pinned by
+``tests/test_fault_window.py``'s seeded identity sweep.  Plain callable
+hooks (no ``supports_window`` attribute) still force the reference
+interpreter.  Bitwise equivalence of the fault-free paths is pinned by
+``tests/test_fused_equivalence.py`` and guarded in CI by
 ``python -m repro.bench --quick``.
 """
 
@@ -36,7 +48,7 @@ from __future__ import annotations
 
 import contextlib
 import os
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -94,6 +106,31 @@ def fusion(on: bool):
         set_fusion_enabled(prev)
 
 
+_window_enabled = os.environ.get(
+    "REPRO_FAULT_WINDOW", "1").lower() not in ("0", "false", "off")
+
+
+def fault_window_enabled() -> bool:
+    """Whether window-capable fault hooks use fault-window execution."""
+    return _window_enabled
+
+
+def set_fault_window_enabled(on: bool) -> None:
+    global _window_enabled
+    _window_enabled = bool(on)
+
+
+@contextlib.contextmanager
+def fault_window(on: bool):
+    """Temporarily force fault-window execution on or off."""
+    prev = _window_enabled
+    set_fault_window_enabled(on)
+    try:
+        yield
+    finally:
+        set_fault_window_enabled(prev)
+
+
 # ---------------------------------------------------------------------------
 # Lowered statement tree
 # ---------------------------------------------------------------------------
@@ -122,16 +159,28 @@ class FusedBlock:
     accounting is aggregated per launch context in :meth:`execute`.
     """
 
-    __slots__ = ("instrs", "n", "fn")
+    __slots__ = ("instrs", "n", "fn", "fn_full", "label")
 
     def __init__(self, instrs: Sequence[Instr], label: str):
         self.instrs = tuple(instrs)
         self.n = len(self.instrs)
+        self.label = label
         self.fn = _codegen(self.instrs, label)
+        #: all-lanes-active variant (lazy): plain local rebinding with one
+        #: write-back per register instead of a masked copyto per instr.
+        self.fn_full = None
 
-    def execute(self, wave: Wavefront, mask: np.ndarray) -> None:
+    def execute(self, wave: Wavefront, mask: np.ndarray,
+                full: Optional[bool] = None) -> None:
         wave.dyn_instrs += self.n
-        self.fn(wave, mask)
+        if mask.all() if full is None else full:
+            fn = self.fn_full
+            if fn is None:
+                fn = self.fn_full = _codegen(self.instrs, self.label,
+                                             full_mask=True)
+            fn(wave, mask)
+        else:
+            self.fn(wave, mask)
         costs = wave.ctx.fused_costs
         c = costs.get(id(self))
         if c is None:
@@ -216,19 +265,32 @@ def _block_costs(instrs: Sequence[Instr], ctx) -> Tuple[int, int, int, int]:
 # ---------------------------------------------------------------------------
 
 
-def _codegen(instrs: Sequence[Instr], label: str):
+def _codegen(instrs: Sequence[Instr], label: str, full_mask: bool = False):
     """Compile one pure-op run into a ``fn(wave, mask)`` closure.
 
     Registers are fetched once into locals (they are mutated in place by
     masked ``np.copyto``, so the locals stay valid across the block);
     every write replicates the reference ``Wavefront.write`` semantics:
     cast to the destination dtype when needed, then masked copy.
+
+    With ``full_mask=True`` the closure assumes every lane is active and
+    writes become plain local rebindings, with a single unmasked
+    write-back per register at the end of the block.  Write-backs are
+    emitted in first-write order, which makes them alias-safe: a local
+    can only alias another register's backing array via an assignment
+    made *before* that register's first in-block write, so the aliased
+    array is always flushed after its reader.  Register materialisation
+    order (hence ``wave.regs`` dict insertion order, which fault
+    injection's register enumeration depends on) is first-reference
+    order in both variants, identical to the reference interpreter.
     """
     env: Dict[str, object] = {"_cp": np.copyto, "_reg": _reg_arr, "_where": np.where}
     reg_names: Dict[int, str] = {}
     reg_dts: Dict[int, str] = {}
     prologue: List[str] = []
     lines: List[str] = []
+    written: List[str] = []
+    written_seen: set = set()
 
     def rname(reg) -> str:
         rid = id(reg)
@@ -239,7 +301,10 @@ def _codegen(instrs: Sequence[Instr], label: str):
             reg_names[rid] = nm
             reg_dts[rid] = dt
             env[dt] = reg.dtype.np_dtype
-            prologue.append(f"    {nm} = _reg(regs, {rid}, {dt})")
+            if full_mask:
+                prologue.append(f"    g{nm} = {nm} = _reg(regs, {rid}, {dt})")
+            else:
+                prologue.append(f"    {nm} = _reg(regs, {rid}, {dt})")
         return nm
 
     def emit(dst, expr: str, checked: bool = True) -> None:
@@ -248,7 +313,13 @@ def _codegen(instrs: Sequence[Instr], label: str):
         lines.append(f"    _v = {expr}")
         if checked:
             lines.append(f"    if _v.dtype != {dt}: _v = _v.astype({dt})")
-        lines.append(f"    _cp({dn}, _v, where=mask)")
+        if full_mask:
+            lines.append(f"    {dn} = _v")
+            if dn not in written_seen:
+                written_seen.add(dn)
+                written.append(dn)
+        else:
+            lines.append(f"    _cp({dn}, _v, where=mask)")
 
     for k, ins in enumerate(instrs):
         cls = ins.__class__
@@ -307,8 +378,10 @@ def _codegen(instrs: Sequence[Instr], label: str):
         else:  # pragma: no cover - lowering only collects _PURE_OPS
             raise TypeError(f"cannot fuse {ins!r}")
 
+    epilogue = [f"    g{nm}[:] = {nm}" for nm in written] if full_mask else []
     src = "\n".join(
-        ["def _fused(wave, mask):", "    regs = wave.regs"] + prologue + lines
+        ["def _fused(wave, mask):", "    regs = wave.regs"]
+        + prologue + lines + epilogue
     )
     code = compile(src, f"<fused:{label}>", "exec")
     exec(code, env)  # noqa: S102 - source is generated from trusted IR
@@ -385,13 +458,21 @@ def maybe_lower(kernel: Kernel):
 # ---------------------------------------------------------------------------
 
 
-def _exec_fused(self: Wavefront, items, mask: np.ndarray):
-    """Lowered-tree twin of ``Wavefront._exec_body`` (timing-identical)."""
+def _exec_fused(self: Wavefront, items, mask: np.ndarray,
+                full: Optional[bool] = None):
+    """Lowered-tree twin of ``Wavefront._exec_body`` (timing-identical).
+
+    ``full`` caches ``mask.all()`` so the all-lanes-active block variant
+    is selected without a per-block reduction; it is recomputed only
+    where the mask itself changes (branch splits, loop back-edges).
+    """
     cfg = self.ctx.config
+    if full is None:
+        full = bool(mask.all())
     for item in items:
         cls = item.__class__
         if cls is FusedBlock:
-            item.execute(self, mask)
+            item.execute(self, mask, full)
         elif cls is LoweredIf:
             cond = self.read(item.cond)
             then_mask = mask & cond
@@ -403,22 +484,100 @@ def _exec_fused(self: Wavefront, items, mask: np.ndarray):
             if t_any and i_any:
                 self._pend.n_div_branch += 1
             if t_any:
-                yield from self._exec_fused(item.then_items, then_mask)
+                # then_mask == mask when the else side is empty.
+                yield from self._exec_fused(item.then_items, then_mask,
+                                            full and not i_any)
             if item.has_else and i_any:
-                yield from self._exec_fused(item.else_items, inv_mask)
+                yield from self._exec_fused(item.else_items, inv_mask,
+                                            full and not t_any)
         elif cls is LoweredWhile:
             live = mask.copy()
+            l_full = full
             while True:
-                yield from self._exec_fused(item.cond_items, live)
+                yield from self._exec_fused(item.cond_items, live, l_full)
                 cond = self.read(item.cond)
                 live &= cond
                 self._pend.n_branch += 1
                 self._pend.valu_cycles += cfg.branch_cycles
                 if not live.any():
                     break
-                if not live.all() and mask.any():
+                l_full = bool(live.all())
+                if not l_full and (full or mask.any()):
                     self._pend.n_div_branch += 1
-                yield from self._exec_fused(item.body_items, live)
+                yield from self._exec_fused(item.body_items, live, l_full)
+                if (self._pend.valu_cycles + self._pend.salu_cycles
+                        > _SPIN_FLUSH_CYCLES):
+                    yield self._flush()
+        else:
+            yield from self._exec_instr(item, mask)
+
+
+def _exec_fused_window(self: Wavefront, items, mask: np.ndarray,
+                       full: Optional[bool] = None):
+    """Fault-window twin of ``_exec_fused``.
+
+    Identical control flow, except each :class:`FusedBlock` first asks
+    the fault hook for the wave's trigger watermark.  A block whose
+    instructions all complete strictly below the watermark (or any
+    block on a non-victim / already-fired wave, where ``window()`` is
+    ``None``) runs as one compiled closure; otherwise the block is
+    stepped instruction-by-instruction with the exact reference
+    sequence ``dyn_instrs += 1; hook(...); _exec_pure(...)``, so the
+    flip lands at the same dynamic point, against the same register
+    file, as the reference interpreter.  Per-instruction
+    ``_charge_alu`` calls sum to the same pending-cost aggregates as
+    ``FusedBlock.execute``, so timing is bit-identical either way.
+    Non-pure instructions always take ``_exec_instr``, which consults
+    ``self._ihook`` (the hook on the victim, ``None`` elsewhere).
+    """
+    cfg = self.ctx.config
+    hook = self.ctx.fault_hook
+    if full is None:
+        full = bool(mask.all())
+    for item in items:
+        cls = item.__class__
+        if cls is FusedBlock:
+            w = hook.window(self)
+            if w is None or self.dyn_instrs + item.n < w:
+                item.execute(self, mask, full)
+            else:
+                for ins in item.instrs:
+                    self.dyn_instrs += 1
+                    hook(self, ins)
+                    self._exec_pure(ins, mask)
+        elif cls is LoweredIf:
+            cond = self.read(item.cond)
+            then_mask = mask & cond
+            inv_mask = mask & ~cond
+            t_any = bool(then_mask.any())
+            i_any = bool(inv_mask.any())
+            self._pend.n_branch += 1
+            self._pend.valu_cycles += cfg.branch_cycles
+            if t_any and i_any:
+                self._pend.n_div_branch += 1
+            if t_any:
+                yield from self._exec_fused_window(item.then_items, then_mask,
+                                                   full and not i_any)
+            if item.has_else and i_any:
+                yield from self._exec_fused_window(item.else_items, inv_mask,
+                                                   full and not t_any)
+        elif cls is LoweredWhile:
+            live = mask.copy()
+            l_full = full
+            while True:
+                yield from self._exec_fused_window(item.cond_items, live,
+                                                   l_full)
+                cond = self.read(item.cond)
+                live &= cond
+                self._pend.n_branch += 1
+                self._pend.valu_cycles += cfg.branch_cycles
+                if not live.any():
+                    break
+                l_full = bool(live.all())
+                if not l_full and (full or mask.any()):
+                    self._pend.n_div_branch += 1
+                yield from self._exec_fused_window(item.body_items, live,
+                                                   l_full)
                 if (self._pend.valu_cycles + self._pend.salu_cycles
                         > _SPIN_FLUSH_CYCLES):
                     yield self._flush()
@@ -427,3 +586,4 @@ def _exec_fused(self: Wavefront, items, mask: np.ndarray):
 
 
 Wavefront._exec_fused = _exec_fused
+Wavefront._exec_fused_window = _exec_fused_window

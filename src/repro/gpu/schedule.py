@@ -21,6 +21,13 @@ exploration policies without touching the engine:
   shared-memory operations as schedule decision points and drives a
   DPOR model-checking sweep.
 
+Pop order also defines wave identity for fault injection: the engine
+stamps each wavefront's execution-start *ordinal* the first time it is
+popped, so a :class:`~repro.faults.injector.FaultPlan`'s victim
+numbering is exactly the order this module's policy first runs waves —
+under :class:`DefaultScheduler` that matches the historical hook-observed
+numbering bit for bit.
+
 A scheduler that sets ``observes = True`` additionally receives an
 ``observe(wave, req, t, result)`` callback after the engine applies each
 *synchronization-relevant* request (global memory operations, barrier

@@ -44,13 +44,20 @@ effects, and detections are identical by construction (pinned by
 goldens).
 
 **When the engine falls back.**  The device routes a launch here only
-when the global toggle is on (``REPRO_VECTOR`` / :func:`vector`), no
-fault hook is installed (hooks observe every instruction of the
-reference interpreter), and the requested scheduler declares
-``supports_vectorized`` (the default time-ordered/FIFO order does;
-adversarial and model-checking schedulers do not, so ``repro.mc`` keeps
-the standard engine).  ``LaunchResult.engine_kind`` records which engine
-ran, making the fallback provable in tests.
+when the global toggle is on (``REPRO_VECTOR`` / :func:`vector`) and
+the requested scheduler declares ``supports_vectorized`` (the default
+time-ordered/FIFO order does; adversarial and model-checking
+schedulers do not, so ``repro.mc`` keeps the standard engine).
+Fault-hooked launches are admitted only in fault-window mode under the
+default scheduler with no group redispatch: the victim wave's *group*
+is then statically predictable from the plan's ordinal, and
+:meth:`VecEngine._spawn_wave` carves that one group out as reference
+:class:`~repro.gpu.wavefront.Wavefront` objects (whose per-wave
+register dicts the flip machinery depends on) while every other group
+runs stacked.  Plain callable hooks observe every instruction of the
+reference interpreter and always fall back.
+``LaunchResult.engine_kind`` records which engine ran, making the
+fallback provable in tests.
 """
 
 from __future__ import annotations
@@ -541,7 +548,11 @@ class _Coordinator:
 
     def on_push(self, entry: tuple) -> None:
         # entry = (time, seq, wave, sendval) — the engine's event tuple.
-        self.staged.append((entry[2], entry[3]))
+        # Fault-window launches mix in reference Wavefronts (the victim
+        # group); those run real generators driven by the engine and are
+        # never staged for run-ahead.
+        if isinstance(entry[2], VecWave):
+            self.staged.append((entry[2], entry[3]))
 
     def advance(self) -> None:
         staged = self.staged
@@ -628,15 +639,36 @@ class VecEngine(Engine):
         return EventScheduler(inner, sink=self._coord.on_push)
 
     def _spawn_wave(self, ctx, group, wave_idx: int):
+        if group.flat_group == self._victim_group:
+            # The victim's whole group runs as reference wavefronts:
+            # FaultHook._flip_register walks the wave's private ``regs``
+            # dict (contents *and* insertion order), which the stacked
+            # store cannot reproduce.  Non-victim groups never call the
+            # hook, so stacking them is observationally identical.
+            wave = Wavefront(ctx, group, wave_idx)
+            wave.gen = wave.run()
+            return wave
         wave = VecWave(ctx, group, wave_idx, self._coord)
         wave.gen = _VecDriver(wave)
         return wave
 
     def run(self, ctx, resources):
-        if ctx.fault_hook is not None:
+        hook = ctx.fault_hook
+        if hook is not None and not ctx.fault_window:
             raise SimulationError(
-                "vectorized engine cannot run fault-hook launches "
-                "(the device should have fallen back)")
+                "vectorized engine cannot run non-window fault-hook "
+                "launches (the device should have fallen back)")
+        self._victim_group = None
+        if hook is not None:
+            # Under the default scheduler with no group redispatch
+            # (guaranteed by the device's routing), execution-start
+            # ordinals follow wave-stagger order: ordinal = base +
+            # wave_idx * total_groups + flat_group.  That pins the
+            # victim's group at spawn time.
+            rel = hook.plan.wave_ordinal - self._ordinal_base
+            n_waves = (ctx.flat_local + WAVE - 1) // WAVE
+            if 0 <= rel < ctx.total_groups * n_waves:
+                self._victim_group = rel % ctx.total_groups
         # The reference interpreter enters np.errstate inside each wave
         # generator; here block execution happens outside walker frames,
         # so the whole run is wrapped instead (errstate only affects

@@ -150,6 +150,11 @@ class LaunchContext:
         self.config = config
         #: optional fault-injection hook: fn(wave, instr) -> None
         self.fault_hook: Optional[Callable] = None
+        #: True when the hook supports the window query API and the
+        #: launch should use fault-window execution (fused fast path with
+        #: per-instruction stepping only near the victim's trigger).
+        #: Plain callable hooks keep the reference per-instruction path.
+        self.fault_window: bool = False
         #: per-launch cache of broadcast immediates (shared by all waves)
         self.broadcast_cache: Dict[int, np.ndarray] = {}
         #: lowered fused program (see :mod:`repro.gpu.fused`), or None to
@@ -208,6 +213,17 @@ class Wavefront:
         self.cu = -1
         self.simd = -1
         self.gen = None
+        #: execution-start ordinal, stamped by the timing engine the
+        #: first time this wave is popped from the event queue (the same
+        #: numbering the fault hook historically derived from first-call
+        #: order).  -1 until stamped.
+        self.ordinal = -1
+        #: the per-instruction hook this wave actually calls.  Set by
+        #: ``run()``: the launch hook on the reference path; on the
+        #: fault-window path only the victim wave keeps it (the hook is
+        #: a guaranteed no-op for every other wave, so skipping the
+        #: calls is observationally identical and much cheaper).
+        self._ihook: Optional[Callable] = None
         # precompute lane IDs
         flat_lid = wave_idx * WAVE + _LANES
         self.active0 = flat_lid < ctx.flat_local
@@ -250,16 +266,51 @@ class Wavefront:
         fault hook is installed, straight-line pure-op runs execute
         through the block-fused executors in :mod:`repro.gpu.fused` —
         bitwise and timing identical, just without per-instruction
-        dispatch.  Fault hooks need to observe every instruction, so a
-        hooked launch always takes the reference interpreter.
+        dispatch.
+
+        Hooked launches come in two flavours.  A *window-capable* hook
+        (``ctx.fault_window``, see :class:`repro.faults.injector
+        .FaultHook`) names one victim wave and one trigger watermark, so
+        the wave runs the fused fast path and only drops to
+        per-instruction stepping when a block could cross the victim's
+        watermark (``_exec_fused_window``); non-victim waves never call
+        the hook at all.  A plain callable hook needs to observe every
+        instruction and keeps the reference interpreter.
+
+        The generator body first executes at the first ``send`` — after
+        the engine popped (and therefore ordinal-stamped) the wave — so
+        the victim test below always sees the final ordinal.
         """
         with np.errstate(all="ignore"):
-            fused = self.ctx.fused
-            if fused is not None and self.ctx.fault_hook is None:
-                yield from self._exec_fused(fused.items, self.active0.copy())
+            ctx = self.ctx
+            hook = ctx.fault_hook
+            fused = ctx.fused
+            if hook is not None and ctx.fault_window:
+                # Only the (unfired) victim ever needs hook calls; the
+                # hook is a no-op for every other wave by construction.
+                self._ihook = hook if hook.window(self) is not None else None
+                if fused is not None:
+                    if self._ihook is None:
+                        # window(self) is None for good (the victim test
+                        # is pure in the stamped ordinal), so the window
+                        # path would never step: take the plain fast
+                        # path and skip its per-block window probes.
+                        yield from self._exec_fused(fused.items,
+                                                    self.active0.copy())
+                    else:
+                        yield from self._exec_fused_window(
+                            fused.items, self.active0.copy())
+                else:
+                    yield from self._exec_body(ctx.kernel.body,
+                                               self.active0.copy())
             else:
-                yield from self._exec_body(self.ctx.kernel.body,
-                                           self.active0.copy())
+                self._ihook = hook
+                if fused is not None and hook is None:
+                    yield from self._exec_fused(fused.items,
+                                                self.active0.copy())
+                else:
+                    yield from self._exec_body(ctx.kernel.body,
+                                               self.active0.copy())
             if self._has_pending():
                 yield self._flush()
 
@@ -274,7 +325,7 @@ class Wavefront:
 
     def _exec_body(self, body: Sequence[Stmt], mask: np.ndarray):
         cfg = self.ctx.config
-        hook = self.ctx.fault_hook
+        hook = self._ihook
         exec_pure = self._exec_pure
         for stmt in body:
             cls = stmt.__class__
@@ -370,12 +421,38 @@ class Wavefront:
 
     def _exec_instr(self, instr: Instr, mask: np.ndarray):
         self.dyn_instrs += 1
-        hook = self.ctx.fault_hook
+        hook = self._ihook
         if hook is not None:
             hook(self, instr)
         cls = type(instr)
 
-        if cls is LoadGlobal:
+        # Dispatch ordered by dynamic frequency (LDS traffic and barriers
+        # dominate the non-pure stream of every LDS-blocked kernel).
+        if cls is LoadLocal:
+            if mask.any():
+                arr = self.group.lds[instr.lds.name]
+                idx = self.read(instr.index)[mask].astype(np.int64)
+                idx = self._lds_bounds(instr.lds.name, arr, idx)
+                out = np.zeros(WAVE, dtype=instr.dst.dtype.np_dtype)
+                out[mask] = arr[idx]
+                self.write(instr.dst, out, mask)
+                if self._has_pending():
+                    yield self._flush()
+                yield LdsReq("load", self._bank_passes(idx), int(mask.sum()))
+        elif cls is StoreLocal:
+            if mask.any():
+                arr = self.group.lds[instr.lds.name]
+                idx = self.read(instr.index)[mask].astype(np.int64)
+                idx = self._lds_bounds(instr.lds.name, arr, idx)
+                arr[idx] = self.read(instr.value)[mask].astype(arr.dtype)
+                if self._has_pending():
+                    yield self._flush()
+                yield LdsReq("store", self._bank_passes(idx), int(mask.sum()))
+        elif cls is Barrier:
+            if self._has_pending():
+                yield self._flush()
+            yield BarrierReq()
+        elif cls is LoadGlobal:
             if mask.any():
                 buf = self.ctx.buffers[instr.buf.name]
                 idx = self.read(instr.index)[mask].astype(np.int64)
@@ -383,7 +460,7 @@ class Wavefront:
                     yield self._flush()
                 op = "sload" if id(instr) in self.ctx.scalar_instrs else "load"
                 data = yield GlobalReq(op, buf, idx)
-                out = np.zeros(WAVE, dtype=self.read(instr.dst).dtype)
+                out = np.zeros(WAVE, dtype=instr.dst.dtype.np_dtype)
                 out[mask] = data
                 self.write(instr.dst, out, mask)
         elif cls is StoreGlobal:
@@ -404,33 +481,9 @@ class Wavefront:
                     yield self._flush()
                 old = yield GlobalReq("atomic", buf, idx, vals, cmps, instr.op)
                 if instr.dst is not None:
-                    out = np.zeros(WAVE, dtype=self.read(instr.dst).dtype)
+                    out = np.zeros(WAVE, dtype=instr.dst.dtype.np_dtype)
                     out[mask] = old
                     self.write(instr.dst, out, mask)
-        elif cls is LoadLocal:
-            if mask.any():
-                arr = self.group.lds[instr.lds.name]
-                idx = self.read(instr.index)[mask].astype(np.int64)
-                idx = self._lds_bounds(instr.lds.name, arr, idx)
-                out = np.zeros(WAVE, dtype=self.read(instr.dst).dtype)
-                out[mask] = arr[idx]
-                self.write(instr.dst, out, mask)
-                if self._has_pending():
-                    yield self._flush()
-                yield LdsReq("load", self._bank_passes(idx), int(mask.sum()))
-        elif cls is StoreLocal:
-            if mask.any():
-                arr = self.group.lds[instr.lds.name]
-                idx = self.read(instr.index)[mask].astype(np.int64)
-                idx = self._lds_bounds(instr.lds.name, arr, idx)
-                arr[idx] = self.read(instr.value)[mask].astype(arr.dtype)
-                if self._has_pending():
-                    yield self._flush()
-                yield LdsReq("store", self._bank_passes(idx), int(mask.sum()))
-        elif cls is Barrier:
-            if self._has_pending():
-                yield self._flush()
-            yield BarrierReq()
         elif cls is ReportError:
             if mask.any():
                 if self._has_pending():
@@ -473,13 +526,16 @@ class Wavefront:
 
         Broadcasts (same address) do not conflict, so the pass count is
         the largest number of *distinct* addresses mapping to one bank.
+
+        LDS indices are bounds-checked (or fault-wrapped) before this is
+        called, so they are small non-negative ints: two ``bincount``
+        passes find the distinct addresses and their per-bank
+        multiplicity without ``np.unique``'s sort machinery.
         """
-        distinct = np.unique(indices)
-        counts = np.bincount(
-            (distinct % self.ctx.config.lds_banks).astype(np.int64),
-            minlength=1,
-        )
-        return int(counts.max()) if distinct.size else 1
+        if not indices.size:
+            return 1
+        distinct = np.flatnonzero(np.bincount(indices))
+        return int(np.bincount(distinct % self.ctx.config.lds_banks).max())
 
     def _lds_bounds(self, name: str, arr: np.ndarray, idx: np.ndarray) -> np.ndarray:
         if idx.size and (idx.min() < 0 or idx.max() >= arr.size):

@@ -11,11 +11,11 @@ from repro.kernels.suite import make_benchmark
 
 
 def test_bench_cli_writes_report(tmp_path, capsys):
-    out = str(tmp_path / "BENCH_6.json")
+    out = str(tmp_path / "BENCH_7.json")
     rc = main(["--quick", "--only", "compile", "--out", out])
     assert rc == 0
     report = json.loads(open(out).read())
-    assert report["schema"] == 1 and report["bench"] == 6
+    assert report["schema"] == 1 and report["bench"] == 7
     assert report["quick"] is True
     assert report["correct"] is True
     compile_sec = report["sections"]["compile"]
@@ -41,7 +41,7 @@ def test_bench_equivalence_section_gates_exit(tmp_path):
 
 
 def test_bench_vector_section_three_way_identical(tmp_path, capsys):
-    """BENCH_6's vector section: the run-ahead engine must be bitwise-
+    """The vector section: the run-ahead engine must be bitwise-
     and cycle-identical to both other engines on the multi-workgroup
     dispatch, and the recorded speedup is over the fused baseline."""
     out = str(tmp_path / "b.json")
